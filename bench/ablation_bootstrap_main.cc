@@ -1,0 +1,75 @@
+// Ablation A9: how much static bootstrap does dynamic condensation need?
+//
+// The paper's DynamicGroupMaintenance starts from a statically condensed
+// database D and then consumes the stream S. This bench varies the size
+// of D (as a fraction of the data) from pure streaming (0) to fully
+// static (1) and measures the release quality — quantifying how quickly
+// the stream structure converges to the static optimum.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+using condensa::Rng;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+  condensa::data::Dataset test = scaler.TransformDataset(split->test);
+
+  std::printf("=== Ablation A9: dynamic bootstrap fraction "
+              "(Pima, k = 20) ===\n\n");
+  std::printf("%12s %10s %12s %14s\n", "bootstrap", "mu", "knn_acc",
+              "avg_grp_size");
+
+  for (double fraction : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    double mu_total = 0.0, accuracy_total = 0.0, size_total = 0.0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng trial_rng(100 + trial);
+      condensa::core::CondensationEngine engine(
+          {.group_size = 20,
+           .mode = condensa::core::CondensationMode::kDynamic,
+           .bootstrap_fraction = fraction});
+      auto result = engine.Anonymize(train, trial_rng);
+      CONDENSA_CHECK(result.ok());
+
+      auto mu = condensa::metrics::CovarianceCompatibility(
+          train, result->anonymized);
+      CONDENSA_CHECK(mu.ok());
+      mu_total += *mu;
+
+      condensa::mining::KnnClassifier knn({.k = 1});
+      CONDENSA_CHECK(knn.Fit(result->anonymized).ok());
+      auto accuracy = condensa::mining::EvaluateAccuracy(knn, test);
+      CONDENSA_CHECK(accuracy.ok());
+      accuracy_total += *accuracy;
+      size_total += result->AverageGroupSize();
+    }
+    std::printf("%12.2f %10.4f %12.4f %14.2f\n", fraction,
+                mu_total / kTrials, accuracy_total / kTrials,
+                size_total / kTrials);
+  }
+
+  std::printf(
+      "\nExpected shape: quality is already near the static level with a\n"
+      "small bootstrap (the nearest-centroid rule plus 2k-splits adapt\n"
+      "quickly); pure streaming costs little on i.i.d. data, so the\n"
+      "paper's stream setting is practical even from a cold start.\n\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A1: the locality trade-off (paper Sections 2.1 and 4).
+//
+// Larger groups are statistically more robust but cover a larger spatial
+// locality, where the locally-uniform assumption degrades. Sweeping k far
+// beyond the paper's range on a fixed dataset shows μ rise (robustness)
+// then fall (locality loss), while the privacy gain grows monotonically.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "metrics/privacy.h"
+
+using condensa::Rng;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset =
+      condensa::datagen::MakePima(data_rng);
+  // Strip labels: this ablation studies pure structure preservation.
+  condensa::data::Dataset unlabeled(dataset.dim());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    unlabeled.Add(dataset.record(i));
+  }
+
+  std::printf("=== Ablation A1: group size / locality trade-off (Pima, "
+              "%zu records) ===\n",
+              unlabeled.size());
+  std::printf("%6s %12s %12s %14s %14s\n", "k", "mu", "cov_rel_err",
+              "distance_gain", "exact_leak");
+
+  for (std::size_t k : {2u, 3u, 5u, 10u, 20u, 40u, 80u, 160u, 320u, 640u}) {
+    double mu_total = 0.0, err_total = 0.0, gain_total = 0.0,
+           leak_total = 0.0;
+    constexpr int kTrials = 3;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(100 + 31 * trial + k);
+      condensa::core::CondensationEngine engine({.group_size = k});
+      auto result = engine.Anonymize(unlabeled, rng);
+      CONDENSA_CHECK(result.ok());
+
+      auto mu = condensa::metrics::CovarianceCompatibility(
+          unlabeled, result->anonymized);
+      CONDENSA_CHECK(mu.ok());
+      auto err = condensa::metrics::CovarianceRelativeError(
+          unlabeled.Covariance(), result->anonymized.Covariance());
+      CONDENSA_CHECK(err.ok());
+      auto linkage =
+          condensa::metrics::EvaluateLinkage(unlabeled, result->anonymized);
+      CONDENSA_CHECK(linkage.ok());
+      auto leak = condensa::metrics::ExactLeakageRate(
+          unlabeled, result->anonymized, 1e-9);
+      CONDENSA_CHECK(leak.ok());
+
+      mu_total += *mu;
+      err_total += *err;
+      gain_total += linkage->distance_gain;
+      leak_total += *leak;
+    }
+    std::printf("%6zu %12.4f %12.4f %14.3f %14.4f\n", k, mu_total / kTrials,
+                err_total / kTrials, gain_total / kTrials,
+                leak_total / kTrials);
+  }
+  std::printf("\nExpected shape: mu ~1 at small k, eroding slowly as the\n"
+              "locality grows; distance_gain strictly increasing with k;\n"
+              "exact leakage only at k where groups are singletons.\n\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation A5: condensation vs generalization-based k-anonymity (the
+// paper's second comparator, reference [18]).
+//
+// Both approaches guarantee k-indistinguishability over numeric data. The
+// k-anonymity baseline (Mondrian median partitioning, centroid release)
+// collapses each equivalence class to one point, destroying within-class
+// variance; condensation regenerates records with the class's full
+// covariance. The bench sweeps k on the same workload and reports utility
+// side by side.
+
+#include <cstdio>
+
+#include "anonymity/mondrian.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "metrics/privacy.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+using condensa::Rng;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset =
+      condensa::datagen::MakeIonosphere(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+  condensa::data::Dataset test = scaler.TransformDataset(split->test);
+
+  auto evaluate = [&test](const condensa::data::Dataset& release,
+                          const condensa::data::Dataset& original,
+                          const char* name, std::size_t k) {
+    condensa::mining::KnnClassifier knn({.k = 1});
+    CONDENSA_CHECK(knn.Fit(release).ok());
+    auto accuracy = condensa::mining::EvaluateAccuracy(knn, test);
+    auto mu = condensa::metrics::CovarianceCompatibility(original, release);
+    auto linkage = condensa::metrics::EvaluateLinkage(original, release);
+    CONDENSA_CHECK(accuracy.ok());
+    CONDENSA_CHECK(mu.ok());
+    CONDENSA_CHECK(linkage.ok());
+    std::printf("%6zu %14s %10.4f %10.4f %14.3f\n", k, name, *accuracy, *mu,
+                linkage->distance_gain);
+  };
+
+  condensa::mining::KnnClassifier baseline({.k = 1});
+  CONDENSA_CHECK(baseline.Fit(train).ok());
+  auto baseline_accuracy = condensa::mining::EvaluateAccuracy(baseline, test);
+  CONDENSA_CHECK(baseline_accuracy.ok());
+
+  std::printf("=== Ablation A5: condensation vs Mondrian k-anonymity "
+              "(Ionosphere, 75/25 split) ===\n");
+  std::printf("1-NN accuracy on raw training data: %.4f\n\n",
+              *baseline_accuracy);
+  std::printf("%6s %14s %10s %10s %14s\n", "k", "method", "knn_acc", "mu",
+              "distance_gain");
+
+  for (std::size_t k : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    condensa::core::CondensationEngine engine({.group_size = k});
+    auto condensed = engine.Anonymize(train, rng);
+    CONDENSA_CHECK(condensed.ok());
+    evaluate(condensed->anonymized, train, "condensation", k);
+
+    auto mondrian = condensa::anonymity::MondrianCentroidRelease(
+        train, {.k = k});
+    CONDENSA_CHECK(mondrian.ok());
+    evaluate(*mondrian, train, "mondrian", k);
+  }
+
+  std::printf(
+      "\nExpected shape: Mondrian's centroid release can even help a\n"
+      "nearest-neighbour classifier (each class collapses to clean\n"
+      "prototypes), but it destroys the second-order structure: its mu\n"
+      "falls steadily with k while condensation's stays near 1. Any\n"
+      "analysis that needs variances or correlations (PCA, regression,\n"
+      "association rules) only survives under condensation.\n\n");
+  return 0;
+}

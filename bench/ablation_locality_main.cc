@@ -1,0 +1,75 @@
+// Ablation A8: locality sensitivity of condensation (paper Section 2.2).
+//
+// Fixing the group *size* fixes the privacy level everywhere, but the
+// spatial extent of a group adapts to local density — so sparse-region
+// (outlier) records are regenerated with larger spatial error. This bench
+// builds a dense-core + sparse-halo workload, buckets records by a
+// density score (5th-neighbour distance), and reports the mean
+// regeneration error per density quartile across k.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "metrics/locality.h"
+
+using condensa::Rng;
+using condensa::linalg::Vector;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset(3);
+  // Dense core (80%) + sparse uniform halo (20%).
+  for (int i = 0; i < 1600; ++i) {
+    dataset.Add(Vector{data_rng.Gaussian(0.0, 0.6),
+                       data_rng.Gaussian(0.0, 0.6),
+                       data_rng.Gaussian(0.0, 0.6)});
+  }
+  for (int i = 0; i < 400; ++i) {
+    dataset.Add(Vector{data_rng.Uniform(-10.0, 10.0),
+                       data_rng.Uniform(-10.0, 10.0),
+                       data_rng.Uniform(-10.0, 10.0)});
+  }
+
+  auto density = condensa::metrics::KthNeighborDistances(dataset, 5);
+  CONDENSA_CHECK(density.ok());
+
+  std::printf("=== Ablation A8: locality sensitivity (dense core + sparse "
+              "halo, %zu records) ===\n",
+              dataset.size());
+  std::printf("mean regeneration error by density quartile "
+              "(Q1 = densest records)\n\n");
+  std::printf("%6s %12s %12s %12s %12s %14s\n", "k", "Q1", "Q2", "Q3", "Q4",
+              "Q4/Q1 ratio");
+
+  for (std::size_t k : {5u, 10u, 20u, 40u, 80u}) {
+    std::vector<double> bucket_means(4, 0.0);
+    constexpr int kTrials = 3;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(100 + trial);
+      condensa::core::CondensationEngine engine({.group_size = k});
+      auto release = engine.Anonymize(dataset, rng);
+      CONDENSA_CHECK(release.ok());
+      auto errors = condensa::metrics::NearestReleaseDistances(
+          dataset, release->anonymized);
+      CONDENSA_CHECK(errors.ok());
+      auto buckets =
+          condensa::metrics::MeanByQuantileBucket(*density, *errors, 4);
+      CONDENSA_CHECK(buckets.ok());
+      for (int b = 0; b < 4; ++b) {
+        bucket_means[b] += (*buckets)[b] / kTrials;
+      }
+    }
+    std::printf("%6zu %12.4f %12.4f %12.4f %12.4f %14.2f\n", k,
+                bucket_means[0], bucket_means[1], bucket_means[2],
+                bucket_means[3], bucket_means[3] / bucket_means[0]);
+  }
+
+  std::printf(
+      "\nExpected shape: regeneration error grows monotonically from the\n"
+      "densest to the sparsest quartile at every k, and the Q4/Q1 ratio\n"
+      "stays large — the paper's point that outliers are inherently\n"
+      "harder to mask under a fixed group size.\n\n");
+  return 0;
+}

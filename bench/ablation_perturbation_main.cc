@@ -1,0 +1,128 @@
+// Ablation A3: condensation vs the Agrawal-Srikant perturbation baseline
+// (paper Section 1's argument, quantified).
+//
+// Both approaches are run on the same workload across their privacy knobs
+// (group size k for condensation, noise scale for perturbation). For each
+// release we report:
+//   * μ            — covariance structure preservation,
+//   * distance_gain — the record-linkage privacy proxy,
+//   * 1-NN accuracy — a record-based algorithm on the release,
+//   * dist-clf accuracy — the per-dimension distribution classifier, the
+//     only style of algorithm the perturbation model actually permits.
+// The paper's claim shows up as: at comparable distance_gain, condensation
+// keeps μ ≈ 1 and full 1-NN utility, while perturbation degrades both and
+// caps utility at the marginal-model level.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "metrics/privacy.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+#include "perturb/distribution_classifier.h"
+#include "perturb/perturbation.h"
+#include "perturb/privacy_quantification.h"
+
+using condensa::Rng;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+  condensa::data::Dataset test = scaler.TransformDataset(split->test);
+
+  auto knn_accuracy = [&test](const condensa::data::Dataset& release) {
+    condensa::mining::KnnClassifier knn({.k = 1});
+    CONDENSA_CHECK(knn.Fit(release).ok());
+    auto accuracy = condensa::mining::EvaluateAccuracy(knn, test);
+    CONDENSA_CHECK(accuracy.ok());
+    return *accuracy;
+  };
+
+  std::printf("=== Ablation A3: condensation vs additive perturbation "
+              "(Pima, 75/25 split) ===\n\n");
+
+  std::printf("--- condensation (sweep k) ---\n");
+  std::printf("%6s %10s %12s %14s %12s\n", "k", "mu", "cov_rel_err",
+              "distance_gain", "knn_acc");
+  for (std::size_t k : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    condensa::core::CondensationEngine engine({.group_size = k});
+    auto result = engine.Anonymize(train, rng);
+    CONDENSA_CHECK(result.ok());
+    auto mu =
+        condensa::metrics::CovarianceCompatibility(train, result->anonymized);
+    auto err = condensa::metrics::CovarianceRelativeError(
+        train.Covariance(), result->anonymized.Covariance());
+    auto linkage =
+        condensa::metrics::EvaluateLinkage(train, result->anonymized);
+    CONDENSA_CHECK(mu.ok());
+    CONDENSA_CHECK(err.ok());
+    CONDENSA_CHECK(linkage.ok());
+    std::printf("%6zu %10.4f %12.4f %14.3f %12.4f\n", k, *mu, *err,
+                linkage->distance_gain, knn_accuracy(result->anonymized));
+  }
+
+  std::printf("\n--- perturbation (sweep uniform noise half-width, in units "
+              "of feature stddev) ---\n");
+  std::printf("%6s %10s %12s %14s %12s %14s %12s\n", "scale", "mu",
+              "cov_rel_err", "distance_gain", "knn_acc", "dist_clf_acc",
+              "priv_loss");
+  for (double scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    condensa::perturb::NoiseSpec noise{
+        condensa::perturb::NoiseKind::kUniform, scale};
+    auto perturbed = condensa::perturb::PerturbDataset(train, noise, rng);
+    CONDENSA_CHECK(perturbed.ok());
+
+    // Agrawal–Aggarwal privacy-loss fraction, averaged over dimensions.
+    double privacy_loss = 0.0;
+    for (std::size_t j = 0; j < train.dim(); ++j) {
+      std::vector<double> column;
+      column.reserve(train.size());
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        column.push_back(train.record(i)[j]);
+      }
+      auto report =
+          condensa::perturb::QuantifyPerturbationPrivacy(column, noise);
+      CONDENSA_CHECK(report.ok());
+      privacy_loss += report->privacy_loss_fraction;
+    }
+    privacy_loss /= static_cast<double>(train.dim());
+    auto mu = condensa::metrics::CovarianceCompatibility(train, *perturbed);
+    auto err = condensa::metrics::CovarianceRelativeError(
+        train.Covariance(), perturbed->Covariance());
+    auto linkage = condensa::metrics::EvaluateLinkage(train, *perturbed);
+    CONDENSA_CHECK(mu.ok());
+    CONDENSA_CHECK(err.ok());
+    CONDENSA_CHECK(linkage.ok());
+
+    condensa::perturb::DistributionClassifier dist_clf(noise);
+    CONDENSA_CHECK(dist_clf.Fit(*perturbed).ok());
+    auto dist_accuracy = condensa::mining::EvaluateAccuracy(dist_clf, test);
+    CONDENSA_CHECK(dist_accuracy.ok());
+
+    std::printf("%6.2f %10.4f %12.4f %14.3f %12.4f %14.4f %12.4f\n", scale,
+                *mu, *err, linkage->distance_gain, knn_accuracy(*perturbed),
+                *dist_accuracy, privacy_loss);
+  }
+
+  std::printf(
+      "\nExpected shape: at matched distance_gain, condensation keeps\n"
+      "cov_rel_err small and 1-NN accuracy near the raw baseline, while\n"
+      "perturbation inflates every variance (cov_rel_err grows with the\n"
+      "noise) and loses 1-NN accuracy; the distribution classifier — the\n"
+      "only algorithm style perturbation permits — ignores correlations\n"
+      "entirely.\n\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation A7: the anonymizer's sampling-distribution choice.
+//
+// The paper regenerates records *uniformly* along each eigenvector
+// (Section 2.1), arguing uniformity is a good local approximation. This
+// bench swaps in a Gaussian sampler with the same per-eigenvector variance
+// and compares: both preserve second-order moments by construction, so μ
+// is similar; the differences show up in classifier accuracy and in how
+// far regenerated points stray from the group (tail behaviour).
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/static_condenser.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+using condensa::Rng;
+using condensa::core::SamplingDistribution;
+
+namespace {
+
+// Anonymizes `train` per class with the given sampler and returns the
+// release.
+condensa::data::Dataset AnonymizeWith(const condensa::data::Dataset& train,
+                                      std::size_t k,
+                                      SamplingDistribution distribution,
+                                      Rng& rng) {
+  condensa::core::Anonymizer anonymizer({.distribution = distribution});
+  condensa::core::StaticCondenser condenser({.group_size = k});
+  condensa::data::Dataset release(train.dim(),
+                                  condensa::data::TaskType::kClassification);
+  for (const auto& [label, indices] : train.IndicesByLabel()) {
+    std::vector<condensa::linalg::Vector> pool;
+    for (std::size_t i : indices) pool.push_back(train.record(i));
+    std::size_t effective_k = std::min(k, pool.size());
+    auto groups = condensa::core::StaticCondenser(
+                      {.group_size = effective_k})
+                      .Condense(pool, rng);
+    CONDENSA_CHECK(groups.ok());
+    auto points = anonymizer.Generate(*groups, rng);
+    CONDENSA_CHECK(points.ok());
+    for (auto& p : *points) {
+      release.Add(std::move(p), label);
+    }
+  }
+  (void)condenser;
+  return release;
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset =
+      condensa::datagen::MakeIonosphere(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+  condensa::data::Dataset test = scaler.TransformDataset(split->test);
+
+  std::printf("=== Ablation A7: uniform vs Gaussian eigenvector sampling "
+              "(Ionosphere) ===\n");
+  std::printf("%6s %10s %12s %12s %12s %12s\n", "k", "sampler", "knn_acc",
+              "mu", "mean_dev", "max_dev");
+
+  for (std::size_t k : {5u, 15u, 30u, 60u}) {
+    for (SamplingDistribution distribution :
+         {SamplingDistribution::kUniform, SamplingDistribution::kGaussian}) {
+      double accuracy_total = 0.0, mu_total = 0.0;
+      double mean_deviation = 0.0, max_deviation = 0.0;
+      constexpr int kTrials = 3;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng trial_rng(100 + trial);
+        condensa::data::Dataset release =
+            AnonymizeWith(train, k, distribution, trial_rng);
+
+        condensa::mining::KnnClassifier knn({.k = 1});
+        CONDENSA_CHECK(knn.Fit(release).ok());
+        auto accuracy = condensa::mining::EvaluateAccuracy(knn, test);
+        auto mu = condensa::metrics::CovarianceCompatibility(train, release);
+        CONDENSA_CHECK(accuracy.ok());
+        CONDENSA_CHECK(mu.ok());
+        accuracy_total += *accuracy;
+        mu_total += *mu;
+
+        // Tail behaviour: distance of each released record from the
+        // nearest original record, normalized by dimension.
+        for (std::size_t i = 0; i < release.size(); ++i) {
+          double best = 1e300;
+          for (std::size_t j = 0; j < train.size(); ++j) {
+            best = std::min(best,
+                            condensa::linalg::SquaredDistance(
+                                release.record(i), train.record(j)));
+          }
+          double deviation =
+              std::sqrt(best / static_cast<double>(train.dim()));
+          mean_deviation += deviation;
+          max_deviation = std::max(max_deviation, deviation);
+        }
+      }
+      mean_deviation /=
+          static_cast<double>(kTrials) * static_cast<double>(train.size());
+      std::printf("%6zu %10s %12.4f %12.4f %12.4f %12.4f\n", k,
+                  distribution == SamplingDistribution::kUniform
+                      ? "uniform"
+                      : "gaussian",
+                  accuracy_total / kTrials, mu_total / kTrials,
+                  mean_deviation, max_deviation);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: mu and accuracy are close (both samplers match\n"
+      "the group's first two moments); the Gaussian sampler's unbounded\n"
+      "tails give a visibly larger max deviation from the data manifold,\n"
+      "which is why the paper's bounded uniform choice is the safer\n"
+      "default.\n\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Ablation A2: quality of the uniform-split approximation (paper Fig. 3).
+//
+// SplitGroupStatistics assumes the group is uniformly distributed along
+// its leading eigenvector. This bench builds 2k-sized groups from known
+// distributions (uniform, Gaussian, bimodal), performs the statistics-only
+// split, and compares the predicted child moments against the *actual*
+// halves obtained by cutting the raw points at the centroid hyperplane —
+// the ground truth the statistics-only server can't see.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/group_statistics.h"
+#include "core/split.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+using condensa::Rng;
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+
+namespace {
+
+// Draws a 2-d point cloud of the named shape, elongated along x.
+std::vector<Vector> MakeCloud(const std::string& shape, std::size_t n,
+                              Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = 0.0;
+    if (shape == "uniform") {
+      x = rng.Uniform(-5.0, 5.0);
+    } else if (shape == "gaussian") {
+      x = rng.Gaussian(0.0, 3.0);
+    } else if (shape == "bimodal") {
+      x = rng.Gaussian(rng.Bernoulli(0.5) ? -4.0 : 4.0, 1.0);
+    }
+    points.push_back(Vector{x, rng.Gaussian(0.0, 0.4)});
+  }
+  return points;
+}
+
+struct Drift {
+  double centroid = 0.0;   // ‖predicted − actual child centroid‖
+  double variance = 0.0;   // relative error of leading child variance
+};
+
+Drift MeasureSplitDrift(const std::vector<Vector>& points) {
+  GroupStatistics group(2);
+  for (const Vector& p : points) group.Add(p);
+
+  auto split = condensa::core::SplitGroupStatistics(group);
+  CONDENSA_CHECK(split.ok());
+
+  // Ground truth: cut the raw points at the centroid along e1.
+  auto eigen =
+      condensa::linalg::CovarianceEigenDecomposition(group.Covariance());
+  CONDENSA_CHECK(eigen.ok());
+  Vector e1 = eigen->Eigenvector(0);
+  Vector centroid = group.Centroid();
+  std::vector<Vector> lower, upper;
+  for (const Vector& p : points) {
+    (condensa::linalg::Dot(p - centroid, e1) < 0.0 ? lower : upper)
+        .push_back(p);
+  }
+  CONDENSA_CHECK(!lower.empty());
+  CONDENSA_CHECK(!upper.empty());
+
+  Vector actual_lower_mean = condensa::linalg::MeanVector(lower);
+  Vector actual_upper_mean = condensa::linalg::MeanVector(upper);
+  double actual_var_lower =
+      condensa::linalg::CovarianceEigenDecomposition(
+          condensa::linalg::CovarianceMatrix(lower))
+          ->eigenvalues[0];
+
+  Drift drift;
+  drift.centroid = 0.5 * (condensa::linalg::Distance(
+                              split->lower.Centroid(), actual_lower_mean) +
+                          condensa::linalg::Distance(
+                              split->upper.Centroid(), actual_upper_mean));
+  double predicted_var =
+      condensa::linalg::CovarianceEigenDecomposition(
+          split->lower.Covariance())
+          ->eigenvalues[0];
+  drift.variance =
+      std::abs(predicted_var - actual_var_lower) /
+      std::max(actual_var_lower, 1e-12);
+  return drift;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation A2: uniform-split approximation quality ===\n");
+  std::printf("(statistics-only split vs actual hyperplane split; lower is "
+              "better)\n\n");
+  std::printf("%10s %8s %18s %20s\n", "shape", "2k", "centroid_drift",
+              "leading_var_rel_err");
+
+  Rng rng(7);
+  for (const char* shape : {"uniform", "gaussian", "bimodal"}) {
+    for (std::size_t n : {10u, 40u, 160u, 640u}) {
+      Drift total;
+      constexpr int kTrials = 20;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Drift drift = MeasureSplitDrift(MakeCloud(shape, n, rng));
+        total.centroid += drift.centroid;
+        total.variance += drift.variance;
+      }
+      std::printf("%10s %8zu %18.4f %20.4f\n", shape, n,
+                  total.centroid / kTrials, total.variance / kTrials);
+    }
+  }
+  std::printf(
+      "\nExpected shape: drift is smallest when the group really is\n"
+      "uniform, moderate for Gaussian groups, largest for bimodal ones;\n"
+      "within a shape the drift stabilizes as the group grows (the paper's\n"
+      "argument that tiny groups make the approximation noisy).\n\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation A10: the paper's Figure 3 pseudocode, taken literally.
+//
+// The paper's split assigns `Fs(M1) = Fs(M)/n(M) ± e₁·sqrt(12 λ₁)/4` — a
+// centroid-scale value written into the sum-scale field — and then feeds
+// those Fs values into Eq. 3. Implemented verbatim (SplitRule::
+// kPaperVerbatim) that error compounds over the stream; our default
+// implementation (kMomentConsistent) fixes the units so merging the two
+// halves reproduces the parent's moments exactly.
+//
+// This bench runs dynamic condensation with both rules and reproduces the
+// paper's anomaly: with the verbatim rule, dynamic μ collapses at small
+// group sizes (the paper reports 0.65-0.75 on two datasets) and recovers
+// as k grows; with the consistent rule μ stays near the static level
+// everywhere.
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+
+using condensa::Rng;
+using condensa::core::SplitRule;
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset =
+      condensa::datagen::MakeIonosphere(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+
+  std::printf("=== Ablation A10: dynamic mu under the paper's verbatim "
+              "Fig. 3 split vs the moment-consistent fix (Ionosphere) ===\n\n");
+  std::printf("%6s %18s %18s\n", "k", "mu(consistent)", "mu(verbatim)");
+
+  for (std::size_t k : {2u, 3u, 5u, 10u, 20u, 40u}) {
+    double mu_rule[2] = {0.0, 0.0};
+    constexpr int kTrials = 3;
+    int rule_index = 0;
+    for (SplitRule rule :
+         {SplitRule::kMomentConsistent, SplitRule::kPaperVerbatim}) {
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng trial_rng(100 + trial);
+        condensa::core::CondensationEngine engine(
+            {.group_size = k,
+             .mode = condensa::core::CondensationMode::kDynamic,
+             .bootstrap_fraction = 0.05,
+             .split_rule = rule});
+        auto result = engine.Anonymize(train, trial_rng);
+        CONDENSA_CHECK(result.ok());
+        auto mu = condensa::metrics::CovarianceCompatibility(
+            train, result->anonymized);
+        CONDENSA_CHECK(mu.ok());
+        mu_rule[rule_index] += *mu / kTrials;
+      }
+      ++rule_index;
+    }
+    std::printf("%6zu %18.4f %18.4f\n", k, mu_rule[0], mu_rule[1]);
+  }
+
+  std::printf(
+      "\nExpected shape: the verbatim rule visibly degrades mu at every k\n"
+      "while the consistent rule stays near the static level. Mechanism:\n"
+      "storing the centroid into the sum field shrinks every post-split\n"
+      "group centroid by 1/k (the group covariance survives, the between-\n"
+      "group structure collapses), which is the flavour of damage behind\n"
+      "the 0.65-0.75 dynamic-mu dips the paper reports on two datasets —\n"
+      "the exact magnitude is data- and pipeline-dependent.\n\n");
+  return 0;
+}

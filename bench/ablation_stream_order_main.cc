@@ -1,0 +1,109 @@
+// Ablation A4: stream-order sensitivity of dynamic condensation (paper
+// Section 3).
+//
+// DynamicGroupMaintenance assigns each arrival to the nearest existing
+// centroid, so the group structure depends on arrival order. This bench
+// streams the same dataset in three orders — shuffled (the i.i.d. stream
+// the paper evaluates), sorted by the first attribute (maximally
+// adversarial drift), and class-blocked (one class at a time) — and
+// reports the resulting structure quality.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+using condensa::Rng;
+using condensa::data::Dataset;
+
+namespace {
+
+Dataset Reorder(const Dataset& dataset, const std::string& order, Rng& rng) {
+  std::vector<std::size_t> indices(dataset.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  if (order == "shuffled") {
+    rng.Shuffle(indices);
+  } else if (order == "sorted") {
+    std::sort(indices.begin(), indices.end(),
+              [&dataset](std::size_t a, std::size_t b) {
+                return dataset.record(a)[0] < dataset.record(b)[0];
+              });
+  } else if (order == "class-blocked") {
+    std::stable_sort(indices.begin(), indices.end(),
+                     [&dataset](std::size_t a, std::size_t b) {
+                       return dataset.label(a) < dataset.label(b);
+                     });
+  }
+  return dataset.Select(indices);
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(42);
+  Dataset dataset = condensa::datagen::MakePima(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  Dataset train = scaler.TransformDataset(split->train);
+  Dataset test = scaler.TransformDataset(split->test);
+
+  std::printf("=== Ablation A4: dynamic condensation vs stream order "
+              "(Pima, k = 20) ===\n\n");
+  std::printf("%14s %10s %12s %16s\n", "order", "mu", "knn_acc",
+              "achieved_k");
+
+  for (const char* order_name : {"shuffled", "sorted", "class-blocked"}) {
+    const std::string order(order_name);
+    double mu_total = 0.0, accuracy_total = 0.0;
+    std::size_t achieved_min = static_cast<std::size_t>(-1);
+    constexpr int kTrials = 3;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng trial_rng(100 + trial);
+      Dataset ordered = Reorder(train, order, trial_rng);
+      // shuffle_stream=false so the engine preserves our arrival order.
+      condensa::core::CondensationEngine engine(
+          {.group_size = 20,
+           .mode = condensa::core::CondensationMode::kDynamic,
+           .bootstrap_fraction = 0.25,
+           .shuffle_stream = false});
+      auto result = engine.Anonymize(ordered, trial_rng);
+      CONDENSA_CHECK(result.ok());
+
+      auto mu = condensa::metrics::CovarianceCompatibility(
+          train, result->anonymized);
+      CONDENSA_CHECK(mu.ok());
+      mu_total += *mu;
+
+      condensa::mining::KnnClassifier knn({.k = 1});
+      CONDENSA_CHECK(knn.Fit(result->anonymized).ok());
+      auto accuracy = condensa::mining::EvaluateAccuracy(knn, test);
+      CONDENSA_CHECK(accuracy.ok());
+      accuracy_total += *accuracy;
+      achieved_min = std::min(achieved_min,
+                              result->AchievedIndistinguishability());
+    }
+    std::printf("%14s %10.4f %12.4f %16zu\n", order.c_str(),
+                mu_total / kTrials, accuracy_total / kTrials, achieved_min);
+  }
+
+  std::printf(
+      "\nExpected shape: shuffled streams behave like the paper's i.i.d.\n"
+      "setting; sorted and class-blocked streams stress the\n"
+      "nearest-centroid assignment, costing some mu/accuracy but never\n"
+      "breaking the k-indistinguishability floor.\n\n");
+  return 0;
+}

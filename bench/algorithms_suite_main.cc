@@ -1,0 +1,181 @@
+// Algorithm-suite bench: the paper's headline claim, quantified across
+// FOUR different off-the-shelf algorithms.
+//
+// "Since the method re-generates multi-dimensional data records, existing
+// data mining algorithms do not need to be modified" (paper Section 5).
+// This bench trains 1-NN, 5-NN, Gaussian naive Bayes, an axis-parallel
+// CART tree, and an oblique (multivariate) CART tree — all unchanged — on
+// (a) the raw training data and (b) a k=25 condensation release, and
+// reports both accuracies side by side. It also mines association rules
+// from both datasets and reports rule-set overlap.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "mining/apriori.h"
+#include "mining/decision_tree.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+#include "mining/mixture_classifier.h"
+#include "mining/naive_bayes.h"
+#include "mining/nearest_centroid.h"
+
+using condensa::Rng;
+
+namespace {
+
+double Accuracy(condensa::mining::Classifier& model,
+                const condensa::data::Dataset& train,
+                const condensa::data::Dataset& test) {
+  CONDENSA_CHECK(model.Fit(train).ok());
+  auto accuracy = condensa::mining::EvaluateAccuracy(model, test);
+  CONDENSA_CHECK(accuracy.ok());
+  return *accuracy;
+}
+
+// Canonical text form of a rule for set comparison.
+std::string RuleKey(const condensa::mining::AssociationRule& rule) {
+  std::string key;
+  for (auto item : rule.antecedent) key += std::to_string(item) + ",";
+  key += "=>";
+  for (auto item : rule.consequent) key += std::to_string(item) + ",";
+  return key;
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(42);
+  condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
+
+  Rng rng(43);
+  auto split = condensa::data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  condensa::data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  condensa::data::Dataset train = scaler.TransformDataset(split->train);
+  condensa::data::Dataset test = scaler.TransformDataset(split->test);
+
+  condensa::core::CondensationEngine engine({.group_size = 25});
+  auto pools = engine.Condense(train, rng);
+  CONDENSA_CHECK(pools.ok());
+  auto release = condensa::core::GenerateRelease(*pools, rng);
+  CONDENSA_CHECK(release.ok());
+  const condensa::data::Dataset& anonymized = release->anonymized;
+
+  std::printf("=== Algorithm suite on raw vs condensed data "
+              "(Pima, k = 25) ===\n\n");
+  std::printf("%24s %12s %14s\n", "algorithm", "raw_acc", "condensed_acc");
+
+  {
+    condensa::mining::KnnClassifier a({.k = 1}), b({.k = 1});
+    std::printf("%24s %12.4f %14.4f\n", "1-NN", Accuracy(a, train, test),
+                Accuracy(b, anonymized, test));
+  }
+  {
+    condensa::mining::KnnClassifier a({.k = 5}), b({.k = 5});
+    std::printf("%24s %12.4f %14.4f\n", "5-NN", Accuracy(a, train, test),
+                Accuracy(b, anonymized, test));
+  }
+  {
+    condensa::mining::GaussianNaiveBayes a, b;
+    std::printf("%24s %12.4f %14.4f\n", "gaussian naive bayes",
+                Accuracy(a, train, test), Accuracy(b, anonymized, test));
+  }
+  {
+    condensa::mining::NearestCentroidClassifier a, b;
+    std::printf("%24s %12.4f %14.4f\n", "nearest centroid",
+                Accuracy(a, train, test), Accuracy(b, anonymized, test));
+  }
+  {
+    condensa::mining::DecisionTreeClassifier a({.max_depth = 6});
+    condensa::mining::DecisionTreeClassifier b({.max_depth = 6});
+    std::printf("%24s %12.4f %14.4f\n", "CART (axis-parallel)",
+                Accuracy(a, train, test), Accuracy(b, anonymized, test));
+  }
+  {
+    condensa::mining::DecisionTreeClassifier a(
+        {.max_depth = 6, .use_oblique_splits = true});
+    condensa::mining::DecisionTreeClassifier b(
+        {.max_depth = 6, .use_oblique_splits = true});
+    std::printf("%24s %12.4f %14.4f\n", "CART (oblique / LDA)",
+                Accuracy(a, train, test), Accuracy(b, anonymized, test));
+  }
+
+  {
+    // Statistics-native: classify from the retained aggregates directly,
+    // skipping regeneration entirely.
+    condensa::mining::CondensedMixtureClassifier mixture;
+    CONDENSA_CHECK(mixture.Fit(*pools).ok());
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      if (mixture.Predict(test.record(i)) == test.label(i)) ++correct;
+    }
+    std::printf("%24s %12s %14.4f\n", "mixture (stats-native)", "-",
+                static_cast<double>(correct) /
+                    static_cast<double>(test.size()));
+  }
+
+  // Association rules: mine both datasets, compare the rule sets.
+  condensa::mining::AprioriOptions apriori_options;
+  apriori_options.min_support = 0.2;
+  apriori_options.min_confidence = 0.6;
+  apriori_options.max_itemset_size = 3;
+
+  // One shared grid (the raw data's bounds) so rule identities are
+  // comparable across the two datasets.
+  condensa::linalg::Vector lower = train.record(0);
+  condensa::linalg::Vector upper = train.record(0);
+  for (const auto& record : train.records()) {
+    for (std::size_t j = 0; j < train.dim(); ++j) {
+      lower[j] = std::min(lower[j], record[j]);
+      upper[j] = std::max(upper[j], record[j]);
+    }
+  }
+  auto raw_tx =
+      condensa::mining::DiscretizeToTransactions(train, 3, lower, upper);
+  auto anon_tx = condensa::mining::DiscretizeToTransactions(anonymized, 3,
+                                                            lower, upper);
+  CONDENSA_CHECK(raw_tx.ok());
+  CONDENSA_CHECK(anon_tx.ok());
+  auto raw_rules =
+      condensa::mining::MineAssociationRules(*raw_tx, apriori_options);
+  auto anon_rules =
+      condensa::mining::MineAssociationRules(*anon_tx, apriori_options);
+  CONDENSA_CHECK(raw_rules.ok());
+  CONDENSA_CHECK(anon_rules.ok());
+
+  std::set<std::string> raw_set, anon_set;
+  for (const auto& rule : raw_rules->rules) raw_set.insert(RuleKey(rule));
+  for (const auto& rule : anon_rules->rules) anon_set.insert(RuleKey(rule));
+  std::size_t common = 0;
+  for (const std::string& key : raw_set) {
+    if (anon_set.count(key) > 0) ++common;
+  }
+  double jaccard =
+      raw_set.empty() && anon_set.empty()
+          ? 1.0
+          : static_cast<double>(common) /
+                static_cast<double>(raw_set.size() + anon_set.size() - common);
+
+  std::printf("\n--- association rules (Apriori, 3 bins/attribute, "
+              "support>=0.2, conf>=0.6) ---\n");
+  std::printf("rules on raw data      : %zu\n", raw_set.size());
+  std::printf("rules on condensed data: %zu\n", anon_set.size());
+  std::printf("common rules           : %zu (Jaccard %.3f)\n", common,
+              jaccard);
+
+  std::printf(
+      "\nExpected shape: every algorithm's condensed-data accuracy lands\n"
+      "within a few points of its raw-data accuracy, and the bulk of the\n"
+      "mined rules coincide — no algorithm was modified for privacy.\n\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces paper Figure 5: classifier accuracy (a) and covariance
+// compatibility (b) on the Ionosphere profile as the average group size
+// varies.
+
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  condensa::bench::FigureConfig config;
+  config.profile = "ionosphere";
+  config.title = "Figure 5 - Ionosphere (351 x 34, 2 classes)";
+  // 351 records: cap the sweep below the dataset size per class.
+  config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75};
+  return condensa::bench::FigureBenchMain(config, argc, argv);
+}

@@ -1,0 +1,13 @@
+// Reproduces paper Figure 6: classifier accuracy (a) and covariance
+// compatibility (b) on the Ecoli profile (8 heavily imbalanced classes).
+
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  condensa::bench::FigureConfig config;
+  config.profile = "ecoli";
+  config.title = "Figure 6 - Ecoli (336 x 7, 8 classes)";
+  // 336 records across 8 classes; the largest class holds ~143 records.
+  config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50};
+  return condensa::bench::FigureBenchMain(config, argc, argv);
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 7: classifier accuracy (a) and covariance
+// compatibility (b) on the Pima Indian profile.
+
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  condensa::bench::FigureConfig config;
+  config.profile = "pima";
+  config.title = "Figure 7 - Pima Indian (768 x 8, 2 classes)";
+  config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100};
+  return condensa::bench::FigureBenchMain(config, argc, argv);
+}

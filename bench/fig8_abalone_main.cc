@@ -1,0 +1,14 @@
+// Reproduces paper Figure 8: within-one-year regression accuracy (a) and
+// covariance compatibility (b) on the Abalone profile.
+
+#include "bench/figure_common.h"
+
+int main(int argc, char** argv) {
+  condensa::bench::FigureConfig config;
+  config.profile = "abalone";
+  config.title = "Figure 8 - Abalone (4177 x 7, regression)";
+  config.regression = true;
+  config.tolerance = 1.0;  // "within an accuracy of less than one year"
+  config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100};
+  return condensa::bench::FigureBenchMain(config, argc, argv);
+}

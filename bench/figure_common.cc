@@ -1,0 +1,209 @@
+#include "bench/figure_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+namespace condensa::bench {
+namespace {
+
+struct TrialOutcome {
+  double accuracy_static = 0.0;
+  double accuracy_dynamic = 0.0;
+  double accuracy_original = 0.0;
+  double mu_static = 0.0;
+  double mu_dynamic = 0.0;
+  double average_group_size = 0.0;
+};
+
+// Accuracy of a 1-NN model trained on `train`, scored on `test`.
+double Score(const data::Dataset& train, const data::Dataset& test,
+             bool regression, double tolerance) {
+  if (regression) {
+    mining::KnnRegressor regressor({.k = 1});
+    CONDENSA_CHECK(regressor.Fit(train).ok());
+    auto accuracy = mining::EvaluateWithinTolerance(regressor, test, tolerance);
+    CONDENSA_CHECK(accuracy.ok());
+    return *accuracy;
+  }
+  mining::KnnClassifier classifier({.k = 1});
+  CONDENSA_CHECK(classifier.Fit(train).ok());
+  auto accuracy = mining::EvaluateAccuracy(classifier, test);
+  CONDENSA_CHECK(accuracy.ok());
+  return *accuracy;
+}
+
+TrialOutcome RunTrial(const FigureConfig& config, std::size_t k,
+                      std::uint64_t trial_seed) {
+  Rng rng(trial_seed);
+  datagen::ProfileOptions profile_options;
+  profile_options.size_factor = config.size_factor;
+  auto dataset =
+      datagen::MakeProfileByName(config.profile, rng, profile_options);
+  CONDENSA_CHECK(dataset.ok());
+
+  auto split = data::SplitTrainTest(*dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  data::Dataset train = scaler.TransformDataset(split->train);
+  data::Dataset test = scaler.TransformDataset(split->test);
+
+  TrialOutcome outcome;
+  outcome.accuracy_original =
+      Score(train, test, config.regression, config.tolerance);
+
+  // Static condensation.
+  core::CondensationEngine static_engine(
+      {.group_size = k, .mode = core::CondensationMode::kStatic});
+  auto static_result = static_engine.Anonymize(train, rng);
+  CONDENSA_CHECK(static_result.ok());
+  outcome.accuracy_static = Score(static_result->anonymized, test,
+                                  config.regression, config.tolerance);
+  auto mu_static =
+      metrics::CovarianceCompatibility(train, static_result->anonymized);
+  CONDENSA_CHECK(mu_static.ok());
+  outcome.mu_static = *mu_static;
+  outcome.average_group_size = static_result->AverageGroupSize();
+
+  // Dynamic condensation: a small static prefix (the paper's initial
+  // database D), then the remaining ~95% arrive as a shuffled stream.
+  core::CondensationEngine dynamic_engine(
+      {.group_size = k,
+       .mode = core::CondensationMode::kDynamic,
+       .bootstrap_fraction = 0.05});
+  auto dynamic_result = dynamic_engine.Anonymize(train, rng);
+  CONDENSA_CHECK(dynamic_result.ok());
+  outcome.accuracy_dynamic = Score(dynamic_result->anonymized, test,
+                                   config.regression, config.tolerance);
+  auto mu_dynamic =
+      metrics::CovarianceCompatibility(train, dynamic_result->anonymized);
+  CONDENSA_CHECK(mu_dynamic.ok());
+  outcome.mu_dynamic = *mu_dynamic;
+  return outcome;
+}
+
+}  // namespace
+
+std::vector<FigureRow> RunFigureSweep(const FigureConfig& config) {
+  std::vector<FigureRow> rows;
+  for (std::size_t k : config.group_sizes) {
+    FigureRow row;
+    row.requested_k = k;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      // Trial seeds are independent of k so every sweep point sees the
+      // same data draws and the "original" series is the paper's flat
+      // horizontal baseline.
+      TrialOutcome outcome = RunTrial(config, k, config.seed + 7919 * trial);
+      row.average_group_size += outcome.average_group_size;
+      row.accuracy_static += outcome.accuracy_static;
+      row.accuracy_dynamic += outcome.accuracy_dynamic;
+      row.accuracy_original += outcome.accuracy_original;
+      row.mu_static += outcome.mu_static;
+      row.mu_dynamic += outcome.mu_dynamic;
+    }
+    const double t = static_cast<double>(config.trials);
+    row.average_group_size /= t;
+    row.accuracy_static /= t;
+    row.accuracy_dynamic /= t;
+    row.accuracy_original /= t;
+    row.mu_static /= t;
+    row.mu_dynamic /= t;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+int FigureBenchMain(FigureConfig config, int argc, char** argv) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (StartsWith(arg, "--trials=")) {
+      int trials = 0;
+      if (!ParseInt(arg.substr(strlen("--trials=")), &trials) || trials < 1) {
+        std::fprintf(stderr, "bad --trials value\n");
+        return 2;
+      }
+      config.trials = static_cast<std::size_t>(trials);
+    } else if (StartsWith(arg, "--size-factor=")) {
+      double factor = 0.0;
+      if (!ParseDouble(arg.substr(strlen("--size-factor=")), &factor) ||
+          factor <= 0.0) {
+        std::fprintf(stderr, "bad --size-factor value\n");
+        return 2;
+      }
+      config.size_factor = factor;
+    } else if (StartsWith(arg, "--seed=")) {
+      int seed = 0;
+      if (!ParseInt(arg.substr(strlen("--seed=")), &seed)) {
+        std::fprintf(stderr, "bad --seed value\n");
+        return 2;
+      }
+      config.seed = static_cast<std::uint64_t>(seed);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--csv] [--trials=N] [--size-factor=X] "
+                   "[--seed=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Timer timer;
+  std::vector<FigureRow> rows = RunFigureSweep(config);
+
+  if (csv) {
+    std::printf(
+        "k,avg_group_size,accuracy_static,accuracy_dynamic,"
+        "accuracy_original,mu_static,mu_dynamic\n");
+    for (const FigureRow& row : rows) {
+      std::printf("%zu,%.3f,%.4f,%.4f,%.4f,%.4f,%.4f\n", row.requested_k,
+                  row.average_group_size, row.accuracy_static,
+                  row.accuracy_dynamic, row.accuracy_original, row.mu_static,
+                  row.mu_dynamic);
+    }
+    return 0;
+  }
+
+  const char* accuracy_label =
+      config.regression ? "within-1-year accuracy" : "classification accuracy";
+  std::printf("=== %s ===\n", config.title.c_str());
+  std::printf("profile=%s  trials=%zu  size_factor=%.2f  seed=%llu\n\n",
+              config.profile.c_str(), config.trials, config.size_factor,
+              static_cast<unsigned long long>(config.seed));
+
+  std::printf("--- panel (a): %s vs average group size ---\n",
+              accuracy_label);
+  std::printf("%6s %10s %10s %10s %10s\n", "k", "avg|G|", "static", "dynamic",
+              "original");
+  for (const FigureRow& row : rows) {
+    std::printf("%6zu %10.2f %10.4f %10.4f %10.4f\n", row.requested_k,
+                row.average_group_size, row.accuracy_static,
+                row.accuracy_dynamic, row.accuracy_original);
+  }
+
+  std::printf(
+      "\n--- panel (b): covariance compatibility coefficient (mu) ---\n");
+  std::printf("%6s %10s %10s %10s\n", "k", "avg|G|", "static", "dynamic");
+  for (const FigureRow& row : rows) {
+    std::printf("%6zu %10.2f %10.4f %10.4f\n", row.requested_k,
+                row.average_group_size, row.mu_static, row.mu_dynamic);
+  }
+  std::printf("\nelapsed: %.1fs\n\n", timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace condensa::bench

@@ -1,0 +1,58 @@
+// Shared harness for reproducing the paper's figures (5-8).
+//
+// Each figure bench sweeps the condensation group size k on one dataset
+// profile and reports, per sweep point, exactly the series the paper
+// plots: classification (or within-one-year) accuracy for static
+// condensation, dynamic condensation, and the original data, plus the
+// covariance compatibility coefficient μ for static and dynamic.
+
+#ifndef CONDENSA_BENCH_FIGURE_COMMON_H_
+#define CONDENSA_BENCH_FIGURE_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace condensa::bench {
+
+struct FigureConfig {
+  // datagen profile name: "ionosphere", "ecoli", "pima", "abalone".
+  std::string profile;
+  // Display title, e.g. "Figure 5 - Ionosphere".
+  std::string title;
+  // Regression profiles score with |prediction - target| <= tolerance.
+  bool regression = false;
+  double tolerance = 1.0;
+  // The k values swept (k = 1 anchors static condensation at the original
+  // data).
+  std::vector<std::size_t> group_sizes =
+      {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100};
+  // Independent trials averaged per sweep point.
+  std::size_t trials = 3;
+  std::uint64_t seed = 42;
+  // Scales the profile's record counts (1.0 = paper-sized).
+  double size_factor = 1.0;
+};
+
+// One row of the sweep output.
+struct FigureRow {
+  std::size_t requested_k = 0;
+  double average_group_size = 0.0;  // the paper's X axis
+  double accuracy_static = 0.0;     // panel (a) series
+  double accuracy_dynamic = 0.0;
+  double accuracy_original = 0.0;
+  double mu_static = 0.0;           // panel (b) series
+  double mu_dynamic = 0.0;
+};
+
+// Runs the sweep and returns one row per group size.
+std::vector<FigureRow> RunFigureSweep(const FigureConfig& config);
+
+// Full bench entry point: parses --csv / --trials=N / --size-factor=X,
+// runs the sweep, prints panel (a) and panel (b). Returns the process
+// exit code.
+int FigureBenchMain(FigureConfig config, int argc, char** argv);
+
+}  // namespace condensa::bench
+
+#endif  // CONDENSA_BENCH_FIGURE_COMMON_H_

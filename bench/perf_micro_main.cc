@@ -1,0 +1,202 @@
+// P1-P4: google-benchmark microbenchmarks for the computational kernels —
+// the Jacobi eigensolver, static condensation, dynamic ingest, anonymized
+// data generation, and nearest-neighbour search.
+
+#include <benchmark/benchmark.h>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/dynamic_condenser.h"
+#include "core/split.h"
+#include "core/static_condenser.h"
+#include "datagen/random_covariance.h"
+#include "index/kdtree.h"
+#include "linalg/eigen.h"
+#include "mining/knn.h"
+
+namespace {
+
+using condensa::Rng;
+using condensa::linalg::Vector;
+
+std::vector<Vector> MakeCloud(std::size_t n, std::size_t dim,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// P1: Jacobi eigendecomposition vs matrix dimension.
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  condensa::linalg::Matrix cov = condensa::datagen::RandomCovariance(
+      condensa::datagen::GeometricSpectrum(dim, 4.0, 0.8), rng);
+  for (auto _ : state) {
+    auto result = condensa::linalg::JacobiEigenDecomposition(cov);
+    CONDENSA_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->eigenvalues);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JacobiEigen)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+
+// P2: static condensation vs dataset size (k = 20, d = 8).
+void BM_StaticCondense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 2);
+  condensa::core::StaticCondenser condenser({.group_size = 20});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto groups = condenser.Condense(points, rng);
+    CONDENSA_CHECK(groups.ok());
+    benchmark::DoNotOptimize(groups->num_groups());
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StaticCondense)
+    ->RangeMultiplier(2)
+    ->Range(256, 4096)
+    ->Complexity();
+
+// P2b: static condensation vs group size (n = 2048, d = 8).
+void BM_StaticCondenseByK(benchmark::State& state) {
+  std::vector<Vector> points = MakeCloud(2048, 8, 4);
+  condensa::core::StaticCondenser condenser(
+      {.group_size = static_cast<std::size_t>(state.range(0))});
+  Rng rng(5);
+  for (auto _ : state) {
+    auto groups = condenser.Condense(points, rng);
+    CONDENSA_CHECK(groups.ok());
+    benchmark::DoNotOptimize(groups->num_groups());
+  }
+}
+BENCHMARK(BM_StaticCondenseByK)->RangeMultiplier(4)->Range(2, 512);
+
+// P3: dynamic ingest throughput (records/s through Insert, k = 20).
+void BM_DynamicInsert(benchmark::State& state) {
+  std::vector<Vector> stream = MakeCloud(4096, 8, 6);
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    condensa::core::DynamicCondenser condenser(8, {.group_size = 20});
+    std::vector<Vector> bootstrap(stream.begin(), stream.begin() + 256);
+    CONDENSA_CHECK(condenser.Bootstrap(bootstrap, rng).ok());
+    state.ResumeTiming();
+    for (std::size_t i = 256; i < stream.size(); ++i) {
+      CONDENSA_CHECK(condenser.Insert(stream[i]).ok());
+    }
+    benchmark::DoNotOptimize(condenser.groups().num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(stream.size() - 256));
+}
+BENCHMARK(BM_DynamicInsert);
+
+// P3c: deletion throughput (Remove with re-merge bookkeeping, k = 20).
+void BM_DynamicRemove(benchmark::State& state) {
+  std::vector<Vector> stream = MakeCloud(2048, 8, 14);
+  Rng rng(15);
+  for (auto _ : state) {
+    state.PauseTiming();
+    condensa::core::DynamicCondenser condenser(8, {.group_size = 20});
+    CONDENSA_CHECK(condenser.Bootstrap(stream, rng).ok());
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < 1024; ++i) {
+      CONDENSA_CHECK(condenser.Remove(stream[i]).ok());
+    }
+    benchmark::DoNotOptimize(condenser.groups().num_groups());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DynamicRemove);
+
+// P3b: one statistics-only group split.
+void BM_SplitGroupStatistics(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(40, dim, 8);
+  condensa::core::GroupStatistics group(dim);
+  for (const Vector& p : points) group.Add(p);
+  for (auto _ : state) {
+    auto split = condensa::core::SplitGroupStatistics(group);
+    CONDENSA_CHECK(split.ok());
+    benchmark::DoNotOptimize(split->lower.count());
+  }
+}
+BENCHMARK(BM_SplitGroupStatistics)->RangeMultiplier(2)->Range(2, 64);
+
+// P4: anonymized-record generation rate from one group.
+void BM_AnonymizeGeneration(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(50, dim, 9);
+  condensa::core::GroupStatistics group(dim);
+  for (const Vector& p : points) group.Add(p);
+  condensa::core::Anonymizer anonymizer;
+  Rng rng(10);
+  for (auto _ : state) {
+    auto generated = anonymizer.GenerateFromGroup(group, 50, rng);
+    CONDENSA_CHECK(generated.ok());
+    benchmark::DoNotOptimize(generated->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_AnonymizeGeneration)->RangeMultiplier(2)->Range(2, 64);
+
+// P5: k-d tree build cost vs point count (d = 8).
+void BM_KdTreeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 12);
+  for (auto _ : state) {
+    auto tree = condensa::index::KdTree::Build(points);
+    CONDENSA_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KdTreeBuild)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// P5b: k-d tree 5-NN query vs brute force at matching sizes (d = 8).
+void BM_KdTreeQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 13);
+  auto tree = condensa::index::KdTree::Build(points);
+  CONDENSA_CHECK(tree.ok());
+  Vector query(8, 0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->KNearest(query, 5));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KdTreeQuery)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+// P4b: 1-NN query cost against a released dataset.
+void BM_KnnPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 11);
+  condensa::data::Dataset train(8, condensa::data::TaskType::kClassification);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    train.Add(points[i], static_cast<int>(i % 2));
+  }
+  condensa::mining::KnnClassifier knn({.k = 1});
+  CONDENSA_CHECK(knn.Fit(train).ok());
+  Vector query(8, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.Predict(query));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KnnPredict)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

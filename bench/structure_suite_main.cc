@@ -1,0 +1,174 @@
+// Structure-analysis suite: second-order analyses on raw vs condensed data.
+//
+// Complements the classifier suite: these analyses consume covariance
+// structure directly, which is exactly what condensation claims to
+// preserve (and what per-dimension perturbation and centroid-collapsing
+// k-anonymity lose):
+//   * PCA      — principal-subspace affinity between raw and release fits,
+//   * OLS      — linear-regression coefficient drift on a regression task,
+//   * DBSCAN   — density-cluster agreement (ARI) on the raw records.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "index/kdtree.h"
+#include "datagen/profiles.h"
+#include "linalg/pca.h"
+#include "metrics/clustering.h"
+#include "mining/dbscan.h"
+#include "mining/linear_regression.h"
+
+using condensa::Rng;
+using condensa::linalg::Vector;
+
+int main() {
+  std::printf("=== Structure suite: second-order analyses on raw vs "
+              "condensed data ===\n\n");
+
+  // --- PCA subspace preservation (Ionosphere profile) -------------------
+  {
+    Rng rng(42);
+    condensa::data::Dataset dataset = condensa::datagen::MakeIonosphere(rng);
+    auto raw_pca = condensa::linalg::ComputePca(dataset.records());
+    CONDENSA_CHECK(raw_pca.ok());
+
+    std::printf("--- PCA: leading-subspace affinity, raw vs release "
+                "(Ionosphere, 34 dims) ---\n");
+    std::printf("%6s %14s %14s %14s\n", "k", "top-1", "top-3", "top-5");
+    for (std::size_t k : {5u, 15u, 30u, 60u}) {
+      condensa::core::CondensationEngine engine({.group_size = k});
+      auto release = engine.Anonymize(dataset, rng);
+      CONDENSA_CHECK(release.ok());
+      auto release_pca =
+          condensa::linalg::ComputePca(release->anonymized.records());
+      CONDENSA_CHECK(release_pca.ok());
+      double affinity[3];
+      std::size_t idx = 0;
+      for (std::size_t count : {1u, 3u, 5u}) {
+        auto a = condensa::linalg::PrincipalSubspaceAffinity(
+            *raw_pca, *release_pca, count);
+        CONDENSA_CHECK(a.ok());
+        affinity[idx++] = *a;
+      }
+      std::printf("%6zu %14.4f %14.4f %14.4f\n", k, affinity[0], affinity[1],
+                  affinity[2]);
+    }
+  }
+
+  // --- Linear regression coefficient drift (Abalone profile) ------------
+  {
+    Rng rng(43);
+    condensa::datagen::ProfileOptions options;
+    options.size_factor = 0.5;
+    condensa::data::Dataset dataset =
+        condensa::datagen::MakeAbalone(rng, options);
+    // Abalone's features are near-collinear by construction, so raw OLS
+    // coefficients are ill-conditioned; a modest ridge stabilizes the
+    // comparison, and prediction drift is the conditioning-free measure.
+    constexpr double kRidge = 0.1;
+    condensa::mining::LinearRegressor raw_model({.ridge = kRidge});
+    CONDENSA_CHECK(raw_model.Fit(dataset).ok());
+
+    std::printf("\n--- ridge regression: model drift vs raw fit (Abalone, "
+                "ridge %.1f) ---\n", kRidge);
+    std::printf("%6s %20s %18s %20s\n", "k", "max |w - w_raw|",
+                "|b - b_raw|", "prediction RMS diff");
+    for (std::size_t k : {5u, 15u, 30u, 60u}) {
+      condensa::core::CondensationEngine engine({.group_size = k});
+      auto release = engine.Anonymize(dataset, rng);
+      CONDENSA_CHECK(release.ok());
+      condensa::mining::LinearRegressor release_model({.ridge = kRidge});
+      CONDENSA_CHECK(release_model.Fit(release->anonymized).ok());
+      double weight_drift = 0.0;
+      for (std::size_t j = 0; j < dataset.dim(); ++j) {
+        weight_drift = std::max(
+            weight_drift, std::abs(release_model.weights()[j] -
+                                   raw_model.weights()[j]));
+      }
+      double prediction_drift = 0.0;
+      for (std::size_t i = 0; i < dataset.size(); ++i) {
+        double diff = release_model.Predict(dataset.record(i)) -
+                      raw_model.Predict(dataset.record(i));
+        prediction_drift += diff * diff;
+      }
+      prediction_drift =
+          std::sqrt(prediction_drift / static_cast<double>(dataset.size()));
+      std::printf("%6zu %20.4f %18.4f %20.4f\n", k, weight_drift,
+                  std::abs(release_model.intercept() -
+                           raw_model.intercept()),
+                  prediction_drift);
+    }
+  }
+
+  // --- DBSCAN density-cluster agreement (two blobs + noise) -------------
+  {
+    Rng rng(44);
+    std::vector<Vector> points;
+    for (int i = 0; i < 250; ++i) {
+      points.push_back(Vector{rng.Gaussian(0.0, 0.4),
+                              rng.Gaussian(0.0, 0.4)});
+      points.push_back(Vector{rng.Gaussian(6.0, 0.4),
+                              rng.Gaussian(6.0, 0.4)});
+    }
+    for (int i = 0; i < 40; ++i) {
+      points.push_back(Vector{rng.Uniform(-4.0, 10.0),
+                              rng.Uniform(-4.0, 10.0)});
+    }
+    condensa::mining::DbscanOptions dbscan_options{.epsilon = 0.5,
+                                                   .min_points = 5};
+    auto raw_clusters = condensa::mining::Dbscan(points, dbscan_options);
+    CONDENSA_CHECK(raw_clusters.ok());
+
+    std::printf("\n--- DBSCAN: clusters found on release and labeling "
+                "agreement on raw records ---\n");
+    std::printf("%6s %10s %12s %12s\n", "k", "clusters", "noise_pts", "ari");
+    for (std::size_t k : {5u, 10u, 20u, 40u}) {
+      condensa::data::Dataset unlabeled(2);
+      for (const Vector& p : points) unlabeled.Add(p);
+      condensa::core::CondensationEngine engine({.group_size = k});
+      auto release = engine.Anonymize(unlabeled, rng);
+      CONDENSA_CHECK(release.ok());
+      auto release_clusters = condensa::mining::Dbscan(
+          release->anonymized.records(), dbscan_options);
+      CONDENSA_CHECK(release_clusters.ok());
+
+      // Label raw records by nearest release record's cluster and
+      // compare against the raw clustering (noise mapped to its own id).
+      auto tree =
+          condensa::index::KdTree::Build(release->anonymized.records());
+      CONDENSA_CHECK(tree.ok());
+      std::vector<std::size_t> raw_labels, transfer_labels;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        std::size_t raw = raw_clusters->assignments[i];
+        std::size_t transferred =
+            release_clusters->assignments[tree->Nearest(points[i])];
+        constexpr std::size_t kNoiseBucket = 1'000'000;
+        raw_labels.push_back(
+            raw == condensa::mining::DbscanResult::kNoise ? kNoiseBucket
+                                                          : raw);
+        transfer_labels.push_back(
+            transferred == condensa::mining::DbscanResult::kNoise
+                ? kNoiseBucket
+                : transferred);
+      }
+      auto ari =
+          condensa::metrics::AdjustedRandIndex(raw_labels, transfer_labels);
+      CONDENSA_CHECK(ari.ok());
+      std::printf("%6zu %10zu %12zu %12.4f\n", k,
+                  release_clusters->num_clusters,
+                  release_clusters->NoiseCount(), *ari);
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: PCA affinity near 1 for the leading subspaces;\n"
+      "regression *predictions* from the release-fitted model within a\n"
+      "small fraction of a year of the raw fit (coefficients themselves\n"
+      "swing more because Abalone's features are near-collinear); DBSCAN\n"
+      "finding the same two dense clusters on the release (high ARI).\n\n");
+  return 0;
+}

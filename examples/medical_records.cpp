@@ -1,0 +1,105 @@
+// Domain scenario: releasing a medical-style dataset for external research.
+//
+// A clinic wants to share patient measurements (the Pima Indian diabetes
+// profile: 8 clinical attributes, diabetic / non-diabetic outcome) with an
+// outside ML team. Raw sharing is off the table; instead the clinic
+// releases condensed-and-regenerated records at k = 30 and writes them to
+// CSV. The example then plays the external team: it loads the CSV with no
+// knowledge of the anonymization, trains two stock models, and reports
+// utility — plus a record-linkage audit of what an adversary holding the
+// release could do.
+//
+// Run: ./build/examples/medical_records
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/csv.h"
+#include "data/split.h"
+#include "datagen/profiles.h"
+#include "metrics/privacy.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+#include "mining/naive_bayes.h"
+
+int main() {
+  using namespace condensa;
+  const std::string release_path = "/tmp/condensa_medical_release.csv";
+
+  // --- Clinic side -------------------------------------------------------
+  Rng rng(11);
+  data::Dataset patients = datagen::MakePima(rng);
+  auto split = data::SplitTrainTest(patients, 0.8, rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "split failed\n");
+    return 1;
+  }
+
+  core::CondensationEngine engine({.group_size = 30});
+  auto release = engine.Anonymize(split->train, rng);
+  if (!release.ok()) {
+    std::fprintf(stderr, "anonymization failed: %s\n",
+                 release.status().ToString().c_str());
+    return 1;
+  }
+  if (!data::WriteCsv(release->anonymized, release_path).ok()) {
+    std::fprintf(stderr, "cannot write release CSV\n");
+    return 1;
+  }
+  std::printf("clinic: released %zu synthetic patient records to %s\n",
+              release->anonymized.size(), release_path.c_str());
+  std::printf("clinic: every record is indistinguishable within a cohort "
+              "of >= %zu patients\n\n",
+              release->AchievedIndistinguishability());
+
+  // --- External research team -------------------------------------------
+  data::CsvReadOptions read_options;
+  read_options.task = data::TaskType::kClassification;
+  auto loaded = data::ReadCsv(release_path, read_options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot read release CSV\n");
+    return 1;
+  }
+  std::printf("research team: loaded %zu records from the release\n",
+              loaded->dataset.size());
+
+  mining::KnnClassifier knn({.k = 5});
+  mining::GaussianNaiveBayes nb;
+  if (!knn.Fit(loaded->dataset).ok() || !nb.Fit(loaded->dataset).ok()) {
+    std::fprintf(stderr, "model fit failed\n");
+    return 1;
+  }
+  auto knn_accuracy = mining::EvaluateAccuracy(knn, split->test);
+  auto nb_accuracy = mining::EvaluateAccuracy(nb, split->test);
+
+  mining::KnnClassifier oracle({.k = 5});
+  if (!oracle.Fit(split->train).ok()) return 1;
+  auto oracle_accuracy = mining::EvaluateAccuracy(oracle, split->test);
+  if (!knn_accuracy.ok() || !nb_accuracy.ok() || !oracle_accuracy.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("research team: 5-NN accuracy on release      = %.3f\n",
+              *knn_accuracy);
+  std::printf("research team: naive Bayes accuracy          = %.3f\n",
+              *nb_accuracy);
+  std::printf("(reference: 5-NN trained on raw data         = %.3f)\n\n",
+              *oracle_accuracy);
+
+  // --- Privacy audit ------------------------------------------------------
+  auto linkage = metrics::EvaluateLinkage(split->train, release->anonymized);
+  auto leakage =
+      metrics::ExactLeakageRate(split->train, release->anonymized, 1e-9);
+  if (!linkage.ok() || !leakage.ok()) {
+    std::fprintf(stderr, "audit failed\n");
+    return 1;
+  }
+  std::printf("audit: nearest released record is %.2fx farther from a "
+              "patient than their nearest real neighbour\n",
+              linkage->distance_gain);
+  std::printf("audit: verbatim record leakage rate = %.4f\n", *leakage);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Privacy-utility frontier audit.
+//
+// Sweeps the indistinguishability level k on one dataset and prints the
+// full trade-off a data owner needs to pick k: privacy (distance gain,
+// verbatim leakage, achieved k) against utility (classification accuracy,
+// covariance compatibility). The paper's qualitative claim — utility decays
+// slowly while privacy grows with k — is visible directly in the table.
+//
+// Run: ./build/examples/privacy_audit [profile]   (default: ecoli)
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "metrics/privacy.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+int main(int argc, char** argv) {
+  using namespace condensa;
+  const std::string profile = argc > 1 ? argv[1] : "ecoli";
+
+  Rng rng(21);
+  auto dataset = datagen::MakeProfileByName(profile, rng);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "unknown profile '%s' (try ionosphere, ecoli, "
+                 "pima)\n",
+                 profile.c_str());
+    return 2;
+  }
+  if (dataset->task() != data::TaskType::kClassification) {
+    std::fprintf(stderr, "this example audits classification profiles\n");
+    return 2;
+  }
+
+  auto split = data::SplitTrainTest(*dataset, 0.75, rng);
+  if (!split.ok()) return 1;
+  data::ZScoreScaler scaler;
+  if (!scaler.Fit(split->train).ok()) return 1;
+  data::Dataset train = scaler.TransformDataset(split->train);
+  data::Dataset test = scaler.TransformDataset(split->test);
+
+  mining::KnnClassifier baseline({.k = 1});
+  if (!baseline.Fit(train).ok()) return 1;
+  auto baseline_accuracy = mining::EvaluateAccuracy(baseline, test);
+  if (!baseline_accuracy.ok()) return 1;
+
+  std::printf("=== privacy/utility audit: %s (%zu records, %zu dims) ===\n",
+              profile.c_str(), dataset->size(), dataset->dim());
+  std::printf("1-NN accuracy on raw data: %.3f\n\n", *baseline_accuracy);
+  std::printf("%6s | %10s %10s | %12s %12s %10s\n", "k", "accuracy", "mu",
+              "dist_gain", "leak_rate", "achieved_k");
+  std::printf("-------+-----------------------+-------------------------"
+              "-----------\n");
+
+  for (std::size_t k : {1u, 2u, 5u, 10u, 20u, 30u, 50u}) {
+    core::CondensationEngine engine({.group_size = k});
+    auto result = engine.Anonymize(train, rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "k=%zu failed: %s\n", k,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    mining::KnnClassifier knn({.k = 1});
+    if (!knn.Fit(result->anonymized).ok()) return 1;
+    auto accuracy = mining::EvaluateAccuracy(knn, test);
+    auto mu = metrics::CovarianceCompatibility(train, result->anonymized);
+    auto linkage = metrics::EvaluateLinkage(train, result->anonymized);
+    auto leak = metrics::ExactLeakageRate(train, result->anonymized, 1e-9);
+    if (!accuracy.ok() || !mu.ok() || !linkage.ok() || !leak.ok()) return 1;
+
+    std::printf("%6zu | %10.3f %10.4f | %12.2f %12.4f %10zu\n", k, *accuracy,
+                *mu, linkage->distance_gain, *leak,
+                result->AchievedIndistinguishability());
+  }
+
+  std::printf("\nReading the table: pick the smallest k whose privacy "
+              "columns satisfy policy;\nutility (accuracy, mu) typically "
+              "stays near the raw-data line well past k=20.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: anonymize a dataset with condensation and mine it unchanged.
+//
+// Demonstrates the core promise of the paper: the anonymized output is an
+// ordinary dataset, so an ordinary k-NN classifier trains on it directly —
+// no privacy-aware algorithm needed.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "data/split.h"
+#include "datagen/profiles.h"
+#include "metrics/compatibility.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+int main() {
+  using namespace condensa;
+
+  // 1. Get a dataset. (Here: the synthetic Ionosphere profile; swap in
+  //    data::ReadCsv for your own file.)
+  Rng rng(2024);
+  data::Dataset dataset = datagen::MakeIonosphere(rng);
+  std::printf("dataset: %zu records, %zu attributes, %zu classes\n",
+              dataset.size(), dataset.dim(), dataset.DistinctLabels().size());
+
+  // 2. Hold out a test set.
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "split failed: %s\n",
+                 split.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Anonymize the training data at indistinguishability level k = 25.
+  core::CondensationEngine engine({.group_size = 25});
+  auto result = engine.Anonymize(split->train, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "anonymization failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("anonymized: %zu records, achieved indistinguishability "
+              "level %zu, average group size %.1f\n",
+              result->anonymized.size(),
+              result->AchievedIndistinguishability(),
+              result->AverageGroupSize());
+
+  // 4. Train a stock 1-NN classifier on the anonymized release and score
+  //    it against a 1-NN trained on the raw data.
+  mining::KnnClassifier on_anonymized({.k = 1});
+  mining::KnnClassifier on_original({.k = 1});
+  if (!on_anonymized.Fit(result->anonymized).ok() ||
+      !on_original.Fit(split->train).ok()) {
+    std::fprintf(stderr, "classifier fit failed\n");
+    return 1;
+  }
+  auto anonymized_accuracy =
+      mining::EvaluateAccuracy(on_anonymized, split->test);
+  auto original_accuracy = mining::EvaluateAccuracy(on_original, split->test);
+  auto mu = metrics::CovarianceCompatibility(split->train,
+                                             result->anonymized);
+  if (!anonymized_accuracy.ok() || !original_accuracy.ok() || !mu.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+
+  std::printf("\n1-NN accuracy on original data : %.3f\n",
+              *original_accuracy);
+  std::printf("1-NN accuracy on anonymized data: %.3f\n",
+              *anonymized_accuracy);
+  std::printf("covariance compatibility (mu)   : %.4f\n", *mu);
+  std::printf("\nThe anonymized release preserves the mining utility while "
+              "every record\nis indistinguishable within a group of >= 25 "
+              "records.\n");
+  return 0;
+}

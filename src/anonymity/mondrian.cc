@@ -1,0 +1,219 @@
+#include "anonymity/mondrian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace condensa::anonymity {
+namespace {
+
+// Bounding box of the listed points.
+void ComputeBounds(const std::vector<linalg::Vector>& points,
+                   const std::vector<std::size_t>& members,
+                   linalg::Vector* lower, linalg::Vector* upper) {
+  const std::size_t d = points.front().dim();
+  *lower = linalg::Vector(d, std::numeric_limits<double>::infinity());
+  *upper = linalg::Vector(d, -std::numeric_limits<double>::infinity());
+  for (std::size_t i : members) {
+    for (std::size_t j = 0; j < d; ++j) {
+      (*lower)[j] = std::min((*lower)[j], points[i][j]);
+      (*upper)[j] = std::max((*upper)[j], points[i][j]);
+    }
+  }
+}
+
+struct PartitionContext {
+  const std::vector<linalg::Vector>* points;
+  std::size_t k;
+  linalg::Vector global_lower;
+  linalg::Vector global_upper;
+  std::vector<EquivalenceClass>* out;
+};
+
+void EmitClass(const PartitionContext& ctx,
+               std::vector<std::size_t> members) {
+  EquivalenceClass ec;
+  ComputeBounds(*ctx.points, members, &ec.lower, &ec.upper);
+  const std::size_t d = ctx.points->front().dim();
+  ec.centroid = linalg::Vector(d);
+  for (std::size_t i : members) {
+    ec.centroid += (*ctx.points)[i];
+  }
+  ec.centroid /= static_cast<double>(members.size());
+  ec.members = std::move(members);
+  ctx.out->push_back(std::move(ec));
+}
+
+// Recursive median partition (strict Mondrian): split while both halves
+// keep >= k records; choose the dimension with the widest range relative
+// to the global domain.
+void Partition(const PartitionContext& ctx,
+               std::vector<std::size_t> members) {
+  const std::vector<linalg::Vector>& points = *ctx.points;
+  const std::size_t d = points.front().dim();
+
+  if (members.size() < 2 * ctx.k) {
+    EmitClass(ctx, std::move(members));
+    return;
+  }
+
+  linalg::Vector lower, upper;
+  ComputeBounds(points, members, &lower, &upper);
+
+  // Try dimensions in decreasing normalized-range order until one admits
+  // an allowable (k-preserving) median cut.
+  std::vector<std::pair<double, std::size_t>> ranked;
+  ranked.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    double domain = ctx.global_upper[j] - ctx.global_lower[j];
+    double span = upper[j] - lower[j];
+    ranked.emplace_back(domain > 0.0 ? span / domain : 0.0, j);
+  }
+  std::sort(ranked.begin(), ranked.end(), std::greater<>());
+
+  for (const auto& [normalized_range, dim] : ranked) {
+    if (normalized_range <= 0.0) break;  // no spread anywhere: stop
+    // Median cut: left strictly below the median value, right the rest —
+    // duplicates of the median value all land on one side, so the cut can
+    // fail when data is concentrated; try the next dimension then.
+    std::vector<std::size_t> sorted = members;
+    std::sort(sorted.begin(), sorted.end(),
+              [&points, dim = dim](std::size_t a, std::size_t b) {
+                return points[a][dim] < points[b][dim];
+              });
+    double median = points[sorted[sorted.size() / 2]][dim];
+    std::vector<std::size_t> left_side, right_side;
+    for (std::size_t i : sorted) {
+      (points[i][dim] < median ? left_side : right_side).push_back(i);
+    }
+    if (left_side.size() >= ctx.k && right_side.size() >= ctx.k) {
+      Partition(ctx, std::move(left_side));
+      Partition(ctx, std::move(right_side));
+      return;
+    }
+  }
+  // No allowable cut: this cell is final.
+  EmitClass(ctx, std::move(members));
+}
+
+}  // namespace
+
+std::size_t MondrianResult::MinClassSize() const {
+  std::size_t smallest = std::numeric_limits<std::size_t>::max();
+  for (const EquivalenceClass& ec : classes) {
+    smallest = std::min(smallest, ec.members.size());
+  }
+  return classes.empty() ? 0 : smallest;
+}
+
+double MondrianResult::AverageRangeLoss(
+    const linalg::Vector& global_lower,
+    const linalg::Vector& global_upper) const {
+  CONDENSA_CHECK(!classes.empty());
+  const std::size_t d = global_lower.dim();
+  double total = 0.0;
+  std::size_t records = 0;
+  for (const EquivalenceClass& ec : classes) {
+    double class_loss = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      double domain = global_upper[j] - global_lower[j];
+      if (domain > 0.0) {
+        class_loss += (ec.upper[j] - ec.lower[j]) / domain;
+      }
+    }
+    total += class_loss / static_cast<double>(d) *
+             static_cast<double>(ec.members.size());
+    records += ec.members.size();
+  }
+  return total / static_cast<double>(records);
+}
+
+StatusOr<MondrianResult> MondrianPartition(
+    const std::vector<linalg::Vector>& points,
+    const MondrianOptions& options) {
+  if (options.k == 0) {
+    return InvalidArgumentError("k must be at least 1");
+  }
+  if (points.empty()) {
+    return InvalidArgumentError("cannot partition an empty point set");
+  }
+  if (points.size() < options.k) {
+    return InvalidArgumentError("fewer records than k");
+  }
+  const std::size_t d = points.front().dim();
+  for (const linalg::Vector& p : points) {
+    if (p.dim() != d) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  MondrianResult result;
+  PartitionContext ctx;
+  ctx.points = &points;
+  ctx.k = options.k;
+  std::vector<std::size_t> all(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) all[i] = i;
+  ComputeBounds(points, all, &ctx.global_lower, &ctx.global_upper);
+  ctx.out = &result.classes;
+  Partition(ctx, std::move(all));
+  return result;
+}
+
+StatusOr<data::Dataset> MondrianCentroidRelease(
+    const data::Dataset& input, const MondrianOptions& options) {
+  if (input.empty()) {
+    return InvalidArgumentError("cannot anonymize an empty dataset");
+  }
+
+  data::Dataset release(input.dim(), input.task());
+  if (!input.feature_names().empty()) {
+    CONDENSA_RETURN_IF_ERROR(release.SetFeatureNames(input.feature_names()));
+  }
+
+  auto emit_pool = [&input, &release, &options](
+                       const std::vector<std::size_t>& pool) -> Status {
+    std::vector<linalg::Vector> points;
+    points.reserve(pool.size());
+    for (std::size_t i : pool) {
+      points.push_back(input.record(i));
+    }
+    MondrianOptions pool_options = options;
+    pool_options.k = std::min<std::size_t>(options.k, pool.size());
+    CONDENSA_ASSIGN_OR_RETURN(MondrianResult partition,
+                              MondrianPartition(points, pool_options));
+    for (const EquivalenceClass& ec : partition.classes) {
+      for (std::size_t local : ec.members) {
+        std::size_t original = pool[local];
+        switch (input.task()) {
+          case data::TaskType::kUnlabeled:
+            release.Add(ec.centroid);
+            break;
+          case data::TaskType::kClassification:
+            release.Add(ec.centroid, input.label(original));
+            break;
+          case data::TaskType::kRegression:
+            release.Add(ec.centroid, input.target(original));
+            break;
+        }
+      }
+    }
+    return OkStatus();
+  };
+
+  if (input.task() == data::TaskType::kClassification) {
+    // Per-class partitioning, mirroring the condensation engine, so the
+    // released labels stay exact.
+    for (const auto& [label, indices] : input.IndicesByLabel()) {
+      (void)label;
+      CONDENSA_RETURN_IF_ERROR(emit_pool(indices));
+    }
+  } else {
+    std::vector<std::size_t> all(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) all[i] = i;
+    CONDENSA_RETURN_IF_ERROR(emit_pool(all));
+  }
+  return release;
+}
+
+}  // namespace condensa::anonymity

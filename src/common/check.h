@@ -1,0 +1,56 @@
+// Invariant-checking macros.
+//
+// CONDENSA_CHECK* terminate the process on violation and are always on;
+// use them for caller-contract violations that cannot be reported through
+// a Status return (constructors, operator[], hot paths).
+// CONDENSA_DCHECK* compile away in NDEBUG builds; use them for internal
+// invariants that are expensive to test.
+
+#ifndef CONDENSA_COMMON_CHECK_H_
+#define CONDENSA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace condensa::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "[condensa] CHECK failed at %s:%d: %s\n", file, line,
+               condition);
+  std::abort();
+}
+
+}  // namespace condensa::internal_check
+
+#define CONDENSA_CHECK(condition)                                          \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      ::condensa::internal_check::CheckFailed(__FILE__, __LINE__,          \
+                                              #condition);                 \
+    }                                                                      \
+  } while (false)
+
+#define CONDENSA_CHECK_EQ(a, b) CONDENSA_CHECK((a) == (b))
+#define CONDENSA_CHECK_NE(a, b) CONDENSA_CHECK((a) != (b))
+#define CONDENSA_CHECK_LT(a, b) CONDENSA_CHECK((a) < (b))
+#define CONDENSA_CHECK_LE(a, b) CONDENSA_CHECK((a) <= (b))
+#define CONDENSA_CHECK_GT(a, b) CONDENSA_CHECK((a) > (b))
+#define CONDENSA_CHECK_GE(a, b) CONDENSA_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CONDENSA_DCHECK(condition) \
+  do {                             \
+  } while (false)
+#else
+#define CONDENSA_DCHECK(condition) CONDENSA_CHECK(condition)
+#endif
+
+#define CONDENSA_DCHECK_EQ(a, b) CONDENSA_DCHECK((a) == (b))
+#define CONDENSA_DCHECK_NE(a, b) CONDENSA_DCHECK((a) != (b))
+#define CONDENSA_DCHECK_LT(a, b) CONDENSA_DCHECK((a) < (b))
+#define CONDENSA_DCHECK_LE(a, b) CONDENSA_DCHECK((a) <= (b))
+#define CONDENSA_DCHECK_GT(a, b) CONDENSA_DCHECK((a) > (b))
+#define CONDENSA_DCHECK_GE(a, b) CONDENSA_DCHECK((a) >= (b))
+
+#endif  // CONDENSA_COMMON_CHECK_H_

@@ -1,0 +1,149 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformUint64(std::uint64_t bound) {
+  CONDENSA_CHECK_GT(bound, 0u);
+  // Lemire's multiply-shift rejection method.
+  std::uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  CONDENSA_CHECK_LE(lo, hi);
+  std::uint64_t span =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) -
+                                 static_cast<std::int64_t>(lo)) +
+      1;
+  return lo + static_cast<int>(UniformUint64(span));
+}
+
+std::size_t Rng::UniformIndex(std::size_t size) {
+  CONDENSA_CHECK_GT(size, 0u);
+  return static_cast<std::size_t>(UniformUint64(size));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  CONDENSA_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_spare_gaussian_) {
+    has_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_gaussian_ = v * factor;
+  has_spare_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double rate) {
+  CONDENSA_CHECK_GT(rate, 0.0);
+  // -log(U) with U in (0, 1].
+  double u = 1.0 - UniformDouble();
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::Categorical(const std::vector<double>& weights) {
+  CONDENSA_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    CONDENSA_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  CONDENSA_CHECK_GT(total, 0.0);
+  double target = UniformDouble() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) {
+      return i;
+    }
+  }
+  // Floating-point round-off can leave target == total; return the last
+  // index with positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Split() {
+  // Derive the child seed from fresh parent output so consecutive splits
+  // yield unrelated streams.
+  std::uint64_t child_seed = NextUint64() ^ 0xA5A5A5A55A5A5A5Aull;
+  return Rng(child_seed);
+}
+
+}  // namespace condensa

@@ -1,0 +1,173 @@
+// Lightweight error model for the condensa library.
+//
+// Public condensa APIs that can fail return `Status` (or `StatusOr<T>` when
+// they also produce a value) instead of throwing exceptions. The model is a
+// deliberately small subset of absl::Status: an error code plus a
+// human-readable message.
+//
+// Example:
+//   StatusOr<Dataset> ds = ReadCsv("records.csv", options);
+//   if (!ds.ok()) {
+//     std::cerr << ds.status() << "\n";
+//     return ds.status();
+//   }
+//   UseDataset(*ds);
+
+#ifndef CONDENSA_COMMON_STATUS_H_
+#define CONDENSA_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace condensa {
+
+// Canonical error space. Mirrors the familiar canonical codes so that
+// call sites read naturally (e.g. IsNotFound, IsInvalidArgument).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kDataLoss = 7,
+};
+
+// Returns the canonical spelling of `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeToString(StatusCode code);
+
+// Value type describing the outcome of an operation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, one per canonical error code.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
+
+bool IsInvalidArgument(const Status& status);
+bool IsNotFound(const Status& status);
+bool IsOutOfRange(const Status& status);
+bool IsFailedPrecondition(const Status& status);
+bool IsInternal(const Status& status);
+
+// StatusOr<T> holds either a usable T or a non-OK Status explaining why the
+// T could not be produced. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so call sites can `return value;` or
+  // `return SomeError(...)` directly (mirrors absl::StatusOr).
+  StatusOr(const T& value) : status_(OkStatus()), value_(value) {}       // NOLINT
+  StatusOr(T&& value) : status_(OkStatus()), value_(std::move(value)) {} // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
+    if (status_.ok()) {
+      // A StatusOr built from a Status must carry an error.
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfNotOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define CONDENSA_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    ::condensa::Status condensa_status_tmp_ = (expr);    \
+    if (!condensa_status_tmp_.ok()) {                    \
+      return condensa_status_tmp_;                       \
+    }                                                    \
+  } while (false)
+
+// Evaluates a StatusOr expression; on error returns the status, otherwise
+// assigns the value to `lhs`.
+#define CONDENSA_ASSIGN_OR_RETURN(lhs, expr)             \
+  CONDENSA_ASSIGN_OR_RETURN_IMPL_(                       \
+      CONDENSA_STATUS_CONCAT_(condensa_sor_, __LINE__), lhs, expr)
+
+#define CONDENSA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) {                                       \
+    return tmp.status();                                 \
+  }                                                      \
+  lhs = std::move(tmp).value()
+
+#define CONDENSA_STATUS_CONCAT_INNER_(a, b) a##b
+#define CONDENSA_STATUS_CONCAT_(a, b) CONDENSA_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace condensa
+
+#endif  // CONDENSA_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+// Small string helpers shared by the CSV reader and bench table printers.
+
+#ifndef CONDENSA_COMMON_STRING_UTIL_H_
+#define CONDENSA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace condensa {
+
+// Splits `text` on `delimiter`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Parses a double; returns false on malformed or trailing garbage.
+bool ParseDouble(std::string_view text, double* value);
+
+// Parses a non-negative integer; returns false on malformed input.
+bool ParseInt(std::string_view text, int* value);
+
+// Joins `parts` with `separator`: {"a","b"} + ", " -> "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Formats a double with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace condensa
+
+#endif  // CONDENSA_COMMON_STRING_UTIL_H_

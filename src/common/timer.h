@@ -1,0 +1,33 @@
+// Wall-clock timing helper used by benches and examples.
+
+#ifndef CONDENSA_COMMON_TIMER_H_
+#define CONDENSA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace condensa {
+
+// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  // Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Returns milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace condensa
+
+#endif  // CONDENSA_COMMON_TIMER_H_

@@ -1,0 +1,75 @@
+#include "core/anonymizer.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace condensa::core {
+
+StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
+    const GroupStatistics& group, std::size_t count, Rng& rng) const {
+  if (group.empty()) {
+    return InvalidArgumentError("cannot anonymize an empty group");
+  }
+  const std::size_t d = group.dim();
+  linalg::Vector centroid = group.Centroid();
+
+  std::vector<linalg::Vector> out;
+  out.reserve(count);
+
+  if (group.count() == 1) {
+    // Degenerate group: zero covariance, the centroid is the exact record.
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(centroid);
+    }
+    return out;
+  }
+
+  CONDENSA_ASSIGN_OR_RETURN(
+      linalg::EigenDecomposition eigen,
+      linalg::CovarianceEigenDecomposition(group.Covariance()));
+
+  // Per-eigenvector scale: uniform draws span ±sqrt(3 λ_j) (variance λ_j),
+  // Gaussian draws use stddev sqrt(λ_j).
+  const bool gaussian =
+      options_.distribution == SamplingDistribution::kGaussian;
+  linalg::Vector scale(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    scale[j] = gaussian ? std::sqrt(eigen.eigenvalues[j])
+                        : std::sqrt(3.0 * eigen.eigenvalues[j]);
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    linalg::Vector point = centroid;
+    for (std::size_t j = 0; j < d; ++j) {
+      if (scale[j] == 0.0) continue;
+      double u = gaussian ? rng.Gaussian(0.0, scale[j])
+                          : rng.Uniform(-scale[j], scale[j]);
+      // point += u * e_j without materializing the eigenvector copy.
+      for (std::size_t r = 0; r < d; ++r) {
+        point[r] += u * eigen.eigenvectors(r, j);
+      }
+    }
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+StatusOr<std::vector<linalg::Vector>> Anonymizer::Generate(
+    const CondensedGroupSet& groups, Rng& rng) const {
+  std::vector<linalg::Vector> out;
+  out.reserve(groups.TotalRecords());
+  for (const GroupStatistics& group : groups.groups()) {
+    std::size_t count = options_.records_per_group > 0
+                            ? options_.records_per_group
+                            : group.count();
+    CONDENSA_ASSIGN_OR_RETURN(std::vector<linalg::Vector> generated,
+                              GenerateFromGroup(group, count, rng));
+    for (linalg::Vector& point : generated) {
+      out.push_back(std::move(point));
+    }
+  }
+  return out;
+}
+
+}  // namespace condensa::core

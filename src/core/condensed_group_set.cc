@@ -1,0 +1,58 @@
+#include "core/condensed_group_set.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace condensa::core {
+
+void CondensedGroupSet::AddGroup(GroupStatistics group) {
+  CONDENSA_CHECK_EQ(group.dim(), dim_);
+  CONDENSA_CHECK_GT(group.count(), 0u);
+  groups_.push_back(std::move(group));
+}
+
+void CondensedGroupSet::RemoveGroup(std::size_t i) {
+  CONDENSA_CHECK_LT(i, groups_.size());
+  groups_[i] = std::move(groups_.back());
+  groups_.pop_back();
+}
+
+std::size_t CondensedGroupSet::NearestGroup(
+    const linalg::Vector& point) const {
+  CONDENSA_CHECK(!groups_.empty());
+  std::size_t best = 0;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    double distance = groups_[i].SquaredDistanceToCentroid(point);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t CondensedGroupSet::TotalRecords() const {
+  std::size_t total = 0;
+  for (const GroupStatistics& g : groups_) {
+    total += g.count();
+  }
+  return total;
+}
+
+PrivacySummary CondensedGroupSet::Summary() const {
+  PrivacySummary summary;
+  summary.num_groups = groups_.size();
+  if (groups_.empty()) return summary;
+  summary.min_group_size = std::numeric_limits<std::size_t>::max();
+  for (const GroupStatistics& g : groups_) {
+    summary.total_records += g.count();
+    summary.min_group_size = std::min(summary.min_group_size, g.count());
+    summary.max_group_size = std::max(summary.max_group_size, g.count());
+  }
+  summary.average_group_size = static_cast<double>(summary.total_records) /
+                               static_cast<double>(summary.num_groups);
+  return summary;
+}
+
+}  // namespace condensa::core

@@ -1,0 +1,76 @@
+// The set H of condensed-group aggregates produced by a condenser.
+//
+// This is all the server retains about the data (paper Section 2): one
+// (Fs, Sc, n) aggregate per group plus the indistinguishability level k the
+// set was built for. The privacy summary exposes the achieved group sizes,
+// since static condensation can leave a few groups with more than k records
+// and dynamic condensation keeps groups between k and 2k.
+
+#ifndef CONDENSA_CORE_CONDENSED_GROUP_SET_H_
+#define CONDENSA_CORE_CONDENSED_GROUP_SET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+
+// Aggregate view of the privacy level a group set achieves.
+struct PrivacySummary {
+  std::size_t num_groups = 0;
+  std::size_t total_records = 0;
+  // Smallest group: the achieved indistinguishability level.
+  std::size_t min_group_size = 0;
+  std::size_t max_group_size = 0;
+  double average_group_size = 0.0;
+};
+
+class CondensedGroupSet {
+ public:
+  CondensedGroupSet(std::size_t dim, std::size_t indistinguishability_level)
+      : dim_(dim), k_(indistinguishability_level) {}
+
+  std::size_t dim() const { return dim_; }
+  // The k this set was built for.
+  std::size_t indistinguishability_level() const { return k_; }
+
+  std::size_t num_groups() const { return groups_.size(); }
+  bool empty() const { return groups_.empty(); }
+
+  const GroupStatistics& group(std::size_t i) const {
+    CONDENSA_DCHECK_LT(i, groups_.size());
+    return groups_[i];
+  }
+  GroupStatistics& mutable_group(std::size_t i) {
+    CONDENSA_DCHECK_LT(i, groups_.size());
+    return groups_[i];
+  }
+  const std::vector<GroupStatistics>& groups() const { return groups_; }
+
+  // Appends a group aggregate. Dim must match; the group must be non-empty.
+  void AddGroup(GroupStatistics group);
+
+  // Removes group i (order not preserved; O(1)).
+  void RemoveGroup(std::size_t i);
+
+  // Index of the group whose centroid is nearest to `point` (Euclidean).
+  // Requires a non-empty set.
+  std::size_t NearestGroup(const linalg::Vector& point) const;
+
+  // Total records across groups.
+  std::size_t TotalRecords() const;
+
+  PrivacySummary Summary() const;
+
+ private:
+  std::size_t dim_;
+  std::size_t k_;
+  std::vector<GroupStatistics> groups_;
+};
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_CONDENSED_GROUP_SET_H_

@@ -1,0 +1,137 @@
+#include "core/dynamic_condenser.h"
+
+#include <utility>
+
+#include "core/split.h"
+#include "core/static_condenser.h"
+
+namespace condensa::core {
+
+DynamicCondenser::DynamicCondenser(std::size_t dim,
+                                   DynamicCondenserOptions options)
+    : options_(options), groups_(dim, options.group_size) {
+  CONDENSA_CHECK_GE(options_.group_size, 1u);
+}
+
+Status DynamicCondenser::Bootstrap(
+    const std::vector<linalg::Vector>& initial, Rng& rng) {
+  if (bootstrapped_ || records_seen_ > 0) {
+    return FailedPreconditionError(
+        "Bootstrap must be called once, before any Insert");
+  }
+  StaticCondenser condenser(
+      StaticCondenserOptions{.group_size = options_.group_size});
+  CONDENSA_ASSIGN_OR_RETURN(CondensedGroupSet initial_groups,
+                            condenser.Condense(initial, rng));
+  groups_ = std::move(initial_groups);
+  records_seen_ = initial.size();
+  bootstrapped_ = true;
+  return OkStatus();
+}
+
+Status DynamicCondenser::Insert(const linalg::Vector& record) {
+  if (record.dim() != dim()) {
+    return InvalidArgumentError("record dimension mismatch");
+  }
+  ++records_seen_;
+
+  // Pure-stream warm-up: no full group exists yet.
+  if (groups_.empty()) {
+    if (!forming_.has_value()) {
+      forming_.emplace(dim());
+    }
+    forming_->Add(record);
+    if (forming_->count() >= options_.group_size) {
+      groups_.AddGroup(std::move(*forming_));
+      forming_.reset();
+    }
+    return OkStatus();
+  }
+
+  // Paper Fig. 2: add to the nearest centroid's aggregate; split at 2k.
+  std::size_t nearest = groups_.NearestGroup(record);
+  GroupStatistics& target = groups_.mutable_group(nearest);
+  target.Add(record);
+  if (target.count() >= 2 * options_.group_size) {
+    CONDENSA_ASSIGN_OR_RETURN(
+        SplitResult split,
+        SplitGroupStatistics(target, options_.split_rule));
+    groups_.RemoveGroup(nearest);
+    groups_.AddGroup(std::move(split.lower));
+    groups_.AddGroup(std::move(split.upper));
+    ++split_count_;
+  }
+  return OkStatus();
+}
+
+Status DynamicCondenser::Remove(const linalg::Vector& record) {
+  if (record.dim() != dim()) {
+    return InvalidArgumentError("record dimension mismatch");
+  }
+  if (groups_.empty()) {
+    // The record can only live in the forming buffer.
+    if (!forming_.has_value() || forming_->count() == 0) {
+      return FailedPreconditionError("structure holds no records");
+    }
+    forming_->Remove(record);
+    if (forming_->count() == 0) {
+      forming_.reset();
+    }
+    --records_seen_;
+    return OkStatus();
+  }
+
+  std::size_t nearest = groups_.NearestGroup(record);
+  GroupStatistics& target = groups_.mutable_group(nearest);
+  target.Remove(record);
+  --records_seen_;
+
+  if (target.count() == 0) {
+    groups_.RemoveGroup(nearest);
+    return OkStatus();
+  }
+  if (target.count() < options_.group_size && groups_.num_groups() > 1) {
+    // Restore the privacy floor: fold the undersized aggregate into the
+    // group with the nearest centroid.
+    GroupStatistics undersized = std::move(target);
+    groups_.RemoveGroup(nearest);
+    std::size_t merge_into = groups_.NearestGroup(undersized.Centroid());
+    groups_.mutable_group(merge_into).Merge(undersized);
+    ++merge_count_;
+    // The merged group may have reached 2k; split it like an insert would.
+    GroupStatistics& merged = groups_.mutable_group(merge_into);
+    if (merged.count() >= 2 * options_.group_size) {
+      CONDENSA_ASSIGN_OR_RETURN(SplitResult split,
+                                SplitGroupStatistics(merged,
+                                                     options_.split_rule));
+      groups_.RemoveGroup(merge_into);
+      groups_.AddGroup(std::move(split.lower));
+      groups_.AddGroup(std::move(split.upper));
+      ++split_count_;
+    }
+  }
+  return OkStatus();
+}
+
+CondensedGroupSet DynamicCondenser::TakeGroups() {
+  if (forming_.has_value() && forming_->count() > 0) {
+    if (groups_.empty()) {
+      // Nothing else to merge into; emit the undersized group as-is so the
+      // records are not lost (caller can inspect Summary().min_group_size).
+      groups_.AddGroup(std::move(*forming_));
+    } else {
+      std::size_t nearest = groups_.NearestGroup(forming_->Centroid());
+      groups_.mutable_group(nearest).Merge(*forming_);
+    }
+    forming_.reset();
+  }
+  CondensedGroupSet out = std::move(groups_);
+  groups_ = CondensedGroupSet(out.dim(), options_.group_size);
+  records_seen_ = 0;
+  split_count_ = 0;
+  merge_count_ = 0;
+  bootstrapped_ = false;
+  return out;
+}
+
+}  // namespace condensa::core

@@ -1,0 +1,122 @@
+#include "core/group_statistics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace condensa::core {
+
+GroupStatistics::GroupStatistics(std::size_t dim)
+    : first_order_(dim), second_order_(dim, dim) {}
+
+GroupStatistics GroupStatistics::FromMoments(std::size_t count,
+                                             const linalg::Vector& centroid,
+                                             const linalg::Matrix& covariance) {
+  CONDENSA_CHECK_GT(count, 0u);
+  CONDENSA_CHECK_EQ(covariance.rows(), centroid.dim());
+  CONDENSA_CHECK_EQ(covariance.cols(), centroid.dim());
+  const std::size_t d = centroid.dim();
+  const double n = static_cast<double>(count);
+
+  GroupStatistics stats(d);
+  stats.count_ = count;
+  stats.first_order_ = centroid * n;
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      // Paper Eq. 3: Sc_ij = n C_ij + Fs_i Fs_j / n.
+      stats.second_order_(i, j) =
+          n * covariance(i, j) +
+          stats.first_order_[i] * stats.first_order_[j] / n;
+    }
+  }
+  return stats;
+}
+
+GroupStatistics GroupStatistics::FromRawSums(std::size_t count,
+                                             linalg::Vector first_order,
+                                             linalg::Matrix second_order) {
+  CONDENSA_CHECK_GT(count, 0u);
+  CONDENSA_CHECK_EQ(second_order.rows(), first_order.dim());
+  CONDENSA_CHECK_EQ(second_order.cols(), first_order.dim());
+  CONDENSA_CHECK(second_order.IsSymmetric(
+      1e-8 * std::max(1.0, second_order.MaxAbs())));
+  GroupStatistics stats(first_order.dim());
+  stats.count_ = count;
+  stats.first_order_ = std::move(first_order);
+  stats.second_order_ = std::move(second_order);
+  return stats;
+}
+
+void GroupStatistics::Add(const linalg::Vector& record) {
+  CONDENSA_CHECK_EQ(record.dim(), dim());
+  ++count_;
+  for (std::size_t i = 0; i < record.dim(); ++i) {
+    first_order_[i] += record[i];
+    for (std::size_t j = i; j < record.dim(); ++j) {
+      double product = record[i] * record[j];
+      second_order_(i, j) += product;
+      if (j != i) second_order_(j, i) += product;
+    }
+  }
+}
+
+void GroupStatistics::Remove(const linalg::Vector& record) {
+  CONDENSA_CHECK_EQ(record.dim(), dim());
+  CONDENSA_CHECK_GT(count_, 0u);
+  --count_;
+  for (std::size_t i = 0; i < record.dim(); ++i) {
+    first_order_[i] -= record[i];
+    for (std::size_t j = i; j < record.dim(); ++j) {
+      double product = record[i] * record[j];
+      second_order_(i, j) -= product;
+      if (j != i) second_order_(j, i) -= product;
+    }
+  }
+}
+
+void GroupStatistics::Merge(const GroupStatistics& other) {
+  CONDENSA_CHECK_EQ(dim(), other.dim());
+  count_ += other.count_;
+  first_order_ += other.first_order_;
+  second_order_ += other.second_order_;
+}
+
+linalg::Vector GroupStatistics::Centroid() const {
+  CONDENSA_CHECK_GT(count_, 0u);
+  return first_order_ / static_cast<double>(count_);
+}
+
+linalg::Matrix GroupStatistics::Covariance() const {
+  CONDENSA_CHECK_GT(count_, 0u);
+  const std::size_t d = dim();
+  const double n = static_cast<double>(count_);
+  linalg::Matrix cov(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      // Observation 2: cov_ij = Sc_ij / n - Fs_i Fs_j / n^2.
+      double value =
+          second_order_(i, j) / n - first_order_[i] * first_order_[j] / (n * n);
+      if (i == j && value < 0.0) {
+        value = 0.0;  // round-off on degenerate groups
+      }
+      cov(i, j) = value;
+      cov(j, i) = value;
+    }
+  }
+  return cov;
+}
+
+double GroupStatistics::SquaredDistanceToCentroid(
+    const linalg::Vector& point) const {
+  CONDENSA_CHECK_GT(count_, 0u);
+  CONDENSA_CHECK_EQ(point.dim(), dim());
+  const double n = static_cast<double>(count_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < point.dim(); ++i) {
+    double diff = point[i] - first_order_[i] / n;
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace condensa::core

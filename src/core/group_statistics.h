@@ -1,0 +1,87 @@
+// Condensed-group aggregate statistics (the paper's Section 2 storage model).
+//
+// For a group G of d-dimensional records {X_1..X_n} the server keeps only:
+//   Fs_j(G)  = Σ_t x_t^j           (first-order sums,  d values)
+//   Sc_ij(G) = Σ_t x_t^i x_t^j     (second-order sums, d(d+1)/2 values)
+//   n(G)                           (record count)
+// From these the group mean and covariance are exact (Observations 1 and 2):
+//   mean_j = Fs_j / n
+//   cov_ij = Sc_ij / n − Fs_i Fs_j / n²
+// The aggregate is additive: records can be added, removed, and whole
+// groups merged, without ever retaining the raw records — which is what
+// makes the dynamic (stream) setting possible.
+
+#ifndef CONDENSA_CORE_GROUP_STATISTICS_H_
+#define CONDENSA_CORE_GROUP_STATISTICS_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+
+class GroupStatistics {
+ public:
+  // Creates an empty aggregate for d-dimensional records.
+  explicit GroupStatistics(std::size_t dim);
+
+  GroupStatistics(const GroupStatistics&) = default;
+  GroupStatistics& operator=(const GroupStatistics&) = default;
+  GroupStatistics(GroupStatistics&&) = default;
+  GroupStatistics& operator=(GroupStatistics&&) = default;
+
+  // Rebuilds the aggregate that a group with the given size, centroid and
+  // covariance would have (the inversion of Observations 1-2 used by the
+  // split, paper Equation 3):
+  //   Fs    = n · centroid
+  //   Sc_ij = n · C_ij + Fs_i · Fs_j / n
+  // `count` must be positive; `covariance` must be dim x dim.
+  static GroupStatistics FromMoments(std::size_t count,
+                                     const linalg::Vector& centroid,
+                                     const linalg::Matrix& covariance);
+
+  // Reconstitutes an aggregate from its stored representation verbatim
+  // (used by deserialization, where bit-exactness matters). `count` must
+  // be positive; `second_order` must be symmetric and dim-consistent.
+  static GroupStatistics FromRawSums(std::size_t count,
+                                     linalg::Vector first_order,
+                                     linalg::Matrix second_order);
+
+  std::size_t dim() const { return first_order_.dim(); }
+  // n(G).
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Fs(G).
+  const linalg::Vector& first_order() const { return first_order_; }
+  // Sc(G) as a full symmetric matrix.
+  const linalg::Matrix& second_order() const { return second_order_; }
+
+  // Folds one record into the aggregate. Dim must match.
+  void Add(const linalg::Vector& record);
+  // Removes one previously added record. Requires count() > 0.
+  void Remove(const linalg::Vector& record);
+  // Folds a whole other aggregate in. Dims must match.
+  void Merge(const GroupStatistics& other);
+
+  // Group mean, Fs/n (Observation 1). Requires count() > 0.
+  linalg::Vector Centroid() const;
+
+  // Group covariance (Observation 2). Round-off can make diagonal entries
+  // slightly negative for near-degenerate groups; they are clamped at 0.
+  // Requires count() > 0.
+  linalg::Matrix Covariance() const;
+
+  // Squared Euclidean distance from `point` to the centroid.
+  double SquaredDistanceToCentroid(const linalg::Vector& point) const;
+
+ private:
+  std::size_t count_ = 0;
+  linalg::Vector first_order_;
+  linalg::Matrix second_order_;
+};
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_GROUP_STATISTICS_H_

@@ -1,0 +1,291 @@
+#include "core/serialization.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace condensa::core {
+namespace {
+
+constexpr char kMagic[] = "condensa-groups v1";
+
+void AppendDouble(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+// Reads the next whitespace-separated token as a double.
+bool NextDouble(std::istringstream& stream, double* value) {
+  std::string token;
+  if (!(stream >> token)) return false;
+  return ParseDouble(token, value);
+}
+
+bool NextSize(std::istringstream& stream, std::size_t* value) {
+  std::string token;
+  if (!(stream >> token)) return false;
+  int parsed = 0;
+  if (!ParseInt(token, &parsed) || parsed < 0) return false;
+  *value = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeGroupSet(const CondensedGroupSet& groups) {
+  std::string out = kMagic;
+  out += "\ndim ";
+  out += std::to_string(groups.dim());
+  out += " k ";
+  out += std::to_string(groups.indistinguishability_level());
+  out += " groups ";
+  out += std::to_string(groups.num_groups());
+  out += '\n';
+
+  const std::size_t d = groups.dim();
+  for (const GroupStatistics& group : groups.groups()) {
+    out += "group n ";
+    out += std::to_string(group.count());
+    out += "\nfs";
+    for (std::size_t j = 0; j < d; ++j) {
+      out += ' ';
+      AppendDouble(out, group.first_order()[j]);
+    }
+    out += "\nsc";
+    // Upper triangle including the diagonal; Sc is symmetric.
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i; j < d; ++j) {
+        out += ' ';
+        AppendDouble(out, group.second_order()(i, j));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+StatusOr<CondensedGroupSet> DeserializeGroupSet(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || StripWhitespace(line) != kMagic) {
+    return InvalidArgumentError("missing condensa-groups v1 header");
+  }
+
+  std::string keyword;
+  std::size_t dim = 0, k = 0, num_groups = 0;
+  if (!(stream >> keyword) || keyword != "dim" || !NextSize(stream, &dim) ||
+      !(stream >> keyword) || keyword != "k" || !NextSize(stream, &k) ||
+      !(stream >> keyword) || keyword != "groups" ||
+      !NextSize(stream, &num_groups)) {
+    return DataLossError("malformed group-set header line");
+  }
+  if (dim == 0) {
+    return InvalidArgumentError("group set dimension must be positive");
+  }
+
+  CondensedGroupSet groups(dim, k);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    std::size_t count = 0;
+    if (!(stream >> keyword) || keyword != "group" || !(stream >> keyword) ||
+        keyword != "n" || !NextSize(stream, &count) || count == 0) {
+      return DataLossError("malformed group header in group " +
+                           std::to_string(g));
+    }
+
+    linalg::Vector fs(dim);
+    if (!(stream >> keyword) || keyword != "fs") {
+      return DataLossError("missing fs section in group " +
+                           std::to_string(g));
+    }
+    for (std::size_t j = 0; j < dim; ++j) {
+      if (!NextDouble(stream, &fs[j])) {
+        return DataLossError("truncated fs values in group " +
+                             std::to_string(g));
+      }
+    }
+
+    linalg::Matrix sc(dim, dim);
+    if (!(stream >> keyword) || keyword != "sc") {
+      return DataLossError("missing sc section in group " +
+                           std::to_string(g));
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = i; j < dim; ++j) {
+        double value = 0.0;
+        if (!NextDouble(stream, &value)) {
+          return DataLossError("truncated sc values in group " +
+                               std::to_string(g));
+        }
+        sc(i, j) = value;
+        sc(j, i) = value;
+      }
+    }
+
+    // Fs and Sc are the stored representation; reconstitute verbatim so
+    // deserialized aggregates are bit-identical to the serialized ones.
+    groups.AddGroup(
+        GroupStatistics::FromRawSums(count, std::move(fs), std::move(sc)));
+  }
+
+  // Reject trailing garbage (ignoring whitespace).
+  std::string rest;
+  if (stream >> rest) {
+    return DataLossError("trailing content after final group");
+  }
+  return groups;
+}
+
+namespace {
+
+constexpr char kPoolsMagic[] = "condensa-pools v1";
+constexpr char kPoolHeader[] = "pool label ";
+
+}  // namespace
+
+std::string SerializePools(const CondensedPools& pools) {
+  std::string out = kPoolsMagic;
+  out += "\ntask ";
+  out += std::to_string(static_cast<int>(pools.task));
+  out += " feature_dim ";
+  out += std::to_string(pools.feature_dim);
+  out += " pools ";
+  out += std::to_string(pools.pools.size());
+  out += '\n';
+  for (const CondensedPools::Pool& pool : pools.pools) {
+    out += kPoolHeader;
+    out += std::to_string(pool.label);
+    out += " splits ";
+    out += std::to_string(pool.splits);
+    out += '\n';
+    out += SerializeGroupSet(pool.groups);
+  }
+  return out;
+}
+
+StatusOr<CondensedPools> DeserializePools(const std::string& text) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || StripWhitespace(line) != kPoolsMagic) {
+    return InvalidArgumentError("missing condensa-pools v1 header");
+  }
+  std::string keyword;
+  int task_value = 0;
+  std::size_t feature_dim = 0, pool_count = 0;
+  std::string token;
+  if (!(stream >> keyword) || keyword != "task" || !(stream >> token) ||
+      !ParseInt(token, &task_value) || task_value < 0 || task_value > 2 ||
+      !(stream >> keyword) || keyword != "feature_dim" ||
+      !NextSize(stream, &feature_dim) || !(stream >> keyword) ||
+      keyword != "pools" || !NextSize(stream, &pool_count)) {
+    return DataLossError("malformed pools header line");
+  }
+  if (feature_dim == 0) {
+    return InvalidArgumentError("feature dimension must be positive");
+  }
+  // Consume the rest of the header line.
+  std::getline(stream, line);
+
+  CondensedPools pools;
+  pools.task = static_cast<data::TaskType>(task_value);
+  pools.feature_dim = feature_dim;
+
+  // The remainder is `pool label L splits S\n<group set>` repeated; split
+  // on the pool header lines and hand each body to DeserializeGroupSet.
+  std::string rest;
+  if (stream.tellg() != std::istringstream::pos_type(-1)) {
+    rest = text.substr(static_cast<std::size_t>(stream.tellg()));
+  }
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    std::size_t header_pos = rest.find(kPoolHeader, cursor);
+    if (header_pos == std::string::npos) {
+      return DataLossError("missing pool " + std::to_string(p));
+    }
+    std::size_t line_end = rest.find('\n', header_pos);
+    if (line_end == std::string::npos) {
+      return DataLossError("truncated pool header");
+    }
+    std::istringstream header(
+        rest.substr(header_pos + strlen(kPoolHeader),
+                    line_end - header_pos - strlen(kPoolHeader)));
+    int label = 0;
+    std::size_t splits = 0;
+    std::string label_token;
+    if (!(header >> label_token) || !ParseInt(label_token, &label) ||
+        !(header >> keyword) || keyword != "splits" ||
+        !NextSize(header, &splits)) {
+      return DataLossError("malformed pool header in pool " +
+                           std::to_string(p));
+    }
+    std::size_t body_begin = line_end + 1;
+    std::size_t body_end = rest.find(kPoolHeader, body_begin);
+    if (body_end == std::string::npos) {
+      body_end = rest.size();
+    }
+    CONDENSA_ASSIGN_OR_RETURN(
+        CondensedGroupSet groups,
+        DeserializeGroupSet(rest.substr(body_begin, body_end - body_begin)));
+    if (groups.dim() != pools.CondensedDim()) {
+      return InvalidArgumentError("pool dimension mismatch in pool " +
+                                  std::to_string(p));
+    }
+    pools.pools.push_back(
+        CondensedPools::Pool{label, splits, std::move(groups)});
+    cursor = body_end;
+  }
+  if (rest.find(kPoolHeader, cursor) != std::string::npos) {
+    return DataLossError("more pools than the header declares");
+  }
+  return pools;
+}
+
+Status SavePools(const CondensedPools& pools, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  file << SerializePools(pools);
+  if (!file) {
+    return DataLossError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<CondensedPools> LoadPools(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializePools(buffer.str());
+}
+
+Status SaveGroupSet(const CondensedGroupSet& groups,
+                    const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  file << SerializeGroupSet(groups);
+  if (!file) {
+    return DataLossError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<CondensedGroupSet> LoadGroupSet(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeGroupSet(buffer.str());
+}
+
+}  // namespace condensa::core

@@ -1,0 +1,84 @@
+#include "core/split.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace condensa::core {
+
+namespace {
+
+// Paper Fig. 3 verbatim: Fs(M1/M2) is set to the *centroid* ± offset (a
+// unit inconsistency preserved deliberately), n = k = n(M)/2, and
+// Sc_ij = k·C'_ij + Fs_i·Fs_j / k with those Fs values.
+GroupStatistics VerbatimHalf(std::size_t count,
+                             const linalg::Vector& fs_as_written,
+                             const linalg::Matrix& covariance) {
+  const std::size_t d = fs_as_written.dim();
+  const double k = static_cast<double>(count);
+  linalg::Matrix sc(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      sc(i, j) =
+          k * covariance(i, j) + fs_as_written[i] * fs_as_written[j] / k;
+    }
+  }
+  return GroupStatistics::FromRawSums(count, fs_as_written, sc);
+}
+
+}  // namespace
+
+StatusOr<SplitResult> SplitGroupStatistics(const GroupStatistics& group,
+                                           SplitRule rule) {
+  if (group.count() < 2) {
+    return InvalidArgumentError("cannot split a group with fewer than 2 records");
+  }
+
+  // Determine the covariance matrix C(M) (Observation 2) and its
+  // eigen-system C = P Λ Pᵀ with λ₁ >= ... >= λ_d.
+  linalg::Matrix covariance = group.Covariance();
+  CONDENSA_ASSIGN_OR_RETURN(linalg::EigenDecomposition eigen,
+                            linalg::CovarianceEigenDecomposition(covariance));
+
+  const double lambda1 = eigen.eigenvalues[0];
+  const linalg::Vector e1 = eigen.Eigenvector(0);
+
+  // Uniform with variance λ₁ has range a = sqrt(12 λ₁); the halves'
+  // centroids sit at the quarter points Y ± (a/4) e₁.
+  const double offset = std::sqrt(12.0 * lambda1) / 4.0;
+  linalg::Vector centroid = group.Centroid();
+  linalg::Vector centroid_lower = centroid - offset * e1;
+  linalg::Vector centroid_upper = centroid + offset * e1;
+
+  // Shared covariance of both halves: λ₁ -> λ₁ / 4, all else unchanged,
+  // rebuilt as C' = P Λ' Pᵀ (paper Eq. 4).
+  linalg::Vector new_eigenvalues = eigen.eigenvalues;
+  new_eigenvalues[0] = lambda1 / 4.0;
+  linalg::Matrix new_covariance =
+      linalg::MatMul(linalg::MatMul(eigen.eigenvectors,
+                                    linalg::Matrix::Diagonal(new_eigenvalues)),
+                     eigen.eigenvectors.Transposed());
+
+  // The 2k-sized group splits into two groups of k each; for generality a
+  // group of odd size n yields halves of floor(n/2) and ceil(n/2).
+  const std::size_t lower_count = group.count() / 2;
+  const std::size_t upper_count = group.count() - lower_count;
+
+  if (rule == SplitRule::kPaperVerbatim) {
+    SplitResult result{
+        VerbatimHalf(lower_count, centroid_lower, new_covariance),
+        VerbatimHalf(upper_count, centroid_upper, new_covariance),
+    };
+    return result;
+  }
+
+  SplitResult result{
+      GroupStatistics::FromMoments(lower_count, centroid_lower,
+                                   new_covariance),
+      GroupStatistics::FromMoments(upper_count, centroid_upper,
+                                   new_covariance),
+  };
+  return result;
+}
+
+}  // namespace condensa::core

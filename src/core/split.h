@@ -1,0 +1,52 @@
+// SplitGroupStatistics (paper Figure 3).
+//
+// Splits one group aggregate M into two aggregates M1, M2 of half the size
+// each, using only (Fs, Sc, n) — no raw records exist any more. Under the
+// locally-uniform assumption the group is uniform along its largest
+// eigenvector e₁ with variance λ₁, i.e. range a = sqrt(12 λ₁); cutting that
+// range in half places the two halves' centroids at Y ± (a/4)·e₁ and
+// shrinks the variance along e₁ by a factor of 4. All other eigenvectors
+// and eigenvalues are unchanged. Second-order sums are re-derived from the
+// new covariance and centroids via paper Equation 3.
+
+#ifndef CONDENSA_CORE_SPLIT_H_
+#define CONDENSA_CORE_SPLIT_H_
+
+#include <utility>
+
+#include "common/status.h"
+#include "core/group_statistics.h"
+
+namespace condensa::core {
+
+struct SplitResult {
+  GroupStatistics lower;   // centroid at Y − (sqrt(12 λ₁)/4) e₁
+  GroupStatistics upper;   // centroid at Y + (sqrt(12 λ₁)/4) e₁
+};
+
+// Which split formula to apply.
+enum class SplitRule {
+  // Dimensionally consistent derivation (default): the halves' first-
+  // order sums are k · (Y ± offset·e₁), so merging the two halves
+  // reproduces the parent's moments exactly.
+  kMomentConsistent = 0,
+  // The paper's Figure 3 pseudocode taken literally: it assigns
+  //   Fs(M1) = Fs(M)/n(M) ± e₁·sqrt(12 λ₁)/4
+  // i.e. a centroid-scale value is stored into the sum-scale field, and
+  // Eq. 3 then mixes the scales. Provided so ablation A10 can reproduce
+  // the strong dynamic-μ degradation the paper reports at small group
+  // sizes. Do not use in production.
+  kPaperVerbatim = 1,
+};
+
+// Splits `group` along its largest-eigenvalue direction. Fails with
+// InvalidArgument when the group has fewer than 2 records and propagates
+// eigensolver failures. A group with zero covariance splits into two
+// coincident halves (both centroids equal the group centroid).
+StatusOr<SplitResult> SplitGroupStatistics(
+    const GroupStatistics& group,
+    SplitRule rule = SplitRule::kMomentConsistent);
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_SPLIT_H_

@@ -1,0 +1,91 @@
+#include "core/static_condenser.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace condensa::core {
+
+StatusOr<CondensedGroupSet> StaticCondenser::Condense(
+    const std::vector<linalg::Vector>& points, Rng& rng) const {
+  const std::size_t k = options_.group_size;
+  if (k == 0) {
+    return InvalidArgumentError("group size k must be at least 1");
+  }
+  if (points.empty()) {
+    return InvalidArgumentError("cannot condense an empty point set");
+  }
+  if (points.size() < k) {
+    return InvalidArgumentError(
+        "fewer records than the requested indistinguishability level");
+  }
+  const std::size_t dim = points.front().dim();
+  for (const linalg::Vector& p : points) {
+    if (p.dim() != dim) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  CondensedGroupSet result(dim, k);
+
+  // `alive` holds indices of records still in the database D; removal is
+  // O(1) swap-with-last so random sampling stays uniform over survivors.
+  std::vector<std::size_t> alive(points.size());
+  std::iota(alive.begin(), alive.end(), 0);
+
+  auto remove_alive_at = [&alive](std::size_t pos) {
+    alive[pos] = alive.back();
+    alive.pop_back();
+  };
+
+  std::vector<std::pair<double, std::size_t>> distances;  // (d², alive pos)
+  while (alive.size() >= k) {
+    // Step 1: sample a random record X from D.
+    std::size_t seed_pos = rng.UniformIndex(alive.size());
+    const linalg::Vector& seed = points[alive[seed_pos]];
+
+    // Step 2: the (k-1) closest remaining records join X's group.
+    distances.clear();
+    distances.reserve(alive.size() - 1);
+    for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+      if (pos == seed_pos) continue;
+      distances.emplace_back(
+          linalg::SquaredDistance(points[alive[pos]], seed), pos);
+    }
+    std::size_t neighbours = k - 1;
+    if (neighbours > 0) {
+      std::nth_element(distances.begin(),
+                       distances.begin() + (neighbours - 1), distances.end());
+    }
+
+    GroupStatistics group(dim);
+    group.Add(seed);
+    // Collect the alive positions to delete (seed + neighbours), largest
+    // first so swap-removal does not invalidate pending positions.
+    std::vector<std::size_t> to_remove;
+    to_remove.reserve(k);
+    to_remove.push_back(seed_pos);
+    for (std::size_t i = 0; i < neighbours; ++i) {
+      group.Add(points[alive[distances[i].second]]);
+      to_remove.push_back(distances[i].second);
+    }
+    std::sort(to_remove.begin(), to_remove.end(), std::greater<>());
+    for (std::size_t pos : to_remove) {
+      remove_alive_at(pos);
+    }
+
+    result.AddGroup(std::move(group));
+  }
+
+  // Step 3: between 0 and k-1 leftovers join their nearest group.
+  for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+    const linalg::Vector& point = points[alive[pos]];
+    std::size_t nearest = result.NearestGroup(point);
+    result.mutable_group(nearest).Add(point);
+  }
+
+  return result;
+}
+
+}  // namespace condensa::core

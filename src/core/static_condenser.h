@@ -1,0 +1,46 @@
+// Static condensation: CreateCondensedGroups (paper Figure 1).
+//
+// Given the full database, repeatedly:
+//   1. sample a random remaining record X,
+//   2. absorb the (k-1) remaining records closest to X into a group with X,
+//   3. store the group's (Fs, Sc, n) aggregate and delete its members.
+// When fewer than k records remain, each joins the group with the nearest
+// centroid, so a few groups may exceed k — never fall below it.
+
+#ifndef CONDENSA_CORE_STATIC_CONDENSER_H_
+#define CONDENSA_CORE_STATIC_CONDENSER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/condensed_group_set.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+
+struct StaticCondenserOptions {
+  // The indistinguishability level k (minimum group size). Must be >= 1.
+  std::size_t group_size = 10;
+};
+
+class StaticCondenser {
+ public:
+  explicit StaticCondenser(StaticCondenserOptions options)
+      : options_(options) {}
+
+  const StaticCondenserOptions& options() const { return options_; }
+
+  // Condenses `points` into groups of at least k records. All points must
+  // share one dimension. Fails when points is empty, contains fewer than k
+  // records, or k == 0.
+  StatusOr<CondensedGroupSet> Condense(
+      const std::vector<linalg::Vector>& points, Rng& rng) const;
+
+ private:
+  StaticCondenserOptions options_;
+};
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_STATIC_CONDENSER_H_

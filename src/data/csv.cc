@@ -1,0 +1,300 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace condensa::data {
+namespace {
+
+// Splits one CSV line honouring RFC-4180 quoting: a field that begins
+// with '"' runs to the matching quote, with "" as an escaped quote;
+// delimiters inside quotes do not split.
+std::vector<std::string> SplitQuoted(std::string_view line,
+                                     char delimiter) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"' && current.empty() && !field_was_quoted) {
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(current));
+      current.clear();
+      field_was_quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+// Resolves a possibly-negative column index against `width`.
+StatusOr<std::size_t> ResolveColumn(int column, std::size_t width) {
+  long resolved = column;
+  if (resolved < 0) {
+    resolved += static_cast<long>(width);
+  }
+  if (resolved < 0 || resolved >= static_cast<long>(width)) {
+    return InvalidArgumentError("column index out of range");
+  }
+  return static_cast<std::size_t>(resolved);
+}
+
+struct ParsedLines {
+  std::vector<std::string> header;  // empty unless options.has_header
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::size_t> line_numbers;  // 1-based, parallel to rows
+};
+
+ParsedLines Tokenize(const std::string& content,
+                     const CsvReadOptions& options) {
+  ParsedLines parsed;
+  std::istringstream stream(content);
+  std::string line;
+  std::size_t line_number = 0;
+  bool saw_header = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields =
+        options.allow_quoting ? SplitQuoted(stripped, options.delimiter)
+                              : Split(stripped, options.delimiter);
+    if (options.has_header && !saw_header) {
+      parsed.header = std::move(fields);
+      saw_header = true;
+      continue;
+    }
+    parsed.rows.push_back(std::move(fields));
+    parsed.line_numbers.push_back(line_number);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+StatusOr<CsvReadResult> ReadCsvFromString(const std::string& content,
+                                          const CsvReadOptions& options) {
+  ParsedLines parsed = Tokenize(content, options);
+  if (parsed.rows.empty()) {
+    return InvalidArgumentError("CSV contains no data rows");
+  }
+  const std::size_t width = parsed.rows.front().size();
+
+  // Resolve special columns.
+  bool has_label = options.task != TaskType::kUnlabeled;
+  std::size_t label_col = 0;
+  if (has_label) {
+    CONDENSA_ASSIGN_OR_RETURN(label_col,
+                              ResolveColumn(options.label_column, width));
+  }
+  std::set<std::size_t> categorical;
+  for (int column : options.categorical_columns) {
+    CONDENSA_ASSIGN_OR_RETURN(std::size_t resolved,
+                              ResolveColumn(column, width));
+    if (has_label && resolved == label_col) {
+      return InvalidArgumentError(
+          "label column cannot also be categorical");
+    }
+    if (!categorical.insert(resolved).second) {
+      return InvalidArgumentError("duplicate categorical column");
+    }
+  }
+
+  CsvReadResult result;
+
+  // Discover categorical vocabularies in first-seen order (rows with the
+  // wrong width are handled in the build phase).
+  std::map<std::size_t, std::map<std::string, std::size_t>> category_ids;
+  for (std::size_t c : categorical) {
+    result.categorical_values[c] = {};
+  }
+  for (const auto& row : parsed.rows) {
+    if (row.size() != width) continue;
+    for (std::size_t c : categorical) {
+      std::string value(StripWhitespace(row[c]));
+      auto& ids = category_ids[c];
+      if (ids.emplace(value, ids.size()).second) {
+        result.categorical_values[c].push_back(value);
+      }
+    }
+  }
+
+  // Feature layout: numeric columns contribute one dimension each,
+  // categorical columns one dimension per distinct value.
+  std::size_t feature_dim = 0;
+  for (std::size_t c = 0; c < width; ++c) {
+    if (has_label && c == label_col) continue;
+    feature_dim += categorical.count(c) > 0
+                       ? result.categorical_values[c].size()
+                       : 1;
+  }
+  if (feature_dim == 0) {
+    return InvalidArgumentError("CSV has no feature columns");
+  }
+  result.dataset = Dataset(feature_dim, options.task);
+
+  // Feature names from the header (categorical expand to "name=value").
+  if (parsed.header.size() == width) {
+    std::vector<std::string> names;
+    names.reserve(feature_dim);
+    for (std::size_t c = 0; c < width; ++c) {
+      if (has_label && c == label_col) continue;
+      std::string base(StripWhitespace(parsed.header[c]));
+      if (categorical.count(c) > 0) {
+        for (const std::string& value : result.categorical_values[c]) {
+          names.push_back(base + "=" + value);
+        }
+      } else {
+        names.push_back(base);
+      }
+    }
+    CONDENSA_RETURN_IF_ERROR(result.dataset.SetFeatureNames(std::move(names)));
+  }
+
+  // Build records.
+  int next_label_id = 0;
+  for (std::size_t r = 0; r < parsed.rows.size(); ++r) {
+    const std::vector<std::string>& row = parsed.rows[r];
+    const std::size_t line_number = parsed.line_numbers[r];
+    if (row.size() != width) {
+      if (options.strict) {
+        return DataLossError("row " + std::to_string(line_number) +
+                             " has inconsistent column count");
+      }
+      ++result.skipped_rows;
+      continue;
+    }
+
+    linalg::Vector record(feature_dim);
+    bool row_ok = true;
+    std::size_t out_index = 0;
+    for (std::size_t c = 0; c < width && row_ok; ++c) {
+      if (has_label && c == label_col) continue;
+      if (categorical.count(c) > 0) {
+        std::string value(StripWhitespace(row[c]));
+        std::size_t id = category_ids[c].at(value);
+        for (std::size_t v = 0; v < result.categorical_values[c].size();
+             ++v) {
+          record[out_index++] = v == id ? 1.0 : 0.0;
+        }
+      } else {
+        double value;
+        if (!ParseDouble(row[c], &value)) {
+          row_ok = false;
+          break;
+        }
+        record[out_index++] = value;
+      }
+    }
+    if (!row_ok) {
+      if (options.strict) {
+        return DataLossError("row " + std::to_string(line_number) +
+                             " has a non-numeric feature value");
+      }
+      ++result.skipped_rows;
+      continue;
+    }
+
+    switch (options.task) {
+      case TaskType::kUnlabeled: {
+        result.dataset.Add(std::move(record));
+        break;
+      }
+      case TaskType::kClassification: {
+        std::string key(StripWhitespace(row[label_col]));
+        auto [it, inserted] = result.label_ids.emplace(key, next_label_id);
+        if (inserted) ++next_label_id;
+        result.dataset.Add(std::move(record), it->second);
+        break;
+      }
+      case TaskType::kRegression: {
+        double target;
+        if (!ParseDouble(row[label_col], &target)) {
+          if (options.strict) {
+            return DataLossError("row " + std::to_string(line_number) +
+                                 " has a non-numeric target");
+          }
+          ++result.skipped_rows;
+          continue;
+        }
+        result.dataset.Add(std::move(record), target);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<CsvReadResult> ReadCsv(const std::string& path,
+                                const CsvReadOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ReadCsvFromString(buffer.str(), options);
+}
+
+std::string WriteCsvToString(const Dataset& dataset) {
+  std::ostringstream out;
+  out.precision(17);
+  if (!dataset.feature_names().empty()) {
+    for (std::size_t c = 0; c < dataset.dim(); ++c) {
+      if (c > 0) out << ',';
+      out << dataset.feature_names()[c];
+    }
+    if (dataset.task() == TaskType::kClassification) out << ",label";
+    if (dataset.task() == TaskType::kRegression) out << ",target";
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    const linalg::Vector& record = dataset.record(i);
+    for (std::size_t c = 0; c < record.dim(); ++c) {
+      if (c > 0) out << ',';
+      out << record[c];
+    }
+    if (dataset.task() == TaskType::kClassification) {
+      out << ',' << dataset.label(i);
+    } else if (dataset.task() == TaskType::kRegression) {
+      out << ',' << dataset.target(i);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  file << WriteCsvToString(dataset);
+  if (!file) {
+    return DataLossError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace condensa::data

@@ -1,0 +1,140 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+
+#include "linalg/stats.h"
+
+namespace condensa::data {
+
+void Dataset::Add(linalg::Vector record) {
+  CONDENSA_CHECK(task_ == TaskType::kUnlabeled);
+  CONDENSA_CHECK_EQ(record.dim(), dim_);
+  records_.push_back(std::move(record));
+}
+
+void Dataset::Add(linalg::Vector record, int label) {
+  CONDENSA_CHECK(task_ == TaskType::kClassification);
+  CONDENSA_CHECK_EQ(record.dim(), dim_);
+  records_.push_back(std::move(record));
+  labels_.push_back(label);
+}
+
+void Dataset::Add(linalg::Vector record, double target) {
+  CONDENSA_CHECK(task_ == TaskType::kRegression);
+  CONDENSA_CHECK_EQ(record.dim(), dim_);
+  records_.push_back(std::move(record));
+  targets_.push_back(target);
+}
+
+int Dataset::label(std::size_t i) const {
+  CONDENSA_CHECK(task_ == TaskType::kClassification);
+  CONDENSA_DCHECK_LT(i, labels_.size());
+  return labels_[i];
+}
+
+double Dataset::target(std::size_t i) const {
+  CONDENSA_CHECK(task_ == TaskType::kRegression);
+  CONDENSA_DCHECK_LT(i, targets_.size());
+  return targets_[i];
+}
+
+Status Dataset::SetFeatureNames(std::vector<std::string> names) {
+  if (names.size() != dim_) {
+    return InvalidArgumentError("feature name count does not match dim");
+  }
+  feature_names_ = std::move(names);
+  return OkStatus();
+}
+
+std::vector<int> Dataset::DistinctLabels() const {
+  CONDENSA_CHECK(task_ == TaskType::kClassification);
+  std::set<int> distinct(labels_.begin(), labels_.end());
+  return std::vector<int>(distinct.begin(), distinct.end());
+}
+
+std::map<int, std::vector<std::size_t>> Dataset::IndicesByLabel() const {
+  CONDENSA_CHECK(task_ == TaskType::kClassification);
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    by_label[labels_[i]].push_back(i);
+  }
+  return by_label;
+}
+
+Dataset Dataset::Select(const std::vector<std::size_t>& indices) const {
+  Dataset out(dim_, task_);
+  out.feature_names_ = feature_names_;
+  for (std::size_t i : indices) {
+    CONDENSA_CHECK_LT(i, records_.size());
+    switch (task_) {
+      case TaskType::kUnlabeled:
+        out.Add(records_[i]);
+        break;
+      case TaskType::kClassification:
+        out.Add(records_[i], labels_[i]);
+        break;
+      case TaskType::kRegression:
+        out.Add(records_[i], targets_[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+Dataset Dataset::SelectLabel(int label) const {
+  CONDENSA_CHECK(task_ == TaskType::kClassification);
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) indices.push_back(i);
+  }
+  return Select(indices);
+}
+
+void Dataset::Append(const Dataset& other) {
+  CONDENSA_CHECK_EQ(dim_, other.dim_);
+  CONDENSA_CHECK(task_ == other.task_);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    switch (task_) {
+      case TaskType::kUnlabeled:
+        Add(other.records_[i]);
+        break;
+      case TaskType::kClassification:
+        Add(other.records_[i], other.labels_[i]);
+        break;
+      case TaskType::kRegression:
+        Add(other.records_[i], other.targets_[i]);
+        break;
+    }
+  }
+}
+
+linalg::Vector Dataset::Mean() const {
+  return linalg::MeanVector(records_);
+}
+
+linalg::Matrix Dataset::Covariance() const {
+  return linalg::CovarianceMatrix(records_);
+}
+
+Status Dataset::Validate() const {
+  for (const linalg::Vector& r : records_) {
+    if (r.dim() != dim_) {
+      return InternalError("record dimension mismatch");
+    }
+  }
+  if (task_ == TaskType::kClassification &&
+      labels_.size() != records_.size()) {
+    return InternalError("label count does not match record count");
+  }
+  if (task_ == TaskType::kRegression &&
+      targets_.size() != records_.size()) {
+    return InternalError("target count does not match record count");
+  }
+  if (!feature_names_.empty() && feature_names_.size() != dim_) {
+    return InternalError("feature name count does not match dim");
+  }
+  return OkStatus();
+}
+
+}  // namespace condensa::data

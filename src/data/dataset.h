@@ -1,0 +1,111 @@
+// In-memory multi-dimensional dataset.
+//
+// A Dataset holds numeric records of a fixed dimension plus, optionally,
+// either a class label per record (classification) or a real-valued target
+// per record (regression). This is the input and output type of the entire
+// condensation pipeline: the anonymizer produces a Dataset that can be fed
+// to any mining algorithm unchanged — which is the paper's core selling
+// point.
+
+#ifndef CONDENSA_DATA_DATASET_H_
+#define CONDENSA_DATA_DATASET_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::data {
+
+// What kind of supervision the dataset carries.
+enum class TaskType {
+  kUnlabeled = 0,
+  kClassification = 1,
+  kRegression = 2,
+};
+
+class Dataset {
+ public:
+  // Creates an empty dataset of the given record dimension.
+  explicit Dataset(std::size_t dim, TaskType task = TaskType::kUnlabeled)
+      : dim_(dim), task_(task) {}
+
+  Dataset(const Dataset&) = default;
+  Dataset& operator=(const Dataset&) = default;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  std::size_t dim() const { return dim_; }
+  TaskType task() const { return task_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Appends an unlabeled record. Dataset task must be kUnlabeled.
+  void Add(linalg::Vector record);
+  // Appends a labeled record. Dataset task must be kClassification.
+  void Add(linalg::Vector record, int label);
+  // Appends a record with a regression target. Task must be kRegression.
+  void Add(linalg::Vector record, double target);
+
+  const linalg::Vector& record(std::size_t i) const {
+    CONDENSA_DCHECK_LT(i, records_.size());
+    return records_[i];
+  }
+  const std::vector<linalg::Vector>& records() const { return records_; }
+
+  // Label of record i. Task must be kClassification.
+  int label(std::size_t i) const;
+  const std::vector<int>& labels() const { return labels_; }
+
+  // Regression target of record i. Task must be kRegression.
+  double target(std::size_t i) const;
+  const std::vector<double>& targets() const { return targets_; }
+
+  // Feature names; empty unless set. When set, size must equal dim().
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  Status SetFeatureNames(std::vector<std::string> names);
+
+  // Distinct labels in ascending order (classification only).
+  std::vector<int> DistinctLabels() const;
+
+  // Record indices per label (classification only).
+  std::map<int, std::vector<std::size_t>> IndicesByLabel() const;
+
+  // Returns a dataset containing the listed records (with their labels or
+  // targets). Indices must be in range.
+  Dataset Select(const std::vector<std::size_t>& indices) const;
+
+  // Returns the subset with the given label (classification only).
+  Dataset SelectLabel(int label) const;
+
+  // Appends all records of `other`. Dim and task must match.
+  void Append(const Dataset& other);
+
+  // Mean vector of the records. Requires a non-empty dataset.
+  linalg::Vector Mean() const;
+
+  // Population covariance matrix of the records (divides by n, matching the
+  // paper's Observation 2). Requires a non-empty dataset.
+  linalg::Matrix Covariance() const;
+
+  // Verifies internal consistency (record dims, parallel-array lengths).
+  Status Validate() const;
+
+ private:
+  std::size_t dim_;
+  TaskType task_;
+  std::vector<linalg::Vector> records_;
+  std::vector<int> labels_;      // parallel to records_ iff classification
+  std::vector<double> targets_;  // parallel to records_ iff regression
+  std::vector<std::string> feature_names_;
+};
+
+}  // namespace condensa::data
+
+#endif  // CONDENSA_DATA_DATASET_H_

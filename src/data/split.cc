@@ -1,0 +1,106 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace condensa::data {
+namespace {
+
+std::vector<std::size_t> ShuffledIndices(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  rng.Shuffle(indices);
+  return indices;
+}
+
+}  // namespace
+
+StatusOr<TrainTestSplit> SplitTrainTest(const Dataset& dataset,
+                                        double train_fraction, Rng& rng) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot split an empty dataset");
+  }
+  if (!(train_fraction > 0.0 && train_fraction < 1.0)) {
+    return InvalidArgumentError("train_fraction must be in (0, 1)");
+  }
+
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+
+  if (dataset.task() == TaskType::kClassification) {
+    for (auto& [label, indices] : dataset.IndicesByLabel()) {
+      (void)label;
+      std::vector<std::size_t> shuffled = indices;
+      rng.Shuffle(shuffled);
+      // Round rather than truncate so tiny classes land on both sides when
+      // they have at least two records.
+      std::size_t train_count = static_cast<std::size_t>(
+          train_fraction * static_cast<double>(shuffled.size()) + 0.5);
+      train_count = std::min(train_count, shuffled.size());
+      if (shuffled.size() >= 2) {
+        train_count = std::max<std::size_t>(train_count, 1);
+        train_count = std::min(train_count, shuffled.size() - 1);
+      }
+      for (std::size_t i = 0; i < shuffled.size(); ++i) {
+        (i < train_count ? train_indices : test_indices)
+            .push_back(shuffled[i]);
+      }
+    }
+  } else {
+    std::vector<std::size_t> shuffled = ShuffledIndices(dataset.size(), rng);
+    std::size_t train_count = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(shuffled.size()) + 0.5);
+    train_count = std::clamp<std::size_t>(train_count, 1, shuffled.size() - 1);
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      (i < train_count ? train_indices : test_indices).push_back(shuffled[i]);
+    }
+  }
+
+  if (train_indices.empty() || test_indices.empty()) {
+    return FailedPreconditionError(
+        "split produced an empty train or test side");
+  }
+
+  TrainTestSplit split;
+  split.train = dataset.Select(train_indices);
+  split.test = dataset.Select(test_indices);
+  return split;
+}
+
+StatusOr<std::vector<std::vector<std::size_t>>> MakeFolds(
+    const Dataset& dataset, std::size_t folds, Rng& rng) {
+  if (folds < 2) {
+    return InvalidArgumentError("need at least 2 folds");
+  }
+  if (folds > dataset.size()) {
+    return InvalidArgumentError("more folds than records");
+  }
+
+  std::vector<std::vector<std::size_t>> result(folds);
+  if (dataset.task() == TaskType::kClassification) {
+    // Deal each class round-robin across folds.
+    std::size_t next_fold = 0;
+    for (auto& [label, indices] : dataset.IndicesByLabel()) {
+      (void)label;
+      std::vector<std::size_t> shuffled = indices;
+      rng.Shuffle(shuffled);
+      for (std::size_t i : shuffled) {
+        result[next_fold].push_back(i);
+        next_fold = (next_fold + 1) % folds;
+      }
+    }
+  } else {
+    std::vector<std::size_t> shuffled = ShuffledIndices(dataset.size(), rng);
+    for (std::size_t i = 0; i < shuffled.size(); ++i) {
+      result[i % folds].push_back(shuffled[i]);
+    }
+  }
+  return result;
+}
+
+Dataset Shuffled(const Dataset& dataset, Rng& rng) {
+  std::vector<std::size_t> indices = ShuffledIndices(dataset.size(), rng);
+  return dataset.Select(indices);
+}
+
+}  // namespace condensa::data

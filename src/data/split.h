@@ -1,0 +1,39 @@
+// Train/test and cross-validation splitting.
+
+#ifndef CONDENSA_DATA_SPLIT_H_
+#define CONDENSA_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace condensa::data {
+
+struct TrainTestSplit {
+  Dataset train = Dataset(0);
+  Dataset test = Dataset(0);
+};
+
+// Randomly splits `dataset` with `train_fraction` of records in train.
+// For classification datasets the split is stratified: each class
+// contributes (approximately) the same fraction to the train side, so
+// rare classes are represented in both sides whenever they have >= 2
+// records. Fails when the dataset is empty or the fraction is outside
+// (0, 1).
+StatusOr<TrainTestSplit> SplitTrainTest(const Dataset& dataset,
+                                        double train_fraction, Rng& rng);
+
+// Produces `folds` disjoint index sets covering the dataset, shuffled and
+// (for classification) stratified. Fails when folds < 2 or folds > size.
+StatusOr<std::vector<std::vector<std::size_t>>> MakeFolds(
+    const Dataset& dataset, std::size_t folds, Rng& rng);
+
+// Returns a copy of `dataset` with records (and labels/targets) in a
+// uniformly random order.
+Dataset Shuffled(const Dataset& dataset, Rng& rng);
+
+}  // namespace condensa::data
+
+#endif  // CONDENSA_DATA_SPLIT_H_

@@ -1,0 +1,134 @@
+#include "data/transform.h"
+
+#include <cmath>
+
+namespace condensa::data {
+namespace {
+
+// Copies a dataset record-by-record through `map`, keeping supervision.
+template <typename Fn>
+Dataset MapDataset(const Dataset& dataset, Fn&& map) {
+  Dataset out(dataset.dim(), dataset.task());
+  if (!dataset.feature_names().empty()) {
+    Status status = out.SetFeatureNames(dataset.feature_names());
+    CONDENSA_CHECK(status.ok());
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    linalg::Vector mapped = map(dataset.record(i));
+    switch (dataset.task()) {
+      case TaskType::kUnlabeled:
+        out.Add(std::move(mapped));
+        break;
+      case TaskType::kClassification:
+        out.Add(std::move(mapped), dataset.label(i));
+        break;
+      case TaskType::kRegression:
+        out.Add(std::move(mapped), dataset.target(i));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status ZScoreScaler::Fit(const Dataset& dataset) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot fit scaler on empty dataset");
+  }
+  const std::size_t d = dataset.dim();
+  mean_ = dataset.Mean();
+  stddev_ = linalg::Vector(d);
+  for (const linalg::Vector& record : dataset.records()) {
+    for (std::size_t j = 0; j < d; ++j) {
+      double diff = record[j] - mean_[j];
+      stddev_[j] += diff * diff;
+    }
+  }
+  for (std::size_t j = 0; j < d; ++j) {
+    stddev_[j] = std::sqrt(stddev_[j] / static_cast<double>(dataset.size()));
+    if (stddev_[j] <= 0.0) {
+      stddev_[j] = 1.0;  // constant dimension: shift only
+    }
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+linalg::Vector ZScoreScaler::Transform(const linalg::Vector& record) const {
+  CONDENSA_CHECK(fitted_);
+  CONDENSA_CHECK_EQ(record.dim(), mean_.dim());
+  linalg::Vector out(record.dim());
+  for (std::size_t j = 0; j < record.dim(); ++j) {
+    out[j] = (record[j] - mean_[j]) / stddev_[j];
+  }
+  return out;
+}
+
+linalg::Vector ZScoreScaler::InverseTransform(
+    const linalg::Vector& record) const {
+  CONDENSA_CHECK(fitted_);
+  CONDENSA_CHECK_EQ(record.dim(), mean_.dim());
+  linalg::Vector out(record.dim());
+  for (std::size_t j = 0; j < record.dim(); ++j) {
+    out[j] = record[j] * stddev_[j] + mean_[j];
+  }
+  return out;
+}
+
+Dataset ZScoreScaler::TransformDataset(const Dataset& dataset) const {
+  return MapDataset(dataset,
+                    [this](const linalg::Vector& r) { return Transform(r); });
+}
+
+Dataset ZScoreScaler::InverseTransformDataset(const Dataset& dataset) const {
+  return MapDataset(dataset, [this](const linalg::Vector& r) {
+    return InverseTransform(r);
+  });
+}
+
+Status MinMaxScaler::Fit(const Dataset& dataset) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("cannot fit scaler on empty dataset");
+  }
+  const std::size_t d = dataset.dim();
+  min_ = dataset.record(0);
+  max_ = dataset.record(0);
+  for (const linalg::Vector& record : dataset.records()) {
+    for (std::size_t j = 0; j < d; ++j) {
+      min_[j] = std::min(min_[j], record[j]);
+      max_[j] = std::max(max_[j], record[j]);
+    }
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+linalg::Vector MinMaxScaler::Transform(const linalg::Vector& record) const {
+  CONDENSA_CHECK(fitted_);
+  CONDENSA_CHECK_EQ(record.dim(), min_.dim());
+  linalg::Vector out(record.dim());
+  for (std::size_t j = 0; j < record.dim(); ++j) {
+    double span = max_[j] - min_[j];
+    out[j] = span > 0.0 ? (record[j] - min_[j]) / span : 0.0;
+  }
+  return out;
+}
+
+linalg::Vector MinMaxScaler::InverseTransform(
+    const linalg::Vector& record) const {
+  CONDENSA_CHECK(fitted_);
+  CONDENSA_CHECK_EQ(record.dim(), min_.dim());
+  linalg::Vector out(record.dim());
+  for (std::size_t j = 0; j < record.dim(); ++j) {
+    out[j] = min_[j] + record[j] * (max_[j] - min_[j]);
+  }
+  return out;
+}
+
+Dataset MinMaxScaler::TransformDataset(const Dataset& dataset) const {
+  return MapDataset(dataset,
+                    [this](const linalg::Vector& r) { return Transform(r); });
+}
+
+}  // namespace condensa::data

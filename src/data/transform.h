@@ -1,0 +1,67 @@
+// Feature scaling.
+//
+// Nearest-neighbour grouping (both the condenser and the k-NN classifier)
+// is scale-sensitive, so the benches z-score features on the training side
+// before condensing, matching standard practice for the UCI workloads.
+
+#ifndef CONDENSA_DATA_TRANSFORM_H_
+#define CONDENSA_DATA_TRANSFORM_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace condensa::data {
+
+// Per-dimension standardization: x' = (x - mean) / stddev. Dimensions with
+// zero variance pass through unshifted in scale (stddev treated as 1).
+class ZScoreScaler {
+ public:
+  ZScoreScaler() = default;
+
+  // Learns mean and stddev from `dataset`. Fails when the dataset is empty.
+  Status Fit(const Dataset& dataset);
+
+  bool fitted() const { return fitted_; }
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& stddev() const { return stddev_; }
+
+  // Transforms a single record. Requires fitted() and matching dim.
+  linalg::Vector Transform(const linalg::Vector& record) const;
+  // Undoes Transform.
+  linalg::Vector InverseTransform(const linalg::Vector& record) const;
+
+  // Transforms every record, keeping labels/targets.
+  Dataset TransformDataset(const Dataset& dataset) const;
+  Dataset InverseTransformDataset(const Dataset& dataset) const;
+
+ private:
+  bool fitted_ = false;
+  linalg::Vector mean_;
+  linalg::Vector stddev_;
+};
+
+// Per-dimension min-max scaling to [0, 1]. Constant dimensions map to 0.
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  Status Fit(const Dataset& dataset);
+
+  bool fitted() const { return fitted_; }
+  const linalg::Vector& min() const { return min_; }
+  const linalg::Vector& max() const { return max_; }
+
+  linalg::Vector Transform(const linalg::Vector& record) const;
+  linalg::Vector InverseTransform(const linalg::Vector& record) const;
+  Dataset TransformDataset(const Dataset& dataset) const;
+
+ private:
+  bool fitted_ = false;
+  linalg::Vector min_;
+  linalg::Vector max_;
+};
+
+}  // namespace condensa::data
+
+#endif  // CONDENSA_DATA_TRANSFORM_H_

@@ -1,0 +1,81 @@
+#include "datagen/gaussian_mixture.h"
+
+#include <utility>
+
+#include "linalg/cholesky.h"
+
+namespace condensa::datagen {
+
+StatusOr<GaussianMixture> GaussianMixture::Create(
+    std::vector<GaussianComponentSpec> components) {
+  if (components.empty()) {
+    return InvalidArgumentError("mixture needs at least one component");
+  }
+  const std::size_t d = components.front().mean.dim();
+  double total_weight = 0.0;
+
+  GaussianMixture mixture;
+  for (GaussianComponentSpec& spec : components) {
+    if (spec.mean.dim() != d) {
+      return InvalidArgumentError("mixture component dimensions differ");
+    }
+    if (spec.weight < 0.0) {
+      return InvalidArgumentError("mixture weight must be non-negative");
+    }
+    total_weight += spec.weight;
+    CONDENSA_ASSIGN_OR_RETURN(linalg::Matrix factor,
+                              linalg::CholeskyFactor(spec.covariance));
+    mixture.means_.push_back(std::move(spec.mean));
+    mixture.cholesky_factors_.push_back(std::move(factor));
+    mixture.weights_.push_back(spec.weight);
+  }
+  if (total_weight <= 0.0) {
+    return InvalidArgumentError("mixture weights sum to zero");
+  }
+  return mixture;
+}
+
+linalg::Vector GaussianMixture::Sample(Rng& rng) const {
+  std::size_t component = rng.Categorical(weights_);
+  const linalg::Vector& mean = means_[component];
+  const linalg::Matrix& l = cholesky_factors_[component];
+  const std::size_t d = mean.dim();
+
+  linalg::Vector z(d);
+  for (std::size_t i = 0; i < d; ++i) {
+    z[i] = rng.Gaussian();
+  }
+  // x = mean + L z (L lower-triangular).
+  linalg::Vector x = mean;
+  for (std::size_t r = 0; r < d; ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c <= r; ++c) {
+      total += l(r, c) * z[c];
+    }
+    x[r] += total;
+  }
+  return x;
+}
+
+std::vector<linalg::Vector> GaussianMixture::SampleMany(std::size_t count,
+                                                        Rng& rng) const {
+  std::vector<linalg::Vector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Sample(rng));
+  }
+  return out;
+}
+
+linalg::Vector GaussianMixture::Mean() const {
+  linalg::Vector mean(dim());
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < means_.size(); ++i) {
+    mean += means_[i] * weights_[i];
+    total_weight += weights_[i];
+  }
+  mean /= total_weight;
+  return mean;
+}
+
+}  // namespace condensa::datagen

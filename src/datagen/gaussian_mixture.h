@@ -1,0 +1,56 @@
+// Gaussian mixture sampling.
+//
+// Class-conditional densities in the synthetic UCI profiles are mixtures of
+// a few correlated Gaussians; samples are drawn as mean + L z with L the
+// Cholesky factor of the component covariance.
+
+#ifndef CONDENSA_DATAGEN_GAUSSIAN_MIXTURE_H_
+#define CONDENSA_DATAGEN_GAUSSIAN_MIXTURE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::datagen {
+
+// One mixture component, specified by its mean and covariance.
+struct GaussianComponentSpec {
+  linalg::Vector mean;
+  linalg::Matrix covariance;
+  double weight = 1.0;
+};
+
+class GaussianMixture {
+ public:
+  // Validates and pre-factorizes the components. Fails when the list is
+  // empty, dimensions are inconsistent, a weight is negative or all zero,
+  // or a covariance is not positive definite.
+  static StatusOr<GaussianMixture> Create(
+      std::vector<GaussianComponentSpec> components);
+
+  std::size_t dim() const { return means_.front().dim(); }
+  std::size_t num_components() const { return means_.size(); }
+
+  // Draws one point.
+  linalg::Vector Sample(Rng& rng) const;
+
+  // Draws `count` points.
+  std::vector<linalg::Vector> SampleMany(std::size_t count, Rng& rng) const;
+
+  // The exact mixture mean, Σ w_i μ_i / Σ w_i.
+  linalg::Vector Mean() const;
+
+ private:
+  GaussianMixture() = default;
+
+  std::vector<linalg::Vector> means_;
+  std::vector<linalg::Matrix> cholesky_factors_;
+  std::vector<double> weights_;
+};
+
+}  // namespace condensa::datagen
+
+#endif  // CONDENSA_DATAGEN_GAUSSIAN_MIXTURE_H_

@@ -1,0 +1,63 @@
+#include "datagen/random_covariance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa::datagen {
+
+linalg::Matrix RandomOrthogonal(std::size_t dim, Rng& rng) {
+  CONDENSA_CHECK_GT(dim, 0u);
+  linalg::Matrix q(dim, dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    // Draw a Gaussian column, then orthogonalize against previous columns
+    // (modified Gram-Schmidt) and normalize. Redraw on degeneracy.
+    while (true) {
+      linalg::Vector column(dim);
+      for (std::size_t r = 0; r < dim; ++r) {
+        column[r] = rng.Gaussian();
+      }
+      for (std::size_t prev = 0; prev < c; ++prev) {
+        double projection = 0.0;
+        for (std::size_t r = 0; r < dim; ++r) {
+          projection += column[r] * q(r, prev);
+        }
+        for (std::size_t r = 0; r < dim; ++r) {
+          column[r] -= projection * q(r, prev);
+        }
+      }
+      double norm = column.Norm();
+      if (norm > 1e-8) {
+        for (std::size_t r = 0; r < dim; ++r) {
+          q(r, c) = column[r] / norm;
+        }
+        break;
+      }
+    }
+  }
+  return q;
+}
+
+linalg::Vector GeometricSpectrum(std::size_t dim, double first, double ratio) {
+  CONDENSA_CHECK_GT(first, 0.0);
+  CONDENSA_CHECK_GT(ratio, 0.0);
+  CONDENSA_CHECK_LE(ratio, 1.0);
+  linalg::Vector spectrum(dim);
+  double value = first;
+  for (std::size_t i = 0; i < dim; ++i) {
+    spectrum[i] = value;
+    value *= ratio;
+  }
+  return spectrum;
+}
+
+linalg::Matrix RandomCovariance(const linalg::Vector& spectrum, Rng& rng) {
+  for (std::size_t i = 0; i < spectrum.dim(); ++i) {
+    CONDENSA_CHECK_GE(spectrum[i], 0.0);
+  }
+  linalg::Matrix q = RandomOrthogonal(spectrum.dim(), rng);
+  return linalg::MatMul(linalg::MatMul(q, linalg::Matrix::Diagonal(spectrum)),
+                        q.Transposed());
+}
+
+}  // namespace condensa::datagen

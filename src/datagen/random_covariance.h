@@ -1,0 +1,31 @@
+// Random covariance structure for synthetic data generation.
+//
+// The UCI-profile generators need class-conditional covariance matrices
+// with controlled anisotropy (strong inter-attribute correlations are what
+// the condensation approach preserves and the perturbation baseline loses).
+// A covariance is built as Q diag(spectrum) Qᵀ with Q a random rotation.
+
+#ifndef CONDENSA_DATAGEN_RANDOM_COVARIANCE_H_
+#define CONDENSA_DATAGEN_RANDOM_COVARIANCE_H_
+
+#include "common/random.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::datagen {
+
+// Returns a uniformly random orthogonal matrix (Gram-Schmidt on a Gaussian
+// matrix; Haar-distributed up to column signs, which is all we need).
+linalg::Matrix RandomOrthogonal(std::size_t dim, Rng& rng);
+
+// Returns the geometric eigenvalue spectrum {first, first·ratio, ...}.
+// Requires first > 0 and ratio in (0, 1].
+linalg::Vector GeometricSpectrum(std::size_t dim, double first, double ratio);
+
+// Returns Q diag(spectrum) Qᵀ with a fresh random rotation Q. Spectrum
+// entries must be non-negative.
+linalg::Matrix RandomCovariance(const linalg::Vector& spectrum, Rng& rng);
+
+}  // namespace condensa::datagen
+
+#endif  // CONDENSA_DATAGEN_RANDOM_COVARIANCE_H_

@@ -1,0 +1,180 @@
+#include "index/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace condensa::index {
+
+StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot index an empty point set");
+  }
+  const std::size_t dim = points.front().dim();
+  if (dim == 0) {
+    return InvalidArgumentError("cannot index zero-dimensional points");
+  }
+  for (const linalg::Vector& p : points) {
+    if (p.dim() != dim) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  KdTree tree;
+  tree.points_ = &points;
+  tree.dim_ = dim;
+  tree.order_.resize(points.size());
+  std::iota(tree.order_.begin(), tree.order_.end(), 0);
+  tree.nodes_.reserve(2 * points.size() / kLeafSize + 4);
+  tree.root_ = tree.BuildRecursive(0, points.size());
+  return tree;
+}
+
+std::size_t KdTree::BuildRecursive(std::size_t begin, std::size_t end) {
+  CONDENSA_DCHECK_LT(begin, end);
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+
+  if (end - begin <= kLeafSize) {
+    nodes_[node_id].begin = begin;
+    nodes_[node_id].end = end;
+    return node_id;
+  }
+
+  // Split on the dimension with the widest value spread in this cell.
+  const std::vector<linalg::Vector>& points = *points_;
+  std::size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (std::size_t i = begin; i < end; ++i) {
+      double v = points[order_[i]][d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = d;
+    }
+  }
+  if (best_spread <= 0.0) {
+    // All points in the cell coincide: make it a leaf regardless of size.
+    nodes_[node_id].begin = begin;
+    nodes_[node_id].end = end;
+    return node_id;
+  }
+
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order_.begin() + begin, order_.begin() + mid,
+                   order_.begin() + end,
+                   [&points, best_dim](std::size_t a, std::size_t b) {
+                     return points[a][best_dim] < points[b][best_dim];
+                   });
+  const double split_value = points[order_[mid]][best_dim];
+
+  // Fill fields after recursion: BuildRecursive may reallocate nodes_.
+  std::size_t left = BuildRecursive(begin, mid);
+  std::size_t right = BuildRecursive(mid, end);
+  Node& node = nodes_[node_id];
+  node.split_dim = best_dim;
+  node.split_value = split_value;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
+                            std::size_t k,
+                            std::vector<HeapEntry>& heap) const {
+  const Node& node = nodes_[node_id];
+  const std::vector<linalg::Vector>& points = *points_;
+
+  if (node.split_dim == Node::kLeaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      std::size_t index = order_[i];
+      double distance_sq = linalg::SquaredDistance(points[index], query);
+      if (heap.size() < k) {
+        heap.push_back({distance_sq, index});
+        std::push_heap(heap.begin(), heap.end());
+      } else if (distance_sq < heap.front().distance_sq) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = {distance_sq, index};
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+
+  const double diff = query[node.split_dim] - node.split_value;
+  const std::size_t near = diff < 0.0 ? node.left : node.right;
+  const std::size_t far = diff < 0.0 ? node.right : node.left;
+  SearchKNearest(near, query, k, heap);
+  // Visit the far side only if the splitting plane is closer than the
+  // current k-th best.
+  if (heap.size() < k || diff * diff < heap.front().distance_sq) {
+    SearchKNearest(far, query, k, heap);
+  }
+}
+
+std::vector<std::size_t> KdTree::KNearest(const linalg::Vector& query,
+                                          std::size_t k) const {
+  CONDENSA_CHECK_EQ(query.dim(), dim_);
+  CONDENSA_CHECK_GT(k, 0u);
+  k = std::min(k, size());
+
+  std::vector<HeapEntry> heap;
+  heap.reserve(k + 1);
+  SearchKNearest(root_, query, k, heap);
+  std::sort_heap(heap.begin(), heap.end());
+
+  std::vector<std::size_t> out;
+  out.reserve(heap.size());
+  for (const HeapEntry& entry : heap) {
+    out.push_back(entry.index);
+  }
+  return out;
+}
+
+std::size_t KdTree::Nearest(const linalg::Vector& query) const {
+  return KNearest(query, 1).front();
+}
+
+void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
+                          double radius_sq,
+                          std::vector<std::size_t>& out) const {
+  const Node& node = nodes_[node_id];
+  const std::vector<linalg::Vector>& points = *points_;
+
+  if (node.split_dim == Node::kLeaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      std::size_t index = order_[i];
+      if (linalg::SquaredDistance(points[index], query) <= radius_sq) {
+        out.push_back(index);
+      }
+    }
+    return;
+  }
+
+  const double diff = query[node.split_dim] - node.split_value;
+  const std::size_t near = diff < 0.0 ? node.left : node.right;
+  const std::size_t far = diff < 0.0 ? node.right : node.left;
+  SearchRadius(near, query, radius_sq, out);
+  if (diff * diff <= radius_sq) {
+    SearchRadius(far, query, radius_sq, out);
+  }
+}
+
+std::vector<std::size_t> KdTree::RadiusSearch(const linalg::Vector& query,
+                                              double radius) const {
+  CONDENSA_CHECK_EQ(query.dim(), dim_);
+  CONDENSA_CHECK_GE(radius, 0.0);
+  std::vector<std::size_t> out;
+  SearchRadius(root_, query, radius * radius, out);
+  return out;
+}
+
+}  // namespace condensa::index

@@ -1,0 +1,86 @@
+// k-d tree for exact nearest-neighbour queries.
+//
+// The condensation pipeline is dominated by nearest-neighbour work: the
+// static condenser's neighbour gathering, the dynamic condenser's
+// nearest-centroid lookups, and the k-NN classifier itself. A k-d tree
+// brings the per-query cost from O(n) to roughly O(log n) in the low
+// dimensions typical of the paper's workloads, and degrades gracefully
+// (never worse than a full scan) in high dimensions.
+//
+// The tree stores point indices into a caller-owned point array; points
+// are not copied. Build is median-split on the widest-spread dimension.
+
+#ifndef CONDENSA_INDEX_KDTREE_H_
+#define CONDENSA_INDEX_KDTREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace condensa::index {
+
+class KdTree {
+ public:
+  // Builds an index over `points` (all the same dimension, non-empty).
+  // The returned tree references `points`; the caller must keep the
+  // vector alive and unmodified for the tree's lifetime.
+  static StatusOr<KdTree> Build(const std::vector<linalg::Vector>& points);
+
+  std::size_t size() const { return points_->size(); }
+  std::size_t dim() const { return dim_; }
+
+  // Index of the point nearest to `query` (Euclidean).
+  std::size_t Nearest(const linalg::Vector& query) const;
+
+  // Indices of the k nearest points in increasing distance order
+  // (k clamped to size()).
+  std::vector<std::size_t> KNearest(const linalg::Vector& query,
+                                    std::size_t k) const;
+
+  // Indices of all points within `radius` of `query`, unordered.
+  std::vector<std::size_t> RadiusSearch(const linalg::Vector& query,
+                                        double radius) const;
+
+ private:
+  struct Node {
+    // Leaf when split_dim is kLeaf; then [begin, end) indexes order_.
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+    std::size_t split_dim = kLeaf;
+    double split_value = 0.0;
+    std::size_t left = 0;   // child node ids (internal nodes)
+    std::size_t right = 0;
+    std::size_t begin = 0;  // leaf payload range in order_
+    std::size_t end = 0;
+  };
+
+  // Max-heap entry used during k-NN search.
+  struct HeapEntry {
+    double distance_sq;
+    std::size_t index;
+    bool operator<(const HeapEntry& other) const {
+      return distance_sq < other.distance_sq;
+    }
+  };
+
+  KdTree() = default;
+
+  std::size_t BuildRecursive(std::size_t begin, std::size_t end);
+  void SearchKNearest(std::size_t node, const linalg::Vector& query,
+                      std::size_t k, std::vector<HeapEntry>& heap) const;
+  void SearchRadius(std::size_t node, const linalg::Vector& query,
+                    double radius_sq, std::vector<std::size_t>& out) const;
+
+  static constexpr std::size_t kLeafSize = 16;
+
+  const std::vector<linalg::Vector>* points_ = nullptr;
+  std::size_t dim_ = 0;
+  std::vector<std::size_t> order_;  // permutation of point indices
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+};
+
+}  // namespace condensa::index
+
+#endif  // CONDENSA_INDEX_KDTREE_H_

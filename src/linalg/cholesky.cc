@@ -1,0 +1,80 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace condensa::linalg {
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.empty()) {
+    return InvalidArgumentError("Cholesky of empty matrix");
+  }
+  if (a.rows() != a.cols()) {
+    return InvalidArgumentError("Cholesky requires a square matrix");
+  }
+  double scale = std::max(1.0, a.MaxAbs());
+  if (!a.IsSymmetric(1e-8 * scale)) {
+    return InvalidArgumentError("Cholesky requires symmetry");
+  }
+
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= l(j, k) * l(j, k);
+    }
+    if (diag <= 1e-12 * scale) {
+      return FailedPreconditionError(
+          "Cholesky requires a positive definite matrix");
+    }
+    l(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        value -= l(i, k) * l(j, k);
+      }
+      l(i, j) = value / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  CONDENSA_CHECK_EQ(l.rows(), l.cols());
+  CONDENSA_CHECK_EQ(l.rows(), b.dim());
+  const std::size_t n = l.rows();
+
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t k = 0; k < i; ++k) {
+      value -= l(i, k) * y[k];
+    }
+    CONDENSA_CHECK_NE(l(i, i), 0.0);
+    y[i] = value / l(i, i);
+  }
+
+  // Back substitution: Lᵀ x = y.
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double value = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      value -= l(k, i) * x[k];
+    }
+    x[i] = value / l(i, i);
+  }
+  return x;
+}
+
+double CholeskyLogDet(const Matrix& l) {
+  CONDENSA_CHECK_EQ(l.rows(), l.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) {
+    CONDENSA_CHECK_GT(l(i, i), 0.0);
+    total += std::log(l(i, i));
+  }
+  return 2.0 * total;
+}
+
+}  // namespace condensa::linalg

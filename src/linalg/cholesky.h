@@ -1,0 +1,30 @@
+// Cholesky (L Lᵀ) factorization of symmetric positive-definite matrices.
+//
+// Used by the synthetic data generators to draw correlated Gaussian vectors
+// (x = mean + L z with z ~ N(0, I)), and available as a library utility.
+
+#ifndef CONDENSA_LINALG_CHOLESKY_H_
+#define CONDENSA_LINALG_CHOLESKY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::linalg {
+
+// Returns the lower-triangular L with A = L Lᵀ. Fails with InvalidArgument
+// when `a` is empty, non-square, or non-symmetric, and with
+// FailedPrecondition when `a` is not positive definite (a non-positive
+// pivot is encountered beyond round-off tolerance).
+StatusOr<Matrix> CholeskyFactor(const Matrix& a);
+
+// Solves A x = b given the Cholesky factor L of A (forward + back
+// substitution). `l` must be lower-triangular with positive diagonal.
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+// Log-determinant of A from its Cholesky factor: 2 Σ log L_ii.
+double CholeskyLogDet(const Matrix& l);
+
+}  // namespace condensa::linalg
+
+#endif  // CONDENSA_LINALG_CHOLESKY_H_

@@ -1,0 +1,243 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace condensa::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  values_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    CONDENSA_CHECK_EQ(row.size(), cols_);
+    for (double v : row) {
+      values_.push_back(v);
+    }
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out(i, i) = 1.0;
+  }
+  return out;
+}
+
+Matrix Matrix::Diagonal(const Vector& diagonal) {
+  Matrix out(diagonal.dim(), diagonal.dim());
+  for (std::size_t i = 0; i < diagonal.dim(); ++i) {
+    out(i, i) = diagonal[i];
+  }
+  return out;
+}
+
+Vector Matrix::Row(std::size_t r) const {
+  CONDENSA_CHECK_LT(r, rows_);
+  Vector out(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    out[c] = (*this)(r, c);
+  }
+  return out;
+}
+
+Vector Matrix::Col(std::size_t c) const {
+  CONDENSA_CHECK_LT(c, cols_);
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out[r] = (*this)(r, c);
+  }
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const Vector& row) {
+  CONDENSA_CHECK_LT(r, rows_);
+  CONDENSA_CHECK_EQ(row.dim(), cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    (*this)(r, c) = row[c];
+  }
+}
+
+void Matrix::SetCol(std::size_t c, const Vector& col) {
+  CONDENSA_CHECK_LT(c, cols_);
+  CONDENSA_CHECK_EQ(col.dim(), rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    (*this)(r, c) = col[r];
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  CONDENSA_CHECK_EQ(rows_, other.rows_);
+  CONDENSA_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  CONDENSA_CHECK_EQ(rows_, other.rows_);
+  CONDENSA_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) {
+  for (double& v : values_) v *= scale;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+double Matrix::Trace() const {
+  CONDENSA_CHECK_EQ(rows_, cols_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    total += (*this)(i, i);
+  }
+  return total;
+}
+
+double Matrix::MaxAbs() const {
+  double max_abs = 0.0;
+  for (double v : values_) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  return max_abs;
+}
+
+bool Matrix::IsSymmetric(double tolerance) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tolerance) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  char buffer[32];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += r == 0 ? "[[" : " [";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out += ", ";
+      std::snprintf(buffer, sizeof(buffer), "%.6g", (*this)(r, c));
+      out += buffer;
+    }
+    out += r + 1 == rows_ ? "]]" : "]\n";
+  }
+  return out;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) {
+  a += b;
+  return a;
+}
+
+Matrix operator-(Matrix a, const Matrix& b) {
+  a -= b;
+  return a;
+}
+
+Matrix operator*(Matrix m, double scale) {
+  m *= scale;
+  return m;
+}
+
+Matrix operator*(double scale, Matrix m) {
+  m *= scale;
+  return m;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CONDENSA_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double a_rk = a(r, k);
+      if (a_rk == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out(r, c) += a_rk * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Vector MatVec(const Matrix& a, const Vector& v) {
+  CONDENSA_CHECK_EQ(a.cols(), v.dim());
+  Vector out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double total = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      total += a(r, c) * v[c];
+    }
+    out[r] = total;
+  }
+  return out;
+}
+
+Matrix TransposeMatMul(const Matrix& a, const Matrix& b) {
+  CONDENSA_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t r = 0; r < a.cols(); ++r) {
+      double a_kr = a(k, r);
+      if (a_kr == 0.0) continue;
+      for (std::size_t c = 0; c < b.cols(); ++c) {
+        out(r, c) += a_kr * b(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix OuterProduct(const Vector& v, const Vector& w) {
+  Matrix out(v.dim(), w.dim());
+  for (std::size_t r = 0; r < v.dim(); ++r) {
+    for (std::size_t c = 0; c < w.dim(); ++c) {
+      out(r, c) = v[r] * w[c];
+    }
+  }
+  return out;
+}
+
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tolerance) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - b(r, c)) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+double FrobeniusDistance(const Matrix& a, const Matrix& b) {
+  CONDENSA_CHECK_EQ(a.rows(), b.rows());
+  CONDENSA_CHECK_EQ(a.cols(), b.cols());
+  double total = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      double diff = a(r, c) - b(r, c);
+      total += diff * diff;
+    }
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace condensa::linalg

@@ -1,0 +1,115 @@
+// Dense row-major real matrix.
+//
+// Covers exactly what the condensation pipeline needs: covariance matrices
+// (symmetric d x d), eigenvector bases, and small products. Dimensions in
+// all paper workloads are <= ~50, so the implementation favours clarity.
+
+#ifndef CONDENSA_LINALG_MATRIX_H_
+#define CONDENSA_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "linalg/vector.h"
+
+namespace condensa::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Creates a zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), values_(rows * cols, 0.0) {}
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+  // Row-major brace construction: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  // Returns the n x n identity.
+  static Matrix Identity(std::size_t n);
+  // Returns a square matrix with `diagonal` on the diagonal.
+  static Matrix Diagonal(const Vector& diagonal);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return values_.empty(); }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    CONDENSA_DCHECK_LT(r, rows_);
+    CONDENSA_DCHECK_LT(c, cols_);
+    return values_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    CONDENSA_DCHECK_LT(r, rows_);
+    CONDENSA_DCHECK_LT(c, cols_);
+    return values_[r * cols_ + c];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  // Returns row `r` / column `c` as a Vector copy.
+  Vector Row(std::size_t r) const;
+  Vector Col(std::size_t c) const;
+  // Overwrites row `r` / column `c`. Dimensions must match.
+  void SetRow(std::size_t r, const Vector& row);
+  void SetCol(std::size_t c, const Vector& col);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scale);
+
+  // Returns the transpose.
+  Matrix Transposed() const;
+
+  // Sum of diagonal entries (square matrices only).
+  double Trace() const;
+
+  // Largest absolute entry (0 for empty matrices).
+  double MaxAbs() const;
+
+  // True when the matrix is square and |A - Aᵀ| <= tolerance entry-wise.
+  bool IsSymmetric(double tolerance) const;
+
+  // Multi-line human-readable rendering (debugging aid).
+  std::string ToString() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix m, double scale);
+Matrix operator*(double scale, Matrix m);
+
+// Matrix product. Inner dimensions must match.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// Matrix-vector product. a.cols() must equal v.dim().
+Vector MatVec(const Matrix& a, const Vector& v);
+
+// Returns aᵀ b computed without forming the transpose.
+Matrix TransposeMatMul(const Matrix& a, const Matrix& b);
+
+// Outer product v wᵀ.
+Matrix OuterProduct(const Vector& v, const Vector& w);
+
+// True when shapes match and |a - b| <= tolerance entry-wise.
+bool ApproxEqual(const Matrix& a, const Matrix& b, double tolerance);
+
+// Frobenius norm of (a - b). Shapes must match.
+double FrobeniusDistance(const Matrix& a, const Matrix& b);
+
+}  // namespace condensa::linalg
+
+#endif  // CONDENSA_LINALG_MATRIX_H_

@@ -1,0 +1,110 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/stats.h"
+
+namespace condensa::linalg {
+
+double PcaResult::ExplainedVarianceRatio(std::size_t count) const {
+  CONDENSA_CHECK_LE(count, explained_variance.dim());
+  double total = explained_variance.Sum();
+  if (total <= 0.0) return count > 0 ? 1.0 : 0.0;
+  double kept = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    kept += explained_variance[i];
+  }
+  return kept / total;
+}
+
+Vector PcaResult::Project(const Vector& point, std::size_t count) const {
+  CONDENSA_CHECK_EQ(point.dim(), mean.dim());
+  CONDENSA_CHECK_LE(count, components.cols());
+  Vector centred = point - mean;
+  Vector projection(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < centred.dim(); ++r) {
+      total += components(r, j) * centred[r];
+    }
+    projection[j] = total;
+  }
+  return projection;
+}
+
+Vector PcaResult::Reconstruct(const Vector& projection,
+                              std::size_t count) const {
+  CONDENSA_CHECK_EQ(projection.dim(), count);
+  CONDENSA_CHECK_LE(count, components.cols());
+  Vector point = mean;
+  for (std::size_t j = 0; j < count; ++j) {
+    for (std::size_t r = 0; r < point.dim(); ++r) {
+      point[r] += projection[j] * components(r, j);
+    }
+  }
+  return point;
+}
+
+StatusOr<PcaResult> ComputePca(const std::vector<Vector>& points) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot fit PCA on an empty point set");
+  }
+  const std::size_t d = points.front().dim();
+  for (const Vector& p : points) {
+    if (p.dim() != d) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  PcaResult result;
+  result.mean = MeanVector(points);
+  Matrix covariance = CovarianceMatrix(points);
+  CONDENSA_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                            CovarianceEigenDecomposition(covariance));
+  result.components = std::move(eigen.eigenvectors);
+  result.explained_variance = std::move(eigen.eigenvalues);
+  return result;
+}
+
+double ReconstructionError(const PcaResult& pca,
+                           const std::vector<Vector>& points,
+                           std::size_t count) {
+  CONDENSA_CHECK(!points.empty());
+  double total = 0.0;
+  for (const Vector& p : points) {
+    Vector reconstructed = pca.Reconstruct(pca.Project(p, count), count);
+    total += SquaredDistance(p, reconstructed);
+  }
+  return total / static_cast<double>(points.size());
+}
+
+StatusOr<double> PrincipalSubspaceAffinity(const PcaResult& a,
+                                           const PcaResult& b,
+                                           std::size_t count) {
+  if (count == 0) {
+    return InvalidArgumentError("subspace dimension must be positive");
+  }
+  if (a.components.rows() != b.components.rows()) {
+    return InvalidArgumentError("PCA dimensions differ");
+  }
+  if (count > a.components.cols() || count > b.components.cols()) {
+    return InvalidArgumentError("count exceeds available components");
+  }
+
+  // ‖A_kᵀ B_k‖_F² / k where A_k, B_k hold the leading k components: this
+  // equals (1/k) Σ cos²(principal angles), so 1 iff identical subspaces.
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < a.components.rows(); ++r) {
+        dot += a.components(r, i) * b.components(r, j);
+      }
+      total += dot * dot;
+    }
+  }
+  return total / static_cast<double>(count);
+}
+
+}  // namespace condensa::linalg

@@ -1,0 +1,58 @@
+// Principal component analysis.
+//
+// PCA is the purest second-order analysis: its output is exactly the
+// eigenstructure the condensation approach is designed to preserve. The
+// benches use it (with PrincipalSubspaceAffinity) to show that the leading
+// components of an anonymized release span the same subspace as the
+// original data's.
+
+#ifndef CONDENSA_LINALG_PCA_H_
+#define CONDENSA_LINALG_PCA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::linalg {
+
+struct PcaResult {
+  Vector mean;
+  // Column i is the i-th principal direction (unit length), sorted by
+  // decreasing explained variance.
+  Matrix components;
+  // Variance along each component (eigenvalues of the covariance).
+  Vector explained_variance;
+
+  // Fraction of total variance captured by the first `count` components.
+  double ExplainedVarianceRatio(std::size_t count) const;
+
+  // Projects a point onto the first `count` components.
+  Vector Project(const Vector& point, std::size_t count) const;
+
+  // Reconstructs a point from its `count`-dimensional projection.
+  Vector Reconstruct(const Vector& projection, std::size_t count) const;
+};
+
+// Fits PCA on `points` (non-empty, consistent dims).
+StatusOr<PcaResult> ComputePca(const std::vector<Vector>& points);
+
+// Mean squared residual of projecting `points` onto the first `count`
+// components of `pca` and reconstructing.
+double ReconstructionError(const PcaResult& pca,
+                           const std::vector<Vector>& points,
+                           std::size_t count);
+
+// Affinity in [0, 1] between the subspaces spanned by the first `count`
+// components of two PCA fits: the normalized Frobenius inner product of
+// the projection operators (1 = identical subspaces, 0 = orthogonal).
+// Invariant to the sign/rotation ambiguity of individual components.
+StatusOr<double> PrincipalSubspaceAffinity(const PcaResult& a,
+                                           const PcaResult& b,
+                                           std::size_t count);
+
+}  // namespace condensa::linalg
+
+#endif  // CONDENSA_LINALG_PCA_H_

@@ -1,0 +1,90 @@
+#include "linalg/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa::linalg {
+
+Vector MeanVector(const std::vector<Vector>& points) {
+  CONDENSA_CHECK(!points.empty());
+  Vector mean(points.front().dim());
+  for (const Vector& p : points) {
+    mean += p;
+  }
+  mean /= static_cast<double>(points.size());
+  return mean;
+}
+
+Matrix CovarianceMatrix(const std::vector<Vector>& points) {
+  CONDENSA_CHECK(!points.empty());
+  const std::size_t d = points.front().dim();
+  Vector mean = MeanVector(points);
+  Matrix cov(d, d);
+  for (const Vector& p : points) {
+    for (std::size_t i = 0; i < d; ++i) {
+      double di = p[i] - mean[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (p[j] - mean[j]);
+      }
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(points.size());
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) *= inv_n;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  CONDENSA_CHECK_EQ(xs.size(), ys.size());
+  CONDENSA_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double mean_x = 0.0, mean_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    mean_x += xs[i];
+    mean_y += ys[i];
+  }
+  mean_x /= n;
+  mean_y /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mean_x;
+    double dy = ys[i] - mean_y;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ScalarStats ComputeScalarStats(const std::vector<double>& values) {
+  CONDENSA_CHECK(!values.empty());
+  ScalarStats stats;
+  stats.min = values.front();
+  stats.max = values.front();
+  double total = 0.0;
+  for (double v : values) {
+    total += v;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+  }
+  stats.mean = total / static_cast<double>(values.size());
+  double ssq = 0.0;
+  for (double v : values) {
+    double d = v - stats.mean;
+    ssq += d * d;
+  }
+  stats.stddev = std::sqrt(ssq / static_cast<double>(values.size()));
+  return stats;
+}
+
+}  // namespace condensa::linalg

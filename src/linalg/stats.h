@@ -1,0 +1,36 @@
+// Descriptive statistics over collections of points.
+
+#ifndef CONDENSA_LINALG_STATS_H_
+#define CONDENSA_LINALG_STATS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::linalg {
+
+// Mean of `points` (all the same dimension; `points` must be non-empty).
+Vector MeanVector(const std::vector<Vector>& points);
+
+// Population covariance matrix of `points` (divides by n, matching the
+// paper's Observation 2, not by n-1). Requires a non-empty input.
+Matrix CovarianceMatrix(const std::vector<Vector>& points);
+
+// Pearson correlation of two equal-length sequences. Returns 0 when either
+// sequence has zero variance. Requires size >= 2.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+// Mean and population standard deviation of a scalar sequence.
+struct ScalarStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+ScalarStats ComputeScalarStats(const std::vector<double>& values);
+
+}  // namespace condensa::linalg
+
+#endif  // CONDENSA_LINALG_STATS_H_

@@ -1,0 +1,125 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace condensa::linalg {
+
+Vector& Vector::operator+=(const Vector& other) {
+  CONDENSA_CHECK_EQ(dim(), other.dim());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& other) {
+  CONDENSA_CHECK_EQ(dim(), other.dim());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) {
+  for (double& v : values_) v *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  CONDENSA_CHECK_NE(scale, 0.0);
+  for (double& v : values_) v /= scale;
+  return *this;
+}
+
+double Vector::Norm() const { return std::sqrt(SquaredNorm()); }
+
+double Vector::SquaredNorm() const {
+  double total = 0.0;
+  for (double v : values_) total += v * v;
+  return total;
+}
+
+double Vector::Sum() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+Vector Vector::Normalized() const {
+  double norm = Norm();
+  CONDENSA_CHECK_GT(norm, 0.0);
+  Vector out = *this;
+  out /= norm;
+  return out;
+}
+
+std::string Vector::ToString() const {
+  std::string out = "[";
+  char buffer[32];
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buffer, sizeof(buffer), "%.6g", values_[i]);
+    out += buffer;
+  }
+  out += "]";
+  return out;
+}
+
+Vector operator+(Vector a, const Vector& b) {
+  a += b;
+  return a;
+}
+
+Vector operator-(Vector a, const Vector& b) {
+  a -= b;
+  return a;
+}
+
+Vector operator*(Vector v, double scale) {
+  v *= scale;
+  return v;
+}
+
+Vector operator*(double scale, Vector v) {
+  v *= scale;
+  return v;
+}
+
+Vector operator/(Vector v, double scale) {
+  v /= scale;
+  return v;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  CONDENSA_CHECK_EQ(a.dim(), b.dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    total += a[i] * b[i];
+  }
+  return total;
+}
+
+double SquaredDistance(const Vector& a, const Vector& b) {
+  CONDENSA_CHECK_EQ(a.dim(), b.dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    double diff = a[i] - b[i];
+    total += diff * diff;
+  }
+  return total;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+bool ApproxEqual(const Vector& a, const Vector& b, double tolerance) {
+  if (a.dim() != b.dim()) return false;
+  for (std::size_t i = 0; i < a.dim(); ++i) {
+    if (std::abs(a[i] - b[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace condensa::linalg

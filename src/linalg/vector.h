@@ -1,0 +1,98 @@
+// Dense real vector with the small set of operations condensa needs.
+//
+// `Vector` is a value type wrapping std::vector<double>. It is deliberately
+// minimal — the library operates on group statistics and covariance
+// matrices of modest dimension (d <= ~50 in all paper workloads), so
+// clarity beats micro-optimization here.
+
+#ifndef CONDENSA_LINALG_VECTOR_H_
+#define CONDENSA_LINALG_VECTOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace condensa::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  // Creates a zero vector of the given dimension.
+  explicit Vector(std::size_t dim) : values_(dim, 0.0) {}
+  Vector(std::size_t dim, double fill) : values_(dim, fill) {}
+  Vector(std::initializer_list<double> values) : values_(values) {}
+  explicit Vector(std::vector<double> values) : values_(std::move(values)) {}
+
+  Vector(const Vector&) = default;
+  Vector& operator=(const Vector&) = default;
+  Vector(Vector&&) = default;
+  Vector& operator=(Vector&&) = default;
+
+  std::size_t dim() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double operator[](std::size_t i) const {
+    CONDENSA_DCHECK_LT(i, values_.size());
+    return values_[i];
+  }
+  double& operator[](std::size_t i) {
+    CONDENSA_DCHECK_LT(i, values_.size());
+    return values_[i];
+  }
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  const double* data() const { return values_.data(); }
+  double* data() { return values_.data(); }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+  auto begin() { return values_.begin(); }
+  auto end() { return values_.end(); }
+
+  // Element-wise arithmetic. Dimensions must match.
+  Vector& operator+=(const Vector& other);
+  Vector& operator-=(const Vector& other);
+  Vector& operator*=(double scale);
+  Vector& operator/=(double scale);
+
+  // Euclidean norm and its square.
+  double Norm() const;
+  double SquaredNorm() const;
+
+  // Sum of entries.
+  double Sum() const;
+
+  // Returns a copy scaled to unit Euclidean norm. Requires Norm() > 0.
+  Vector Normalized() const;
+
+  // Renders "[v0, v1, ...]" with 6 significant digits (debugging aid).
+  std::string ToString() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+Vector operator+(Vector a, const Vector& b);
+Vector operator-(Vector a, const Vector& b);
+Vector operator*(Vector v, double scale);
+Vector operator*(double scale, Vector v);
+Vector operator/(Vector v, double scale);
+
+// Inner product. Dimensions must match.
+double Dot(const Vector& a, const Vector& b);
+
+// Euclidean distance and its square. Dimensions must match.
+double Distance(const Vector& a, const Vector& b);
+double SquaredDistance(const Vector& a, const Vector& b);
+
+// True when |a[i] - b[i]| <= tolerance for all i (and dims match).
+bool ApproxEqual(const Vector& a, const Vector& b, double tolerance);
+
+}  // namespace condensa::linalg
+
+#endif  // CONDENSA_LINALG_VECTOR_H_

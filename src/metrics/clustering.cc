@@ -1,0 +1,81 @@
+#include "metrics/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace condensa::metrics {
+namespace {
+
+double Choose2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+StatusOr<double> AdjustedRandIndex(const std::vector<std::size_t>& a,
+                                   const std::vector<std::size_t>& b) {
+  if (a.empty() || a.size() != b.size()) {
+    return InvalidArgumentError(
+        "labelings must be non-empty and the same length");
+  }
+  const std::size_t n = a.size();
+
+  // Contingency table and marginals.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> joint;
+  std::map<std::size_t, std::size_t> rows, cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++joint[{a[i], b[i]}];
+    ++rows[a[i]];
+    ++cols[b[i]];
+  }
+
+  double sum_joint = 0.0;
+  for (const auto& [cell, count] : joint) {
+    sum_joint += Choose2(static_cast<double>(count));
+  }
+  double sum_rows = 0.0;
+  for (const auto& [label, count] : rows) {
+    sum_rows += Choose2(static_cast<double>(count));
+  }
+  double sum_cols = 0.0;
+  for (const auto& [label, count] : cols) {
+    sum_cols += Choose2(static_cast<double>(count));
+  }
+
+  double total_pairs = Choose2(static_cast<double>(n));
+  if (total_pairs == 0.0) {
+    return 1.0;  // single record: trivially identical partitions
+  }
+  double expected = sum_rows * sum_cols / total_pairs;
+  double max_index = 0.5 * (sum_rows + sum_cols);
+  double denominator = max_index - expected;
+  if (denominator == 0.0) {
+    // Both partitions are all-singletons or all-one-cluster; identical by
+    // construction when the index numerator is also zero.
+    return 1.0;
+  }
+  return (sum_joint - expected) / denominator;
+}
+
+StatusOr<double> ClusterPurity(const std::vector<std::size_t>& clusters,
+                               const std::vector<int>& labels) {
+  if (clusters.empty() || clusters.size() != labels.size()) {
+    return InvalidArgumentError(
+        "clusters and labels must be non-empty and the same length");
+  }
+  std::map<std::size_t, std::map<int, std::size_t>> per_cluster;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    ++per_cluster[clusters[i]][labels[i]];
+  }
+  std::size_t matched = 0;
+  for (const auto& [cluster, counts] : per_cluster) {
+    std::size_t dominant = 0;
+    for (const auto& [label, count] : counts) {
+      dominant = std::max(dominant, count);
+    }
+    matched += dominant;
+  }
+  return static_cast<double>(matched) /
+         static_cast<double>(clusters.size());
+}
+
+}  // namespace condensa::metrics

@@ -1,0 +1,31 @@
+// Clustering agreement metrics.
+//
+// Used by ablation A6 to quantify whether cluster structure survives
+// condensation: k-means is run on the original and on the anonymized data
+// and the two labelings of a common reference set are compared.
+
+#ifndef CONDENSA_METRICS_CLUSTERING_H_
+#define CONDENSA_METRICS_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace condensa::metrics {
+
+// Adjusted Rand index between two labelings of the same records. 1 means
+// identical partitions, ~0 means chance-level agreement; can be slightly
+// negative. Fails on empty or unequal-length inputs.
+StatusOr<double> AdjustedRandIndex(const std::vector<std::size_t>& a,
+                                   const std::vector<std::size_t>& b);
+
+// Purity of clustering `clusters` against ground-truth labels: each
+// cluster votes for its dominant label; purity is the fraction of records
+// matching their cluster's vote. In [0, 1].
+StatusOr<double> ClusterPurity(const std::vector<std::size_t>& clusters,
+                               const std::vector<int>& labels);
+
+}  // namespace condensa::metrics
+
+#endif  // CONDENSA_METRICS_CLUSTERING_H_

@@ -1,0 +1,83 @@
+#include "metrics/compatibility.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace condensa::metrics {
+
+StatusOr<double> CovarianceCompatibility(const linalg::Matrix& original,
+                                         const linalg::Matrix& anonymized) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty covariance matrix");
+  }
+  if (original.rows() != original.cols() ||
+      original.rows() != anonymized.rows() ||
+      original.cols() != anonymized.cols()) {
+    return InvalidArgumentError("covariance shape mismatch");
+  }
+  const std::size_t d = original.rows();
+  if (d < 2) {
+    return InvalidArgumentError(
+        "need at least 2 dimensions to correlate covariance entries");
+  }
+  std::vector<double> o_entries;
+  std::vector<double> p_entries;
+  o_entries.reserve(d * (d + 1) / 2);
+  p_entries.reserve(d * (d + 1) / 2);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      o_entries.push_back(original(i, j));
+      p_entries.push_back(anonymized(i, j));
+    }
+  }
+  return linalg::PearsonCorrelation(o_entries, p_entries);
+}
+
+StatusOr<double> CovarianceCompatibility(const data::Dataset& original,
+                                         const data::Dataset& anonymized) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (original.dim() != anonymized.dim()) {
+    return InvalidArgumentError("dataset dimension mismatch");
+  }
+  return CovarianceCompatibility(original.Covariance(),
+                                 anonymized.Covariance());
+}
+
+StatusOr<double> CovarianceRelativeError(const linalg::Matrix& original,
+                                         const linalg::Matrix& anonymized) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty covariance matrix");
+  }
+  if (original.rows() != anonymized.rows() ||
+      original.cols() != anonymized.cols()) {
+    return InvalidArgumentError("covariance shape mismatch");
+  }
+  linalg::Matrix zero(original.rows(), original.cols());
+  double base = linalg::FrobeniusDistance(original, zero);
+  if (base <= 0.0) {
+    return FailedPreconditionError("original covariance is zero");
+  }
+  return linalg::FrobeniusDistance(original, anonymized) / base;
+}
+
+StatusOr<double> MeanDrift(const data::Dataset& original,
+                           const data::Dataset& anonymized) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (original.dim() != anonymized.dim()) {
+    return InvalidArgumentError("dataset dimension mismatch");
+  }
+  linalg::Vector a = original.Mean();
+  linalg::Vector b = anonymized.Mean();
+  double drift = 0.0;
+  for (std::size_t j = 0; j < a.dim(); ++j) {
+    drift = std::max(drift, std::abs(a[j] - b[j]));
+  }
+  return drift;
+}
+
+}  // namespace condensa::metrics

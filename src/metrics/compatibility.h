@@ -1,0 +1,43 @@
+// Statistical-compatibility measures between original and anonymized data.
+//
+// The paper's evaluation measure (Section 4): let o_ij and p_ij be the
+// (i, j) covariance entries of the original and the anonymized data; the
+// covariance compatibility coefficient μ is the Pearson correlation of the
+// paired entries across all dimension pairs. μ = 1 means identical
+// second-order structure, μ = −1 perfectly inverted structure.
+
+#ifndef CONDENSA_METRICS_COMPATIBILITY_H_
+#define CONDENSA_METRICS_COMPATIBILITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "linalg/matrix.h"
+
+namespace condensa::metrics {
+
+// μ between two covariance matrices of equal dimension: Pearson
+// correlation over the upper triangle including the diagonal (the
+// matrices are symmetric, so each unordered pair contributes once). Fails
+// for empty or mismatched matrices, and for 1x1 matrices (no pairs to
+// correlate).
+StatusOr<double> CovarianceCompatibility(const linalg::Matrix& original,
+                                         const linalg::Matrix& anonymized);
+
+// Convenience: μ between the covariance matrices of two datasets.
+StatusOr<double> CovarianceCompatibility(const data::Dataset& original,
+                                         const data::Dataset& anonymized);
+
+// Relative Frobenius error ||C_orig − C_anon||_F / ||C_orig||_F, a
+// complementary magnitude-sensitive view (μ is scale-invariant).
+StatusOr<double> CovarianceRelativeError(const linalg::Matrix& original,
+                                         const linalg::Matrix& anonymized);
+
+// Max absolute difference between the mean vectors of two datasets.
+StatusOr<double> MeanDrift(const data::Dataset& original,
+                           const data::Dataset& anonymized);
+
+}  // namespace condensa::metrics
+
+#endif  // CONDENSA_METRICS_COMPATIBILITY_H_

@@ -1,0 +1,84 @@
+#include "metrics/locality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "index/kdtree.h"
+
+namespace condensa::metrics {
+
+StatusOr<std::vector<double>> KthNeighborDistances(
+    const data::Dataset& dataset, std::size_t k) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (k == 0 || k >= dataset.size()) {
+    return InvalidArgumentError("k must be in [1, size)");
+  }
+  CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree,
+                            index::KdTree::Build(dataset.records()));
+  std::vector<double> distances;
+  distances.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    // k + 1 because the record itself is its own nearest neighbour.
+    std::vector<std::size_t> neighbours =
+        tree.KNearest(dataset.record(i), k + 1);
+    distances.push_back(linalg::Distance(dataset.record(i),
+                                         dataset.record(neighbours.back())));
+  }
+  return distances;
+}
+
+StatusOr<std::vector<double>> NearestReleaseDistances(
+    const data::Dataset& original, const data::Dataset& anonymized) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (original.dim() != anonymized.dim()) {
+    return InvalidArgumentError("dataset dimension mismatch");
+  }
+  CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree,
+                            index::KdTree::Build(anonymized.records()));
+  std::vector<double> distances;
+  distances.reserve(original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::size_t nearest = tree.Nearest(original.record(i));
+    distances.push_back(
+        linalg::Distance(original.record(i), anonymized.record(nearest)));
+  }
+  return distances;
+}
+
+StatusOr<std::vector<double>> MeanByQuantileBucket(
+    const std::vector<double>& keys, const std::vector<double>& values,
+    std::size_t buckets) {
+  if (keys.empty() || keys.size() != values.size()) {
+    return InvalidArgumentError(
+        "keys and values must be non-empty and the same length");
+  }
+  if (buckets == 0 || buckets > keys.size()) {
+    return InvalidArgumentError("buckets must be in [1, size]");
+  }
+
+  std::vector<std::size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&keys](std::size_t a, std::size_t b) {
+              return keys[a] < keys[b];
+            });
+
+  std::vector<double> means(buckets, 0.0);
+  std::vector<std::size_t> counts(buckets, 0);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    std::size_t bucket = rank * buckets / order.size();
+    means[bucket] += values[order[rank]];
+    ++counts[bucket];
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    means[b] /= static_cast<double>(counts[b]);
+  }
+  return means;
+}
+
+}  // namespace condensa::metrics

@@ -1,0 +1,40 @@
+// Locality-sensitivity measures (paper Section 2.2).
+//
+// Condensation fixes the group *size*, not the group *radius*, so sparse
+// regions produce spatially large groups whose locally-uniform assumption
+// is weaker: "outlier points are inherently more difficult to mask".
+// These helpers quantify that: a per-record density proxy (k-th-neighbour
+// distance) and per-record regeneration distances, which ablation A8
+// buckets by density to show information loss concentrating in sparse
+// regions.
+
+#ifndef CONDENSA_METRICS_LOCALITY_H_
+#define CONDENSA_METRICS_LOCALITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace condensa::metrics {
+
+// Distance from each record to its k-th nearest *other* record (the
+// standard density proxy: large = sparse region). Fails when k >= size.
+StatusOr<std::vector<double>> KthNeighborDistances(
+    const data::Dataset& dataset, std::size_t k);
+
+// Distance from each original record to the nearest anonymized record —
+// how well the release "covers" each record's neighbourhood.
+StatusOr<std::vector<double>> NearestReleaseDistances(
+    const data::Dataset& original, const data::Dataset& anonymized);
+
+// Mean of `values` within each of `buckets` equal-population quantile
+// buckets of `keys` (bucket 0 = smallest keys). Sizes must match;
+// buckets must be in [1, size].
+StatusOr<std::vector<double>> MeanByQuantileBucket(
+    const std::vector<double>& keys, const std::vector<double>& values,
+    std::size_t buckets);
+
+}  // namespace condensa::metrics
+
+#endif  // CONDENSA_METRICS_LOCALITY_H_

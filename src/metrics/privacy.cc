@@ -1,0 +1,84 @@
+#include "metrics/privacy.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector.h"
+
+namespace condensa::metrics {
+namespace {
+
+// Distance from `query` to the nearest record of `dataset`, optionally
+// skipping index `skip` (for self-exclusion).
+double NearestDistance(const data::Dataset& dataset,
+                       const linalg::Vector& query, std::size_t skip) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    if (i == skip) continue;
+    best = std::min(best, linalg::SquaredDistance(dataset.record(i), query));
+  }
+  return std::sqrt(best);
+}
+
+constexpr std::size_t kNoSkip = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+StatusOr<LinkageReport> EvaluateLinkage(const data::Dataset& original,
+                                        const data::Dataset& anonymized) {
+  if (original.size() < 2 || anonymized.empty()) {
+    return InvalidArgumentError(
+        "linkage needs >= 2 original and >= 1 anonymized records");
+  }
+  if (original.dim() != anonymized.dim()) {
+    return InvalidArgumentError("dataset dimension mismatch");
+  }
+
+  LinkageReport report;
+  std::size_t pinpointed = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const linalg::Vector& record = original.record(i);
+    double d_anon = NearestDistance(anonymized, record, kNoSkip);
+    double d_orig = NearestDistance(original, record, i);
+    report.mean_nearest_anonymized_distance += d_anon;
+    report.mean_nearest_original_distance += d_orig;
+    if (d_anon < d_orig) ++pinpointed;
+  }
+  const double n = static_cast<double>(original.size());
+  report.mean_nearest_anonymized_distance /= n;
+  report.mean_nearest_original_distance /= n;
+  report.distance_gain =
+      report.mean_nearest_original_distance > 0.0
+          ? report.mean_nearest_anonymized_distance /
+                report.mean_nearest_original_distance
+          : std::numeric_limits<double>::infinity();
+  report.pinpointed_fraction = static_cast<double>(pinpointed) / n;
+  return report;
+}
+
+StatusOr<double> ExactLeakageRate(const data::Dataset& original,
+                                  const data::Dataset& anonymized,
+                                  double tolerance) {
+  if (original.empty() || anonymized.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (original.dim() != anonymized.dim()) {
+    return InvalidArgumentError("dataset dimension mismatch");
+  }
+  if (tolerance < 0.0) {
+    return InvalidArgumentError("tolerance must be non-negative");
+  }
+  std::size_t leaked = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    for (std::size_t j = 0; j < anonymized.size(); ++j) {
+      if (linalg::ApproxEqual(original.record(i), anonymized.record(j),
+                              tolerance)) {
+        ++leaked;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(leaked) / static_cast<double>(original.size());
+}
+
+}  // namespace condensa::metrics

@@ -1,0 +1,48 @@
+// Privacy measures over an anonymized release.
+//
+// The paper's privacy notion is k-indistinguishability: every record was
+// condensed with at least k−1 others, so its regenerated surrogates cannot
+// be traced below the group level. The group-size accounting lives in
+// core::PrivacySummary / AnonymizationResult; this header adds empirical
+// attack-style measures on the released records themselves.
+
+#ifndef CONDENSA_METRICS_PRIVACY_H_
+#define CONDENSA_METRICS_PRIVACY_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace condensa::metrics {
+
+struct LinkageReport {
+  // Mean distance from each original record to its nearest anonymized
+  // record.
+  double mean_nearest_anonymized_distance = 0.0;
+  // Mean distance from each original record to its nearest *other*
+  // original record (the baseline resolution of the data).
+  double mean_nearest_original_distance = 0.0;
+  // Ratio of the two: >= 1 means an adversary holding the release cannot
+  // localize a target record any better than the data's own inter-record
+  // spacing already allows. Grows with the condensation level k.
+  double distance_gain = 0.0;
+  // Fraction of original records whose nearest anonymized record is
+  // closer than their nearest original neighbour — records that are
+  // "pinpointed" by the release more precisely than by the population.
+  double pinpointed_fraction = 0.0;
+};
+
+// Distance-based record-linkage attack summary. Requires non-empty
+// datasets of equal dimension; `original` needs >= 2 records.
+StatusOr<LinkageReport> EvaluateLinkage(const data::Dataset& original,
+                                        const data::Dataset& anonymized);
+
+// Fraction of original records that appear verbatim (within `tolerance`
+// in every coordinate) in the anonymized release — should be ~0 for any
+// k > 1 and ~1 for static condensation with k = 1.
+StatusOr<double> ExactLeakageRate(const data::Dataset& original,
+                                  const data::Dataset& anonymized,
+                                  double tolerance);
+
+}  // namespace condensa::metrics
+
+#endif  // CONDENSA_METRICS_PRIVACY_H_

@@ -1,0 +1,238 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+namespace {
+
+// True when `needle` (sorted) is a subset of `haystack` (sorted).
+bool IsSubset(const std::vector<Item>& needle,
+              const std::vector<Item>& haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+// Counts the transactions containing every item of `items`.
+std::size_t CountSupport(const std::vector<Transaction>& transactions,
+                         const std::vector<Item>& items) {
+  std::size_t count = 0;
+  for (const Transaction& t : transactions) {
+    if (IsSubset(items, t)) ++count;
+  }
+  return count;
+}
+
+// Apriori candidate generation: joins pairs of frequent (k-1)-itemsets
+// sharing their first k-2 items, then prunes candidates with an
+// infrequent subset.
+std::vector<std::vector<Item>> GenerateCandidates(
+    const std::vector<std::vector<Item>>& frequent_prev) {
+  std::vector<std::vector<Item>> candidates;
+  for (std::size_t a = 0; a < frequent_prev.size(); ++a) {
+    for (std::size_t b = a + 1; b < frequent_prev.size(); ++b) {
+      const std::vector<Item>& x = frequent_prev[a];
+      const std::vector<Item>& y = frequent_prev[b];
+      if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+        continue;
+      }
+      std::vector<Item> joined = x;
+      joined.push_back(y.back());
+      if (joined[joined.size() - 2] > joined.back()) {
+        std::swap(joined[joined.size() - 2], joined.back());
+      }
+      // Prune: every (k-1)-subset must itself be frequent.
+      bool all_subsets_frequent = true;
+      for (std::size_t skip = 0;
+           skip < joined.size() && all_subsets_frequent; ++skip) {
+        std::vector<Item> subset;
+        subset.reserve(joined.size() - 1);
+        for (std::size_t i = 0; i < joined.size(); ++i) {
+          if (i != skip) subset.push_back(joined[i]);
+        }
+        all_subsets_frequent =
+            std::binary_search(frequent_prev.begin(), frequent_prev.end(),
+                               subset);
+      }
+      if (all_subsets_frequent) {
+        candidates.push_back(std::move(joined));
+      }
+    }
+  }
+  return candidates;
+}
+
+// Enumerates all non-empty proper subsets of `items` as antecedents.
+void EmitRulesFromItemset(const FrequentItemset& itemset,
+                          const std::map<std::vector<Item>, double>& supports,
+                          const AprioriOptions& options,
+                          std::vector<AssociationRule>& rules) {
+  const std::size_t n = itemset.items.size();
+  if (n < 2) return;
+  // Bitmask over itemset members; skip empty and full masks.
+  for (std::uint32_t mask = 1; mask + 1 < (1u << n); ++mask) {
+    AssociationRule rule;
+    for (std::size_t i = 0; i < n; ++i) {
+      ((mask >> i) & 1u ? rule.antecedent : rule.consequent)
+          .push_back(itemset.items[i]);
+    }
+    auto antecedent_support = supports.find(rule.antecedent);
+    auto consequent_support = supports.find(rule.consequent);
+    CONDENSA_DCHECK(antecedent_support != supports.end());
+    CONDENSA_DCHECK(consequent_support != supports.end());
+    rule.support = itemset.support;
+    rule.confidence = itemset.support / antecedent_support->second;
+    if (rule.confidence + 1e-12 < options.min_confidence) continue;
+    rule.lift = consequent_support->second > 0.0
+                    ? rule.confidence / consequent_support->second
+                    : 0.0;
+    rules.push_back(std::move(rule));
+  }
+}
+
+}  // namespace
+
+StatusOr<AprioriResult> MineAssociationRules(
+    const std::vector<Transaction>& transactions,
+    const AprioriOptions& options) {
+  if (transactions.empty()) {
+    return InvalidArgumentError("no transactions");
+  }
+  if (!(options.min_support > 0.0 && options.min_support <= 1.0)) {
+    return InvalidArgumentError("min_support must be in (0, 1]");
+  }
+  if (!(options.min_confidence > 0.0 && options.min_confidence <= 1.0)) {
+    return InvalidArgumentError("min_confidence must be in (0, 1]");
+  }
+  for (const Transaction& t : transactions) {
+    if (!std::is_sorted(t.begin(), t.end()) ||
+        std::adjacent_find(t.begin(), t.end()) != t.end()) {
+      return InvalidArgumentError(
+          "transactions must be sorted and duplicate-free");
+    }
+    for (Item item : t) {
+      if (item < 0) {
+        return InvalidArgumentError("items must be non-negative");
+      }
+    }
+  }
+
+  const double n = static_cast<double>(transactions.size());
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(options.min_support * n - 1e-9)));
+
+  AprioriResult result;
+  std::map<std::vector<Item>, double> supports;
+
+  // Level 1: frequent single items.
+  std::map<Item, std::size_t> singles;
+  for (const Transaction& t : transactions) {
+    for (Item item : t) {
+      ++singles[item];
+    }
+  }
+  std::vector<std::vector<Item>> frequent;
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      frequent.push_back({item});
+      double support = static_cast<double>(count) / n;
+      supports[{item}] = support;
+      result.itemsets.push_back({{item}, support});
+    }
+  }
+
+  // Levels 2..max: generate, count, filter.
+  std::size_t level = 2;
+  while (!frequent.empty() &&
+         (options.max_itemset_size == 0 ||
+          level <= options.max_itemset_size)) {
+    std::vector<std::vector<Item>> candidates = GenerateCandidates(frequent);
+    std::vector<std::vector<Item>> next_frequent;
+    for (std::vector<Item>& candidate : candidates) {
+      std::size_t count = CountSupport(transactions, candidate);
+      if (count >= min_count) {
+        double support = static_cast<double>(count) / n;
+        supports[candidate] = support;
+        result.itemsets.push_back({candidate, support});
+        next_frequent.push_back(std::move(candidate));
+      }
+    }
+    frequent = std::move(next_frequent);
+    ++level;
+  }
+
+  // Rules from every frequent itemset of size >= 2.
+  for (const FrequentItemset& itemset : result.itemsets) {
+    EmitRulesFromItemset(itemset, supports, options, result.rules);
+  }
+  std::sort(result.rules.begin(), result.rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return result;
+}
+
+StatusOr<std::vector<Transaction>> DiscretizeToTransactions(
+    const data::Dataset& dataset, std::size_t bins) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  const std::size_t d = dataset.dim();
+  linalg::Vector lower = dataset.record(0);
+  linalg::Vector upper = dataset.record(0);
+  for (const linalg::Vector& record : dataset.records()) {
+    for (std::size_t j = 0; j < d; ++j) {
+      lower[j] = std::min(lower[j], record[j]);
+      upper[j] = std::max(upper[j], record[j]);
+    }
+  }
+  return DiscretizeToTransactions(dataset, bins, lower, upper);
+}
+
+StatusOr<std::vector<Transaction>> DiscretizeToTransactions(
+    const data::Dataset& dataset, std::size_t bins,
+    const linalg::Vector& lower, const linalg::Vector& upper) {
+  if (dataset.empty()) {
+    return InvalidArgumentError("empty dataset");
+  }
+  if (bins == 0) {
+    return InvalidArgumentError("need at least one bin");
+  }
+  const std::size_t d = dataset.dim();
+  if (lower.dim() != d || upper.dim() != d) {
+    return InvalidArgumentError("bounds dimension mismatch");
+  }
+
+  std::vector<Transaction> transactions;
+  transactions.reserve(dataset.size());
+  for (const linalg::Vector& record : dataset.records()) {
+    Transaction t;
+    t.reserve(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      double span = upper[j] - lower[j];
+      std::size_t bin = 0;
+      if (span > 0.0) {
+        double normalized =
+            std::clamp((record[j] - lower[j]) / span, 0.0, 1.0);
+        bin = static_cast<std::size_t>(normalized *
+                                       static_cast<double>(bins));
+        bin = std::min(bin, bins - 1);
+      }
+      t.push_back(static_cast<Item>(j * bins + bin));
+    }
+    transactions.push_back(std::move(t));
+  }
+  return transactions;
+}
+
+}  // namespace condensa::mining

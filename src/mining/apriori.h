@@ -1,0 +1,76 @@
+// Apriori frequent-itemset and association-rule mining.
+//
+// Association rules are the third mining task the paper's introduction
+// names (its references [9], [16] build bespoke perturbation-based
+// variants). On condensed data the classic Apriori algorithm runs
+// unchanged; `DiscretizeToTransactions` bridges numeric datasets to the
+// transactional representation by equal-width binning each attribute.
+
+#ifndef CONDENSA_MINING_APRIORI_H_
+#define CONDENSA_MINING_APRIORI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace condensa::mining {
+
+// An item is an opaque non-negative id. A transaction is a sorted,
+// duplicate-free list of items.
+using Item = std::int32_t;
+using Transaction = std::vector<Item>;
+
+struct FrequentItemset {
+  std::vector<Item> items;  // sorted
+  // Fraction of transactions containing all items.
+  double support = 0.0;
+};
+
+struct AssociationRule {
+  std::vector<Item> antecedent;  // sorted, non-empty
+  std::vector<Item> consequent;  // sorted, non-empty
+  double support = 0.0;          // support of antecedent ∪ consequent
+  double confidence = 0.0;       // support(A ∪ C) / support(A)
+  double lift = 0.0;             // confidence / support(C)
+};
+
+struct AprioriOptions {
+  // Minimum fraction of transactions an itemset must appear in.
+  double min_support = 0.1;
+  // Minimum confidence for emitted rules.
+  double min_confidence = 0.6;
+  // Stop growing itemsets beyond this size (0 = unlimited).
+  std::size_t max_itemset_size = 4;
+};
+
+struct AprioriResult {
+  // All frequent itemsets of size >= 1, sorted by (size, items).
+  std::vector<FrequentItemset> itemsets;
+  // All rules meeting min_confidence, sorted by decreasing confidence.
+  std::vector<AssociationRule> rules;
+};
+
+// Mines `transactions`. Items inside each transaction must be sorted and
+// unique. Fails on empty input or thresholds outside (0, 1].
+StatusOr<AprioriResult> MineAssociationRules(
+    const std::vector<Transaction>& transactions,
+    const AprioriOptions& options);
+
+// Converts a numeric dataset to transactions: attribute j's value maps to
+// item j * bins + bin(value), with equal-width bins over [min_j, max_j].
+// Constant attributes map to bin 0. Fails on an empty dataset or bins==0.
+StatusOr<std::vector<Transaction>> DiscretizeToTransactions(
+    const data::Dataset& dataset, std::size_t bins);
+
+// Same, but with caller-provided per-dimension bounds — use one grid to
+// discretize two datasets comparably (values outside the bounds clamp to
+// the edge bins). Bounds dims must match the dataset.
+StatusOr<std::vector<Transaction>> DiscretizeToTransactions(
+    const data::Dataset& dataset, std::size_t bins,
+    const linalg::Vector& lower, const linalg::Vector& upper);
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_APRIORI_H_

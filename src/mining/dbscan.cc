@@ -1,0 +1,72 @@
+#include "mining/dbscan.h"
+
+#include <deque>
+
+#include "common/check.h"
+#include "index/kdtree.h"
+
+namespace condensa::mining {
+
+std::size_t DbscanResult::NoiseCount() const {
+  std::size_t noise = 0;
+  for (std::size_t a : assignments) {
+    if (a == kNoise) ++noise;
+  }
+  return noise;
+}
+
+StatusOr<DbscanResult> Dbscan(const std::vector<linalg::Vector>& points,
+                              const DbscanOptions& options) {
+  if (points.empty()) {
+    return InvalidArgumentError("cannot cluster an empty point set");
+  }
+  if (options.epsilon <= 0.0) {
+    return InvalidArgumentError("epsilon must be positive");
+  }
+  if (options.min_points == 0) {
+    return InvalidArgumentError("min_points must be at least 1");
+  }
+  CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree, index::KdTree::Build(points));
+
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-2);
+  DbscanResult result;
+  result.assignments.assign(points.size(), kUnvisited);
+
+  for (std::size_t seed = 0; seed < points.size(); ++seed) {
+    if (result.assignments[seed] != kUnvisited) continue;
+    std::vector<std::size_t> neighbours =
+        tree.RadiusSearch(points[seed], options.epsilon);
+    if (neighbours.size() < options.min_points) {
+      result.assignments[seed] = DbscanResult::kNoise;
+      continue;
+    }
+
+    // Grow a new cluster from this core point (standard BFS expansion).
+    const std::size_t cluster = result.num_clusters++;
+    result.assignments[seed] = cluster;
+    std::deque<std::size_t> frontier(neighbours.begin(), neighbours.end());
+    while (!frontier.empty()) {
+      std::size_t current = frontier.front();
+      frontier.pop_front();
+      if (result.assignments[current] == DbscanResult::kNoise) {
+        // Border point previously marked noise: absorb into the cluster.
+        result.assignments[current] = cluster;
+      }
+      if (result.assignments[current] != kUnvisited) continue;
+      result.assignments[current] = cluster;
+      std::vector<std::size_t> expansion =
+          tree.RadiusSearch(points[current], options.epsilon);
+      if (expansion.size() >= options.min_points) {
+        for (std::size_t next : expansion) {
+          if (result.assignments[next] == kUnvisited ||
+              result.assignments[next] == DbscanResult::kNoise) {
+            frontier.push_back(next);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace condensa::mining

@@ -1,0 +1,296 @@
+#include "mining/decision_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace condensa::mining {
+namespace {
+
+// Gini impurity of a label multiset given class counts and total.
+double Gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double impurity = 1.0;
+  for (const auto& [label, count] : counts) {
+    double p = static_cast<double>(count) / static_cast<double>(total);
+    impurity -= p * p;
+  }
+  return impurity;
+}
+
+int MajorityLabel(const std::map<int, std::size_t>& counts) {
+  int best_label = counts.begin()->first;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best_count = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+struct SplitCandidate {
+  bool valid = false;
+  double impurity = 1e18;  // weighted child Gini
+  double threshold = 0.0;
+  std::size_t axis = 0;
+  linalg::Vector direction;  // empty => axis-parallel
+};
+
+// Best threshold for pre-computed projections `values[i]` of the member
+// records. Scans sorted unique midpoints.
+SplitCandidate BestThresholdSplit(const data::Dataset& train,
+                                  const std::vector<std::size_t>& members,
+                                  const std::vector<double>& values,
+                                  std::size_t min_child) {
+  SplitCandidate best;
+  std::vector<std::size_t> order(members.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&values](std::size_t a, std::size_t b) {
+              return values[a] < values[b];
+            });
+
+  std::map<int, std::size_t> left_counts, right_counts;
+  for (std::size_t i : members) {
+    ++right_counts[train.label(i)];
+  }
+  const std::size_t total = members.size();
+
+  for (std::size_t pos = 0; pos + 1 < order.size(); ++pos) {
+    int label = train.label(members[order[pos]]);
+    ++left_counts[label];
+    auto it = right_counts.find(label);
+    if (--(it->second) == 0) right_counts.erase(it);
+
+    double v = values[order[pos]];
+    double next = values[order[pos + 1]];
+    if (next <= v) continue;  // no separating threshold here
+
+    std::size_t left_n = pos + 1;
+    std::size_t right_n = total - left_n;
+    if (left_n < min_child || right_n < min_child) continue;
+
+    double impurity =
+        (static_cast<double>(left_n) * Gini(left_counts, left_n) +
+         static_cast<double>(right_n) * Gini(right_counts, right_n)) /
+        static_cast<double>(total);
+    if (impurity < best.impurity) {
+      best.valid = true;
+      best.impurity = impurity;
+      best.threshold = 0.5 * (v + next);
+    }
+  }
+  return best;
+}
+
+// Fisher/LDA direction between the two most frequent classes of the node:
+// w = (Sw + eps I)^{-1} (mu1 - mu0), solved via Cholesky.
+bool FisherDirection(const data::Dataset& train,
+                     const std::vector<std::size_t>& members,
+                     linalg::Vector* direction) {
+  std::map<int, std::vector<std::size_t>> by_label;
+  for (std::size_t i : members) {
+    by_label[train.label(i)].push_back(i);
+  }
+  if (by_label.size() < 2) return false;
+
+  // Two largest classes.
+  int label_a = 0, label_b = 0;
+  std::size_t size_a = 0, size_b = 0;
+  for (const auto& [label, indices] : by_label) {
+    if (indices.size() > size_a) {
+      label_b = label_a;
+      size_b = size_a;
+      label_a = label;
+      size_a = indices.size();
+    } else if (indices.size() > size_b) {
+      label_b = label;
+      size_b = indices.size();
+    }
+  }
+  if (size_b < 2) return false;
+
+  const std::size_t d = train.dim();
+  auto class_mean = [&](int label) {
+    linalg::Vector mean(d);
+    for (std::size_t i : by_label[label]) {
+      mean += train.record(i);
+    }
+    mean /= static_cast<double>(by_label[label].size());
+    return mean;
+  };
+  linalg::Vector mean_a = class_mean(label_a);
+  linalg::Vector mean_b = class_mean(label_b);
+
+  // Pooled within-class scatter of the two classes.
+  linalg::Matrix scatter(d, d);
+  for (int which = 0; which < 2; ++which) {
+    int label = which == 0 ? label_a : label_b;
+    const linalg::Vector& mean = which == 0 ? mean_a : mean_b;
+    for (std::size_t i : by_label[label]) {
+      linalg::Vector diff = train.record(i) - mean;
+      for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = r; c < d; ++c) {
+          double v = diff[r] * diff[c];
+          scatter(r, c) += v;
+          if (c != r) scatter(c, r) += v;
+        }
+      }
+    }
+  }
+  double ridge = 1e-6 * std::max(1.0, scatter.MaxAbs());
+  for (std::size_t j = 0; j < d; ++j) {
+    scatter(j, j) += ridge;
+  }
+
+  auto factor = linalg::CholeskyFactor(scatter);
+  if (!factor.ok()) return false;
+  linalg::Vector w = linalg::CholeskySolve(*factor, mean_a - mean_b);
+  double norm = w.Norm();
+  if (norm <= 0.0) return false;
+  *direction = w / norm;
+  return true;
+}
+
+}  // namespace
+
+Status DecisionTreeClassifier::Fit(const data::Dataset& train) {
+  if (train.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError(
+        "DecisionTreeClassifier requires classification data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  nodes_.clear();
+  oblique_splits_ = 0;
+  std::vector<std::size_t> members(train.size());
+  for (std::size_t i = 0; i < train.size(); ++i) members[i] = i;
+  root_ = BuildNode(train, members, 0);
+  return OkStatus();
+}
+
+std::size_t DecisionTreeClassifier::BuildNode(
+    const data::Dataset& train, const std::vector<std::size_t>& members,
+    std::size_t depth) {
+  CONDENSA_DCHECK(!members.empty());
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[node_id].depth = depth;
+
+  std::map<int, std::size_t> counts;
+  for (std::size_t i : members) {
+    ++counts[train.label(i)];
+  }
+  nodes_[node_id].label = MajorityLabel(counts);
+  double node_impurity = Gini(counts, members.size());
+
+  const bool can_split = depth < options_.max_depth &&
+                         members.size() >= options_.min_split_size &&
+                         counts.size() > 1;
+  if (!can_split) {
+    return node_id;
+  }
+
+  // Best axis-parallel split.
+  SplitCandidate best;
+  std::vector<double> values(members.size());
+  const std::size_t min_child = 1;
+  for (std::size_t axis = 0; axis < train.dim(); ++axis) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      values[i] = train.record(members[i])[axis];
+    }
+    SplitCandidate candidate =
+        BestThresholdSplit(train, members, values, min_child);
+    if (candidate.valid && candidate.impurity < best.impurity) {
+      best = candidate;
+      best.axis = axis;
+    }
+  }
+
+  // Optional oblique (Fisher-direction) split.
+  if (options_.use_oblique_splits) {
+    linalg::Vector direction;
+    if (FisherDirection(train, members, &direction)) {
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        values[i] = linalg::Dot(train.record(members[i]), direction);
+      }
+      SplitCandidate candidate =
+          BestThresholdSplit(train, members, values, min_child);
+      if (candidate.valid && candidate.impurity < best.impurity) {
+        best = candidate;
+        best.direction = direction;
+      }
+    }
+  }
+
+  if (!best.valid ||
+      node_impurity - best.impurity < options_.min_impurity_decrease) {
+    return node_id;
+  }
+
+  // Partition members and recurse.
+  std::vector<std::size_t> left_members, right_members;
+  for (std::size_t i : members) {
+    double v = best.direction.empty()
+                   ? train.record(i)[best.axis]
+                   : linalg::Dot(train.record(i), best.direction);
+    (v < best.threshold ? left_members : right_members).push_back(i);
+  }
+  CONDENSA_DCHECK(!left_members.empty());
+  CONDENSA_DCHECK(!right_members.empty());
+
+  if (!best.direction.empty()) {
+    ++oblique_splits_;
+  }
+  std::size_t left = BuildNode(train, left_members, depth + 1);
+  std::size_t right = BuildNode(train, right_members, depth + 1);
+  Node& node = nodes_[node_id];
+  node.is_leaf = false;
+  node.axis = best.axis;
+  node.direction = best.direction;
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  return node_id;
+}
+
+int DecisionTreeClassifier::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK(!nodes_.empty());
+  std::size_t node_id = root_;
+  while (!nodes_[node_id].is_leaf) {
+    const Node& node = nodes_[node_id];
+    double v = node.direction.empty()
+                   ? record[node.axis]
+                   : linalg::Dot(record, node.direction);
+    node_id = v < node.threshold ? node.left : node.right;
+  }
+  return nodes_[node_id].label;
+}
+
+std::size_t DecisionTreeClassifier::leaf_count() const {
+  std::size_t leaves = 0;
+  for (const Node& node : nodes_) {
+    if (node.is_leaf) ++leaves;
+  }
+  return leaves;
+}
+
+std::size_t DecisionTreeClassifier::depth() const {
+  std::size_t max_depth = 0;
+  for (const Node& node : nodes_) {
+    max_depth = std::max(max_depth, node.depth);
+  }
+  return max_depth;
+}
+
+std::size_t DecisionTreeClassifier::DepthOf(std::size_t node) const {
+  return nodes_[node].depth;
+}
+
+}  // namespace condensa::mining

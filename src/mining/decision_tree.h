@@ -1,0 +1,79 @@
+// CART-style decision tree classifier, with an optional multivariate
+// (oblique) split mode.
+//
+// Paper Section 1 argues that multi-variate decision tree algorithms
+// cannot be adapted to the perturbation model because that model only
+// reconstructs per-dimension distributions; condensed data, being ordinary
+// records, supports them unchanged. The oblique mode implements exactly
+// such a multivariate split: alongside the best axis-parallel cut, each
+// node considers a threshold on the projection onto the Fisher (LDA)
+// direction of the node's records, and keeps whichever split has the
+// lower Gini impurity.
+
+#ifndef CONDENSA_MINING_DECISION_TREE_H_
+#define CONDENSA_MINING_DECISION_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "mining/model.h"
+
+namespace condensa::mining {
+
+struct DecisionTreeOptions {
+  std::size_t max_depth = 16;
+  // A node with fewer records becomes a leaf.
+  std::size_t min_split_size = 8;
+  // A split is kept only if it reduces Gini impurity by at least this.
+  double min_impurity_decrease = 1e-7;
+  // Also consider Fisher-direction (oblique / multivariate) splits.
+  bool use_oblique_splits = false;
+};
+
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const data::Dataset& train) override;
+  int Predict(const linalg::Vector& record) const override;
+
+  const DecisionTreeOptions& options() const { return options_; }
+  // Number of nodes in the fitted tree (0 before Fit).
+  std::size_t node_count() const { return nodes_.size(); }
+  // Number of leaves in the fitted tree.
+  std::size_t leaf_count() const;
+  // Depth of the fitted tree (root-only tree has depth 0).
+  std::size_t depth() const;
+  // Number of oblique splits chosen (0 unless use_oblique_splits).
+  std::size_t oblique_split_count() const { return oblique_splits_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    int label = 0;  // majority label (leaves)
+    // Internal nodes: go left when Dot(direction, x) < threshold. For
+    // axis-parallel splits `direction` is empty and `axis` is used.
+    std::size_t axis = 0;
+    linalg::Vector direction;  // non-empty only for oblique splits
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    std::size_t depth = 0;
+  };
+
+  std::size_t BuildNode(const data::Dataset& train,
+                        const std::vector<std::size_t>& members,
+                        std::size_t depth);
+  std::size_t DepthOf(std::size_t node) const;
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::size_t root_ = 0;
+  std::size_t oblique_splits_ = 0;
+};
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_DECISION_TREE_H_

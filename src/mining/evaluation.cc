@@ -1,0 +1,107 @@
+#include "mining/evaluation.h"
+
+#include <cmath>
+
+#include "data/split.h"
+
+namespace condensa::mining {
+
+StatusOr<double> EvaluateAccuracy(const Classifier& classifier,
+                                  const data::Dataset& test) {
+  if (test.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError("accuracy needs classification data");
+  }
+  if (test.empty()) {
+    return InvalidArgumentError("cannot evaluate on an empty test set");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (classifier.Predict(test.record(i)) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+StatusOr<double> EvaluateWithinTolerance(const Regressor& regressor,
+                                         const data::Dataset& test,
+                                         double tolerance) {
+  if (test.task() != data::TaskType::kRegression) {
+    return InvalidArgumentError("tolerance accuracy needs regression data");
+  }
+  if (test.empty()) {
+    return InvalidArgumentError("cannot evaluate on an empty test set");
+  }
+  if (tolerance < 0.0) {
+    return InvalidArgumentError("tolerance must be non-negative");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double prediction = regressor.Predict(test.record(i));
+    if (std::abs(prediction - test.target(i)) <= tolerance) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+StatusOr<double> EvaluateMeanAbsoluteError(const Regressor& regressor,
+                                           const data::Dataset& test) {
+  if (test.task() != data::TaskType::kRegression) {
+    return InvalidArgumentError("MAE needs regression data");
+  }
+  if (test.empty()) {
+    return InvalidArgumentError("cannot evaluate on an empty test set");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    total += std::abs(regressor.Predict(test.record(i)) - test.target(i));
+  }
+  return total / static_cast<double>(test.size());
+}
+
+StatusOr<std::map<int, std::map<int, std::size_t>>> ConfusionMatrix(
+    const Classifier& classifier, const data::Dataset& test) {
+  if (test.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError("confusion matrix needs classification data");
+  }
+  if (test.empty()) {
+    return InvalidArgumentError("cannot evaluate on an empty test set");
+  }
+  std::map<int, std::map<int, std::size_t>> matrix;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ++matrix[test.label(i)][classifier.Predict(test.record(i))];
+  }
+  return matrix;
+}
+
+StatusOr<double> CrossValidateAccuracy(Classifier& classifier,
+                                       const data::Dataset& dataset,
+                                       std::size_t folds, Rng& rng) {
+  CONDENSA_ASSIGN_OR_RETURN(std::vector<std::vector<std::size_t>> fold_sets,
+                            data::MakeFolds(dataset, folds, rng));
+  double total_accuracy = 0.0;
+  std::size_t evaluated_folds = 0;
+  for (std::size_t f = 0; f < fold_sets.size(); ++f) {
+    std::vector<std::size_t> train_indices;
+    for (std::size_t g = 0; g < fold_sets.size(); ++g) {
+      if (g == f) continue;
+      train_indices.insert(train_indices.end(), fold_sets[g].begin(),
+                           fold_sets[g].end());
+    }
+    if (fold_sets[f].empty() || train_indices.empty()) continue;
+    data::Dataset train = dataset.Select(train_indices);
+    data::Dataset test = dataset.Select(fold_sets[f]);
+    CONDENSA_RETURN_IF_ERROR(classifier.Fit(train));
+    CONDENSA_ASSIGN_OR_RETURN(double accuracy,
+                              EvaluateAccuracy(classifier, test));
+    total_accuracy += accuracy;
+    ++evaluated_folds;
+  }
+  if (evaluated_folds == 0) {
+    return FailedPreconditionError("no evaluable folds");
+  }
+  return total_accuracy / static_cast<double>(evaluated_folds);
+}
+
+}  // namespace condensa::mining

@@ -1,0 +1,47 @@
+// Model evaluation harness.
+//
+// These helpers compute the two quality measures the paper's figures use:
+// classification accuracy and, for Abalone, within-tolerance regression
+// accuracy ("the percentage of the time that the age was predicted within
+// an accuracy of less than one year").
+
+#ifndef CONDENSA_MINING_EVALUATION_H_
+#define CONDENSA_MINING_EVALUATION_H_
+
+#include <map>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "mining/model.h"
+
+namespace condensa::mining {
+
+// Fraction of `test` records the fitted classifier labels correctly.
+// Fails on an empty or non-classification test set.
+StatusOr<double> EvaluateAccuracy(const Classifier& classifier,
+                                  const data::Dataset& test);
+
+// Fraction of `test` records with |prediction − target| <= tolerance.
+StatusOr<double> EvaluateWithinTolerance(const Regressor& regressor,
+                                         const data::Dataset& test,
+                                         double tolerance);
+
+// Mean absolute error over `test`.
+StatusOr<double> EvaluateMeanAbsoluteError(const Regressor& regressor,
+                                           const data::Dataset& test);
+
+// Confusion counts: result[true_label][predicted_label].
+StatusOr<std::map<int, std::map<int, std::size_t>>> ConfusionMatrix(
+    const Classifier& classifier, const data::Dataset& test);
+
+// k-fold cross-validated accuracy: fits `classifier` on each train fold
+// and averages accuracy over the held-out folds. The classifier is refit
+// in place (its last fit is the final fold's).
+StatusOr<double> CrossValidateAccuracy(Classifier& classifier,
+                                       const data::Dataset& dataset,
+                                       std::size_t folds, Rng& rng);
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_EVALUATION_H_

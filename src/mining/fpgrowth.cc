@@ -1,0 +1,213 @@
+#include "mining/fpgrowth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+namespace {
+
+// FP-tree node. Children keyed by item; nodes of the same item are
+// chained through `next_same_item` from the header table.
+struct FpNode {
+  Item item = -1;
+  std::size_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;
+  std::map<Item, std::unique_ptr<FpNode>> children;
+};
+
+// Header-table entry for one item.
+struct HeaderEntry {
+  std::size_t count = 0;
+  FpNode* head = nullptr;  // chain of nodes carrying the item
+};
+
+class FpTree {
+ public:
+  FpTree() : root_(std::make_unique<FpNode>()) {}
+
+  // Inserts a transaction (items already filtered to frequent ones and
+  // ordered by decreasing global frequency) with multiplicity `count`.
+  void Insert(const std::vector<Item>& items, std::size_t count) {
+    FpNode* node = root_.get();
+    for (Item item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        HeaderEntry& header = header_[item];
+        child->next_same_item = header.head;
+        header.head = child.get();
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      header_[item].count += count;
+      node = it->second.get();
+    }
+  }
+
+  bool empty() const { return root_->children.empty(); }
+  const std::map<Item, HeaderEntry>& header() const { return header_; }
+
+ private:
+  std::unique_ptr<FpNode> root_;
+  std::map<Item, HeaderEntry> header_;
+};
+
+struct MiningContext {
+  std::size_t min_count = 1;
+  std::size_t max_size = 0;  // 0 = unlimited
+  std::size_t total_transactions = 1;
+  std::vector<FrequentItemset>* out = nullptr;
+};
+
+// One conditional transaction: a prefix path with a multiplicity.
+struct WeightedTransaction {
+  std::vector<Item> items;  // ordered by decreasing global frequency
+  std::size_t count = 0;
+};
+
+void Mine(const std::vector<WeightedTransaction>& database,
+          const std::vector<Item>& suffix, const MiningContext& ctx);
+
+// Builds the conditional database for `item` from the tree and recurses.
+void MineTree(const FpTree& tree, const std::vector<Item>& suffix,
+              const MiningContext& ctx) {
+  // Iterate items in increasing frequency order (map order is by item id;
+  // frequency order is not required for correctness, only for tree
+  // compactness, so plain header order is fine).
+  for (const auto& [item, header] : tree.header()) {
+    if (header.count < ctx.min_count) continue;
+
+    std::vector<Item> itemset = suffix;
+    itemset.push_back(item);
+    std::sort(itemset.begin(), itemset.end());
+    ctx.out->push_back(
+        {itemset, static_cast<double>(header.count) /
+                      static_cast<double>(ctx.total_transactions)});
+
+    if (ctx.max_size != 0 && suffix.size() + 1 >= ctx.max_size) continue;
+
+    // Conditional pattern base: prefix paths of every node carrying item.
+    std::vector<WeightedTransaction> conditional;
+    for (FpNode* node = header.head; node != nullptr;
+         node = node->next_same_item) {
+      WeightedTransaction path;
+      path.count = node->count;
+      for (FpNode* up = node->parent; up != nullptr && up->item >= 0;
+           up = up->parent) {
+        path.items.push_back(up->item);
+      }
+      if (!path.items.empty()) {
+        std::reverse(path.items.begin(), path.items.end());
+        conditional.push_back(std::move(path));
+      }
+    }
+    std::vector<Item> next_suffix = suffix;
+    next_suffix.push_back(item);
+    Mine(conditional, next_suffix, ctx);
+  }
+}
+
+void Mine(const std::vector<WeightedTransaction>& database,
+          const std::vector<Item>& suffix, const MiningContext& ctx) {
+  if (database.empty()) return;
+  // Filter items below min support in this conditional database.
+  std::map<Item, std::size_t> counts;
+  for (const WeightedTransaction& t : database) {
+    for (Item item : t.items) {
+      counts[item] += t.count;
+    }
+  }
+  FpTree tree;
+  for (const WeightedTransaction& t : database) {
+    std::vector<Item> kept;
+    for (Item item : t.items) {
+      if (counts[item] >= ctx.min_count) kept.push_back(item);
+    }
+    if (!kept.empty()) tree.Insert(kept, t.count);
+  }
+  if (!tree.empty()) {
+    MineTree(tree, suffix, ctx);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsFpGrowth(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options) {
+  if (transactions.empty()) {
+    return InvalidArgumentError("no transactions");
+  }
+  if (!(options.min_support > 0.0 && options.min_support <= 1.0)) {
+    return InvalidArgumentError("min_support must be in (0, 1]");
+  }
+  for (const Transaction& t : transactions) {
+    if (!std::is_sorted(t.begin(), t.end()) ||
+        std::adjacent_find(t.begin(), t.end()) != t.end()) {
+      return InvalidArgumentError(
+          "transactions must be sorted and duplicate-free");
+    }
+    for (Item item : t) {
+      if (item < 0) {
+        return InvalidArgumentError("items must be non-negative");
+      }
+    }
+  }
+
+  const double n = static_cast<double>(transactions.size());
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(options.min_support * n - 1e-9)));
+
+  // Global frequencies; order transactions by decreasing frequency (ties
+  // by item id) for a compact initial tree.
+  std::map<Item, std::size_t> frequency;
+  for (const Transaction& t : transactions) {
+    for (Item item : t) {
+      ++frequency[item];
+    }
+  }
+  auto by_frequency = [&frequency](Item a, Item b) {
+    std::size_t fa = frequency[a];
+    std::size_t fb = frequency[b];
+    if (fa != fb) return fa > fb;
+    return a < b;
+  };
+
+  FpTree tree;
+  for (const Transaction& t : transactions) {
+    std::vector<Item> kept;
+    for (Item item : t) {
+      if (frequency[item] >= min_count) kept.push_back(item);
+    }
+    std::sort(kept.begin(), kept.end(), by_frequency);
+    if (!kept.empty()) tree.Insert(kept, 1);
+  }
+
+  std::vector<FrequentItemset> result;
+  MiningContext ctx;
+  ctx.min_count = min_count;
+  ctx.max_size = options.max_itemset_size;
+  ctx.total_transactions = transactions.size();
+  ctx.out = &result;
+  if (!tree.empty()) {
+    MineTree(tree, {}, ctx);
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return result;
+}
+
+}  // namespace condensa::mining

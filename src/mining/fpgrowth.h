@@ -1,0 +1,36 @@
+// FP-growth frequent-itemset mining.
+//
+// A second, independent frequent-itemset algorithm (Han et al.'s pattern
+// tree): it produces exactly the same itemsets as Apriori but without
+// candidate generation, so it scales to lower support thresholds. Besides
+// being useful on its own, the property tests cross-check FP-growth and
+// Apriori against each other — two independent implementations agreeing
+// on randomized instances.
+
+#ifndef CONDENSA_MINING_FPGROWTH_H_
+#define CONDENSA_MINING_FPGROWTH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mining/apriori.h"
+
+namespace condensa::mining {
+
+struct FpGrowthOptions {
+  // Minimum fraction of transactions an itemset must appear in.
+  double min_support = 0.1;
+  // Stop growing itemsets beyond this size (0 = unlimited).
+  std::size_t max_itemset_size = 0;
+};
+
+// Mines all frequent itemsets of `transactions` (sorted, duplicate-free
+// items, as for Apriori). Result itemsets are sorted by (size, items) —
+// the same order MineAssociationRules uses — with exact supports.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsetsFpGrowth(
+    const std::vector<Transaction>& transactions,
+    const FpGrowthOptions& options);
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_FPGROWTH_H_

@@ -1,0 +1,114 @@
+#include "mining/kmeans.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<linalg::Vector> SeedCentroids(
+    const std::vector<linalg::Vector>& points, std::size_t k, Rng& rng) {
+  std::vector<linalg::Vector> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.UniformIndex(points.size())]);
+
+  std::vector<double> nearest_sq(points.size(),
+                                 std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    const linalg::Vector& latest = centroids.back();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      nearest_sq[i] = std::min(nearest_sq[i],
+                               linalg::SquaredDistance(points[i], latest));
+    }
+    double total = 0.0;
+    for (double d : nearest_sq) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(points[rng.UniformIndex(points.size())]);
+      continue;
+    }
+    double target = rng.UniformDouble() * total;
+    double cumulative = 0.0;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      cumulative += nearest_sq[i];
+      if (target < cumulative) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<linalg::Vector>& points,
+                              const KMeansOptions& options, Rng& rng) {
+  if (options.num_clusters == 0) {
+    return InvalidArgumentError("num_clusters must be at least 1");
+  }
+  if (points.size() < options.num_clusters) {
+    return InvalidArgumentError("fewer points than clusters");
+  }
+  const std::size_t d = points.front().dim();
+  for (const linalg::Vector& p : points) {
+    if (p.dim() != d) {
+      return InvalidArgumentError("points have inconsistent dimensions");
+    }
+  }
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, options.num_clusters, rng);
+  result.assignments.assign(points.size(), 0);
+
+  for (result.iterations = 0; result.iterations < options.max_iterations;
+       ++result.iterations) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+        double distance =
+            linalg::SquaredDistance(points[i], result.centroids[c]);
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = c;
+        }
+      }
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && result.iterations > 0) break;
+
+    // Update step. Empty clusters keep their previous centroid.
+    std::vector<linalg::Vector> sums(options.num_clusters,
+                                     linalg::Vector(d));
+    std::vector<std::size_t> counts(options.num_clusters, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[result.assignments[i]] += points[i];
+      ++counts[result.assignments[i]];
+    }
+    for (std::size_t c = 0; c < options.num_clusters; ++c) {
+      if (counts[c] > 0) {
+        result.centroids[c] = sums[c] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += linalg::SquaredDistance(
+        points[i], result.centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+}  // namespace condensa::mining

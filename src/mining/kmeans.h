@@ -1,0 +1,38 @@
+// Lloyd's k-means with k-means++ seeding.
+//
+// Clustering is the second mining task the paper motivates ("it would be
+// interesting to study other data mining problems as well"); the benches
+// use it to verify that cluster structure survives condensation.
+
+#ifndef CONDENSA_MINING_KMEANS_H_
+#define CONDENSA_MINING_KMEANS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace condensa::mining {
+
+struct KMeansOptions {
+  std::size_t num_clusters = 2;
+  std::size_t max_iterations = 100;
+  // Converged when no assignment changes in an iteration.
+};
+
+struct KMeansResult {
+  std::vector<linalg::Vector> centroids;     // num_clusters entries
+  std::vector<std::size_t> assignments;      // one per input point
+  double inertia = 0.0;                      // Σ ||x - centroid(x)||²
+  std::size_t iterations = 0;
+};
+
+// Clusters `points`. Fails when points.size() < num_clusters or
+// num_clusters == 0.
+StatusOr<KMeansResult> KMeans(const std::vector<linalg::Vector>& points,
+                              const KMeansOptions& options, Rng& rng);
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_KMEANS_H_

@@ -1,0 +1,142 @@
+#include "mining/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+
+std::vector<std::size_t> NearestNeighbors(const data::Dataset& dataset,
+                                          const linalg::Vector& query,
+                                          std::size_t k) {
+  CONDENSA_CHECK(!dataset.empty());
+  k = std::min(k, dataset.size());
+
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    distances.emplace_back(linalg::SquaredDistance(dataset.record(i), query),
+                           i);
+  }
+  std::partial_sort(distances.begin(), distances.begin() + k,
+                    distances.end());
+
+  std::vector<std::size_t> indices;
+  indices.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    indices.push_back(distances[i].second);
+  }
+  return indices;
+}
+
+namespace {
+
+// Builds a k-d index when the strategy (or heuristic) calls for one.
+// Indexing pays off when the training set is large relative to its
+// dimension; in very high dimensions pruning stops working and a linear
+// scan is faster.
+StatusOr<std::optional<index::KdTree>> MaybeBuildIndex(
+    const data::Dataset& train, SearchStrategy strategy) {
+  bool build = false;
+  switch (strategy) {
+    case SearchStrategy::kBruteForce:
+      build = false;
+      break;
+    case SearchStrategy::kKdTree:
+      build = true;
+      break;
+    case SearchStrategy::kAuto:
+      build = train.size() >= 512 && train.dim() <= 12;
+      break;
+  }
+  if (!build) {
+    return std::optional<index::KdTree>();
+  }
+  CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree,
+                            index::KdTree::Build(train.records()));
+  return std::optional<index::KdTree>(std::move(tree));
+}
+
+}  // namespace
+
+Status KnnClassifier::Fit(const data::Dataset& train) {
+  if (options_.k == 0) {
+    return InvalidArgumentError("k must be at least 1");
+  }
+  if (train.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError("KnnClassifier requires classification data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  index_.reset();  // never reference the previous training set
+  train_ = train;
+  CONDENSA_ASSIGN_OR_RETURN(index_,
+                            MaybeBuildIndex(train_, options_.strategy));
+  return OkStatus();
+}
+
+int KnnClassifier::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK(!train_.empty());
+  std::vector<std::size_t> neighbours =
+      index_.has_value() ? index_->KNearest(record, options_.k)
+                         : NearestNeighbors(train_, record, options_.k);
+
+  // Majority vote; break ties by smaller cumulative distance, then by
+  // smaller label so prediction is deterministic.
+  struct VoteInfo {
+    std::size_t votes = 0;
+    double total_distance = 0.0;
+  };
+  std::map<int, VoteInfo> votes;
+  for (std::size_t index : neighbours) {
+    VoteInfo& info = votes[train_.label(index)];
+    ++info.votes;
+    info.total_distance +=
+        linalg::Distance(train_.record(index), record);
+  }
+  int best_label = votes.begin()->first;
+  VoteInfo best = votes.begin()->second;
+  for (const auto& [label, info] : votes) {
+    bool better = info.votes > best.votes ||
+                  (info.votes == best.votes &&
+                   info.total_distance < best.total_distance);
+    if (better) {
+      best_label = label;
+      best = info;
+    }
+  }
+  return best_label;
+}
+
+Status KnnRegressor::Fit(const data::Dataset& train) {
+  if (options_.k == 0) {
+    return InvalidArgumentError("k must be at least 1");
+  }
+  if (train.task() != data::TaskType::kRegression) {
+    return InvalidArgumentError("KnnRegressor requires regression data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  index_.reset();  // never reference the previous training set
+  train_ = train;
+  CONDENSA_ASSIGN_OR_RETURN(index_,
+                            MaybeBuildIndex(train_, options_.strategy));
+  return OkStatus();
+}
+
+double KnnRegressor::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK(!train_.empty());
+  std::vector<std::size_t> neighbours =
+      index_.has_value() ? index_->KNearest(record, options_.k)
+                         : NearestNeighbors(train_, record, options_.k);
+  double total = 0.0;
+  for (std::size_t index : neighbours) {
+    total += train_.target(index);
+  }
+  return total / static_cast<double>(neighbours.size());
+}
+
+}  // namespace condensa::mining

@@ -1,0 +1,71 @@
+#include "mining/linear_regression.h"
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+
+namespace condensa::mining {
+
+Status LinearRegressor::Fit(const data::Dataset& train) {
+  if (train.task() != data::TaskType::kRegression) {
+    return InvalidArgumentError("LinearRegressor requires regression data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  if (options_.ridge < 0.0) {
+    return InvalidArgumentError("ridge penalty must be non-negative");
+  }
+
+  // Centre features and target; solve (XᵀX + ridge I) w = Xᵀ y on the
+  // centred data, then recover the intercept. Centring keeps the ridge
+  // penalty off the intercept and improves conditioning.
+  const std::size_t d = train.dim();
+  const double n = static_cast<double>(train.size());
+
+  linalg::Vector feature_mean = train.Mean();
+  double target_mean = 0.0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    target_mean += train.target(i);
+  }
+  target_mean /= n;
+
+  linalg::Matrix gram(d, d);
+  linalg::Vector moment(d);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    linalg::Vector x = train.record(i) - feature_mean;
+    double y = train.target(i) - target_mean;
+    for (std::size_t r = 0; r < d; ++r) {
+      moment[r] += x[r] * y;
+      for (std::size_t c = r; c < d; ++c) {
+        gram(r, c) += x[r] * x[c];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = r; c < d; ++c) {
+      gram(c, r) = gram(r, c);
+    }
+  }
+  // Ridge + a whisper of jitter so collinear features stay solvable.
+  double jitter = 1e-10 * std::max(1.0, gram.MaxAbs());
+  for (std::size_t j = 0; j < d; ++j) {
+    gram(j, j) += options_.ridge + jitter;
+  }
+
+  auto factor = linalg::CholeskyFactor(gram);
+  if (!factor.ok()) {
+    return FailedPreconditionError(
+        "normal equations are singular; add a ridge penalty");
+  }
+  weights_ = linalg::CholeskySolve(*factor, moment);
+  intercept_ = target_mean - linalg::Dot(weights_, feature_mean);
+  return OkStatus();
+}
+
+double LinearRegressor::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK_EQ(record.dim(), weights_.dim());
+  return linalg::Dot(weights_, record) + intercept_;
+}
+
+}  // namespace condensa::mining

@@ -1,0 +1,43 @@
+// Ordinary least squares / ridge regression.
+//
+// A second regression family (beyond k-NN) for the condensed-data
+// experiments: linear models depend *only* on the first and second moments
+// of the joint (features ⊕ target) distribution — exactly what
+// condensation preserves — so their coefficients on a condensed release
+// should match the raw-data fit closely. Fitting uses the normal
+// equations solved via Cholesky with an optional ridge term.
+
+#ifndef CONDENSA_MINING_LINEAR_REGRESSION_H_
+#define CONDENSA_MINING_LINEAR_REGRESSION_H_
+
+#include "linalg/vector.h"
+#include "mining/model.h"
+
+namespace condensa::mining {
+
+struct LinearRegressionOptions {
+  // L2 penalty on the weights (not the intercept). 0 = plain OLS.
+  double ridge = 0.0;
+};
+
+class LinearRegressor : public Regressor {
+ public:
+  explicit LinearRegressor(LinearRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const data::Dataset& train) override;
+  double Predict(const linalg::Vector& record) const override;
+
+  // Learned weights (dim = feature dim) and intercept. Valid after Fit.
+  const linalg::Vector& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  LinearRegressionOptions options_;
+  linalg::Vector weights_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_LINEAR_REGRESSION_H_

@@ -1,0 +1,118 @@
+#include "mining/mixture_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "linalg/cholesky.h"
+
+namespace condensa::mining {
+namespace {
+
+// log Σ exp(values) computed stably.
+double LogSumExp(const std::vector<double>& values) {
+  double peak = -std::numeric_limits<double>::infinity();
+  for (double v : values) peak = std::max(peak, v);
+  if (!std::isfinite(peak)) return peak;
+  double total = 0.0;
+  for (double v : values) total += std::exp(v - peak);
+  return peak + std::log(total);
+}
+
+}  // namespace
+
+Status CondensedMixtureClassifier::Fit(const core::CondensedPools& pools) {
+  if (pools.task != data::TaskType::kClassification) {
+    return InvalidArgumentError(
+        "CondensedMixtureClassifier requires classification pools");
+  }
+  if (pools.pools.empty()) {
+    return InvalidArgumentError("no pools to fit from");
+  }
+
+  classes_.clear();
+  dim_ = pools.feature_dim;
+  double total_records = 0.0;
+  for (const core::CondensedPools::Pool& pool : pools.pools) {
+    total_records += static_cast<double>(pool.groups.TotalRecords());
+  }
+  if (total_records <= 0.0) {
+    return InvalidArgumentError("pools contain no records");
+  }
+
+  for (const core::CondensedPools::Pool& pool : pools.pools) {
+    const double class_records =
+        static_cast<double>(pool.groups.TotalRecords());
+    if (class_records <= 0.0) continue;
+
+    ClassModel model;
+    model.log_prior = std::log(class_records / total_records);
+    for (const core::GroupStatistics& group : pool.groups.groups()) {
+      Component component;
+      component.log_weight =
+          std::log(static_cast<double>(group.count()) / class_records);
+      component.mean = group.Centroid();
+
+      linalg::Matrix covariance = group.Covariance();
+      // Relative ridge with an absolute floor so an all-zero covariance
+      // (identical records) still factorizes.
+      double ridge = std::max(options_.relative_ridge * covariance.MaxAbs(),
+                              1e-9);
+      for (std::size_t j = 0; j < covariance.rows(); ++j) {
+        covariance(j, j) += ridge;
+      }
+      auto factor = linalg::CholeskyFactor(covariance);
+      if (!factor.ok()) {
+        return FailedPreconditionError(
+            "group covariance not factorizable; raise relative_ridge");
+      }
+      component.log_norm =
+          -0.5 * (static_cast<double>(dim_) * std::log(2.0 * M_PI) +
+                  linalg::CholeskyLogDet(*factor));
+      component.cholesky = std::move(*factor);
+      model.components.push_back(std::move(component));
+    }
+    classes_.emplace(pool.label, std::move(model));
+  }
+  if (classes_.empty()) {
+    return InvalidArgumentError("no non-empty classes");
+  }
+  return OkStatus();
+}
+
+std::map<int, double> CondensedMixtureClassifier::ClassLogScores(
+    const linalg::Vector& record) const {
+  CONDENSA_CHECK(!classes_.empty());
+  CONDENSA_CHECK_EQ(record.dim(), dim_);
+  std::map<int, double> scores;
+  for (const auto& [label, model] : classes_) {
+    std::vector<double> component_scores;
+    component_scores.reserve(model.components.size());
+    for (const Component& component : model.components) {
+      // Mahalanobis term via the Cholesky solve: (x−m)ᵀ C⁻¹ (x−m).
+      linalg::Vector diff = record - component.mean;
+      linalg::Vector solved = linalg::CholeskySolve(component.cholesky, diff);
+      double mahalanobis = linalg::Dot(diff, solved);
+      component_scores.push_back(component.log_weight + component.log_norm -
+                                 0.5 * mahalanobis);
+    }
+    scores[label] = model.log_prior + LogSumExp(component_scores);
+  }
+  return scores;
+}
+
+int CondensedMixtureClassifier::Predict(const linalg::Vector& record) const {
+  std::map<int, double> scores = ClassLogScores(record);
+  int best_label = scores.begin()->first;
+  double best_score = scores.begin()->second;
+  for (const auto& [label, score] : scores) {
+    if (score > best_score) {
+      best_score = score;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace condensa::mining

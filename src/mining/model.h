@@ -1,0 +1,42 @@
+// Interfaces for mining models applied to (anonymized) datasets.
+//
+// The paper's point is that condensation produces ordinary records, so
+// ordinary algorithms run unchanged. These interfaces keep the evaluation
+// harness agnostic to which algorithm consumed the anonymized data.
+
+#ifndef CONDENSA_MINING_MODEL_H_
+#define CONDENSA_MINING_MODEL_H_
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace condensa::mining {
+
+// A trained classifier: point in, label out.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Learns from `train` (task must be kClassification, non-empty).
+  virtual Status Fit(const data::Dataset& train) = 0;
+
+  // Predicts the label of one record. Requires a successful Fit.
+  virtual int Predict(const linalg::Vector& record) const = 0;
+};
+
+// A trained regressor: point in, real target out.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  // Learns from `train` (task must be kRegression, non-empty).
+  virtual Status Fit(const data::Dataset& train) = 0;
+
+  // Predicts the target of one record. Requires a successful Fit.
+  virtual double Predict(const linalg::Vector& record) const = 0;
+};
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_MODEL_H_

@@ -1,0 +1,80 @@
+#include "mining/naive_bayes.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+namespace {
+
+constexpr double kVarianceFloor = 1e-9;
+
+}  // namespace
+
+Status GaussianNaiveBayes::Fit(const data::Dataset& train) {
+  if (train.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError(
+        "GaussianNaiveBayes requires classification data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+
+  classes_.clear();
+  const std::size_t d = train.dim();
+  const double total = static_cast<double>(train.size());
+
+  for (const auto& [label, indices] : train.IndicesByLabel()) {
+    ClassModel model;
+    const double n = static_cast<double>(indices.size());
+    model.log_prior = std::log(n / total);
+    model.mean = linalg::Vector(d);
+    model.variance = linalg::Vector(d);
+    for (std::size_t i : indices) {
+      model.mean += train.record(i);
+    }
+    model.mean /= n;
+    for (std::size_t i : indices) {
+      for (std::size_t j = 0; j < d; ++j) {
+        double diff = train.record(i)[j] - model.mean[j];
+        model.variance[j] += diff * diff;
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      model.variance[j] = std::max(model.variance[j] / n, kVarianceFloor);
+    }
+    classes_[label] = std::move(model);
+  }
+  return OkStatus();
+}
+
+std::map<int, double> GaussianNaiveBayes::ClassLogLikelihoods(
+    const linalg::Vector& record) const {
+  CONDENSA_CHECK(!classes_.empty());
+  std::map<int, double> scores;
+  for (const auto& [label, model] : classes_) {
+    double score = model.log_prior;
+    for (std::size_t j = 0; j < record.dim(); ++j) {
+      double diff = record[j] - model.mean[j];
+      score += -0.5 * (std::log(2.0 * M_PI * model.variance[j]) +
+                       diff * diff / model.variance[j]);
+    }
+    scores[label] = score;
+  }
+  return scores;
+}
+
+int GaussianNaiveBayes::Predict(const linalg::Vector& record) const {
+  std::map<int, double> scores = ClassLogLikelihoods(record);
+  int best_label = scores.begin()->first;
+  double best_score = scores.begin()->second;
+  for (const auto& [label, score] : scores) {
+    if (score > best_score) {
+      best_label = label;
+      best_score = score;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace condensa::mining

@@ -1,0 +1,42 @@
+// Gaussian naive Bayes classifier.
+//
+// Included as a second off-the-shelf algorithm for the condensed data, and
+// as the multi-dimensional cousin of the per-dimension distribution model
+// that the perturbation baseline is limited to.
+
+#ifndef CONDENSA_MINING_NAIVE_BAYES_H_
+#define CONDENSA_MINING_NAIVE_BAYES_H_
+
+#include <map>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "mining/model.h"
+
+namespace condensa::mining {
+
+// Models each class as a product of per-dimension Gaussians with a class
+// prior proportional to the class frequency.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  Status Fit(const data::Dataset& train) override;
+  int Predict(const linalg::Vector& record) const override;
+
+  // Log of P(class) + Σ_j log N(x_j | mean_cj, var_cj) for each class.
+  std::map<int, double> ClassLogLikelihoods(
+      const linalg::Vector& record) const;
+
+ private:
+  struct ClassModel {
+    double log_prior = 0.0;
+    linalg::Vector mean;
+    linalg::Vector variance;  // floored away from zero
+  };
+  std::map<int, ClassModel> classes_;
+};
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_NAIVE_BAYES_H_

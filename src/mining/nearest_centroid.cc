@@ -1,0 +1,43 @@
+#include "mining/nearest_centroid.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace condensa::mining {
+
+Status NearestCentroidClassifier::Fit(const data::Dataset& train) {
+  if (train.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError(
+        "NearestCentroidClassifier requires classification data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+  centroids_.clear();
+  for (const auto& [label, indices] : train.IndicesByLabel()) {
+    linalg::Vector centroid(train.dim());
+    for (std::size_t i : indices) {
+      centroid += train.record(i);
+    }
+    centroid /= static_cast<double>(indices.size());
+    centroids_[label] = std::move(centroid);
+  }
+  return OkStatus();
+}
+
+int NearestCentroidClassifier::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK(!centroids_.empty());
+  int best_label = centroids_.begin()->first;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& [label, centroid] : centroids_) {
+    double distance = linalg::SquaredDistance(centroid, record);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace condensa::mining

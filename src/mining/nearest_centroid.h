@@ -1,0 +1,34 @@
+// Nearest-centroid (minimum-distance) classifier.
+//
+// The cheapest multivariate classifier; useful as a sanity baseline and in
+// tests because its behaviour on condensed data is easy to reason about
+// (it depends only on class means, which condensation preserves exactly).
+
+#ifndef CONDENSA_MINING_NEAREST_CENTROID_H_
+#define CONDENSA_MINING_NEAREST_CENTROID_H_
+
+#include <map>
+
+#include "linalg/vector.h"
+#include "mining/model.h"
+
+namespace condensa::mining {
+
+class NearestCentroidClassifier : public Classifier {
+ public:
+  NearestCentroidClassifier() = default;
+
+  Status Fit(const data::Dataset& train) override;
+  int Predict(const linalg::Vector& record) const override;
+
+  const std::map<int, linalg::Vector>& centroids() const {
+    return centroids_;
+  }
+
+ private:
+  std::map<int, linalg::Vector> centroids_;
+};
+
+}  // namespace condensa::mining
+
+#endif  // CONDENSA_MINING_NEAREST_CENTROID_H_

@@ -1,0 +1,60 @@
+#include "perturb/distribution_classifier.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace condensa::perturb {
+
+Status DistributionClassifier::Fit(const data::Dataset& train) {
+  if (train.task() != data::TaskType::kClassification) {
+    return InvalidArgumentError(
+        "DistributionClassifier requires classification data");
+  }
+  if (train.empty()) {
+    return InvalidArgumentError("cannot fit on an empty dataset");
+  }
+
+  classes_.clear();
+  const double total = static_cast<double>(train.size());
+  for (const auto& [label, indices] : train.IndicesByLabel()) {
+    ClassModel model;
+    model.log_prior =
+        std::log(static_cast<double>(indices.size()) / total);
+    model.dimensions.reserve(train.dim());
+    for (std::size_t j = 0; j < train.dim(); ++j) {
+      std::vector<double> column;
+      column.reserve(indices.size());
+      for (std::size_t i : indices) {
+        column.push_back(train.record(i)[j]);
+      }
+      CONDENSA_ASSIGN_OR_RETURN(
+          ReconstructionResult reconstruction,
+          ReconstructDistribution(column, noise_, options_.reconstruction));
+      model.dimensions.push_back(std::move(reconstruction.distribution));
+    }
+    classes_.emplace(label, std::move(model));
+  }
+  return OkStatus();
+}
+
+int DistributionClassifier::Predict(const linalg::Vector& record) const {
+  CONDENSA_CHECK(!classes_.empty());
+  int best_label = classes_.begin()->first;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [label, model] : classes_) {
+    double score = model.log_prior;
+    for (std::size_t j = 0; j < record.dim(); ++j) {
+      double density = model.dimensions[j].Density(record[j]);
+      score += std::log(std::max(density, options_.density_floor));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace condensa::perturb

@@ -1,0 +1,105 @@
+#include "perturb/perturbation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa::perturb {
+
+double NoiseSpec::Density(double y) const {
+  CONDENSA_DCHECK_GT(scale, 0.0);
+  switch (kind) {
+    case NoiseKind::kUniform:
+      return std::abs(y) <= scale ? 1.0 / (2.0 * scale) : 0.0;
+    case NoiseKind::kGaussian: {
+      double z = y / scale;
+      return std::exp(-0.5 * z * z) / (scale * std::sqrt(2.0 * M_PI));
+    }
+  }
+  return 0.0;
+}
+
+double NoiseSpec::Cdf(double y) const {
+  CONDENSA_DCHECK_GT(scale, 0.0);
+  switch (kind) {
+    case NoiseKind::kUniform:
+      if (y <= -scale) return 0.0;
+      if (y >= scale) return 1.0;
+      return (y + scale) / (2.0 * scale);
+    case NoiseKind::kGaussian:
+      return 0.5 * (1.0 + std::erf(y / (scale * std::sqrt(2.0))));
+  }
+  return 0.0;
+}
+
+double NoiseSpec::StdDev() const {
+  switch (kind) {
+    case NoiseKind::kUniform:
+      return scale / std::sqrt(3.0);
+    case NoiseKind::kGaussian:
+      return scale;
+  }
+  return 0.0;
+}
+
+double NoiseSpec::Extent() const {
+  switch (kind) {
+    case NoiseKind::kUniform:
+      return scale;
+    case NoiseKind::kGaussian:
+      return 4.0 * scale;
+  }
+  return 0.0;
+}
+
+double NoiseSpec::Sample(Rng& rng) const {
+  CONDENSA_DCHECK_GT(scale, 0.0);
+  switch (kind) {
+    case NoiseKind::kUniform:
+      return rng.Uniform(-scale, scale);
+    case NoiseKind::kGaussian:
+      return rng.Gaussian(0.0, scale);
+  }
+  return 0.0;
+}
+
+StatusOr<data::Dataset> PerturbDataset(const data::Dataset& dataset,
+                                       const NoiseSpec& noise, Rng& rng) {
+  if (noise.scale <= 0.0) {
+    return InvalidArgumentError("noise scale must be positive");
+  }
+  data::Dataset out(dataset.dim(), dataset.task());
+  if (!dataset.feature_names().empty()) {
+    CONDENSA_RETURN_IF_ERROR(out.SetFeatureNames(dataset.feature_names()));
+  }
+  for (std::size_t i = 0; i < dataset.size(); ++i) {
+    linalg::Vector record = dataset.record(i);
+    for (std::size_t j = 0; j < record.dim(); ++j) {
+      record[j] += noise.Sample(rng);
+    }
+    switch (dataset.task()) {
+      case data::TaskType::kUnlabeled:
+        out.Add(std::move(record));
+        break;
+      case data::TaskType::kClassification:
+        out.Add(std::move(record), dataset.label(i));
+        break;
+      case data::TaskType::kRegression:
+        out.Add(std::move(record), dataset.target(i));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> PerturbValues(const std::vector<double>& values,
+                                  const NoiseSpec& noise, Rng& rng) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(v + noise.Sample(rng));
+  }
+  return out;
+}
+
+}  // namespace condensa::perturb

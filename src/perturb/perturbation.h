@@ -1,0 +1,56 @@
+// Additive-noise perturbation (the Agrawal–Srikant baseline, paper [1]).
+//
+// Each value is released as x + y with y drawn independently from a public
+// noise distribution. This is the approach the paper argues against: the
+// server can reconstruct each dimension's aggregate distribution but not
+// multi-dimensional records, so inter-attribute correlations are lost and
+// every mining algorithm must be redesigned around distributions.
+
+#ifndef CONDENSA_PERTURB_PERTURBATION_H_
+#define CONDENSA_PERTURB_PERTURBATION_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace condensa::perturb {
+
+enum class NoiseKind {
+  // Uniform on [-half_width, +half_width].
+  kUniform = 0,
+  // Gaussian with standard deviation `scale`.
+  kGaussian = 1,
+};
+
+// The (publicly known) perturbing distribution Y.
+struct NoiseSpec {
+  NoiseKind kind = NoiseKind::kUniform;
+  // Uniform: half-width of the interval. Gaussian: standard deviation.
+  // Must be positive.
+  double scale = 1.0;
+
+  // Density f_Y(y).
+  double Density(double y) const;
+  // Cumulative distribution F_Y(y).
+  double Cdf(double y) const;
+  // Standard deviation of the noise.
+  double StdDev() const;
+  // Largest |y| with non-negligible density (uniform: scale; Gaussian:
+  // 4 standard deviations), used to bound reconstruction supports.
+  double Extent() const;
+  // Draws one noise value.
+  double Sample(Rng& rng) const;
+};
+
+// Returns a copy of `dataset` with every feature value independently
+// perturbed (labels/targets untouched). Fails when scale <= 0.
+StatusOr<data::Dataset> PerturbDataset(const data::Dataset& dataset,
+                                       const NoiseSpec& noise, Rng& rng);
+
+// Perturbs a single column of scalar values.
+std::vector<double> PerturbValues(const std::vector<double>& values,
+                                  const NoiseSpec& noise, Rng& rng);
+
+}  // namespace condensa::perturb
+
+#endif  // CONDENSA_PERTURB_PERTURBATION_H_

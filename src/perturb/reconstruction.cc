@@ -1,0 +1,130 @@
+#include "perturb/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace condensa::perturb {
+
+ReconstructedDistribution::ReconstructedDistribution(
+    double lo, double hi, std::vector<double> bin_probabilities)
+    : lo_(lo), hi_(hi), probabilities_(std::move(bin_probabilities)) {
+  CONDENSA_CHECK_LT(lo_, hi_);
+  CONDENSA_CHECK(!probabilities_.empty());
+  width_ = (hi_ - lo_) / static_cast<double>(probabilities_.size());
+}
+
+double ReconstructedDistribution::Density(double x) const {
+  if (x < lo_ || x >= hi_) return 0.0;
+  auto bin = static_cast<std::size_t>((x - lo_) / width_);
+  bin = std::min(bin, probabilities_.size() - 1);
+  return probabilities_[bin] / width_;
+}
+
+double ReconstructedDistribution::BinCenter(std::size_t j) const {
+  CONDENSA_CHECK_LT(j, probabilities_.size());
+  return lo_ + (static_cast<double>(j) + 0.5) * width_;
+}
+
+double ReconstructedDistribution::Mean() const {
+  double mean = 0.0;
+  for (std::size_t j = 0; j < probabilities_.size(); ++j) {
+    mean += probabilities_[j] * BinCenter(j);
+  }
+  return mean;
+}
+
+double ReconstructedDistribution::Variance() const {
+  double mean = Mean();
+  double variance = 0.0;
+  for (std::size_t j = 0; j < probabilities_.size(); ++j) {
+    double diff = BinCenter(j) - mean;
+    variance += probabilities_[j] * diff * diff;
+  }
+  // Within-bin spread of the piecewise-constant density.
+  variance += width_ * width_ / 12.0;
+  return variance;
+}
+
+double ReconstructedDistribution::Sample(Rng& rng) const {
+  std::size_t bin = rng.Categorical(probabilities_);
+  double left = lo_ + static_cast<double>(bin) * width_;
+  return rng.Uniform(left, left + width_);
+}
+
+StatusOr<ReconstructionResult> ReconstructDistribution(
+    const std::vector<double>& perturbed, const NoiseSpec& noise,
+    const ReconstructionOptions& options) {
+  if (perturbed.empty()) {
+    return InvalidArgumentError("no perturbed observations");
+  }
+  if (noise.scale <= 0.0) {
+    return InvalidArgumentError("noise scale must be positive");
+  }
+  if (options.bins == 0) {
+    return InvalidArgumentError("need at least one bin");
+  }
+
+  // Support: observed range widened by the noise extent on each side.
+  double lo = *std::min_element(perturbed.begin(), perturbed.end());
+  double hi = *std::max_element(perturbed.begin(), perturbed.end());
+  lo -= noise.Extent();
+  hi += noise.Extent();
+  if (hi <= lo) {
+    hi = lo + 1.0;  // all observations identical and degenerate noise
+  }
+
+  const std::size_t bins = options.bins;
+  const double width = (hi - lo) / static_cast<double>(bins);
+
+  // Precompute the noise kernel f_Y(w_i − a_j) for every (i, j).
+  std::vector<double> kernel(perturbed.size() * bins);
+  for (std::size_t i = 0; i < perturbed.size(); ++i) {
+    for (std::size_t j = 0; j < bins; ++j) {
+      double center = lo + (static_cast<double>(j) + 0.5) * width;
+      kernel[i * bins + j] = noise.Density(perturbed[i] - center);
+    }
+  }
+
+  std::vector<double> p(bins, 1.0 / static_cast<double>(bins));
+  std::vector<double> next(bins);
+
+  ReconstructionResult result{ReconstructedDistribution(lo, hi, p), 0, false};
+  for (std::size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < perturbed.size(); ++i) {
+      const double* row = &kernel[i * bins];
+      double denom = 0.0;
+      for (std::size_t j = 0; j < bins; ++j) {
+        denom += row[j] * p[j];
+      }
+      if (denom <= 0.0) continue;  // observation outside modelled support
+      for (std::size_t j = 0; j < bins; ++j) {
+        next[j] += row[j] * p[j] / denom;
+      }
+    }
+    double total = 0.0;
+    for (double v : next) total += v;
+    if (total <= 0.0) {
+      return InternalError("reconstruction lost all probability mass");
+    }
+    double change = 0.0;
+    for (std::size_t j = 0; j < bins; ++j) {
+      next[j] /= total;
+      change += std::abs(next[j] - p[j]);
+    }
+    p = next;
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.distribution = ReconstructedDistribution(lo, hi, p);
+  return result;
+}
+
+}  // namespace condensa::perturb

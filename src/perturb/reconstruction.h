@@ -1,0 +1,77 @@
+// Per-dimension distribution reconstruction from perturbed values.
+//
+// Implements the discretized Bayes iterative algorithm of Agrawal–Srikant
+// (paper reference [1]); on a fixed bin grid the refinement of
+// Agrawal–Aggarwal (paper reference [2]) is exactly the EM update for the
+// bin-probability mixture, so one implementation covers both. Given
+// observed w_i = x_i + y_i and the public noise density f_Y, the update is
+//
+//   p_j ← (1/n) Σ_i  f_Y(w_i − a_j) p_j / Σ_k f_Y(w_i − a_k) p_k
+//
+// over bin centres a_j, which converges to the (discretized) maximum-
+// likelihood estimate of the X distribution.
+
+#ifndef CONDENSA_PERTURB_RECONSTRUCTION_H_
+#define CONDENSA_PERTURB_RECONSTRUCTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "perturb/perturbation.h"
+
+namespace condensa::perturb {
+
+struct ReconstructionOptions {
+  std::size_t bins = 64;
+  std::size_t max_iterations = 500;
+  // Converged when the L1 change of bin probabilities falls below this.
+  double tolerance = 1e-4;
+};
+
+// Piecewise-constant density estimate over [lo, hi).
+class ReconstructedDistribution {
+ public:
+  ReconstructedDistribution(double lo, double hi,
+                            std::vector<double> bin_probabilities);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return probabilities_.size(); }
+  double bin_width() const { return width_; }
+  const std::vector<double>& bin_probabilities() const {
+    return probabilities_;
+  }
+
+  // Density at x (0 outside [lo, hi)).
+  double Density(double x) const;
+  // Centre of bin j.
+  double BinCenter(std::size_t j) const;
+  // Moments of the estimate.
+  double Mean() const;
+  double Variance() const;
+  // Draws one value from the estimate (bin choice + uniform within bin).
+  double Sample(Rng& rng) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> probabilities_;
+};
+
+struct ReconstructionResult {
+  ReconstructedDistribution distribution;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// Reconstructs the X distribution from perturbed observations. Fails when
+// `perturbed` is empty, the noise scale is non-positive, or options are
+// degenerate (0 bins).
+StatusOr<ReconstructionResult> ReconstructDistribution(
+    const std::vector<double>& perturbed, const NoiseSpec& noise,
+    const ReconstructionOptions& options = {});
+
+}  // namespace condensa::perturb
+
+#endif  // CONDENSA_PERTURB_RECONSTRUCTION_H_

@@ -1,0 +1,191 @@
+#include "anonymity/mondrian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "datagen/profiles.h"
+
+namespace condensa::anonymity {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(MondrianPartitionTest, RejectsInvalidInput) {
+  Rng rng(1);
+  EXPECT_FALSE(MondrianPartition({}, {.k = 5}).ok());
+  EXPECT_FALSE(
+      MondrianPartition(RandomCloud(3, 2, rng), {.k = 5}).ok());
+  EXPECT_FALSE(
+      MondrianPartition(RandomCloud(10, 2, rng), {.k = 0}).ok());
+  std::vector<Vector> ragged = {Vector{0.0}, Vector{0.0, 1.0}};
+  EXPECT_FALSE(MondrianPartition(ragged, {.k = 1}).ok());
+}
+
+TEST(MondrianPartitionTest, EveryClassHasAtLeastKMembers) {
+  Rng rng(2);
+  std::vector<Vector> points = RandomCloud(200, 3, rng);
+  for (std::size_t k : {1u, 2u, 5u, 10u, 50u}) {
+    auto result = MondrianPartition(points, {.k = k});
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->MinClassSize(), k) << "k=" << k;
+  }
+}
+
+TEST(MondrianPartitionTest, ClassesPartitionAllRecords) {
+  Rng rng(3);
+  std::vector<Vector> points = RandomCloud(137, 2, rng);
+  auto result = MondrianPartition(points, {.k = 8});
+  ASSERT_TRUE(result.ok());
+  std::set<std::size_t> seen;
+  for (const EquivalenceClass& ec : result->classes) {
+    for (std::size_t i : ec.members) {
+      EXPECT_TRUE(seen.insert(i).second) << "record in two classes";
+    }
+  }
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(MondrianPartitionTest, BoundsContainMembersAndCentroid) {
+  Rng rng(4);
+  std::vector<Vector> points = RandomCloud(150, 3, rng);
+  auto result = MondrianPartition(points, {.k = 10});
+  ASSERT_TRUE(result.ok());
+  for (const EquivalenceClass& ec : result->classes) {
+    for (std::size_t i : ec.members) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        EXPECT_GE(points[i][j], ec.lower[j] - 1e-12);
+        EXPECT_LE(points[i][j], ec.upper[j] + 1e-12);
+      }
+    }
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(ec.centroid[j], ec.lower[j] - 1e-12);
+      EXPECT_LE(ec.centroid[j], ec.upper[j] + 1e-12);
+    }
+  }
+}
+
+TEST(MondrianPartitionTest, SmallerKGivesFinerPartition) {
+  Rng rng(5);
+  std::vector<Vector> points = RandomCloud(256, 2, rng);
+  auto coarse = MondrianPartition(points, {.k = 64});
+  auto fine = MondrianPartition(points, {.k = 4});
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(fine->classes.size(), coarse->classes.size());
+
+  // Finer partitions lose less range information.
+  linalg::Vector lower(2, -1e9), upper(2, 1e9);
+  // Use actual global bounds.
+  lower = points[0];
+  upper = points[0];
+  for (const Vector& p : points) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      lower[j] = std::min(lower[j], p[j]);
+      upper[j] = std::max(upper[j], p[j]);
+    }
+  }
+  EXPECT_LT(fine->AverageRangeLoss(lower, upper),
+            coarse->AverageRangeLoss(lower, upper));
+}
+
+TEST(MondrianPartitionTest, IdenticalPointsFormOneClass) {
+  std::vector<Vector> points(40, Vector{1.0, 1.0});
+  auto result = MondrianPartition(points, {.k = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->classes.size(), 1u);
+  EXPECT_EQ(result->classes[0].members.size(), 40u);
+}
+
+TEST(MondrianCentroidReleaseTest, PreservesShapeAndLabels) {
+  Rng rng(6);
+  data::Dataset input = datagen::MakeGaussianBlobs(2, 60, 3, 8.0, rng);
+  auto release = MondrianCentroidRelease(input, {.k = 10});
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->size(), input.size());
+  auto in_by = input.IndicesByLabel();
+  auto out_by = release->IndicesByLabel();
+  for (const auto& [label, indices] : in_by) {
+    EXPECT_EQ(out_by[label].size(), indices.size());
+  }
+}
+
+TEST(MondrianCentroidReleaseTest, CentroidsRepeatAtLeastKTimesPerClass) {
+  Rng rng(7);
+  data::Dataset input = datagen::MakeGaussianBlobs(2, 80, 2, 8.0, rng);
+  const std::size_t k = 8;
+  auto release = MondrianCentroidRelease(input, {.k = k});
+  ASSERT_TRUE(release.ok());
+  // Each distinct released record must appear >= k times (its class).
+  std::map<std::string, std::size_t> counts;
+  for (std::size_t i = 0; i < release->size(); ++i) {
+    counts[release->record(i).ToString()]++;
+  }
+  for (const auto& [repr, count] : counts) {
+    EXPECT_GE(count, k) << repr;
+  }
+}
+
+TEST(MondrianCentroidReleaseTest, ReleaseDestroysWithinClassVariance) {
+  // The baseline's weakness vs condensation: all members of an
+  // equivalence class collapse to one point, so the within-class spread
+  // of the release is far below the original's.
+  Rng rng(8);
+  data::Dataset input(2);
+  for (int i = 0; i < 300; ++i) {
+    input.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  auto release = MondrianCentroidRelease(input, {.k = 30});
+  ASSERT_TRUE(release.ok());
+  double original_var = input.Covariance().Trace();
+  double release_var = release->Covariance().Trace();
+  EXPECT_LT(release_var, original_var);
+}
+
+TEST(MondrianCentroidReleaseTest, RegressionTargetsPreserved) {
+  Rng rng(9);
+  data::Dataset input(1, data::TaskType::kRegression);
+  for (int i = 0; i < 50; ++i) {
+    input.Add(Vector{rng.Gaussian()}, static_cast<double>(i));
+  }
+  auto release = MondrianCentroidRelease(input, {.k = 10});
+  ASSERT_TRUE(release.ok());
+  // Targets are not generalized — the multiset is unchanged.
+  std::multiset<double> original_targets(input.targets().begin(),
+                                         input.targets().end());
+  std::multiset<double> release_targets(release->targets().begin(),
+                                        release->targets().end());
+  EXPECT_EQ(original_targets, release_targets);
+}
+
+TEST(MondrianCentroidReleaseTest, TinyClassBelowKStillReleased) {
+  Rng rng(10);
+  data::Dataset input(2, data::TaskType::kClassification);
+  for (int i = 0; i < 30; ++i) {
+    input.Add(Vector{rng.Gaussian(), rng.Gaussian()}, 0);
+  }
+  input.Add(Vector{5.0, 5.0}, 1);
+  input.Add(Vector{5.1, 5.2}, 1);
+  auto release = MondrianCentroidRelease(input, {.k = 10});
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->size(), 32u);
+}
+
+}  // namespace
+}  // namespace condensa::anonymity

@@ -1,0 +1,62 @@
+// Smoke tests for the figure-reproduction harness itself: the sweep runs
+// end-to-end on tiny instances and produces sane series.
+
+#include "bench/figure_common.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa::bench {
+namespace {
+
+FigureConfig TinyConfig(const std::string& profile, bool regression) {
+  FigureConfig config;
+  config.profile = profile;
+  config.title = "test";
+  config.regression = regression;
+  config.group_sizes = {1, 2, 6};
+  config.trials = 1;
+  config.seed = 7;
+  config.size_factor = regression ? 0.05 : 0.3;
+  return config;
+}
+
+TEST(FigureSweepTest, ClassificationProfileProducesSaneRows) {
+  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("pima", false));
+  ASSERT_EQ(rows.size(), 3u);
+  for (const FigureRow& row : rows) {
+    EXPECT_GE(row.average_group_size, static_cast<double>(row.requested_k));
+    for (double accuracy : {row.accuracy_static, row.accuracy_dynamic,
+                            row.accuracy_original}) {
+      EXPECT_GE(accuracy, 0.0);
+      EXPECT_LE(accuracy, 1.0);
+    }
+    for (double mu : {row.mu_static, row.mu_dynamic}) {
+      EXPECT_GE(mu, -1.0);
+      EXPECT_LE(mu, 1.0 + 1e-12);
+    }
+  }
+  // k = 1 static anchor: identical to the original data.
+  EXPECT_DOUBLE_EQ(rows[0].accuracy_static, rows[0].accuracy_original);
+  EXPECT_NEAR(rows[0].mu_static, 1.0, 1e-9);
+}
+
+TEST(FigureSweepTest, RegressionProfileProducesSaneRows) {
+  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("abalone", true));
+  ASSERT_EQ(rows.size(), 3u);
+  for (const FigureRow& row : rows) {
+    EXPECT_GT(row.accuracy_original, 0.0);
+    EXPECT_LT(row.accuracy_original, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(rows[0].accuracy_static, rows[0].accuracy_original);
+}
+
+TEST(FigureSweepTest, OriginalSeriesIsFlatAcrossK) {
+  // Trial seeds are k-independent, so the baseline column is constant.
+  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("ecoli", false));
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rows[i].accuracy_original, rows[0].accuracy_original);
+  }
+}
+
+}  // namespace
+}  // namespace condensa::bench

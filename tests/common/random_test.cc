@@ -1,0 +1,228 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace condensa {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) total += rng.UniformDouble();
+  EXPECT_NEAR(total / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(17);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIndexIsApproximatelyUniform) {
+  Rng rng(23);
+  constexpr std::size_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformIndex(kBuckets)];
+  }
+  for (int count : counts) {
+    // Each bucket expects 10000; allow 5 sigma (~470).
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBuckets), 500);
+  }
+}
+
+TEST(RngTest, UniformUint64SmallBoundExact) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.UniformUint64(1), 0u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatchStandardNormal) {
+  Rng rng(31);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(37);
+  constexpr int kDraws = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian(10.0, 2.0);
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double variance = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(41);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(47);
+  constexpr int kDraws = 100000;
+  double total = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double e = rng.Exponential(2.0);
+    EXPECT_GE(e, 0.0);
+    total += e;
+  }
+  EXPECT_NEAR(total / kDraws, 0.5, 0.01);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(53);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalSingleWeight) {
+  Rng rng(59);
+  std::vector<double> weights = {2.0};
+  EXPECT_EQ(rng.Categorical(weights), 0u);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(61);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::vector<int> sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(67);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = i;
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(71);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, SplitProducesIndependentStreams) {
+  Rng parent(101);
+  Rng child1 = parent.Split();
+  Rng child2 = parent.Split();
+  // Children differ from each other.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child1.NextUint64() == child2.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.Split();
+  Rng cb = b.Split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(ca.NextUint64(), cb.NextUint64());
+  }
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng rng(1);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace condensa

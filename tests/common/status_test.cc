@@ -1,0 +1,150 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace condensa {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkStatusFactory) {
+  EXPECT_TRUE(OkStatus().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad k");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad k");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(IsInvalidArgument(InvalidArgumentError("x")));
+  EXPECT_FALSE(IsInvalidArgument(NotFoundError("x")));
+  EXPECT_TRUE(IsNotFound(NotFoundError("x")));
+  EXPECT_TRUE(IsOutOfRange(OutOfRangeError("x")));
+  EXPECT_TRUE(IsFailedPrecondition(FailedPreconditionError("x")));
+  EXPECT_TRUE(IsInternal(InternalError("x")));
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, StreamInsertionUsesToString) {
+  std::ostringstream os;
+  os << NotFoundError("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+TEST(StatusCodeTest, ToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "UNIMPLEMENTED");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = NotFoundError("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, ValueOrFallsBackOnError) {
+  StatusOr<int> error = NotFoundError("nope");
+  EXPECT_EQ(error.value_or(-1), -1);
+  StatusOr<int> value = 7;
+  EXPECT_EQ(value.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, WorksWithMoveOnlyValueAccess) {
+  StatusOr<std::vector<int>> result = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(result.ok());
+  std::vector<int> moved = std::move(result).value();
+  EXPECT_EQ(moved.size(), 3u);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesValueMembers) {
+  StatusOr<std::string> result = std::string("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, NonDefaultConstructibleValueTypeWorks) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  StatusOr<NoDefault> result = NoDefault(9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, 9);
+  StatusOr<NoDefault> error = InternalError("x");
+  EXPECT_FALSE(error.ok());
+}
+
+StatusOr<int> HalveEven(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd input");
+  }
+  return x / 2;
+}
+
+Status UseMacros(int input, int* out) {
+  CONDENSA_ASSIGN_OR_RETURN(int halved, HalveEven(input));
+  CONDENSA_ASSIGN_OR_RETURN(int quartered, HalveEven(halved));
+  *out = quartered;
+  return OkStatus();
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesValue) {
+  int out = 0;
+  ASSERT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 2);
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  int out = 0;
+  Status status = UseMacros(6, &out);  // 6 -> 3 (odd) -> error
+  EXPECT_TRUE(IsInvalidArgument(status));
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorShortCircuits) {
+  auto fn = [](bool fail) -> Status {
+    CONDENSA_RETURN_IF_ERROR(fail ? InternalError("boom") : OkStatus());
+    return NotFoundError("reached end");
+  };
+  EXPECT_TRUE(IsInternal(fn(true)));
+  EXPECT_TRUE(IsNotFound(fn(false)));
+}
+
+}  // namespace
+}  // namespace condensa

@@ -1,0 +1,42 @@
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace condensa {
+namespace {
+
+// Busy-waits until the timer itself reports at least `seconds`.
+void SpinFor(const Timer& timer, double seconds) {
+  while (timer.ElapsedSeconds() < seconds) {
+  }
+}
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  SpinFor(timer, 0.001);
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 0.001);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  SpinFor(timer, 0.002);
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, 5.0);  // sampled moments differ
+}
+
+TEST(TimerTest, ResetRestartsTheWindow) {
+  Timer timer;
+  SpinFor(timer, 0.003);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.003);
+}
+
+}  // namespace
+}  // namespace condensa

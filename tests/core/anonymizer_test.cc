@@ -1,0 +1,209 @@
+#include "core/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "linalg/eigen.h"
+#include "linalg/stats.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(AnonymizerTest, RejectsEmptyGroup) {
+  Anonymizer anonymizer;
+  Rng rng(1);
+  EXPECT_FALSE(
+      anonymizer.GenerateFromGroup(GroupStatistics(2), 5, rng).ok());
+}
+
+TEST(AnonymizerTest, SingletonGroupReproducesItsRecordExactly) {
+  // The k = 1 anchor: a 1-record group regenerates the original record.
+  GroupStatistics group(2);
+  group.Add(Vector{3.5, -1.25});
+  Anonymizer anonymizer;
+  Rng rng(2);
+  auto points = anonymizer.GenerateFromGroup(group, 3, rng);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 3u);
+  for (const Vector& p : *points) {
+    EXPECT_TRUE(linalg::ApproxEqual(p, Vector{3.5, -1.25}, 1e-12));
+  }
+}
+
+TEST(AnonymizerTest, GeneratedCountMatchesRequest) {
+  GroupStatistics group(1);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) group.Add(Vector{rng.Gaussian()});
+  Anonymizer anonymizer;
+  auto points = anonymizer.GenerateFromGroup(group, 25, rng);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 25u);
+}
+
+TEST(AnonymizerTest, SamplesPreserveGroupMoments) {
+  // Large sample from one group: mean and covariance of the anonymized
+  // points converge to the group's stored moments.
+  Rng rng(4);
+  GroupStatistics group(3);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Gaussian(0.0, 2.0);
+    group.Add(Vector{x, 0.5 * x + rng.Gaussian(0.0, 0.5), rng.Gaussian()});
+  }
+  Anonymizer anonymizer;
+  auto points = anonymizer.GenerateFromGroup(group, 60000, rng);
+  ASSERT_TRUE(points.ok());
+
+  Vector sample_mean = linalg::MeanVector(*points);
+  Matrix sample_cov = linalg::CovarianceMatrix(*points);
+  Matrix group_cov = group.Covariance();
+  double scale = std::max(1.0, group_cov.MaxAbs());
+  EXPECT_TRUE(linalg::ApproxEqual(sample_mean, group.Centroid(),
+                                  0.05 * scale));
+  EXPECT_TRUE(linalg::ApproxEqual(sample_cov, group_cov, 0.1 * scale));
+}
+
+TEST(AnonymizerTest, SamplesAreUniformAlongEigenvectors) {
+  // Project anonymized points of a group onto its leading eigenvector; the
+  // projections must be bounded by ±sqrt(3 λ1) (uniform support) and look
+  // flat, not Gaussian: the kurtosis of a uniform is 1.8, of a normal 3.
+  Rng rng(5);
+  GroupStatistics group(2);
+  for (int i = 0; i < 100; ++i) {
+    group.Add(Vector{rng.Gaussian(0.0, 3.0), rng.Gaussian(0.0, 0.3)});
+  }
+  auto eigen = linalg::CovarianceEigenDecomposition(group.Covariance());
+  ASSERT_TRUE(eigen.ok());
+  double lambda1 = eigen->eigenvalues[0];
+  Vector e1 = eigen->Eigenvector(0);
+  Vector centroid = group.Centroid();
+
+  Anonymizer anonymizer;
+  auto points = anonymizer.GenerateFromGroup(group, 20000, rng);
+  ASSERT_TRUE(points.ok());
+
+  double bound = std::sqrt(3.0 * lambda1) + 1e-9;
+  double m2 = 0.0, m4 = 0.0;
+  for (const Vector& p : *points) {
+    double u = linalg::Dot(p - centroid, e1);
+    EXPECT_LE(std::abs(u), bound);
+    m2 += u * u;
+    m4 += u * u * u * u;
+  }
+  m2 /= static_cast<double>(points->size());
+  m4 /= static_cast<double>(points->size());
+  double kurtosis = m4 / (m2 * m2);
+  EXPECT_NEAR(kurtosis, 1.8, 0.1);  // uniform, not Gaussian
+}
+
+TEST(AnonymizerTest, GenerateEmitsOneRecordPerCondensedRecord) {
+  Rng rng(6);
+  CondensedGroupSet set(2, 5);
+  for (int g = 0; g < 3; ++g) {
+    GroupStatistics group(2);
+    for (int i = 0; i < 5 + g; ++i) {
+      group.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+    }
+    set.AddGroup(std::move(group));
+  }
+  Anonymizer anonymizer;
+  auto points = anonymizer.Generate(set, rng);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 5u + 6u + 7u);
+}
+
+TEST(AnonymizerTest, RecordsPerGroupOverrideApplies) {
+  Rng rng(7);
+  CondensedGroupSet set(1, 2);
+  GroupStatistics group(1);
+  group.Add(Vector{0.0});
+  group.Add(Vector{1.0});
+  set.AddGroup(std::move(group));
+  Anonymizer anonymizer({.records_per_group = 10});
+  auto points = anonymizer.Generate(set, rng);
+  ASSERT_TRUE(points.ok());
+  EXPECT_EQ(points->size(), 10u);
+}
+
+TEST(AnonymizerTest, DeterministicGivenSeed) {
+  Rng data_rng(8);
+  GroupStatistics group(2);
+  for (int i = 0; i < 10; ++i) {
+    group.Add(Vector{data_rng.Gaussian(), data_rng.Gaussian()});
+  }
+  Anonymizer anonymizer;
+  Rng rng_a(9), rng_b(9);
+  auto a = anonymizer.GenerateFromGroup(group, 20, rng_a);
+  auto b = anonymizer.GenerateFromGroup(group, 20, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual((*a)[i], (*b)[i], 0.0));
+  }
+}
+
+TEST(AnonymizerTest, GaussianSamplingPreservesMomentsToo) {
+  Rng rng(11);
+  GroupStatistics group(2);
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.Gaussian(0.0, 2.0);
+    group.Add(Vector{x, 0.7 * x + rng.Gaussian(0.0, 0.4)});
+  }
+  Anonymizer anonymizer(
+      {.distribution = SamplingDistribution::kGaussian});
+  auto points = anonymizer.GenerateFromGroup(group, 50000, rng);
+  ASSERT_TRUE(points.ok());
+  Matrix sample_cov = linalg::CovarianceMatrix(*points);
+  Matrix group_cov = group.Covariance();
+  double scale = std::max(1.0, group_cov.MaxAbs());
+  EXPECT_TRUE(linalg::ApproxEqual(sample_cov, group_cov, 0.1 * scale));
+}
+
+TEST(AnonymizerTest, GaussianSamplingIsNotBounded) {
+  // The uniform sampler is bounded by ±sqrt(3 λ1); the Gaussian one
+  // occasionally exceeds that, which distinguishes the two modes.
+  Rng rng(12);
+  GroupStatistics group(1);
+  for (int i = 0; i < 100; ++i) {
+    group.Add(Vector{rng.Gaussian(0.0, 1.0)});
+  }
+  auto eigen = linalg::CovarianceEigenDecomposition(group.Covariance());
+  ASSERT_TRUE(eigen.ok());
+  double uniform_bound = std::sqrt(3.0 * eigen->eigenvalues[0]);
+  double centroid = group.Centroid()[0];
+
+  Anonymizer gaussian({.distribution = SamplingDistribution::kGaussian});
+  auto points = gaussian.GenerateFromGroup(group, 20000, rng);
+  ASSERT_TRUE(points.ok());
+  bool exceeded = false;
+  for (const Vector& p : *points) {
+    if (std::abs(p[0] - centroid) > uniform_bound) {
+      exceeded = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exceeded);
+}
+
+TEST(AnonymizerTest, DegenerateDirectionStaysCollapsed) {
+  // A group that is constant in dimension 1 must regenerate records that
+  // are constant in dimension 1 (zero eigenvalue -> zero spread).
+  Rng rng(10);
+  GroupStatistics group(2);
+  for (int i = 0; i < 20; ++i) {
+    group.Add(Vector{rng.Gaussian(), 7.0});
+  }
+  Anonymizer anonymizer;
+  auto points = anonymizer.GenerateFromGroup(group, 100, rng);
+  ASSERT_TRUE(points.ok());
+  for (const Vector& p : *points) {
+    EXPECT_NEAR(p[1], 7.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace condensa::core

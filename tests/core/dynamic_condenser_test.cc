@@ -1,0 +1,247 @@
+#include "core/dynamic_condenser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(DynamicCondenserTest, BootstrapBuildsInitialGroups) {
+  Rng rng(1);
+  DynamicCondenser condenser(2, {.group_size = 5});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(50, 2, rng), rng).ok());
+  EXPECT_EQ(condenser.groups().TotalRecords(), 50u);
+  EXPECT_EQ(condenser.records_seen(), 50u);
+  EXPECT_GE(condenser.groups().Summary().min_group_size, 5u);
+}
+
+TEST(DynamicCondenserTest, BootstrapTwiceFails) {
+  Rng rng(2);
+  DynamicCondenser condenser(2, {.group_size = 5});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(20, 2, rng), rng).ok());
+  EXPECT_FALSE(condenser.Bootstrap(RandomCloud(20, 2, rng), rng).ok());
+}
+
+TEST(DynamicCondenserTest, BootstrapAfterInsertFails) {
+  Rng rng(3);
+  DynamicCondenser condenser(2, {.group_size = 3});
+  ASSERT_TRUE(condenser.Insert(Vector{0.0, 0.0}).ok());
+  EXPECT_FALSE(condenser.Bootstrap(RandomCloud(20, 2, rng), rng).ok());
+}
+
+TEST(DynamicCondenserTest, InsertRejectsWrongDimension) {
+  DynamicCondenser condenser(2, {.group_size = 3});
+  EXPECT_FALSE(condenser.Insert(Vector{1.0}).ok());
+}
+
+TEST(DynamicCondenserTest, GroupSizesStayBetweenKAnd2K) {
+  // The paper's steady-state invariant: after a warm start every group
+  // holds between k and 2k-1 records (2k triggers an immediate split).
+  Rng rng(4);
+  const std::size_t k = 8;
+  DynamicCondenser condenser(3, {.group_size = k});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(80, 3, rng), rng).ok());
+  for (const Vector& p : RandomCloud(400, 3, rng)) {
+    ASSERT_TRUE(condenser.Insert(p).ok());
+    for (const GroupStatistics& g : condenser.groups().groups()) {
+      EXPECT_GE(g.count(), k);
+      EXPECT_LT(g.count(), 2 * k);
+    }
+  }
+}
+
+TEST(DynamicCondenserTest, RecordCountConserved) {
+  Rng rng(5);
+  DynamicCondenser condenser(2, {.group_size = 6});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(30, 2, rng), rng).ok());
+  for (const Vector& p : RandomCloud(170, 2, rng)) {
+    ASSERT_TRUE(condenser.Insert(p).ok());
+  }
+  EXPECT_EQ(condenser.groups().TotalRecords(), 200u);
+  EXPECT_EQ(condenser.records_seen(), 200u);
+}
+
+TEST(DynamicCondenserTest, SplitsHappenUnderLoad) {
+  Rng rng(6);
+  DynamicCondenser condenser(2, {.group_size = 5});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(25, 2, rng), rng).ok());
+  for (const Vector& p : RandomCloud(200, 2, rng)) {
+    ASSERT_TRUE(condenser.Insert(p).ok());
+  }
+  EXPECT_GT(condenser.split_count(), 0u);
+  // 225 records in groups of < 10 means at least 23 groups.
+  EXPECT_GE(condenser.groups().num_groups(), 23u);
+}
+
+TEST(DynamicCondenserTest, PureStreamWarmUpFormsFirstGroupAtK) {
+  DynamicCondenser condenser(1, {.group_size = 3});
+  ASSERT_TRUE(condenser.Insert(Vector{1.0}).ok());
+  ASSERT_TRUE(condenser.Insert(Vector{2.0}).ok());
+  EXPECT_TRUE(condenser.groups().empty());  // still forming
+  ASSERT_TRUE(condenser.Insert(Vector{3.0}).ok());
+  EXPECT_EQ(condenser.groups().num_groups(), 1u);
+  EXPECT_EQ(condenser.groups().group(0).count(), 3u);
+}
+
+TEST(DynamicCondenserTest, TakeGroupsMergesOpenFormingGroup) {
+  DynamicCondenser condenser(1, {.group_size = 4});
+  // Two records only — never reaches k.
+  ASSERT_TRUE(condenser.Insert(Vector{1.0}).ok());
+  ASSERT_TRUE(condenser.Insert(Vector{2.0}).ok());
+  CondensedGroupSet groups = condenser.TakeGroups();
+  EXPECT_EQ(groups.num_groups(), 1u);
+  EXPECT_EQ(groups.TotalRecords(), 2u);  // undersized group surfaced
+}
+
+TEST(DynamicCondenserTest, TakeGroupsMergesFormingIntoNearestFullGroup) {
+  Rng rng(7);
+  DynamicCondenser condenser(1, {.group_size = 3});
+  for (double x : {0.0, 0.1, 0.2}) {  // full group near origin
+    ASSERT_TRUE(condenser.Insert(Vector{x}).ok());
+  }
+  // No forming group now; stream two more — they join the existing group
+  // (nearest centroid), no forming buffer is used once groups exist.
+  ASSERT_TRUE(condenser.Insert(Vector{0.3}).ok());
+  CondensedGroupSet groups = condenser.TakeGroups();
+  EXPECT_EQ(groups.TotalRecords(), 4u);
+}
+
+TEST(DynamicCondenserTest, TakeGroupsResetsState) {
+  Rng rng(8);
+  DynamicCondenser condenser(2, {.group_size = 4});
+  ASSERT_TRUE(condenser.Bootstrap(RandomCloud(20, 2, rng), rng).ok());
+  (void)condenser.TakeGroups();
+  EXPECT_EQ(condenser.records_seen(), 0u);
+  EXPECT_TRUE(condenser.groups().empty());
+  // Can bootstrap again after taking.
+  EXPECT_TRUE(condenser.Bootstrap(RandomCloud(20, 2, rng), rng).ok());
+}
+
+TEST(DynamicCondenserTest, PointsJoinNearestGroup) {
+  Rng rng(9);
+  DynamicCondenser condenser(1, {.group_size = 2});
+  // Two far-apart groups via bootstrap.
+  std::vector<Vector> initial = {Vector{0.0}, Vector{0.1}, Vector{100.0},
+                                 Vector{100.1}};
+  ASSERT_TRUE(condenser.Bootstrap(initial, rng).ok());
+  ASSERT_EQ(condenser.groups().num_groups(), 2u);
+
+  std::size_t near_origin = condenser.groups().NearestGroup(Vector{0.0});
+  std::size_t count_before =
+      condenser.groups().group(near_origin).count();
+  ASSERT_TRUE(condenser.Insert(Vector{0.05}).ok());
+  // The origin group grew (or split, but 3 < 2k=4 so no split).
+  EXPECT_EQ(condenser.groups().group(near_origin).count(),
+            count_before + 1);
+}
+
+TEST(DynamicCondenserTest, RemoveValidatesInput) {
+  DynamicCondenser condenser(2, {.group_size = 3});
+  EXPECT_FALSE(condenser.Remove(Vector{0.0}).ok());       // wrong dim
+  EXPECT_FALSE(condenser.Remove(Vector{0.0, 0.0}).ok());  // empty structure
+}
+
+TEST(DynamicCondenserTest, RemoveUndoesInsertFromFormingBuffer) {
+  DynamicCondenser condenser(1, {.group_size = 3});
+  ASSERT_TRUE(condenser.Insert(Vector{1.0}).ok());
+  ASSERT_TRUE(condenser.Insert(Vector{2.0}).ok());
+  ASSERT_TRUE(condenser.Remove(Vector{2.0}).ok());
+  EXPECT_EQ(condenser.records_seen(), 1u);
+  ASSERT_TRUE(condenser.Remove(Vector{1.0}).ok());
+  EXPECT_EQ(condenser.records_seen(), 0u);
+  // Now genuinely empty again.
+  EXPECT_FALSE(condenser.Remove(Vector{1.0}).ok());
+}
+
+TEST(DynamicCondenserTest, RemoveConservesRecordCount) {
+  Rng rng(11);
+  DynamicCondenser condenser(2, {.group_size = 5});
+  std::vector<Vector> stream = RandomCloud(100, 2, rng);
+  ASSERT_TRUE(condenser.Bootstrap(stream, rng).ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(condenser.Remove(stream[static_cast<std::size_t>(i)]).ok());
+  }
+  EXPECT_EQ(condenser.groups().TotalRecords(), 70u);
+  EXPECT_EQ(condenser.records_seen(), 70u);
+}
+
+TEST(DynamicCondenserTest, RemoveRestoresPrivacyFloorByMerging) {
+  Rng rng(12);
+  const std::size_t k = 6;
+  DynamicCondenser condenser(2, {.group_size = k});
+  std::vector<Vector> stream = RandomCloud(60, 2, rng);
+  ASSERT_TRUE(condenser.Bootstrap(stream, rng).ok());
+  // Delete half the records; no surviving group may sit below k (a single
+  // remaining group is exempt only if everything else merged away).
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(condenser.Remove(stream[static_cast<std::size_t>(i)]).ok());
+    if (condenser.groups().num_groups() > 1) {
+      EXPECT_GE(condenser.groups().Summary().min_group_size, k);
+    }
+  }
+  EXPECT_GT(condenser.merge_count(), 0u);
+}
+
+TEST(DynamicCondenserTest, InterleavedInsertRemoveStaysConsistent) {
+  Rng rng(13);
+  DynamicCondenser condenser(3, {.group_size = 8});
+  std::vector<Vector> live;
+  std::vector<Vector> pool = RandomCloud(400, 3, rng);
+  std::size_t next = 0;
+  for (int step = 0; step < 300; ++step) {
+    bool remove = !live.empty() && rng.Bernoulli(0.4);
+    if (remove) {
+      std::size_t victim = rng.UniformIndex(live.size());
+      ASSERT_TRUE(condenser.Remove(live[victim]).ok());
+      live[victim] = live.back();
+      live.pop_back();
+    } else {
+      ASSERT_TRUE(condenser.Insert(pool[next]).ok());
+      live.push_back(pool[next]);
+      ++next;
+    }
+    EXPECT_EQ(condenser.records_seen(), live.size());
+    // The forming buffer holds at most k-1 records; everything else is
+    // accounted for in real groups.
+    EXPECT_LE(condenser.records_seen() - condenser.groups().TotalRecords(),
+              7u);
+  }
+}
+
+TEST(DynamicCondenserTest, StreamOnTwoClustersKeepsGroupsLocal) {
+  Rng rng(10);
+  DynamicCondenser condenser(2, {.group_size = 10});
+  std::vector<Vector> stream;
+  for (int i = 0; i < 150; ++i) {
+    stream.push_back(Vector{rng.Gaussian(), rng.Gaussian()});
+    stream.push_back(Vector{rng.Gaussian(200.0, 1.0), rng.Gaussian()});
+  }
+  std::vector<Vector> bootstrap(stream.begin(), stream.begin() + 40);
+  ASSERT_TRUE(condenser.Bootstrap(bootstrap, rng).ok());
+  for (std::size_t i = 40; i < stream.size(); ++i) {
+    ASSERT_TRUE(condenser.Insert(stream[i]).ok());
+  }
+  for (const GroupStatistics& g : condenser.groups().groups()) {
+    double x = g.Centroid()[0];
+    EXPECT_TRUE(x < 50.0 || x > 150.0) << "group straddles clusters, x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace condensa::core

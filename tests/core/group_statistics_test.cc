@@ -1,0 +1,185 @@
+#include "core/group_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/stats.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(GroupStatisticsTest, EmptyAggregate) {
+  GroupStatistics stats(3);
+  EXPECT_EQ(stats.dim(), 3u);
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_TRUE(stats.empty());
+}
+
+TEST(GroupStatisticsTest, FirstOrderSumsAccumulate) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{1.0, 2.0});
+  stats.Add(Vector{3.0, 4.0});
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.first_order()[0], 4.0);
+  EXPECT_DOUBLE_EQ(stats.first_order()[1], 6.0);
+}
+
+TEST(GroupStatisticsTest, SecondOrderSumsAccumulateProducts) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{1.0, 2.0});
+  stats.Add(Vector{3.0, 4.0});
+  // Sc_00 = 1 + 9; Sc_01 = 2 + 12; Sc_11 = 4 + 16.
+  EXPECT_DOUBLE_EQ(stats.second_order()(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(stats.second_order()(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(stats.second_order()(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(stats.second_order()(1, 1), 20.0);
+}
+
+TEST(GroupStatisticsTest, CentroidIsObservationOne) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{1.0, 2.0});
+  stats.Add(Vector{3.0, 6.0});
+  Vector centroid = stats.Centroid();
+  EXPECT_DOUBLE_EQ(centroid[0], 2.0);
+  EXPECT_DOUBLE_EQ(centroid[1], 4.0);
+}
+
+TEST(GroupStatisticsTest, CovarianceIsObservationTwo) {
+  // Covariance from the aggregate must equal the direct population
+  // covariance of the same points.
+  Rng rng(3);
+  std::vector<Vector> points;
+  GroupStatistics stats(3);
+  for (int i = 0; i < 50; ++i) {
+    Vector p{rng.Gaussian(), rng.Gaussian(2.0, 3.0), rng.Uniform(-1.0, 5.0)};
+    points.push_back(p);
+    stats.Add(p);
+  }
+  Matrix direct = linalg::CovarianceMatrix(points);
+  Matrix from_stats = stats.Covariance();
+  EXPECT_TRUE(linalg::ApproxEqual(direct, from_stats, 1e-9));
+}
+
+TEST(GroupStatisticsTest, SinglePointHasZeroCovariance) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{3.0, -1.0});
+  EXPECT_TRUE(linalg::ApproxEqual(stats.Covariance(), Matrix(2, 2), 1e-12));
+}
+
+TEST(GroupStatisticsTest, RemoveUndoesAdd) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{1.0, 1.0});
+  stats.Add(Vector{5.0, 7.0});
+  stats.Remove(Vector{5.0, 7.0});
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.first_order()[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.second_order()(1, 1), 1.0);
+}
+
+TEST(GroupStatisticsTest, MergeEqualsAddingAllPoints) {
+  Rng rng(5);
+  GroupStatistics a(2), b(2), combined(2);
+  for (int i = 0; i < 10; ++i) {
+    Vector p{rng.Gaussian(), rng.Gaussian()};
+    a.Add(p);
+    combined.Add(p);
+  }
+  for (int i = 0; i < 15; ++i) {
+    Vector p{rng.Gaussian(), rng.Gaussian()};
+    b.Add(p);
+    combined.Add(p);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_TRUE(
+      linalg::ApproxEqual(a.first_order(), combined.first_order(), 1e-10));
+  EXPECT_TRUE(
+      linalg::ApproxEqual(a.second_order(), combined.second_order(), 1e-9));
+}
+
+TEST(GroupStatisticsTest, FromMomentsRoundTripsEquationThree) {
+  // Build an aggregate from points, take (n, centroid, covariance), rebuild
+  // with FromMoments (paper Eq. 3): the aggregates must match.
+  Rng rng(7);
+  GroupStatistics original(3);
+  for (int i = 0; i < 20; ++i) {
+    original.Add(Vector{rng.Gaussian(), rng.Gaussian(1.0, 2.0),
+                        rng.Uniform(0.0, 1.0)});
+  }
+  GroupStatistics rebuilt = GroupStatistics::FromMoments(
+      original.count(), original.Centroid(), original.Covariance());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  EXPECT_TRUE(linalg::ApproxEqual(rebuilt.first_order(),
+                                  original.first_order(), 1e-9));
+  EXPECT_TRUE(linalg::ApproxEqual(rebuilt.second_order(),
+                                  original.second_order(), 1e-7));
+}
+
+TEST(GroupStatisticsTest, FromMomentsRecoversMoments) {
+  Vector centroid{2.0, -1.0};
+  Matrix covariance{{3.0, 1.0}, {1.0, 2.0}};
+  GroupStatistics stats = GroupStatistics::FromMoments(8, centroid,
+                                                       covariance);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_TRUE(linalg::ApproxEqual(stats.Centroid(), centroid, 1e-12));
+  EXPECT_TRUE(linalg::ApproxEqual(stats.Covariance(), covariance, 1e-10));
+}
+
+TEST(GroupStatisticsTest, FromRawSumsReconstitutesVerbatim) {
+  Rng rng(8);
+  GroupStatistics original(3);
+  for (int i = 0; i < 15; ++i) {
+    original.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  }
+  GroupStatistics rebuilt = GroupStatistics::FromRawSums(
+      original.count(), original.first_order(), original.second_order());
+  EXPECT_EQ(rebuilt.count(), original.count());
+  // Bit-exact, not just approximately equal.
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(rebuilt.first_order()[j], original.first_order()[j]);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(rebuilt.second_order()(i, j), original.second_order()(i, j));
+    }
+  }
+}
+
+TEST(GroupStatisticsDeathTest, FromRawSumsValidatesInput) {
+  Vector fs{1.0, 2.0};
+  Matrix sc{{1.0, 0.5}, {0.5, 2.0}};
+  EXPECT_DEATH(GroupStatistics::FromRawSums(0, fs, sc), "CHECK");
+  Matrix wrong_shape(3, 3);
+  EXPECT_DEATH(GroupStatistics::FromRawSums(2, fs, wrong_shape), "CHECK");
+  Matrix asymmetric{{1.0, 0.5}, {0.9, 2.0}};
+  EXPECT_DEATH(GroupStatistics::FromRawSums(2, fs, asymmetric), "CHECK");
+}
+
+TEST(GroupStatisticsTest, SquaredDistanceToCentroid) {
+  GroupStatistics stats(2);
+  stats.Add(Vector{0.0, 0.0});
+  stats.Add(Vector{2.0, 2.0});
+  // Centroid (1,1); distance² from (4,5) is 9 + 16.
+  EXPECT_DOUBLE_EQ(stats.SquaredDistanceToCentroid(Vector{4.0, 5.0}), 25.0);
+}
+
+TEST(GroupStatisticsTest, DegenerateDuplicatePointsClampDiagonal) {
+  GroupStatistics stats(1);
+  for (int i = 0; i < 5; ++i) {
+    stats.Add(Vector{1e8});
+  }
+  // Catastrophic cancellation could give a tiny negative variance; the
+  // diagonal must clamp at zero.
+  EXPECT_GE(stats.Covariance()(0, 0), 0.0);
+}
+
+TEST(GroupStatisticsDeathTest, InvalidUseAborts) {
+  GroupStatistics stats(2);
+  EXPECT_DEATH((void)stats.Centroid(), "CHECK");
+  EXPECT_DEATH(stats.Remove(Vector{0.0, 0.0}), "CHECK");
+  EXPECT_DEATH(stats.Add(Vector{0.0}), "CHECK");
+}
+
+}  // namespace
+}  // namespace condensa::core

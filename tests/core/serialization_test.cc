@@ -1,0 +1,266 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+CondensedGroupSet MakeSampleSet(Rng& rng, std::size_t dim,
+                                std::size_t groups, std::size_t per_group) {
+  CondensedGroupSet set(dim, per_group);
+  for (std::size_t g = 0; g < groups; ++g) {
+    GroupStatistics stats(dim);
+    for (std::size_t i = 0; i < per_group; ++i) {
+      Vector p(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] = rng.Gaussian(static_cast<double>(g), 1.0);
+      }
+      stats.Add(p);
+    }
+    set.AddGroup(std::move(stats));
+  }
+  return set;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  Rng rng(1);
+  CondensedGroupSet original = MakeSampleSet(rng, 3, 5, 7);
+  std::string text = SerializeGroupSet(original);
+  auto loaded = DeserializeGroupSet(text);
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->dim(), original.dim());
+  EXPECT_EQ(loaded->indistinguishability_level(),
+            original.indistinguishability_level());
+  ASSERT_EQ(loaded->num_groups(), original.num_groups());
+  for (std::size_t g = 0; g < original.num_groups(); ++g) {
+    EXPECT_EQ(loaded->group(g).count(), original.group(g).count());
+    EXPECT_TRUE(linalg::ApproxEqual(loaded->group(g).first_order(),
+                                    original.group(g).first_order(), 1e-12));
+    EXPECT_TRUE(linalg::ApproxEqual(loaded->group(g).second_order(),
+                                    original.group(g).second_order(),
+                                    1e-9));
+  }
+}
+
+TEST(SerializationTest, RoundTripPreservesDerivedMoments) {
+  Rng rng(2);
+  CondensedGroupSet original = MakeSampleSet(rng, 4, 3, 12);
+  auto loaded = DeserializeGroupSet(SerializeGroupSet(original));
+  ASSERT_TRUE(loaded.ok());
+  for (std::size_t g = 0; g < original.num_groups(); ++g) {
+    EXPECT_TRUE(linalg::ApproxEqual(loaded->group(g).Centroid(),
+                                    original.group(g).Centroid(), 1e-12));
+    EXPECT_TRUE(linalg::ApproxEqual(loaded->group(g).Covariance(),
+                                    original.group(g).Covariance(), 1e-9));
+  }
+}
+
+TEST(SerializationTest, EmptySetRoundTrips) {
+  CondensedGroupSet empty(2, 10);
+  auto loaded = DeserializeGroupSet(SerializeGroupSet(empty));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_groups(), 0u);
+  EXPECT_EQ(loaded->dim(), 2u);
+  EXPECT_EQ(loaded->indistinguishability_level(), 10u);
+}
+
+TEST(SerializationTest, RejectsWrongMagic) {
+  auto result = DeserializeGroupSet("not a group file\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsInvalidArgument(result.status()));
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  Rng rng(3);
+  CondensedGroupSet original = MakeSampleSet(rng, 3, 2, 5);
+  std::string text = SerializeGroupSet(original);
+  // Chop the last 30 characters.
+  std::string truncated = text.substr(0, text.size() - 30);
+  auto result = DeserializeGroupSet(truncated);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  Rng rng(4);
+  CondensedGroupSet original = MakeSampleSet(rng, 2, 1, 4);
+  std::string text = SerializeGroupSet(original) + "extra tokens here\n";
+  EXPECT_FALSE(DeserializeGroupSet(text).ok());
+}
+
+TEST(SerializationTest, RejectsCorruptHeader) {
+  std::string text =
+      "condensa-groups v1\ndim 0 k 3 groups 0\n";  // zero dim
+  EXPECT_FALSE(DeserializeGroupSet(text).ok());
+  std::string bad_counts = "condensa-groups v1\ndim x k 3 groups 0\n";
+  EXPECT_FALSE(DeserializeGroupSet(bad_counts).ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  Rng rng(5);
+  CondensedGroupSet original = MakeSampleSet(rng, 3, 4, 6);
+  const std::string path =
+      ::testing::TempDir() + "/condensa_groups_test.txt";
+  ASSERT_TRUE(SaveGroupSet(original, path).ok());
+  auto loaded = LoadGroupSet(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_groups(), 4u);
+  EXPECT_EQ(loaded->TotalRecords(), 24u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadMissingFileIsNotFound) {
+  auto result = LoadGroupSet("/nonexistent/groups.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsNotFound(result.status()));
+}
+
+TEST(PoolsSerializationTest, ClassificationRoundTrip) {
+  Rng data_rng(7);
+  data::Dataset dataset(2, data::TaskType::kClassification);
+  for (int i = 0; i < 60; ++i) {
+    dataset.Add(linalg::Vector{data_rng.Gaussian(), data_rng.Gaussian()},
+                i % 3);
+  }
+  Rng rng(8);
+  CondensationEngine engine({.group_size = 6});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+
+  auto reloaded = DeserializePools(SerializePools(*pools));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->task, data::TaskType::kClassification);
+  EXPECT_EQ(reloaded->feature_dim, 2u);
+  ASSERT_EQ(reloaded->pools.size(), 3u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(reloaded->pools[p].label, pools->pools[p].label);
+    EXPECT_EQ(reloaded->pools[p].splits, pools->pools[p].splits);
+    ASSERT_EQ(reloaded->pools[p].groups.num_groups(),
+              pools->pools[p].groups.num_groups());
+    for (std::size_t g = 0; g < pools->pools[p].groups.num_groups(); ++g) {
+      EXPECT_TRUE(linalg::ApproxEqual(
+          reloaded->pools[p].groups.group(g).first_order(),
+          pools->pools[p].groups.group(g).first_order(), 1e-12));
+    }
+  }
+}
+
+TEST(PoolsSerializationTest, RegressionRoundTripAndRelease) {
+  Rng data_rng(9);
+  data::Dataset dataset(2, data::TaskType::kRegression);
+  for (int i = 0; i < 80; ++i) {
+    double x = data_rng.Gaussian();
+    dataset.Add(linalg::Vector{x, data_rng.Gaussian()}, 3.0 * x + 1.0);
+  }
+  Rng rng(10);
+  CondensationEngine engine({.group_size = 10});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  EXPECT_EQ(pools->CondensedDim(), 3u);  // features + target
+
+  auto reloaded = DeserializePools(SerializePools(*pools));
+  ASSERT_TRUE(reloaded.ok());
+  auto release = GenerateRelease(*reloaded, rng);
+  ASSERT_TRUE(release.ok());
+  EXPECT_EQ(release->anonymized.size(), 80u);
+  EXPECT_EQ(release->anonymized.task(), data::TaskType::kRegression);
+  EXPECT_EQ(release->anonymized.dim(), 2u);
+}
+
+TEST(PoolsSerializationTest, RejectsCorruptInput) {
+  EXPECT_FALSE(DeserializePools("garbage\n").ok());
+  EXPECT_FALSE(
+      DeserializePools("condensa-pools v1\ntask 9 feature_dim 2 pools 0\n")
+          .ok());
+  EXPECT_FALSE(
+      DeserializePools("condensa-pools v1\ntask 1 feature_dim 0 pools 0\n")
+          .ok());
+  // Declares one pool but provides none.
+  EXPECT_FALSE(
+      DeserializePools("condensa-pools v1\ntask 0 feature_dim 2 pools 1\n")
+          .ok());
+}
+
+TEST(PoolsSerializationTest, EmptyPoolListRoundTrips) {
+  CondensedPools pools;
+  pools.task = data::TaskType::kUnlabeled;
+  pools.feature_dim = 4;
+  auto reloaded = DeserializePools(SerializePools(pools));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->pools.empty());
+  EXPECT_EQ(reloaded->feature_dim, 4u);
+}
+
+TEST(PoolsSerializationTest, ReleaseFromReloadedPoolsIsBitIdentical) {
+  // Same seed + same statistics => same release, whether the pools came
+  // from memory or from disk. (The 17-significant-digit serialization is
+  // double-exact, so nothing drifts.)
+  Rng data_rng(13);
+  data::Dataset dataset(3, data::TaskType::kClassification);
+  for (int i = 0; i < 90; ++i) {
+    dataset.Add(linalg::Vector{data_rng.Gaussian(), data_rng.Gaussian(),
+                               data_rng.Gaussian()},
+                i % 3);
+  }
+  Rng rng(14);
+  CondensationEngine engine({.group_size = 9});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  auto reloaded = DeserializePools(SerializePools(*pools));
+  ASSERT_TRUE(reloaded.ok());
+
+  Rng rng_a(99), rng_b(99);
+  auto from_memory = GenerateRelease(*pools, rng_a);
+  auto from_disk = GenerateRelease(*reloaded, rng_b);
+  ASSERT_TRUE(from_memory.ok());
+  ASSERT_TRUE(from_disk.ok());
+  ASSERT_EQ(from_memory->anonymized.size(), from_disk->anonymized.size());
+  for (std::size_t i = 0; i < from_memory->anonymized.size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual(from_memory->anonymized.record(i),
+                                    from_disk->anonymized.record(i), 0.0));
+    EXPECT_EQ(from_memory->anonymized.label(i),
+              from_disk->anonymized.label(i));
+  }
+}
+
+TEST(PoolsSerializationTest, FileRoundTrip) {
+  Rng data_rng(11);
+  data::Dataset dataset(2);
+  for (int i = 0; i < 30; ++i) {
+    dataset.Add(linalg::Vector{data_rng.Gaussian(), data_rng.Gaussian()});
+  }
+  Rng rng(12);
+  CondensationEngine engine({.group_size = 5});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  const std::string path = ::testing::TempDir() + "/condensa_pools_test.txt";
+  ASSERT_TRUE(SavePools(*pools, path).ok());
+  auto reloaded = LoadPools(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->pools.size(), 1u);
+  EXPECT_EQ(reloaded->pools[0].groups.TotalRecords(), 30u);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, FormatIsHumanInspectable) {
+  Rng rng(6);
+  CondensedGroupSet set = MakeSampleSet(rng, 2, 1, 3);
+  std::string text = SerializeGroupSet(set);
+  EXPECT_TRUE(StartsWith(text, "condensa-groups v1\n"));
+  EXPECT_NE(text.find("dim 2 k 3 groups 1"), std::string::npos);
+  EXPECT_NE(text.find("group n 3"), std::string::npos);
+  EXPECT_NE(text.find("\nfs "), std::string::npos);
+  EXPECT_NE(text.find("\nsc "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace condensa::core

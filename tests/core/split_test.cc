@@ -1,0 +1,232 @@
+#include "core/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/random.h"
+#include "linalg/eigen.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// A 2k-sized aggregate with a dominant x-axis spread.
+GroupStatistics MakeElongatedGroup() {
+  GroupStatistics stats(2);
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    stats.Add(Vector{rng.Uniform(-10.0, 10.0), rng.Gaussian(0.0, 0.5)});
+  }
+  return stats;
+}
+
+TEST(SplitTest, RejectsTooSmallGroups) {
+  GroupStatistics one(2);
+  one.Add(Vector{0.0, 0.0});
+  EXPECT_FALSE(SplitGroupStatistics(one).ok());
+}
+
+TEST(SplitTest, HalvesTheRecordCount) {
+  GroupStatistics group = MakeElongatedGroup();
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->lower.count(), 20u);
+  EXPECT_EQ(split->upper.count(), 20u);
+}
+
+TEST(SplitTest, OddCountSplitsIntoFloorAndCeil) {
+  GroupStatistics group(1);
+  Rng rng(19);
+  for (int i = 0; i < 7; ++i) {
+    group.Add(Vector{rng.Gaussian()});
+  }
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->lower.count(), 3u);
+  EXPECT_EQ(split->upper.count(), 4u);
+}
+
+TEST(SplitTest, CentroidsSeparateAlongLargestEigenvector) {
+  GroupStatistics group = MakeElongatedGroup();
+  auto eigen = linalg::CovarianceEigenDecomposition(group.Covariance());
+  ASSERT_TRUE(eigen.ok());
+  double lambda1 = eigen->eigenvalues[0];
+  Vector e1 = eigen->Eigenvector(0);
+  Vector centroid = group.Centroid();
+
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+
+  // Expected offset: sqrt(12 λ1) / 4 along ±e1.
+  double offset = std::sqrt(12.0 * lambda1) / 4.0;
+  Vector expected_lower = centroid - offset * e1;
+  Vector expected_upper = centroid + offset * e1;
+  EXPECT_TRUE(
+      linalg::ApproxEqual(split->lower.Centroid(), expected_lower, 1e-9));
+  EXPECT_TRUE(
+      linalg::ApproxEqual(split->upper.Centroid(), expected_upper, 1e-9));
+}
+
+TEST(SplitTest, MidpointOfChildCentroidsIsParentCentroid) {
+  GroupStatistics group = MakeElongatedGroup();
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  Vector midpoint =
+      (split->lower.Centroid() + split->upper.Centroid()) * 0.5;
+  EXPECT_TRUE(linalg::ApproxEqual(midpoint, group.Centroid(), 1e-9));
+}
+
+TEST(SplitTest, LeadingEigenvalueDividedByFourOthersUnchanged) {
+  GroupStatistics group = MakeElongatedGroup();
+  auto parent_eigen =
+      linalg::CovarianceEigenDecomposition(group.Covariance());
+  ASSERT_TRUE(parent_eigen.ok());
+
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  auto child_eigen =
+      linalg::CovarianceEigenDecomposition(split->lower.Covariance());
+  ASSERT_TRUE(child_eigen.ok());
+
+  // Parent λ1 dominates here, so the child's spectrum is the parent's with
+  // λ1/4, re-sorted. Parent λ1/4 may fall below parent λ2.
+  std::vector<double> expected;
+  expected.push_back(parent_eigen->eigenvalues[0] / 4.0);
+  for (std::size_t i = 1; i < parent_eigen->eigenvalues.dim(); ++i) {
+    expected.push_back(parent_eigen->eigenvalues[i]);
+  }
+  std::sort(expected.begin(), expected.end(), std::greater<>());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(child_eigen->eigenvalues[i], expected[i], 1e-8);
+  }
+}
+
+TEST(SplitTest, ChildrenShareIdenticalCovariance) {
+  GroupStatistics group = MakeElongatedGroup();
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(split->lower.Covariance(),
+                                  split->upper.Covariance(), 1e-8));
+}
+
+TEST(SplitTest, MergedChildrenPreserveParentMeanAndTotalVariance) {
+  // Merging the two child aggregates must reproduce the parent's centroid
+  // exactly, and the parent's variance along e1 under the uniform model:
+  // Var = E[Var_child] + Var of child means = λ1/4 + (sqrt(12λ1)/4)² =
+  // λ1/4 + 3λ1/4 = λ1. So the merged aggregate equals the parent's moments.
+  GroupStatistics group = MakeElongatedGroup();
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+
+  GroupStatistics merged = split->lower;
+  merged.Merge(split->upper);
+  EXPECT_EQ(merged.count(), group.count());
+  EXPECT_TRUE(
+      linalg::ApproxEqual(merged.Centroid(), group.Centroid(), 1e-9));
+  EXPECT_TRUE(
+      linalg::ApproxEqual(merged.Covariance(), group.Covariance(), 1e-6));
+}
+
+TEST(SplitTest, ZeroCovarianceGroupSplitsIntoCoincidentHalves) {
+  GroupStatistics group(2);
+  for (int i = 0; i < 10; ++i) {
+    group.Add(Vector{3.0, 4.0});
+  }
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(
+      linalg::ApproxEqual(split->lower.Centroid(), Vector{3.0, 4.0}, 1e-6));
+  EXPECT_TRUE(
+      linalg::ApproxEqual(split->upper.Centroid(), Vector{3.0, 4.0}, 1e-6));
+  EXPECT_EQ(split->lower.count() + split->upper.count(), 10u);
+}
+
+TEST(SplitTest, TwoRecordGroupSplits) {
+  GroupStatistics group(2);
+  group.Add(Vector{0.0, 0.0});
+  group.Add(Vector{4.0, 0.0});
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->lower.count(), 1u);
+  EXPECT_EQ(split->upper.count(), 1u);
+  // Split along x (the only spread direction): children at 2 ± sqrt(12·4)/4.
+  double offset = std::sqrt(12.0 * 4.0) / 4.0;
+  EXPECT_NEAR(split->lower.Centroid()[0], 2.0 - offset, 1e-9);
+  EXPECT_NEAR(split->upper.Centroid()[0], 2.0 + offset, 1e-9);
+}
+
+TEST(SplitRuleTest, VerbatimRuleShrinksCentroidsByK) {
+  // The paper's literal Fig. 3: Fs gets a centroid-scale value, so the
+  // reconstructed centroid is the intended one divided by k — while the
+  // covariance survives intact. This is the defect ablation A10 measures.
+  GroupStatistics group(2);
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    group.Add(Vector{rng.Gaussian(10.0, 2.0), rng.Gaussian(-6.0, 0.5)});
+  }
+  auto consistent =
+      SplitGroupStatistics(group, SplitRule::kMomentConsistent);
+  auto verbatim = SplitGroupStatistics(group, SplitRule::kPaperVerbatim);
+  ASSERT_TRUE(consistent.ok());
+  ASSERT_TRUE(verbatim.ok());
+
+  // Verbatim centroid = consistent centroid / k (k = 20 here).
+  Vector expected = consistent->lower.Centroid() / 20.0;
+  EXPECT_TRUE(
+      linalg::ApproxEqual(verbatim->lower.Centroid(), expected, 1e-9));
+  // Covariances agree (the Sc mixing cancels in Observation 2).
+  EXPECT_TRUE(linalg::ApproxEqual(verbatim->lower.Covariance(),
+                                  consistent->lower.Covariance(), 1e-6));
+  // Counts match the paper: both halves get k records.
+  EXPECT_EQ(verbatim->lower.count(), 20u);
+  EXPECT_EQ(verbatim->upper.count(), 20u);
+}
+
+TEST(SplitRuleTest, ConsistentRuleIsTheDefault) {
+  GroupStatistics group(1);
+  group.Add(Vector{0.0});
+  group.Add(Vector{4.0});
+  auto implicit_rule = SplitGroupStatistics(group);
+  auto explicit_rule =
+      SplitGroupStatistics(group, SplitRule::kMomentConsistent);
+  ASSERT_TRUE(implicit_rule.ok());
+  ASSERT_TRUE(explicit_rule.ok());
+  EXPECT_TRUE(linalg::ApproxEqual(implicit_rule->lower.first_order(),
+                                  explicit_rule->lower.first_order(), 0.0));
+}
+
+// Property sweep over dimensions: split invariants hold in any dimension.
+class SplitPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SplitPropertyTest, MergeRecoversParent) {
+  const std::size_t d = GetParam();
+  Rng rng(300 + d);
+  GroupStatistics group(d);
+  for (int i = 0; i < 30; ++i) {
+    Vector p(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      p[j] = rng.Gaussian(0.0, 1.0 + static_cast<double>(j));
+    }
+    group.Add(p);
+  }
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  GroupStatistics merged = split->lower;
+  merged.Merge(split->upper);
+  double scale = std::max(1.0, group.Covariance().MaxAbs());
+  EXPECT_TRUE(linalg::ApproxEqual(merged.Centroid(), group.Centroid(),
+                                  1e-9 * scale));
+  EXPECT_TRUE(linalg::ApproxEqual(merged.Covariance(), group.Covariance(),
+                                  1e-6 * scale));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, SplitPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 15, 34));
+
+}  // namespace
+}  // namespace condensa::core

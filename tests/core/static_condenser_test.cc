@@ -1,0 +1,188 @@
+#include "core/static_condenser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/stats.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(StaticCondenserTest, RejectsInvalidInput) {
+  StaticCondenser condenser({.group_size = 5});
+  Rng rng(1);
+  EXPECT_FALSE(condenser.Condense({}, rng).ok());
+  EXPECT_FALSE(condenser.Condense(RandomCloud(4, 2, rng), rng).ok());
+  StaticCondenser zero_k({.group_size = 0});
+  EXPECT_FALSE(zero_k.Condense(RandomCloud(10, 2, rng), rng).ok());
+}
+
+TEST(StaticCondenserTest, RejectsInconsistentDimensions) {
+  StaticCondenser condenser({.group_size = 2});
+  Rng rng(2);
+  std::vector<Vector> points = {Vector{1.0, 2.0}, Vector{1.0}};
+  EXPECT_FALSE(condenser.Condense(points, rng).ok());
+}
+
+TEST(StaticCondenserTest, AllRecordsLandInGroups) {
+  Rng rng(3);
+  std::vector<Vector> points = RandomCloud(103, 3, rng);
+  StaticCondenser condenser({.group_size = 10});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->TotalRecords(), 103u);
+}
+
+TEST(StaticCondenserTest, EveryGroupHasAtLeastKRecords) {
+  Rng rng(4);
+  std::vector<Vector> points = RandomCloud(97, 2, rng);
+  for (std::size_t k : {2u, 5u, 10u, 25u}) {
+    StaticCondenser condenser({.group_size = k});
+    auto groups = condenser.Condense(points, rng);
+    ASSERT_TRUE(groups.ok());
+    PrivacySummary summary = groups->Summary();
+    EXPECT_GE(summary.min_group_size, k) << "k=" << k;
+    // Leftover assignment can push a few groups past k but never creates
+    // a group beyond 2k-1 + leftovers.
+    EXPECT_LT(summary.max_group_size, 2 * k) << "k=" << k;
+  }
+}
+
+TEST(StaticCondenserTest, ExactMultipleGivesUniformGroups) {
+  Rng rng(5);
+  std::vector<Vector> points = RandomCloud(100, 2, rng);
+  StaticCondenser condenser({.group_size = 10});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups(), 10u);
+  for (const GroupStatistics& g : groups->groups()) {
+    EXPECT_EQ(g.count(), 10u);
+  }
+}
+
+TEST(StaticCondenserTest, GroupSizeOneGivesSingletons) {
+  Rng rng(6);
+  std::vector<Vector> points = RandomCloud(20, 2, rng);
+  StaticCondenser condenser({.group_size = 1});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups(), 20u);
+  for (const GroupStatistics& g : groups->groups()) {
+    EXPECT_EQ(g.count(), 1u);
+  }
+}
+
+TEST(StaticCondenserTest, WholeDatasetAsOneGroup) {
+  Rng rng(7);
+  std::vector<Vector> points = RandomCloud(15, 2, rng);
+  StaticCondenser condenser({.group_size = 15});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups(), 1u);
+  EXPECT_EQ(groups->group(0).count(), 15u);
+}
+
+TEST(StaticCondenserTest, AggregateMomentsMatchInputExactly) {
+  // The union of all group statistics must reproduce the dataset's global
+  // first- and second-order sums (nothing is lost or invented).
+  Rng rng(8);
+  std::vector<Vector> points = RandomCloud(57, 3, rng);
+  StaticCondenser condenser({.group_size = 8});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+
+  GroupStatistics merged(3);
+  for (const GroupStatistics& g : groups->groups()) {
+    merged.Merge(g);
+  }
+  GroupStatistics direct(3);
+  for (const Vector& p : points) {
+    direct.Add(p);
+  }
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_TRUE(linalg::ApproxEqual(merged.first_order(), direct.first_order(),
+                                  1e-8));
+  EXPECT_TRUE(linalg::ApproxEqual(merged.second_order(),
+                                  direct.second_order(), 1e-6));
+}
+
+TEST(StaticCondenserTest, GroupsAreSpatiallyLocal) {
+  // Two well-separated clusters with k = cluster size: each group must sit
+  // inside one cluster, never straddle both.
+  Rng rng(9);
+  std::vector<Vector> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(Vector{rng.Gaussian(100.0, 1.0), rng.Gaussian()});
+  }
+  StaticCondenser condenser({.group_size = 10});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  for (const GroupStatistics& g : groups->groups()) {
+    double x = g.Centroid()[0];
+    EXPECT_TRUE(x < 20.0 || x > 80.0)
+        << "group straddles the two clusters, centroid x=" << x;
+    // Straddling groups would also show huge x-variance.
+    EXPECT_LT(g.Covariance()(0, 0), 100.0);
+  }
+}
+
+TEST(StaticCondenserTest, DeterministicGivenSeed) {
+  Rng data_rng(10);
+  std::vector<Vector> points = RandomCloud(40, 2, data_rng);
+  StaticCondenser condenser({.group_size = 7});
+  Rng rng_a(11), rng_b(11);
+  auto a = condenser.Condense(points, rng_a);
+  auto b = condenser.Condense(points, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_groups(), b->num_groups());
+  for (std::size_t i = 0; i < a->num_groups(); ++i) {
+    EXPECT_EQ(a->group(i).count(), b->group(i).count());
+    EXPECT_TRUE(linalg::ApproxEqual(a->group(i).first_order(),
+                                    b->group(i).first_order(), 0.0));
+  }
+}
+
+// Property sweep: the k-indistinguishability invariant holds for any
+// (n, k) combination.
+class StaticCondenserPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(StaticCondenserPropertyTest, InvariantsHold) {
+  auto [n, k] = GetParam();
+  Rng rng(100 + n * 7 + k);
+  std::vector<Vector> points = RandomCloud(n, 4, rng);
+  StaticCondenser condenser({.group_size = k});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->TotalRecords(), n);
+  EXPECT_GE(groups->Summary().min_group_size, k);
+  EXPECT_EQ(groups->num_groups(), n / k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeByK, StaticCondenserPropertyTest,
+    ::testing::Combine(::testing::Values(10, 23, 50, 64, 101),
+                       ::testing::Values(1, 2, 3, 5, 10)));
+
+}  // namespace
+}  // namespace condensa::core

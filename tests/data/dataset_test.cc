@@ -1,0 +1,152 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa::data {
+namespace {
+
+using linalg::Vector;
+
+Dataset MakeSmallClassification() {
+  Dataset ds(2, TaskType::kClassification);
+  ds.Add(Vector{0.0, 0.0}, 0);
+  ds.Add(Vector{1.0, 0.0}, 0);
+  ds.Add(Vector{5.0, 5.0}, 1);
+  ds.Add(Vector{6.0, 5.0}, 1);
+  ds.Add(Vector{5.5, 5.5}, 1);
+  return ds;
+}
+
+TEST(DatasetTest, EmptyConstruction) {
+  Dataset ds(3);
+  EXPECT_EQ(ds.dim(), 3u);
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.task(), TaskType::kUnlabeled);
+}
+
+TEST(DatasetTest, AddUnlabeled) {
+  Dataset ds(2);
+  ds.Add(Vector{1.0, 2.0});
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_DOUBLE_EQ(ds.record(0)[1], 2.0);
+}
+
+TEST(DatasetTest, AddClassificationKeepsLabels) {
+  Dataset ds = MakeSmallClassification();
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.label(0), 0);
+  EXPECT_EQ(ds.label(4), 1);
+}
+
+TEST(DatasetTest, AddRegressionKeepsTargets) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{1.0}, 10.5);
+  ds.Add(Vector{2.0}, 11.5);
+  EXPECT_DOUBLE_EQ(ds.target(0), 10.5);
+  EXPECT_DOUBLE_EQ(ds.target(1), 11.5);
+}
+
+TEST(DatasetTest, DistinctLabelsSorted) {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{0.0}, 3);
+  ds.Add(Vector{0.0}, 1);
+  ds.Add(Vector{0.0}, 3);
+  ds.Add(Vector{0.0}, 2);
+  std::vector<int> labels = ds.DistinctLabels();
+  EXPECT_EQ(labels, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DatasetTest, IndicesByLabelPartitionsAllRecords) {
+  Dataset ds = MakeSmallClassification();
+  auto by_label = ds.IndicesByLabel();
+  ASSERT_EQ(by_label.size(), 2u);
+  EXPECT_EQ(by_label[0].size(), 2u);
+  EXPECT_EQ(by_label[1].size(), 3u);
+  std::size_t total = 0;
+  for (const auto& [label, indices] : by_label) total += indices.size();
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(DatasetTest, SelectKeepsSupervision) {
+  Dataset ds = MakeSmallClassification();
+  Dataset subset = ds.Select({4, 0});
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset.label(0), 1);
+  EXPECT_EQ(subset.label(1), 0);
+  EXPECT_DOUBLE_EQ(subset.record(0)[0], 5.5);
+}
+
+TEST(DatasetTest, SelectEmptyIndices) {
+  Dataset ds = MakeSmallClassification();
+  Dataset subset = ds.Select({});
+  EXPECT_TRUE(subset.empty());
+  EXPECT_EQ(subset.dim(), ds.dim());
+  EXPECT_EQ(subset.task(), ds.task());
+}
+
+TEST(DatasetTest, SelectLabelFiltersCorrectly) {
+  Dataset ds = MakeSmallClassification();
+  Dataset ones = ds.SelectLabel(1);
+  EXPECT_EQ(ones.size(), 3u);
+  for (std::size_t i = 0; i < ones.size(); ++i) {
+    EXPECT_EQ(ones.label(i), 1);
+  }
+  EXPECT_TRUE(ds.SelectLabel(99).empty());
+}
+
+TEST(DatasetTest, AppendConcatenates) {
+  Dataset a = MakeSmallClassification();
+  Dataset b = MakeSmallClassification();
+  a.Append(b);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(a.label(9), 1);
+}
+
+TEST(DatasetTest, MeanAndCovariance) {
+  Dataset ds(2);
+  ds.Add(Vector{0.0, 0.0});
+  ds.Add(Vector{2.0, 4.0});
+  linalg::Vector mean = ds.Mean();
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(mean[1], 2.0);
+  linalg::Matrix cov = ds.Covariance();
+  EXPECT_DOUBLE_EQ(cov(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 2.0);
+}
+
+TEST(DatasetTest, FeatureNamesValidation) {
+  Dataset ds(2);
+  EXPECT_FALSE(ds.SetFeatureNames({"only_one"}).ok());
+  EXPECT_TRUE(ds.SetFeatureNames({"a", "b"}).ok());
+  EXPECT_EQ(ds.feature_names()[1], "b");
+}
+
+TEST(DatasetTest, ValidateAcceptsConsistentData) {
+  EXPECT_TRUE(MakeSmallClassification().Validate().ok());
+  Dataset empty(4);
+  EXPECT_TRUE(empty.Validate().ok());
+}
+
+TEST(DatasetDeathTest, WrongTaskAccessorsAbort) {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{0.0}, 1);
+  EXPECT_DEATH((void)ds.target(0), "CHECK");
+  Dataset reg(1, TaskType::kRegression);
+  reg.Add(Vector{0.0}, 1.0);
+  EXPECT_DEATH((void)reg.label(0), "CHECK");
+}
+
+TEST(DatasetDeathTest, WrongDimensionAborts) {
+  Dataset ds(2);
+  EXPECT_DEATH(ds.Add(Vector{1.0}), "CHECK");
+}
+
+TEST(DatasetDeathTest, WrongAddOverloadAborts) {
+  Dataset ds(1);  // unlabeled
+  EXPECT_DEATH(ds.Add(Vector{1.0}, 3), "CHECK");
+}
+
+}  // namespace
+}  // namespace condensa::data

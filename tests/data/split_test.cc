@@ -1,0 +1,167 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace condensa::data {
+namespace {
+
+using linalg::Vector;
+
+Dataset MakeClassification(std::size_t per_class, int classes) {
+  Dataset ds(2, TaskType::kClassification);
+  for (int c = 0; c < classes; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      ds.Add(Vector{static_cast<double>(c), static_cast<double>(i)}, c);
+    }
+  }
+  return ds;
+}
+
+TEST(SplitTrainTestTest, PartitionsAllRecords) {
+  Dataset ds = MakeClassification(50, 2);
+  Rng rng(1);
+  auto split = SplitTrainTest(ds, 0.75, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), ds.size());
+  EXPECT_FALSE(split->train.empty());
+  EXPECT_FALSE(split->test.empty());
+}
+
+TEST(SplitTrainTestTest, ApproximatesRequestedFraction) {
+  Dataset ds = MakeClassification(100, 2);
+  Rng rng(2);
+  auto split = SplitTrainTest(ds, 0.75, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_NEAR(static_cast<double>(split->train.size()) /
+                  static_cast<double>(ds.size()),
+              0.75, 0.02);
+}
+
+TEST(SplitTrainTestTest, StratifiesClasses) {
+  Dataset ds = MakeClassification(0, 0);
+  // Imbalanced: 90 of class 0, 10 of class 1.
+  for (int i = 0; i < 90; ++i) ds.Add(Vector{0.0, static_cast<double>(i)}, 0);
+  for (int i = 0; i < 10; ++i) ds.Add(Vector{1.0, static_cast<double>(i)}, 1);
+  Rng rng(3);
+  auto split = SplitTrainTest(ds, 0.8, rng);
+  ASSERT_TRUE(split.ok());
+  auto train_by = split->train.IndicesByLabel();
+  auto test_by = split->test.IndicesByLabel();
+  EXPECT_EQ(train_by[0].size(), 72u);
+  EXPECT_EQ(train_by[1].size(), 8u);
+  EXPECT_EQ(test_by[0].size(), 18u);
+  EXPECT_EQ(test_by[1].size(), 2u);
+}
+
+TEST(SplitTrainTestTest, TinyClassesLandOnBothSides) {
+  Dataset ds(1, TaskType::kClassification);
+  // Class with exactly 2 records must contribute one to each side.
+  ds.Add(Vector{0.0}, 0);
+  ds.Add(Vector{1.0}, 0);
+  for (int i = 0; i < 20; ++i) {
+    ds.Add(Vector{static_cast<double>(10 + i)}, 1);
+  }
+  Rng rng(4);
+  auto split = SplitTrainTest(ds, 0.9, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.IndicesByLabel()[0].size(), 1u);
+  EXPECT_EQ(split->test.IndicesByLabel()[0].size(), 1u);
+}
+
+TEST(SplitTrainTestTest, RegressionSplitWorks) {
+  Dataset ds(1, TaskType::kRegression);
+  for (int i = 0; i < 40; ++i) {
+    ds.Add(Vector{static_cast<double>(i)}, static_cast<double>(i));
+  }
+  Rng rng(5);
+  auto split = SplitTrainTest(ds, 0.5, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size(), 20u);
+  EXPECT_EQ(split->test.size(), 20u);
+}
+
+TEST(SplitTrainTestTest, RejectsBadArguments) {
+  Dataset ds = MakeClassification(10, 2);
+  Rng rng(6);
+  EXPECT_FALSE(SplitTrainTest(Dataset(2), 0.5, rng).ok());
+  EXPECT_FALSE(SplitTrainTest(ds, 0.0, rng).ok());
+  EXPECT_FALSE(SplitTrainTest(ds, 1.0, rng).ok());
+  EXPECT_FALSE(SplitTrainTest(ds, -0.1, rng).ok());
+}
+
+TEST(SplitTrainTestTest, IsDeterministicGivenSeed) {
+  Dataset ds = MakeClassification(30, 3);
+  Rng rng_a(7), rng_b(7);
+  auto a = SplitTrainTest(ds, 0.6, rng_a);
+  auto b = SplitTrainTest(ds, 0.6, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->train.size(), b->train.size());
+  for (std::size_t i = 0; i < a->train.size(); ++i) {
+    EXPECT_TRUE(
+        linalg::ApproxEqual(a->train.record(i), b->train.record(i), 0.0));
+  }
+}
+
+TEST(MakeFoldsTest, CoverAllIndicesDisjointly) {
+  Dataset ds = MakeClassification(25, 2);
+  Rng rng(8);
+  auto folds = MakeFolds(ds, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::vector<bool> seen(ds.size(), false);
+  for (const auto& fold : *folds) {
+    for (std::size_t i : fold) {
+      EXPECT_FALSE(seen[i]) << "index appears twice";
+      seen[i] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(MakeFoldsTest, BalancedSizes) {
+  Dataset ds = MakeClassification(50, 2);
+  Rng rng(9);
+  auto folds = MakeFolds(ds, 4, rng);
+  ASSERT_TRUE(folds.ok());
+  for (const auto& fold : *folds) {
+    EXPECT_EQ(fold.size(), 25u);
+  }
+}
+
+TEST(MakeFoldsTest, RejectsBadFoldCounts) {
+  Dataset ds = MakeClassification(5, 1);
+  Rng rng(10);
+  EXPECT_FALSE(MakeFolds(ds, 1, rng).ok());
+  EXPECT_FALSE(MakeFolds(ds, 6, rng).ok());
+  EXPECT_TRUE(MakeFolds(ds, 5, rng).ok());
+}
+
+TEST(ShuffledTest, PermutesButPreservesContent) {
+  Dataset ds = MakeClassification(50, 2);
+  Rng rng(11);
+  Dataset shuffled = Shuffled(ds, rng);
+  ASSERT_EQ(shuffled.size(), ds.size());
+  // Same multiset of labels.
+  std::map<int, int> original_counts, shuffled_counts;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    ++original_counts[ds.label(i)];
+    ++shuffled_counts[shuffled.label(i)];
+  }
+  EXPECT_EQ(original_counts, shuffled_counts);
+  // Order actually changed somewhere.
+  bool any_moved = false;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (!linalg::ApproxEqual(ds.record(i), shuffled.record(i), 0.0)) {
+      any_moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+}  // namespace
+}  // namespace condensa::data

@@ -1,0 +1,126 @@
+#include "data/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace condensa::data {
+namespace {
+
+using linalg::Vector;
+
+Dataset MakeSimple() {
+  Dataset ds(2);
+  ds.Add(Vector{0.0, 10.0});
+  ds.Add(Vector{2.0, 20.0});
+  ds.Add(Vector{4.0, 30.0});
+  return ds;
+}
+
+TEST(ZScoreScalerTest, FitComputesMeanAndStddev) {
+  ZScoreScaler scaler;
+  ASSERT_TRUE(scaler.Fit(MakeSimple()).ok());
+  EXPECT_TRUE(scaler.fitted());
+  EXPECT_DOUBLE_EQ(scaler.mean()[0], 2.0);
+  EXPECT_DOUBLE_EQ(scaler.mean()[1], 20.0);
+  EXPECT_NEAR(scaler.stddev()[0], std::sqrt(8.0 / 3.0), 1e-12);
+}
+
+TEST(ZScoreScalerTest, TransformedDataHasZeroMeanUnitVariance) {
+  Dataset ds = MakeSimple();
+  ZScoreScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Dataset scaled = scaler.TransformDataset(ds);
+  linalg::Vector mean = scaled.Mean();
+  linalg::Matrix cov = scaled.Covariance();
+  EXPECT_NEAR(mean[0], 0.0, 1e-12);
+  EXPECT_NEAR(mean[1], 0.0, 1e-12);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 1.0, 1e-12);
+}
+
+TEST(ZScoreScalerTest, InverseUndoesTransform) {
+  Dataset ds = MakeSimple();
+  ZScoreScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Vector original{3.0, 17.0};
+  Vector recovered = scaler.InverseTransform(scaler.Transform(original));
+  EXPECT_TRUE(linalg::ApproxEqual(recovered, original, 1e-12));
+
+  Dataset round_trip =
+      scaler.InverseTransformDataset(scaler.TransformDataset(ds));
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE(
+        linalg::ApproxEqual(round_trip.record(i), ds.record(i), 1e-12));
+  }
+}
+
+TEST(ZScoreScalerTest, ConstantDimensionShiftsOnly) {
+  Dataset ds(1);
+  ds.Add(Vector{5.0});
+  ds.Add(Vector{5.0});
+  ZScoreScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Vector transformed = scaler.Transform(Vector{5.0});
+  EXPECT_DOUBLE_EQ(transformed[0], 0.0);
+  Vector other = scaler.Transform(Vector{7.0});
+  EXPECT_DOUBLE_EQ(other[0], 2.0);  // stddev treated as 1
+}
+
+TEST(ZScoreScalerTest, FitFailsOnEmpty) {
+  ZScoreScaler scaler;
+  EXPECT_FALSE(scaler.Fit(Dataset(2)).ok());
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(ZScoreScalerTest, PreservesSupervision) {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{1.0}, 7);
+  ds.Add(Vector{3.0}, 8);
+  ZScoreScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Dataset scaled = scaler.TransformDataset(ds);
+  EXPECT_EQ(scaled.label(0), 7);
+  EXPECT_EQ(scaled.label(1), 8);
+}
+
+TEST(MinMaxScalerTest, MapsToUnitInterval) {
+  Dataset ds = MakeSimple();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Dataset scaled = scaler.TransformDataset(ds);
+  for (std::size_t i = 0; i < scaled.size(); ++i) {
+    for (std::size_t j = 0; j < scaled.dim(); ++j) {
+      EXPECT_GE(scaled.record(i)[j], 0.0);
+      EXPECT_LE(scaled.record(i)[j], 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(scaled.record(0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaled.record(2)[0], 1.0);
+}
+
+TEST(MinMaxScalerTest, InverseUndoesTransform) {
+  Dataset ds = MakeSimple();
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  Vector original{1.0, 25.0};
+  Vector recovered = scaler.InverseTransform(scaler.Transform(original));
+  EXPECT_TRUE(linalg::ApproxEqual(recovered, original, 1e-12));
+}
+
+TEST(MinMaxScalerTest, ConstantDimensionMapsToZero) {
+  Dataset ds(1);
+  ds.Add(Vector{3.0});
+  ds.Add(Vector{3.0});
+  MinMaxScaler scaler;
+  ASSERT_TRUE(scaler.Fit(ds).ok());
+  EXPECT_DOUBLE_EQ(scaler.Transform(Vector{3.0})[0], 0.0);
+}
+
+TEST(MinMaxScalerTest, FitFailsOnEmpty) {
+  MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.Fit(Dataset(1)).ok());
+}
+
+}  // namespace
+}  // namespace condensa::data

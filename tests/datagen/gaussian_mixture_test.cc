@@ -1,0 +1,102 @@
+#include "datagen/gaussian_mixture.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.h"
+
+namespace condensa::datagen {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(GaussianMixtureTest, CreateValidatesInput) {
+  EXPECT_FALSE(GaussianMixture::Create({}).ok());
+
+  // Dimension mismatch between components.
+  EXPECT_FALSE(GaussianMixture::Create(
+                   {{Vector{0.0}, Matrix{{1.0}}, 1.0},
+                    {Vector{0.0, 0.0}, Matrix::Identity(2), 1.0}})
+                   .ok());
+
+  // Negative weight.
+  EXPECT_FALSE(
+      GaussianMixture::Create({{Vector{0.0}, Matrix{{1.0}}, -1.0}}).ok());
+
+  // All-zero weights.
+  EXPECT_FALSE(
+      GaussianMixture::Create({{Vector{0.0}, Matrix{{1.0}}, 0.0}}).ok());
+
+  // Non-PSD covariance.
+  EXPECT_FALSE(GaussianMixture::Create(
+                   {{Vector{0.0, 0.0}, Matrix{{1.0, 2.0}, {2.0, 1.0}}, 1.0}})
+                   .ok());
+}
+
+TEST(GaussianMixtureTest, SingleComponentMomentsMatch) {
+  Matrix cov{{2.0, 0.6}, {0.6, 1.0}};
+  auto mixture =
+      GaussianMixture::Create({{Vector{1.0, -2.0}, cov, 1.0}});
+  ASSERT_TRUE(mixture.ok());
+
+  Rng rng(42);
+  std::vector<Vector> samples = mixture->SampleMany(50000, rng);
+  Vector mean = linalg::MeanVector(samples);
+  Matrix sample_cov = linalg::CovarianceMatrix(samples);
+
+  EXPECT_NEAR(mean[0], 1.0, 0.03);
+  EXPECT_NEAR(mean[1], -2.0, 0.03);
+  EXPECT_NEAR(sample_cov(0, 0), 2.0, 0.08);
+  EXPECT_NEAR(sample_cov(1, 1), 1.0, 0.05);
+  EXPECT_NEAR(sample_cov(0, 1), 0.6, 0.05);
+}
+
+TEST(GaussianMixtureTest, MixtureMeanBlendsComponents) {
+  auto mixture = GaussianMixture::Create({
+      {Vector{0.0}, Matrix{{0.01}}, 1.0},
+      {Vector{10.0}, Matrix{{0.01}}, 3.0},
+  });
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_NEAR(mixture->Mean()[0], 7.5, 1e-12);
+
+  Rng rng(7);
+  std::vector<Vector> samples = mixture->SampleMany(40000, rng);
+  EXPECT_NEAR(linalg::MeanVector(samples)[0], 7.5, 0.1);
+}
+
+TEST(GaussianMixtureTest, ZeroWeightComponentNeverSampled) {
+  auto mixture = GaussianMixture::Create({
+      {Vector{0.0}, Matrix{{0.01}}, 1.0},
+      {Vector{100.0}, Matrix{{0.01}}, 0.0},
+  });
+  ASSERT_TRUE(mixture.ok());
+  Rng rng(9);
+  for (const Vector& sample : mixture->SampleMany(2000, rng)) {
+    EXPECT_LT(sample[0], 50.0);
+  }
+}
+
+TEST(GaussianMixtureTest, SampleManyIsDeterministicGivenSeed) {
+  auto mixture = GaussianMixture::Create(
+      {{Vector{0.0, 0.0}, Matrix::Identity(2), 1.0}});
+  ASSERT_TRUE(mixture.ok());
+  Rng rng_a(5), rng_b(5);
+  std::vector<Vector> a = mixture->SampleMany(100, rng_a);
+  std::vector<Vector> b = mixture->SampleMany(100, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual(a[i], b[i], 0.0));
+  }
+}
+
+TEST(GaussianMixtureTest, DimAndComponentAccessors) {
+  auto mixture = GaussianMixture::Create({
+      {Vector{0.0, 0.0, 0.0}, Matrix::Identity(3), 1.0},
+      {Vector{1.0, 1.0, 1.0}, Matrix::Identity(3), 1.0},
+  });
+  ASSERT_TRUE(mixture.ok());
+  EXPECT_EQ(mixture->dim(), 3u);
+  EXPECT_EQ(mixture->num_components(), 2u);
+}
+
+}  // namespace
+}  // namespace condensa::datagen

@@ -1,0 +1,140 @@
+#include "datagen/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <map>
+
+namespace condensa::datagen {
+namespace {
+
+TEST(IonosphereProfileTest, ShapeMatchesUciDataset) {
+  Rng rng(1);
+  data::Dataset ds = MakeIonosphere(rng);
+  EXPECT_EQ(ds.dim(), 34u);
+  EXPECT_EQ(ds.size(), 351u);
+  EXPECT_EQ(ds.task(), data::TaskType::kClassification);
+  auto by_label = ds.IndicesByLabel();
+  ASSERT_EQ(by_label.size(), 2u);
+  // Label noise moves a few records between classes; counts stay close to
+  // the UCI 225/126 split.
+  EXPECT_NEAR(static_cast<double>(by_label[0].size()), 225.0, 25.0);
+  EXPECT_NEAR(static_cast<double>(by_label[1].size()), 126.0, 25.0);
+}
+
+TEST(EcoliProfileTest, ShapeAndImbalanceMatchUciDataset) {
+  Rng rng(2);
+  data::Dataset ds = MakeEcoli(rng);
+  EXPECT_EQ(ds.dim(), 7u);
+  EXPECT_EQ(ds.size(), 336u);
+  auto by_label = ds.IndicesByLabel();
+  EXPECT_EQ(by_label.size(), 8u);
+  // Largest class stays dominant despite the 2% label noise.
+  EXPECT_GT(by_label[0].size(), 120u);
+  // The tiny classes exist.
+  EXPECT_GE(by_label[6].size(), 1u);
+  EXPECT_GE(by_label[7].size(), 1u);
+}
+
+TEST(PimaProfileTest, ShapeMatchesUciDataset) {
+  Rng rng(3);
+  data::Dataset ds = MakePima(rng);
+  EXPECT_EQ(ds.dim(), 8u);
+  EXPECT_EQ(ds.size(), 768u);
+  auto by_label = ds.IndicesByLabel();
+  ASSERT_EQ(by_label.size(), 2u);
+  EXPECT_GT(by_label[0].size(), by_label[1].size());
+}
+
+TEST(AbaloneProfileTest, ShapeAndTargetsMatchUciDataset) {
+  Rng rng(4);
+  data::Dataset ds = MakeAbalone(rng);
+  EXPECT_EQ(ds.dim(), 7u);
+  EXPECT_EQ(ds.size(), 4177u);
+  EXPECT_EQ(ds.task(), data::TaskType::kRegression);
+  double min_age = 1e9, max_age = -1e9, total = 0.0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    min_age = std::min(min_age, ds.target(i));
+    max_age = std::max(max_age, ds.target(i));
+    total += ds.target(i);
+  }
+  EXPECT_GE(min_age, 1.0);
+  EXPECT_LT(max_age, 40.0);
+  // Mean age near the real dataset's ~11 years.
+  EXPECT_NEAR(total / static_cast<double>(ds.size()), 11.0, 3.0);
+}
+
+TEST(AbaloneProfileTest, AttributesAreStronglyCorrelated) {
+  Rng rng(5);
+  data::Dataset ds = MakeAbalone(rng);
+  linalg::Matrix cov = ds.Covariance();
+  // Correlation between the first two size attributes should be near 1.
+  double corr = cov(0, 1) / std::sqrt(cov(0, 0) * cov(1, 1));
+  EXPECT_GT(corr, 0.9);
+}
+
+TEST(ProfileOptionsTest, SizeFactorScalesRecordCounts) {
+  Rng rng(6);
+  ProfileOptions options;
+  options.size_factor = 0.5;
+  data::Dataset ds = MakePima(rng, options);
+  EXPECT_EQ(ds.size(), 384u);  // 250 + 134
+}
+
+TEST(ProfilesTest, DeterministicGivenSeed) {
+  Rng rng_a(7), rng_b(7);
+  data::Dataset a = MakeEcoli(rng_a);
+  data::Dataset b = MakeEcoli(rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual(a.record(i), b.record(i), 0.0));
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+}
+
+TEST(ProfilesTest, DifferentSeedsProduceDifferentData) {
+  Rng rng_a(8), rng_b(9);
+  data::Dataset a = MakeIonosphere(rng_a);
+  data::Dataset b = MakeIonosphere(rng_b);
+  EXPECT_FALSE(linalg::ApproxEqual(a.record(0), b.record(0), 1e-6));
+}
+
+TEST(GaussianBlobsTest, ShapeAndLabels) {
+  Rng rng(10);
+  data::Dataset ds = MakeGaussianBlobs(3, 40, 5, 10.0, rng);
+  EXPECT_EQ(ds.size(), 120u);
+  EXPECT_EQ(ds.dim(), 5u);
+  EXPECT_EQ(ds.DistinctLabels().size(), 3u);
+}
+
+TEST(GaussianBlobsTest, WellSeparatedBlobsAreCompact) {
+  Rng rng(11);
+  data::Dataset ds = MakeGaussianBlobs(2, 100, 3, 50.0, rng);
+  // Within-class spread (~1) is far below the class separation, so class
+  // means are far apart.
+  data::Dataset class0 = ds.SelectLabel(0);
+  data::Dataset class1 = ds.SelectLabel(1);
+  double separation = linalg::Distance(class0.Mean(), class1.Mean());
+  EXPECT_GT(separation, 10.0);
+}
+
+TEST(MakeProfileByNameTest, ResolvesAllNames) {
+  Rng rng(12);
+  ProfileOptions small;
+  small.size_factor = 0.1;
+  for (const char* name : {"ionosphere", "ecoli", "pima", "abalone"}) {
+    auto ds = MakeProfileByName(name, rng, small);
+    EXPECT_TRUE(ds.ok()) << name;
+  }
+}
+
+TEST(MakeProfileByNameTest, UnknownNameFails) {
+  Rng rng(13);
+  auto result = MakeProfileByName("adult", rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsNotFound(result.status()));
+}
+
+}  // namespace
+}  // namespace condensa::datagen

@@ -1,0 +1,78 @@
+#include "datagen/random_covariance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace condensa::datagen {
+namespace {
+
+TEST(RandomOrthogonalTest, ColumnsAreOrthonormal) {
+  Rng rng(1);
+  for (std::size_t dim : {1u, 2u, 5u, 10u}) {
+    linalg::Matrix q = RandomOrthogonal(dim, rng);
+    linalg::Matrix gram = linalg::TransposeMatMul(q, q);
+    EXPECT_TRUE(
+        linalg::ApproxEqual(gram, linalg::Matrix::Identity(dim), 1e-10))
+        << "dim=" << dim;
+  }
+}
+
+TEST(RandomOrthogonalTest, DifferentDrawsDiffer) {
+  Rng rng(2);
+  linalg::Matrix a = RandomOrthogonal(4, rng);
+  linalg::Matrix b = RandomOrthogonal(4, rng);
+  EXPECT_FALSE(linalg::ApproxEqual(a, b, 1e-6));
+}
+
+TEST(GeometricSpectrumTest, ValuesDecayGeometrically) {
+  linalg::Vector s = GeometricSpectrum(4, 8.0, 0.5);
+  EXPECT_DOUBLE_EQ(s[0], 8.0);
+  EXPECT_DOUBLE_EQ(s[1], 4.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+  EXPECT_DOUBLE_EQ(s[3], 1.0);
+}
+
+TEST(GeometricSpectrumTest, RatioOneIsFlat) {
+  linalg::Vector s = GeometricSpectrum(3, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 2.0);
+}
+
+TEST(RandomCovarianceTest, IsSymmetricPsdWithRequestedSpectrum) {
+  Rng rng(3);
+  linalg::Vector spectrum = GeometricSpectrum(5, 4.0, 0.6);
+  linalg::Matrix cov = RandomCovariance(spectrum, rng);
+  EXPECT_TRUE(cov.IsSymmetric(1e-10));
+
+  auto eigen = linalg::JacobiEigenDecomposition(cov);
+  ASSERT_TRUE(eigen.ok());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(eigen->eigenvalues[i], spectrum[i], 1e-8);
+  }
+}
+
+TEST(RandomCovarianceTest, TraceEqualsSpectrumSum) {
+  Rng rng(4);
+  linalg::Vector spectrum = GeometricSpectrum(7, 3.0, 0.8);
+  linalg::Matrix cov = RandomCovariance(spectrum, rng);
+  EXPECT_NEAR(cov.Trace(), spectrum.Sum(), 1e-9);
+}
+
+TEST(RandomCovarianceTest, AnisotropicSpectrumCreatesCorrelations) {
+  Rng rng(5);
+  // With a strongly decaying spectrum the rotated covariance should have
+  // visible off-diagonal mass.
+  linalg::Matrix cov = RandomCovariance(GeometricSpectrum(6, 10.0, 0.3), rng);
+  double off_diag = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (i != j) off_diag += std::abs(cov(i, j));
+    }
+  }
+  EXPECT_GT(off_diag, 1.0);
+}
+
+}  // namespace
+}  // namespace condensa::datagen

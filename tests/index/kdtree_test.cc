@@ -1,0 +1,187 @@
+#include "index/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "mining/knn.h"
+
+namespace condensa::index {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+// Brute-force reference: indices of the k nearest points, sorted by
+// distance with index as tiebreaker.
+std::vector<std::size_t> BruteKNearest(const std::vector<Vector>& points,
+                                       const Vector& query, std::size_t k) {
+  std::vector<std::pair<double, std::size_t>> distances;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    distances.emplace_back(linalg::SquaredDistance(points[i], query), i);
+  }
+  std::sort(distances.begin(), distances.end());
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < std::min(k, points.size()); ++i) {
+    out.push_back(distances[i].second);
+  }
+  return out;
+}
+
+TEST(KdTreeTest, BuildValidatesInput) {
+  EXPECT_FALSE(KdTree::Build({}).ok());
+  std::vector<Vector> ragged = {Vector{1.0}, Vector{1.0, 2.0}};
+  EXPECT_FALSE(KdTree::Build(ragged).ok());
+}
+
+TEST(KdTreeTest, NearestOnTinySet) {
+  std::vector<Vector> points = {Vector{0.0, 0.0}, Vector{5.0, 5.0},
+                                Vector{10.0, 0.0}};
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Nearest(Vector{1.0, 1.0}), 0u);
+  EXPECT_EQ(tree->Nearest(Vector{6.0, 4.0}), 1u);
+  EXPECT_EQ(tree->Nearest(Vector{9.0, 1.0}), 2u);
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  std::vector<Vector> points = {Vector{3.0}};
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->Nearest(Vector{-100.0}), 0u);
+  EXPECT_EQ(tree->KNearest(Vector{0.0}, 5).size(), 1u);
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  std::vector<Vector> points(100, Vector{1.0, 2.0});
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  std::vector<std::size_t> nn = tree->KNearest(Vector{1.0, 2.0}, 5);
+  EXPECT_EQ(nn.size(), 5u);
+}
+
+TEST(KdTreeTest, KNearestDistancesAreNonDecreasing) {
+  Rng rng(1);
+  std::vector<Vector> points = RandomCloud(500, 3, rng);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  Vector query{0.1, -0.2, 0.3};
+  std::vector<std::size_t> nn = tree->KNearest(query, 20);
+  ASSERT_EQ(nn.size(), 20u);
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(linalg::SquaredDistance(points[nn[i - 1]], query),
+              linalg::SquaredDistance(points[nn[i]], query) + 1e-15);
+  }
+}
+
+// Property sweep: k-d tree results match brute force across sizes,
+// dimensions, and k.
+class KdTreePropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(KdTreePropertyTest, MatchesBruteForce) {
+  auto [n, dim, k] = GetParam();
+  Rng rng(10 + n + dim * 31 + k * 97);
+  std::vector<Vector> points = RandomCloud(n, dim, rng);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+
+  for (int q = 0; q < 25; ++q) {
+    Vector query(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      query[j] = rng.Gaussian(0.0, 1.5);
+    }
+    std::vector<std::size_t> expected = BruteKNearest(points, query, k);
+    std::vector<std::size_t> actual = tree->KNearest(query, k);
+    ASSERT_EQ(actual.size(), expected.size());
+    // Compare by distance (indices can differ on exact ties).
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      EXPECT_NEAR(linalg::SquaredDistance(points[actual[i]], query),
+                  linalg::SquaredDistance(points[expected[i]], query),
+                  1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdTreePropertyTest,
+    ::testing::Combine(::testing::Values(1, 17, 100, 1000),
+                       ::testing::Values(1, 2, 5, 8),
+                       ::testing::Values(1, 3, 10)));
+
+TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
+  Rng rng(2);
+  std::vector<Vector> points = RandomCloud(400, 2, rng);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+
+  Vector query{0.0, 0.0};
+  for (double radius : {0.0, 0.3, 1.0, 3.0}) {
+    std::vector<std::size_t> actual = tree->RadiusSearch(query, radius);
+    std::sort(actual.begin(), actual.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (linalg::SquaredDistance(points[i], query) <= radius * radius) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(actual, expected) << "radius " << radius;
+  }
+}
+
+TEST(KnnIndexIntegrationTest, IndexedClassifierMatchesBruteForce) {
+  Rng rng(3);
+  data::Dataset train(3, data::TaskType::kClassification);
+  for (int i = 0; i < 800; ++i) {
+    train.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()},
+              i % 3);
+  }
+  mining::KnnClassifier brute(
+      {.k = 5, .strategy = mining::SearchStrategy::kBruteForce});
+  mining::KnnClassifier indexed(
+      {.k = 5, .strategy = mining::SearchStrategy::kKdTree});
+  ASSERT_TRUE(brute.Fit(train).ok());
+  ASSERT_TRUE(indexed.Fit(train).ok());
+  EXPECT_FALSE(brute.uses_index());
+  EXPECT_TRUE(indexed.uses_index());
+  for (int q = 0; q < 100; ++q) {
+    Vector query{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+    EXPECT_EQ(brute.Predict(query), indexed.Predict(query));
+  }
+}
+
+TEST(KnnIndexIntegrationTest, AutoStrategyEngagesOnLargeLowDimData) {
+  Rng rng(4);
+  data::Dataset small(3, data::TaskType::kClassification);
+  for (int i = 0; i < 50; ++i) {
+    small.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()}, i % 2);
+  }
+  mining::KnnClassifier on_small({.k = 1});
+  ASSERT_TRUE(on_small.Fit(small).ok());
+  EXPECT_FALSE(on_small.uses_index());
+
+  data::Dataset large(3, data::TaskType::kClassification);
+  for (int i = 0; i < 1000; ++i) {
+    large.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()}, i % 2);
+  }
+  mining::KnnClassifier on_large({.k = 1});
+  ASSERT_TRUE(on_large.Fit(large).ok());
+  EXPECT_TRUE(on_large.uses_index());
+}
+
+}  // namespace
+}  // namespace condensa::index

@@ -1,0 +1,334 @@
+// End-to-end pipeline tests: generate a workload, condense, anonymize,
+// mine, and check the paper's qualitative claims hold on small instances.
+
+#include <gtest/gtest.h>
+
+#include "anonymity/mondrian.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/engine.h"
+#include "core/serialization.h"
+#include "core/static_condenser.h"
+#include "data/csv.h"
+#include "data/split.h"
+#include "data/transform.h"
+#include "datagen/profiles.h"
+#include "linalg/stats.h"
+#include "metrics/compatibility.h"
+#include "metrics/privacy.h"
+#include "mining/apriori.h"
+#include "mining/decision_tree.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+#include "mining/naive_bayes.h"
+
+namespace condensa {
+namespace {
+
+using core::CondensationConfig;
+using core::CondensationEngine;
+using core::CondensationMode;
+using data::Dataset;
+
+struct PipelineOutcome {
+  double accuracy = 0.0;
+  double mu = 0.0;
+};
+
+// Runs the full paper pipeline once: split, scale, condense+anonymize the
+// training side, fit 1-NN on the release, evaluate on the clean test side.
+PipelineOutcome RunPipeline(const Dataset& dataset,
+                            const CondensationConfig& config,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+
+  data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  Dataset train = scaler.TransformDataset(split->train);
+  Dataset test = scaler.TransformDataset(split->test);
+
+  CondensationEngine engine(config);
+  auto result = engine.Anonymize(train, rng);
+  CONDENSA_CHECK(result.ok());
+
+  mining::KnnClassifier knn({.k = 1});
+  CONDENSA_CHECK(knn.Fit(result->anonymized).ok());
+  auto accuracy = mining::EvaluateAccuracy(knn, test);
+  CONDENSA_CHECK(accuracy.ok());
+  auto mu = metrics::CovarianceCompatibility(train, result->anonymized);
+  CONDENSA_CHECK(mu.ok());
+  return {*accuracy, *mu};
+}
+
+double BaselineAccuracy(const Dataset& dataset, std::uint64_t seed) {
+  Rng rng(seed);
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  CONDENSA_CHECK(split.ok());
+  data::ZScoreScaler scaler;
+  CONDENSA_CHECK(scaler.Fit(split->train).ok());
+  Dataset train = scaler.TransformDataset(split->train);
+  Dataset test = scaler.TransformDataset(split->test);
+  mining::KnnClassifier knn({.k = 1});
+  CONDENSA_CHECK(knn.Fit(train).ok());
+  auto accuracy = mining::EvaluateAccuracy(knn, test);
+  CONDENSA_CHECK(accuracy.ok());
+  return *accuracy;
+}
+
+TEST(EndToEndTest, StaticCondensationAccuracyComparableToBaseline) {
+  Rng data_rng(1);
+  Dataset dataset = datagen::MakeIonosphere(data_rng);
+  double baseline = BaselineAccuracy(dataset, 77);
+  PipelineOutcome outcome = RunPipeline(
+      dataset, {.group_size = 20, .mode = CondensationMode::kStatic}, 77);
+  // Paper Fig. 5(a): static condensation stays within a few points of the
+  // baseline (often above it).
+  EXPECT_GT(outcome.accuracy, baseline - 0.08);
+}
+
+TEST(EndToEndTest, StaticCondensationPreservesCovariance) {
+  Rng data_rng(2);
+  Dataset dataset = datagen::MakePima(data_rng);
+  PipelineOutcome outcome = RunPipeline(
+      dataset, {.group_size = 25, .mode = CondensationMode::kStatic}, 78);
+  // Paper Fig. 7(b): μ(static) > 0.98 over all group sizes.
+  EXPECT_GT(outcome.mu, 0.95);
+}
+
+TEST(EndToEndTest, DynamicCondensationWorksOnStream) {
+  Rng data_rng(3);
+  Dataset dataset = datagen::MakeEcoli(data_rng);
+  double baseline = BaselineAccuracy(dataset, 79);
+  PipelineOutcome outcome = RunPipeline(
+      dataset,
+      {.group_size = 20, .mode = CondensationMode::kDynamic,
+       .bootstrap_fraction = 0.25},
+      79);
+  EXPECT_GT(outcome.accuracy, baseline - 0.15);
+  EXPECT_GT(outcome.mu, 0.6);
+}
+
+TEST(EndToEndTest, DynamicMuLowerThanStaticAtTinyGroupSizes) {
+  // Paper Section 4: the splitting approximation hurts dynamic μ at very
+  // small group sizes, where static stays near 1. With our
+  // moment-consistent split the per-seed gap is small (see
+  // EXPERIMENTS.md), so the ordering is asserted on a multi-seed average
+  // on Ionosphere, where the effect is most visible.
+  Rng data_rng(4);
+  Dataset dataset = datagen::MakeIonosphere(data_rng);
+  double static_mu = 0.0, dynamic_mu = 0.0;
+  constexpr int kSeeds = 6;
+  for (int s = 0; s < kSeeds; ++s) {
+    static_mu += RunPipeline(dataset,
+                             {.group_size = 2,
+                              .mode = CondensationMode::kStatic},
+                             80 + s)
+                     .mu;
+    dynamic_mu += RunPipeline(dataset,
+                              {.group_size = 2,
+                               .mode = CondensationMode::kDynamic,
+                               .bootstrap_fraction = 0.05},
+                              80 + s)
+                      .mu;
+  }
+  static_mu /= kSeeds;
+  dynamic_mu /= kSeeds;
+  EXPECT_GT(static_mu, 0.97);
+  EXPECT_LT(dynamic_mu, static_mu);
+}
+
+TEST(EndToEndTest, RegressionPipelineOnAbaloneProfile) {
+  Rng data_rng(5);
+  datagen::ProfileOptions small;
+  small.size_factor = 0.25;  // ~1044 records, keeps the test fast
+  Dataset dataset = datagen::MakeAbalone(data_rng, small);
+
+  Rng rng(81);
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  ASSERT_TRUE(split.ok());
+
+  CondensationEngine engine({.group_size = 20});
+  auto result = engine.Anonymize(split->train, rng);
+  ASSERT_TRUE(result.ok());
+
+  mining::KnnRegressor regressor({.k = 1});
+  ASSERT_TRUE(regressor.Fit(result->anonymized).ok());
+  auto condensed_accuracy =
+      mining::EvaluateWithinTolerance(regressor, split->test, 1.0);
+  ASSERT_TRUE(condensed_accuracy.ok());
+
+  mining::KnnRegressor baseline({.k = 1});
+  ASSERT_TRUE(baseline.Fit(split->train).ok());
+  auto baseline_accuracy =
+      mining::EvaluateWithinTolerance(baseline, split->test, 1.0);
+  ASSERT_TRUE(baseline_accuracy.ok());
+
+  // Condensed within-a-year accuracy stays comparable to the original.
+  EXPECT_GT(*condensed_accuracy, *baseline_accuracy - 0.12);
+  EXPECT_GT(*condensed_accuracy, 0.2);
+}
+
+TEST(EndToEndTest, PrivacyUtilityTradeoffMovesInTheRightDirection) {
+  // Bigger k -> more privacy (distance gain up). μ stays high for static.
+  Rng data_rng(6);
+  Dataset dataset = datagen::MakeGaussianBlobs(2, 150, 4, 6.0, data_rng);
+
+  Rng rng(82);
+  core::CondensationEngine small_engine({.group_size = 2});
+  core::CondensationEngine large_engine({.group_size = 30});
+  auto small = small_engine.Anonymize(dataset, rng);
+  auto large = large_engine.Anonymize(dataset, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+
+  auto link_small = metrics::EvaluateLinkage(dataset, small->anonymized);
+  auto link_large = metrics::EvaluateLinkage(dataset, large->anonymized);
+  ASSERT_TRUE(link_small.ok());
+  ASSERT_TRUE(link_large.ok());
+  EXPECT_GT(link_large->distance_gain, link_small->distance_gain);
+
+  auto mu_large =
+      metrics::CovarianceCompatibility(dataset, large->anonymized);
+  ASSERT_TRUE(mu_large.ok());
+  EXPECT_GT(*mu_large, 0.9);
+}
+
+TEST(EndToEndTest, DecisionTreeAndNaiveBayesRunUnchangedOnRelease) {
+  // The paper's "no new algorithms" claim across model families.
+  Rng data_rng(8);
+  Dataset dataset = datagen::MakeGaussianBlobs(3, 100, 4, 10.0, data_rng);
+  Rng rng(84);
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  ASSERT_TRUE(split.ok());
+  CondensationEngine engine({.group_size = 15});
+  auto release = engine.Anonymize(split->train, rng);
+  ASSERT_TRUE(release.ok());
+
+  mining::DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Fit(release->anonymized).ok());
+  auto tree_accuracy = mining::EvaluateAccuracy(tree, split->test);
+  ASSERT_TRUE(tree_accuracy.ok());
+  EXPECT_GT(*tree_accuracy, 0.85);
+
+  mining::GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(release->anonymized).ok());
+  auto nb_accuracy = mining::EvaluateAccuracy(nb, split->test);
+  ASSERT_TRUE(nb_accuracy.ok());
+  EXPECT_GT(*nb_accuracy, 0.85);
+}
+
+TEST(EndToEndTest, AssociationRulesSurviveCondensation) {
+  // A planted implication (high x1 -> high x2, strongly correlated dims)
+  // must be mined from the release with comparable confidence.
+  Rng rng(85);
+  Dataset dataset(2);
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.Uniform(0.0, 1.0);
+    dataset.Add(linalg::Vector{x, x + rng.Gaussian(0.0, 0.03)});
+  }
+  CondensationEngine engine({.group_size = 20});
+  auto release = engine.Anonymize(dataset, rng);
+  ASSERT_TRUE(release.ok());
+
+  linalg::Vector lower{0.0, -0.2};
+  linalg::Vector upper{1.0, 1.2};
+  auto transactions = mining::DiscretizeToTransactions(release->anonymized,
+                                                       2, lower, upper);
+  ASSERT_TRUE(transactions.ok());
+  mining::AprioriOptions options;
+  options.min_support = 0.2;
+  options.min_confidence = 0.8;
+  auto mined = mining::MineAssociationRules(*transactions, options);
+  ASSERT_TRUE(mined.ok());
+  bool found = false;
+  for (const mining::AssociationRule& rule : mined->rules) {
+    if (rule.antecedent == std::vector<mining::Item>{1} &&
+        rule.consequent == std::vector<mining::Item>{3}) {
+      found = true;
+      EXPECT_GT(rule.confidence, 0.85);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EndToEndTest, GroupStatisticsSurviveSerializationAndAnonymize) {
+  // Serialize the server's aggregates, reload in a "new process", and
+  // generate the release from the reloaded statistics.
+  Rng rng(86);
+  std::vector<linalg::Vector> points;
+  for (int i = 0; i < 150; ++i) {
+    double x = rng.Gaussian(0.0, 2.0);
+    points.push_back(linalg::Vector{x, 0.6 * x + rng.Gaussian(0.0, 0.5)});
+  }
+  core::StaticCondenser condenser({.group_size = 15});
+  auto groups = condenser.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+
+  auto reloaded =
+      core::DeserializeGroupSet(core::SerializeGroupSet(*groups));
+  ASSERT_TRUE(reloaded.ok());
+
+  core::Anonymizer anonymizer;
+  auto release = anonymizer.Generate(*reloaded, rng);
+  ASSERT_TRUE(release.ok());
+  ASSERT_EQ(release->size(), points.size());
+
+  // Second-order structure preserved through the full loop.
+  auto mu = metrics::CovarianceCompatibility(
+      linalg::CovarianceMatrix(points),
+      linalg::CovarianceMatrix(*release));
+  ASSERT_TRUE(mu.ok());
+  EXPECT_GT(*mu, 0.9);
+}
+
+TEST(EndToEndTest, CondensationBeatsMondrianOnStructure) {
+  // Head-to-head with the k-anonymity baseline at the same k: both
+  // releases are k-indistinguishable, but condensation retains far more
+  // covariance structure.
+  Rng data_rng(9);
+  Dataset dataset = datagen::MakePima(data_rng);
+  Rng rng(87);
+  const std::size_t k = 30;
+
+  CondensationEngine engine({.group_size = k});
+  auto condensed = engine.Anonymize(dataset, rng);
+  ASSERT_TRUE(condensed.ok());
+  auto mondrian = anonymity::MondrianCentroidRelease(dataset, {.k = k});
+  ASSERT_TRUE(mondrian.ok());
+
+  auto mu_condensed =
+      metrics::CovarianceCompatibility(dataset, condensed->anonymized);
+  auto mu_mondrian = metrics::CovarianceCompatibility(dataset, *mondrian);
+  ASSERT_TRUE(mu_condensed.ok());
+  ASSERT_TRUE(mu_mondrian.ok());
+  EXPECT_GT(*mu_condensed, *mu_mondrian);
+}
+
+TEST(EndToEndTest, AnonymizedCsvRoundTripKeepsUtility) {
+  // The release is a plain dataset: write it to CSV, read it back, train on
+  // it. (The paper's "no new algorithms needed" claim in file form.)
+  Rng data_rng(7);
+  Dataset dataset = datagen::MakeGaussianBlobs(2, 80, 3, 10.0, data_rng);
+  Rng rng(83);
+  CondensationEngine engine({.group_size = 10});
+  auto result = engine.Anonymize(dataset, rng);
+  ASSERT_TRUE(result.ok());
+
+  std::string csv = data::WriteCsvToString(result->anonymized);
+  data::CsvReadOptions options;
+  options.task = data::TaskType::kClassification;
+  auto read_back = data::ReadCsvFromString(csv, options);
+  ASSERT_TRUE(read_back.ok());
+
+  mining::KnnClassifier knn({.k = 1});
+  ASSERT_TRUE(knn.Fit(read_back->dataset).ok());
+  auto accuracy = mining::EvaluateAccuracy(knn, dataset);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace condensa

@@ -1,0 +1,287 @@
+// Cross-module property and robustness tests: randomized invariants,
+// fuzz-style malformed-input sweeps, and brute-force cross-checks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "core/dynamic_condenser.h"
+#include "core/engine.h"
+#include "core/serialization.h"
+#include "data/csv.h"
+#include "datagen/profiles.h"
+#include "index/kdtree.h"
+#include "mining/apriori.h"
+
+namespace condensa {
+namespace {
+
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Serialization robustness: random corruption must fail cleanly, never crash.
+
+TEST(SerializationFuzzTest, RandomSingleEditsNeverCrash) {
+  Rng rng(1);
+  core::CondensedGroupSet groups(3, 4);
+  for (int g = 0; g < 3; ++g) {
+    core::GroupStatistics stats(3);
+    for (int i = 0; i < 4; ++i) {
+      stats.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+    }
+    groups.AddGroup(std::move(stats));
+  }
+  const std::string valid = core::SerializeGroupSet(groups);
+
+  constexpr const char kAlphabet[] = "0123456789abcdefXYZ .-\n";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupted = valid;
+    std::size_t pos = rng.UniformIndex(corrupted.size());
+    switch (rng.UniformIndex(3)) {
+      case 0:  // overwrite
+        corrupted[pos] = kAlphabet[rng.UniformIndex(sizeof(kAlphabet) - 1)];
+        break;
+      case 1:  // delete
+        corrupted.erase(pos, 1);
+        break;
+      case 2:  // truncate
+        corrupted.resize(pos);
+        break;
+    }
+    // Must return (ok or error), never abort. If it parses, the result
+    // must be internally consistent.
+    auto result = core::DeserializeGroupSet(corrupted);
+    if (result.ok()) {
+      for (const core::GroupStatistics& g : result->groups()) {
+        EXPECT_EQ(g.dim(), result->dim());
+        EXPECT_GT(g.count(), 0u);
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, GarbageInputNeverCrashes) {
+  Rng rng(2);
+  constexpr const char kAlphabet[] = "0123456789,.-e\n\r\t \"abc;";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string content;
+    std::size_t length = rng.UniformIndex(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      content += kAlphabet[rng.UniformIndex(sizeof(kAlphabet) - 1)];
+    }
+    for (bool strict : {true, false}) {
+      data::CsvReadOptions options;
+      options.strict = strict;
+      options.task = static_cast<data::TaskType>(trial % 3);
+      auto result = data::ReadCsvFromString(content, options);
+      if (result.ok()) {
+        EXPECT_TRUE(result->dataset.Validate().ok());
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism and conservation properties.
+
+class EngineModePropertyTest
+    : public ::testing::TestWithParam<core::CondensationMode> {};
+
+TEST_P(EngineModePropertyTest, SameSeedSameRelease) {
+  Rng data_rng(3);
+  data::Dataset dataset = datagen::MakeGaussianBlobs(2, 80, 3, 6.0, data_rng);
+  core::CondensationConfig config{.group_size = 9, .mode = GetParam()};
+
+  Rng rng_a(77), rng_b(77);
+  auto a = core::CondensationEngine(config).Anonymize(dataset, rng_a);
+  auto b = core::CondensationEngine(config).Anonymize(dataset, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->anonymized.size(), b->anonymized.size());
+  for (std::size_t i = 0; i < a->anonymized.size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual(a->anonymized.record(i),
+                                    b->anonymized.record(i), 0.0));
+    EXPECT_EQ(a->anonymized.label(i), b->anonymized.label(i));
+  }
+}
+
+TEST_P(EngineModePropertyTest, ReleaseSizeAndLabelsConserved) {
+  Rng data_rng(4);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    data::Dataset dataset =
+        datagen::MakeGaussianBlobs(3, 40 + 7 * seed, 4, 5.0, data_rng);
+    core::CondensationEngine engine(
+        {.group_size = 1 + seed * 3, .mode = GetParam()});
+    auto result = engine.Anonymize(dataset, rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->anonymized.size(), dataset.size());
+    auto in_by = dataset.IndicesByLabel();
+    auto out_by = result->anonymized.IndicesByLabel();
+    for (auto& [label, indices] : in_by) {
+      EXPECT_EQ(out_by[label].size(), indices.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EngineModePropertyTest,
+                         ::testing::Values(core::CondensationMode::kStatic,
+                                           core::CondensationMode::kDynamic));
+
+TEST(DynamicConservationTest, GlobalMomentsSurviveAnyInsertSplitSequence) {
+  // Splits replace one aggregate with two whose merged moments equal the
+  // parent's, so the global Fs / Sc / n over all groups must equal the
+  // plain sums over the stream, up to floating-point error — regardless
+  // of how many splits happened.
+  Rng rng(5);
+  for (std::size_t k : {2u, 5u, 16u}) {
+    core::DynamicCondenser condenser(3, {.group_size = k});
+    core::GroupStatistics direct(3);
+    for (int i = 0; i < 500; ++i) {
+      Vector p{rng.Gaussian(), rng.Gaussian(0.0, 2.0), rng.Uniform(-1, 1)};
+      ASSERT_TRUE(condenser.Insert(p).ok());
+      direct.Add(p);
+    }
+    core::CondensedGroupSet groups = condenser.TakeGroups();
+    core::GroupStatistics merged(3);
+    for (const core::GroupStatistics& g : groups.groups()) {
+      merged.Merge(g);
+    }
+    EXPECT_EQ(merged.count(), direct.count());
+    double scale = std::max(1.0, direct.second_order().MaxAbs());
+    EXPECT_TRUE(linalg::ApproxEqual(merged.first_order(),
+                                    direct.first_order(), 1e-7 * scale));
+    EXPECT_TRUE(linalg::ApproxEqual(merged.second_order(),
+                                    direct.second_order(), 1e-7 * scale));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Apriori vs brute-force enumeration on small random instances.
+
+std::map<std::vector<mining::Item>, double> BruteForceSupports(
+    const std::vector<mining::Transaction>& transactions,
+    std::size_t max_size) {
+  // Collect the item universe.
+  std::set<mining::Item> universe;
+  for (const auto& t : transactions) {
+    universe.insert(t.begin(), t.end());
+  }
+  std::vector<mining::Item> items(universe.begin(), universe.end());
+  std::map<std::vector<mining::Item>, double> supports;
+
+  // Enumerate all subsets up to max_size via bitmask (small universes).
+  const std::size_t n = items.size();
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<mining::Item> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) subset.push_back(items[i]);
+    }
+    if (subset.size() > max_size) continue;
+    std::size_t count = 0;
+    for (const auto& t : transactions) {
+      if (std::includes(t.begin(), t.end(), subset.begin(), subset.end())) {
+        ++count;
+      }
+    }
+    supports[subset] =
+        static_cast<double>(count) / static_cast<double>(transactions.size());
+  }
+  return supports;
+}
+
+TEST(AprioriPropertyTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    // 8-item universe, 20 random transactions.
+    std::vector<mining::Transaction> transactions;
+    for (int t = 0; t < 20; ++t) {
+      mining::Transaction transaction;
+      for (mining::Item item = 0; item < 8; ++item) {
+        if (rng.Bernoulli(0.4)) transaction.push_back(item);
+      }
+      if (transaction.empty()) transaction.push_back(0);
+      transactions.push_back(std::move(transaction));
+    }
+
+    mining::AprioriOptions options;
+    options.min_support = 0.25;
+    options.min_confidence = 0.5;
+    options.max_itemset_size = 3;
+    auto mined = mining::MineAssociationRules(transactions, options);
+    ASSERT_TRUE(mined.ok());
+
+    auto truth = BruteForceSupports(transactions, 3);
+    // Every truth itemset meeting min_support must be found with the
+    // exact support, and vice versa.
+    std::map<std::vector<mining::Item>, double> mined_supports;
+    for (const auto& itemset : mined->itemsets) {
+      mined_supports[itemset.items] = itemset.support;
+    }
+    for (const auto& [items, support] : truth) {
+      if (support + 1e-12 >= options.min_support) {
+        ASSERT_TRUE(mined_supports.count(items) > 0)
+            << "missing itemset of support " << support;
+        EXPECT_NEAR(mined_supports[items], support, 1e-12);
+      }
+    }
+    for (const auto& [items, support] : mined_supports) {
+      EXPECT_GE(support + 1e-12, options.min_support);
+      EXPECT_NEAR(truth.at(items), support, 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-d tree on adversarial layouts.
+
+TEST(KdTreeAdversarialTest, CollinearAndGridPointsMatchBruteForce) {
+  std::vector<std::vector<Vector>> layouts;
+  // Collinear points.
+  std::vector<Vector> line;
+  for (int i = 0; i < 200; ++i) {
+    line.push_back(Vector{static_cast<double>(i), 2.0 * i, -1.0 * i});
+  }
+  layouts.push_back(std::move(line));
+  // Integer grid with many equal coordinates.
+  std::vector<Vector> grid;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 4; ++z) {
+        grid.push_back(Vector{static_cast<double>(x),
+                              static_cast<double>(y),
+                              static_cast<double>(z)});
+      }
+    }
+  }
+  layouts.push_back(std::move(grid));
+
+  Rng rng(7);
+  for (const auto& points : layouts) {
+    auto tree = index::KdTree::Build(points);
+    ASSERT_TRUE(tree.ok());
+    for (int q = 0; q < 50; ++q) {
+      Vector query{rng.Uniform(-10, 210), rng.Uniform(-10, 210),
+                   rng.Uniform(-10, 210)};
+      std::vector<std::size_t> actual = tree->KNearest(query, 4);
+      // Brute-force distances.
+      std::vector<double> all;
+      for (const Vector& p : points) {
+        all.push_back(linalg::SquaredDistance(p, query));
+      }
+      std::sort(all.begin(), all.end());
+      ASSERT_EQ(actual.size(), 4u);
+      for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(linalg::SquaredDistance(points[actual[i]], query),
+                    all[i], 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace condensa

@@ -1,0 +1,104 @@
+#include "linalg/cholesky.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::linalg {
+namespace {
+
+TEST(CholeskyTest, KnownFactorization) {
+  // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]].
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR((*l)(0, 1), 0.0, 1e-12);
+}
+
+TEST(CholeskyTest, IdentityFactorsToIdentity) {
+  auto l = CholeskyFactor(Matrix::Identity(4));
+  ASSERT_TRUE(l.ok());
+  EXPECT_TRUE(ApproxEqual(*l, Matrix::Identity(4), 1e-12));
+}
+
+TEST(CholeskyTest, RejectsEmptyNonSquareAsymmetric) {
+  EXPECT_FALSE(CholeskyFactor(Matrix()).ok());
+  EXPECT_FALSE(CholeskyFactor(Matrix(2, 3)).ok());
+  EXPECT_FALSE(CholeskyFactor(Matrix{{1.0, 2.0}, {0.0, 1.0}}).ok());
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  auto result = CholeskyFactor(a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(IsFailedPrecondition(result.status()));
+}
+
+TEST(CholeskyTest, RejectsSingularMatrix) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};  // rank 1
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyPropertyTest, FactorReproducesMatrix) {
+  const std::size_t d = GetParam();
+  Rng rng(500 + d);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  // SPD: B Bᵀ + I.
+  Matrix a = MatMul(b, b.Transposed()) + Matrix::Identity(d);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix reconstructed = MatMul(*l, l->Transposed());
+  EXPECT_TRUE(ApproxEqual(reconstructed, a, 1e-8 * std::max(1.0, a.MaxAbs())));
+}
+
+TEST_P(CholeskyPropertyTest, SolveSatisfiesSystem) {
+  const std::size_t d = GetParam();
+  Rng rng(900 + d);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed()) + Matrix::Identity(d);
+  Vector rhs(d);
+  for (std::size_t i = 0; i < d; ++i) rhs[i] = rng.Gaussian();
+
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Vector x = CholeskySolve(*l, rhs);
+  Vector ax = MatVec(a, x);
+  EXPECT_TRUE(ApproxEqual(ax, rhs, 1e-7 * std::max(1.0, a.MaxAbs())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, CholeskyPropertyTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(CholeskyTest, LogDetMatchesKnownValue) {
+  Matrix a = Matrix::Diagonal(Vector{4.0, 9.0});
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(CholeskyLogDet(*l), std::log(36.0), 1e-12);
+}
+
+TEST(CholeskyTest, SolveIdentityReturnsRhs) {
+  auto l = CholeskyFactor(Matrix::Identity(3));
+  ASSERT_TRUE(l.ok());
+  Vector rhs{1.0, -2.0, 3.0};
+  EXPECT_TRUE(ApproxEqual(CholeskySolve(*l, rhs), rhs, 1e-12));
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,209 @@
+#include "linalg/eigen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::linalg {
+namespace {
+
+// Checks Vᵀ V = I to the given tolerance.
+void ExpectOrthonormal(const Matrix& v, double tolerance) {
+  Matrix gram = TransposeMatMul(v, v);
+  EXPECT_TRUE(ApproxEqual(gram, Matrix::Identity(v.cols()), tolerance))
+      << gram.ToString();
+}
+
+TEST(EigenTest, DiagonalMatrixEigenvaluesSortedDescending) {
+  Matrix a = Matrix::Diagonal(Vector{1.0, 5.0, 3.0});
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-10);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  Vector e1 = result->Eigenvector(0);
+  EXPECT_NEAR(std::abs(e1[0]), 1.0 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(e1[0], e1[1], 1e-10);
+}
+
+TEST(EigenTest, IdentityHasUnitEigenvalues) {
+  auto result = JacobiEigenDecomposition(Matrix::Identity(4));
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(result->eigenvalues[i], 1.0, 1e-12);
+  }
+}
+
+TEST(EigenTest, ZeroMatrixHasZeroEigenvalues) {
+  auto result = JacobiEigenDecomposition(Matrix(3, 3));
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(result->eigenvalues[i], 0.0, 1e-12);
+  }
+  ExpectOrthonormal(result->eigenvectors, 1e-12);
+}
+
+TEST(EigenTest, RejectsEmptyMatrix) {
+  EXPECT_FALSE(JacobiEigenDecomposition(Matrix()).ok());
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenDecomposition(Matrix(2, 3)).ok());
+}
+
+TEST(EigenTest, RejectsAsymmetric) {
+  Matrix a{{1.0, 2.0}, {0.5, 1.0}};
+  auto result = JacobiEigenDecomposition(a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(IsInvalidArgument(result.status()));
+}
+
+TEST(EigenTest, OneByOneMatrix) {
+  Matrix a{{7.0}};
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 7.0, 1e-12);
+  EXPECT_NEAR(std::abs(result->eigenvectors(0, 0)), 1.0, 1e-12);
+}
+
+TEST(EigenTest, HandlesNegativeEigenvalues) {
+  // [[0,1],[1,0]] has eigenvalues +1 and -1.
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(result->eigenvalues[1], -1.0, 1e-10);
+}
+
+TEST(EigenTest, CovarianceVariantClampsNegatives) {
+  Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  auto result = CovarianceEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[1], 0.0, 1e-12);
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+  Rng rng(99);
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      double v = rng.Gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues.Sum(), a.Trace(), 1e-9);
+}
+
+// Property suite over random symmetric PSD matrices of varying dimension.
+class EigenPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructionRecoversInput) {
+  const std::size_t d = GetParam();
+  Rng rng(1000 + d);
+  // Build PSD matrix A = B Bᵀ from random B.
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed());
+
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  double scale = std::max(1.0, a.MaxAbs());
+  EXPECT_TRUE(ApproxEqual(result->Reconstruct(), a, 1e-8 * scale))
+      << "dim=" << d;
+}
+
+TEST_P(EigenPropertyTest, EigenvectorsAreOrthonormal) {
+  const std::size_t d = GetParam();
+  Rng rng(2000 + d);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed());
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  ExpectOrthonormal(result->eigenvectors, 1e-9);
+}
+
+TEST_P(EigenPropertyTest, EigenpairsSatisfyDefinition) {
+  const std::size_t d = GetParam();
+  Rng rng(3000 + d);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed());
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  double scale = std::max(1.0, a.MaxAbs());
+  for (std::size_t i = 0; i < d; ++i) {
+    Vector v = result->Eigenvector(i);
+    Vector av = MatVec(a, v);
+    Vector lv = v * result->eigenvalues[i];
+    EXPECT_TRUE(ApproxEqual(av, lv, 1e-7 * scale)) << "pair " << i;
+  }
+}
+
+TEST_P(EigenPropertyTest, PsdEigenvaluesNonNegativeAndSorted) {
+  const std::size_t d = GetParam();
+  Rng rng(4000 + d);
+  Matrix b(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      b(i, j) = rng.Gaussian();
+    }
+  }
+  Matrix a = MatMul(b, b.Transposed());
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 0; i < d; ++i) {
+    EXPECT_GE(result->eigenvalues[i], -1e-8);
+    if (i > 0) {
+      EXPECT_LE(result->eigenvalues[i], result->eigenvalues[i - 1] + 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, EigenPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(EigenTest, RankDeficientMatrix) {
+  // Rank-1: outer product of (1,2,3) with itself.
+  Vector v{1.0, 2.0, 3.0};
+  Matrix a = OuterProduct(v, v);
+  auto result = JacobiEigenDecomposition(a);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], v.SquaredNorm(), 1e-9);
+  EXPECT_NEAR(result->eigenvalues[1], 0.0, 1e-9);
+  EXPECT_NEAR(result->eigenvalues[2], 0.0, 1e-9);
+  // Leading eigenvector parallel to v.
+  Vector e1 = result->Eigenvector(0);
+  double cosine = std::abs(Dot(e1, v) / v.Norm());
+  EXPECT_NEAR(cosine, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,165 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace condensa::linalg {
+namespace {
+
+TEST(MatrixTest, ZeroConstruction) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(MatrixTest, BraceConstruction) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  Matrix diag = Matrix::Diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(diag(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(diag(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(diag(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowAndColAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  Vector row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+  Vector col = m.Col(0);
+  EXPECT_DOUBLE_EQ(col[0], 1.0);
+  EXPECT_DOUBLE_EQ(col[1], 3.0);
+}
+
+TEST(MatrixTest, SetRowAndSetCol) {
+  Matrix m(2, 2);
+  m.SetRow(0, Vector{1.0, 2.0});
+  m.SetCol(1, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, ArithmeticOperators) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 5.0);
+  Matrix diff = a - b;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 0.0);
+  Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  Matrix scaled2 = 0.5 * a;
+  EXPECT_DOUBLE_EQ(scaled2(0, 1), 1.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(MatrixTest, MatMulMatchesHandComputation) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MatMulNonSquare) {
+  Matrix a{{1.0, 2.0, 3.0}};       // 1x3
+  Matrix b{{1.0}, {2.0}, {3.0}};   // 3x1
+  Matrix c = MatMul(a, b);         // 1x1 = 14
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 14.0);
+}
+
+TEST(MatrixTest, MatMulWithIdentityIsNoOp) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(ApproxEqual(MatMul(a, Matrix::Identity(2)), a, 1e-15));
+  EXPECT_TRUE(ApproxEqual(MatMul(Matrix::Identity(2), a), a, 1e-15));
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector v{1.0, 1.0};
+  Vector out = MatVec(a, v);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 7.0);
+}
+
+TEST(MatrixTest, TransposeMatMulEqualsExplicitTranspose) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};  // 3x2
+  Matrix b{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};  // 3x2
+  Matrix expected = MatMul(a.Transposed(), b);
+  EXPECT_TRUE(ApproxEqual(TransposeMatMul(a, b), expected, 1e-12));
+}
+
+TEST(MatrixTest, OuterProduct) {
+  Matrix outer = OuterProduct(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(outer.rows(), 2u);
+  EXPECT_EQ(outer.cols(), 3u);
+  EXPECT_DOUBLE_EQ(outer(1, 2), 10.0);
+  EXPECT_DOUBLE_EQ(outer(0, 0), 3.0);
+}
+
+TEST(MatrixTest, TraceSumsDiagonal) {
+  Matrix m{{1.0, 9.0}, {9.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.Trace(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m{{1.0, -7.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 7.0);
+  EXPECT_DOUBLE_EQ(Matrix().MaxAbs(), 0.0);
+}
+
+TEST(MatrixTest, IsSymmetric) {
+  Matrix sym{{1.0, 2.0}, {2.0, 3.0}};
+  EXPECT_TRUE(sym.IsSymmetric(1e-12));
+  Matrix asym{{1.0, 2.0}, {2.1, 3.0}};
+  EXPECT_FALSE(asym.IsSymmetric(1e-3));
+  EXPECT_TRUE(asym.IsSymmetric(0.2));
+  Matrix rect(2, 3);
+  EXPECT_FALSE(rect.IsSymmetric(1.0));
+}
+
+TEST(MatrixTest, FrobeniusDistance) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  Matrix b{{0.0, 0.0}, {0.0, 0.0}};
+  EXPECT_NEAR(FrobeniusDistance(a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(FrobeniusDistance(a, a), 0.0);
+}
+
+TEST(MatrixTest, ApproxEqualShapeMismatch) {
+  EXPECT_FALSE(ApproxEqual(Matrix(2, 2), Matrix(2, 3), 1.0));
+}
+
+TEST(MatrixDeathTest, IncompatibleShapesAbort) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_DEATH((void)MatMul(a, b), "CHECK");
+  EXPECT_DEATH(a += b, "CHECK");
+  EXPECT_DEATH((void)Matrix(2, 3).Trace(), "CHECK");
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,132 @@
+#include "linalg/pca.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::linalg {
+namespace {
+
+std::vector<Vector> AnisotropicCloud(Rng& rng, std::size_t n) {
+  // Strong spread along (1, 1)/sqrt(2), weak along (1, -1)/sqrt(2).
+  std::vector<Vector> points;
+  for (std::size_t i = 0; i < n; ++i) {
+    double major = rng.Gaussian(0.0, 3.0);
+    double minor = rng.Gaussian(0.0, 0.3);
+    points.push_back(Vector{(major + minor) / std::sqrt(2.0),
+                            (major - minor) / std::sqrt(2.0)});
+  }
+  return points;
+}
+
+TEST(PcaTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputePca({}).ok());
+  EXPECT_FALSE(ComputePca({Vector{1.0}, Vector{1.0, 2.0}}).ok());
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  Rng rng(1);
+  auto pca = ComputePca(AnisotropicCloud(rng, 5000));
+  ASSERT_TRUE(pca.ok());
+  // First component aligns with (1,1)/sqrt(2) up to sign.
+  Vector first = pca->components.Col(0);
+  double alignment =
+      std::abs(first[0] + first[1]) / std::sqrt(2.0);
+  EXPECT_NEAR(alignment, 1.0, 0.01);
+  EXPECT_GT(pca->explained_variance[0], pca->explained_variance[1]);
+  EXPECT_NEAR(pca->explained_variance[0], 9.0, 0.5);
+  EXPECT_NEAR(pca->explained_variance[1], 0.09, 0.02);
+}
+
+TEST(PcaTest, ExplainedVarianceRatio) {
+  Rng rng(2);
+  auto pca = ComputePca(AnisotropicCloud(rng, 3000));
+  ASSERT_TRUE(pca.ok());
+  EXPECT_NEAR(pca->ExplainedVarianceRatio(2), 1.0, 1e-12);
+  EXPECT_GT(pca->ExplainedVarianceRatio(1), 0.95);
+  EXPECT_DOUBLE_EQ(pca->ExplainedVarianceRatio(0), 0.0);
+}
+
+TEST(PcaTest, ProjectReconstructRoundTripFullRank) {
+  Rng rng(3);
+  std::vector<Vector> points = AnisotropicCloud(rng, 100);
+  auto pca = ComputePca(points);
+  ASSERT_TRUE(pca.ok());
+  for (const Vector& p : points) {
+    Vector reconstructed = pca->Reconstruct(pca->Project(p, 2), 2);
+    EXPECT_TRUE(ApproxEqual(reconstructed, p, 1e-9));
+  }
+}
+
+TEST(PcaTest, RankOneReconstructionErrorEqualsMinorVariance) {
+  Rng rng(4);
+  std::vector<Vector> points = AnisotropicCloud(rng, 5000);
+  auto pca = ComputePca(points);
+  ASSERT_TRUE(pca.ok());
+  // Dropping the second component loses exactly its variance on average.
+  double error = ReconstructionError(*pca, points, 1);
+  EXPECT_NEAR(error, pca->explained_variance[1], 0.01);
+}
+
+TEST(PcaTest, SubspaceAffinityValidation) {
+  Rng rng(5);
+  auto a = ComputePca(AnisotropicCloud(rng, 200));
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(PrincipalSubspaceAffinity(*a, *a, 0).ok());
+  EXPECT_FALSE(PrincipalSubspaceAffinity(*a, *a, 3).ok());
+}
+
+TEST(PcaTest, SubspaceAffinityIdenticalIsOne) {
+  Rng rng(6);
+  auto a = ComputePca(AnisotropicCloud(rng, 500));
+  ASSERT_TRUE(a.ok());
+  auto affinity = PrincipalSubspaceAffinity(*a, *a, 1);
+  ASSERT_TRUE(affinity.ok());
+  EXPECT_NEAR(*affinity, 1.0, 1e-9);
+}
+
+TEST(PcaTest, SubspaceAffinityOrthogonalIsZero) {
+  // Hand-build two PCA results with orthogonal leading components.
+  PcaResult a;
+  a.mean = Vector{0.0, 0.0};
+  a.components = Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  a.explained_variance = Vector{2.0, 1.0};
+  PcaResult b = a;
+  b.components = Matrix{{0.0, 1.0}, {1.0, 0.0}};  // swapped
+  auto affinity = PrincipalSubspaceAffinity(a, b, 1);
+  ASSERT_TRUE(affinity.ok());
+  EXPECT_NEAR(*affinity, 0.0, 1e-12);
+  // Full 2-d subspaces coincide again.
+  auto full = PrincipalSubspaceAffinity(a, b, 2);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(*full, 1.0, 1e-12);
+}
+
+TEST(PcaTest, AffinityInvariantToComponentSign) {
+  Rng rng(7);
+  auto a = ComputePca(AnisotropicCloud(rng, 400));
+  ASSERT_TRUE(a.ok());
+  PcaResult flipped = *a;
+  for (std::size_t r = 0; r < flipped.components.rows(); ++r) {
+    flipped.components(r, 0) = -flipped.components(r, 0);
+  }
+  auto affinity = PrincipalSubspaceAffinity(*a, flipped, 1);
+  ASSERT_TRUE(affinity.ok());
+  EXPECT_NEAR(*affinity, 1.0, 1e-12);
+}
+
+TEST(PcaTest, TwoIndependentDrawsAgreeOnSubspace) {
+  Rng rng_a(8), rng_b(9);
+  auto a = ComputePca(AnisotropicCloud(rng_a, 4000));
+  auto b = ComputePca(AnisotropicCloud(rng_b, 4000));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto affinity = PrincipalSubspaceAffinity(*a, *b, 1);
+  ASSERT_TRUE(affinity.ok());
+  EXPECT_GT(*affinity, 0.99);
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,97 @@
+#include "linalg/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::linalg {
+namespace {
+
+TEST(MeanVectorTest, MatchesHandComputation) {
+  std::vector<Vector> points = {Vector{1.0, 2.0}, Vector{3.0, 6.0}};
+  Vector mean = MeanVector(points);
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+}
+
+TEST(MeanVectorTest, SinglePointIsItsOwnMean) {
+  std::vector<Vector> points = {Vector{5.0, -1.0}};
+  EXPECT_TRUE(ApproxEqual(MeanVector(points), points[0], 1e-15));
+}
+
+TEST(CovarianceMatrixTest, SinglePointHasZeroCovariance) {
+  std::vector<Vector> points = {Vector{5.0, -1.0}};
+  Matrix cov = CovarianceMatrix(points);
+  EXPECT_TRUE(ApproxEqual(cov, Matrix(2, 2), 1e-15));
+}
+
+TEST(CovarianceMatrixTest, MatchesHandComputation) {
+  // Points (0,0), (2,2): mean (1,1); population covariance [[1,1],[1,1]].
+  std::vector<Vector> points = {Vector{0.0, 0.0}, Vector{2.0, 2.0}};
+  Matrix cov = CovarianceMatrix(points);
+  EXPECT_TRUE(ApproxEqual(cov, Matrix{{1.0, 1.0}, {1.0, 1.0}}, 1e-12));
+}
+
+TEST(CovarianceMatrixTest, DividesByNNotNMinusOne) {
+  // Population (not sample) covariance, as in the paper's Observation 2.
+  std::vector<Vector> points = {Vector{0.0}, Vector{1.0}, Vector{2.0}};
+  Matrix cov = CovarianceMatrix(points);
+  EXPECT_NEAR(cov(0, 0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CovarianceMatrixTest, UncorrelatedDimensionsNearZeroOffDiagonal) {
+  Rng rng(7);
+  std::vector<Vector> points;
+  for (int i = 0; i < 20000; ++i) {
+    points.push_back(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  Matrix cov = CovarianceMatrix(points);
+  EXPECT_NEAR(cov(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(cov(1, 1), 1.0, 0.05);
+  EXPECT_NEAR(cov(0, 1), 0.0, 0.05);
+}
+
+TEST(PearsonCorrelationTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1.0, 2.0, 3.0}, {2.0, 4.0, 6.0}), 1.0,
+              1e-12);
+}
+
+TEST(PearsonCorrelationTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1.0, 2.0, 3.0}, {6.0, 4.0, 2.0}), -1.0,
+              1e-12);
+}
+
+TEST(PearsonCorrelationTest, ZeroVarianceReturnsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1.0, 2.0, 3.0}, {5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(PearsonCorrelationTest, InvariantToAffineTransform) {
+  std::vector<double> xs = {1.0, 4.0, 2.0, 8.0, 5.0};
+  std::vector<double> ys = {2.0, 3.0, 1.0, 9.0, 4.0};
+  double base = PearsonCorrelation(xs, ys);
+  std::vector<double> xs_scaled;
+  for (double x : xs) xs_scaled.push_back(3.0 * x - 7.0);
+  EXPECT_NEAR(PearsonCorrelation(xs_scaled, ys), base, 1e-12);
+}
+
+TEST(ScalarStatsTest, MatchesHandComputation) {
+  ScalarStats stats = ComputeScalarStats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(ScalarStatsTest, SingleValue) {
+  ScalarStats stats = ComputeScalarStats({7.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,134 @@
+#include "linalg/vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace condensa::linalg {
+namespace {
+
+TEST(VectorTest, ConstructionVariants) {
+  Vector zero(3);
+  EXPECT_EQ(zero.dim(), 3u);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+
+  Vector filled(2, 1.5);
+  EXPECT_DOUBLE_EQ(filled[0], 1.5);
+  EXPECT_DOUBLE_EQ(filled[1], 1.5);
+
+  Vector listed{1.0, 2.0, 3.0};
+  EXPECT_EQ(listed.dim(), 3u);
+  EXPECT_DOUBLE_EQ(listed[2], 3.0);
+
+  Vector from_std(std::vector<double>{4.0, 5.0});
+  EXPECT_DOUBLE_EQ(from_std[1], 5.0);
+
+  Vector empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(VectorTest, ElementMutation) {
+  Vector v(2);
+  v[0] = 9.0;
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+}
+
+TEST(VectorTest, AdditionAndSubtraction) {
+  Vector a{1.0, 2.0};
+  Vector b{3.0, -1.0};
+  Vector sum = a + b;
+  EXPECT_DOUBLE_EQ(sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(sum[1], 1.0);
+  Vector diff = a - b;
+  EXPECT_DOUBLE_EQ(diff[0], -2.0);
+  EXPECT_DOUBLE_EQ(diff[1], 3.0);
+}
+
+TEST(VectorTest, ScalarMultiplyAndDivide) {
+  Vector v{2.0, -4.0};
+  Vector scaled = v * 0.5;
+  EXPECT_DOUBLE_EQ(scaled[0], 1.0);
+  EXPECT_DOUBLE_EQ(scaled[1], -2.0);
+  Vector scaled2 = 2.0 * v;
+  EXPECT_DOUBLE_EQ(scaled2[0], 4.0);
+  Vector divided = v / 2.0;
+  EXPECT_DOUBLE_EQ(divided[1], -2.0);
+}
+
+TEST(VectorTest, CompoundOperators) {
+  Vector v{1.0, 1.0};
+  v += Vector{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(v[1], 3.0);
+  v -= Vector{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v *= 2.0;
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  v /= 3.0;
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+}
+
+TEST(VectorTest, NormAndSquaredNorm) {
+  Vector v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+}
+
+TEST(VectorTest, SumAddsEntries) {
+  Vector v{1.0, -2.0, 4.5};
+  EXPECT_DOUBLE_EQ(v.Sum(), 3.5);
+}
+
+TEST(VectorTest, NormalizedHasUnitNorm) {
+  Vector v{3.0, 4.0};
+  Vector unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit[0], 0.6, 1e-12);
+}
+
+TEST(VectorTest, DotProduct) {
+  EXPECT_DOUBLE_EQ(Dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, -5.0, 6.0}), 12.0);
+  EXPECT_DOUBLE_EQ(Dot(Vector{1.0, 0.0}, Vector{0.0, 1.0}), 0.0);
+}
+
+TEST(VectorTest, DistanceFunctions) {
+  Vector a{0.0, 0.0};
+  Vector b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(VectorTest, ApproxEqualRespectsTolerance) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0005, 2.0};
+  EXPECT_TRUE(ApproxEqual(a, b, 1e-3));
+  EXPECT_FALSE(ApproxEqual(a, b, 1e-4));
+  EXPECT_FALSE(ApproxEqual(a, Vector{1.0}, 1.0));  // dim mismatch
+}
+
+TEST(VectorTest, IterationVisitsAllEntries) {
+  Vector v{1.0, 2.0, 3.0};
+  double total = 0.0;
+  for (double x : v) total += x;
+  EXPECT_DOUBLE_EQ(total, 6.0);
+}
+
+TEST(VectorTest, ToStringRendersEntries) {
+  Vector v{1.0, 2.5};
+  EXPECT_EQ(v.ToString(), "[1, 2.5]");
+}
+
+TEST(VectorDeathTest, MismatchedDimensionAborts) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0};
+  EXPECT_DEATH(a += b, "CHECK");
+  EXPECT_DEATH((void)Dot(a, b), "CHECK");
+}
+
+TEST(VectorDeathTest, DivideByZeroAborts) {
+  Vector v{1.0};
+  EXPECT_DEATH(v /= 0.0, "CHECK");
+}
+
+}  // namespace
+}  // namespace condensa::linalg

@@ -1,0 +1,90 @@
+#include "metrics/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa::metrics {
+namespace {
+
+TEST(AdjustedRandIndexTest, RejectsBadInput) {
+  EXPECT_FALSE(AdjustedRandIndex({}, {}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({0, 1}, {0}).ok());
+}
+
+TEST(AdjustedRandIndexTest, IdenticalPartitionsScoreOne) {
+  std::vector<std::size_t> a = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(a, a);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, RelabelingInvariant) {
+  std::vector<std::size_t> a = {0, 0, 1, 1, 2, 2};
+  std::vector<std::size_t> b = {5, 5, 9, 9, 7, 7};  // same partition
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, DisagreementScoresBelowOne) {
+  std::vector<std::size_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<std::size_t> b = {0, 0, 1, 1, 0, 1};
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_LT(*ari, 0.5);
+}
+
+TEST(AdjustedRandIndexTest, KnownHandComputedValue) {
+  // Classic example: ARI of these two partitions of 6 elements.
+  std::vector<std::size_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<std::size_t> b = {0, 0, 1, 1, 2, 2};
+  // Contingency: rows {3,3}; cols {2,2,2}; cells: (0,0)=2,(0,1)=1,
+  // (1,1)=1,(1,2)=2. sum_joint = C(2,2)+0+0+C(2,2) = 1+1 = 2;
+  // sum_rows = 2*C(3,2) = 6; sum_cols = 3*C(2,2) = 3; total = C(6,2) = 15.
+  // expected = 6*3/15 = 1.2; max = 4.5; ari = (2-1.2)/(4.5-1.2) = 0.2424...
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.8 / 3.3, 1e-12);
+}
+
+TEST(AdjustedRandIndexTest, DegenerateSingleClusterBoth) {
+  std::vector<std::size_t> a = {0, 0, 0};
+  auto ari = AdjustedRandIndex(a, a);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, AllSingletonsVsOneCluster) {
+  std::vector<std::size_t> singletons = {0, 1, 2, 3};
+  std::vector<std::size_t> lumped = {0, 0, 0, 0};
+  auto ari = AdjustedRandIndex(singletons, lumped);
+  ASSERT_TRUE(ari.ok());
+  // No pair agreement structure beyond chance.
+  EXPECT_NEAR(*ari, 0.0, 1e-12);
+}
+
+TEST(ClusterPurityTest, RejectsBadInput) {
+  EXPECT_FALSE(ClusterPurity({}, {}).ok());
+  EXPECT_FALSE(ClusterPurity({0}, {1, 2}).ok());
+}
+
+TEST(ClusterPurityTest, PureClustersScoreOne) {
+  auto purity = ClusterPurity({0, 0, 1, 1}, {7, 7, 9, 9});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 1.0);
+}
+
+TEST(ClusterPurityTest, MixedClusterScoresDominantFraction) {
+  // Cluster 0 holds labels {1, 1, 2}; cluster 1 holds {3}.
+  auto purity = ClusterPurity({0, 0, 0, 1}, {1, 1, 2, 3});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 0.75);
+}
+
+TEST(ClusterPurityTest, SingleClusterEqualsMajorityFraction) {
+  auto purity = ClusterPurity({0, 0, 0, 0}, {1, 1, 1, 2});
+  ASSERT_TRUE(purity.ok());
+  EXPECT_DOUBLE_EQ(*purity, 0.75);
+}
+
+}  // namespace
+}  // namespace condensa::metrics

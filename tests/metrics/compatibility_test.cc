@@ -1,0 +1,122 @@
+#include "metrics/compatibility.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace condensa::metrics {
+namespace {
+
+using data::Dataset;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(CovarianceCompatibilityTest, IdenticalMatricesGiveOne) {
+  Matrix c{{2.0, 0.5}, {0.5, 1.0}};
+  auto mu = CovarianceCompatibility(c, c);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_NEAR(*mu, 1.0, 1e-12);
+}
+
+TEST(CovarianceCompatibilityTest, NegatedStructureGivesMinusOne) {
+  // Entries of the second matrix are an affine flip of the first's:
+  // p_ij = -o_ij, a perfect negative correlation.
+  Matrix o{{2.0, 0.5}, {0.5, 1.0}};
+  Matrix p = o * -1.0;
+  auto mu = CovarianceCompatibility(o, p);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_NEAR(*mu, -1.0, 1e-12);
+}
+
+TEST(CovarianceCompatibilityTest, ScaleInvariant) {
+  Matrix o{{2.0, 0.5}, {0.5, 1.0}};
+  Matrix p = o * 3.0;
+  auto mu = CovarianceCompatibility(o, p);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_NEAR(*mu, 1.0, 1e-12);
+}
+
+TEST(CovarianceCompatibilityTest, RejectsBadShapes) {
+  EXPECT_FALSE(CovarianceCompatibility(Matrix(), Matrix()).ok());
+  EXPECT_FALSE(CovarianceCompatibility(Matrix(2, 2), Matrix(3, 3)).ok());
+  EXPECT_FALSE(CovarianceCompatibility(Matrix(2, 3), Matrix(2, 3)).ok());
+  EXPECT_FALSE(CovarianceCompatibility(Matrix{{1.0}}, Matrix{{1.0}}).ok());
+}
+
+TEST(CovarianceCompatibilityTest, DatasetOverloadMatchesMatrixOverload) {
+  Rng rng(1);
+  Dataset a(2), b(2);
+  for (int i = 0; i < 200; ++i) {
+    double x = rng.Gaussian();
+    a.Add(Vector{x, 0.5 * x + rng.Gaussian(0.0, 0.1)});
+    double y = rng.Gaussian();
+    b.Add(Vector{y, 0.5 * y + rng.Gaussian(0.0, 0.1)});
+  }
+  auto from_datasets = CovarianceCompatibility(a, b);
+  auto from_matrices = CovarianceCompatibility(a.Covariance(), b.Covariance());
+  ASSERT_TRUE(from_datasets.ok());
+  ASSERT_TRUE(from_matrices.ok());
+  EXPECT_NEAR(*from_datasets, *from_matrices, 1e-12);
+}
+
+TEST(CovarianceCompatibilityTest, SimilarDataScoresHighUnrelatedLow) {
+  Rng rng(2);
+  Dataset original(3), similar(3), unrelated(3);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.Gaussian();
+    original.Add(Vector{x, x + rng.Gaussian(0.0, 0.2), rng.Gaussian()});
+    double y = rng.Gaussian();
+    similar.Add(Vector{y, y + rng.Gaussian(0.0, 0.2), rng.Gaussian()});
+    // Unrelated: anti-correlated first pair, large third variance.
+    double z = rng.Gaussian();
+    unrelated.Add(Vector{z, -z + rng.Gaussian(0.0, 0.2),
+                         rng.Gaussian(0.0, 5.0)});
+  }
+  auto mu_similar = CovarianceCompatibility(original, similar);
+  auto mu_unrelated = CovarianceCompatibility(original, unrelated);
+  ASSERT_TRUE(mu_similar.ok());
+  ASSERT_TRUE(mu_unrelated.ok());
+  EXPECT_GT(*mu_similar, 0.95);
+  EXPECT_LT(*mu_unrelated, 0.5);
+}
+
+TEST(CovarianceRelativeErrorTest, ZeroForIdentical) {
+  Matrix c{{1.0, 0.2}, {0.2, 3.0}};
+  auto err = CovarianceRelativeError(c, c);
+  ASSERT_TRUE(err.ok());
+  EXPECT_NEAR(*err, 0.0, 1e-12);
+}
+
+TEST(CovarianceRelativeErrorTest, OneWhenComparedToZero) {
+  Matrix c{{1.0, 0.0}, {0.0, 1.0}};
+  auto err = CovarianceRelativeError(c, Matrix(2, 2));
+  ASSERT_TRUE(err.ok());
+  EXPECT_NEAR(*err, 1.0, 1e-12);
+}
+
+TEST(CovarianceRelativeErrorTest, FailsOnZeroOriginal) {
+  EXPECT_FALSE(CovarianceRelativeError(Matrix(2, 2), Matrix(2, 2)).ok());
+}
+
+TEST(MeanDriftTest, ExactValue) {
+  Dataset a(2), b(2);
+  a.Add(Vector{0.0, 0.0});
+  a.Add(Vector{2.0, 2.0});
+  b.Add(Vector{1.0, 4.0});
+  b.Add(Vector{1.0, 4.0});
+  auto drift = MeanDrift(a, b);
+  ASSERT_TRUE(drift.ok());
+  // Means: (1,1) vs (1,4) -> max |diff| = 3.
+  EXPECT_DOUBLE_EQ(*drift, 3.0);
+}
+
+TEST(MeanDriftTest, RejectsEmptyOrMismatched) {
+  Dataset a(2), b(3);
+  a.Add(Vector{0.0, 0.0});
+  b.Add(Vector{0.0, 0.0, 0.0});
+  EXPECT_FALSE(MeanDrift(Dataset(2), a).ok());
+  EXPECT_FALSE(MeanDrift(a, b).ok());
+}
+
+}  // namespace
+}  // namespace condensa::metrics

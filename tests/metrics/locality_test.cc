@@ -1,0 +1,117 @@
+#include "metrics/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+
+namespace condensa::metrics {
+namespace {
+
+using data::Dataset;
+using linalg::Vector;
+
+TEST(KthNeighborDistancesTest, RejectsBadInput) {
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  ds.Add(Vector{1.0});
+  EXPECT_FALSE(KthNeighborDistances(Dataset(1), 1).ok());
+  EXPECT_FALSE(KthNeighborDistances(ds, 0).ok());
+  EXPECT_FALSE(KthNeighborDistances(ds, 2).ok());
+}
+
+TEST(KthNeighborDistancesTest, HandComputedValues) {
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  ds.Add(Vector{1.0});
+  ds.Add(Vector{3.0});
+  auto distances = KthNeighborDistances(ds, 1);
+  ASSERT_TRUE(distances.ok());
+  EXPECT_DOUBLE_EQ((*distances)[0], 1.0);  // 0 -> 1
+  EXPECT_DOUBLE_EQ((*distances)[1], 1.0);  // 1 -> 0
+  EXPECT_DOUBLE_EQ((*distances)[2], 2.0);  // 3 -> 1
+}
+
+TEST(KthNeighborDistancesTest, SparseRecordsScoreHigher) {
+  Rng rng(1);
+  Dataset ds(2);
+  for (int i = 0; i < 100; ++i) {
+    ds.Add(Vector{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  ds.Add(Vector{20.0, 20.0});  // far outlier
+  auto distances = KthNeighborDistances(ds, 5);
+  ASSERT_TRUE(distances.ok());
+  double outlier_score = distances->back();
+  for (std::size_t i = 0; i + 1 < distances->size(); ++i) {
+    EXPECT_LT((*distances)[i], outlier_score);
+  }
+}
+
+TEST(NearestReleaseDistancesTest, ZeroForIdenticalRelease) {
+  Rng rng(2);
+  Dataset ds(2);
+  for (int i = 0; i < 20; ++i) {
+    ds.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  auto distances = NearestReleaseDistances(ds, ds);
+  ASSERT_TRUE(distances.ok());
+  for (double d : *distances) {
+    EXPECT_DOUBLE_EQ(d, 0.0);
+  }
+}
+
+TEST(NearestReleaseDistancesTest, ValidatesShapes) {
+  Dataset a(1), b(2);
+  a.Add(Vector{0.0});
+  b.Add(Vector{0.0, 0.0});
+  EXPECT_FALSE(NearestReleaseDistances(a, b).ok());
+  EXPECT_FALSE(NearestReleaseDistances(Dataset(1), a).ok());
+}
+
+TEST(MeanByQuantileBucketTest, ValidatesInput) {
+  EXPECT_FALSE(MeanByQuantileBucket({}, {}, 1).ok());
+  EXPECT_FALSE(MeanByQuantileBucket({1.0}, {1.0, 2.0}, 1).ok());
+  EXPECT_FALSE(MeanByQuantileBucket({1.0}, {1.0}, 0).ok());
+  EXPECT_FALSE(MeanByQuantileBucket({1.0}, {1.0}, 2).ok());
+}
+
+TEST(MeanByQuantileBucketTest, BucketsByKeyOrder) {
+  std::vector<double> keys = {10.0, 1.0, 5.0, 7.0};   // order: 1,5,7,10
+  std::vector<double> values = {100.0, 1.0, 2.0, 3.0};
+  auto means = MeanByQuantileBucket(keys, values, 2);
+  ASSERT_TRUE(means.ok());
+  // Low-key bucket holds values for keys {1, 5} -> (1 + 2) / 2.
+  EXPECT_DOUBLE_EQ((*means)[0], 1.5);
+  // High-key bucket holds values for keys {7, 10} -> (3 + 100) / 2.
+  EXPECT_DOUBLE_EQ((*means)[1], 51.5);
+}
+
+TEST(LocalityIntegrationTest, SparseRegionsLoseMoreUnderCondensation) {
+  // The paper's Section 2.2 claim: with a fixed group size, sparse-region
+  // records are masked with larger spatial error than dense-region ones.
+  Rng rng(3);
+  Dataset ds(2);
+  // Dense core plus a sparse halo.
+  for (int i = 0; i < 400; ++i) {
+    ds.Add(Vector{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  for (int i = 0; i < 40; ++i) {
+    ds.Add(Vector{rng.Uniform(-8.0, 8.0), rng.Uniform(-8.0, 8.0)});
+  }
+
+  core::CondensationEngine engine({.group_size = 20});
+  auto release = engine.Anonymize(ds, rng);
+  ASSERT_TRUE(release.ok());
+
+  auto density = KthNeighborDistances(ds, 5);
+  auto errors = NearestReleaseDistances(ds, release->anonymized);
+  ASSERT_TRUE(density.ok());
+  ASSERT_TRUE(errors.ok());
+  auto buckets = MeanByQuantileBucket(*density, *errors, 4);
+  ASSERT_TRUE(buckets.ok());
+  // Densest quartile is covered far better than the sparsest.
+  EXPECT_LT((*buckets)[0], (*buckets)[3]);
+}
+
+}  // namespace
+}  // namespace condensa::metrics

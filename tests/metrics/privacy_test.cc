@@ -1,0 +1,95 @@
+#include "metrics/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/engine.h"
+#include "datagen/profiles.h"
+
+namespace condensa::metrics {
+namespace {
+
+using data::Dataset;
+using linalg::Vector;
+
+TEST(EvaluateLinkageTest, RejectsBadInput) {
+  Dataset one(1);
+  one.Add(Vector{0.0});
+  Dataset other(1);
+  other.Add(Vector{0.0});
+  EXPECT_FALSE(EvaluateLinkage(one, other).ok());  // needs >= 2 originals
+  Dataset two(1);
+  two.Add(Vector{0.0});
+  two.Add(Vector{1.0});
+  EXPECT_FALSE(EvaluateLinkage(two, Dataset(1)).ok());
+  Dataset wrong_dim(2);
+  wrong_dim.Add(Vector{0.0, 0.0});
+  EXPECT_FALSE(EvaluateLinkage(two, wrong_dim).ok());
+}
+
+TEST(EvaluateLinkageTest, IdenticalReleasePinpointsEverything) {
+  Rng rng(1);
+  Dataset ds(2);
+  for (int i = 0; i < 30; ++i) {
+    ds.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  auto report = EvaluateLinkage(ds, ds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->mean_nearest_anonymized_distance, 0.0);
+  EXPECT_DOUBLE_EQ(report->distance_gain, 0.0);
+  EXPECT_DOUBLE_EQ(report->pinpointed_fraction, 1.0);
+}
+
+TEST(EvaluateLinkageTest, CondensationIncreasesDistanceGainWithK) {
+  Rng rng(2);
+  Dataset ds(3);
+  for (int i = 0; i < 200; ++i) {
+    ds.Add(Vector{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()});
+  }
+  double gain_small_k = 0.0, gain_large_k = 0.0;
+  for (std::size_t k : {2u, 40u}) {
+    core::CondensationEngine engine({.group_size = k});
+    auto result = engine.Anonymize(ds, rng);
+    ASSERT_TRUE(result.ok());
+    auto report = EvaluateLinkage(ds, result->anonymized);
+    ASSERT_TRUE(report.ok());
+    (k == 2u ? gain_small_k : gain_large_k) = report->distance_gain;
+  }
+  EXPECT_GT(gain_large_k, gain_small_k);
+}
+
+TEST(ExactLeakageRateTest, StaticKOneLeaksEverythingKLargeLeaksNothing) {
+  Rng rng(3);
+  Dataset ds(2);
+  for (int i = 0; i < 60; ++i) {
+    ds.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  core::CondensationEngine identity_engine({.group_size = 1});
+  auto identity = identity_engine.Anonymize(ds, rng);
+  ASSERT_TRUE(identity.ok());
+  auto leak_all = ExactLeakageRate(ds, identity->anonymized, 1e-9);
+  ASSERT_TRUE(leak_all.ok());
+  EXPECT_DOUBLE_EQ(*leak_all, 1.0);
+
+  core::CondensationEngine private_engine({.group_size = 20});
+  auto anonymized = private_engine.Anonymize(ds, rng);
+  ASSERT_TRUE(anonymized.ok());
+  auto leak_none = ExactLeakageRate(ds, anonymized->anonymized, 1e-9);
+  ASSERT_TRUE(leak_none.ok());
+  EXPECT_LT(*leak_none, 0.05);
+}
+
+TEST(ExactLeakageRateTest, ToleranceValidated) {
+  Dataset a(1), b(1);
+  a.Add(Vector{0.0});
+  b.Add(Vector{0.0});
+  EXPECT_FALSE(ExactLeakageRate(a, b, -1.0).ok());
+  auto exact = ExactLeakageRate(a, b, 0.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_DOUBLE_EQ(*exact, 1.0);
+}
+
+}  // namespace
+}  // namespace condensa::metrics

@@ -1,0 +1,203 @@
+#include "mining/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using linalg::Vector;
+
+// The textbook market-basket example.
+std::vector<Transaction> MarketBasket() {
+  return {
+      {0, 1, 4},     // bread, milk, beer... (ids are opaque)
+      {0, 1},        //
+      {0, 2, 3},     //
+      {1, 2, 3, 4},  //
+      {0, 1, 2, 3},  //
+  };
+}
+
+TEST(AprioriTest, RejectsInvalidInput) {
+  EXPECT_FALSE(MineAssociationRules({}, {}).ok());
+  AprioriOptions bad_support;
+  bad_support.min_support = 0.0;
+  EXPECT_FALSE(MineAssociationRules(MarketBasket(), bad_support).ok());
+  AprioriOptions bad_confidence;
+  bad_confidence.min_confidence = 1.5;
+  EXPECT_FALSE(MineAssociationRules(MarketBasket(), bad_confidence).ok());
+  EXPECT_FALSE(MineAssociationRules({{2, 1}}, {}).ok());   // unsorted
+  EXPECT_FALSE(MineAssociationRules({{1, 1}}, {}).ok());   // duplicate
+  EXPECT_FALSE(MineAssociationRules({{-1}}, {}).ok());     // negative item
+}
+
+TEST(AprioriTest, SingletonSupportsAreExact) {
+  AprioriOptions options;
+  options.min_support = 0.01;
+  options.min_confidence = 0.99;
+  auto result = MineAssociationRules(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  // Item 0 appears in 4/5 transactions, item 4 in 2/5.
+  double support0 = -1.0, support4 = -1.0;
+  for (const FrequentItemset& itemset : result->itemsets) {
+    if (itemset.items == std::vector<Item>{0}) support0 = itemset.support;
+    if (itemset.items == std::vector<Item>{4}) support4 = itemset.support;
+  }
+  EXPECT_DOUBLE_EQ(support0, 0.8);
+  EXPECT_DOUBLE_EQ(support4, 0.4);
+}
+
+TEST(AprioriTest, PairSupportMatchesHandCount) {
+  AprioriOptions options;
+  options.min_support = 0.2;
+  auto result = MineAssociationRules(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  // {0,1} appears in 3/5 transactions.
+  double support01 = -1.0;
+  for (const FrequentItemset& itemset : result->itemsets) {
+    if (itemset.items == std::vector<Item>{0, 1}) {
+      support01 = itemset.support;
+    }
+  }
+  EXPECT_DOUBLE_EQ(support01, 0.6);
+}
+
+TEST(AprioriTest, MinSupportPrunes) {
+  AprioriOptions strict;
+  strict.min_support = 0.9;
+  auto result = MineAssociationRules(MarketBasket(), strict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->itemsets.empty());
+  EXPECT_TRUE(result->rules.empty());
+}
+
+TEST(AprioriTest, RuleConfidenceAndLiftCorrect) {
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.min_confidence = 0.5;
+  auto result = MineAssociationRules(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  // Rule {4} -> {1}: support({1,4}) = 2/5, support({4}) = 2/5 ->
+  // confidence 1.0; lift = 1.0 / support({1}) = 1 / 0.8 = 1.25.
+  bool found = false;
+  for (const AssociationRule& rule : result->rules) {
+    if (rule.antecedent == std::vector<Item>{4} &&
+        rule.consequent == std::vector<Item>{1}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.support, 0.4);
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_NEAR(rule.lift, 1.25, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, RulesSortedByConfidence) {
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.min_confidence = 0.3;
+  auto result = MineAssociationRules(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t i = 1; i < result->rules.size(); ++i) {
+    EXPECT_GE(result->rules[i - 1].confidence + 1e-12,
+              result->rules[i].confidence);
+  }
+}
+
+TEST(AprioriTest, MaxItemsetSizeCapsGrowth) {
+  AprioriOptions options;
+  options.min_support = 0.2;
+  options.max_itemset_size = 2;
+  auto result = MineAssociationRules(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& itemset : result->itemsets) {
+    EXPECT_LE(itemset.items.size(), 2u);
+  }
+}
+
+TEST(AprioriTest, PerfectImplicationDiscovered) {
+  // Item 1 always co-occurs with item 0.
+  std::vector<Transaction> transactions = {
+      {0, 1}, {0, 1}, {0, 1}, {0}, {2},
+  };
+  AprioriOptions options;
+  options.min_support = 0.4;
+  options.min_confidence = 0.95;
+  auto result = MineAssociationRules(transactions, options);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const AssociationRule& rule : result->rules) {
+    if (rule.antecedent == std::vector<Item>{1} &&
+        rule.consequent == std::vector<Item>{0}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DiscretizeTest, RejectsBadInput) {
+  EXPECT_FALSE(DiscretizeToTransactions(Dataset(2), 4).ok());
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  EXPECT_FALSE(DiscretizeToTransactions(ds, 0).ok());
+}
+
+TEST(DiscretizeTest, ItemsEncodeAttributeAndBin) {
+  Dataset ds(2);
+  ds.Add(Vector{0.0, 10.0});
+  ds.Add(Vector{1.0, 20.0});
+  auto transactions = DiscretizeToTransactions(ds, 2);
+  ASSERT_TRUE(transactions.ok());
+  ASSERT_EQ(transactions->size(), 2u);
+  // Record 0: attr0 bin0 -> item 0; attr1 bin0 -> item 2.
+  EXPECT_EQ((*transactions)[0], (Transaction{0, 2}));
+  // Record 1: attr0 bin1 -> item 1; attr1 bin1 -> item 3.
+  EXPECT_EQ((*transactions)[1], (Transaction{1, 3}));
+}
+
+TEST(DiscretizeTest, ConstantAttributeGoesToBinZero) {
+  Dataset ds(1);
+  ds.Add(Vector{5.0});
+  ds.Add(Vector{5.0});
+  auto transactions = DiscretizeToTransactions(ds, 4);
+  ASSERT_TRUE(transactions.ok());
+  EXPECT_EQ((*transactions)[0], (Transaction{0}));
+  EXPECT_EQ((*transactions)[1], (Transaction{0}));
+}
+
+TEST(DiscretizeTest, PipelineFindsCorrelationRule) {
+  // Two strongly correlated attributes: high-x implies high-y, so the
+  // mined rules must include (x in top bin) -> (y in top bin).
+  Rng rng(1);
+  Dataset ds(2);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(0.0, 1.0);
+    ds.Add(Vector{x, x + rng.Gaussian(0.0, 0.02)});
+  }
+  auto transactions = DiscretizeToTransactions(ds, 2);
+  ASSERT_TRUE(transactions.ok());
+  AprioriOptions options;
+  options.min_support = 0.25;
+  options.min_confidence = 0.8;
+  auto result = MineAssociationRules(*transactions, options);
+  ASSERT_TRUE(result.ok());
+  bool found = false;
+  for (const AssociationRule& rule : result->rules) {
+    if (rule.antecedent == std::vector<Item>{1} &&
+        rule.consequent == std::vector<Item>{3}) {
+      found = true;
+      EXPECT_GT(rule.confidence, 0.9);
+      EXPECT_GT(rule.lift, 1.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace condensa::mining

@@ -1,0 +1,106 @@
+#include "mining/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace condensa::mining {
+namespace {
+
+using linalg::Vector;
+
+TEST(DbscanTest, RejectsBadInput) {
+  std::vector<Vector> points = {Vector{0.0}};
+  EXPECT_FALSE(Dbscan({}, {}).ok());
+  EXPECT_FALSE(Dbscan(points, {.epsilon = 0.0}).ok());
+  EXPECT_FALSE(Dbscan(points, {.epsilon = 1.0, .min_points = 0}).ok());
+}
+
+TEST(DbscanTest, FindsTwoDenseClustersAndNoise) {
+  Rng rng(1);
+  std::vector<Vector> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back(Vector{rng.Gaussian(0.0, 0.3), rng.Gaussian(0.0, 0.3)});
+    points.push_back(
+        Vector{rng.Gaussian(10.0, 0.3), rng.Gaussian(10.0, 0.3)});
+  }
+  // Two isolated outliers.
+  points.push_back(Vector{5.0, 5.0});
+  points.push_back(Vector{-8.0, 9.0});
+
+  auto result = Dbscan(points, {.epsilon = 1.0, .min_points = 5});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2u);
+  EXPECT_EQ(result->NoiseCount(), 2u);
+  EXPECT_EQ(result->assignments[points.size() - 1], DbscanResult::kNoise);
+  EXPECT_EQ(result->assignments[points.size() - 2], DbscanResult::kNoise);
+  // Cluster A members all share one id.
+  std::size_t cluster_a = result->assignments[0];
+  for (std::size_t i = 0; i + 2 < points.size(); i += 2) {
+    EXPECT_EQ(result->assignments[i], cluster_a);
+  }
+}
+
+TEST(DbscanTest, EverythingNoiseWhenEpsilonTiny) {
+  Rng rng(2);
+  std::vector<Vector> points;
+  for (int i = 0; i < 30; ++i) {
+    points.push_back(Vector{rng.Uniform(0.0, 100.0)});
+  }
+  auto result = Dbscan(points, {.epsilon = 1e-6, .min_points = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 0u);
+  EXPECT_EQ(result->NoiseCount(), points.size());
+}
+
+TEST(DbscanTest, SingleClusterWhenEpsilonHuge) {
+  Rng rng(3);
+  std::vector<Vector> points;
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  auto result = Dbscan(points, {.epsilon = 100.0, .min_points = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+  EXPECT_EQ(result->NoiseCount(), 0u);
+}
+
+TEST(DbscanTest, MinPointsOneMakesEveryPointCore) {
+  std::vector<Vector> points = {Vector{0.0}, Vector{100.0}};
+  auto result = Dbscan(points, {.epsilon = 1.0, .min_points = 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 2u);
+  EXPECT_EQ(result->NoiseCount(), 0u);
+}
+
+TEST(DbscanTest, BorderPointsJoinTheirCoreCluster) {
+  // A dense chain plus one point on the fringe reachable from a core.
+  std::vector<Vector> points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back(Vector{static_cast<double>(i) * 0.1});
+  }
+  points.push_back(Vector{1.35});  // within eps of the chain end only
+  auto result = Dbscan(points, {.epsilon = 0.5, .min_points = 4});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_clusters, 1u);
+  EXPECT_EQ(result->assignments.back(), 0u);
+}
+
+TEST(DbscanTest, AssignmentsCoverAllPoints) {
+  Rng rng(4);
+  std::vector<Vector> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back(Vector{rng.Gaussian(), rng.Gaussian()});
+  }
+  auto result = Dbscan(points, {.epsilon = 0.5, .min_points = 4});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->assignments.size(), points.size());
+  for (std::size_t a : result->assignments) {
+    EXPECT_TRUE(a == DbscanResult::kNoise || a < result->num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace condensa::mining

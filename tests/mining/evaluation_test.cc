@@ -1,0 +1,137 @@
+#include "mining/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/profiles.h"
+#include "mining/knn.h"
+#include "mining/nearest_centroid.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+// A classifier with a fixed answer, for exact accuracy arithmetic.
+class ConstantClassifier : public Classifier {
+ public:
+  explicit ConstantClassifier(int label) : label_(label) {}
+  Status Fit(const data::Dataset&) override { return OkStatus(); }
+  int Predict(const linalg::Vector&) const override { return label_; }
+
+ private:
+  int label_;
+};
+
+class ConstantRegressor : public Regressor {
+ public:
+  explicit ConstantRegressor(double value) : value_(value) {}
+  Status Fit(const data::Dataset&) override { return OkStatus(); }
+  double Predict(const linalg::Vector&) const override { return value_; }
+
+ private:
+  double value_;
+};
+
+Dataset SmallTestSet() {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{0.0}, 0);
+  ds.Add(Vector{1.0}, 0);
+  ds.Add(Vector{2.0}, 1);
+  ds.Add(Vector{3.0}, 1);
+  return ds;
+}
+
+TEST(EvaluateAccuracyTest, ExactFraction) {
+  ConstantClassifier always_zero(0);
+  auto accuracy = EvaluateAccuracy(always_zero, SmallTestSet());
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_DOUBLE_EQ(*accuracy, 0.5);
+}
+
+TEST(EvaluateAccuracyTest, RejectsBadInput) {
+  ConstantClassifier c(0);
+  EXPECT_FALSE(EvaluateAccuracy(c, Dataset(1, TaskType::kClassification)).ok());
+  Dataset regression(1, TaskType::kRegression);
+  regression.Add(Vector{0.0}, 1.0);
+  EXPECT_FALSE(EvaluateAccuracy(c, regression).ok());
+}
+
+TEST(EvaluateWithinToleranceTest, CountsHitsInsideBand) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{0.0}, 10.0);
+  ds.Add(Vector{1.0}, 10.8);
+  ds.Add(Vector{2.0}, 12.0);
+  ConstantRegressor always_ten(10.0);
+  auto accuracy = EvaluateWithinTolerance(always_ten, ds, 1.0);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_NEAR(*accuracy, 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateWithinToleranceTest, RejectsNegativeTolerance) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{0.0}, 10.0);
+  ConstantRegressor r(10.0);
+  EXPECT_FALSE(EvaluateWithinTolerance(r, ds, -0.5).ok());
+}
+
+TEST(EvaluateMeanAbsoluteErrorTest, ExactValue) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{0.0}, 10.0);
+  ds.Add(Vector{1.0}, 14.0);
+  ConstantRegressor always_twelve(12.0);
+  auto mae = EvaluateMeanAbsoluteError(always_twelve, ds);
+  ASSERT_TRUE(mae.ok());
+  EXPECT_DOUBLE_EQ(*mae, 2.0);
+}
+
+TEST(ConfusionMatrixTest, CountsEveryCell) {
+  ConstantClassifier always_one(1);
+  auto matrix = ConfusionMatrix(always_one, SmallTestSet());
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_EQ((*matrix)[0][1], 2u);
+  EXPECT_EQ((*matrix)[1][1], 2u);
+  EXPECT_EQ((*matrix)[0].count(0), 0u);
+}
+
+TEST(CrossValidateAccuracyTest, PerfectClassifierScoresOne) {
+  Rng rng(1);
+  Dataset ds = datagen::MakeGaussianBlobs(2, 40, 3, 50.0, rng);
+  KnnClassifier knn({.k = 1});
+  auto accuracy = CrossValidateAccuracy(knn, ds, 5, rng);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.95);
+}
+
+TEST(CrossValidateAccuracyTest, ConstantClassifierScoresClassFraction) {
+  Dataset ds(1, TaskType::kClassification);
+  for (int i = 0; i < 30; ++i) ds.Add(Vector{static_cast<double>(i)}, 0);
+  for (int i = 0; i < 10; ++i) ds.Add(Vector{static_cast<double>(i)}, 1);
+  ConstantClassifier always_zero(0);
+  Rng rng(2);
+  auto accuracy = CrossValidateAccuracy(always_zero, ds, 4, rng);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_NEAR(*accuracy, 0.75, 0.01);
+}
+
+TEST(CrossValidateAccuracyTest, PropagatesFoldErrors) {
+  Dataset ds = SmallTestSet();
+  KnnClassifier knn({.k = 1});
+  Rng rng(3);
+  EXPECT_FALSE(CrossValidateAccuracy(knn, ds, 1, rng).ok());
+  EXPECT_FALSE(CrossValidateAccuracy(knn, ds, 10, rng).ok());
+}
+
+TEST(EvaluationIntegrationTest, NearestCentroidOnBlobs) {
+  Rng rng(4);
+  Dataset ds = datagen::MakeGaussianBlobs(4, 30, 3, 30.0, rng);
+  NearestCentroidClassifier classifier;
+  auto accuracy = CrossValidateAccuracy(classifier, ds, 4, rng);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace condensa::mining

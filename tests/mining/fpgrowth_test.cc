@@ -1,0 +1,125 @@
+#include "mining/fpgrowth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace condensa::mining {
+namespace {
+
+std::vector<Transaction> MarketBasket() {
+  return {
+      {0, 1, 4}, {0, 1}, {0, 2, 3}, {1, 2, 3, 4}, {0, 1, 2, 3},
+  };
+}
+
+TEST(FpGrowthTest, RejectsInvalidInput) {
+  EXPECT_FALSE(MineFrequentItemsetsFpGrowth({}, {}).ok());
+  FpGrowthOptions bad;
+  bad.min_support = 0.0;
+  EXPECT_FALSE(MineFrequentItemsetsFpGrowth(MarketBasket(), bad).ok());
+  EXPECT_FALSE(MineFrequentItemsetsFpGrowth({{2, 1}}, {}).ok());
+  EXPECT_FALSE(MineFrequentItemsetsFpGrowth({{1, 1}}, {}).ok());
+  EXPECT_FALSE(MineFrequentItemsetsFpGrowth({{-3}}, {}).ok());
+}
+
+TEST(FpGrowthTest, SingletonSupportsExact) {
+  FpGrowthOptions options;
+  options.min_support = 0.01;
+  auto result = MineFrequentItemsetsFpGrowth(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  std::map<std::vector<Item>, double> supports;
+  for (const FrequentItemset& itemset : *result) {
+    supports[itemset.items] = itemset.support;
+  }
+  EXPECT_DOUBLE_EQ(supports.at({0}), 0.8);
+  EXPECT_DOUBLE_EQ(supports.at({1}), 0.8);
+  EXPECT_DOUBLE_EQ(supports.at({4}), 0.4);
+  EXPECT_DOUBLE_EQ(supports.at({0, 1}), 0.6);
+  EXPECT_DOUBLE_EQ(supports.at({2, 3}), 0.6);
+}
+
+TEST(FpGrowthTest, HighSupportPrunesEverything) {
+  FpGrowthOptions options;
+  options.min_support = 0.95;
+  auto result = MineFrequentItemsetsFpGrowth(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(FpGrowthTest, MaxItemsetSizeRespected) {
+  FpGrowthOptions options;
+  options.min_support = 0.2;
+  options.max_itemset_size = 2;
+  auto result = MineFrequentItemsetsFpGrowth(MarketBasket(), options);
+  ASSERT_TRUE(result.ok());
+  for (const FrequentItemset& itemset : *result) {
+    EXPECT_LE(itemset.items.size(), 2u);
+  }
+}
+
+TEST(FpGrowthTest, SingleTransaction) {
+  FpGrowthOptions options;
+  options.min_support = 1.0;
+  auto result = MineFrequentItemsetsFpGrowth({{3, 7}}, options);
+  ASSERT_TRUE(result.ok());
+  // All 3 non-empty subsets are frequent with support 1.
+  ASSERT_EQ(result->size(), 3u);
+  for (const FrequentItemset& itemset : *result) {
+    EXPECT_DOUBLE_EQ(itemset.support, 1.0);
+  }
+}
+
+// The decisive test: FP-growth and Apriori agree exactly on randomized
+// instances (two independent algorithms, one answer).
+class FpGrowthVsAprioriTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FpGrowthVsAprioriTest, SameItemsetsSameSupports) {
+  Rng rng(100 + GetParam());
+  std::vector<Transaction> transactions;
+  int num_transactions = 10 + GetParam() * 7;
+  for (int t = 0; t < num_transactions; ++t) {
+    Transaction transaction;
+    for (Item item = 0; item < 10; ++item) {
+      if (rng.Bernoulli(0.35)) transaction.push_back(item);
+    }
+    if (transaction.empty()) transaction.push_back(0);
+    transactions.push_back(std::move(transaction));
+  }
+
+  const double min_support = 0.15 + 0.05 * (GetParam() % 3);
+
+  AprioriOptions apriori_options;
+  apriori_options.min_support = min_support;
+  apriori_options.min_confidence = 0.99;  // rules irrelevant here
+  apriori_options.max_itemset_size = 4;
+  auto apriori = MineAssociationRules(transactions, apriori_options);
+  ASSERT_TRUE(apriori.ok());
+
+  FpGrowthOptions fp_options;
+  fp_options.min_support = min_support;
+  fp_options.max_itemset_size = 4;
+  auto fp = MineFrequentItemsetsFpGrowth(transactions, fp_options);
+  ASSERT_TRUE(fp.ok());
+
+  std::map<std::vector<Item>, double> apriori_supports, fp_supports;
+  for (const FrequentItemset& itemset : apriori->itemsets) {
+    apriori_supports[itemset.items] = itemset.support;
+  }
+  for (const FrequentItemset& itemset : *fp) {
+    fp_supports[itemset.items] = itemset.support;
+  }
+  ASSERT_EQ(apriori_supports.size(), fp_supports.size());
+  for (const auto& [items, support] : apriori_supports) {
+    ASSERT_TRUE(fp_supports.count(items) > 0);
+    EXPECT_NEAR(fp_supports[items], support, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FpGrowthVsAprioriTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace condensa::mining

@@ -1,0 +1,97 @@
+#include "mining/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::mining {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> TwoTightClusters(Rng& rng, std::size_t per_cluster) {
+  std::vector<Vector> points;
+  for (std::size_t i = 0; i < per_cluster; ++i) {
+    points.push_back(Vector{rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+    points.push_back(
+        Vector{rng.Gaussian(20.0, 0.5), rng.Gaussian(20.0, 0.5)});
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsInvalidInput) {
+  Rng rng(1);
+  std::vector<Vector> points = {Vector{0.0}, Vector{1.0}};
+  EXPECT_FALSE(KMeans(points, {.num_clusters = 0}, rng).ok());
+  EXPECT_FALSE(KMeans(points, {.num_clusters = 3}, rng).ok());
+  std::vector<Vector> ragged = {Vector{0.0}, Vector{1.0, 2.0}};
+  EXPECT_FALSE(KMeans(ragged, {.num_clusters = 2}, rng).ok());
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  Rng rng(2);
+  std::vector<Vector> points = TwoTightClusters(rng, 50);
+  auto result = KMeans(points, {.num_clusters = 2}, rng);
+  ASSERT_TRUE(result.ok());
+  // One centroid near (0,0), the other near (20,20).
+  double c0 = result->centroids[0][0];
+  double c1 = result->centroids[1][0];
+  EXPECT_NEAR(std::min(c0, c1), 0.0, 1.0);
+  EXPECT_NEAR(std::max(c0, c1), 20.0, 1.0);
+  // All even-indexed points (cluster A) share one assignment.
+  std::size_t first = result->assignments[0];
+  for (std::size_t i = 0; i < points.size(); i += 2) {
+    EXPECT_EQ(result->assignments[i], first);
+  }
+}
+
+TEST(KMeansTest, AssignmentsCoverAllPoints) {
+  Rng rng(3);
+  std::vector<Vector> points = TwoTightClusters(rng, 30);
+  auto result = KMeans(points, {.num_clusters = 4}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments.size(), points.size());
+  for (std::size_t a : result->assignments) {
+    EXPECT_LT(a, 4u);
+  }
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  std::vector<Vector> points = {Vector{0.0}, Vector{2.0}, Vector{4.0}};
+  Rng rng(4);
+  auto result = KMeans(points, {.num_clusters = 1}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->centroids[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(result->inertia, 8.0, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  std::vector<Vector> points = {Vector{0.0}, Vector{5.0}, Vector{11.0}};
+  Rng rng(5);
+  auto result = KMeans(points, {.num_clusters = 3}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  std::vector<Vector> points(10, Vector{3.0, 3.0});
+  Rng rng(6);
+  auto result = KMeans(points, {.num_clusters = 2}, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-9);
+}
+
+TEST(KMeansTest, InertiaNeverExceedsSingleClusterBaseline) {
+  Rng rng(7);
+  std::vector<Vector> points = TwoTightClusters(rng, 40);
+  auto one = KMeans(points, {.num_clusters = 1}, rng);
+  auto two = KMeans(points, {.num_clusters = 2}, rng);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_LT(two->inertia, one->inertia);
+}
+
+}  // namespace
+}  // namespace condensa::mining

@@ -1,0 +1,147 @@
+#include "mining/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/profiles.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+Dataset MakeXorLikeData() {
+  Dataset ds(2, TaskType::kClassification);
+  ds.Add(Vector{0.0, 0.0}, 0);
+  ds.Add(Vector{0.1, 0.1}, 0);
+  ds.Add(Vector{10.0, 10.0}, 1);
+  ds.Add(Vector{10.1, 10.1}, 1);
+  return ds;
+}
+
+TEST(NearestNeighborsTest, ReturnsIndicesInDistanceOrder) {
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  ds.Add(Vector{5.0});
+  ds.Add(Vector{2.0});
+  ds.Add(Vector{9.0});
+  std::vector<std::size_t> nn = NearestNeighbors(ds, Vector{1.9}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0], 2u);  // 2.0
+  EXPECT_EQ(nn[1], 0u);  // 0.0
+  EXPECT_EQ(nn[2], 1u);  // 5.0
+}
+
+TEST(NearestNeighborsTest, KClampedToDatasetSize) {
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  ds.Add(Vector{1.0});
+  EXPECT_EQ(NearestNeighbors(ds, Vector{0.0}, 10).size(), 2u);
+}
+
+TEST(KnnClassifierTest, FitValidatesInput) {
+  KnnClassifier classifier({.k = 1});
+  EXPECT_FALSE(classifier.Fit(Dataset(2, TaskType::kClassification)).ok());
+  Dataset regression(1, TaskType::kRegression);
+  regression.Add(Vector{0.0}, 1.0);
+  EXPECT_FALSE(classifier.Fit(regression).ok());
+  KnnClassifier zero_k({.k = 0});
+  EXPECT_FALSE(zero_k.Fit(MakeXorLikeData()).ok());
+}
+
+TEST(KnnClassifierTest, OneNearestNeighborPredictsNearestLabel) {
+  KnnClassifier classifier({.k = 1});
+  ASSERT_TRUE(classifier.Fit(MakeXorLikeData()).ok());
+  EXPECT_EQ(classifier.Predict(Vector{0.5, 0.5}), 0);
+  EXPECT_EQ(classifier.Predict(Vector{9.5, 9.5}), 1);
+}
+
+TEST(KnnClassifierTest, MajorityVoteWins) {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{0.0}, 0);
+  ds.Add(Vector{1.0}, 1);
+  ds.Add(Vector{2.0}, 1);
+  KnnClassifier classifier({.k = 3});
+  ASSERT_TRUE(classifier.Fit(ds).ok());
+  // Query at 0: nearest is label 0, but 2 of 3 neighbours say 1.
+  EXPECT_EQ(classifier.Predict(Vector{0.0}), 1);
+}
+
+TEST(KnnClassifierTest, VoteTieBreaksTowardCloserClass) {
+  Dataset ds(1, TaskType::kClassification);
+  ds.Add(Vector{0.0}, 0);
+  ds.Add(Vector{1.0}, 0);
+  ds.Add(Vector{3.0}, 1);
+  ds.Add(Vector{4.0}, 1);
+  KnnClassifier classifier({.k = 4});
+  ASSERT_TRUE(classifier.Fit(ds).ok());
+  // 2-2 vote; class 0 has smaller total distance to the query at 0.5.
+  EXPECT_EQ(classifier.Predict(Vector{0.5}), 0);
+  // Symmetric query favours class 1.
+  EXPECT_EQ(classifier.Predict(Vector{3.5}), 1);
+}
+
+TEST(KnnClassifierTest, HighAccuracyOnSeparatedBlobs) {
+  // Train/test from one generated pool so class centres match.
+  Rng rng(1);
+  Dataset pool = datagen::MakeGaussianBlobs(3, 70, 4, 40.0, rng);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    (i % 4 == 0 ? test_idx : train_idx).push_back(i);
+  }
+  Dataset train = pool.Select(train_idx);
+  Dataset test = pool.Select(test_idx);
+
+  KnnClassifier classifier({.k = 3});
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (classifier.Predict(test.record(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.95);
+}
+
+TEST(KnnRegressorTest, FitValidatesInput) {
+  KnnRegressor regressor({.k = 1});
+  EXPECT_FALSE(regressor.Fit(Dataset(1, TaskType::kRegression)).ok());
+  EXPECT_FALSE(regressor.Fit(MakeXorLikeData()).ok());
+}
+
+TEST(KnnRegressorTest, OneNearestNeighborCopiesTarget) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{0.0}, 5.0);
+  ds.Add(Vector{10.0}, 15.0);
+  KnnRegressor regressor({.k = 1});
+  ASSERT_TRUE(regressor.Fit(ds).ok());
+  EXPECT_DOUBLE_EQ(regressor.Predict(Vector{1.0}), 5.0);
+  EXPECT_DOUBLE_EQ(regressor.Predict(Vector{9.0}), 15.0);
+}
+
+TEST(KnnRegressorTest, AveragesKNeighborTargets) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{0.0}, 10.0);
+  ds.Add(Vector{1.0}, 20.0);
+  ds.Add(Vector{100.0}, 1000.0);
+  KnnRegressor regressor({.k = 2});
+  ASSERT_TRUE(regressor.Fit(ds).ok());
+  EXPECT_DOUBLE_EQ(regressor.Predict(Vector{0.5}), 15.0);
+}
+
+TEST(KnnRegressorTest, RecoversSmoothFunction) {
+  Rng rng(2);
+  Dataset train(1, TaskType::kRegression);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Uniform(0.0, 10.0);
+    train.Add(Vector{x}, 3.0 * x + 1.0);
+  }
+  KnnRegressor regressor({.k = 5});
+  ASSERT_TRUE(regressor.Fit(train).ok());
+  for (double x : {1.0, 3.0, 5.0, 7.0, 9.0}) {
+    EXPECT_NEAR(regressor.Predict(Vector{x}), 3.0 * x + 1.0, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace condensa::mining

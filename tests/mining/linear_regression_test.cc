@@ -1,0 +1,123 @@
+#include "mining/linear_regression.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/engine.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+TEST(LinearRegressorTest, FitValidatesInput) {
+  LinearRegressor model;
+  EXPECT_FALSE(model.Fit(Dataset(1, TaskType::kRegression)).ok());
+  Dataset classification(1, TaskType::kClassification);
+  classification.Add(Vector{0.0}, 1);
+  EXPECT_FALSE(model.Fit(classification).ok());
+  LinearRegressor negative_ridge({.ridge = -1.0});
+  Dataset ok(1, TaskType::kRegression);
+  ok.Add(Vector{0.0}, 1.0);
+  EXPECT_FALSE(negative_ridge.Fit(ok).ok());
+}
+
+TEST(LinearRegressorTest, RecoversExactLinearModel) {
+  Rng rng(1);
+  Dataset train(2, TaskType::kRegression);
+  for (int i = 0; i < 100; ++i) {
+    double x0 = rng.Gaussian();
+    double x1 = rng.Gaussian();
+    train.Add(Vector{x0, x1}, 3.0 * x0 - 2.0 * x1 + 5.0);
+  }
+  LinearRegressor model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_NEAR(model.weights()[0], 3.0, 1e-8);
+  EXPECT_NEAR(model.weights()[1], -2.0, 1e-8);
+  EXPECT_NEAR(model.intercept(), 5.0, 1e-8);
+  EXPECT_NEAR(model.Predict(Vector{1.0, 1.0}), 6.0, 1e-8);
+}
+
+TEST(LinearRegressorTest, NoisyFitIsCloseToTruth) {
+  Rng rng(2);
+  Dataset train(1, TaskType::kRegression);
+  for (int i = 0; i < 2000; ++i) {
+    double x = rng.Uniform(-3.0, 3.0);
+    train.Add(Vector{x}, 2.5 * x - 1.0 + rng.Gaussian(0.0, 0.5));
+  }
+  LinearRegressor model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_NEAR(model.weights()[0], 2.5, 0.05);
+  EXPECT_NEAR(model.intercept(), -1.0, 0.05);
+}
+
+TEST(LinearRegressorTest, RidgeShrinksWeights) {
+  Rng rng(3);
+  Dataset train(1, TaskType::kRegression);
+  for (int i = 0; i < 50; ++i) {
+    double x = rng.Gaussian();
+    train.Add(Vector{x}, 4.0 * x);
+  }
+  LinearRegressor plain;
+  LinearRegressor ridged({.ridge = 100.0});
+  ASSERT_TRUE(plain.Fit(train).ok());
+  ASSERT_TRUE(ridged.Fit(train).ok());
+  EXPECT_LT(std::abs(ridged.weights()[0]), std::abs(plain.weights()[0]));
+}
+
+TEST(LinearRegressorTest, CollinearFeaturesStaySolvable) {
+  // x1 = 2 x0 exactly: plain OLS normal equations are singular; the
+  // internal jitter (and a ridge) must keep the fit finite.
+  Rng rng(4);
+  Dataset train(2, TaskType::kRegression);
+  for (int i = 0; i < 60; ++i) {
+    double x = rng.Gaussian();
+    train.Add(Vector{x, 2.0 * x}, 5.0 * x);
+  }
+  LinearRegressor model({.ridge = 1e-6});
+  ASSERT_TRUE(model.Fit(train).ok());
+  // Prediction is what matters under collinearity, not the split of the
+  // coefficients.
+  EXPECT_NEAR(model.Predict(Vector{1.0, 2.0}), 5.0, 1e-3);
+}
+
+TEST(LinearRegressorTest, ConstantTargetGivesZeroWeights) {
+  Rng rng(5);
+  Dataset train(2, TaskType::kRegression);
+  for (int i = 0; i < 40; ++i) {
+    train.Add(Vector{rng.Gaussian(), rng.Gaussian()}, 7.0);
+  }
+  LinearRegressor model;
+  ASSERT_TRUE(model.Fit(train).ok());
+  EXPECT_NEAR(model.weights()[0], 0.0, 1e-8);
+  EXPECT_NEAR(model.weights()[1], 0.0, 1e-8);
+  EXPECT_NEAR(model.intercept(), 7.0, 1e-8);
+}
+
+TEST(LinearRegressorTest, CoefficientsSurviveCondensation) {
+  // Linear models see only first/second moments, which condensation
+  // preserves: the coefficients fit on the release match the raw fit.
+  Rng rng(6);
+  Dataset train(2, TaskType::kRegression);
+  for (int i = 0; i < 500; ++i) {
+    double x0 = rng.Gaussian();
+    double x1 = 0.5 * x0 + rng.Gaussian(0.0, 0.8);
+    train.Add(Vector{x0, x1},
+              2.0 * x0 + 1.5 * x1 + 3.0 + rng.Gaussian(0.0, 0.3));
+  }
+  core::CondensationEngine engine({.group_size = 25});
+  auto release = engine.Anonymize(train, rng);
+  ASSERT_TRUE(release.ok());
+
+  LinearRegressor raw_model, release_model;
+  ASSERT_TRUE(raw_model.Fit(train).ok());
+  ASSERT_TRUE(release_model.Fit(release->anonymized).ok());
+  EXPECT_NEAR(release_model.weights()[0], raw_model.weights()[0], 0.2);
+  EXPECT_NEAR(release_model.weights()[1], raw_model.weights()[1], 0.2);
+  EXPECT_NEAR(release_model.intercept(), raw_model.intercept(), 0.2);
+}
+
+}  // namespace
+}  // namespace condensa::mining

@@ -1,0 +1,128 @@
+#include "mining/mixture_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/split.h"
+#include "datagen/profiles.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+// Fraction of `test` records the mixture classifier labels correctly.
+double MixtureAccuracy(const CondensedMixtureClassifier& classifier,
+                       const Dataset& test) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (classifier.Predict(test.record(i)) == test.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+TEST(MixtureClassifierTest, FitValidatesInput) {
+  CondensedMixtureClassifier classifier;
+  core::CondensedPools empty;
+  empty.task = TaskType::kClassification;
+  empty.feature_dim = 2;
+  EXPECT_FALSE(classifier.Fit(empty).ok());
+
+  core::CondensedPools regression;
+  regression.task = TaskType::kRegression;
+  regression.feature_dim = 2;
+  EXPECT_FALSE(classifier.Fit(regression).ok());
+}
+
+TEST(MixtureClassifierTest, SeparatedBlobsClassifiedCorrectly) {
+  Rng rng(1);
+  Dataset dataset = datagen::MakeGaussianBlobs(2, 150, 3, 8.0, rng);
+  auto split = data::SplitTrainTest(dataset, 0.7, rng);
+  ASSERT_TRUE(split.ok());
+
+  core::CondensationEngine engine({.group_size = 12});
+  auto pools = engine.Condense(split->train, rng);
+  ASSERT_TRUE(pools.ok());
+
+  CondensedMixtureClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(*pools).ok());
+  EXPECT_GT(MixtureAccuracy(classifier, split->test), 0.95);
+}
+
+TEST(MixtureClassifierTest, LogScoresAreFiniteAndOrdered) {
+  Rng rng(2);
+  Dataset dataset = datagen::MakeGaussianBlobs(3, 60, 2, 10.0, rng);
+  core::CondensationEngine engine({.group_size = 10});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  CondensedMixtureClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(*pools).ok());
+
+  // A point near class 0's mean scores class 0 highest.
+  Dataset class0 = dataset.SelectLabel(0);
+  Vector center = class0.Mean();
+  auto scores = classifier.ClassLogScores(center);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const auto& [label, score] : scores) {
+    EXPECT_TRUE(std::isfinite(score));
+  }
+  EXPECT_EQ(classifier.Predict(center), 0);
+  EXPECT_GT(scores[0], scores[1]);
+  EXPECT_GT(scores[0], scores[2]);
+}
+
+TEST(MixtureClassifierTest, DegenerateGroupsHandledByRidge) {
+  // A class whose records are identical has a zero covariance group; the
+  // relative ridge must keep it factorizable.
+  Rng rng(3);
+  Dataset dataset(2, TaskType::kClassification);
+  for (int i = 0; i < 20; ++i) {
+    dataset.Add(Vector{1.0, 1.0}, 0);  // degenerate class
+    dataset.Add(Vector{rng.Gaussian(8.0, 1.0), rng.Gaussian(8.0, 1.0)}, 1);
+  }
+  core::CondensationEngine engine({.group_size = 5});
+  auto pools = engine.Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  CondensedMixtureClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(*pools).ok());
+  EXPECT_EQ(classifier.Predict(Vector{1.0, 1.0}), 0);
+  EXPECT_EQ(classifier.Predict(Vector{8.0, 8.0}), 1);
+}
+
+TEST(MixtureClassifierTest, ComparableToKnnOnRegeneratedData) {
+  // The statistics-native model and the regenerate-then-kNN pipeline use
+  // the same information; their accuracies should land close together.
+  Rng rng(4);
+  Dataset dataset = datagen::MakePima(rng);
+  auto split = data::SplitTrainTest(dataset, 0.75, rng);
+  ASSERT_TRUE(split.ok());
+
+  core::CondensationEngine engine({.group_size = 20});
+  auto pools = engine.Condense(split->train, rng);
+  ASSERT_TRUE(pools.ok());
+
+  CondensedMixtureClassifier mixture;
+  ASSERT_TRUE(mixture.Fit(*pools).ok());
+  double mixture_accuracy = MixtureAccuracy(mixture, split->test);
+
+  auto release = core::GenerateRelease(*pools, rng);
+  ASSERT_TRUE(release.ok());
+  KnnClassifier knn({.k = 5});
+  ASSERT_TRUE(knn.Fit(release->anonymized).ok());
+  auto knn_accuracy = EvaluateAccuracy(knn, split->test);
+  ASSERT_TRUE(knn_accuracy.ok());
+
+  EXPECT_NEAR(mixture_accuracy, *knn_accuracy, 0.08);
+  EXPECT_GT(mixture_accuracy, 0.6);
+}
+
+}  // namespace
+}  // namespace condensa::mining

@@ -1,0 +1,88 @@
+#include "mining/naive_bayes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "datagen/profiles.h"
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+TEST(GaussianNaiveBayesTest, FitValidatesInput) {
+  GaussianNaiveBayes nb;
+  EXPECT_FALSE(nb.Fit(Dataset(2, TaskType::kClassification)).ok());
+  Dataset unlabeled(2);
+  unlabeled.Add(Vector{0.0, 0.0});
+  EXPECT_FALSE(nb.Fit(unlabeled).ok());
+}
+
+TEST(GaussianNaiveBayesTest, SeparatedClassesClassifiedCorrectly) {
+  Rng rng(1);
+  Dataset train(2, TaskType::kClassification);
+  for (int i = 0; i < 100; ++i) {
+    train.Add(Vector{rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)}, 0);
+    train.Add(Vector{rng.Gaussian(8.0, 1.0), rng.Gaussian(8.0, 1.0)}, 1);
+  }
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  EXPECT_EQ(nb.Predict(Vector{0.5, -0.5}), 0);
+  EXPECT_EQ(nb.Predict(Vector{7.5, 8.5}), 1);
+}
+
+TEST(GaussianNaiveBayesTest, PriorBreaksNearTies) {
+  Dataset train(1, TaskType::kClassification);
+  // Same distribution for both classes, but class 0 is 9x more frequent.
+  for (int i = 0; i < 90; ++i) {
+    train.Add(Vector{static_cast<double>(i % 10)}, 0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    train.Add(Vector{static_cast<double>(i)}, 1);
+  }
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  EXPECT_EQ(nb.Predict(Vector{5.0}), 0);
+}
+
+TEST(GaussianNaiveBayesTest, LogLikelihoodsFiniteOnDegenerateClass) {
+  Dataset train(1, TaskType::kClassification);
+  // Class with zero variance: floor must keep densities finite.
+  train.Add(Vector{1.0}, 0);
+  train.Add(Vector{1.0}, 0);
+  train.Add(Vector{5.0}, 1);
+  train.Add(Vector{6.0}, 1);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  auto scores = nb.ClassLogLikelihoods(Vector{3.0});
+  for (const auto& [label, score] : scores) {
+    EXPECT_TRUE(std::isfinite(score)) << "label " << label;
+  }
+  EXPECT_EQ(nb.Predict(Vector{1.0}), 0);
+  EXPECT_EQ(nb.Predict(Vector{5.5}), 1);
+}
+
+TEST(GaussianNaiveBayesTest, GoodAccuracyOnBlobs) {
+  Rng rng(2);
+  Dataset pool = datagen::MakeGaussianBlobs(3, 80, 4, 15.0, rng);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    (i % 4 == 0 ? test_idx : train_idx).push_back(i);
+  }
+  Dataset train = pool.Select(train_idx);
+  Dataset test = pool.Select(test_idx);
+  GaussianNaiveBayes nb;
+  ASSERT_TRUE(nb.Fit(train).ok());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (nb.Predict(test.record(i)) == test.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+}  // namespace
+}  // namespace condensa::mining

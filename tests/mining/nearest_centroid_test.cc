@@ -1,0 +1,55 @@
+#include "mining/nearest_centroid.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa::mining {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+TEST(NearestCentroidTest, FitValidatesInput) {
+  NearestCentroidClassifier classifier;
+  EXPECT_FALSE(classifier.Fit(Dataset(2, TaskType::kClassification)).ok());
+  Dataset regression(1, TaskType::kRegression);
+  regression.Add(Vector{0.0}, 1.0);
+  EXPECT_FALSE(classifier.Fit(regression).ok());
+}
+
+TEST(NearestCentroidTest, CentroidsComputedPerClass) {
+  Dataset train(2, TaskType::kClassification);
+  train.Add(Vector{0.0, 0.0}, 0);
+  train.Add(Vector{2.0, 2.0}, 0);
+  train.Add(Vector{10.0, 10.0}, 1);
+  NearestCentroidClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  ASSERT_EQ(classifier.centroids().size(), 2u);
+  EXPECT_TRUE(linalg::ApproxEqual(classifier.centroids().at(0),
+                                  Vector{1.0, 1.0}, 1e-12));
+  EXPECT_TRUE(linalg::ApproxEqual(classifier.centroids().at(1),
+                                  Vector{10.0, 10.0}, 1e-12));
+}
+
+TEST(NearestCentroidTest, PredictsNearestClassMean) {
+  Dataset train(1, TaskType::kClassification);
+  train.Add(Vector{0.0}, 5);
+  train.Add(Vector{2.0}, 5);
+  train.Add(Vector{10.0}, 9);
+  train.Add(Vector{12.0}, 9);
+  NearestCentroidClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  EXPECT_EQ(classifier.Predict(Vector{3.0}), 5);
+  EXPECT_EQ(classifier.Predict(Vector{9.0}), 9);
+}
+
+TEST(NearestCentroidTest, SingleClassAlwaysPredicted) {
+  Dataset train(1, TaskType::kClassification);
+  train.Add(Vector{0.0}, 3);
+  NearestCentroidClassifier classifier;
+  ASSERT_TRUE(classifier.Fit(train).ok());
+  EXPECT_EQ(classifier.Predict(Vector{100.0}), 3);
+}
+
+}  // namespace
+}  // namespace condensa::mining

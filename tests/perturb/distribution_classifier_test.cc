@@ -1,0 +1,122 @@
+#include "perturb/distribution_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+
+namespace condensa::perturb {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+TEST(DistributionClassifierTest, FitValidatesInput) {
+  DistributionClassifier classifier({NoiseKind::kUniform, 1.0});
+  EXPECT_FALSE(classifier.Fit(Dataset(2, TaskType::kClassification)).ok());
+  Dataset unlabeled(1);
+  unlabeled.Add(Vector{0.0});
+  EXPECT_FALSE(classifier.Fit(unlabeled).ok());
+}
+
+TEST(DistributionClassifierTest, SeparatedClassesClassifiedDespiteNoise) {
+  Rng rng(1);
+  NoiseSpec noise{NoiseKind::kUniform, 1.0};
+  Dataset clean(1, TaskType::kClassification);
+  for (int i = 0; i < 300; ++i) {
+    clean.Add(Vector{rng.Gaussian(0.0, 0.8)}, 0);
+    clean.Add(Vector{rng.Gaussian(8.0, 0.8)}, 1);
+  }
+  auto perturbed = PerturbDataset(clean, noise, rng);
+  ASSERT_TRUE(perturbed.ok());
+
+  DistributionClassifier classifier(noise);
+  ASSERT_TRUE(classifier.Fit(*perturbed).ok());
+  EXPECT_EQ(classifier.Predict(Vector{-0.5}), 0);
+  EXPECT_EQ(classifier.Predict(Vector{8.5}), 1);
+}
+
+TEST(DistributionClassifierTest, ReasonableAccuracyOnOverlappingClasses) {
+  Rng rng(2);
+  NoiseSpec noise{NoiseKind::kUniform, 1.5};
+  Dataset clean(2, TaskType::kClassification);
+  for (int i = 0; i < 400; ++i) {
+    clean.Add(Vector{rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)}, 0);
+    clean.Add(Vector{rng.Gaussian(3.0, 1.0), rng.Gaussian(3.0, 1.0)}, 1);
+  }
+  auto perturbed = PerturbDataset(clean, noise, rng);
+  ASSERT_TRUE(perturbed.ok());
+
+  DistributionClassifier classifier(noise);
+  ASSERT_TRUE(classifier.Fit(*perturbed).ok());
+  // Evaluate on clean held-out data from the same distributions.
+  Dataset test(2, TaskType::kClassification);
+  for (int i = 0; i < 200; ++i) {
+    test.Add(Vector{rng.Gaussian(0.0, 1.0), rng.Gaussian(0.0, 1.0)}, 0);
+    test.Add(Vector{rng.Gaussian(3.0, 1.0), rng.Gaussian(3.0, 1.0)}, 1);
+  }
+  auto accuracy = mining::EvaluateAccuracy(classifier, test);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(*accuracy, 0.8);
+}
+
+TEST(DistributionClassifierTest,
+     CannotExploitCorrelationsUnlikeMultivariateModel) {
+  // The paper's core argument, as a test. Two classes share identical
+  // per-dimension marginals and differ only in the sign of the x-y
+  // correlation. A per-dimension distribution model cannot beat coin
+  // flipping; a record-based 1-NN on the same clean data can.
+  Rng rng(3);
+  Dataset clean(2, TaskType::kClassification);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Gaussian();
+    double e = rng.Gaussian(0.0, 0.3);
+    clean.Add(Vector{x, x + e}, 0);    // positive correlation
+    double x2 = rng.Gaussian();
+    double e2 = rng.Gaussian(0.0, 0.3);
+    clean.Add(Vector{x2, -x2 + e2}, 1);  // negative correlation
+  }
+  NoiseSpec noise{NoiseKind::kUniform, 0.5};
+  auto perturbed = PerturbDataset(clean, noise, rng);
+  ASSERT_TRUE(perturbed.ok());
+
+  Dataset test(2, TaskType::kClassification);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.Gaussian();
+    test.Add(Vector{x, x + rng.Gaussian(0.0, 0.3)}, 0);
+    double x2 = rng.Gaussian();
+    test.Add(Vector{x2, -x2 + rng.Gaussian(0.0, 0.3)}, 1);
+  }
+
+  DistributionClassifier marginal_model(noise);
+  ASSERT_TRUE(marginal_model.Fit(*perturbed).ok());
+  auto marginal_accuracy = mining::EvaluateAccuracy(marginal_model, test);
+  ASSERT_TRUE(marginal_accuracy.ok());
+
+  mining::KnnClassifier knn({.k = 5});
+  ASSERT_TRUE(knn.Fit(clean).ok());
+  auto knn_accuracy = mining::EvaluateAccuracy(knn, test);
+  ASSERT_TRUE(knn_accuracy.ok());
+
+  EXPECT_LT(*marginal_accuracy, 0.62);  // near chance
+  EXPECT_GT(*knn_accuracy, 0.9);        // correlations are decisive
+}
+
+TEST(DistributionClassifierTest, PriorInfluencesPrediction) {
+  Rng rng(4);
+  NoiseSpec noise{NoiseKind::kUniform, 0.5};
+  Dataset clean(1, TaskType::kClassification);
+  // Same marginal for both classes, 9:1 prior.
+  for (int i = 0; i < 900; ++i) clean.Add(Vector{rng.Gaussian()}, 0);
+  for (int i = 0; i < 100; ++i) clean.Add(Vector{rng.Gaussian()}, 1);
+  auto perturbed = PerturbDataset(clean, noise, rng);
+  ASSERT_TRUE(perturbed.ok());
+  DistributionClassifier classifier(noise);
+  ASSERT_TRUE(classifier.Fit(*perturbed).ok());
+  EXPECT_EQ(classifier.Predict(Vector{0.0}), 0);
+}
+
+}  // namespace
+}  // namespace condensa::perturb

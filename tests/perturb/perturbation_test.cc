@@ -1,0 +1,137 @@
+#include "perturb/perturbation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/stats.h"
+
+namespace condensa::perturb {
+namespace {
+
+using data::Dataset;
+using data::TaskType;
+using linalg::Vector;
+
+TEST(NoiseSpecTest, UniformDensity) {
+  NoiseSpec noise{NoiseKind::kUniform, 2.0};
+  EXPECT_DOUBLE_EQ(noise.Density(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(noise.Density(1.9), 0.25);
+  EXPECT_DOUBLE_EQ(noise.Density(2.1), 0.0);
+  EXPECT_DOUBLE_EQ(noise.Density(-2.1), 0.0);
+}
+
+TEST(NoiseSpecTest, GaussianDensity) {
+  NoiseSpec noise{NoiseKind::kGaussian, 1.0};
+  EXPECT_NEAR(noise.Density(0.0), 1.0 / std::sqrt(2.0 * M_PI), 1e-12);
+  EXPECT_GT(noise.Density(0.0), noise.Density(1.0));
+  EXPECT_NEAR(noise.Density(1.0), noise.Density(-1.0), 1e-15);
+}
+
+TEST(NoiseSpecTest, StdDevAndExtent) {
+  NoiseSpec uniform{NoiseKind::kUniform, 3.0};
+  EXPECT_NEAR(uniform.StdDev(), 3.0 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(uniform.Extent(), 3.0);
+  NoiseSpec gaussian{NoiseKind::kGaussian, 2.0};
+  EXPECT_DOUBLE_EQ(gaussian.StdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(gaussian.Extent(), 8.0);
+}
+
+TEST(NoiseSpecTest, UniformSamplesStayInRange) {
+  NoiseSpec noise{NoiseKind::kUniform, 1.5};
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    double y = noise.Sample(rng);
+    EXPECT_GE(y, -1.5);
+    EXPECT_LT(y, 1.5);
+  }
+}
+
+TEST(NoiseSpecTest, SampleMomentsMatchSpec) {
+  Rng rng(2);
+  for (NoiseKind kind : {NoiseKind::kUniform, NoiseKind::kGaussian}) {
+    NoiseSpec noise{kind, 2.0};
+    double sum = 0.0, sum_sq = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      double y = noise.Sample(rng);
+      sum += y;
+      sum_sq += y * y;
+    }
+    double mean = sum / kDraws;
+    double stddev = std::sqrt(sum_sq / kDraws - mean * mean);
+    EXPECT_NEAR(mean, 0.0, 0.03);
+    EXPECT_NEAR(stddev, noise.StdDev(), 0.03);
+  }
+}
+
+TEST(PerturbDatasetTest, RejectsNonPositiveScale) {
+  Dataset ds(1);
+  ds.Add(Vector{0.0});
+  Rng rng(3);
+  EXPECT_FALSE(PerturbDataset(ds, {NoiseKind::kUniform, 0.0}, rng).ok());
+  EXPECT_FALSE(PerturbDataset(ds, {NoiseKind::kGaussian, -1.0}, rng).ok());
+}
+
+TEST(PerturbDatasetTest, KeepsLabelsAndShape) {
+  Dataset ds(2, TaskType::kClassification);
+  ds.Add(Vector{1.0, 2.0}, 0);
+  ds.Add(Vector{3.0, 4.0}, 1);
+  Rng rng(4);
+  auto perturbed = PerturbDataset(ds, {NoiseKind::kUniform, 0.5}, rng);
+  ASSERT_TRUE(perturbed.ok());
+  EXPECT_EQ(perturbed->size(), 2u);
+  EXPECT_EQ(perturbed->label(0), 0);
+  EXPECT_EQ(perturbed->label(1), 1);
+  // Values moved but stayed within the noise bound.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_LE(std::abs(perturbed->record(i)[j] - ds.record(i)[j]), 0.5);
+    }
+  }
+}
+
+TEST(PerturbDatasetTest, PerturbationIsUnbiasedAndDecorrelating) {
+  // Perturbed data keeps per-dimension means, inflates variances by the
+  // noise variance, and keeps cross-covariances (noise is independent).
+  Rng rng(5);
+  Dataset ds(2);
+  for (int i = 0; i < 30000; ++i) {
+    double x = rng.Gaussian(0.0, 2.0);
+    ds.Add(Vector{x, x});  // perfectly correlated pair
+  }
+  NoiseSpec noise{NoiseKind::kUniform, 3.0};
+  auto perturbed = PerturbDataset(ds, noise, rng);
+  ASSERT_TRUE(perturbed.ok());
+
+  linalg::Matrix original_cov = ds.Covariance();
+  linalg::Matrix perturbed_cov = perturbed->Covariance();
+  double noise_var = noise.StdDev() * noise.StdDev();
+  EXPECT_NEAR(perturbed_cov(0, 0), original_cov(0, 0) + noise_var, 0.15);
+  EXPECT_NEAR(perturbed_cov(0, 1), original_cov(0, 1), 0.15);
+}
+
+TEST(PerturbValuesTest, SizePreservedAndValuesMoved) {
+  std::vector<double> values = {1.0, 2.0, 3.0};
+  Rng rng(6);
+  std::vector<double> perturbed =
+      PerturbValues(values, {NoiseKind::kGaussian, 1.0}, rng);
+  ASSERT_EQ(perturbed.size(), 3u);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (std::abs(perturbed[i] - values[i]) > 1e-12) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(PerturbDatasetTest, RegressionTargetsUntouched) {
+  Dataset ds(1, TaskType::kRegression);
+  ds.Add(Vector{1.0}, 42.0);
+  Rng rng(7);
+  auto perturbed = PerturbDataset(ds, {NoiseKind::kUniform, 1.0}, rng);
+  ASSERT_TRUE(perturbed.ok());
+  EXPECT_DOUBLE_EQ(perturbed->target(0), 42.0);
+}
+
+}  // namespace
+}  // namespace condensa::perturb

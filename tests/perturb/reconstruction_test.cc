@@ -1,0 +1,169 @@
+#include "perturb/reconstruction.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace condensa::perturb {
+namespace {
+
+TEST(ReconstructedDistributionTest, DensityIntegratesToOne) {
+  ReconstructedDistribution dist(0.0, 4.0, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_DOUBLE_EQ(dist.bin_width(), 1.0);
+  double integral = 0.0;
+  for (std::size_t j = 0; j < dist.bins(); ++j) {
+    integral += dist.Density(dist.BinCenter(j)) * dist.bin_width();
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(ReconstructedDistributionTest, DensityZeroOutsideSupport) {
+  ReconstructedDistribution dist(0.0, 1.0, {1.0});
+  EXPECT_DOUBLE_EQ(dist.Density(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Density(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Density(0.5), 1.0);
+}
+
+TEST(ReconstructedDistributionTest, MomentsOfUniform) {
+  // Flat over [0, 6): mean 3, variance 3.
+  ReconstructedDistribution dist(0.0, 6.0, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_NEAR(dist.Mean(), 3.0, 1e-12);
+  EXPECT_NEAR(dist.Variance(), 3.0, 1e-12);
+}
+
+TEST(ReconstructedDistributionTest, SampleStaysInSupport) {
+  ReconstructedDistribution dist(-2.0, 2.0, {0.5, 0.0, 0.0, 0.5});
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    double x = dist.Sample(rng);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 2.0);
+    // Middle bins have zero probability.
+    EXPECT_TRUE(x < -1.0 || x >= 1.0);
+  }
+}
+
+TEST(ReconstructDistributionTest, RejectsBadInput) {
+  NoiseSpec noise{NoiseKind::kUniform, 1.0};
+  EXPECT_FALSE(ReconstructDistribution({}, noise).ok());
+  EXPECT_FALSE(
+      ReconstructDistribution({1.0}, {NoiseKind::kUniform, 0.0}).ok());
+  ReconstructionOptions zero_bins;
+  zero_bins.bins = 0;
+  EXPECT_FALSE(ReconstructDistribution({1.0}, noise, zero_bins).ok());
+}
+
+TEST(ReconstructDistributionTest, RecoversMeanOfPointMass) {
+  // All originals at 5.0 with uniform noise: the reconstructed mean must
+  // come back near 5.0 even though observations spread over [4, 6].
+  Rng rng(2);
+  NoiseSpec noise{NoiseKind::kUniform, 1.0};
+  std::vector<double> perturbed;
+  for (int i = 0; i < 2000; ++i) {
+    perturbed.push_back(5.0 + noise.Sample(rng));
+  }
+  auto result = ReconstructDistribution(perturbed, noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distribution.Mean(), 5.0, 0.1);
+  // The EM estimate concentrates: variance far below the observed
+  // (original + noise) variance of ~1/3.
+  EXPECT_LT(result->distribution.Variance(), 0.15);
+}
+
+TEST(ReconstructDistributionTest, RecoversBimodalStructure) {
+  // Originals at two spikes (0 and 10); Gaussian noise σ=1. The
+  // reconstruction should put most mass near the spikes, little between.
+  Rng rng(3);
+  NoiseSpec noise{NoiseKind::kGaussian, 1.0};
+  std::vector<double> perturbed;
+  for (int i = 0; i < 3000; ++i) {
+    double x = (i % 2 == 0) ? 0.0 : 10.0;
+    perturbed.push_back(x + noise.Sample(rng));
+  }
+  auto result = ReconstructDistribution(perturbed, noise);
+  ASSERT_TRUE(result.ok());
+  const ReconstructedDistribution& dist = result->distribution;
+  double near_spikes = 0.0, between = 0.0;
+  for (std::size_t j = 0; j < dist.bins(); ++j) {
+    double c = dist.BinCenter(j);
+    if (std::abs(c - 0.0) < 1.5 || std::abs(c - 10.0) < 1.5) {
+      near_spikes += dist.bin_probabilities()[j];
+    } else if (c > 3.0 && c < 7.0) {
+      between += dist.bin_probabilities()[j];
+    }
+  }
+  EXPECT_GT(near_spikes, 0.8);
+  EXPECT_LT(between, 0.05);
+}
+
+TEST(ReconstructDistributionTest, RecoversUniformOriginal) {
+  // Originals uniform on [0, 10] with uniform noise of half-width 2:
+  // reconstructed mean ≈ 5, variance ≈ 100/12.
+  Rng rng(4);
+  NoiseSpec noise{NoiseKind::kUniform, 2.0};
+  std::vector<double> perturbed;
+  for (int i = 0; i < 5000; ++i) {
+    perturbed.push_back(rng.Uniform(0.0, 10.0) + noise.Sample(rng));
+  }
+  auto result = ReconstructDistribution(perturbed, noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distribution.Mean(), 5.0, 0.25);
+  EXPECT_NEAR(result->distribution.Variance(), 100.0 / 12.0, 1.2);
+}
+
+TEST(ReconstructDistributionTest, ConvergesAndReportsIterations) {
+  // Gaussian-noise deconvolution is ill-posed, so EM keeps sharpening the
+  // estimate slowly; a realistic L1 tolerance is needed for the converged
+  // flag to trip before the iteration cap.
+  Rng rng(5);
+  NoiseSpec noise{NoiseKind::kGaussian, 0.5};
+  std::vector<double> perturbed;
+  for (int i = 0; i < 500; ++i) {
+    perturbed.push_back(rng.Gaussian(0.0, 1.0) + noise.Sample(rng));
+  }
+  ReconstructionOptions options;
+  options.max_iterations = 2000;
+  options.tolerance = 1e-3;
+  auto result = ReconstructDistribution(perturbed, noise, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_GT(result->iterations, 0u);
+  EXPECT_LT(result->iterations, 2000u);
+}
+
+TEST(ReconstructDistributionTest, IterationCapReportsNotConverged) {
+  Rng rng(6);
+  NoiseSpec noise{NoiseKind::kGaussian, 0.5};
+  std::vector<double> perturbed;
+  for (int i = 0; i < 200; ++i) {
+    perturbed.push_back(rng.Gaussian(0.0, 1.0) + noise.Sample(rng));
+  }
+  ReconstructionOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 1e-12;
+  auto result = ReconstructDistribution(perturbed, noise, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->iterations, 3u);
+}
+
+TEST(ReconstructDistributionTest, SingleObservationWorks) {
+  NoiseSpec noise{NoiseKind::kUniform, 1.0};
+  auto result = ReconstructDistribution({3.0}, noise);
+  ASSERT_TRUE(result.ok());
+  // Support contains the observation; mean close to it.
+  EXPECT_NEAR(result->distribution.Mean(), 3.0, 1.0);
+}
+
+TEST(ReconstructDistributionTest, IdenticalObservationsWork) {
+  NoiseSpec noise{NoiseKind::kGaussian, 0.5};
+  std::vector<double> perturbed(100, 7.0);
+  auto result = ReconstructDistribution(perturbed, noise);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->distribution.Mean(), 7.0, 0.2);
+}
+
+}  // namespace
+}  // namespace condensa::perturb
