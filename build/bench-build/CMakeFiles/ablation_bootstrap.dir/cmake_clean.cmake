@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_bootstrap"
+  "../bench/ablation_bootstrap.pdb"
+  "CMakeFiles/ablation_bootstrap.dir/ablation_bootstrap_main.cc.o"
+  "CMakeFiles/ablation_bootstrap.dir/ablation_bootstrap_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_group_size"
+  "../bench/ablation_group_size.pdb"
+  "CMakeFiles/ablation_group_size.dir/ablation_group_size_main.cc.o"
+  "CMakeFiles/ablation_group_size.dir/ablation_group_size_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kanonymity"
+  "../bench/ablation_kanonymity.pdb"
+  "CMakeFiles/ablation_kanonymity.dir/ablation_kanonymity_main.cc.o"
+  "CMakeFiles/ablation_kanonymity.dir/ablation_kanonymity_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kanonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_perturbation"
+  "../bench/ablation_perturbation.pdb"
+  "CMakeFiles/ablation_perturbation.dir/ablation_perturbation_main.cc.o"
+  "CMakeFiles/ablation_perturbation.dir/ablation_perturbation_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

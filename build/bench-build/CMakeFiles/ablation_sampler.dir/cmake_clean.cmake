@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sampler"
+  "../bench/ablation_sampler.pdb"
+  "CMakeFiles/ablation_sampler.dir/ablation_sampler_main.cc.o"
+  "CMakeFiles/ablation_sampler.dir/ablation_sampler_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_split"
+  "../bench/ablation_split.pdb"
+  "CMakeFiles/ablation_split.dir/ablation_split_main.cc.o"
+  "CMakeFiles/ablation_split.dir/ablation_split_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

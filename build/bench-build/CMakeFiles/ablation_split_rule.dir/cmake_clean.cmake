@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_split_rule"
+  "../bench/ablation_split_rule.pdb"
+  "CMakeFiles/ablation_split_rule.dir/ablation_split_rule_main.cc.o"
+  "CMakeFiles/ablation_split_rule.dir/ablation_split_rule_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

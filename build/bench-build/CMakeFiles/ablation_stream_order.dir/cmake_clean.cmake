@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_stream_order"
+  "../bench/ablation_stream_order.pdb"
+  "CMakeFiles/ablation_stream_order.dir/ablation_stream_order_main.cc.o"
+  "CMakeFiles/ablation_stream_order.dir/ablation_stream_order_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

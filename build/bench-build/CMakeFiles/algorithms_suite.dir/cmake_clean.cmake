@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/algorithms_suite"
+  "../bench/algorithms_suite.pdb"
+  "CMakeFiles/algorithms_suite.dir/algorithms_suite_main.cc.o"
+  "CMakeFiles/algorithms_suite.dir/algorithms_suite_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithms_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_bench_common.dir/figure_common.cc.o"
+  "CMakeFiles/condensa_bench_common.dir/figure_common.cc.o.d"
+  "libcondensa_bench_common.a"
+  "libcondensa_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ionosphere"
+  "../bench/fig5_ionosphere.pdb"
+  "CMakeFiles/fig5_ionosphere.dir/fig5_ionosphere_main.cc.o"
+  "CMakeFiles/fig5_ionosphere.dir/fig5_ionosphere_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ionosphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ecoli"
+  "../bench/fig6_ecoli.pdb"
+  "CMakeFiles/fig6_ecoli.dir/fig6_ecoli_main.cc.o"
+  "CMakeFiles/fig6_ecoli.dir/fig6_ecoli_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ecoli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_pima"
+  "../bench/fig7_pima.pdb"
+  "CMakeFiles/fig7_pima.dir/fig7_pima_main.cc.o"
+  "CMakeFiles/fig7_pima.dir/fig7_pima_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

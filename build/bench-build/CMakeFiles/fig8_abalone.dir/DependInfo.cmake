@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_abalone_main.cc" "bench-build/CMakeFiles/fig8_abalone.dir/fig8_abalone_main.cc.o" "gcc" "bench-build/CMakeFiles/fig8_abalone.dir/fig8_abalone_main.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/condensa_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/perturb/CMakeFiles/condensa_perturb.dir/DependInfo.cmake"
+  "/root/repo/build/src/anonymity/CMakeFiles/condensa_anonymity.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/condensa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/condensa_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/condensa_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/condensa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/condensa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_abalone"
+  "../bench/fig8_abalone.pdb"
+  "CMakeFiles/fig8_abalone.dir/fig8_abalone_main.cc.o"
+  "CMakeFiles/fig8_abalone.dir/fig8_abalone_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_abalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

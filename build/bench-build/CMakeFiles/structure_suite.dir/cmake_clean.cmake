@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/structure_suite"
+  "../bench/structure_suite.pdb"
+  "CMakeFiles/structure_suite.dir/structure_suite_main.cc.o"
+  "CMakeFiles/structure_suite.dir/structure_suite_main.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

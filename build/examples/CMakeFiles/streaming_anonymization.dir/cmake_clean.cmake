@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_anonymization.dir/streaming_anonymization.cpp.o"
+  "CMakeFiles/streaming_anonymization.dir/streaming_anonymization.cpp.o.d"
+  "streaming_anonymization"
+  "streaming_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
