@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/failpoint.cc" "src/common/CMakeFiles/condensa_common.dir/failpoint.cc.o" "gcc" "src/common/CMakeFiles/condensa_common.dir/failpoint.cc.o.d"
+  "/root/repo/src/common/io.cc" "src/common/CMakeFiles/condensa_common.dir/io.cc.o" "gcc" "src/common/CMakeFiles/condensa_common.dir/io.cc.o.d"
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/condensa_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/condensa_common.dir/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/condensa_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/condensa_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/condensa_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/condensa_common.dir/string_util.cc.o.d"

@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/condensa_common.dir/failpoint.cc.o"
+  "CMakeFiles/condensa_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/condensa_common.dir/io.cc.o"
+  "CMakeFiles/condensa_common.dir/io.cc.o.d"
   "CMakeFiles/condensa_common.dir/random.cc.o"
   "CMakeFiles/condensa_common.dir/random.cc.o.d"
   "CMakeFiles/condensa_common.dir/status.cc.o"

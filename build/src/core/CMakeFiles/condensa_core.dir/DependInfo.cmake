@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/anonymizer.cc" "src/core/CMakeFiles/condensa_core.dir/anonymizer.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/anonymizer.cc.o.d"
+  "/root/repo/src/core/checkpointing.cc" "src/core/CMakeFiles/condensa_core.dir/checkpointing.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/checkpointing.cc.o.d"
   "/root/repo/src/core/condensed_group_set.cc" "src/core/CMakeFiles/condensa_core.dir/condensed_group_set.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/condensed_group_set.cc.o.d"
   "/root/repo/src/core/dynamic_condenser.cc" "src/core/CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o.d"
   "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/condensa_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/engine.cc.o.d"

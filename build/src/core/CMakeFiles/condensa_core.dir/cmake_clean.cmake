@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/condensa_core.dir/anonymizer.cc.o"
   "CMakeFiles/condensa_core.dir/anonymizer.cc.o.d"
+  "CMakeFiles/condensa_core.dir/checkpointing.cc.o"
+  "CMakeFiles/condensa_core.dir/checkpointing.cc.o.d"
   "CMakeFiles/condensa_core.dir/condensed_group_set.cc.o"
   "CMakeFiles/condensa_core.dir/condensed_group_set.cc.o.d"
   "CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o"

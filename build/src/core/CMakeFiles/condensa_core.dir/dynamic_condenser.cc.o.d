@@ -166,4 +166,5 @@ src/core/CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o: \
  /root/repo/src/core/condensed_group_set.h /usr/include/c++/12/cstddef \
  /root/repo/src/core/group_statistics.h /root/repo/src/linalg/matrix.h \
  /root/repo/src/common/check.h /root/repo/src/linalg/vector.h \
- /root/repo/src/core/split.h /root/repo/src/core/static_condenser.h
+ /root/repo/src/core/split.h /root/repo/src/common/failpoint.h \
+ /root/repo/src/core/static_condenser.h

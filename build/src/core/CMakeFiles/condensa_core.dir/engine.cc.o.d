@@ -204,5 +204,6 @@ src/core/CMakeFiles/condensa_core.dir/engine.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/core/checkpointing.h /root/repo/src/common/io.h \
  /root/repo/src/core/dynamic_condenser.h \
  /root/repo/src/core/static_condenser.h

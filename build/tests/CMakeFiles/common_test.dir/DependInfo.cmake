@@ -8,6 +8,8 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/failpoint_test.cc" "tests/CMakeFiles/common_test.dir/common/failpoint_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/failpoint_test.cc.o.d"
+  "/root/repo/tests/common/io_test.cc" "tests/CMakeFiles/common_test.dir/common/io_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/io_test.cc.o.d"
   "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
   "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"

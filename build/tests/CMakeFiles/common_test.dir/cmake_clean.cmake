@@ -1,4 +1,8 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/common_test.dir/common/failpoint_test.cc.o"
+  "CMakeFiles/common_test.dir/common/failpoint_test.cc.o.d"
+  "CMakeFiles/common_test.dir/common/io_test.cc.o"
+  "CMakeFiles/common_test.dir/common/io_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/random_test.cc.o"
   "CMakeFiles/common_test.dir/common/random_test.cc.o.d"
   "CMakeFiles/common_test.dir/common/status_test.cc.o"

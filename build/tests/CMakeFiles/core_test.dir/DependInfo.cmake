@@ -9,10 +9,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/anonymizer_test.cc" "tests/CMakeFiles/core_test.dir/core/anonymizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/anonymizer_test.cc.o.d"
+  "/root/repo/tests/core/checkpointing_test.cc" "tests/CMakeFiles/core_test.dir/core/checkpointing_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/checkpointing_test.cc.o.d"
   "/root/repo/tests/core/condensed_group_set_test.cc" "tests/CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o.d"
   "/root/repo/tests/core/dynamic_condenser_test.cc" "tests/CMakeFiles/core_test.dir/core/dynamic_condenser_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/dynamic_condenser_test.cc.o.d"
   "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
   "/root/repo/tests/core/group_statistics_test.cc" "tests/CMakeFiles/core_test.dir/core/group_statistics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/group_statistics_test.cc.o.d"
+  "/root/repo/tests/core/serialization_corruption_test.cc" "tests/CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o.d"
   "/root/repo/tests/core/serialization_test.cc" "tests/CMakeFiles/core_test.dir/core/serialization_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/serialization_test.cc.o.d"
   "/root/repo/tests/core/split_test.cc" "tests/CMakeFiles/core_test.dir/core/split_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/split_test.cc.o.d"
   "/root/repo/tests/core/static_condenser_test.cc" "tests/CMakeFiles/core_test.dir/core/static_condenser_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/static_condenser_test.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/anonymizer_test.cc.o"
   "CMakeFiles/core_test.dir/core/anonymizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/checkpointing_test.cc.o"
+  "CMakeFiles/core_test.dir/core/checkpointing_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o"
   "CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/dynamic_condenser_test.cc.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/group_statistics_test.cc.o"
   "CMakeFiles/core_test.dir/core/group_statistics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o"
+  "CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/serialization_test.cc.o"
   "CMakeFiles/core_test.dir/core/serialization_test.cc.o.d"
   "CMakeFiles/core_test.dir/core/split_test.cc.o"

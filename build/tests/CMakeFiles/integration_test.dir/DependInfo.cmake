@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/crash_recovery_test.cc" "tests/CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o.d"
   "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
   "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/integration_test.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/property_test.cc.o.d"
   )

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/crash_recovery_test.cc.o.d"
   "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o"
   "CMakeFiles/integration_test.dir/integration/end_to_end_test.cc.o.d"
   "CMakeFiles/integration_test.dir/integration/property_test.cc.o"

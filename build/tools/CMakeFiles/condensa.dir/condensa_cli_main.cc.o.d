@@ -134,7 +134,8 @@ tools/CMakeFiles/condensa.dir/condensa_cli_main.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/random.h \
- /root/repo/src/common/string_util.h /root/repo/src/core/engine.h \
+ /root/repo/src/common/string_util.h /root/repo/src/core/checkpointing.h \
+ /usr/include/c++/12/cstddef /root/repo/src/common/io.h \
  /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
@@ -172,10 +173,12 @@ tools/CMakeFiles/condensa.dir/condensa_cli_main.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/anonymizer.h \
- /root/repo/src/core/condensed_group_set.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/dynamic_condenser.h \
+ /root/repo/src/core/condensed_group_set.h \
  /root/repo/src/core/group_statistics.h /root/repo/src/linalg/matrix.h \
  /root/repo/src/common/check.h /root/repo/src/linalg/vector.h \
- /root/repo/src/core/split.h /root/repo/src/data/dataset.h \
+ /root/repo/src/core/split.h /root/repo/src/core/engine.h \
+ /root/repo/src/core/anonymizer.h /root/repo/src/data/dataset.h \
  /root/repo/src/core/serialization.h /root/repo/src/data/csv.h \
  /root/repo/src/metrics/compatibility.h /root/repo/src/metrics/privacy.h

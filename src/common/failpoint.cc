@@ -1,0 +1,100 @@
+#include "common/failpoint.h"
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace condensa {
+namespace {
+
+struct Entry {
+  std::size_t hits = 0;
+  std::optional<FailPointSpec> spec;
+};
+
+std::mutex& Mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Entry>& Registry() {
+  static std::map<std::string, Entry>* registry =
+      new std::map<std::string, Entry>();
+  return *registry;
+}
+
+Status MakeStatus(const std::string& name, const FailPointSpec& spec) {
+  std::string message = spec.message.empty()
+                            ? "failpoint " + name + " triggered"
+                            : spec.message;
+  return Status(spec.code, std::move(message));
+}
+
+}  // namespace
+
+void FailPoint::Arm(const std::string& name, FailPointSpec spec) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Entry& entry = Registry()[name];
+  entry.hits = 0;
+  entry.spec = std::move(spec);
+}
+
+void FailPoint::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it != Registry().end()) {
+    it->second.spec.reset();
+  }
+}
+
+void FailPoint::Reset() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Registry().clear();
+}
+
+FailPointDecision FailPoint::Check(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  Entry& entry = Registry()[name];
+  ++entry.hits;
+  FailPointDecision decision;
+  if (!entry.spec.has_value()) {
+    return decision;
+  }
+  const FailPointSpec& spec = *entry.spec;
+  if (entry.hits < spec.fail_at) {
+    return decision;
+  }
+  if (spec.repeat != static_cast<std::size_t>(-1) &&
+      entry.hits >= spec.fail_at + spec.repeat) {
+    return decision;
+  }
+  decision.fail = true;
+  decision.mode = spec.mode;
+  decision.torn_bytes = spec.torn_bytes;
+  decision.status = MakeStatus(name, spec);
+  return decision;
+}
+
+Status FailPoint::Maybe(const std::string& name) {
+  return Check(name).status;
+}
+
+std::size_t FailPoint::HitCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> FailPoint::Armed() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : Registry()) {
+    if (entry.spec.has_value()) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+}  // namespace condensa

@@ -1,0 +1,89 @@
+// Named failure-injection points for robustness testing.
+//
+// Production code sprinkles cheap probes at the places where the real world
+// can fail — file writes, fsyncs, renames, eigensolver convergence — and
+// tests arm those probes to force the failure at an exact call count:
+//
+//   FailPoint::Arm("io.append", {.fail_at = 3});     // 3rd append fails
+//   ... exercise the code under test ...
+//   FailPoint::Reset();
+//
+// Unarmed probes only bump a hit counter, so tests can first measure how
+// many failure boundaries a scenario crosses (HitCount) and then re-run the
+// scenario once per boundary with the crash injected there. The registry is
+// process-global and mutex-protected; probes cost one mutex acquisition,
+// which is irrelevant outside hot loops and the instrumented sites are all
+// I/O-bound anyway.
+
+#ifndef CONDENSA_COMMON_FAILPOINT_H_
+#define CONDENSA_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace condensa {
+
+// What an armed probe does when it triggers.
+enum class FailPointMode {
+  // The instrumented call fails cleanly with the configured status.
+  kError = 0,
+  // I/O helpers write only `torn_bytes` of the payload before failing —
+  // simulating a crash mid-write that leaves a torn file behind.
+  kTornWrite = 1,
+};
+
+struct FailPointSpec {
+  // 1-based hit index at which the probe starts firing.
+  std::size_t fail_at = 1;
+  // Number of consecutive hits (from fail_at) that fail; SIZE_MAX = every
+  // hit from fail_at on.
+  std::size_t repeat = 1;
+  FailPointMode mode = FailPointMode::kError;
+  // Bytes of payload written before the simulated crash in kTornWrite
+  // mode. SIZE_MAX means "half of the payload".
+  std::size_t torn_bytes = static_cast<std::size_t>(-1);
+  StatusCode code = StatusCode::kDataLoss;
+  // Optional message override; empty -> "failpoint <name> triggered".
+  std::string message;
+};
+
+// Result of consulting a probe: whether this hit fails, and how.
+struct FailPointDecision {
+  bool fail = false;
+  FailPointMode mode = FailPointMode::kError;
+  std::size_t torn_bytes = 0;
+  Status status;  // non-OK iff fail
+};
+
+class FailPoint {
+ public:
+  // Arms `name`; replaces any previous spec and resets its hit count.
+  static void Arm(const std::string& name, FailPointSpec spec);
+
+  // Disarms `name` (hit counting continues).
+  static void Disarm(const std::string& name);
+
+  // Disarms every probe and zeroes all hit counts.
+  static void Reset();
+
+  // The probe call for sites that can only fail cleanly. Increments the
+  // hit count; returns the armed status when triggered, OK otherwise.
+  static Status Maybe(const std::string& name);
+
+  // The probe call for I/O sites that can also tear writes. Increments the
+  // hit count and describes what this hit should do.
+  static FailPointDecision Check(const std::string& name);
+
+  // Hits recorded for `name` since the last Reset/Arm (armed or not).
+  static std::size_t HitCount(const std::string& name);
+
+  // Names currently armed (for diagnostics).
+  static std::vector<std::string> Armed();
+};
+
+}  // namespace condensa
+
+#endif  // CONDENSA_COMMON_FAILPOINT_H_

@@ -1,5 +1,6 @@
 #include "core/anonymizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/eigen.h"
@@ -35,8 +36,12 @@ StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
       options_.distribution == SamplingDistribution::kGaussian;
   linalg::Vector scale(d);
   for (std::size_t j = 0; j < d; ++j) {
-    scale[j] = gaussian ? std::sqrt(eigen.eigenvalues[j])
-                        : std::sqrt(3.0 * eigen.eigenvalues[j]);
+    // Singular group covariances (constant attributes, duplicate points)
+    // can surface eigenvalues a hair below zero through numerical noise;
+    // treat them as the exact zeros they represent rather than feeding
+    // sqrt a negative.
+    const double lambda = std::max(0.0, eigen.eigenvalues[j]);
+    scale[j] = gaussian ? std::sqrt(lambda) : std::sqrt(3.0 * lambda);
   }
 
   for (std::size_t i = 0; i < count; ++i) {

@@ -1,0 +1,517 @@
+#include "core/checkpointing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "core/serialization.h"
+
+namespace condensa::core {
+namespace {
+
+constexpr char kSnapshotMagic[] = "condensa-snapshot v1";
+constexpr char kJournalMagic[] = "condensa-journal v1";
+constexpr char kGroupsMagic[] = "condensa-groups v1";
+
+std::string SequenceTag(std::size_t sequence) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%06zu", sequence);
+  return buffer;
+}
+
+std::string SnapshotName(std::size_t sequence) {
+  return "snapshot-" + SequenceTag(sequence) + ".condensa";
+}
+
+std::string JournalName(std::size_t sequence) {
+  return "journal-" + SequenceTag(sequence) + ".log";
+}
+
+// Extracts the sequence number from a checkpoint file name; false when the
+// name is not of the given kind.
+bool ParseSequence(const std::string& name, const std::string& prefix,
+                   const std::string& suffix, std::size_t* sequence) {
+  if (!StartsWith(name, prefix) || name.size() <= prefix.size() + suffix.size() ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  int parsed = 0;
+  if (!ParseInt(name.substr(prefix.size(),
+                            name.size() - prefix.size() - suffix.size()),
+                &parsed) ||
+      parsed < 0) {
+    return false;
+  }
+  *sequence = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+std::string JournalHeader(std::size_t sequence) {
+  return std::string(kJournalMagic) + " base " + std::to_string(sequence) +
+         "\n";
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out += buffer;
+}
+
+// One journal entry: "<op> v0 ... vd-1 .\n". The trailing "." marks a
+// complete entry; a line missing it (or its newline) is a torn write.
+std::string JournalLine(char op, const linalg::Vector& record) {
+  std::string line(1, op);
+  for (std::size_t j = 0; j < record.dim(); ++j) {
+    line += ' ';
+    AppendDouble(line, record[j]);
+  }
+  line += " .\n";
+  return line;
+}
+
+bool ParseJournalLine(const std::string& line, std::size_t dim, char* op,
+                      linalg::Vector* record) {
+  std::istringstream stream(line);
+  std::string token;
+  if (!(stream >> token) || token.size() != 1 ||
+      (token[0] != 'i' && token[0] != 'r')) {
+    return false;
+  }
+  *op = token[0];
+  for (std::size_t j = 0; j < dim; ++j) {
+    if (!(stream >> token) || !ParseDouble(token, &(*record)[j])) {
+      return false;
+    }
+  }
+  // Terminator, then nothing else.
+  return (stream >> token) && token == "." && !(stream >> token);
+}
+
+}  // namespace
+
+std::string SerializeCondenserState(const DynamicCondenser::State& state,
+                                    std::size_t sequence) {
+  const bool forming =
+      state.forming.has_value() && state.forming->count() > 0;
+  std::string out = kSnapshotMagic;
+  out += "\nseq ";
+  out += std::to_string(sequence);
+  out += " records ";
+  out += std::to_string(state.records_seen);
+  out += " splits ";
+  out += std::to_string(state.split_count);
+  out += " merges ";
+  out += std::to_string(state.merge_count);
+  out += " bootstrapped ";
+  out += state.bootstrapped ? '1' : '0';
+  out += " forming ";
+  out += forming ? '1' : '0';
+  out += '\n';
+  out += SerializeGroupSet(state.groups);
+  if (forming) {
+    // The forming buffer rides along as a one-group set of the same k.
+    CondensedGroupSet wrapper(state.groups.dim(),
+                              state.groups.indistinguishability_level());
+    wrapper.AddGroup(*state.forming);
+    out += SerializeGroupSet(wrapper);
+  }
+  out += "end\n";
+  return out;
+}
+
+StatusOr<DynamicCondenser::State> DeserializeCondenserState(
+    const std::string& text, std::size_t* sequence_out) {
+  std::istringstream stream(text);
+  std::string line;
+  if (!std::getline(stream, line) || StripWhitespace(line) != kSnapshotMagic) {
+    return InvalidArgumentError("missing condensa-snapshot v1 header");
+  }
+
+  std::string keyword;
+  int seq = 0, records = 0, splits = 0, merges = 0, bootstrapped = 0,
+      forming = 0;
+  std::string token;
+  auto next_int = [&stream, &token](int* value) {
+    return static_cast<bool>(stream >> token) && ParseInt(token, value) &&
+           *value >= 0;
+  };
+  if (!(stream >> keyword) || keyword != "seq" || !next_int(&seq) ||
+      !(stream >> keyword) || keyword != "records" || !next_int(&records) ||
+      !(stream >> keyword) || keyword != "splits" || !next_int(&splits) ||
+      !(stream >> keyword) || keyword != "merges" || !next_int(&merges) ||
+      !(stream >> keyword) || keyword != "bootstrapped" ||
+      !next_int(&bootstrapped) || bootstrapped > 1 ||
+      !(stream >> keyword) || keyword != "forming" || !next_int(&forming) ||
+      forming > 1) {
+    return DataLossError("malformed snapshot header line");
+  }
+
+  // The remainder is one or two embedded group-set sections plus a
+  // trailing "end" marker that proves the snapshot was written fully.
+  std::size_t body_begin = text.find(kGroupsMagic);
+  if (body_begin == std::string::npos) {
+    return DataLossError("snapshot missing group-set section");
+  }
+  std::string_view remainder(text);
+  remainder.remove_prefix(body_begin);
+  std::size_t end_marker = remainder.rfind("\nend");
+  if (end_marker == std::string_view::npos ||
+      StripWhitespace(remainder.substr(end_marker)) != "end") {
+    return DataLossError("snapshot missing end marker (truncated write?)");
+  }
+  remainder = remainder.substr(0, end_marker + 1);  // keep final newline
+
+  std::size_t forming_begin =
+      remainder.find(kGroupsMagic, std::strlen(kGroupsMagic));
+  if ((forming == 1) != (forming_begin != std::string::npos)) {
+    return DataLossError("snapshot forming flag disagrees with body");
+  }
+
+  DynamicCondenser::State state;
+  if (forming == 1) {
+    CONDENSA_ASSIGN_OR_RETURN(
+        state.groups,
+        DeserializeGroupSet(std::string(remainder.substr(0, forming_begin))));
+    CONDENSA_ASSIGN_OR_RETURN(
+        CondensedGroupSet wrapper,
+        DeserializeGroupSet(std::string(remainder.substr(forming_begin))));
+    if (wrapper.num_groups() != 1) {
+      return DataLossError("snapshot forming section must hold one group");
+    }
+    state.forming = wrapper.group(0);
+  } else {
+    CONDENSA_ASSIGN_OR_RETURN(state.groups,
+                              DeserializeGroupSet(std::string(remainder)));
+  }
+  state.records_seen = static_cast<std::size_t>(records);
+  state.split_count = static_cast<std::size_t>(splits);
+  state.merge_count = static_cast<std::size_t>(merges);
+  state.bootstrapped = bootstrapped == 1;
+  if (sequence_out != nullptr) {
+    *sequence_out = static_cast<std::size_t>(seq);
+  }
+  return state;
+}
+
+StatusOr<DurableCondenser> DurableCondenser::Create(
+    std::size_t dim, DynamicCondenserOptions options,
+    DurabilityOptions durability, const std::string& dir) {
+  if (dim == 0) {
+    return InvalidArgumentError("record dimension must be positive");
+  }
+  if (durability.snapshot_interval == 0) {
+    return InvalidArgumentError("snapshot_interval must be >= 1");
+  }
+  CONDENSA_RETURN_IF_ERROR(CreateDirectories(dir));
+  CONDENSA_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                            ListDirectory(dir));
+  for (const std::string& name : entries) {
+    std::size_t ignored = 0;
+    if (ParseSequence(name, "snapshot-", ".condensa", &ignored) ||
+        ParseSequence(name, "journal-", ".log", &ignored)) {
+      return FailedPreconditionError(
+          dir + " already holds checkpoint state; use Recover or Open");
+    }
+  }
+
+  DurableCondenser durable(DynamicCondenser(dim, options), durability, dir);
+  CONDENSA_RETURN_IF_ERROR(durable.WriteSnapshot());
+  return durable;
+}
+
+StatusOr<DurableCondenser> DurableCondenser::Recover(
+    const std::string& dir, DynamicCondenserOptions options,
+    DurabilityOptions durability) {
+  if (durability.snapshot_interval == 0) {
+    return InvalidArgumentError("snapshot_interval must be >= 1");
+  }
+  CONDENSA_ASSIGN_OR_RETURN(std::vector<std::string> entries,
+                            ListDirectory(dir));
+  std::vector<std::size_t> snapshots;
+  bool any_state = false;
+  for (const std::string& name : entries) {
+    std::size_t sequence = 0;
+    if (ParseSequence(name, "snapshot-", ".condensa", &sequence)) {
+      snapshots.push_back(sequence);
+      any_state = true;
+    } else if (ParseSequence(name, "journal-", ".log", &sequence)) {
+      any_state = true;
+    }
+  }
+  if (!any_state) {
+    return NotFoundError(dir + " holds no checkpoint state");
+  }
+  if (snapshots.empty()) {
+    return DataLossError(dir + " has journals but no snapshot");
+  }
+  std::sort(snapshots.rbegin(), snapshots.rend());
+
+  // Walk snapshots newest-first until one parses cleanly.
+  DynamicCondenser::State state;
+  std::size_t chosen = 0;
+  bool found = false;
+  for (std::size_t sequence : snapshots) {
+    auto text = ReadFileToString(dir + "/" + SnapshotName(sequence));
+    if (!text.ok()) continue;
+    std::size_t embedded = 0;
+    auto parsed = DeserializeCondenserState(*text, &embedded);
+    if (!parsed.ok() || embedded != sequence) continue;
+    state = std::move(parsed).value();
+    chosen = sequence;
+    found = true;
+    break;
+  }
+  if (!found) {
+    return DataLossError(dir + " has no recoverable snapshot");
+  }
+
+  CONDENSA_ASSIGN_OR_RETURN(DynamicCondenser condenser,
+                            DynamicCondenser::FromState(std::move(state),
+                                                        options));
+  DurableCondenser durable(std::move(condenser), durability, dir);
+  durable.sequence_ = chosen;
+
+  // Replay the journal of the chosen generation onto the snapshot,
+  // stopping at (and truncating) the first torn or malformed entry.
+  const std::string journal_path = dir + "/" + JournalName(chosen);
+  const std::string header = JournalHeader(chosen);
+  std::string content;
+  if (auto read = ReadFileToString(journal_path); read.ok()) {
+    content = std::move(read).value();
+  }
+  std::size_t valid_offset = 0;
+  std::size_t replayed = 0;
+  if (StartsWith(content, header)) {
+    valid_offset = header.size();
+    const std::size_t dim = durable.condenser_.dim();
+    linalg::Vector record(dim);
+    while (valid_offset < content.size()) {
+      std::size_t line_end = content.find('\n', valid_offset);
+      if (line_end == std::string::npos) {
+        break;  // torn tail: entry never got its newline
+      }
+      std::string line =
+          content.substr(valid_offset, line_end - valid_offset);
+      char op = 0;
+      if (!ParseJournalLine(line, dim, &op, &record)) {
+        break;  // malformed entry: truncate from here
+      }
+      Status applied = op == 'i' ? durable.condenser_.Insert(record)
+                                 : durable.condenser_.Remove(record);
+      if (!applied.ok()) {
+        break;
+      }
+      valid_offset = line_end + 1;
+      ++replayed;
+    }
+  }
+
+  // Re-open the journal for appending, repairing the torn tail (or a
+  // missing/corrupt header) in place.
+  CONDENSA_ASSIGN_OR_RETURN(durable.journal_, AppendFile::Open(journal_path));
+  if (valid_offset != content.size() || valid_offset == 0) {
+    CONDENSA_RETURN_IF_ERROR(durable.journal_.Truncate(valid_offset));
+    if (valid_offset == 0) {
+      CONDENSA_RETURN_IF_ERROR(durable.journal_.Append(header));
+      valid_offset = header.size();
+    }
+    CONDENSA_RETURN_IF_ERROR(durable.journal_.Sync());
+  }
+  durable.journal_bytes_ = valid_offset;
+  durable.appends_ = replayed;
+
+  // Prune stale generations and leftover temp files (best effort).
+  for (const std::string& name : entries) {
+    std::size_t sequence = 0;
+    bool stale_snapshot =
+        ParseSequence(name, "snapshot-", ".condensa", &sequence) &&
+        sequence != chosen;
+    bool stale_journal =
+        ParseSequence(name, "journal-", ".log", &sequence) &&
+        sequence != chosen;
+    bool temp = name.find(".tmp.") != std::string::npos;
+    if (stale_snapshot || stale_journal || temp) {
+      RemoveFile(dir + "/" + name);
+    }
+  }
+  return durable;
+}
+
+StatusOr<DurableCondenser> DurableCondenser::Open(
+    std::size_t dim, DynamicCondenserOptions options,
+    DurabilityOptions durability, const std::string& dir) {
+  auto recovered = Recover(dir, options, durability);
+  if (recovered.ok()) {
+    if (recovered->condenser().dim() != dim) {
+      return InvalidArgumentError(
+          "checkpoint state in " + dir + " has dimension " +
+          std::to_string(recovered->condenser().dim()) + ", expected " +
+          std::to_string(dim));
+    }
+    return recovered;
+  }
+  if (IsNotFound(recovered.status())) {
+    return Create(dim, options, durability, dir);
+  }
+  return recovered.status();
+}
+
+Status DurableCondenser::Bootstrap(
+    const std::vector<linalg::Vector>& initial, Rng& rng) {
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "durable condenser is unusable after a failed rebuild; Recover");
+  }
+  Status applied = condenser_.Bootstrap(initial, rng);
+  if (!applied.ok()) {
+    // A failed static condensation can leave partial in-memory state that
+    // no journal entry describes; rebuild from disk before continuing.
+    CONDENSA_RETURN_IF_ERROR(ReloadFromDisk());
+    return applied;
+  }
+  // The journal cannot express a static condensation (it is randomized);
+  // the bootstrap becomes durable with this snapshot.
+  return WriteSnapshot();
+}
+
+Status DurableCondenser::AppendJournal(char op,
+                                       const linalg::Vector& record) {
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("checkpoint.journal_append"));
+  const std::string line = JournalLine(op, record);
+  Status status = journal_.Append(line);
+  if (status.ok() && durability_.sync_every_append) {
+    status = journal_.Sync();
+  }
+  if (!status.ok()) {
+    // The line may be partially (torn write) or even fully (failed sync)
+    // on disk. Roll it back so journal_bytes_ stays the exact length of
+    // the durable content — otherwise a later apply-failure truncation
+    // would chop into entries acknowledged after this orphan (best
+    // effort; a crash before the repair is healed by recovery's
+    // torn-tail truncation instead).
+    journal_.Truncate(journal_bytes_);
+    journal_.Sync();
+    return status;
+  }
+  journal_bytes_ += line.size();
+  return OkStatus();
+}
+
+Status DurableCondenser::ReloadFromDisk() {
+  auto reloaded = Recover(dir_, condenser_.options(), durability_);
+  if (!reloaded.ok()) {
+    // Memory and disk may now disagree; refuse all further durable
+    // operations so a later Checkpoint cannot persist the divergence.
+    poisoned_ = true;
+    journal_.Close();
+    return reloaded.status();
+  }
+  *this = std::move(reloaded).value();
+  return OkStatus();
+}
+
+Status DurableCondenser::Insert(const linalg::Vector& record) {
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "durable condenser is unusable after a failed rebuild; Recover");
+  }
+  if (record.dim() != condenser_.dim()) {
+    return InvalidArgumentError("record dimension mismatch");
+  }
+  const std::size_t offset_before = journal_bytes_;
+  CONDENSA_RETURN_IF_ERROR(AppendJournal('i', record));
+  Status applied = condenser_.Insert(record);
+  if (!applied.ok()) {
+    // Keep journal == applied state: drop the entry we could not apply,
+    // then rebuild memory from disk — the failed apply may have left the
+    // structure partially mutated (record added, 2k split aborted).
+    journal_.Truncate(offset_before);
+    journal_.Sync();
+    journal_bytes_ = offset_before;
+    CONDENSA_RETURN_IF_ERROR(ReloadFromDisk());
+    return applied;
+  }
+  if (++appends_ >= durability_.snapshot_interval) {
+    return WriteSnapshot();
+  }
+  return OkStatus();
+}
+
+Status DurableCondenser::Remove(const linalg::Vector& record) {
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "durable condenser is unusable after a failed rebuild; Recover");
+  }
+  if (record.dim() != condenser_.dim()) {
+    return InvalidArgumentError("record dimension mismatch");
+  }
+  const std::size_t offset_before = journal_bytes_;
+  CONDENSA_RETURN_IF_ERROR(AppendJournal('r', record));
+  Status applied = condenser_.Remove(record);
+  if (!applied.ok()) {
+    // Same hazard as Insert: a failed Remove may have merged groups
+    // before its resplit aborted. Roll back the entry and rebuild.
+    journal_.Truncate(offset_before);
+    journal_.Sync();
+    journal_bytes_ = offset_before;
+    CONDENSA_RETURN_IF_ERROR(ReloadFromDisk());
+    return applied;
+  }
+  if (++appends_ >= durability_.snapshot_interval) {
+    return WriteSnapshot();
+  }
+  return OkStatus();
+}
+
+Status DurableCondenser::Checkpoint() {
+  if (poisoned_) {
+    return FailedPreconditionError(
+        "durable condenser is unusable after a failed rebuild; Recover");
+  }
+  return WriteSnapshot();
+}
+
+Status DurableCondenser::WriteSnapshot() {
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("checkpoint.snapshot"));
+  const bool initial = !journal_.is_open();
+  const std::size_t next = initial ? sequence_ : sequence_ + 1;
+  const std::string snapshot_path = dir_ + "/" + SnapshotName(next);
+  CONDENSA_RETURN_IF_ERROR(WriteFileAtomic(
+      snapshot_path,
+      SerializeCondenserState(condenser_.ExportState(), next)));
+
+  // Roll the journal. If this fails the new snapshot must not stay
+  // visible: records acknowledged afterwards would land in the old
+  // journal, which recovery (keyed to the newest snapshot) ignores.
+  const std::string header = JournalHeader(next);
+  auto rolled = AppendFile::Open(dir_ + "/" + JournalName(next),
+                                 /*truncate=*/true);
+  Status roll_status =
+      rolled.ok() ? rolled->Append(header) : rolled.status();
+  if (roll_status.ok()) {
+    roll_status = rolled->Sync();
+  }
+  if (!roll_status.ok()) {
+    if (!initial) {
+      RemoveFile(snapshot_path);
+    }
+    return roll_status;
+  }
+  journal_ = std::move(rolled).value();
+  journal_bytes_ = header.size();
+
+  if (!initial) {
+    // Previous generation is now redundant (best-effort cleanup).
+    RemoveFile(dir_ + "/" + SnapshotName(sequence_));
+    RemoveFile(dir_ + "/" + JournalName(sequence_));
+  }
+  sequence_ = next;
+  appends_ = 0;
+  return OkStatus();
+}
+
+}  // namespace condensa::core

@@ -1,0 +1,155 @@
+// Crash-safe streaming condensation: snapshot + journal durability.
+//
+// The paper's deployment model is a server that retains only the condensed
+// statistics H and keeps maintaining them over an unbounded stream
+// (DynamicGroupMaintenance, Fig. 2). The privacy model forbids retaining
+// raw records, so a crash must not force re-reading the stream:
+// DurableCondenser makes every acknowledged record recoverable.
+//
+// Disk layout inside the checkpoint directory:
+//
+//   snapshot-NNNNNN.condensa   full state: a small header plus the group
+//                              set (and forming buffer) in the v1 text
+//                              format of core/serialization.h. Written
+//                              atomically (temp + fsync + rename).
+//   journal-NNNNNN.log         append-only record log since snapshot N;
+//                              one fsync'd line per Insert/Remove.
+//
+// Commit protocol: a record is journaled (and synced) *before* it is
+// applied in memory, so `Insert` returning OK means the record survives a
+// crash. Every `snapshot_interval` appends the current state is
+// snapshotted under the next sequence number, a fresh journal is opened,
+// and the previous generation is deleted.
+//
+// `Recover` walks snapshots newest-first until one parses, replays the
+// matching journal onto it, truncates any torn journal tail (a crash
+// mid-append), and returns a condenser positioned exactly at the last
+// durable record. Replay is deterministic, so the recovered structure is
+// bit-identical to the pre-crash in-memory structure at that record.
+
+#ifndef CONDENSA_CORE_CHECKPOINTING_H_
+#define CONDENSA_CORE_CHECKPOINTING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "core/dynamic_condenser.h"
+
+namespace condensa::core {
+
+struct DurabilityOptions {
+  // Journal appends between automatic snapshots. Must be >= 1.
+  std::size_t snapshot_interval = 1024;
+  // fsync the journal before acknowledging each record. Turning this off
+  // trades the strict durability guarantee for throughput: a crash may
+  // lose records that were acknowledged since the last sync.
+  bool sync_every_append = true;
+};
+
+// Serialized forms of the full condenser state (the snapshot body).
+// Exposed for tests and tooling; production code uses DurableCondenser.
+std::string SerializeCondenserState(const DynamicCondenser::State& state,
+                                    std::size_t sequence);
+StatusOr<DynamicCondenser::State> DeserializeCondenserState(
+    const std::string& text, std::size_t* sequence_out);
+
+class DurableCondenser {
+ public:
+  DurableCondenser(DurableCondenser&&) = default;
+  DurableCondenser& operator=(DurableCondenser&&) = default;
+
+  // Starts a fresh durable condenser in `dir` (created when missing) and
+  // writes the initial snapshot. Fails with kFailedPrecondition when the
+  // directory already holds checkpoint state — use Recover (or Open).
+  static StatusOr<DurableCondenser> Create(std::size_t dim,
+                                           DynamicCondenserOptions options,
+                                           DurabilityOptions durability,
+                                           const std::string& dir);
+
+  // Restores from `dir`: loads the newest parseable snapshot, replays its
+  // journal, truncates any torn tail, and deletes stale generations.
+  // NotFound when the directory holds no checkpoint state at all;
+  // kDataLoss when state exists but no snapshot is recoverable.
+  static StatusOr<DurableCondenser> Recover(const std::string& dir,
+                                            DynamicCondenserOptions options,
+                                            DurabilityOptions durability);
+
+  // Recover when `dir` has state, Create otherwise. The entry point for
+  // "restart the server and keep going". `dim` must match recovered state.
+  static StatusOr<DurableCondenser> Open(std::size_t dim,
+                                         DynamicCondenserOptions options,
+                                         DurabilityOptions durability,
+                                         const std::string& dir);
+
+  // Statically condenses `initial` as the structure's seed (paper's
+  // H = CreateCondensedGroups(k, D)), then snapshots. Must come before any
+  // Insert, at most once.
+  Status Bootstrap(const std::vector<linalg::Vector>& initial, Rng& rng);
+
+  // Journals the record (fsync), then applies it. OK return == durable.
+  Status Insert(const linalg::Vector& record);
+
+  // Journals the deletion (fsync), then applies it.
+  Status Remove(const linalg::Vector& record);
+
+  // Forces a snapshot now regardless of the interval.
+  Status Checkpoint();
+
+  // The wrapped in-memory condenser (read-only).
+  const DynamicCondenser& condenser() const { return condenser_; }
+  const CondensedGroupSet& groups() const { return condenser_.groups(); }
+  std::size_t records_seen() const { return condenser_.records_seen(); }
+
+  // Current snapshot sequence number and journal appends since it.
+  std::size_t snapshot_sequence() const { return sequence_; }
+  std::size_t appends_since_snapshot() const { return appends_; }
+
+  const std::string& dir() const { return dir_; }
+
+  // Finalizes the stream and returns the group set (see
+  // DynamicCondenser::TakeGroups). Checkpoint files are left on disk.
+  CondensedGroupSet TakeGroups() { return condenser_.TakeGroups(); }
+
+ private:
+  DurableCondenser(DynamicCondenser condenser, DurabilityOptions durability,
+                   std::string dir)
+      : condenser_(std::move(condenser)),
+        durability_(durability),
+        dir_(std::move(dir)) {}
+
+  // Appends one journal line ("<op> v0 ... vd-1 .\n") durably.
+  Status AppendJournal(char op, const linalg::Vector& record);
+
+  // Rebuilds the in-memory condenser from the on-disk snapshot + journal.
+  // Called after a failed apply, which can leave the in-memory structure
+  // partially mutated (e.g. the record added but its 2k split aborted);
+  // without the rebuild a later Checkpoint would persist that divergent
+  // state. Poisons the instance when the rebuild itself fails.
+  Status ReloadFromDisk();
+
+  // Writes snapshot `sequence_ + 1`, rolls the journal, prunes the old
+  // generation.
+  Status WriteSnapshot();
+
+  DynamicCondenser condenser_;
+  DurabilityOptions durability_;
+  std::string dir_;
+  AppendFile journal_;
+  std::size_t sequence_ = 0;
+  std::size_t appends_ = 0;
+  // Bytes of valid journal content, so a failed apply can truncate the
+  // entry it journaled (journal contents always match applied state).
+  std::size_t journal_bytes_ = 0;
+  // Set when a post-apply-failure rebuild failed too: memory and disk may
+  // disagree, so every further durable operation is refused. The caller
+  // recovers by constructing a fresh instance via Recover.
+  bool poisoned_ = false;
+};
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_CHECKPOINTING_H_

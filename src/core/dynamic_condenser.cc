@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "core/split.h"
 #include "core/static_condenser.h"
 
@@ -11,6 +12,34 @@ DynamicCondenser::DynamicCondenser(std::size_t dim,
                                    DynamicCondenserOptions options)
     : options_(options), groups_(dim, options.group_size) {
   CONDENSA_CHECK_GE(options_.group_size, 1u);
+}
+
+DynamicCondenser::State DynamicCondenser::ExportState() const {
+  State state;
+  state.groups = groups_;
+  state.forming = forming_;
+  state.split_count = split_count_;
+  state.merge_count = merge_count_;
+  state.records_seen = records_seen_;
+  state.bootstrapped = bootstrapped_;
+  return state;
+}
+
+StatusOr<DynamicCondenser> DynamicCondenser::FromState(
+    State state, DynamicCondenserOptions options) {
+  if (state.forming.has_value() &&
+      state.forming->dim() != state.groups.dim()) {
+    return InvalidArgumentError(
+        "forming-buffer dimension disagrees with the group set");
+  }
+  DynamicCondenser condenser(state.groups.dim(), options);
+  condenser.groups_ = std::move(state.groups);
+  condenser.forming_ = std::move(state.forming);
+  condenser.split_count_ = state.split_count;
+  condenser.merge_count_ = state.merge_count;
+  condenser.records_seen_ = state.records_seen;
+  condenser.bootstrapped_ = state.bootstrapped;
+  return condenser;
 }
 
 Status DynamicCondenser::Bootstrap(
@@ -33,6 +62,7 @@ Status DynamicCondenser::Insert(const linalg::Vector& record) {
   if (record.dim() != dim()) {
     return InvalidArgumentError("record dimension mismatch");
   }
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("dynamic.insert"));
   ++records_seen_;
 
   // Pure-stream warm-up: no full group exists yet.

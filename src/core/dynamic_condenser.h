@@ -38,8 +38,28 @@ struct DynamicCondenserOptions {
 
 class DynamicCondenser {
  public:
+  // The complete mutable state of a condenser — everything a durability
+  // layer must persist to reconstruct it exactly (see core/checkpointing.h).
+  struct State {
+    CondensedGroupSet groups{0, 0};
+    // Pure-stream warm-up buffer, when one is open.
+    std::optional<GroupStatistics> forming;
+    std::size_t split_count = 0;
+    std::size_t merge_count = 0;
+    std::size_t records_seen = 0;
+    bool bootstrapped = false;
+  };
+
   // Creates a condenser for d-dimensional records.
   DynamicCondenser(std::size_t dim, DynamicCondenserOptions options);
+
+  // Copies out the full state (checkpointing).
+  State ExportState() const;
+
+  // Rebuilds a condenser from a previously exported state. Fails when the
+  // forming buffer's dimension disagrees with the group set's.
+  static StatusOr<DynamicCondenser> FromState(State state,
+                                              DynamicCondenserOptions options);
 
   std::size_t dim() const { return groups_.dim(); }
   const DynamicCondenserOptions& options() const { return options_; }

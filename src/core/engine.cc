@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/checkpointing.h"
 #include "core/dynamic_condenser.h"
 #include "core/static_condenser.h"
 
@@ -31,10 +32,13 @@ Status ValidateFinite(const data::Dataset& input) {
   return OkStatus();
 }
 
-// Condenses one point pool with an explicit k, honouring the mode.
+// Condenses one point pool with an explicit k, honouring the mode. A
+// non-empty `checkpoint_dir` makes the dynamic stream crash-safe by
+// routing it through a DurableCondenser rooted there.
 StatusOr<CondensedGroupSet> CondensePool(
     const std::vector<linalg::Vector>& points, std::size_t k,
-    const CondensationConfig& config, Rng& rng, std::size_t* splits_out) {
+    const CondensationConfig& config, const std::string& checkpoint_dir,
+    Rng& rng, std::size_t* splits_out) {
   if (splits_out != nullptr) *splits_out = 0;
   if (config.mode == CondensationMode::kStatic) {
     StaticCondenser condenser(StaticCondenserOptions{.group_size = k});
@@ -53,17 +57,41 @@ StatusOr<CondensedGroupSet> CondensePool(
     bootstrap_count = std::max(bootstrap_count, k);
   }
   bootstrap_count = std::min(bootstrap_count, ordered.size());
+  if (bootstrap_count < k) {
+    bootstrap_count = 0;  // pool too small to bootstrap; stream everything
+  }
 
-  DynamicCondenser condenser(
-      ordered.front().dim(),
-      DynamicCondenserOptions{.group_size = k,
-                              .split_rule = config.split_rule});
-  if (bootstrap_count >= k) {
+  const DynamicCondenserOptions condenser_options{
+      .group_size = k, .split_rule = config.split_rule};
+
+  if (!checkpoint_dir.empty()) {
+    CONDENSA_ASSIGN_OR_RETURN(
+        DurableCondenser durable,
+        DurableCondenser::Create(
+            ordered.front().dim(), condenser_options,
+            DurabilityOptions{.snapshot_interval = config.snapshot_interval},
+            checkpoint_dir));
+    if (bootstrap_count > 0) {
+      std::vector<linalg::Vector> prefix(ordered.begin(),
+                                         ordered.begin() + bootstrap_count);
+      CONDENSA_RETURN_IF_ERROR(durable.Bootstrap(prefix, rng));
+    }
+    for (std::size_t i = bootstrap_count; i < ordered.size(); ++i) {
+      CONDENSA_RETURN_IF_ERROR(durable.Insert(ordered[i]));
+    }
+    // Leave the final structure durable before finalizing the stream.
+    CONDENSA_RETURN_IF_ERROR(durable.Checkpoint());
+    if (splits_out != nullptr) {
+      *splits_out = durable.condenser().split_count();
+    }
+    return durable.TakeGroups();
+  }
+
+  DynamicCondenser condenser(ordered.front().dim(), condenser_options);
+  if (bootstrap_count > 0) {
     std::vector<linalg::Vector> prefix(ordered.begin(),
                                        ordered.begin() + bootstrap_count);
     CONDENSA_RETURN_IF_ERROR(condenser.Bootstrap(prefix, rng));
-  } else {
-    bootstrap_count = 0;  // pool too small to bootstrap; stream everything
   }
   for (std::size_t i = bootstrap_count; i < ordered.size(); ++i) {
     CONDENSA_RETURN_IF_ERROR(condenser.Insert(ordered[i]));
@@ -80,9 +108,15 @@ StatusOr<CondensedPools::Pool> MakePool(
   std::size_t effective_k =
       std::min<std::size_t>(config.group_size, points.size());
   std::size_t splits = 0;
+  // Each pool checkpoints in its own subdirectory, keyed by label.
+  const std::string checkpoint_dir =
+      config.checkpoint_dir.empty()
+          ? std::string()
+          : config.checkpoint_dir + "/pool-" + std::to_string(label);
   CONDENSA_ASSIGN_OR_RETURN(
       CondensedGroupSet groups,
-      CondensePool(points, effective_k, config, rng, &splits));
+      CondensePool(points, effective_k, config, checkpoint_dir, rng,
+                   &splits));
   return CondensedPools::Pool{label, splits, std::move(groups)};
 }
 
@@ -130,11 +164,17 @@ CondensationEngine::CondensationEngine(CondensationConfig config)
   CONDENSA_CHECK_GE(config_.group_size, 1u);
   CONDENSA_CHECK_GE(config_.bootstrap_fraction, 0.0);
   CONDENSA_CHECK_LE(config_.bootstrap_fraction, 1.0);
+  CONDENSA_CHECK_GE(config_.snapshot_interval, 1u);
 }
 
 StatusOr<CondensedGroupSet> CondensationEngine::CondensePoints(
     const std::vector<linalg::Vector>& points, Rng& rng) const {
-  return CondensePool(points, config_.group_size, config_, rng, nullptr);
+  const std::string checkpoint_dir =
+      config_.checkpoint_dir.empty()
+          ? std::string()
+          : config_.checkpoint_dir + "/pool-points";
+  return CondensePool(points, config_.group_size, config_, checkpoint_dir,
+                      rng, nullptr);
 }
 
 StatusOr<CondensedPools> CondensationEngine::Condense(

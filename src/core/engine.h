@@ -52,6 +52,15 @@ struct CondensationConfig {
   // Dynamic mode: split formula (see core/split.h). kPaperVerbatim exists
   // only for ablation A10.
   SplitRule split_rule = SplitRule::kMomentConsistent;
+  // Dynamic mode: when non-empty, streaming condensation is crash-safe —
+  // every pool keeps an atomic snapshot plus a fsync'd record journal
+  // under <checkpoint_dir>/pool-<label>, recoverable with
+  // DurableCondenser::Recover or `condensa recover` (see
+  // core/checkpointing.h and docs/durability.md). The directory must not
+  // already hold checkpoint state. Ignored in static mode.
+  std::string checkpoint_dir;
+  // Durable streaming: journal appends between snapshots (>= 1).
+  std::size_t snapshot_interval = 1024;
 };
 
 // Per-pool (per-class, or whole-set) condensation outcome.

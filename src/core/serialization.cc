@@ -2,9 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace condensa::core {
@@ -85,6 +86,12 @@ StatusOr<CondensedGroupSet> DeserializeGroupSet(const std::string& text) {
   }
   if (dim == 0) {
     return InvalidArgumentError("group set dimension must be positive");
+  }
+  // Every group carries at least dim values, so a dim (or group count)
+  // larger than the document itself is corruption — reject it before it
+  // can drive a giant allocation below.
+  if (dim > text.size() || num_groups > text.size()) {
+    return DataLossError("group-set header counts exceed document size");
   }
 
   CondensedGroupSet groups(dim, k);
@@ -243,49 +250,28 @@ StatusOr<CondensedPools> DeserializePools(const std::string& text) {
   return pools;
 }
 
+// Both Save entry points commit through WriteFileAtomic: a crash (or an
+// armed failpoint) mid-save can never corrupt an existing file, and short
+// writes surface as kDataLoss naming the path.
 Status SavePools(const CondensedPools& pools, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) {
-    return InvalidArgumentError("cannot open " + path + " for writing");
-  }
-  file << SerializePools(pools);
-  if (!file) {
-    return DataLossError("short write to " + path);
-  }
-  return OkStatus();
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("serialization.write"));
+  return WriteFileAtomic(path, SerializePools(pools));
 }
 
 StatusOr<CondensedPools> LoadPools(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    return NotFoundError("cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return DeserializePools(buffer.str());
+  CONDENSA_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DeserializePools(text);
 }
 
 Status SaveGroupSet(const CondensedGroupSet& groups,
                     const std::string& path) {
-  std::ofstream file(path);
-  if (!file) {
-    return InvalidArgumentError("cannot open " + path + " for writing");
-  }
-  file << SerializeGroupSet(groups);
-  if (!file) {
-    return DataLossError("short write to " + path);
-  }
-  return OkStatus();
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("serialization.write"));
+  return WriteFileAtomic(path, SerializeGroupSet(groups));
 }
 
 StatusOr<CondensedGroupSet> LoadGroupSet(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    return NotFoundError("cannot open " + path);
-  }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return DeserializeGroupSet(buffer.str());
+  CONDENSA_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DeserializeGroupSet(text);
 }
 
 }  // namespace condensa::core

@@ -25,7 +25,9 @@ std::string SerializeGroupSet(const CondensedGroupSet& groups);
 // InvalidArgument on inconsistent headers (wrong magic, bad counts).
 StatusOr<CondensedGroupSet> DeserializeGroupSet(const std::string& text);
 
-// File wrappers around the string forms.
+// File wrappers around the string forms. Saves are atomic (temp file +
+// fsync + rename, see common/io.h): a crash mid-save never corrupts an
+// existing file. Short writes fail with kDataLoss naming the path.
 Status SaveGroupSet(const CondensedGroupSet& groups, const std::string& path);
 StatusOr<CondensedGroupSet> LoadGroupSet(const std::string& path);
 

@@ -1,5 +1,6 @@
 #include "core/split.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/eigen.h"
@@ -40,7 +41,9 @@ StatusOr<SplitResult> SplitGroupStatistics(const GroupStatistics& group,
   CONDENSA_ASSIGN_OR_RETURN(linalg::EigenDecomposition eigen,
                             linalg::CovarianceEigenDecomposition(covariance));
 
-  const double lambda1 = eigen.eigenvalues[0];
+  // Degenerate groups (duplicate points) can report a leading eigenvalue a
+  // hair below zero from round-off; clamp so the offset stays real.
+  const double lambda1 = std::max(0.0, eigen.eigenvalues[0]);
   const linalg::Vector e1 = eigen.Eigenvector(0);
 
   // Uniform with variance λ₁ has range a = sqrt(12 λ₁); the halves'

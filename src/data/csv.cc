@@ -1,6 +1,7 @@
 #include "data/csv.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -200,7 +201,9 @@ StatusOr<CsvReadResult> ReadCsvFromString(const std::string& content,
         }
       } else {
         double value;
-        if (!ParseDouble(row[c], &value)) {
+        // "nan"/"inf" parse as valid doubles but would silently poison
+        // every aggregate downstream; treat them like any other bad cell.
+        if (!ParseDouble(row[c], &value) || !std::isfinite(value)) {
           row_ok = false;
           break;
         }
@@ -210,7 +213,7 @@ StatusOr<CsvReadResult> ReadCsvFromString(const std::string& content,
     if (!row_ok) {
       if (options.strict) {
         return DataLossError("row " + std::to_string(line_number) +
-                             " has a non-numeric feature value");
+                             " has a non-numeric or non-finite feature value");
       }
       ++result.skipped_rows;
       continue;
@@ -230,10 +233,11 @@ StatusOr<CsvReadResult> ReadCsvFromString(const std::string& content,
       }
       case TaskType::kRegression: {
         double target;
-        if (!ParseDouble(row[label_col], &target)) {
+        if (!ParseDouble(row[label_col], &target) ||
+            !std::isfinite(target)) {
           if (options.strict) {
             return DataLossError("row " + std::to_string(line_number) +
-                                 " has a non-numeric target");
+                                 " has a non-numeric or non-finite target");
           }
           ++result.skipped_rows;
           continue;

@@ -35,8 +35,9 @@ struct CsvReadOptions {
   // one 0/1 dimension per distinct value, in first-seen order — e.g. the
   // UCI Abalone sex attribute. Must not include the label column.
   std::vector<int> categorical_columns;
-  // When true, non-numeric feature values fail the read; when false the
-  // offending row is skipped.
+  // When true, non-numeric or non-finite (NaN/Inf) feature and target
+  // values fail the read with kDataLoss; when false the offending row is
+  // skipped and counted in CsvReadResult::skipped_rows.
   bool strict = true;
 };
 

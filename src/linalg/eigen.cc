@@ -5,6 +5,8 @@
 #include <numeric>
 #include <vector>
 
+#include "common/failpoint.h"
+
 namespace condensa::linalg {
 namespace {
 
@@ -50,6 +52,12 @@ StatusOr<EigenDecomposition> JacobiEigenDecomposition(
     }
   }
   Matrix vectors = Matrix::Identity(n);
+
+  // Tests arm this probe to exercise the non-convergence path without
+  // having to construct a pathological matrix.
+  if (Status forced = FailPoint::Maybe("eigen.jacobi"); !forced.ok()) {
+    return forced;
+  }
 
   const double tolerance = options.relative_tolerance * scale;
   int sweep = 0;

@@ -1,0 +1,97 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa {
+namespace {
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailPoint::Reset(); }
+  void TearDown() override { FailPoint::Reset(); }
+};
+
+TEST_F(FailPointTest, UnarmedProbeIsOkAndCountsHits) {
+  EXPECT_EQ(FailPoint::HitCount("fp.unarmed"), 0u);
+  EXPECT_TRUE(FailPoint::Maybe("fp.unarmed").ok());
+  EXPECT_TRUE(FailPoint::Maybe("fp.unarmed").ok());
+  EXPECT_EQ(FailPoint::HitCount("fp.unarmed"), 2u);
+  EXPECT_TRUE(FailPoint::Armed().empty());
+}
+
+TEST_F(FailPointTest, FiresAtExactHitIndexOnce) {
+  FailPoint::Arm("fp.third", {.fail_at = 3});
+  EXPECT_TRUE(FailPoint::Maybe("fp.third").ok());
+  EXPECT_TRUE(FailPoint::Maybe("fp.third").ok());
+  Status hit = FailPoint::Maybe("fp.third");
+  EXPECT_EQ(hit.code(), StatusCode::kDataLoss);
+  EXPECT_NE(hit.message().find("fp.third"), std::string::npos);
+  // repeat defaults to 1: the probe is spent afterwards.
+  EXPECT_TRUE(FailPoint::Maybe("fp.third").ok());
+  EXPECT_EQ(FailPoint::HitCount("fp.third"), 4u);
+}
+
+TEST_F(FailPointTest, RepeatRangeFailsConsecutiveHits) {
+  FailPoint::Arm("fp.range", {.fail_at = 2, .repeat = 2});
+  EXPECT_TRUE(FailPoint::Maybe("fp.range").ok());
+  EXPECT_FALSE(FailPoint::Maybe("fp.range").ok());
+  EXPECT_FALSE(FailPoint::Maybe("fp.range").ok());
+  EXPECT_TRUE(FailPoint::Maybe("fp.range").ok());
+}
+
+TEST_F(FailPointTest, StickyRepeatFailsForever) {
+  FailPoint::Arm("fp.sticky",
+                 {.fail_at = 1, .repeat = static_cast<std::size_t>(-1)});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(FailPoint::Maybe("fp.sticky").ok());
+  }
+}
+
+TEST_F(FailPointTest, CustomCodeAndMessage) {
+  FailPoint::Arm("fp.custom", {.code = StatusCode::kInternal,
+                               .message = "disk on fire"});
+  Status hit = FailPoint::Maybe("fp.custom");
+  EXPECT_EQ(hit.code(), StatusCode::kInternal);
+  EXPECT_EQ(hit.message(), "disk on fire");
+}
+
+TEST_F(FailPointTest, TornWriteDecisionCarriesByteBudget) {
+  FailPoint::Arm("fp.torn",
+                 {.mode = FailPointMode::kTornWrite, .torn_bytes = 7});
+  FailPointDecision decision = FailPoint::Check("fp.torn");
+  EXPECT_TRUE(decision.fail);
+  EXPECT_EQ(decision.mode, FailPointMode::kTornWrite);
+  EXPECT_EQ(decision.torn_bytes, 7u);
+  EXPECT_FALSE(decision.status.ok());
+}
+
+TEST_F(FailPointTest, DisarmStopsFailuresButKeepsCounting) {
+  FailPoint::Arm("fp.disarm",
+                 {.fail_at = 1, .repeat = static_cast<std::size_t>(-1)});
+  EXPECT_FALSE(FailPoint::Maybe("fp.disarm").ok());
+  FailPoint::Disarm("fp.disarm");
+  EXPECT_TRUE(FailPoint::Maybe("fp.disarm").ok());
+  EXPECT_EQ(FailPoint::HitCount("fp.disarm"), 2u);
+}
+
+TEST_F(FailPointTest, ArmResetsHitCount) {
+  EXPECT_TRUE(FailPoint::Maybe("fp.rearm").ok());
+  EXPECT_TRUE(FailPoint::Maybe("fp.rearm").ok());
+  FailPoint::Arm("fp.rearm", {.fail_at = 1});
+  EXPECT_EQ(FailPoint::HitCount("fp.rearm"), 0u);
+  EXPECT_FALSE(FailPoint::Maybe("fp.rearm").ok());
+}
+
+TEST_F(FailPointTest, ArmedListsOnlyArmedProbes) {
+  FailPoint::Maybe("fp.counted");
+  FailPoint::Arm("fp.a", {});
+  FailPoint::Arm("fp.b", {});
+  std::vector<std::string> armed = FailPoint::Armed();
+  EXPECT_EQ(armed.size(), 2u);
+  FailPoint::Reset();
+  EXPECT_TRUE(FailPoint::Armed().empty());
+  EXPECT_EQ(FailPoint::HitCount("fp.counted"), 0u);
+}
+
+}  // namespace
+}  // namespace condensa

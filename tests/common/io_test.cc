@@ -1,0 +1,190 @@
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+
+namespace condensa {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoint::Reset();
+    dir_ = ::testing::TempDir() + "/condensa_io_test";
+    ASSERT_TRUE(CreateDirectories(dir_).ok());
+    // Start each test from an empty directory.
+    auto entries = ListDirectory(dir_);
+    ASSERT_TRUE(entries.ok());
+    for (const std::string& name : *entries) {
+      ASSERT_TRUE(RemoveFile(dir_ + "/" + name).ok());
+    }
+  }
+  void TearDown() override { FailPoint::Reset(); }
+
+  std::string dir_;
+};
+
+TEST_F(IoTest, ReadMissingFileIsNotFound) {
+  auto content = ReadFileToString(dir_ + "/nope");
+  EXPECT_TRUE(IsNotFound(content.status()));
+}
+
+TEST_F(IoTest, AtomicWriteRoundTripAndOverwrite) {
+  const std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "first").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "first");
+
+  ASSERT_TRUE(WriteFileAtomic(path, "second, longer content").ok());
+  content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "second, longer content");
+}
+
+TEST_F(IoTest, TornAtomicWriteLeavesPreviousFileIntact) {
+  const std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "stable content").ok());
+
+  FailPoint::Arm("io.atomic_write",
+                 {.mode = FailPointMode::kTornWrite, .torn_bytes = 4});
+  Status torn = WriteFileAtomic(path, "replacement that gets torn");
+  FailPoint::Reset();
+  EXPECT_EQ(torn.code(), StatusCode::kDataLoss);
+
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "stable content");
+  // No temp files may survive the failed attempt.
+  auto entries = ListDirectory(dir_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ(entries->front(), "file.txt");
+}
+
+TEST_F(IoTest, FailedRenameLeavesPreviousFileIntact) {
+  const std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "stable content").ok());
+
+  FailPoint::Arm("io.atomic_rename", {});
+  Status failed = WriteFileAtomic(path, "never visible");
+  FailPoint::Reset();
+  EXPECT_FALSE(failed.ok());
+
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "stable content");
+  auto entries = ListDirectory(dir_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(IoTest, FailedSyncLeavesPreviousFileIntact) {
+  const std::string path = dir_ + "/file.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "stable content").ok());
+
+  FailPoint::Arm("io.sync", {});
+  Status failed = WriteFileAtomic(path, "never visible");
+  FailPoint::Reset();
+  EXPECT_FALSE(failed.ok());
+
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "stable content");
+}
+
+TEST_F(IoTest, AppendFileAccumulatesAcrossReopen) {
+  const std::string path = dir_ + "/log";
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("one\n").ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  {
+    auto file = AppendFile::Open(path);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("two\n").ok());
+  }
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "one\ntwo\n");
+}
+
+TEST_F(IoTest, AppendFileTruncateRepairsTail) {
+  const std::string path = dir_ + "/log";
+  auto file = AppendFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("keep\ntorn").ok());
+  ASSERT_TRUE(file->Truncate(5).ok());
+  ASSERT_TRUE(file->Append("next\n").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "keep\nnext\n");
+}
+
+TEST_F(IoTest, TornAppendWritesOnlyThePrefix) {
+  const std::string path = dir_ + "/log";
+  auto file = AppendFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file->Append("complete\n").ok());
+
+  FailPoint::Arm("io.append",
+                 {.mode = FailPointMode::kTornWrite, .torn_bytes = 3});
+  Status torn = file->Append("truncated entry\n");
+  FailPoint::Reset();
+  EXPECT_FALSE(torn.ok());
+
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "complete\ntru");
+}
+
+TEST_F(IoTest, TornAppendDefaultsToHalfThePayload) {
+  const std::string path = dir_ + "/log";
+  auto file = AppendFile::Open(path);
+  ASSERT_TRUE(file.ok());
+  FailPoint::Arm("io.append", {.mode = FailPointMode::kTornWrite});
+  EXPECT_FALSE(file->Append("12345678").ok());
+  FailPoint::Reset();
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "1234");
+}
+
+TEST_F(IoTest, ClosedAppendFileRejectsWrites) {
+  auto file = AppendFile::Open(dir_ + "/log");
+  ASSERT_TRUE(file.ok());
+  file->Close();
+  EXPECT_FALSE(file->is_open());
+  EXPECT_EQ(file->Append("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(file->Sync().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(IoTest, RemoveMissingFileIsOk) {
+  EXPECT_TRUE(RemoveFile(dir_ + "/never-existed").ok());
+}
+
+TEST_F(IoTest, CreateDirectoriesIsRecursiveAndIdempotent) {
+  // Outside dir_ so the fixture's file-only cleanup never sees it.
+  const std::string nested = ::testing::TempDir() + "/condensa_io_nested/b/c";
+  ASSERT_TRUE(CreateDirectories(nested).ok());
+  EXPECT_TRUE(PathExists(nested));
+  EXPECT_TRUE(CreateDirectories(nested).ok());
+  ASSERT_TRUE(WriteFileAtomic(nested + "/f", "x").ok());
+  // Clean up so later runs start from an empty fixture dir.
+  ASSERT_TRUE(RemoveFile(nested + "/f").ok());
+}
+
+TEST_F(IoTest, ListDirectoryReturnsEntryNames) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/x", "1").ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/y", "2").ok());
+  auto entries = ListDirectory(dir_);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_TRUE(IsNotFound(ListDirectory(dir_ + "/missing").status()));
+}
+
+}  // namespace
+}  // namespace condensa

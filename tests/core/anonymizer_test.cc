@@ -189,6 +189,56 @@ TEST(AnonymizerTest, GaussianSamplingIsNotBounded) {
   EXPECT_TRUE(exceeded);
 }
 
+TEST(AnonymizerTest, DuplicatePointGroupRegeneratesFinitely) {
+  // All-identical records give a singular covariance whose Jacobi
+  // eigenvalues can come out as tiny negatives (floating-point noise).
+  // Regression test: the sampler must clamp them, not sqrt() them into
+  // NaNs.
+  GroupStatistics group(3);
+  for (int i = 0; i < 12; ++i) {
+    group.Add(Vector{1e6 + 0.1, -3.0, 42.0});
+  }
+  Rng rng(21);
+  for (SamplingDistribution distribution :
+       {SamplingDistribution::kUniform, SamplingDistribution::kGaussian}) {
+    Anonymizer anonymizer({.distribution = distribution});
+    auto points = anonymizer.GenerateFromGroup(group, 50, rng);
+    ASSERT_TRUE(points.ok());
+    for (const Vector& p : *points) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        ASSERT_TRUE(std::isfinite(p[j]));
+      }
+      // Near-zero covariance: the regenerated records sit at the centroid
+      // up to cancellation noise in Sc - n c c^T, which at 1e6 magnitude
+      // leaves eigenvalues of order 1e-3 (spread ~sqrt(3e-3)).
+      EXPECT_NEAR(p[0], 1e6 + 0.1, 1.0);
+      EXPECT_NEAR(p[1], -3.0, 1e-3);
+      EXPECT_NEAR(p[2], 42.0, 1e-3);
+    }
+  }
+}
+
+TEST(AnonymizerTest, ConstantAttributeGroupRegeneratesFinitely) {
+  // One attribute constant, the others spread out: the covariance has an
+  // exactly-zero row/column and the solver may return -1e-17-style
+  // eigenvalues for it.
+  Rng rng(22);
+  GroupStatistics group(3);
+  for (int i = 0; i < 30; ++i) {
+    double x = rng.Gaussian(0.0, 3.0);
+    group.Add(Vector{x, 123.456, 2.0 * x + rng.Gaussian(0.0, 0.1)});
+  }
+  Anonymizer anonymizer;
+  auto points = anonymizer.GenerateFromGroup(group, 200, rng);
+  ASSERT_TRUE(points.ok());
+  for (const Vector& p : *points) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ASSERT_TRUE(std::isfinite(p[j]));
+    }
+    EXPECT_NEAR(p[1], 123.456, 1e-5);
+  }
+}
+
 TEST(AnonymizerTest, DegenerateDirectionStaysCollapsed) {
   // A group that is constant in dimension 1 must regenerate records that
   // are constant in dimension 1 (zero eigenvalue -> zero spread).

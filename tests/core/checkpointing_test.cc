@@ -1,0 +1,376 @@
+#include "core/checkpointing.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/io.h"
+#include "common/random.h"
+#include "core/serialization.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+Vector MakeRecord(Rng& rng, std::size_t dim, double center) {
+  Vector v(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    v[j] = rng.Gaussian(center, 1.0);
+  }
+  return v;
+}
+
+std::vector<Vector> MakeStream(std::size_t count, std::size_t dim,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> stream;
+  stream.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    stream.push_back(MakeRecord(rng, dim, i % 2 == 0 ? 0.0 : 6.0));
+  }
+  return stream;
+}
+
+// Full-state fingerprint: two condensers with equal fingerprints are
+// bit-identical (the serialization renders doubles with %.17g).
+std::string Fingerprint(const DynamicCondenser& condenser) {
+  return SerializeCondenserState(condenser.ExportState(), 0);
+}
+
+class CheckpointingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoint::Reset();
+    counter_ = 0;
+  }
+  void TearDown() override { FailPoint::Reset(); }
+
+  // A fresh empty directory per call.
+  std::string FreshDir() {
+    std::string dir = ::testing::TempDir() + "/condensa_ckpt_" +
+                      ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name() +
+                      "_" + std::to_string(counter_++);
+    if (PathExists(dir)) {
+      auto entries = ListDirectory(dir);
+      if (entries.ok()) {
+        for (const std::string& name : *entries) {
+          RemoveFile(dir + "/" + name).ok();
+        }
+      }
+    }
+    CreateDirectories(dir).ok();
+    return dir;
+  }
+
+  std::size_t counter_ = 0;
+};
+
+TEST_F(CheckpointingTest, StateRoundTripWithoutForming) {
+  DynamicCondenser condenser(3, {.group_size = 4});
+  Rng rng(11);
+  ASSERT_TRUE(condenser.Bootstrap(MakeStream(20, 3, 1), rng).ok());
+  ASSERT_TRUE(condenser.Insert(MakeRecord(rng, 3, 0.0)).ok());
+
+  std::size_t sequence = 0;
+  auto state = DeserializeCondenserState(
+      SerializeCondenserState(condenser.ExportState(), 42), &sequence);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(sequence, 42u);
+  EXPECT_FALSE(state->forming.has_value());
+  EXPECT_TRUE(state->bootstrapped);
+  EXPECT_EQ(state->records_seen, 21u);
+
+  auto rebuilt = DynamicCondenser::FromState(std::move(state).value(),
+                                             {.group_size = 4});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(Fingerprint(*rebuilt), Fingerprint(condenser));
+}
+
+TEST_F(CheckpointingTest, StateRoundTripPreservesFormingBuffer) {
+  DynamicCondenser condenser(2, {.group_size = 5});
+  Rng rng(12);
+  // Fewer than k records: all of them sit in the forming buffer.
+  ASSERT_TRUE(condenser.Insert(MakeRecord(rng, 2, 1.0)).ok());
+  ASSERT_TRUE(condenser.Insert(MakeRecord(rng, 2, 1.0)).ok());
+  ASSERT_TRUE(condenser.ExportState().forming.has_value());
+
+  auto state = DeserializeCondenserState(
+      SerializeCondenserState(condenser.ExportState(), 0), nullptr);
+  ASSERT_TRUE(state.ok());
+  ASSERT_TRUE(state->forming.has_value());
+  EXPECT_EQ(state->forming->count(), 2u);
+
+  auto rebuilt = DynamicCondenser::FromState(std::move(state).value(),
+                                             {.group_size = 5});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(Fingerprint(*rebuilt), Fingerprint(condenser));
+
+  // The buffered records must keep streaming correctly after the rebuild.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rebuilt->Insert(MakeRecord(rng, 2, 1.0)).ok());
+  }
+  EXPECT_GE(rebuilt->groups().num_groups(), 1u);
+}
+
+TEST_F(CheckpointingTest, CreateWritesInitialGenerationAndRefusesReuse) {
+  const std::string dir = FreshDir();
+  auto durable = DurableCondenser::Create(3, {.group_size = 4}, {}, dir);
+  ASSERT_TRUE(durable.ok());
+  EXPECT_TRUE(PathExists(dir + "/snapshot-000000.condensa"));
+  EXPECT_TRUE(PathExists(dir + "/journal-000000.log"));
+
+  auto second = DurableCondenser::Create(3, {.group_size = 4}, {}, dir);
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointingTest, RecoverOnDirWithoutStateIsNotFound) {
+  EXPECT_TRUE(IsNotFound(
+      DurableCondenser::Recover(FreshDir(), {.group_size = 4}, {}).status()));
+  EXPECT_TRUE(IsNotFound(DurableCondenser::Recover(
+                             ::testing::TempDir() + "/condensa_ckpt_missing",
+                             {.group_size = 4}, {})
+                             .status()));
+}
+
+TEST_F(CheckpointingTest, RecoveryIsBitIdenticalToInMemoryState) {
+  const std::string dir = FreshDir();
+  std::vector<Vector> stream = MakeStream(37, 3, 21);
+
+  DynamicCondenser reference(3, {.group_size = 4});
+  {
+    auto durable = DurableCondenser::Create(
+        3, {.group_size = 4}, {.snapshot_interval = 10}, dir);
+    ASSERT_TRUE(durable.ok());
+    for (const Vector& record : stream) {
+      ASSERT_TRUE(durable->Insert(record).ok());
+      ASSERT_TRUE(reference.Insert(record).ok());
+    }
+  }  // "crash": the handle goes away without a final checkpoint
+
+  auto recovered =
+      DurableCondenser::Recover(dir, {.group_size = 4}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_seen(), 37u);
+  EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(reference));
+}
+
+TEST_F(CheckpointingTest, SnapshotIntervalRollsAndPrunesGenerations) {
+  const std::string dir = FreshDir();
+  auto durable = DurableCondenser::Create(
+      2, {.group_size = 3}, {.snapshot_interval = 5}, dir);
+  ASSERT_TRUE(durable.ok());
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(durable->Insert(MakeRecord(rng, 2, 0.0)).ok());
+  }
+  EXPECT_EQ(durable->snapshot_sequence(), 2u);
+  EXPECT_EQ(durable->appends_since_snapshot(), 2u);
+
+  auto entries = ListDirectory(dir);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);  // only the live generation remains
+  EXPECT_TRUE(PathExists(dir + "/snapshot-000002.condensa"));
+  EXPECT_TRUE(PathExists(dir + "/journal-000002.log"));
+}
+
+TEST_F(CheckpointingTest, TornJournalTailIsTruncatedOnRecovery) {
+  const std::string dir = FreshDir();
+  std::vector<Vector> stream = MakeStream(9, 2, 31);
+  DynamicCondenser reference(2, {.group_size = 3});
+  {
+    auto durable = DurableCondenser::Create(2, {.group_size = 3}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    for (const Vector& record : stream) {
+      ASSERT_TRUE(durable->Insert(record).ok());
+      ASSERT_TRUE(reference.Insert(record).ok());
+    }
+  }
+
+  // Simulate a crash mid-append: an entry with no terminator or newline.
+  const std::string journal = dir + "/journal-000000.log";
+  {
+    auto file = AppendFile::Open(journal);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file->Append("i 0.25 0.5").ok());
+  }
+
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_seen(), 9u);
+  EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(reference));
+
+  // The torn bytes are gone: every surviving entry is complete (ends in
+  // its terminator), and a second recovery replays cleanly too.
+  auto content = ReadFileToString(journal);
+  ASSERT_TRUE(content.ok());
+  EXPECT_TRUE(content->ends_with(" .\n"));
+  auto again = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(Fingerprint(again->condenser()), Fingerprint(reference));
+}
+
+TEST_F(CheckpointingTest, CorruptNewestSnapshotFallsBackToOlder) {
+  const std::string dir = FreshDir();
+
+  // Build a valid generation 1 by hand.
+  DynamicCondenser condenser(2, {.group_size = 3});
+  Rng rng(7);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(condenser.Insert(MakeRecord(rng, 2, 0.0)).ok());
+  }
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/snapshot-000001.condensa",
+                      SerializeCondenserState(condenser.ExportState(), 1))
+          .ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/journal-000001.log",
+                              "condensa-journal v1 base 1\n")
+                  .ok());
+  // Generation 2's snapshot got torn mid-write (no end marker).
+  ASSERT_TRUE(WriteFileAtomic(dir + "/snapshot-000002.condensa",
+                              "condensa-snapshot v1\nseq 2 records 99 spl")
+                  .ok());
+
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->snapshot_sequence(), 1u);
+  EXPECT_EQ(recovered->records_seen(), 7u);
+  EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(condenser));
+  // The unrecoverable generation is pruned.
+  EXPECT_FALSE(PathExists(dir + "/snapshot-000002.condensa"));
+}
+
+TEST_F(CheckpointingTest, NoRecoverableSnapshotIsDataLoss) {
+  const std::string dir = FreshDir();
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/snapshot-000000.condensa", "garbage").ok());
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+
+  // Journal without any snapshot is equally unrecoverable.
+  const std::string dir2 = FreshDir();
+  ASSERT_TRUE(WriteFileAtomic(dir2 + "/journal-000000.log",
+                              "condensa-journal v1 base 0\n")
+                  .ok());
+  EXPECT_EQ(DurableCondenser::Recover(dir2, {.group_size = 3}, {})
+                .status()
+                .code(),
+            StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointingTest, OpenCreatesThenRecoversAndChecksDimension) {
+  const std::string dir = FreshDir();
+  {
+    auto durable = DurableCondenser::Open(3, {.group_size = 4}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    Rng rng(3);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(durable->Insert(MakeRecord(rng, 3, 0.0)).ok());
+    }
+  }
+  auto reopened = DurableCondenser::Open(3, {.group_size = 4}, {}, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->records_seen(), 5u);
+
+  auto mismatched = DurableCondenser::Open(7, {.group_size = 4}, {}, dir);
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointingTest, BootstrapBecomesDurableViaSnapshot) {
+  const std::string dir = FreshDir();
+  std::string fingerprint;
+  {
+    auto durable = DurableCondenser::Create(3, {.group_size = 4}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    Rng rng(17);
+    ASSERT_TRUE(durable->Bootstrap(MakeStream(24, 3, 8), rng).ok());
+    EXPECT_TRUE(durable->condenser().groups().num_groups() > 0);
+    fingerprint = Fingerprint(durable->condenser());
+  }
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 4}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_seen(), 24u);
+  EXPECT_EQ(Fingerprint(recovered->condenser()), fingerprint);
+}
+
+TEST_F(CheckpointingTest, RemoveIsJournaledAndRecovered) {
+  const std::string dir = FreshDir();
+  std::vector<Vector> stream = MakeStream(20, 2, 13);
+  DynamicCondenser reference(2, {.group_size = 3});
+  {
+    auto durable = DurableCondenser::Create(2, {.group_size = 3}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    for (const Vector& record : stream) {
+      ASSERT_TRUE(durable->Insert(record).ok());
+      ASSERT_TRUE(reference.Insert(record).ok());
+    }
+    ASSERT_TRUE(durable->Remove(stream[4]).ok());
+    ASSERT_TRUE(reference.Remove(stream[4]).ok());
+  }
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(reference));
+}
+
+TEST_F(CheckpointingTest, FailedSplitDuringInsertDoesNotPoisonSnapshots) {
+  // Regression test: DynamicCondenser::Insert adds the record to a group
+  // *before* the 2k split runs, so a split failure (eigensolver) leaves
+  // the in-memory structure partially mutated. DurableCondenser must
+  // rebuild from disk, or a later Checkpoint persists a state (8-record
+  // unsplit group) that journal replay can never reproduce.
+  const std::string dir = FreshDir();
+  std::vector<Vector> stream = MakeStream(8, 3, 41);
+  auto durable = DurableCondenser::Create(
+      3, {.group_size = 4}, {.snapshot_interval = 100}, dir);
+  ASSERT_TRUE(durable.ok());
+  DynamicCondenser reference(3, {.group_size = 4});
+  for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+    ASSERT_TRUE(durable->Insert(stream[i]).ok());
+    ASSERT_TRUE(reference.Insert(stream[i]).ok());
+  }
+
+  // Record 8 fills the single group to 2k and triggers the split, whose
+  // eigendecomposition we force to fail.
+  FailPoint::Arm("eigen.jacobi", {.fail_at = 1});
+  EXPECT_FALSE(durable->Insert(stream.back()).ok());
+  FailPoint::Reset();
+
+  // Memory was rebuilt to the durable prefix: 7 records, bit-identical.
+  EXPECT_EQ(durable->records_seen(), 7u);
+  EXPECT_EQ(Fingerprint(durable->condenser()), Fingerprint(reference));
+
+  // A checkpoint now must persist a consistent state...
+  ASSERT_TRUE(durable->Checkpoint().ok());
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 4}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(reference));
+
+  // ...and retrying the record succeeds with the split applied.
+  ASSERT_TRUE(durable->Insert(stream.back()).ok());
+  ASSERT_TRUE(reference.Insert(stream.back()).ok());
+  EXPECT_EQ(reference.split_count(), 1u);
+  EXPECT_EQ(Fingerprint(durable->condenser()), Fingerprint(reference));
+}
+
+TEST_F(CheckpointingTest, InsertDimensionMismatchLeavesJournalClean) {
+  const std::string dir = FreshDir();
+  auto durable = DurableCondenser::Create(3, {.group_size = 4}, {}, dir);
+  ASSERT_TRUE(durable.ok());
+  Rng rng(9);
+  ASSERT_TRUE(durable->Insert(MakeRecord(rng, 3, 0.0)).ok());
+  EXPECT_EQ(durable->Insert(Vector(2)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(durable->Insert(MakeRecord(rng, 3, 0.0)).ok());
+
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 4}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_seen(), 2u);
+}
+
+}  // namespace
+}  // namespace condensa::core

@@ -243,5 +243,22 @@ TEST(DynamicCondenserTest, StreamOnTwoClustersKeepsGroupsLocal) {
   }
 }
 
+TEST(DynamicCondenserTest, StreamOfIdenticalRecordsSplitsSafely) {
+  // 2k identical records force a split on an all-zero covariance, whose
+  // leading Jacobi eigenvalue may be a tiny negative. Regression test:
+  // the split must clamp it and succeed, and the resulting aggregates
+  // must stay finite.
+  DynamicCondenser condenser(2, {.group_size = 4});
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(condenser.Insert(Vector{7.5, -2.25}).ok()) << i;
+  }
+  EXPECT_EQ(condenser.groups().TotalRecords(), 20u);
+  for (const GroupStatistics& group : condenser.groups().groups()) {
+    const Vector centroid = group.Centroid();
+    EXPECT_NEAR(centroid[0], 7.5, 1e-9);
+    EXPECT_NEAR(centroid[1], -2.25, 1e-9);
+  }
+}
+
 }  // namespace
 }  // namespace condensa::core

@@ -1,0 +1,204 @@
+// Fuzz-style corruption tests: every deserializer must survive arbitrary
+// mangling of its input — truncations, bit flips, header damage — with a
+// clean error status (or a successful parse when the damage happens to be
+// benign), never a crash, hang, or out-of-range access.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/checkpointing.h"
+#include "core/engine.h"
+#include "core/serialization.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+CondensedGroupSet MakeGroups(std::uint64_t seed) {
+  Rng rng(seed);
+  CondensedGroupSet set(3, 4);
+  for (int g = 0; g < 3; ++g) {
+    GroupStatistics stats(3);
+    for (int i = 0; i < 4; ++i) {
+      Vector p(3);
+      for (int j = 0; j < 3; ++j) {
+        p[j] = rng.Gaussian(static_cast<double>(g), 1.0);
+      }
+      stats.Add(p);
+    }
+    set.AddGroup(std::move(stats));
+  }
+  return set;
+}
+
+std::string MakePoolsText() {
+  CondensedPools pools;
+  pools.task = data::TaskType::kClassification;
+  pools.feature_dim = 3;
+  pools.pools.push_back({0, 1, MakeGroups(1)});
+  pools.pools.push_back({1, 0, MakeGroups(2)});
+  return SerializePools(pools);
+}
+
+std::string MakeStateText() {
+  DynamicCondenser condenser(3, {.group_size = 4});
+  Rng rng(3);
+  for (int i = 0; i < 11; ++i) {
+    Vector p(3);
+    for (int j = 0; j < 3; ++j) {
+      p[j] = rng.Gaussian(0.0, 1.0);
+    }
+    EXPECT_TRUE(condenser.Insert(p).ok());
+  }
+  return SerializeCondenserState(condenser.ExportState(), 5);
+}
+
+// Every deserializer under test, behind one uniform signature: returns
+// the parse status for the mangled text.
+using Parser = Status (*)(const std::string&);
+
+Status ParseGroups(const std::string& text) {
+  return DeserializeGroupSet(text).status();
+}
+Status ParsePools(const std::string& text) {
+  return DeserializePools(text).status();
+}
+Status ParseState(const std::string& text) {
+  return DeserializeCondenserState(text, nullptr).status();
+}
+
+struct Target {
+  const char* name;
+  Parser parse;
+  std::string valid;
+  // Truncating strictly before this offset is guaranteed to fail: the
+  // document still misses a structural element (the last group's "sc"
+  // section, or the snapshot's end marker). Cuts at or past it may parse
+  // — e.g. dropping only the trailing newline, or shortening the last
+  // %.17g token to a shorter valid double.
+  std::size_t must_fail_below;
+};
+
+Target MakeTarget(const char* name, Parser parse, std::string valid,
+                  const char* marker) {
+  std::size_t pos = valid.rfind(marker);
+  EXPECT_NE(pos, std::string::npos) << name;
+  return {name, parse, std::move(valid), pos};
+}
+
+std::vector<Target> Targets() {
+  std::vector<Target> targets;
+  targets.push_back(MakeTarget("groups", &ParseGroups,
+                               SerializeGroupSet(MakeGroups(7)), "\nsc"));
+  targets.push_back(MakeTarget("pools", &ParsePools, MakePoolsText(),
+                               "\nsc"));
+  targets.push_back(MakeTarget("state", &ParseState, MakeStateText(),
+                               "\nend"));
+  return targets;
+}
+
+// A corrupted parse may succeed (benign damage) or fail, but a failure
+// must be one of the two documented corruption codes.
+void ExpectCleanOutcome(const Target& target, const Status& status,
+                        const std::string& what) {
+  if (status.ok()) return;
+  EXPECT_TRUE(status.code() == StatusCode::kDataLoss ||
+              status.code() == StatusCode::kInvalidArgument)
+      << target.name << " " << what << ": " << status.ToString();
+}
+
+TEST(SerializationCorruptionTest, ValidInputsParse) {
+  for (const Target& target : Targets()) {
+    EXPECT_TRUE(target.parse(target.valid).ok()) << target.name;
+  }
+}
+
+TEST(SerializationCorruptionTest, TruncationAtEveryOffsetFailsCleanly) {
+  for (const Target& target : Targets()) {
+    for (std::size_t cut = 0; cut < target.valid.size(); ++cut) {
+      Status status = target.parse(target.valid.substr(0, cut));
+      if (cut < target.must_fail_below) {
+        EXPECT_FALSE(status.ok())
+            << target.name << " parsed a " << cut << "-byte prefix";
+      }
+      ExpectCleanOutcome(target, status,
+                         "truncated at " + std::to_string(cut));
+    }
+  }
+}
+
+TEST(SerializationCorruptionTest, SingleBitFlipsFailCleanlyOrParse) {
+  Rng rng(99);
+  for (const Target& target : Targets()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string mangled = target.valid;
+      std::size_t pos = rng.UniformIndex(mangled.size());
+      int bit = static_cast<int>(rng.UniformIndex(8));
+      mangled[pos] = static_cast<char>(mangled[pos] ^ (1 << bit));
+      ExpectCleanOutcome(target, target.parse(mangled),
+                         "bit flip at " + std::to_string(pos));
+    }
+  }
+}
+
+TEST(SerializationCorruptionTest, ByteSplicesFailCleanlyOrParse) {
+  Rng rng(100);
+  for (const Target& target : Targets()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mangled = target.valid;
+      // Overwrite a small window with random bytes.
+      std::size_t pos = rng.UniformIndex(mangled.size());
+      std::size_t len = std::min<std::size_t>(1 + rng.UniformIndex(8),
+                                              mangled.size() - pos);
+      for (std::size_t i = 0; i < len; ++i) {
+        mangled[pos + i] = static_cast<char>(rng.UniformIndex(256));
+      }
+      ExpectCleanOutcome(target, target.parse(mangled),
+                         "splice at " + std::to_string(pos));
+    }
+  }
+}
+
+TEST(SerializationCorruptionTest, HeaderManglingIsRejected) {
+  for (const Target& target : Targets()) {
+    // Wrong magic string.
+    std::string wrong_magic = target.valid;
+    wrong_magic[0] = 'X';
+    EXPECT_FALSE(target.parse(wrong_magic).ok()) << target.name;
+    ExpectCleanOutcome(target, target.parse(wrong_magic), "wrong magic");
+
+    // Future version.
+    std::string v2 = target.valid;
+    std::size_t v1 = v2.find("v1");
+    ASSERT_NE(v1, std::string::npos);
+    v2[v1 + 1] = '2';
+    EXPECT_FALSE(target.parse(v2).ok()) << target.name;
+    ExpectCleanOutcome(target, target.parse(v2), "future version");
+
+    // Empty and garbage documents.
+    EXPECT_FALSE(target.parse("").ok()) << target.name;
+    EXPECT_FALSE(target.parse("complete nonsense\n1 2 3\n").ok())
+        << target.name;
+  }
+}
+
+TEST(SerializationCorruptionTest, InflatedCountsAreRejected) {
+  // Claiming more groups/records than the document carries must not make
+  // the parser read past the end or loop.
+  for (const Target& target : Targets()) {
+    std::string mangled = target.valid;
+    // First count on the header line after the magic (skip the "v1").
+    std::size_t digit =
+        mangled.find_first_of("0123456789", mangled.find('\n'));
+    ASSERT_NE(digit, std::string::npos);
+    mangled.replace(digit, 1, "999999");
+    ExpectCleanOutcome(target, target.parse(mangled), "inflated count");
+  }
+}
+
+}  // namespace
+}  // namespace condensa::core

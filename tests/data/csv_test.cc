@@ -159,6 +159,50 @@ TEST(CsvReadTest, LenientModeSkipsBadRows) {
   EXPECT_EQ(result->skipped_rows, 2u);
 }
 
+TEST(CsvReadTest, StrictModeRejectsNonFiniteValues) {
+  // "nan"/"inf" parse as valid doubles, but one of them in an aggregate
+  // poisons every statistic computed from it — strict mode must refuse.
+  CsvReadOptions options;
+  options.task = TaskType::kUnlabeled;
+  options.strict = true;
+  for (const char* bad : {"nan", "inf", "-inf", "NaN", "Infinity"}) {
+    const std::string content = "1.0,2.0\n3.0," + std::string(bad) + "\n";
+    auto result = ReadCsvFromString(content, options);
+    EXPECT_FALSE(result.ok()) << bad;
+    EXPECT_EQ(result.status().code(), StatusCode::kDataLoss) << bad;
+    EXPECT_NE(result.status().message().find("non-finite"),
+              std::string::npos)
+        << bad;
+  }
+}
+
+TEST(CsvReadTest, LenientModeSkipsNonFiniteRows) {
+  const std::string content = "1.0,2.0\n3.0,nan\ninf,4.0\n5.0,6.0\n";
+  CsvReadOptions options;
+  options.task = TaskType::kUnlabeled;
+  options.strict = false;
+  auto result = ReadCsvFromString(content, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dataset.size(), 2u);
+  EXPECT_EQ(result->skipped_rows, 2u);
+}
+
+TEST(CsvReadTest, NonFiniteRegressionTargetHandledByStrictness) {
+  const std::string content = "1.0,2.0\n3.0,inf\n";
+  CsvReadOptions options;
+  options.task = TaskType::kRegression;
+  options.strict = true;
+  auto strict = ReadCsvFromString(content, options);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDataLoss);
+
+  options.strict = false;
+  auto lenient = ReadCsvFromString(content, options);
+  ASSERT_TRUE(lenient.ok());
+  EXPECT_EQ(lenient->dataset.size(), 1u);
+  EXPECT_EQ(lenient->skipped_rows, 1u);
+}
+
 TEST(CsvReadTest, EmptyContentFails) {
   CsvReadOptions options;
   EXPECT_FALSE(ReadCsvFromString("", options).ok());
