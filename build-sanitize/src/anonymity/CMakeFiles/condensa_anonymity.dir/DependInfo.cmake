@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anonymity/mondrian.cc" "src/anonymity/CMakeFiles/condensa_anonymity.dir/mondrian.cc.o" "gcc" "src/anonymity/CMakeFiles/condensa_anonymity.dir/mondrian.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

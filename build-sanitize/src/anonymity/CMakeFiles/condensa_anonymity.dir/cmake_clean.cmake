@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_anonymity.dir/mondrian.cc.o"
+  "CMakeFiles/condensa_anonymity.dir/mondrian.cc.o.d"
+  "libcondensa_anonymity.a"
+  "libcondensa_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

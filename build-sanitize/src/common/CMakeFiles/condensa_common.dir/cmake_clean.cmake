@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_common.dir/failpoint.cc.o"
+  "CMakeFiles/condensa_common.dir/failpoint.cc.o.d"
+  "CMakeFiles/condensa_common.dir/io.cc.o"
+  "CMakeFiles/condensa_common.dir/io.cc.o.d"
+  "CMakeFiles/condensa_common.dir/random.cc.o"
+  "CMakeFiles/condensa_common.dir/random.cc.o.d"
+  "CMakeFiles/condensa_common.dir/status.cc.o"
+  "CMakeFiles/condensa_common.dir/status.cc.o.d"
+  "CMakeFiles/condensa_common.dir/string_util.cc.o"
+  "CMakeFiles/condensa_common.dir/string_util.cc.o.d"
+  "libcondensa_common.a"
+  "libcondensa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

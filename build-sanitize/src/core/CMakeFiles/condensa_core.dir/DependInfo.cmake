@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymizer.cc" "src/core/CMakeFiles/condensa_core.dir/anonymizer.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/anonymizer.cc.o.d"
+  "/root/repo/src/core/checkpointing.cc" "src/core/CMakeFiles/condensa_core.dir/checkpointing.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/checkpointing.cc.o.d"
+  "/root/repo/src/core/condensed_group_set.cc" "src/core/CMakeFiles/condensa_core.dir/condensed_group_set.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/condensed_group_set.cc.o.d"
+  "/root/repo/src/core/dynamic_condenser.cc" "src/core/CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/condensa_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/group_statistics.cc" "src/core/CMakeFiles/condensa_core.dir/group_statistics.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/group_statistics.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/condensa_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/condensa_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/split.cc.o.d"
+  "/root/repo/src/core/static_condenser.cc" "src/core/CMakeFiles/condensa_core.dir/static_condenser.cc.o" "gcc" "src/core/CMakeFiles/condensa_core.dir/static_condenser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_core.dir/anonymizer.cc.o"
+  "CMakeFiles/condensa_core.dir/anonymizer.cc.o.d"
+  "CMakeFiles/condensa_core.dir/checkpointing.cc.o"
+  "CMakeFiles/condensa_core.dir/checkpointing.cc.o.d"
+  "CMakeFiles/condensa_core.dir/condensed_group_set.cc.o"
+  "CMakeFiles/condensa_core.dir/condensed_group_set.cc.o.d"
+  "CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o"
+  "CMakeFiles/condensa_core.dir/dynamic_condenser.cc.o.d"
+  "CMakeFiles/condensa_core.dir/engine.cc.o"
+  "CMakeFiles/condensa_core.dir/engine.cc.o.d"
+  "CMakeFiles/condensa_core.dir/group_statistics.cc.o"
+  "CMakeFiles/condensa_core.dir/group_statistics.cc.o.d"
+  "CMakeFiles/condensa_core.dir/serialization.cc.o"
+  "CMakeFiles/condensa_core.dir/serialization.cc.o.d"
+  "CMakeFiles/condensa_core.dir/split.cc.o"
+  "CMakeFiles/condensa_core.dir/split.cc.o.d"
+  "CMakeFiles/condensa_core.dir/static_condenser.cc.o"
+  "CMakeFiles/condensa_core.dir/static_condenser.cc.o.d"
+  "libcondensa_core.a"
+  "libcondensa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

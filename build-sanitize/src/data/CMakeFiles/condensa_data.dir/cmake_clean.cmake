@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_data.dir/csv.cc.o"
+  "CMakeFiles/condensa_data.dir/csv.cc.o.d"
+  "CMakeFiles/condensa_data.dir/dataset.cc.o"
+  "CMakeFiles/condensa_data.dir/dataset.cc.o.d"
+  "CMakeFiles/condensa_data.dir/split.cc.o"
+  "CMakeFiles/condensa_data.dir/split.cc.o.d"
+  "CMakeFiles/condensa_data.dir/transform.cc.o"
+  "CMakeFiles/condensa_data.dir/transform.cc.o.d"
+  "libcondensa_data.a"
+  "libcondensa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/gaussian_mixture.cc" "src/datagen/CMakeFiles/condensa_datagen.dir/gaussian_mixture.cc.o" "gcc" "src/datagen/CMakeFiles/condensa_datagen.dir/gaussian_mixture.cc.o.d"
+  "/root/repo/src/datagen/profiles.cc" "src/datagen/CMakeFiles/condensa_datagen.dir/profiles.cc.o" "gcc" "src/datagen/CMakeFiles/condensa_datagen.dir/profiles.cc.o.d"
+  "/root/repo/src/datagen/random_covariance.cc" "src/datagen/CMakeFiles/condensa_datagen.dir/random_covariance.cc.o" "gcc" "src/datagen/CMakeFiles/condensa_datagen.dir/random_covariance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

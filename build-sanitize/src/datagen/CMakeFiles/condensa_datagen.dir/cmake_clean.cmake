@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_datagen.dir/gaussian_mixture.cc.o"
+  "CMakeFiles/condensa_datagen.dir/gaussian_mixture.cc.o.d"
+  "CMakeFiles/condensa_datagen.dir/profiles.cc.o"
+  "CMakeFiles/condensa_datagen.dir/profiles.cc.o.d"
+  "CMakeFiles/condensa_datagen.dir/random_covariance.cc.o"
+  "CMakeFiles/condensa_datagen.dir/random_covariance.cc.o.d"
+  "libcondensa_datagen.a"
+  "libcondensa_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_index.dir/kdtree.cc.o"
+  "CMakeFiles/condensa_index.dir/kdtree.cc.o.d"
+  "libcondensa_index.a"
+  "libcondensa_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

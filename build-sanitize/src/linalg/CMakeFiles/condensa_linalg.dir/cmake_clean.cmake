@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/condensa_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/condensa_linalg.dir/eigen.cc.o"
+  "CMakeFiles/condensa_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/condensa_linalg.dir/matrix.cc.o"
+  "CMakeFiles/condensa_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/condensa_linalg.dir/pca.cc.o"
+  "CMakeFiles/condensa_linalg.dir/pca.cc.o.d"
+  "CMakeFiles/condensa_linalg.dir/stats.cc.o"
+  "CMakeFiles/condensa_linalg.dir/stats.cc.o.d"
+  "CMakeFiles/condensa_linalg.dir/vector.cc.o"
+  "CMakeFiles/condensa_linalg.dir/vector.cc.o.d"
+  "libcondensa_linalg.a"
+  "libcondensa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

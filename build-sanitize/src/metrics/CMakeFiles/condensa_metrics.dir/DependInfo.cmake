@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/clustering.cc" "src/metrics/CMakeFiles/condensa_metrics.dir/clustering.cc.o" "gcc" "src/metrics/CMakeFiles/condensa_metrics.dir/clustering.cc.o.d"
+  "/root/repo/src/metrics/compatibility.cc" "src/metrics/CMakeFiles/condensa_metrics.dir/compatibility.cc.o" "gcc" "src/metrics/CMakeFiles/condensa_metrics.dir/compatibility.cc.o.d"
+  "/root/repo/src/metrics/locality.cc" "src/metrics/CMakeFiles/condensa_metrics.dir/locality.cc.o" "gcc" "src/metrics/CMakeFiles/condensa_metrics.dir/locality.cc.o.d"
+  "/root/repo/src/metrics/privacy.cc" "src/metrics/CMakeFiles/condensa_metrics.dir/privacy.cc.o" "gcc" "src/metrics/CMakeFiles/condensa_metrics.dir/privacy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/condensa_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/index/CMakeFiles/condensa_index.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_metrics.dir/clustering.cc.o"
+  "CMakeFiles/condensa_metrics.dir/clustering.cc.o.d"
+  "CMakeFiles/condensa_metrics.dir/compatibility.cc.o"
+  "CMakeFiles/condensa_metrics.dir/compatibility.cc.o.d"
+  "CMakeFiles/condensa_metrics.dir/locality.cc.o"
+  "CMakeFiles/condensa_metrics.dir/locality.cc.o.d"
+  "CMakeFiles/condensa_metrics.dir/privacy.cc.o"
+  "CMakeFiles/condensa_metrics.dir/privacy.cc.o.d"
+  "libcondensa_metrics.a"
+  "libcondensa_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/condensa_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/dbscan.cc" "src/mining/CMakeFiles/condensa_mining.dir/dbscan.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/dbscan.cc.o.d"
+  "/root/repo/src/mining/decision_tree.cc" "src/mining/CMakeFiles/condensa_mining.dir/decision_tree.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/decision_tree.cc.o.d"
+  "/root/repo/src/mining/evaluation.cc" "src/mining/CMakeFiles/condensa_mining.dir/evaluation.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/evaluation.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/mining/CMakeFiles/condensa_mining.dir/fpgrowth.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/mining/kmeans.cc" "src/mining/CMakeFiles/condensa_mining.dir/kmeans.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/kmeans.cc.o.d"
+  "/root/repo/src/mining/knn.cc" "src/mining/CMakeFiles/condensa_mining.dir/knn.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/knn.cc.o.d"
+  "/root/repo/src/mining/linear_regression.cc" "src/mining/CMakeFiles/condensa_mining.dir/linear_regression.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/linear_regression.cc.o.d"
+  "/root/repo/src/mining/mixture_classifier.cc" "src/mining/CMakeFiles/condensa_mining.dir/mixture_classifier.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/mixture_classifier.cc.o.d"
+  "/root/repo/src/mining/naive_bayes.cc" "src/mining/CMakeFiles/condensa_mining.dir/naive_bayes.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/mining/nearest_centroid.cc" "src/mining/CMakeFiles/condensa_mining.dir/nearest_centroid.cc.o" "gcc" "src/mining/CMakeFiles/condensa_mining.dir/nearest_centroid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/condensa_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/index/CMakeFiles/condensa_index.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_mining.dir/apriori.cc.o"
+  "CMakeFiles/condensa_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/dbscan.cc.o"
+  "CMakeFiles/condensa_mining.dir/dbscan.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/decision_tree.cc.o"
+  "CMakeFiles/condensa_mining.dir/decision_tree.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/evaluation.cc.o"
+  "CMakeFiles/condensa_mining.dir/evaluation.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/fpgrowth.cc.o"
+  "CMakeFiles/condensa_mining.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/kmeans.cc.o"
+  "CMakeFiles/condensa_mining.dir/kmeans.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/knn.cc.o"
+  "CMakeFiles/condensa_mining.dir/knn.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/linear_regression.cc.o"
+  "CMakeFiles/condensa_mining.dir/linear_regression.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/mixture_classifier.cc.o"
+  "CMakeFiles/condensa_mining.dir/mixture_classifier.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/naive_bayes.cc.o"
+  "CMakeFiles/condensa_mining.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/condensa_mining.dir/nearest_centroid.cc.o"
+  "CMakeFiles/condensa_mining.dir/nearest_centroid.cc.o.d"
+  "libcondensa_mining.a"
+  "libcondensa_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

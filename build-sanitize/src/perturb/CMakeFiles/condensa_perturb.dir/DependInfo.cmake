@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perturb/distribution_classifier.cc" "src/perturb/CMakeFiles/condensa_perturb.dir/distribution_classifier.cc.o" "gcc" "src/perturb/CMakeFiles/condensa_perturb.dir/distribution_classifier.cc.o.d"
+  "/root/repo/src/perturb/perturbation.cc" "src/perturb/CMakeFiles/condensa_perturb.dir/perturbation.cc.o" "gcc" "src/perturb/CMakeFiles/condensa_perturb.dir/perturbation.cc.o.d"
+  "/root/repo/src/perturb/privacy_quantification.cc" "src/perturb/CMakeFiles/condensa_perturb.dir/privacy_quantification.cc.o" "gcc" "src/perturb/CMakeFiles/condensa_perturb.dir/privacy_quantification.cc.o.d"
+  "/root/repo/src/perturb/reconstruction.cc" "src/perturb/CMakeFiles/condensa_perturb.dir/reconstruction.cc.o" "gcc" "src/perturb/CMakeFiles/condensa_perturb.dir/reconstruction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mining/CMakeFiles/condensa_mining.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/condensa_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/index/CMakeFiles/condensa_index.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

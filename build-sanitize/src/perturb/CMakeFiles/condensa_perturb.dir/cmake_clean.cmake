@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa_perturb.dir/distribution_classifier.cc.o"
+  "CMakeFiles/condensa_perturb.dir/distribution_classifier.cc.o.d"
+  "CMakeFiles/condensa_perturb.dir/perturbation.cc.o"
+  "CMakeFiles/condensa_perturb.dir/perturbation.cc.o.d"
+  "CMakeFiles/condensa_perturb.dir/privacy_quantification.cc.o"
+  "CMakeFiles/condensa_perturb.dir/privacy_quantification.cc.o.d"
+  "CMakeFiles/condensa_perturb.dir/reconstruction.cc.o"
+  "CMakeFiles/condensa_perturb.dir/reconstruction.cc.o.d"
+  "libcondensa_perturb.a"
+  "libcondensa_perturb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa_perturb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anonymity_test.dir/anonymity/mondrian_test.cc.o"
+  "CMakeFiles/anonymity_test.dir/anonymity/mondrian_test.cc.o.d"
+  "anonymity_test"
+  "anonymity_test.pdb"
+  "anonymity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/anonymizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/anonymizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/checkpointing_test.cc.o"
+  "CMakeFiles/core_test.dir/core/checkpointing_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o"
+  "CMakeFiles/core_test.dir/core/condensed_group_set_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/dynamic_condenser_test.cc.o"
+  "CMakeFiles/core_test.dir/core/dynamic_condenser_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/core_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/group_statistics_test.cc.o"
+  "CMakeFiles/core_test.dir/core/group_statistics_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o"
+  "CMakeFiles/core_test.dir/core/serialization_corruption_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/serialization_test.cc.o"
+  "CMakeFiles/core_test.dir/core/serialization_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/split_test.cc.o"
+  "CMakeFiles/core_test.dir/core/split_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/static_condenser_test.cc.o"
+  "CMakeFiles/core_test.dir/core/static_condenser_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index/kdtree_test.cc" "tests/CMakeFiles/index_test.dir/index/kdtree_test.cc.o" "gcc" "tests/CMakeFiles/index_test.dir/index/kdtree_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/metrics/CMakeFiles/condensa_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/perturb/CMakeFiles/condensa_perturb.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/anonymity/CMakeFiles/condensa_anonymity.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mining/CMakeFiles/condensa_mining.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/condensa_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/datagen/CMakeFiles/condensa_datagen.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/index/CMakeFiles/condensa_index.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/data/CMakeFiles/condensa_data.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/linalg/CMakeFiles/condensa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/common/CMakeFiles/condensa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/clustering_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/clustering_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/compatibility_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/compatibility_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/locality_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/locality_test.cc.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/privacy_test.cc.o"
+  "CMakeFiles/metrics_test.dir/metrics/privacy_test.cc.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

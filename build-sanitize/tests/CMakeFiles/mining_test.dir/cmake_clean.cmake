@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_test.dir/mining/apriori_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/apriori_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/dbscan_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/dbscan_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/decision_tree_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/decision_tree_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/evaluation_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/evaluation_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/fpgrowth_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/fpgrowth_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/kmeans_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/kmeans_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/knn_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/knn_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/linear_regression_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/linear_regression_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/mixture_classifier_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/mixture_classifier_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/naive_bayes_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/naive_bayes_test.cc.o.d"
+  "CMakeFiles/mining_test.dir/mining/nearest_centroid_test.cc.o"
+  "CMakeFiles/mining_test.dir/mining/nearest_centroid_test.cc.o.d"
+  "mining_test"
+  "mining_test.pdb"
+  "mining_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturb_test.dir/perturb/distribution_classifier_test.cc.o"
+  "CMakeFiles/perturb_test.dir/perturb/distribution_classifier_test.cc.o.d"
+  "CMakeFiles/perturb_test.dir/perturb/perturbation_test.cc.o"
+  "CMakeFiles/perturb_test.dir/perturb/perturbation_test.cc.o.d"
+  "CMakeFiles/perturb_test.dir/perturb/privacy_quantification_test.cc.o"
+  "CMakeFiles/perturb_test.dir/perturb/privacy_quantification_test.cc.o.d"
+  "CMakeFiles/perturb_test.dir/perturb/reconstruction_test.cc.o"
+  "CMakeFiles/perturb_test.dir/perturb/reconstruction_test.cc.o.d"
+  "perturb_test"
+  "perturb_test.pdb"
+  "perturb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-sanitize/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-sanitize/tests/common_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/index_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/anonymity_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/data_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/core_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/mining_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/perturb_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-sanitize/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensa.dir/condensa_cli_main.cc.o"
+  "CMakeFiles/condensa.dir/condensa_cli_main.cc.o.d"
+  "condensa"
+  "condensa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
