@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -21,6 +22,7 @@
 using condensa::Rng;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_bootstrap");
   Rng data_rng(42);
   condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
 
@@ -71,5 +73,5 @@ int main() {
       "small bootstrap (the nearest-centroid rule plus 2k-splits adapt\n"
       "quickly); pure streaming costs little on i.i.d. data, so the\n"
       "paper's stream setting is practical even from a cold start.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

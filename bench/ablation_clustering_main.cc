@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -45,6 +46,7 @@ std::vector<std::size_t> AssignAll(
 }  // namespace
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_clustering");
   // Well-clustered synthetic workload: 4 Gaussian blobs.
   Rng data_rng(42);
   condensa::data::Dataset dataset =
@@ -127,5 +129,5 @@ int main() {
       "while groups remain small relative to the natural clusters, and\n"
       "erodes once k approaches the cluster size (150), where condensed\n"
       "groups start spanning cluster boundaries.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -17,6 +18,9 @@
 using condensa::Rng;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_group_size");
+  reporter.SetRowSchema(
+      {"k", "mu", "cov_rel_err", "distance_gain", "exact_leak"});
   Rng data_rng(42);
   condensa::data::Dataset dataset =
       condensa::datagen::MakePima(data_rng);
@@ -63,9 +67,12 @@ int main() {
     std::printf("%6zu %12.4f %12.4f %14.3f %14.4f\n", k, mu_total / kTrials,
                 err_total / kTrials, gain_total / kTrials,
                 leak_total / kTrials);
+    reporter.AddRow({static_cast<double>(k), mu_total / kTrials,
+                     err_total / kTrials, gain_total / kTrials,
+                     leak_total / kTrials});
   }
   std::printf("\nExpected shape: mu ~1 at small k, eroding slowly as the\n"
               "locality grows; distance_gain strictly increasing with k;\n"
               "exact leakage only at k where groups are singletons.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

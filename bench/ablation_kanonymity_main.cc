@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "anonymity/mondrian.h"
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -25,6 +26,7 @@
 using condensa::Rng;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_kanonymity");
   Rng data_rng(42);
   condensa::data::Dataset dataset =
       condensa::datagen::MakeIonosphere(data_rng);
@@ -83,5 +85,5 @@ int main() {
       "falls steadily with k while condensation's stays near 1. Any\n"
       "analysis that needs variances or correlations (PCA, regression,\n"
       "association rules) only survives under condensation.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -18,6 +19,7 @@ using condensa::Rng;
 using condensa::linalg::Vector;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_locality");
   Rng data_rng(42);
   condensa::data::Dataset dataset(3);
   // Dense core (80%) + sparse uniform halo (20%).
@@ -71,5 +73,5 @@ int main() {
       "densest to the sparsest quartile at every k, and the Q4/Q1 ratio\n"
       "stays large — the paper's point that outliers are inherently\n"
       "harder to mask under a fixed group size.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -32,6 +33,7 @@
 using condensa::Rng;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_perturbation");
   Rng data_rng(42);
   condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
 
@@ -124,5 +126,5 @@ int main() {
       "noise) and loses 1-NN accuracy; the distribution classifier — the\n"
       "only algorithm style perturbation permits — ignores correlations\n"
       "entirely.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/anonymizer.h"
@@ -57,6 +58,7 @@ condensa::data::Dataset AnonymizeWith(const condensa::data::Dataset& train,
 }  // namespace
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_sampler");
   Rng data_rng(42);
   condensa::data::Dataset dataset =
       condensa::datagen::MakeIonosphere(data_rng);
@@ -126,5 +128,5 @@ int main() {
       "tails give a visibly larger max deviation from the data manifold,\n"
       "which is why the paper's bounded uniform choice is the safer\n"
       "default.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

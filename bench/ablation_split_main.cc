@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/group_statistics.h"
@@ -95,6 +96,7 @@ Drift MeasureSplitDrift(const std::vector<Vector>& points) {
 }  // namespace
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_split");
   std::printf("=== Ablation A2: uniform-split approximation quality ===\n");
   std::printf("(statistics-only split vs actual hyperplane split; lower is "
               "better)\n\n");
@@ -120,5 +122,5 @@ int main() {
       "uniform, moderate for Gaussian groups, largest for bimodal ones;\n"
       "within a shape the drift stabilizes as the group grows (the paper's\n"
       "argument that tiny groups make the approximation noisy).\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -27,6 +28,7 @@ using condensa::Rng;
 using condensa::core::SplitRule;
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_split_rule");
   Rng data_rng(42);
   condensa::data::Dataset dataset =
       condensa::datagen::MakeIonosphere(data_rng);
@@ -75,5 +77,5 @@ int main() {
       "group structure collapses), which is the flavour of damage behind\n"
       "the 0.65-0.75 dynamic-mu dips the paper reports on two datasets —\n"
       "the exact magnitude is data- and pipeline-dependent.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <numeric>
 #include <string>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -50,6 +51,7 @@ Dataset Reorder(const Dataset& dataset, const std::string& order, Rng& rng) {
 }  // namespace
 
 int main() {
+  condensa::bench::BenchReporter reporter("ablation_stream_order");
   Rng data_rng(42);
   Dataset dataset = condensa::datagen::MakePima(data_rng);
 
@@ -105,5 +107,5 @@ int main() {
       "setting; sorted and class-blocked streams stress the\n"
       "nearest-centroid assignment, costing some mu/accuracy but never\n"
       "breaking the k-indistinguishability floor.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -14,6 +14,7 @@
 #include <set>
 #include <string>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -53,6 +54,7 @@ std::string RuleKey(const condensa::mining::AssociationRule& rule) {
 }  // namespace
 
 int main() {
+  condensa::bench::BenchReporter reporter("algorithms_suite");
   Rng data_rng(42);
   condensa::data::Dataset dataset = condensa::datagen::MakePima(data_rng);
 
@@ -177,5 +179,5 @@ int main() {
       "\nExpected shape: every algorithm's condensed-data accuracy lands\n"
       "within a few points of its raw-data accuracy, and the bulk of the\n"
       "mined rules coincide — no algorithm was modified for privacy.\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

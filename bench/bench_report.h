@@ -1,0 +1,61 @@
+// Machine-readable bench output.
+//
+// Every bench binary writes a BENCH_<name>.json file next to its stdout
+// report so sweeps can be diffed and plotted without scraping text. The
+// file carries the bench's own scalars and sweep rows plus a full
+// obs::DefaultRegistry() dump, so subsystem counters (kd-tree visits,
+// eigensolver sweeps, checkpoint bytes, ...) ride along with every run.
+//
+// Output directory: $CONDENSA_BENCH_OUT_DIR when set, else the working
+// directory. See docs/observability.md for the schema.
+
+#ifndef CONDENSA_BENCH_BENCH_REPORT_H_
+#define CONDENSA_BENCH_BENCH_REPORT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/timing.h"
+
+namespace condensa::bench {
+
+struct BenchReport {
+  // Bench identifier; the file is named BENCH_<name>.json.
+  std::string name;
+  double elapsed_seconds = 0.0;
+  // Named summary values, e.g. {"trials", 3}.
+  std::vector<std::pair<std::string, double>> scalars;
+  // Optional sweep table: column names plus one vector per row. Rows
+  // must match the schema width.
+  std::vector<std::string> row_schema;
+  std::vector<std::vector<double>> rows;
+};
+
+// Serializes the report (including the default-registry metrics dump)
+// and writes it atomically. Returns the path written.
+StatusOr<std::string> WriteBenchReport(const BenchReport& report);
+
+// Convenience wrapper: starts timing at construction, stamps
+// elapsed_seconds and writes the file in Finish().
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name);
+
+  void AddScalar(std::string key, double value);
+  void SetRowSchema(std::vector<std::string> columns);
+  void AddRow(std::vector<double> row);
+
+  // Writes BENCH_<name>.json. Prints the destination (or the error) to
+  // stderr; returns false if the write failed.
+  bool Finish();
+
+ private:
+  BenchReport report_;
+  obs::Timer timer_;
+};
+
+}  // namespace condensa::bench
+
+#endif  // CONDENSA_BENCH_BENCH_REPORT_H_

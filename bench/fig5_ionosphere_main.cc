@@ -7,6 +7,7 @@
 int main(int argc, char** argv) {
   condensa::bench::FigureConfig config;
   config.profile = "ionosphere";
+  config.bench_name = "fig5_ionosphere";
   config.title = "Figure 5 - Ionosphere (351 x 34, 2 classes)";
   // 351 records: cap the sweep below the dataset size per class.
   config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75};

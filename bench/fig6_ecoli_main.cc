@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   condensa::bench::FigureConfig config;
   config.profile = "ecoli";
+  config.bench_name = "fig6_ecoli";
   config.title = "Figure 6 - Ecoli (336 x 7, 8 classes)";
   // 336 records across 8 classes; the largest class holds ~143 records.
   config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50};

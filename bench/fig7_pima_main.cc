@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   condensa::bench::FigureConfig config;
   config.profile = "pima";
+  config.bench_name = "fig7_pima";
   config.title = "Figure 7 - Pima Indian (768 x 8, 2 classes)";
   config.group_sizes = {1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 75, 100};
   return condensa::bench::FigureBenchMain(config, argc, argv);

@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   condensa::bench::FigureConfig config;
   config.profile = "abalone";
+  config.bench_name = "fig8_abalone";
   config.title = "Figure 8 - Abalone (4177 x 7, regression)";
   config.regression = true;
   config.tolerance = 1.0;  // "within an accuracy of less than one year"

@@ -3,10 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
-#include "common/check.h"
+#include "bench/bench_report.h"
 #include "common/random.h"
 #include "common/string_util.h"
-#include "common/timer.h"
 #include "core/engine.h"
 #include "data/split.h"
 #include "data/transform.h"
@@ -14,6 +13,7 @@
 #include "metrics/compatibility.h"
 #include "mining/evaluation.h"
 #include "mining/knn.h"
+#include "obs/timing.h"
 
 namespace condensa::bench {
 namespace {
@@ -28,54 +28,51 @@ struct TrialOutcome {
 };
 
 // Accuracy of a 1-NN model trained on `train`, scored on `test`.
-double Score(const data::Dataset& train, const data::Dataset& test,
-             bool regression, double tolerance) {
+StatusOr<double> Score(const data::Dataset& train, const data::Dataset& test,
+                       bool regression, double tolerance) {
   if (regression) {
     mining::KnnRegressor regressor({.k = 1});
-    CONDENSA_CHECK(regressor.Fit(train).ok());
-    auto accuracy = mining::EvaluateWithinTolerance(regressor, test, tolerance);
-    CONDENSA_CHECK(accuracy.ok());
-    return *accuracy;
+    CONDENSA_RETURN_IF_ERROR(regressor.Fit(train));
+    return mining::EvaluateWithinTolerance(regressor, test, tolerance);
   }
   mining::KnnClassifier classifier({.k = 1});
-  CONDENSA_CHECK(classifier.Fit(train).ok());
-  auto accuracy = mining::EvaluateAccuracy(classifier, test);
-  CONDENSA_CHECK(accuracy.ok());
-  return *accuracy;
+  CONDENSA_RETURN_IF_ERROR(classifier.Fit(train));
+  return mining::EvaluateAccuracy(classifier, test);
 }
 
-TrialOutcome RunTrial(const FigureConfig& config, std::size_t k,
-                      std::uint64_t trial_seed) {
+StatusOr<TrialOutcome> RunTrial(const FigureConfig& config, std::size_t k,
+                                std::uint64_t trial_seed) {
   Rng rng(trial_seed);
   datagen::ProfileOptions profile_options;
   profile_options.size_factor = config.size_factor;
-  auto dataset =
-      datagen::MakeProfileByName(config.profile, rng, profile_options);
-  CONDENSA_CHECK(dataset.ok());
+  CONDENSA_ASSIGN_OR_RETURN(
+      data::Dataset dataset,
+      datagen::MakeProfileByName(config.profile, rng, profile_options));
 
-  auto split = data::SplitTrainTest(*dataset, 0.75, rng);
-  CONDENSA_CHECK(split.ok());
+  CONDENSA_ASSIGN_OR_RETURN(data::TrainTestSplit split,
+                            data::SplitTrainTest(dataset, 0.75, rng));
   data::ZScoreScaler scaler;
-  CONDENSA_CHECK(scaler.Fit(split->train).ok());
-  data::Dataset train = scaler.TransformDataset(split->train);
-  data::Dataset test = scaler.TransformDataset(split->test);
+  CONDENSA_RETURN_IF_ERROR(scaler.Fit(split.train));
+  data::Dataset train = scaler.TransformDataset(split.train);
+  data::Dataset test = scaler.TransformDataset(split.test);
 
   TrialOutcome outcome;
-  outcome.accuracy_original =
-      Score(train, test, config.regression, config.tolerance);
+  CONDENSA_ASSIGN_OR_RETURN(
+      outcome.accuracy_original,
+      Score(train, test, config.regression, config.tolerance));
 
   // Static condensation.
   core::CondensationEngine static_engine(
       {.group_size = k, .mode = core::CondensationMode::kStatic});
-  auto static_result = static_engine.Anonymize(train, rng);
-  CONDENSA_CHECK(static_result.ok());
-  outcome.accuracy_static = Score(static_result->anonymized, test,
-                                  config.regression, config.tolerance);
-  auto mu_static =
-      metrics::CovarianceCompatibility(train, static_result->anonymized);
-  CONDENSA_CHECK(mu_static.ok());
-  outcome.mu_static = *mu_static;
-  outcome.average_group_size = static_result->AverageGroupSize();
+  CONDENSA_ASSIGN_OR_RETURN(core::AnonymizationResult static_result,
+                            static_engine.Anonymize(train, rng));
+  CONDENSA_ASSIGN_OR_RETURN(outcome.accuracy_static,
+                            Score(static_result.anonymized, test,
+                                  config.regression, config.tolerance));
+  CONDENSA_ASSIGN_OR_RETURN(
+      outcome.mu_static,
+      metrics::CovarianceCompatibility(train, static_result.anonymized));
+  outcome.average_group_size = static_result.AverageGroupSize();
 
   // Dynamic condensation: a small static prefix (the paper's initial
   // database D), then the remaining ~95% arrive as a shuffled stream.
@@ -83,20 +80,20 @@ TrialOutcome RunTrial(const FigureConfig& config, std::size_t k,
       {.group_size = k,
        .mode = core::CondensationMode::kDynamic,
        .bootstrap_fraction = 0.05});
-  auto dynamic_result = dynamic_engine.Anonymize(train, rng);
-  CONDENSA_CHECK(dynamic_result.ok());
-  outcome.accuracy_dynamic = Score(dynamic_result->anonymized, test,
-                                   config.regression, config.tolerance);
-  auto mu_dynamic =
-      metrics::CovarianceCompatibility(train, dynamic_result->anonymized);
-  CONDENSA_CHECK(mu_dynamic.ok());
-  outcome.mu_dynamic = *mu_dynamic;
+  CONDENSA_ASSIGN_OR_RETURN(core::AnonymizationResult dynamic_result,
+                            dynamic_engine.Anonymize(train, rng));
+  CONDENSA_ASSIGN_OR_RETURN(outcome.accuracy_dynamic,
+                            Score(dynamic_result.anonymized, test,
+                                  config.regression, config.tolerance));
+  CONDENSA_ASSIGN_OR_RETURN(
+      outcome.mu_dynamic,
+      metrics::CovarianceCompatibility(train, dynamic_result.anonymized));
   return outcome;
 }
 
 }  // namespace
 
-std::vector<FigureRow> RunFigureSweep(const FigureConfig& config) {
+StatusOr<std::vector<FigureRow>> RunFigureSweep(const FigureConfig& config) {
   std::vector<FigureRow> rows;
   for (std::size_t k : config.group_sizes) {
     FigureRow row;
@@ -105,7 +102,9 @@ std::vector<FigureRow> RunFigureSweep(const FigureConfig& config) {
       // Trial seeds are independent of k so every sweep point sees the
       // same data draws and the "original" series is the paper's flat
       // horizontal baseline.
-      TrialOutcome outcome = RunTrial(config, k, config.seed + 7919 * trial);
+      CONDENSA_ASSIGN_OR_RETURN(
+          TrialOutcome outcome,
+          RunTrial(config, k, config.seed + 7919 * trial));
       row.average_group_size += outcome.average_group_size;
       row.accuracy_static += outcome.accuracy_static;
       row.accuracy_dynamic += outcome.accuracy_dynamic;
@@ -162,8 +161,29 @@ int FigureBenchMain(FigureConfig config, int argc, char** argv) {
     }
   }
 
-  Timer timer;
-  std::vector<FigureRow> rows = RunFigureSweep(config);
+  BenchReporter reporter(config.bench_name.empty() ? config.profile
+                                                   : config.bench_name);
+  obs::Timer timer;
+  StatusOr<std::vector<FigureRow>> sweep = RunFigureSweep(config);
+  if (!sweep.ok()) {
+    std::fprintf(stderr, "sweep failed: %s\n",
+                 sweep.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<FigureRow>& rows = *sweep;
+
+  reporter.AddScalar("trials", static_cast<double>(config.trials));
+  reporter.AddScalar("size_factor", config.size_factor);
+  reporter.AddScalar("seed", static_cast<double>(config.seed));
+  reporter.SetRowSchema({"k", "avg_group_size", "accuracy_static",
+                         "accuracy_dynamic", "accuracy_original", "mu_static",
+                         "mu_dynamic"});
+  for (const FigureRow& row : rows) {
+    reporter.AddRow({static_cast<double>(row.requested_k),
+                     row.average_group_size, row.accuracy_static,
+                     row.accuracy_dynamic, row.accuracy_original,
+                     row.mu_static, row.mu_dynamic});
+  }
 
   if (csv) {
     std::printf(
@@ -175,7 +195,7 @@ int FigureBenchMain(FigureConfig config, int argc, char** argv) {
                   row.accuracy_dynamic, row.accuracy_original, row.mu_static,
                   row.mu_dynamic);
     }
-    return 0;
+    return reporter.Finish() ? 0 : 1;
   }
 
   const char* accuracy_label =
@@ -203,7 +223,7 @@ int FigureBenchMain(FigureConfig config, int argc, char** argv) {
                 row.average_group_size, row.mu_static, row.mu_dynamic);
   }
   std::printf("\nelapsed: %.1fs\n\n", timer.ElapsedSeconds());
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }
 
 }  // namespace condensa::bench

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace condensa::bench {
 
 struct FigureConfig {
@@ -20,6 +22,10 @@ struct FigureConfig {
   std::string profile;
   // Display title, e.g. "Figure 5 - Ionosphere".
   std::string title;
+  // Machine-readable report name: FigureBenchMain writes
+  // BENCH_<bench_name>.json (see bench/bench_report.h). Empty falls back
+  // to the profile name.
+  std::string bench_name;
   // Regression profiles score with |prediction - target| <= tolerance.
   bool regression = false;
   double tolerance = 1.0;
@@ -45,12 +51,14 @@ struct FigureRow {
   double mu_dynamic = 0.0;
 };
 
-// Runs the sweep and returns one row per group size.
-std::vector<FigureRow> RunFigureSweep(const FigureConfig& config);
+// Runs the sweep and returns one row per group size. Fails if the
+// profile cannot be generated or any trial's pipeline errors.
+StatusOr<std::vector<FigureRow>> RunFigureSweep(const FigureConfig& config);
 
 // Full bench entry point: parses --csv / --trials=N / --size-factor=X,
-// runs the sweep, prints panel (a) and panel (b). Returns the process
-// exit code.
+// runs the sweep, prints panel (a) and panel (b), and writes
+// BENCH_<bench_name>.json. Returns the process exit code (1 on sweep or
+// report failure, 2 on bad flags).
 int FigureBenchMain(FigureConfig config, int argc, char** argv);
 
 }  // namespace condensa::bench

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/anonymizer.h"
@@ -199,4 +200,15 @@ BENCHMARK(BM_KnnPredict)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can finish with a BENCH_*.json
+// carrying the instrument counters the benchmarks drove.
+int main(int argc, char** argv) {
+  condensa::bench::BenchReporter reporter("perf_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  reporter.AddScalar(
+      "benchmarks_run",
+      static_cast<double>(benchmark::RunSpecifiedBenchmarks()));
+  benchmark::Shutdown();
+  return reporter.Finish() ? 0 : 1;
+}

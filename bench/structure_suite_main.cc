@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/engine.h"
@@ -26,6 +27,7 @@ using condensa::Rng;
 using condensa::linalg::Vector;
 
 int main() {
+  condensa::bench::BenchReporter reporter("structure_suite");
   std::printf("=== Structure suite: second-order analyses on raw vs "
               "condensed data ===\n\n");
 
@@ -170,5 +172,5 @@ int main() {
       "small fraction of a year of the raw fit (coefficients themselves\n"
       "swing more because Abalone's features are near-collinear); DBSCAN\n"
       "finding the same two dense clusters on the release (high ARI).\n\n");
-  return 0;
+  return reporter.Finish() ? 0 : 1;
 }

@@ -9,9 +9,35 @@
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "core/serialization.h"
+#include "obs/metrics.h"
+#include "obs/timing.h"
 
 namespace condensa::core {
 namespace {
+
+struct CheckpointMetrics {
+  obs::Counter& snapshots = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_snapshots_total");
+  obs::Counter& snapshot_bytes = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_snapshot_bytes_total");
+  obs::Counter& journal_appends = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_journal_appends_total");
+  obs::Counter& journal_bytes = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_journal_bytes_total");
+  obs::Counter& fsyncs = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_journal_fsyncs_total");
+  obs::Counter& recoveries = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_recoveries_total");
+  obs::Counter& recovery_replayed = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_recovery_replayed_records_total");
+  obs::Histogram& snapshot_seconds = obs::DefaultRegistry().GetHistogram(
+      "condensa_checkpoint_snapshot_seconds");
+
+  static CheckpointMetrics& Get() {
+    static CheckpointMetrics metrics;
+    return metrics;
+  }
+};
 
 constexpr char kSnapshotMagic[] = "condensa-snapshot v1";
 constexpr char kJournalMagic[] = "condensa-journal v1";
@@ -323,6 +349,9 @@ StatusOr<DurableCondenser> DurableCondenser::Recover(
   }
   durable.journal_bytes_ = valid_offset;
   durable.appends_ = replayed;
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.recoveries.Increment();
+  metrics.recovery_replayed.Increment(replayed);
 
   // Prune stale generations and leftover temp files (best effort).
   for (const std::string& name : entries) {
@@ -385,6 +414,9 @@ Status DurableCondenser::AppendJournal(char op,
   Status status = journal_.Append(line);
   if (status.ok() && durability_.sync_every_append) {
     status = journal_.Sync();
+    if (status.ok()) {
+      CheckpointMetrics::Get().fsyncs.Increment();
+    }
   }
   if (!status.ok()) {
     // The line may be partially (torn write) or even fully (failed sync)
@@ -398,6 +430,9 @@ Status DurableCondenser::AppendJournal(char op,
     return status;
   }
   journal_bytes_ += line.size();
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  metrics.journal_appends.Increment();
+  metrics.journal_bytes.Increment(line.size());
   return OkStatus();
 }
 
@@ -477,12 +512,16 @@ Status DurableCondenser::Checkpoint() {
 
 Status DurableCondenser::WriteSnapshot() {
   CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("checkpoint.snapshot"));
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  obs::ScopedTimer snapshot_timer(metrics.snapshot_seconds);
   const bool initial = !journal_.is_open();
   const std::size_t next = initial ? sequence_ : sequence_ + 1;
   const std::string snapshot_path = dir_ + "/" + SnapshotName(next);
-  CONDENSA_RETURN_IF_ERROR(WriteFileAtomic(
-      snapshot_path,
-      SerializeCondenserState(condenser_.ExportState(), next)));
+  const std::string serialized =
+      SerializeCondenserState(condenser_.ExportState(), next);
+  CONDENSA_RETURN_IF_ERROR(WriteFileAtomic(snapshot_path, serialized));
+  metrics.snapshots.Increment();
+  metrics.snapshot_bytes.Increment(serialized.size());
 
   // Roll the journal. If this fails the new snapshot must not stay
   // visible: records acknowledged afterwards would land in the old

@@ -5,8 +5,38 @@
 #include "common/failpoint.h"
 #include "core/split.h"
 #include "core/static_condenser.h"
+#include "obs/metrics.h"
+#include "obs/timing.h"
 
 namespace condensa::core {
+namespace {
+
+// Latency histograms are sampled 1-in-kLatencySampleEvery so the clock
+// reads stay invisible next to the nearest-centroid scan; counters are
+// exact.
+constexpr std::size_t kLatencySampleEvery = 16;
+
+struct DynamicCondenserMetrics {
+  obs::Counter& inserts =
+      obs::DefaultRegistry().GetCounter("condensa_dynamic_inserts_total");
+  obs::Counter& removes =
+      obs::DefaultRegistry().GetCounter("condensa_dynamic_removes_total");
+  obs::Counter& splits =
+      obs::DefaultRegistry().GetCounter("condensa_dynamic_splits_total");
+  obs::Counter& merges =
+      obs::DefaultRegistry().GetCounter("condensa_dynamic_merges_total");
+  obs::Histogram& insert_seconds = obs::DefaultRegistry().GetHistogram(
+      "condensa_dynamic_insert_seconds");
+  obs::Histogram& remove_seconds = obs::DefaultRegistry().GetHistogram(
+      "condensa_dynamic_remove_seconds");
+
+  static DynamicCondenserMetrics& Get() {
+    static DynamicCondenserMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 DynamicCondenser::DynamicCondenser(std::size_t dim,
                                    DynamicCondenserOptions options)
@@ -63,6 +93,11 @@ Status DynamicCondenser::Insert(const linalg::Vector& record) {
     return InvalidArgumentError("record dimension mismatch");
   }
   CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("dynamic.insert"));
+  DynamicCondenserMetrics& metrics = DynamicCondenserMetrics::Get();
+  metrics.inserts.Increment();
+  obs::ScopedTimer latency(records_seen_ % kLatencySampleEvery == 0
+                               ? &metrics.insert_seconds
+                               : nullptr);
   ++records_seen_;
 
   // Pure-stream warm-up: no full group exists yet.
@@ -90,6 +125,7 @@ Status DynamicCondenser::Insert(const linalg::Vector& record) {
     groups_.AddGroup(std::move(split.lower));
     groups_.AddGroup(std::move(split.upper));
     ++split_count_;
+    metrics.splits.Increment();
   }
   return OkStatus();
 }
@@ -98,6 +134,11 @@ Status DynamicCondenser::Remove(const linalg::Vector& record) {
   if (record.dim() != dim()) {
     return InvalidArgumentError("record dimension mismatch");
   }
+  DynamicCondenserMetrics& metrics = DynamicCondenserMetrics::Get();
+  metrics.removes.Increment();
+  obs::ScopedTimer latency(records_seen_ % kLatencySampleEvery == 0
+                               ? &metrics.remove_seconds
+                               : nullptr);
   if (groups_.empty()) {
     // The record can only live in the forming buffer.
     if (!forming_.has_value() || forming_->count() == 0) {
@@ -128,6 +169,7 @@ Status DynamicCondenser::Remove(const linalg::Vector& record) {
     std::size_t merge_into = groups_.NearestGroup(undersized.Centroid());
     groups_.mutable_group(merge_into).Merge(undersized);
     ++merge_count_;
+    metrics.merges.Increment();
     // The merged group may have reached 2k; split it like an insert would.
     GroupStatistics& merged = groups_.mutable_group(merge_into);
     if (merged.count() >= 2 * options_.group_size) {
@@ -138,6 +180,7 @@ Status DynamicCondenser::Remove(const linalg::Vector& record) {
       groups_.AddGroup(std::move(split.lower));
       groups_.AddGroup(std::move(split.upper));
       ++split_count_;
+      metrics.splits.Increment();
     }
   }
   return OkStatus();

@@ -8,9 +8,15 @@
 #include "core/checkpointing.h"
 #include "core/dynamic_condenser.h"
 #include "core/static_condenser.h"
+#include "obs/timing.h"
+#include "obs/trace.h"
 
 namespace condensa::core {
 namespace {
+
+const char* ModeName(CondensationMode mode) {
+  return mode == CondensationMode::kStatic ? "static" : "dynamic";
+}
 
 // NaN/Inf would silently poison every aggregate they touch (sums,
 // covariances, eigenvalues), so the engine rejects them up front.
@@ -39,6 +45,7 @@ StatusOr<CondensedGroupSet> CondensePool(
     const std::vector<linalg::Vector>& points, std::size_t k,
     const CondensationConfig& config, const std::string& checkpoint_dir,
     Rng& rng, std::size_t* splits_out) {
+  obs::TraceSpan span("engine.condense_pool");
   if (splits_out != nullptr) *splits_out = 0;
   if (config.mode == CondensationMode::kStatic) {
     StaticCondenser condenser(StaticCondenserOptions{.group_size = k});
@@ -184,6 +191,18 @@ StatusOr<CondensedPools> CondensationEngine::Condense(
   }
   CONDENSA_RETURN_IF_ERROR(ValidateFinite(input));
 
+  // Engine-level accounting: wall time per run (labeled by mode), input
+  // totals, and last-run gauges — the engine's final stats report.
+  obs::MetricsRegistry& registry =
+      config_.metrics != nullptr ? *config_.metrics : obs::DefaultRegistry();
+  const obs::Labels mode_labels = {{"mode", ModeName(config_.mode)}};
+  obs::TraceSpan span("engine.condense");
+  obs::ScopedTimer run_timer(
+      registry.GetHistogram("condensa_engine_condense_seconds", mode_labels));
+  registry.GetCounter("condensa_engine_runs_total", mode_labels).Increment();
+  registry.GetCounter("condensa_engine_records_total")
+      .Increment(input.size());
+
   CondensedPools pools;
   pools.task = input.task();
   pools.feature_dim = input.dim();
@@ -229,12 +248,34 @@ StatusOr<CondensedPools> CondensationEngine::Condense(
       break;
     }
   }
+
+  // Final stats: what this run produced, as counters plus last-run gauges
+  // so `condensa stats` (and any scraper) sees the shape of the release.
+  std::size_t groups = 0, splits = 0, min_group = 0;
+  bool first = true;
+  for (const CondensedPools::Pool& pool : pools.pools) {
+    PrivacySummary summary = pool.groups.Summary();
+    groups += summary.num_groups;
+    splits += pool.splits;
+    min_group = first ? summary.min_group_size
+                      : std::min(min_group, summary.min_group_size);
+    first = false;
+  }
+  registry.GetCounter("condensa_engine_pools_total")
+      .Increment(pools.pools.size());
+  registry.GetCounter("condensa_engine_groups_total").Increment(groups);
+  registry.GetCounter("condensa_engine_splits_total").Increment(splits);
+  registry.GetGauge("condensa_engine_last_pools").Set(pools.pools.size());
+  registry.GetGauge("condensa_engine_last_groups").Set(groups);
+  registry.GetGauge("condensa_engine_last_min_group_size").Set(min_group);
+  registry.GetGauge("condensa_engine_last_records").Set(input.size());
   return pools;
 }
 
 StatusOr<AnonymizationResult> GenerateRelease(
     const CondensedPools& pools, Rng& rng,
     const AnonymizerOptions& anonymizer_options) {
+  obs::TraceSpan span("engine.generate_release");
   if (pools.pools.empty()) {
     return InvalidArgumentError("no pools to generate from");
   }

@@ -25,6 +25,7 @@
 #include "core/condensed_group_set.h"
 #include "core/split.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
 
 namespace condensa::core {
 
@@ -61,6 +62,13 @@ struct CondensationConfig {
   std::string checkpoint_dir;
   // Durable streaming: journal appends between snapshots (>= 1).
   std::size_t snapshot_interval = 1024;
+  // Registry receiving the engine's run metrics (timings, record/pool/
+  // group/split totals, last-run gauges — see docs/observability.md).
+  // nullptr records into obs::DefaultRegistry(). Note the subsystem
+  // instruments (condensers, kd-tree, eigensolver, checkpointing) always
+  // record into the default registry; pointing this at a private registry
+  // isolates only the engine-level series.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-pool (per-class, or whole-set) condensation outcome.

@@ -4,8 +4,37 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timing.h"
 
 namespace condensa::core {
+namespace {
+
+// The group-build / NN-search timers are sampled 1-in-this so the
+// clock reads stay invisible next to the distance scan.
+constexpr std::size_t kGroupTimerSampleEvery = 8;
+
+// Handles into the default registry, resolved once per process so the
+// per-group cost is relaxed atomic updates (plus the sampled timers).
+struct StaticCondenserMetrics {
+  obs::Counter& runs =
+      obs::DefaultRegistry().GetCounter("condensa_static_runs_total");
+  obs::Counter& groups_built =
+      obs::DefaultRegistry().GetCounter("condensa_static_groups_built_total");
+  obs::Counter& leftover_absorbed = obs::DefaultRegistry().GetCounter(
+      "condensa_static_leftover_absorbed_total");
+  obs::Histogram& nn_search_seconds = obs::DefaultRegistry().GetHistogram(
+      "condensa_static_nn_search_seconds");
+  obs::Histogram& group_build_seconds = obs::DefaultRegistry().GetHistogram(
+      "condensa_static_group_build_seconds");
+
+  static StaticCondenserMetrics& Get() {
+    static StaticCondenserMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<CondensedGroupSet> StaticCondenser::Condense(
     const std::vector<linalg::Vector>& points, Rng& rng) const {
@@ -27,6 +56,9 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
     }
   }
 
+  StaticCondenserMetrics& metrics = StaticCondenserMetrics::Get();
+  metrics.runs.Increment();
+
   CondensedGroupSet result(dim, k);
 
   // `alive` holds indices of records still in the database D; removal is
@@ -40,24 +72,36 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
   };
 
   std::vector<std::pair<double, std::size_t>> distances;  // (d², alive pos)
+  std::size_t group_ordinal = 0;
   while (alive.size() >= k) {
+    // Timing every group would cost four clock reads per group, which
+    // shows up against the nearest-neighbour scan; sample 1-in-8.
+    const bool timed = (group_ordinal++ % kGroupTimerSampleEvery) == 0;
+    obs::ScopedTimer group_timer(timed ? &metrics.group_build_seconds
+                                       : nullptr);
+
     // Step 1: sample a random record X from D.
     std::size_t seed_pos = rng.UniformIndex(alive.size());
     const linalg::Vector& seed = points[alive[seed_pos]];
 
     // Step 2: the (k-1) closest remaining records join X's group.
-    distances.clear();
-    distances.reserve(alive.size() - 1);
-    for (std::size_t pos = 0; pos < alive.size(); ++pos) {
-      if (pos == seed_pos) continue;
-      distances.emplace_back(
-          linalg::SquaredDistance(points[alive[pos]], seed), pos);
+    {
+      obs::ScopedTimer nn_timer(timed ? &metrics.nn_search_seconds : nullptr);
+      distances.clear();
+      distances.reserve(alive.size() - 1);
+      for (std::size_t pos = 0; pos < alive.size(); ++pos) {
+        if (pos == seed_pos) continue;
+        distances.emplace_back(
+            linalg::SquaredDistance(points[alive[pos]], seed), pos);
+      }
+      std::size_t neighbours = k - 1;
+      if (neighbours > 0) {
+        std::nth_element(distances.begin(),
+                         distances.begin() + (neighbours - 1),
+                         distances.end());
+      }
     }
-    std::size_t neighbours = k - 1;
-    if (neighbours > 0) {
-      std::nth_element(distances.begin(),
-                       distances.begin() + (neighbours - 1), distances.end());
-    }
+    const std::size_t neighbours = k - 1;
 
     GroupStatistics group(dim);
     group.Add(seed);
@@ -77,8 +121,10 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
 
     result.AddGroup(std::move(group));
   }
+  metrics.groups_built.Increment(result.num_groups());
 
   // Step 3: between 0 and k-1 leftovers join their nearest group.
+  metrics.leftover_absorbed.Increment(alive.size());
   for (std::size_t pos = 0; pos < alive.size(); ++pos) {
     const linalg::Vector& point = points[alive[pos]];
     std::size_t nearest = result.NearestGroup(point);

@@ -6,8 +6,31 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timing.h"
 
 namespace condensa::index {
+namespace {
+
+struct KdTreeMetrics {
+  obs::Counter& builds =
+      obs::DefaultRegistry().GetCounter("condensa_kdtree_builds_total");
+  obs::Counter& indexed_points = obs::DefaultRegistry().GetCounter(
+      "condensa_kdtree_indexed_points_total");
+  obs::Counter& queries =
+      obs::DefaultRegistry().GetCounter("condensa_kdtree_queries_total");
+  obs::Counter& nodes_visited = obs::DefaultRegistry().GetCounter(
+      "condensa_kdtree_nodes_visited_total");
+  obs::Histogram& build_seconds =
+      obs::DefaultRegistry().GetHistogram("condensa_kdtree_build_seconds");
+
+  static KdTreeMetrics& Get() {
+    static KdTreeMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
   if (points.empty()) {
@@ -23,6 +46,8 @@ StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
     }
   }
 
+  KdTreeMetrics& metrics = KdTreeMetrics::Get();
+  obs::ScopedTimer build_timer(metrics.build_seconds);
   KdTree tree;
   tree.points_ = &points;
   tree.dim_ = dim;
@@ -30,6 +55,8 @@ StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
   std::iota(tree.order_.begin(), tree.order_.end(), 0);
   tree.nodes_.reserve(2 * points.size() / kLeafSize + 4);
   tree.root_ = tree.BuildRecursive(0, points.size());
+  metrics.builds.Increment();
+  metrics.indexed_points.Increment(points.size());
   return tree;
 }
 
@@ -88,8 +115,9 @@ std::size_t KdTree::BuildRecursive(std::size_t begin, std::size_t end) {
 }
 
 void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
-                            std::size_t k,
-                            std::vector<HeapEntry>& heap) const {
+                            std::size_t k, std::vector<HeapEntry>& heap,
+                            std::size_t& visited) const {
+  ++visited;
   const Node& node = nodes_[node_id];
   const std::vector<linalg::Vector>& points = *points_;
 
@@ -112,11 +140,11 @@ void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
   const double diff = query[node.split_dim] - node.split_value;
   const std::size_t near = diff < 0.0 ? node.left : node.right;
   const std::size_t far = diff < 0.0 ? node.right : node.left;
-  SearchKNearest(near, query, k, heap);
+  SearchKNearest(near, query, k, heap, visited);
   // Visit the far side only if the splitting plane is closer than the
   // current k-th best.
   if (heap.size() < k || diff * diff < heap.front().distance_sq) {
-    SearchKNearest(far, query, k, heap);
+    SearchKNearest(far, query, k, heap, visited);
   }
 }
 
@@ -128,7 +156,11 @@ std::vector<std::size_t> KdTree::KNearest(const linalg::Vector& query,
 
   std::vector<HeapEntry> heap;
   heap.reserve(k + 1);
-  SearchKNearest(root_, query, k, heap);
+  std::size_t visited = 0;
+  SearchKNearest(root_, query, k, heap, visited);
+  KdTreeMetrics& metrics = KdTreeMetrics::Get();
+  metrics.queries.Increment();
+  metrics.nodes_visited.Increment(visited);
   std::sort_heap(heap.begin(), heap.end());
 
   std::vector<std::size_t> out;
@@ -144,8 +176,9 @@ std::size_t KdTree::Nearest(const linalg::Vector& query) const {
 }
 
 void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
-                          double radius_sq,
-                          std::vector<std::size_t>& out) const {
+                          double radius_sq, std::vector<std::size_t>& out,
+                          std::size_t& visited) const {
+  ++visited;
   const Node& node = nodes_[node_id];
   const std::vector<linalg::Vector>& points = *points_;
 
@@ -162,9 +195,9 @@ void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
   const double diff = query[node.split_dim] - node.split_value;
   const std::size_t near = diff < 0.0 ? node.left : node.right;
   const std::size_t far = diff < 0.0 ? node.right : node.left;
-  SearchRadius(near, query, radius_sq, out);
+  SearchRadius(near, query, radius_sq, out, visited);
   if (diff * diff <= radius_sq) {
-    SearchRadius(far, query, radius_sq, out);
+    SearchRadius(far, query, radius_sq, out, visited);
   }
 }
 
@@ -173,7 +206,11 @@ std::vector<std::size_t> KdTree::RadiusSearch(const linalg::Vector& query,
   CONDENSA_CHECK_EQ(query.dim(), dim_);
   CONDENSA_CHECK_GE(radius, 0.0);
   std::vector<std::size_t> out;
-  SearchRadius(root_, query, radius * radius, out);
+  std::size_t visited = 0;
+  SearchRadius(root_, query, radius * radius, out, visited);
+  KdTreeMetrics& metrics = KdTreeMetrics::Get();
+  metrics.queries.Increment();
+  metrics.nodes_visited.Increment(visited);
   return out;
 }
 

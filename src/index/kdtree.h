@@ -67,10 +67,14 @@ class KdTree {
   KdTree() = default;
 
   std::size_t BuildRecursive(std::size_t begin, std::size_t end);
+  // `visited` accumulates the number of tree nodes touched by the query
+  // (reported to the metrics registry once per query, not per node).
   void SearchKNearest(std::size_t node, const linalg::Vector& query,
-                      std::size_t k, std::vector<HeapEntry>& heap) const;
+                      std::size_t k, std::vector<HeapEntry>& heap,
+                      std::size_t& visited) const;
   void SearchRadius(std::size_t node, const linalg::Vector& query,
-                    double radius_sq, std::vector<std::size_t>& out) const;
+                    double radius_sq, std::vector<std::size_t>& out,
+                    std::size_t& visited) const;
 
   static constexpr std::size_t kLeafSize = 16;
 

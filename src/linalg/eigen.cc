@@ -6,9 +6,57 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "obs/metrics.h"
 
 namespace condensa::linalg {
 namespace {
+
+struct EigenMetrics {
+  obs::Counter& decompositions = obs::DefaultRegistry().GetCounter(
+      "condensa_eigen_decompositions_total");
+  obs::Counter& sweeps =
+      obs::DefaultRegistry().GetCounter("condensa_eigen_sweeps_total");
+  obs::Counter& failures =
+      obs::DefaultRegistry().GetCounter("condensa_eigen_failures_total");
+  obs::Counter& clamped = obs::DefaultRegistry().GetCounter(
+      "condensa_eigen_clamped_eigenvalues_total");
+
+  static EigenMetrics& Get() {
+    static EigenMetrics metrics;
+    return metrics;
+  }
+};
+
+// A 2x2 decomposition runs in ~200ns, so even two relaxed fetch_adds
+// per call are measurable. Successful runs therefore tally into
+// thread-locals and flush to the registry every kFlushEvery runs (and
+// at thread exit; the registry is a leaked singleton, so flushing from
+// a thread_local destructor is safe).
+struct EigenTally {
+  std::uint64_t runs = 0;
+  std::uint64_t sweeps = 0;
+
+  static constexpr std::uint64_t kFlushEvery = 16;
+
+  void Record(int sweep_count) {
+    ++runs;
+    sweeps += static_cast<std::uint64_t>(sweep_count);
+    if (runs >= kFlushEvery) Flush();
+  }
+
+  void Flush() {
+    if (runs == 0) return;
+    EigenMetrics& metrics = EigenMetrics::Get();
+    metrics.decompositions.Increment(runs);
+    metrics.sweeps.Increment(sweeps);
+    runs = 0;
+    sweeps = 0;
+  }
+
+  ~EigenTally() { Flush(); }
+};
+
+thread_local EigenTally eigen_tally;
 
 // Sum of squared off-diagonal entries.
 double OffDiagonalNorm(const Matrix& a) {
@@ -63,6 +111,7 @@ StatusOr<EigenDecomposition> JacobiEigenDecomposition(
   int sweep = 0;
   while (OffDiagonalNorm(work) > tolerance) {
     if (++sweep > options.max_sweeps) {
+      EigenMetrics::Get().failures.Increment();
       return InternalError("Jacobi eigendecomposition failed to converge");
     }
     for (std::size_t p = 0; p + 1 < n; ++p) {
@@ -107,6 +156,8 @@ StatusOr<EigenDecomposition> JacobiEigenDecomposition(
     }
   }
 
+  eigen_tally.Record(sweep);
+
   // Collect and sort eigenpairs by decreasing eigenvalue.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -136,6 +187,7 @@ StatusOr<EigenDecomposition> CovarianceEigenDecomposition(
   for (std::size_t i = 0; i < decomposition.eigenvalues.dim(); ++i) {
     if (decomposition.eigenvalues[i] < 0.0) {
       decomposition.eigenvalues[i] = 0.0;
+      EigenMetrics::Get().clamped.Increment();
     }
   }
   return decomposition;

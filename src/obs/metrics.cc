@@ -1,0 +1,330 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace condensa::obs {
+namespace {
+
+// Shortest %g precision that round-trips the value exactly, so bucket
+// bounds print as 1e-06 rather than 9.9999999999999995e-07.
+std::string FormatDouble(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  char buffer[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Labels SortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+// Prometheus family name of a series key: everything before the '{'.
+std::string_view FamilyOf(const std::string& series_key) {
+  std::string_view view = series_key;
+  return view.substr(0, view.find('{'));
+}
+
+}  // namespace
+
+std::string SeriesKey(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  if (labels.empty()) {
+    return key;
+  }
+  Labels sorted = SortedLabels(labels);
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += "=\"";
+    key += sorted[i].second;
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  CONDENSA_CHECK(!upper_bounds_.empty());
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    CONDENSA_CHECK_LT(upper_bounds_[i - 1], upper_bounds_[i]);
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // Buckets are `le` (value <= bound): the first bound >= value wins;
+  // values above every bound land in the +Inf bucket at index size().
+  std::size_t bucket =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value) -
+      upper_bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(upper_bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count) {
+  CONDENSA_CHECK_GT(start, 0.0);
+  CONDENSA_CHECK_GT(factor, 1.0);
+  CONDENSA_CHECK_GT(count, 0u);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& DefaultLatencyBucketsSeconds() {
+  static const std::vector<double> buckets =
+      ExponentialBuckets(1e-6, 4.0, 14);
+  return buckets;
+}
+
+MetricsRegistry::Series& MetricsRegistry::GetSeries(
+    std::string_view name, const Labels& labels, Kind kind,
+    const std::vector<double>& upper_bounds) {
+  std::string key = SeriesKey(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    Series series;
+    series.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        series.histogram = std::make_unique<Histogram>(
+            upper_bounds.empty() ? DefaultLatencyBucketsSeconds()
+                                 : upper_bounds);
+        break;
+    }
+    it = series_.emplace(std::move(key), std::move(series)).first;
+  }
+  CONDENSA_CHECK(it->second.kind == kind);
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     const Labels& labels) {
+  return *GetSeries(name, labels, Kind::kCounter, {}).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 const Labels& labels) {
+  return *GetSeries(name, labels, Kind::kGauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(
+    std::string_view name, const Labels& labels,
+    const std::vector<double>& upper_bounds) {
+  return *GetSeries(name, labels, Kind::kHistogram, upper_bounds).histogram;
+}
+
+std::string MetricsRegistry::DumpPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string_view last_family;
+  for (const auto& [key, series] : series_) {
+    std::string_view family = FamilyOf(key);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += family;
+      switch (series.kind) {
+        case Kind::kCounter:
+          out += " counter\n";
+          break;
+        case Kind::kGauge:
+          out += " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += " histogram\n";
+          break;
+      }
+      last_family = family;
+    }
+    char buffer[64];
+    switch (series.kind) {
+      case Kind::kCounter:
+        std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n",
+                      series.counter->value());
+        out += key;
+        out += buffer;
+        break;
+      case Kind::kGauge:
+        out += key;
+        out += ' ';
+        out += FormatDouble(series.gauge->value());
+        out += '\n';
+        break;
+      case Kind::kHistogram: {
+        // Cumulative le-buckets, then sum and count, Prometheus-style.
+        const Histogram& h = *series.histogram;
+        // "{a=\"b\"}" or "" — the label block shared by every line.
+        const std::string labels_part(key.substr(family.size()));
+        auto bucket_line = [&](const std::string& le) {
+          std::string line(family);
+          line += "_bucket";
+          if (labels_part.empty()) {
+            line += "{le=\"" + le + "\"}";
+          } else {
+            line += labels_part.substr(0, labels_part.size() - 1) +
+                    ",le=\"" + le + "\"}";
+          }
+          return line;
+        };
+        std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          out += bucket_line(i < h.upper_bounds().size()
+                                 ? FormatDouble(h.upper_bounds()[i])
+                                 : std::string("+Inf"));
+          std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n",
+                        cumulative);
+          out += buffer;
+        }
+        out += std::string(family) + "_sum" + labels_part + ' ' +
+               FormatDouble(h.sum()) + '\n';
+        std::snprintf(buffer, sizeof(buffer), " %" PRIu64 "\n", h.count());
+        out += std::string(family) + "_count" + labels_part + buffer;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Kind::kCounter: {
+        if (!counters.empty()) counters += ',';
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%" PRIu64,
+                      series.counter->value());
+        counters += '"' + JsonEscape(key) + "\":" + buffer;
+        break;
+      }
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges +=
+            '"' + JsonEscape(key) + "\":" + FormatDouble(series.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *series.histogram;
+        if (!histograms.empty()) histograms += ',';
+        std::string entry = '"' + JsonEscape(key) + "\":{\"count\":";
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%" PRIu64, h.count());
+        entry += buffer;
+        entry += ",\"sum\":" + FormatDouble(h.sum());
+        entry += ",\"buckets\":[";
+        std::vector<std::uint64_t> counts = h.bucket_counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) entry += ',';
+          entry += "{\"le\":";
+          entry += i < h.upper_bounds().size()
+                       ? FormatDouble(h.upper_bounds()[i])
+                       : std::string("\"+Inf\"");
+          std::snprintf(buffer, sizeof(buffer), "%" PRIu64, counts[i]);
+          entry += ",\"count\":";
+          entry += buffer;
+          entry += '}';
+        }
+        entry += "]}";
+        histograms += entry;
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+         "},\"histograms\":{" + histograms + "}}";
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  series_.clear();
+}
+
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace condensa::obs

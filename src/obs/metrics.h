@@ -1,0 +1,164 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The condensation pipeline is instrumented with named metrics so that
+// "where does condensation time go, how many groups split, how often did
+// recovery replay the journal" are answerable from a running process
+// instead of from the source. The design follows the Prometheus data
+// model without depending on it:
+//
+//   * a Counter only goes up (events, bytes, fsyncs),
+//   * a Gauge is a settable value (last run's average group size),
+//   * a Histogram counts observations into fixed buckets and keeps the
+//     sum, so latency distributions survive aggregation.
+//
+// Metrics are addressed by name plus an ordered label list; the same
+// (name, labels) pair always returns the same instance. Lookup takes a
+// mutex, so call sites cache the returned reference (instances are never
+// invalidated for the registry's lifetime) and the hot path is a relaxed
+// atomic update. Exposition is pull-based: DumpPrometheusText() and
+// DumpJson() snapshot the registry on demand and cost nothing until
+// called.
+//
+// Naming scheme (see docs/observability.md): condensa_<subsystem>_<what>
+// with a _total suffix for counters and a _seconds/_bytes unit suffix
+// where applicable, e.g. condensa_dynamic_splits_total,
+// condensa_static_nn_search_seconds.
+
+#ifndef CONDENSA_OBS_METRICS_H_
+#define CONDENSA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace condensa::obs {
+
+// One "key=value" metric dimension. Labels are kept sorted by key, so
+// {{"mode","static"}} and a differently-ordered spelling are one series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-written value (CAS loop keeps Add correct under contention).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: counts per upper bound plus an implicit +Inf
+// bucket, with total count and sum of observed values. Bucket counts are
+// non-cumulative internally; exposition cumulates them Prometheus-style.
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing and non-empty.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // Per-bucket counts; index upper_bounds().size() is the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Exponentially growing bucket bounds: start, start*factor, ... (count
+// bounds total). The standard choice for latency histograms.
+std::vector<double> ExponentialBuckets(double start, double factor,
+                                       std::size_t count);
+
+// Default wall-time buckets: 1 µs .. ~67 s, factor 4.
+const std::vector<double>& DefaultLatencyBucketsSeconds();
+
+// A named collection of metrics. Thread-safe. Instances returned by the
+// getters live as long as the registry and are safe to update from any
+// thread without further synchronization.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Returns the counter/gauge/histogram registered under (name, labels),
+  // creating it on first use. Requesting a series as a different kind
+  // than it was registered with aborts (CONDENSA_CHECK).
+  Counter& GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge& GetGauge(std::string_view name, const Labels& labels = {});
+  // Omitting `upper_bounds` uses DefaultLatencyBucketsSeconds(). Bounds
+  // are fixed by the first registration of the series.
+  Histogram& GetHistogram(std::string_view name, const Labels& labels = {},
+                          const std::vector<double>& upper_bounds = {});
+
+  // Prometheus text exposition format (one "# TYPE" line per family).
+  std::string DumpPrometheusText() const;
+  // JSON object: {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  // keyed by "name{label=\"v\",...}" series strings.
+  std::string DumpJson() const;
+
+  // Zeroes nothing — drops every registered series. References obtained
+  // earlier dangle afterwards, so Reset is for test isolation only.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& GetSeries(std::string_view name, const Labels& labels, Kind kind,
+                    const std::vector<double>& upper_bounds);
+
+  mutable std::mutex mu_;
+  // Keyed by series string; std::map keeps exposition deterministic.
+  std::map<std::string, Series> series_;
+};
+
+// The process-wide registry every built-in instrument records into.
+MetricsRegistry& DefaultRegistry();
+
+// Canonical "name{k1=\"v1\",k2=\"v2\"}" series key ("name" when unlabeled).
+std::string SeriesKey(std::string_view name, const Labels& labels);
+
+}  // namespace condensa::obs
+
+#endif  // CONDENSA_OBS_METRICS_H_

@@ -1,0 +1,79 @@
+// Wall-clock timing, plus the RAII bridge from elapsed time to metrics.
+//
+// `Timer` (formerly common/timer.h) is the one timing idiom in the
+// codebase: a steady-clock stopwatch. `ScopedTimer` records the elapsed
+// seconds of a scope into a Histogram on destruction, which is how every
+// *_seconds metric in the pipeline is produced.
+
+#ifndef CONDENSA_OBS_TIMING_H_
+#define CONDENSA_OBS_TIMING_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace condensa::obs {
+
+// Measures elapsed wall-clock time from construction (or the last Reset).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the measurement window.
+  void Reset() { start_ = Clock::now(); }
+
+  // Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Returns milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Observes the lifetime of a scope, in seconds, into a histogram.
+//
+//   {
+//     ScopedTimer timer(registry.GetHistogram("condensa_x_seconds"));
+//     ...work...
+//   }  // histogram records the elapsed wall time here
+//
+// The null-sink constructor makes sampling cheap to express: pass a
+// pointer that is null on the iterations that should not be measured.
+// With a null sink the clock is never read at all (a steady-clock read
+// costs tens of nanoseconds — real money on per-record paths), so
+// ElapsedSeconds() is only meaningful when a sink was attached.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) : sink_(&sink), start_(Clock::now()) {}
+  explicit ScopedTimer(Histogram* sink)
+      : sink_(sink),
+        start_(sink != nullptr ? Clock::now() : Clock::time_point()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Observe(ElapsedSeconds());
+    }
+  }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Detaches the sink: nothing is recorded at destruction.
+  void Cancel() { sink_ = nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* sink_;
+  Clock::time_point start_;
+};
+
+}  // namespace condensa::obs
+
+#endif  // CONDENSA_OBS_TIMING_H_

@@ -1,0 +1,113 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace condensa::obs {
+namespace {
+
+// Hard cap on buffered events; spans beyond it are counted, not stored.
+constexpr std::size_t kMaxTraceEvents = 1 << 20;
+
+struct TraceEvent {
+  std::string_view name;
+  double ts_us;
+  double dur_us;
+  std::uint32_t tid;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::chrono::steady_clock::time_point origin;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// Small stable per-thread id for the "tid" field.
+std::uint32_t CurrentTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point origin) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+}  // namespace
+
+void StartTracing() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.events.clear();
+  state.dropped.store(0, std::memory_order_relaxed);
+  state.origin = std::chrono::steady_clock::now();
+  state.enabled.store(true, std::memory_order_release);
+}
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_acquire);
+}
+
+std::uint64_t DroppedTraceEvents() {
+  return State().dropped.load(std::memory_order_relaxed);
+}
+
+std::string StopTracingAndDump() {
+  TraceState& state = State();
+  state.enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::string out = "{\"traceEvents\":[";
+  char buffer[160];
+  for (std::size_t i = 0; i < state.events.size(); ++i) {
+    const TraceEvent& event = state.events[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s{\"name\":\"%.*s\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u}",
+                  i == 0 ? "" : ",", static_cast<int>(event.name.size()),
+                  event.name.data(), event.ts_us, event.dur_us, event.tid);
+    out += buffer;
+  }
+  out += "]}";
+  state.events.clear();
+  return out;
+}
+
+TraceSpan::TraceSpan(std::string_view name, Histogram* sink)
+    : name_(name), sink_(sink), tracing_(TracingEnabled()) {
+  if (tracing_) {
+    start_us_ = MicrosSince(State().origin);
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  const double elapsed = timer_.ElapsedSeconds();
+  if (sink_ != nullptr) {
+    sink_->Observe(elapsed);
+  }
+  if (!tracing_ || !TracingEnabled()) {
+    return;
+  }
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.events.size() >= kMaxTraceEvents) {
+    state.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  state.events.push_back(
+      TraceEvent{name_, start_us_, elapsed * 1e6, CurrentTid()});
+}
+
+}  // namespace condensa::obs

@@ -1,0 +1,68 @@
+// Trace spans: named wall-time intervals with an optional
+// chrome://tracing-compatible JSON event stream.
+//
+// A `TraceSpan` is an RAII interval. On destruction it (a) observes its
+// duration into a histogram when one is attached, and (b) appends a
+// complete ("ph":"X") event to the process-wide trace buffer when tracing
+// is enabled. Tracing is off by default and costs one relaxed atomic load
+// per span when off.
+//
+// Usage:
+//   obs::StartTracing();
+//   { obs::TraceSpan span("engine.condense"); ...work...; }
+//   WriteStringToFile(obs::StopTracingAndDump());  // load in ui.perfetto.dev
+//
+// The dump is a JSON object {"traceEvents": [...]} where each event has
+// name, ph, ts (µs since trace start), dur (µs), pid, and tid — the
+// Chrome Trace Event format, loadable by chrome://tracing and Perfetto.
+
+#ifndef CONDENSA_OBS_TRACE_H_
+#define CONDENSA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/timing.h"
+
+namespace condensa::obs {
+
+// Begins collecting span events into the process-wide buffer. Clears any
+// previously collected events.
+void StartTracing();
+
+// True while tracing is enabled.
+bool TracingEnabled();
+
+// Stops collecting and returns the Chrome Trace Event JSON for everything
+// collected since StartTracing(). Returns {"traceEvents":[]} when tracing
+// was never started.
+std::string StopTracingAndDump();
+
+// Number of spans dropped because the buffer was full (capped so a
+// runaway loop cannot exhaust memory; see kMaxTraceEvents in trace.cc).
+std::uint64_t DroppedTraceEvents();
+
+class TraceSpan {
+ public:
+  // `name` must outlive the span (string literals in practice). The
+  // histogram, when given, receives the span duration in seconds.
+  explicit TraceSpan(std::string_view name, Histogram* sink = nullptr);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  std::string_view name_;
+  Histogram* sink_;
+  Timer timer_;
+  // Microseconds since trace start at construction; only meaningful when
+  // tracing was enabled at construction time.
+  double start_us_ = 0.0;
+  bool tracing_;
+};
+
+}  // namespace condensa::obs
+
+#endif  // CONDENSA_OBS_TRACE_H_

@@ -20,8 +20,17 @@ FigureConfig TinyConfig(const std::string& profile, bool regression) {
   return config;
 }
 
+TEST(FigureSweepTest, UnknownProfileFailsInsteadOfAborting) {
+  StatusOr<std::vector<FigureRow>> sweep =
+      RunFigureSweep(TinyConfig("no-such-profile", false));
+  EXPECT_FALSE(sweep.ok());
+}
+
 TEST(FigureSweepTest, ClassificationProfileProducesSaneRows) {
-  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("pima", false));
+  StatusOr<std::vector<FigureRow>> sweep =
+      RunFigureSweep(TinyConfig("pima", false));
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  const std::vector<FigureRow>& rows = *sweep;
   ASSERT_EQ(rows.size(), 3u);
   for (const FigureRow& row : rows) {
     EXPECT_GE(row.average_group_size, static_cast<double>(row.requested_k));
@@ -41,7 +50,10 @@ TEST(FigureSweepTest, ClassificationProfileProducesSaneRows) {
 }
 
 TEST(FigureSweepTest, RegressionProfileProducesSaneRows) {
-  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("abalone", true));
+  StatusOr<std::vector<FigureRow>> sweep =
+      RunFigureSweep(TinyConfig("abalone", true));
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  const std::vector<FigureRow>& rows = *sweep;
   ASSERT_EQ(rows.size(), 3u);
   for (const FigureRow& row : rows) {
     EXPECT_GT(row.accuracy_original, 0.0);
@@ -52,7 +64,10 @@ TEST(FigureSweepTest, RegressionProfileProducesSaneRows) {
 
 TEST(FigureSweepTest, OriginalSeriesIsFlatAcrossK) {
   // Trial seeds are k-independent, so the baseline column is constant.
-  std::vector<FigureRow> rows = RunFigureSweep(TinyConfig("ecoli", false));
+  StatusOr<std::vector<FigureRow>> sweep =
+      RunFigureSweep(TinyConfig("ecoli", false));
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  const std::vector<FigureRow>& rows = *sweep;
   for (std::size_t i = 1; i < rows.size(); ++i) {
     EXPECT_DOUBLE_EQ(rows[i].accuracy_original, rows[0].accuracy_original);
   }

@@ -1,0 +1,176 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace condensa::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.Add(-0.5);
+  EXPECT_EQ(gauge.value(), 2.0);
+}
+
+TEST(HistogramTest, ObservationsLandInLeBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  histogram.Observe(0.5);    // le=1
+  histogram.Observe(1.0);    // le=1 (upper bound is inclusive)
+  histogram.Observe(7.0);    // le=10
+  histogram.Observe(1000.0);  // +Inf
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 1008.5);
+  std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(HistogramTest, ExponentialBucketsGrowByFactor) {
+  std::vector<double> bounds = ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsIsSameInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("events_total", {{"mode", "static"}});
+  // Label order must not matter.
+  Counter& b = registry.GetCounter("events_total", {{"mode", "static"}});
+  Counter& other = registry.GetCounter("events_total", {{"mode", "dynamic"}});
+  a.Increment();
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(MetricsRegistryTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Gauge& a = registry.GetGauge("g", {{"a", "1"}, {"b", "2"}});
+  Gauge& b = registry.GetGauge("g", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistryTest, SeriesKeyFormatsSortedLabels) {
+  EXPECT_EQ(SeriesKey("x_total", {}), "x_total");
+  EXPECT_EQ(SeriesKey("x_total", {{"b", "2"}, {"a", "1"}}),
+            "x_total{a=\"1\",b=\"2\"}");
+}
+
+TEST(MetricsRegistryTest, PrometheusDumpCarriesValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs_total", {{"mode", "static"}}).Increment(3);
+  registry.GetGauge("last_groups").Set(17.0);
+  // 0.25 round-trips exactly through %.17g, unlike 0.1.
+  registry.GetHistogram("latency_seconds", {}, {0.25, 1.0}).Observe(0.05);
+  std::string text = registry.DumpPrometheusText();
+  EXPECT_NE(text.find("# TYPE runs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("runs_total{mode=\"static\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("last_groups 17"), std::string::npos);
+  // Histogram exposition is cumulative and ends with +Inf.
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"0.25\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonDumpIsGroupedByKind) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total").Increment();
+  registry.GetGauge("b").Set(1.5);
+  registry.GetHistogram("c_seconds", {}, {1.0}).Observe(2.0);
+  std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"b\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetDropsAllSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total").Increment();
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("a_total").value(), 0u);
+}
+
+TEST(MetricsRegistryTest, DefaultRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&DefaultRegistry(), &DefaultRegistry());
+}
+
+// The contract call sites rely on: many threads hammering the same and
+// different series through the registry lose no updates. Run under TSan
+// via tools/run_sanitizers.sh.
+TEST(MetricsRegistryTest, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 21000;  // divisible by 3 for the bucket checks
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Half the threads share one series; half use a per-thread series,
+      // so both contended updates and concurrent registration race.
+      const Labels labels = {{"thread", t % 2 == 0 ? "shared"
+                                                   : std::to_string(t)}};
+      Counter& counter = registry.GetCounter("hammer_total", labels);
+      Gauge& gauge = registry.GetGauge("hammer_gauge");
+      Histogram& histogram =
+          registry.GetHistogram("hammer_seconds", {}, {0.5, 1.5, 2.5});
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.Increment();
+        gauge.Add(1.0);
+        histogram.Observe(static_cast<double>(i % 3));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::uint64_t counted = 0;
+  counted += registry.GetCounter("hammer_total", {{"thread", "shared"}})
+                 .value();
+  for (int t = 1; t < kThreads; t += 2) {
+    counted += registry
+                   .GetCounter("hammer_total", {{"thread", std::to_string(t)}})
+                   .value();
+  }
+  EXPECT_EQ(counted, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("hammer_gauge").value(),
+                   static_cast<double>(kThreads) * kPerThread);
+
+  Histogram& histogram = registry.GetHistogram("hammer_seconds");
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) *
+                                   kPerThread);
+  std::vector<std::uint64_t> buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  // i % 3 spreads observations evenly over the first three buckets.
+  const std::uint64_t third =
+      static_cast<std::uint64_t>(kThreads) * kPerThread / 3;
+  EXPECT_EQ(buckets[0], third);
+  EXPECT_EQ(buckets[1], third);
+  EXPECT_EQ(buckets[2], third);
+  EXPECT_EQ(buckets[3], 0u);
+}
+
+}  // namespace
+}  // namespace condensa::obs

@@ -1,0 +1,68 @@
+#include "obs/timing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace condensa::obs {
+namespace {
+
+// Busy-waits until the timer itself reports at least `seconds`.
+void SpinFor(const Timer& timer, double seconds) {
+  while (timer.ElapsedSeconds() < seconds) {
+  }
+}
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  SpinFor(timer, 0.001);
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_GE(second, 0.001);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  SpinFor(timer, 0.002);
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  EXPECT_NEAR(millis, seconds * 1e3, 5.0);  // sampled moments differ
+}
+
+TEST(TimerTest, ResetRestartsTheWindow) {
+  Timer timer;
+  SpinFor(timer, 0.003);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.003);
+}
+
+TEST(ScopedTimerTest, ObservesScopeLifetimeIntoHistogram) {
+  Histogram histogram({0.5, 1.0});
+  {
+    ScopedTimer timer(histogram);
+    SpinFor(Timer(), 0.0);  // any amount of work
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_GE(histogram.sum(), 0.0);
+}
+
+TEST(ScopedTimerTest, NullSinkRecordsNothing) {
+  { ScopedTimer timer(static_cast<Histogram*>(nullptr)); }
+  // Reaching here without a crash is the assertion.
+}
+
+TEST(ScopedTimerTest, CancelDetachesTheSink) {
+  Histogram histogram({0.5});
+  {
+    ScopedTimer timer(histogram);
+    timer.Cancel();
+  }
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+}  // namespace
+}  // namespace condensa::obs

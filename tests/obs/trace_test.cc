@@ -1,0 +1,77 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace condensa::obs {
+namespace {
+
+// Tracing state is process-wide, so every test starts and stops its own
+// window and asserts only on events it created inside it.
+
+TEST(TraceTest, DisabledByDefaultAndDumpIsEmpty) {
+  EXPECT_FALSE(TracingEnabled());
+  { TraceSpan span("untraced"); }
+  EXPECT_EQ(StopTracingAndDump(), "{\"traceEvents\":[]}");
+}
+
+TEST(TraceTest, CollectsCompleteEventsBetweenStartAndStop) {
+  StartTracing();
+  EXPECT_TRUE(TracingEnabled());
+  { TraceSpan span("unit.work"); }
+  { TraceSpan span("unit.work"); }
+  std::string json = StopTracingAndDump();
+  EXPECT_FALSE(TracingEnabled());
+
+  // Two complete events with the span name and the required fields.
+  std::size_t first = json.find("\"name\":\"unit.work\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit.work\"", first + 1),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+TEST(TraceTest, StopClearsTheBuffer) {
+  StartTracing();
+  { TraceSpan span("unit.cleared"); }
+  StopTracingAndDump();
+  EXPECT_EQ(StopTracingAndDump(), "{\"traceEvents\":[]}");
+}
+
+TEST(TraceTest, SpanFeedsAttachedHistogramRegardlessOfTracing) {
+  MetricsRegistry registry;
+  Histogram& sink = registry.GetHistogram("span_seconds");
+  { TraceSpan span("unit.timed", &sink); }
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(TraceTest, ThreadsGetDistinctTids) {
+  StartTracing();
+  { TraceSpan span("unit.main"); }
+  std::thread worker([] { TraceSpan span("unit.worker"); });
+  worker.join();
+  std::string json = StopTracingAndDump();
+
+  // Extract the tid field of each event; the two must differ.
+  std::size_t first_tid = json.find("\"tid\":");
+  ASSERT_NE(first_tid, std::string::npos);
+  std::size_t second_tid = json.find("\"tid\":", first_tid + 1);
+  ASSERT_NE(second_tid, std::string::npos);
+  auto tid_value = [&json](std::size_t pos) {
+    std::size_t start = pos + 6;
+    std::size_t end = json.find_first_of(",}", start);
+    return json.substr(start, end - start);
+  };
+  EXPECT_NE(tid_value(first_tid), tid_value(second_tid));
+}
+
+}  // namespace
+}  // namespace condensa::obs

@@ -7,6 +7,8 @@
 //   recover   restore a condenser from its checkpoint directory
 //   inspect   print the privacy summary of a saved group-statistics file
 //   evaluate  compare an original and an anonymized CSV (mu, linkage)
+//   stats     run a synthetic end-to-end pipeline and dump the metrics
+//             registry (see docs/observability.md)
 //
 // Examples:
 //   condensa condense --input=patients.csv --output=release.csv ...
@@ -20,21 +22,28 @@
 //   condensa evaluate --original=patients.csv --anonymized=release.csv ...
 //       --task=classification
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/io.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "core/checkpointing.h"
 #include "core/engine.h"
 #include "core/serialization.h"
 #include "data/csv.h"
+#include "index/kdtree.h"
 #include "metrics/compatibility.h"
 #include "metrics/privacy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -107,7 +116,9 @@ int Usage() {
       "  inspect    --groups=FILE\n"
       "  evaluate   --original=FILE --anonymized=FILE\n"
       "             [--task=classification|regression|none] [--header]\n"
-      "             [--label-column=N]\n");
+      "             [--label-column=N]\n"
+      "  stats      [--records=N] [--dim=N] [--k=N] [--seed=N]\n"
+      "             [--format=prometheus|json] [--trace-out=FILE]\n");
   return 2;
 }
 
@@ -500,6 +511,135 @@ int RunEvaluate(Flags& flags) {
   return 0;
 }
 
+// Runs a small synthetic pipeline through every instrumented subsystem —
+// static and dynamic condensation, release generation, kd-tree queries,
+// durable ingest plus recovery — then dumps the default metrics registry.
+// This is the quickest way to see which series a deployment will emit,
+// and doubles as a smoke test that the instruments fire.
+int RunStats(Flags& flags) {
+  const std::string format = flags.Get("format", "prometheus");
+  const std::string trace_out = flags.Get("trace-out", "");
+  int records = 2000, dim = 8, k = 10, seed = 42;
+  if (!ParseInt(flags.Get("records", "2000"), &records) || records < 10 ||
+      !ParseInt(flags.Get("dim", "8"), &dim) || dim < 1 ||
+      !ParseInt(flags.Get("k", "10"), &k) || k < 1 ||
+      !ParseInt(flags.Get("seed", "42"), &seed)) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (format != "prometheus" && format != "json") {
+    std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
+    return 2;
+  }
+  if (!trace_out.empty()) {
+    condensa::obs::StartTracing();
+  }
+
+  // Two well-separated Gaussian blobs, labeled, so classification pools,
+  // splits, and kd-tree pruning all have something to do.
+  condensa::Rng rng(static_cast<std::uint64_t>(seed));
+  condensa::data::Dataset dataset(
+      static_cast<std::size_t>(dim),
+      condensa::data::TaskType::kClassification);
+  std::vector<condensa::linalg::Vector> points;
+  points.reserve(static_cast<std::size_t>(records));
+  for (int i = 0; i < records; ++i) {
+    condensa::linalg::Vector record(static_cast<std::size_t>(dim));
+    const int label = i % 2;
+    for (int d = 0; d < dim; ++d) {
+      record[static_cast<std::size_t>(d)] =
+          rng.Gaussian(label == 0 ? -2.0 : 2.0, 1.0);
+    }
+    dataset.Add(record, label);
+    points.push_back(record);
+  }
+
+  // Static and dynamic condensation through the engine facade.
+  for (condensa::core::CondensationMode mode :
+       {condensa::core::CondensationMode::kStatic,
+        condensa::core::CondensationMode::kDynamic}) {
+    condensa::core::CondensationEngine engine(
+        {.group_size = static_cast<std::size_t>(k), .mode = mode});
+    auto result = engine.Anonymize(dataset, rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "condensation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // kd-tree build plus a query mix.
+  auto tree = condensa::index::KdTree::Build(points);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "kd-tree build failed: %s\n",
+                 tree.status().ToString().c_str());
+    return 1;
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    tree->KNearest(points[i % points.size()], 5);
+  }
+
+  // Durable ingest and recovery in a throwaway checkpoint directory.
+  const std::filesystem::path ckpt_dir =
+      std::filesystem::temp_directory_path() /
+      ("condensa-stats-" + std::to_string(getpid()));
+  std::error_code cleanup_error;
+  std::filesystem::remove_all(ckpt_dir, cleanup_error);
+  {
+    const condensa::core::DynamicCondenserOptions options{
+        .group_size = static_cast<std::size_t>(k)};
+    const condensa::core::DurabilityOptions durability{
+        .snapshot_interval = 256};
+    auto durable = condensa::core::DurableCondenser::Open(
+        static_cast<std::size_t>(dim), options, durability,
+        ckpt_dir.string());
+    if (!durable.ok()) {
+      std::fprintf(stderr, "durable open failed: %s\n",
+                   durable.status().ToString().c_str());
+      return 1;
+    }
+    // Bootstrap half the batch, then stream the rest one record at a
+    // time so journal appends (and their fsyncs) show up in the dump.
+    const std::size_t half = points.size() / 2;
+    std::vector<condensa::linalg::Vector> prefix(points.begin(),
+                                                 points.begin() + half);
+    condensa::Status status = durable->Bootstrap(prefix, rng);
+    for (std::size_t i = half; status.ok() && i < points.size(); ++i) {
+      status = durable->Insert(points[i]);
+    }
+    if (status.ok()) status = durable->Checkpoint();
+    if (status.ok()) {
+      status = condensa::core::DurableCondenser::Recover(
+                   ckpt_dir.string(), options, durability)
+                   .status();
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "durable ingest/recovery failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::filesystem::remove_all(ckpt_dir, cleanup_error);
+
+  if (!trace_out.empty()) {
+    condensa::Status status = condensa::WriteFileAtomic(
+        trace_out, condensa::obs::StopTracingAndDump());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", trace_out.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s (load in ui.perfetto.dev)\n",
+                 trace_out.c_str());
+  }
+
+  condensa::obs::MetricsRegistry& registry = condensa::obs::DefaultRegistry();
+  std::fputs(format == "json" ? registry.DumpJson().c_str()
+                              : registry.DumpPrometheusText().c_str(),
+             stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -527,6 +667,8 @@ int main(int argc, char** argv) {
     code = RunInspect(flags);
   } else if (command == "evaluate") {
     code = RunEvaluate(flags);
+  } else if (command == "stats") {
+    code = RunStats(flags);
   } else {
     std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
     return Usage();
