@@ -1,8 +1,11 @@
 #include "common/failpoint.h"
 
+#include <chrono>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <random>
+#include <thread>
 #include <utility>
 
 namespace condensa {
@@ -10,7 +13,10 @@ namespace {
 
 struct Entry {
   std::size_t hits = 0;
+  std::size_t triggers = 0;
   std::optional<FailPointSpec> spec;
+  // Trigger stream for probabilistic specs; seeded on Arm.
+  std::mt19937_64 rng;
 };
 
 std::mutex& Mutex() {
@@ -37,6 +43,8 @@ void FailPoint::Arm(const std::string& name, FailPointSpec spec) {
   std::lock_guard<std::mutex> lock(Mutex());
   Entry& entry = Registry()[name];
   entry.hits = 0;
+  entry.triggers = 0;
+  entry.rng.seed(spec.seed);
   entry.spec = std::move(spec);
 }
 
@@ -54,25 +62,45 @@ void FailPoint::Reset() {
 }
 
 FailPointDecision FailPoint::Check(const std::string& name) {
-  std::lock_guard<std::mutex> lock(Mutex());
-  Entry& entry = Registry()[name];
-  ++entry.hits;
   FailPointDecision decision;
-  if (!entry.spec.has_value()) {
-    return decision;
+  double latency_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(Mutex());
+    Entry& entry = Registry()[name];
+    ++entry.hits;
+    if (!entry.spec.has_value()) {
+      return decision;
+    }
+    const FailPointSpec& spec = *entry.spec;
+    if (entry.hits < spec.fail_at) {
+      return decision;
+    }
+    bool triggered;
+    if (spec.probability >= 0.0) {
+      triggered = std::uniform_real_distribution<double>(0.0, 1.0)(
+                      entry.rng) < spec.probability;
+    } else {
+      triggered = spec.repeat == static_cast<std::size_t>(-1) ||
+                  entry.hits < spec.fail_at + spec.repeat;
+    }
+    if (!triggered) {
+      return decision;
+    }
+    ++entry.triggers;
+    decision.mode = spec.mode;
+    if (spec.mode != FailPointMode::kLatency) {
+      decision.fail = true;
+      decision.torn_bytes = spec.torn_bytes;
+      decision.status = MakeStatus(name, spec);
+    }
+    latency_ms = spec.latency_ms;
   }
-  const FailPointSpec& spec = *entry.spec;
-  if (entry.hits < spec.fail_at) {
-    return decision;
+  // Sleep outside the lock so a delayed probe does not stall every other
+  // probe in the process.
+  if (latency_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        latency_ms));
   }
-  if (spec.repeat != static_cast<std::size_t>(-1) &&
-      entry.hits >= spec.fail_at + spec.repeat) {
-    return decision;
-  }
-  decision.fail = true;
-  decision.mode = spec.mode;
-  decision.torn_bytes = spec.torn_bytes;
-  decision.status = MakeStatus(name, spec);
   return decision;
 }
 
@@ -84,6 +112,12 @@ std::size_t FailPoint::HitCount(const std::string& name) {
   std::lock_guard<std::mutex> lock(Mutex());
   auto it = Registry().find(name);
   return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::size_t FailPoint::TriggerCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.triggers;
 }
 
 std::vector<std::string> FailPoint::Armed() {

@@ -14,11 +14,22 @@
 // process-global and mutex-protected; probes cost one mutex acquisition,
 // which is irrelevant outside hot loops and the instrumented sites are all
 // I/O-bound anyway.
+//
+// Beyond exact-call-count crashes, probes support the two failure shapes
+// chaos tests need (see tests/integration/chaos_soak_test.cc):
+//
+//   * probabilistic triggering — `probability` in [0, 1] fires each hit
+//     independently with that chance from a deterministic per-probe RNG
+//     (`seed`), modelling a flaky disk or transport;
+//   * injected latency — `latency_ms` delays every triggered hit before
+//     the probe returns, and `FailPointMode::kLatency` makes the hit slow
+//     but still successful, modelling a stalled fsync or RPC.
 
 #ifndef CONDENSA_COMMON_FAILPOINT_H_
 #define CONDENSA_COMMON_FAILPOINT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,13 +44,16 @@ enum class FailPointMode {
   // I/O helpers write only `torn_bytes` of the payload before failing —
   // simulating a crash mid-write that leaves a torn file behind.
   kTornWrite = 1,
+  // The hit is delayed by `latency_ms` but the instrumented call then
+  // proceeds normally — a slow disk, not a broken one.
+  kLatency = 2,
 };
 
 struct FailPointSpec {
   // 1-based hit index at which the probe starts firing.
   std::size_t fail_at = 1;
   // Number of consecutive hits (from fail_at) that fail; SIZE_MAX = every
-  // hit from fail_at on.
+  // hit from fail_at on. Ignored when `probability` is armed.
   std::size_t repeat = 1;
   FailPointMode mode = FailPointMode::kError;
   // Bytes of payload written before the simulated crash in kTornWrite
@@ -48,6 +62,16 @@ struct FailPointSpec {
   StatusCode code = StatusCode::kDataLoss;
   // Optional message override; empty -> "failpoint <name> triggered".
   std::string message;
+  // When >= 0: each hit at or past `fail_at` triggers independently with
+  // this chance instead of the deterministic fail_at/repeat window. Drawn
+  // from a per-probe RNG seeded with `seed`, so runs are reproducible.
+  double probability = -1.0;
+  // Seed for the probabilistic trigger stream.
+  std::uint64_t seed = 0;
+  // Delay imposed on every triggered hit, before the probe returns (all
+  // modes). The sleep happens outside the registry lock, so concurrent
+  // probes on other threads are not serialized behind it.
+  double latency_ms = 0.0;
 };
 
 // Result of consulting a probe: whether this hit fails, and how.
@@ -79,6 +103,10 @@ class FailPoint {
 
   // Hits recorded for `name` since the last Reset/Arm (armed or not).
   static std::size_t HitCount(const std::string& name);
+
+  // Hits that actually triggered (failed or were delayed) since the last
+  // Reset/Arm. Chaos tests use this to confirm injections really fired.
+  static std::size_t TriggerCount(const std::string& name);
 
   // Names currently armed (for diagnostics).
   static std::vector<std::string> Armed();

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -68,6 +72,14 @@ Status DataLossError(std::string message) {
   return Status(StatusCode::kDataLoss, std::move(message));
 }
 
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
+}
+
 bool IsInvalidArgument(const Status& status) {
   return status.code() == StatusCode::kInvalidArgument;
 }
@@ -86,6 +98,18 @@ bool IsFailedPrecondition(const Status& status) {
 
 bool IsInternal(const Status& status) {
   return status.code() == StatusCode::kInternal;
+}
+
+bool IsDataLoss(const Status& status) {
+  return status.code() == StatusCode::kDataLoss;
+}
+
+bool IsResourceExhausted(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
+bool IsUnavailable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
 }
 
 }  // namespace condensa

@@ -35,6 +35,8 @@ enum class StatusCode {
   kInternal = 5,
   kUnimplemented = 6,
   kDataLoss = 7,
+  kResourceExhausted = 8,
+  kUnavailable = 9,
 };
 
 // Returns the canonical spelling of `code` (e.g. "INVALID_ARGUMENT").
@@ -82,12 +84,17 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
 
 bool IsInvalidArgument(const Status& status);
 bool IsNotFound(const Status& status);
 bool IsOutOfRange(const Status& status);
 bool IsFailedPrecondition(const Status& status);
 bool IsInternal(const Status& status);
+bool IsDataLoss(const Status& status);
+bool IsResourceExhausted(const Status& status);
+bool IsUnavailable(const Status& status);
 
 // StatusOr<T> holds either a usable T or a non-OK Status explaining why the
 // T could not be produced. Accessing the value of a non-OK StatusOr aborts.

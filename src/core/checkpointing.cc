@@ -30,6 +30,8 @@ struct CheckpointMetrics {
       "condensa_checkpoint_recoveries_total");
   obs::Counter& recovery_replayed = obs::DefaultRegistry().GetCounter(
       "condensa_checkpoint_recovery_replayed_records_total");
+  obs::Counter& deferred_snapshots = obs::DefaultRegistry().GetCounter(
+      "condensa_checkpoint_deferred_snapshots_total");
   obs::Histogram& snapshot_seconds = obs::DefaultRegistry().GetHistogram(
       "condensa_checkpoint_snapshot_seconds");
 
@@ -329,7 +331,15 @@ StatusOr<DurableCondenser> DurableCondenser::Recover(
       Status applied = op == 'i' ? durable.condenser_.Insert(record)
                                  : durable.condenser_.Remove(record);
       if (!applied.ok()) {
-        break;
+        // A well-formed entry that fails to apply is NOT a crash
+        // artifact — the bytes are fine, the condenser (or an injected
+        // fault) refused the operation. Truncating here would destroy
+        // acknowledged records, so recovery fails and the caller
+        // retries instead.
+        return Status(applied.code(),
+                      "journal replay failed at entry " +
+                          std::to_string(replayed) + ": " +
+                          applied.message());
       }
       valid_offset = line_end + 1;
       ++replayed;
@@ -353,18 +363,38 @@ StatusOr<DurableCondenser> DurableCondenser::Recover(
   metrics.recoveries.Increment();
   metrics.recovery_replayed.Increment(replayed);
 
-  // Prune stale generations and leftover temp files (best effort).
+  // Prune stale generations and leftover temp files (best effort). Only
+  // generations OLDER than the chosen one are stale. A NEWER generation
+  // exists when recovery fell back past a corrupt snapshot-(N+1) — and
+  // journal-(N+1) may then hold acknowledged records. Deleting those
+  // files would destroy that evidence and make the first recovery
+  // destructive (a second run would see different state); instead newer
+  // journals are set aside under a ".orphan" suffix, which keeps their
+  // bytes on disk but hides them from sequence scanning (so a later
+  // snapshot roll cannot truncate them either). Running Recover again on
+  // the resulting directory is a no-op.
   for (const std::string& name : entries) {
     std::size_t sequence = 0;
-    bool stale_snapshot =
+    const bool temp = name.find(".tmp.") != std::string::npos;
+    const bool old_snapshot =
         ParseSequence(name, "snapshot-", ".condensa", &sequence) &&
-        sequence != chosen;
-    bool stale_journal =
+        sequence < chosen;
+    const bool old_journal =
         ParseSequence(name, "journal-", ".log", &sequence) &&
-        sequence != chosen;
-    bool temp = name.find(".tmp.") != std::string::npos;
-    if (stale_snapshot || stale_journal || temp) {
+        sequence < chosen;
+    if (temp || old_snapshot || old_journal) {
       RemoveFile(dir + "/" + name);
+      continue;
+    }
+    const bool newer_journal =
+        ParseSequence(name, "journal-", ".log", &sequence) &&
+        sequence > chosen;
+    if (newer_journal) {
+      std::string target = dir + "/" + name + ".orphan";
+      for (int attempt = 1; PathExists(target); ++attempt) {
+        target = dir + "/" + name + ".orphan." + std::to_string(attempt);
+      }
+      std::rename((dir + "/" + name).c_str(), target.c_str());
     }
   }
   return durable;
@@ -470,9 +500,7 @@ Status DurableCondenser::Insert(const linalg::Vector& record) {
     CONDENSA_RETURN_IF_ERROR(ReloadFromDisk());
     return applied;
   }
-  if (++appends_ >= durability_.snapshot_interval) {
-    return WriteSnapshot();
-  }
+  MaybeSnapshotAfterAppend();
   return OkStatus();
 }
 
@@ -496,10 +524,23 @@ Status DurableCondenser::Remove(const linalg::Vector& record) {
     CONDENSA_RETURN_IF_ERROR(ReloadFromDisk());
     return applied;
   }
-  if (++appends_ >= durability_.snapshot_interval) {
-    return WriteSnapshot();
-  }
+  MaybeSnapshotAfterAppend();
   return OkStatus();
+}
+
+void DurableCondenser::MaybeSnapshotAfterAppend() {
+  if (++appends_ < durability_.snapshot_interval) {
+    return;
+  }
+  Status snapshot = WriteSnapshot();
+  if (!snapshot.ok()) {
+    // The record that triggered this snapshot is journaled and applied —
+    // acknowledging it is correct even though the compaction step failed.
+    // Surfacing the error would make callers retry an already-durable
+    // record (a duplicate insert). appends_ stays >= the interval, so the
+    // next append retries the snapshot; Checkpoint() still reports errors.
+    CheckpointMetrics::Get().deferred_snapshots.Increment();
+  }
 }
 
 Status DurableCondenser::Checkpoint() {

@@ -71,7 +71,11 @@ class DurableCondenser {
                                            const std::string& dir);
 
   // Restores from `dir`: loads the newest parseable snapshot, replays its
-  // journal, truncates any torn tail, and deletes stale generations.
+  // journal, truncates any torn tail, and deletes generations older than
+  // the chosen one. Journals newer than the chosen snapshot (possible
+  // when recovery fell back past a corrupt snapshot) are preserved under
+  // a ".orphan" suffix, never deleted. Recover is idempotent: running it
+  // twice against the same directory leaves the second run a no-op.
   // NotFound when the directory holds no checkpoint state at all;
   // kDataLoss when state exists but no snapshot is recoverable.
   static StatusOr<DurableCondenser> Recover(const std::string& dir,
@@ -91,9 +95,14 @@ class DurableCondenser {
   Status Bootstrap(const std::vector<linalg::Vector>& initial, Rng& rng);
 
   // Journals the record (fsync), then applies it. OK return == durable.
+  // A non-OK return means the record is NOT applied (so it is safe to
+  // retry): a failed interval snapshot after a successful apply is
+  // deferred to the next append, not surfaced — see
+  // MaybeSnapshotAfterAppend.
   Status Insert(const linalg::Vector& record);
 
-  // Journals the deletion (fsync), then applies it.
+  // Journals the deletion (fsync), then applies it. Same error contract
+  // as Insert.
   Status Remove(const linalg::Vector& record);
 
   // Forces a snapshot now regardless of the interval.
@@ -134,6 +143,12 @@ class DurableCondenser {
   // Writes snapshot `sequence_ + 1`, rolls the journal, prunes the old
   // generation.
   Status WriteSnapshot();
+
+  // Interval bookkeeping after a successful journaled apply. A snapshot
+  // failure here is deferred (counted, retried on the next append) rather
+  // than returned: the triggering record is already durable, and failing
+  // its Insert/Remove would invite a duplicating retry.
+  void MaybeSnapshotAfterAppend();
 
   DynamicCondenser condenser_;
   DurabilityOptions durability_;

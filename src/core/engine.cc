@@ -166,16 +166,25 @@ std::vector<PoolReport> CondensedPools::Reports() const {
   return reports;
 }
 
-CondensationEngine::CondensationEngine(CondensationConfig config)
-    : config_(config) {
-  CONDENSA_CHECK_GE(config_.group_size, 1u);
-  CONDENSA_CHECK_GE(config_.bootstrap_fraction, 0.0);
-  CONDENSA_CHECK_LE(config_.bootstrap_fraction, 1.0);
-  CONDENSA_CHECK_GE(config_.snapshot_interval, 1u);
+Status CondensationConfig::Validate() const {
+  if (group_size < 1) {
+    return InvalidArgumentError("group_size (k) must be >= 1");
+  }
+  if (!(bootstrap_fraction >= 0.0) || !(bootstrap_fraction <= 1.0)) {
+    return InvalidArgumentError("bootstrap_fraction must be in [0, 1]");
+  }
+  if (snapshot_interval < 1) {
+    return InvalidArgumentError("snapshot_interval must be >= 1");
+  }
+  return OkStatus();
 }
+
+CondensationEngine::CondensationEngine(CondensationConfig config)
+    : config_(config) {}
 
 StatusOr<CondensedGroupSet> CondensationEngine::CondensePoints(
     const std::vector<linalg::Vector>& points, Rng& rng) const {
+  CONDENSA_RETURN_IF_ERROR(config_.Validate());
   const std::string checkpoint_dir =
       config_.checkpoint_dir.empty()
           ? std::string()
@@ -186,6 +195,7 @@ StatusOr<CondensedGroupSet> CondensationEngine::CondensePoints(
 
 StatusOr<CondensedPools> CondensationEngine::Condense(
     const data::Dataset& input, Rng& rng) const {
+  CONDENSA_RETURN_IF_ERROR(config_.Validate());
   if (input.empty()) {
     return InvalidArgumentError("cannot condense an empty dataset");
   }

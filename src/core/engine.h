@@ -69,6 +69,14 @@ struct CondensationConfig {
   // record into the default registry; pointing this at a private registry
   // isolates only the engine-level series.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Checks every field (group_size >= 1, bootstrap_fraction in [0, 1],
+  // snapshot_interval >= 1). The engine refuses to condense with an
+  // invalid config, returning this Status from Condense/CondensePoints —
+  // constructing the engine itself never aborts. (k = 1 is permitted
+  // here for identity-condensation ablations; the streaming runtime's
+  // StreamPipelineConfig requires k >= 2.)
+  Status Validate() const;
 };
 
 // Per-pool (per-class, or whole-set) condensation outcome.
@@ -135,6 +143,9 @@ StatusOr<AnonymizationResult> GenerateRelease(
 
 class CondensationEngine {
  public:
+  // Stores the config as-is; validation happens on first use (see
+  // CondensationConfig::Validate) so a bad config yields a Status, not
+  // an abort.
   explicit CondensationEngine(CondensationConfig config);
 
   const CondensationConfig& config() const { return config_; }

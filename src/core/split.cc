@@ -50,8 +50,6 @@ StatusOr<SplitResult> SplitGroupStatistics(const GroupStatistics& group,
   // centroids sit at the quarter points Y ± (a/4) e₁.
   const double offset = std::sqrt(12.0 * lambda1) / 4.0;
   linalg::Vector centroid = group.Centroid();
-  linalg::Vector centroid_lower = centroid - offset * e1;
-  linalg::Vector centroid_upper = centroid + offset * e1;
 
   // Shared covariance of both halves: λ₁ -> λ₁ / 4, all else unchanged,
   // rebuilt as C' = P Λ' Pᵀ (paper Eq. 4).
@@ -68,13 +66,26 @@ StatusOr<SplitResult> SplitGroupStatistics(const GroupStatistics& group,
   const std::size_t upper_count = group.count() - lower_count;
 
   if (rule == SplitRule::kPaperVerbatim) {
+    // Fig. 3 only ever splits a 2k-sized group, so the halves sit at the
+    // symmetric quarter points.
     SplitResult result{
-        VerbatimHalf(lower_count, centroid_lower, new_covariance),
-        VerbatimHalf(upper_count, centroid_upper, new_covariance),
+        VerbatimHalf(lower_count, centroid - offset * e1, new_covariance),
+        VerbatimHalf(upper_count, centroid + offset * e1, new_covariance),
     };
     return result;
   }
 
+  // With unequal half sizes the symmetric quarter points would shift the
+  // total first moment by (n₂ - n₁)·offset per split — a drift that
+  // compounds under merge-then-split churn. Scaling each half's
+  // displacement inversely to its count keeps n₁·c₁ + n₂·c₂ = n·Y exact
+  // while preserving the 2·offset separation (and reducing to ±offset
+  // when n₁ = n₂).
+  const double n = static_cast<double>(group.count());
+  linalg::Vector centroid_lower =
+      centroid - (2.0 * offset * static_cast<double>(upper_count) / n) * e1;
+  linalg::Vector centroid_upper =
+      centroid + (2.0 * offset * static_cast<double>(lower_count) / n) * e1;
   SplitResult result{
       GroupStatistics::FromMoments(lower_count, centroid_lower,
                                    new_covariance),

@@ -1,0 +1,33 @@
+#include "runtime/bounded_queue.h"
+
+#include <string>
+
+namespace condensa::runtime {
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock:
+      return "block";
+    case BackpressurePolicy::kDropOldest:
+      return "drop-oldest";
+    case BackpressurePolicy::kReject:
+      return "reject";
+  }
+  return "unknown";
+}
+
+bool ParseBackpressurePolicy(const std::string& text,
+                             BackpressurePolicy* policy) {
+  if (text == "block") {
+    *policy = BackpressurePolicy::kBlock;
+  } else if (text == "drop-oldest") {
+    *policy = BackpressurePolicy::kDropOldest;
+  } else if (text == "reject") {
+    *policy = BackpressurePolicy::kReject;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace condensa::runtime

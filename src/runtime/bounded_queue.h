@@ -1,0 +1,209 @@
+// Bounded multi-producer / single-consumer record queue.
+//
+// The ingest pipeline decouples producers (request handlers, CSV readers)
+// from the single condenser worker with this queue. Capacity is a hard
+// bound — queue memory cannot grow past it no matter how far the worker
+// falls behind — and what happens to a producer hitting the bound is the
+// configured backpressure policy:
+//
+//   kBlock       producer waits until the worker frees a slot (lossless,
+//                the default; callers absorb the latency).
+//   kDropOldest  the oldest queued record is evicted to admit the new one
+//                (freshness over completeness; drops are counted and the
+//                evicted record is handed back to the caller so it can be
+//                accounted — e.g. spooled or quarantined, never silent).
+//   kReject      Push fails with kResourceExhausted and the caller decides
+//                (load shedding at the edge).
+//
+// One mutex, two condition variables; every operation is O(1) apart from
+// the wait. Safe for any number of producers; Pop/PopBatch must be called
+// from one consumer thread at a time.
+
+#ifndef CONDENSA_RUNTIME_BOUNDED_QUEUE_H_
+#define CONDENSA_RUNTIME_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace condensa::runtime {
+
+enum class BackpressurePolicy {
+  kBlock = 0,
+  kDropOldest = 1,
+  kReject = 2,
+};
+
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+
+// Parses "block" / "drop-oldest" / "reject"; false on anything else.
+bool ParseBackpressurePolicy(const std::string& text,
+                             BackpressurePolicy* policy);
+
+template <typename T>
+class BoundedQueue {
+ public:
+  // What Push did with the record (all outcomes except the error return
+  // mean the new record is in the queue).
+  struct PushResult {
+    Status status;
+    // kDropOldest only: the record evicted to make room, handed back so
+    // the producer can account for it.
+    std::optional<T> evicted;
+  };
+
+  BoundedQueue(std::size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    CONDENSA_CHECK_GE(capacity_, 1u);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Enqueues `value` under the backpressure policy. Fails with
+  // kFailedPrecondition after Close, kResourceExhausted when full under
+  // kReject.
+  PushResult Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    PushResult result;
+    if (closed_) {
+      result.status = FailedPreconditionError("queue is closed");
+      return result;
+    }
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case BackpressurePolicy::kBlock:
+          not_full_.wait(lock, [this] {
+            return items_.size() < capacity_ || closed_;
+          });
+          if (closed_) {
+            result.status = FailedPreconditionError("queue is closed");
+            return result;
+          }
+          break;
+        case BackpressurePolicy::kDropOldest:
+          result.evicted = std::move(items_.front());
+          items_.pop_front();
+          ++dropped_;
+          break;
+        case BackpressurePolicy::kReject:
+          ++rejected_;
+          result.status =
+              ResourceExhaustedError("queue is full (reject policy)");
+          return result;
+      }
+    }
+    items_.push_back(std::move(value));
+    if (items_.size() > high_water_) {
+      high_water_ = items_.size();
+    }
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    return PopLocked(lock);
+  }
+
+  // Pops up to `max_items` into `out`, waiting at most `wait` for the
+  // first one (later ones are taken only if already queued). Returns the
+  // number popped — 0 on timeout or when closed and drained.
+  std::size_t PopBatch(std::vector<T>* out, std::size_t max_items,
+                       std::chrono::milliseconds wait) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, wait,
+                        [this] { return !items_.empty() || closed_; });
+    std::size_t popped = 0;
+    while (popped < max_items) {
+      std::optional<T> item = PopLocked(lock);
+      if (!item.has_value()) break;
+      out->push_back(std::move(*item));
+      ++popped;
+    }
+    return popped;
+  }
+
+  // Marks the queue closed: Push fails from now on, queued items remain
+  // poppable, blocked producers and the consumer wake up.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Deepest the queue has ever been (bounded-memory evidence: never
+  // exceeds capacity()).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  // Records evicted under kDropOldest.
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  // Pushes refused under kReject.
+  std::size_t rejected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rejected_;
+  }
+
+ private:
+  std::optional<T> PopLocked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    lock.lock();
+    return value;
+  }
+
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::size_t high_water_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace condensa::runtime
+
+#endif  // CONDENSA_RUNTIME_BOUNDED_QUEUE_H_

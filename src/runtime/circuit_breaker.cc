@@ -1,0 +1,113 @@
+#include "runtime/circuit_breaker.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace condensa::runtime {
+namespace {
+
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options, ClockFn clock)
+    : options_(options), clock_(clock ? std::move(clock) : SteadyNowMs) {
+  CONDENSA_CHECK_GE(options_.failure_threshold, 1u);
+  CONDENSA_CHECK_GE(options_.probe_successes_to_close, 1u);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_() - opened_at_ms_ < options_.open_duration_ms) {
+        return false;
+      }
+      state_ = State::kHalfOpen;
+      probe_successes_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++probe_successes_ >= options_.probe_successes_to_close) {
+      state_ = State::kClosed;
+    }
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    TripLocked();
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= options_.failure_threshold) {
+    TripLocked();
+  }
+}
+
+void CircuitBreaker::ForceTrip() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) {
+    TripLocked();
+  } else {
+    // Already open: restart the cooldown (the stall is ongoing).
+    opened_at_ms_ = clock_();
+  }
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  opened_at_ms_ = clock_();
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  probe_in_flight_ = false;
+  ++trip_count_;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::size_t CircuitBreaker::trip_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trip_count_;
+}
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace condensa::runtime

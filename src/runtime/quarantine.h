@@ -1,0 +1,92 @@
+// Poison-record quarantine.
+//
+// A malformed record must cost the stream exactly one record: instead of
+// aborting the run (or silently dropping the tuple — microaggregation
+// pipelines show how one bad value poisons a whole group's statistics),
+// the pipeline diverts it to an append-only quarantine file with a reason
+// code and keeps going. The file is human-readable, one record per line:
+//
+//   # condensa-quarantine v1 dim 4
+//   non-finite	record 17 attribute 2 is not finite	0.5,nan,1.25,-3
+//   repeated-failure	INTERNAL: eigensolver diverged	9e300,...
+//
+// (tab-separated: reason, detail, comma-joined values). ReadAll parses it
+// back so tests — and operators doing post-mortems — can account for
+// every quarantined record exactly.
+
+#ifndef CONDENSA_RUNTIME_QUARANTINE_H_
+#define CONDENSA_RUNTIME_QUARANTINE_H_
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace condensa::runtime {
+
+enum class QuarantineReason {
+  // Record dimension disagrees with the pipeline's.
+  kDimensionMismatch = 0,
+  // A value is NaN or infinite.
+  kNonFinite = 1,
+  // The condenser rejected the record deterministically, or it kept
+  // failing after the full retry schedule.
+  kRepeatedFailure = 2,
+};
+inline constexpr std::size_t kQuarantineReasonCount = 3;
+
+const char* QuarantineReasonName(QuarantineReason reason);
+
+class QuarantineWriter {
+ public:
+  struct Entry {
+    QuarantineReason reason = QuarantineReason::kRepeatedFailure;
+    std::string detail;
+    std::vector<double> values;
+  };
+
+  // Opens (or creates) the quarantine file at `path`, appending to any
+  // existing entries. `dim` is recorded in the header for readers.
+  static StatusOr<QuarantineWriter> Open(const std::string& path,
+                                         std::size_t dim);
+
+  QuarantineWriter(QuarantineWriter&&) = default;
+  QuarantineWriter& operator=(QuarantineWriter&&) = default;
+
+  // Appends one record durably. Thread-safe. `detail` is sanitized (tabs
+  // and newlines become spaces).
+  Status Write(const linalg::Vector& record, QuarantineReason reason,
+               const std::string& detail);
+
+  // Entries written through this writer (not pre-existing ones).
+  std::size_t count() const;
+  std::size_t count(QuarantineReason reason) const;
+
+  const std::string& path() const { return path_; }
+
+  // Parses a quarantine file (header plus all entries).
+  static StatusOr<std::vector<Entry>> ReadAll(const std::string& path);
+
+ private:
+  QuarantineWriter(AppendFile file, std::string path)
+      : file_(std::move(file)),
+        path_(std::move(path)),
+        mu_(new std::mutex) {}
+
+  AppendFile file_;
+  std::string path_;
+  // Guards file_ and counts_; Write is called from producer and worker
+  // threads. Heap-allocated so the writer stays movable.
+  std::unique_ptr<std::mutex> mu_;
+  std::array<std::size_t, kQuarantineReasonCount> counts_{};
+};
+
+}  // namespace condensa::runtime
+
+#endif  // CONDENSA_RUNTIME_QUARANTINE_H_

@@ -1,0 +1,57 @@
+#include "runtime/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace condensa::runtime {
+
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kDataLoss:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffDelayMs(const RetryPolicy& policy, std::size_t failures,
+                      Rng& rng) {
+  if (failures == 0) return 0.0;
+  double delay = policy.initial_backoff_ms *
+                 std::pow(policy.backoff_multiplier,
+                          static_cast<double>(failures - 1));
+  delay = std::min(delay, policy.max_backoff_ms);
+  if (policy.jitter_fraction > 0.0) {
+    delay *= 1.0 + rng.Uniform(-policy.jitter_fraction,
+                               policy.jitter_fraction);
+  }
+  return std::max(delay, 0.0);
+}
+
+Status RetryWithBackoff(const RetryPolicy& policy, RetryBudget* budget,
+                        Rng& rng, const std::function<Status()>& op,
+                        const SleepFn& sleep, std::size_t* retries_out) {
+  Status status = op();
+  std::size_t failures = 0;
+  while (!status.ok() && IsRetryable(status)) {
+    ++failures;
+    if (failures + 1 > policy.max_attempts) break;
+    if (budget != nullptr && !budget->TryAcquire()) break;
+    const double delay_ms = BackoffDelayMs(policy, failures, rng);
+    if (sleep) {
+      sleep(delay_ms);
+    } else if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (retries_out != nullptr) ++*retries_out;
+    status = op();
+  }
+  return status;
+}
+
+}  // namespace condensa::runtime

@@ -1,0 +1,92 @@
+// Retry with exponential backoff, jitter, and a shared retry budget.
+//
+// Checkpoint and journal I/O fail transiently (full fsync queues, flaky
+// network filesystems, injected chaos); the pipeline wraps those calls in
+// RetryWithBackoff instead of failing the record on first error. Delays
+// grow exponentially from `initial_backoff_ms`, are capped at
+// `max_backoff_ms`, and carry uniform ±`jitter_fraction` noise so a fleet
+// of stalled workers does not retry in lockstep.
+//
+// The RetryBudget bounds the *total* number of retries a run may spend
+// across all records: once exhausted, operations get their first attempt
+// only. This turns "the disk is down" from an unbounded retry storm into
+// a quick, observable degradation (the circuit breaker takes over).
+//
+// Only transient failures are retried: kDataLoss / kUnavailable /
+// kResourceExhausted. Deterministic failures (kInvalidArgument, kInternal
+// eigensolver divergence, ...) would fail identically every attempt and
+// are returned immediately — the pipeline treats those as poison.
+
+#ifndef CONDENSA_RUNTIME_RETRY_H_
+#define CONDENSA_RUNTIME_RETRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace condensa::runtime {
+
+struct RetryPolicy {
+  // Total attempts, including the first. 1 disables retrying.
+  std::size_t max_attempts = 4;
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  // Uniform multiplicative jitter: delay *= 1 + U(-f, +f).
+  double jitter_fraction = 0.2;
+};
+
+// True for status codes worth a second attempt.
+bool IsRetryable(const Status& status);
+
+// Delay before the attempt following the `failures`-th failure (1-based),
+// in milliseconds: min(initial * multiplier^(failures-1), max), jittered.
+double BackoffDelayMs(const RetryPolicy& policy, std::size_t failures,
+                      Rng& rng);
+
+// Process- or run-wide cap on retries. Thread-safe.
+class RetryBudget {
+ public:
+  explicit RetryBudget(std::size_t total) : remaining_(total), total_(total) {}
+
+  // Claims one retry; false when the budget is spent.
+  bool TryAcquire() {
+    std::size_t current = remaining_.load(std::memory_order_relaxed);
+    while (current > 0) {
+      if (remaining_.compare_exchange_weak(current, current - 1,
+                                           std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t remaining() const {
+    return remaining_.load(std::memory_order_relaxed);
+  }
+  std::size_t total() const { return total_; }
+  std::size_t spent() const { return total_ - remaining(); }
+
+ private:
+  std::atomic<std::size_t> remaining_;
+  const std::size_t total_;
+};
+
+// Sleep hook so tests can count delays instead of waiting them out.
+using SleepFn = std::function<void(double ms)>;
+
+// Runs `op` until it succeeds, returns a non-retryable error, exhausts
+// `policy.max_attempts`, or drains `budget` (nullptr = unlimited). Sleeps
+// `sleep` (nullptr = real sleep) between attempts; bumps `retries_out`
+// (nullable) once per re-attempt. Returns the last status.
+Status RetryWithBackoff(const RetryPolicy& policy, RetryBudget* budget,
+                        Rng& rng, const std::function<Status()>& op,
+                        const SleepFn& sleep = nullptr,
+                        std::size_t* retries_out = nullptr);
+
+}  // namespace condensa::runtime
+
+#endif  // CONDENSA_RUNTIME_RETRY_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <vector>
+
 namespace condensa {
 namespace {
 
@@ -80,6 +83,64 @@ TEST_F(FailPointTest, ArmResetsHitCount) {
   FailPoint::Arm("fp.rearm", {.fail_at = 1});
   EXPECT_EQ(FailPoint::HitCount("fp.rearm"), 0u);
   EXPECT_FALSE(FailPoint::Maybe("fp.rearm").ok());
+}
+
+TEST_F(FailPointTest, ProbabilisticTriggeringIsReproducibleAndCounted) {
+  constexpr std::size_t kHits = 2000;
+  constexpr double kProbability = 0.25;
+  FailPoint::Arm("fp.flaky", {.probability = kProbability, .seed = 7});
+  std::vector<bool> first;
+  first.reserve(kHits);
+  for (std::size_t i = 0; i < kHits; ++i) {
+    first.push_back(!FailPoint::Maybe("fp.flaky").ok());
+  }
+  const std::size_t triggered = FailPoint::TriggerCount("fp.flaky");
+  EXPECT_EQ(FailPoint::HitCount("fp.flaky"), kHits);
+  // ~500 expected; 6 sigma ≈ 116 either way.
+  EXPECT_GT(triggered, kHits * kProbability / 2);
+  EXPECT_LT(triggered, kHits * kProbability * 2);
+
+  // Same seed -> identical trigger sequence.
+  FailPoint::Arm("fp.flaky", {.probability = kProbability, .seed = 7});
+  for (std::size_t i = 0; i < kHits; ++i) {
+    EXPECT_EQ(!FailPoint::Maybe("fp.flaky").ok(), first[i]) << "hit " << i;
+  }
+}
+
+TEST_F(FailPointTest, ProbabilisticTriggeringHonorsFailAt) {
+  FailPoint::Arm("fp.flaky.gated",
+                 {.fail_at = 11, .probability = 1.0, .seed = 3});
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(FailPoint::Maybe("fp.flaky.gated").ok()) << "hit " << i;
+  }
+  EXPECT_FALSE(FailPoint::Maybe("fp.flaky.gated").ok());
+  EXPECT_EQ(FailPoint::TriggerCount("fp.flaky.gated"), 1u);
+}
+
+TEST_F(FailPointTest, LatencyModeDelaysButSucceeds) {
+  FailPoint::Arm("fp.slow", {.fail_at = 1,
+                             .repeat = static_cast<std::size_t>(-1),
+                             .mode = FailPointMode::kLatency,
+                             .latency_ms = 20.0});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FailPoint::Maybe("fp.slow").ok());
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 15.0);
+  EXPECT_EQ(FailPoint::TriggerCount("fp.slow"), 1u);
+
+  FailPointDecision decision = FailPoint::Check("fp.slow");
+  EXPECT_FALSE(decision.fail);
+  EXPECT_TRUE(decision.status.ok());
+}
+
+TEST_F(FailPointTest, ErrorModeCanCombineLatencyWithFailure) {
+  FailPoint::Arm("fp.slowfail", {.latency_ms = 5.0});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(FailPoint::Maybe("fp.slowfail").ok());
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 4.0);
 }
 
 TEST_F(FailPointTest, ArmedListsOnlyArmedProbes) {

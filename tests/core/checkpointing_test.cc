@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -241,8 +243,113 @@ TEST_F(CheckpointingTest, CorruptNewestSnapshotFallsBackToOlder) {
   EXPECT_EQ(recovered->snapshot_sequence(), 1u);
   EXPECT_EQ(recovered->records_seen(), 7u);
   EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(condenser));
-  // The unrecoverable generation is pruned.
-  EXPECT_FALSE(PathExists(dir + "/snapshot-000002.condensa"));
+  // The unrecoverable newer snapshot is preserved: recovery never
+  // destroys evidence ahead of the generation it restored, so a rerun
+  // deterministically falls back to generation 1 again.
+  EXPECT_TRUE(PathExists(dir + "/snapshot-000002.condensa"));
+}
+
+TEST_F(CheckpointingTest, RecoveryIsIdempotentAndOrphansNewerJournals) {
+  const std::string dir = FreshDir();
+
+  // Valid generation 1 with two journaled records.
+  DynamicCondenser condenser(2, {.group_size = 3});
+  Rng rng(13);
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(condenser.Insert(MakeRecord(rng, 2, 0.0)).ok());
+  }
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/snapshot-000001.condensa",
+                      SerializeCondenserState(condenser.ExportState(), 1))
+          .ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/journal-000001.log",
+                              "condensa-journal v1 base 1\n"
+                              "i 0.25 0.5 .\n"
+                              "i 6.5 5.75 .\n")
+                  .ok());
+  // Generation 2: corrupt snapshot, but its journal holds records that
+  // were acknowledged after the snapshot roll.
+  ASSERT_TRUE(WriteFileAtomic(dir + "/snapshot-000002.condensa",
+                              "condensa-snapshot v1\nseq 2 records 99 spl")
+                  .ok());
+  const std::string orphan_payload =
+      "condensa-journal v1 base 2\n"
+      "i 1.5 2.5 .\n";
+  ASSERT_TRUE(
+      WriteFileAtomic(dir + "/journal-000002.log", orphan_payload).ok());
+
+  std::string fingerprint;
+  {
+    auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(recovered->snapshot_sequence(), 1u);
+    EXPECT_EQ(recovered->records_seen(), 9u);  // 7 + 2 replayed
+    fingerprint = Fingerprint(recovered->condenser());
+  }
+
+  // The acknowledged-but-unrestorable journal is set aside, not deleted.
+  EXPECT_FALSE(PathExists(dir + "/journal-000002.log"));
+  auto orphan = ReadFileToString(dir + "/journal-000002.log.orphan");
+  ASSERT_TRUE(orphan.ok());
+  EXPECT_EQ(*orphan, orphan_payload);
+
+  // Snapshot the directory, byte for byte.
+  auto DirState = [&]() {
+    std::vector<std::pair<std::string, std::string>> files;
+    auto entries = ListDirectory(dir);
+    EXPECT_TRUE(entries.ok());
+    for (const std::string& name : *entries) {
+      auto content = ReadFileToString(dir + "/" + name);
+      EXPECT_TRUE(content.ok());
+      files.emplace_back(name, *content);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  };
+  const auto after_first = DirState();
+
+  // Recovering again is a pure no-op: same state, same bytes on disk.
+  {
+    auto again = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->snapshot_sequence(), 1u);
+    EXPECT_EQ(again->records_seen(), 9u);
+    EXPECT_EQ(Fingerprint(again->condenser()), fingerprint);
+  }
+  EXPECT_EQ(DirState(), after_first);
+}
+
+TEST_F(CheckpointingTest, ReplayApplyFailureFailsRecoveryWithoutTruncating) {
+  const std::string dir = FreshDir();
+  std::vector<Vector> stream = MakeStream(9, 2, 41);
+  {
+    auto durable = DurableCondenser::Create(2, {.group_size = 3}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    for (const Vector& record : stream) {
+      ASSERT_TRUE(durable->Insert(record).ok());
+    }
+  }
+  const std::string journal = dir + "/journal-000000.log";
+  auto before = ReadFileToString(journal);
+  ASSERT_TRUE(before.ok());
+
+  // A transient fault during replay must fail the recovery — truncating
+  // at the failed entry would destroy the acknowledged records behind it.
+  FailPoint::Arm("dynamic.insert",
+                 {.fail_at = 5, .code = StatusCode::kInternal});
+  auto failed = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInternal);
+  FailPoint::Reset();
+
+  auto after = ReadFileToString(journal);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+
+  // Once the fault clears, recovery replays everything.
+  auto recovered = DurableCondenser::Recover(dir, {.group_size = 3}, {});
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records_seen(), 9u);
 }
 
 TEST_F(CheckpointingTest, NoRecoverableSnapshotIsDataLoss) {

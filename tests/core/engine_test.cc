@@ -325,12 +325,31 @@ TEST(EngineTest, GenerateReleaseValidatesPools) {
   EXPECT_FALSE(core::GenerateRelease(bad, rng).ok());
 }
 
-TEST(EngineDeathTest, InvalidConfigAborts) {
-  EXPECT_DEATH(CondensationEngine({.group_size = 0}), "CHECK");
-  EXPECT_DEATH(CondensationEngine({.group_size = 5,
-                                   .mode = CondensationMode::kDynamic,
-                                   .bootstrap_fraction = 1.5}),
-               "CHECK");
+TEST(EngineTest, InvalidConfigSurfacesStatus) {
+  EXPECT_TRUE(IsInvalidArgument(CondensationConfig{.group_size = 0}.Validate()));
+  EXPECT_TRUE(IsInvalidArgument(
+      CondensationConfig{.group_size = 5,
+                         .mode = CondensationMode::kDynamic,
+                         .bootstrap_fraction = 1.5}
+          .Validate()));
+  EXPECT_TRUE(IsInvalidArgument(
+      CondensationConfig{.group_size = 5, .snapshot_interval = 0}.Validate()));
+  EXPECT_TRUE(CondensationConfig{.group_size = 5}.Validate().ok());
+
+  // Construction never aborts; the Status surfaces at first use instead.
+  CondensationEngine engine({.group_size = 0});
+  Rng rng(33);
+  std::vector<Vector> points = {Vector{0.0, 0.0}, Vector{1.0, 1.0}};
+  auto condensed = engine.CondensePoints(points, rng);
+  ASSERT_FALSE(condensed.ok());
+  EXPECT_TRUE(IsInvalidArgument(condensed.status()));
+
+  data::Dataset dataset(2);
+  dataset.Add(Vector{0.0, 0.0});
+  dataset.Add(Vector{1.0, 1.0});
+  auto anonymized = engine.Anonymize(dataset, rng);
+  ASSERT_FALSE(anonymized.ok());
+  EXPECT_TRUE(IsInvalidArgument(anonymized.status()));
 }
 
 }  // namespace

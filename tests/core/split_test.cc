@@ -51,6 +51,28 @@ TEST(SplitTest, OddCountSplitsIntoFloorAndCeil) {
   EXPECT_EQ(split->upper.count(), 4u);
 }
 
+TEST(SplitTest, OddCountSplitConservesFirstMoments) {
+  // With unequal half sizes the children's displacements are scaled
+  // inversely to their counts, so the summed first-order moments match
+  // the parent exactly — symmetric offsets would drift by one offset
+  // per odd split, compounding under merge-then-split churn.
+  GroupStatistics group(2);
+  Rng rng(23);
+  for (int i = 0; i < 9; ++i) {
+    group.Add(Vector{rng.Uniform(-10.0, 10.0), rng.Gaussian(0.0, 0.5)});
+  }
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok());
+  Vector sum = split->lower.first_order() + split->upper.first_order();
+  EXPECT_TRUE(linalg::ApproxEqual(sum, group.first_order(), 1e-9));
+  // The halves still sit 2·offset apart along e1.
+  auto eigen = linalg::CovarianceEigenDecomposition(group.Covariance());
+  ASSERT_TRUE(eigen.ok());
+  const double offset = std::sqrt(12.0 * eigen->eigenvalues[0]) / 4.0;
+  Vector gap = split->upper.Centroid() - split->lower.Centroid();
+  EXPECT_NEAR(std::sqrt(linalg::Dot(gap, gap)), 2.0 * offset, 1e-9);
+}
+
 TEST(SplitTest, CentroidsSeparateAlongLargestEigenvector) {
   GroupStatistics group = MakeElongatedGroup();
   auto eigen = linalg::CovarianceEigenDecomposition(group.Covariance());

@@ -1,0 +1,158 @@
+#include "runtime/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace condensa::runtime {
+namespace {
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> queue(8, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Push(i).status.ok());
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto item = queue.Pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+}
+
+TEST(BoundedQueueTest, BlockPolicyWaitsForConsumer) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1).status.ok());
+  ASSERT_TRUE(queue.Push(2).status.ok());
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(3).status.ok());  // blocks until a Pop
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_LE(queue.high_water(), queue.capacity());
+}
+
+TEST(BoundedQueueTest, DropOldestHandsBackEvictedRecord) {
+  BoundedQueue<int> queue(2, BackpressurePolicy::kDropOldest);
+  ASSERT_TRUE(queue.Push(1).status.ok());
+  ASSERT_TRUE(queue.Push(2).status.ok());
+  auto result = queue.Push(3);
+  EXPECT_TRUE(result.status.ok());
+  ASSERT_TRUE(result.evicted.has_value());
+  EXPECT_EQ(*result.evicted, 1);
+  EXPECT_EQ(queue.dropped(), 1u);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, RejectPolicyReturnsResourceExhausted) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kReject);
+  ASSERT_TRUE(queue.Push(1).status.ok());
+  auto result = queue.Push(2);
+  EXPECT_TRUE(IsResourceExhausted(result.status));
+  EXPECT_FALSE(result.evicted.has_value());
+  EXPECT_EQ(queue.rejected(), 1u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsRemainingItemsThenSignalsEmpty) {
+  BoundedQueue<int> queue(4, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1).status.ok());
+  ASSERT_TRUE(queue.Push(2).status.ok());
+  queue.Close();
+  EXPECT_TRUE(IsFailedPrecondition(queue.Push(3).status));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseUnblocksWaitingProducer) {
+  BoundedQueue<int> queue(1, BackpressurePolicy::kBlock);
+  ASSERT_TRUE(queue.Push(1).status.ok());
+  std::thread producer([&] {
+    EXPECT_TRUE(IsFailedPrecondition(queue.Push(2).status));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PopBatchTakesWhatIsQueued) {
+  BoundedQueue<int> queue(16, BackpressurePolicy::kBlock);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.Push(i).status.ok());
+  }
+  std::vector<int> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 4, std::chrono::milliseconds(10)), 4u);
+  EXPECT_EQ(batch, (std::vector<int>{0, 1, 2, 3}));
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(&batch, 4, std::chrono::milliseconds(10)), 2u);
+  EXPECT_EQ(batch, (std::vector<int>{4, 5}));
+  batch.clear();
+  EXPECT_EQ(queue.PopBatch(&batch, 4, std::chrono::milliseconds(5)), 0u);
+}
+
+TEST(BoundedQueueTest, HighWaterNeverExceedsCapacity) {
+  BoundedQueue<int> queue(4, BackpressurePolicy::kDropOldest);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(queue.Push(i).status.ok());
+  }
+  EXPECT_EQ(queue.high_water(), 4u);
+  EXPECT_EQ(queue.dropped(), 96u);
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumerLosesNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16, BackpressurePolicy::kBlock);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i).status.ok());
+      }
+    });
+  }
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    while (seen.size() < kProducers * kPerProducer) {
+      auto item = queue.Pop();
+      if (item.has_value()) {
+        seen.push_back(*item);
+      }
+    }
+  });
+  for (auto& thread : producers) {
+    thread.join();
+  }
+  consumer.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_LE(queue.high_water(), queue.capacity());
+}
+
+TEST(BoundedQueueTest, PolicyNamesRoundTrip) {
+  for (BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDropOldest,
+        BackpressurePolicy::kReject}) {
+    BackpressurePolicy parsed;
+    ASSERT_TRUE(ParseBackpressurePolicy(BackpressurePolicyName(policy),
+                                        &parsed));
+    EXPECT_EQ(parsed, policy);
+  }
+  BackpressurePolicy parsed;
+  EXPECT_FALSE(ParseBackpressurePolicy("drop-newest", &parsed));
+}
+
+}  // namespace
+}  // namespace condensa::runtime

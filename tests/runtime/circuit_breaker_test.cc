@@ -1,0 +1,112 @@
+#include "runtime/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace condensa::runtime {
+namespace {
+
+constexpr CircuitBreakerOptions kOptions{.failure_threshold = 3,
+                                         .open_duration_ms = 100.0,
+                                         .probe_successes_to_close = 2};
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(breaker.AllowRequest());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // A success resets the consecutive-failure count.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, TripsAtThresholdAndRefusesWhileOpen) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1u);
+  now = 50.0;  // still cooling down
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAtATime) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  now = 101.0;  // cooldown elapsed
+  EXPECT_TRUE(breaker.AllowRequest());  // admitted as the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // probe in flight
+  breaker.RecordSuccess();
+  EXPECT_TRUE(breaker.AllowRequest());  // next probe
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessesCloseTheBreaker) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  now = 200.0;
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsCooldown) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  for (int i = 0; i < 3; ++i) {
+    breaker.RecordFailure();
+  }
+  now = 150.0;
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 2u);
+  now = 200.0;  // only 50ms into the fresh cooldown
+  EXPECT_FALSE(breaker.AllowRequest());
+  now = 251.0;
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ForceTripOpensFromAnyStateAndExtendsCooldown) {
+  double now = 0.0;
+  CircuitBreaker breaker(kOptions, [&] { return now; });
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.ForceTrip();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trip_count(), 1u);
+  // Tripping again while open restarts the cooldown clock.
+  now = 90.0;
+  breaker.ForceTrip();
+  EXPECT_EQ(breaker.trip_count(), 1u);
+  now = 150.0;  // 60ms after the second trip
+  EXPECT_FALSE(breaker.AllowRequest());
+  now = 191.0;
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace condensa::runtime

@@ -1,0 +1,132 @@
+#include "runtime/quarantine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "linalg/vector.h"
+
+namespace condensa::runtime {
+namespace {
+
+using linalg::Vector;
+
+class QuarantineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/condensa_quarantine_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(QuarantineTest, WriteThenReadAllRoundTrips) {
+  auto writer = QuarantineWriter::Open(path_, 3);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer
+                  ->Write(Vector{0.5, -1.25, 3.0},
+                          QuarantineReason::kNonFinite, "attribute 1")
+                  .ok());
+  ASSERT_TRUE(writer
+                  ->Write(Vector{9e300, 0.0, -2.5},
+                          QuarantineReason::kRepeatedFailure,
+                          "INTERNAL: eigensolver diverged")
+                  .ok());
+  EXPECT_EQ(writer->count(), 2u);
+  EXPECT_EQ(writer->count(QuarantineReason::kNonFinite), 1u);
+  EXPECT_EQ(writer->count(QuarantineReason::kRepeatedFailure), 1u);
+  EXPECT_EQ(writer->count(QuarantineReason::kDimensionMismatch), 0u);
+
+  auto entries = QuarantineWriter::ReadAll(path_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].reason, QuarantineReason::kNonFinite);
+  EXPECT_EQ((*entries)[0].detail, "attribute 1");
+  EXPECT_EQ((*entries)[0].values, (std::vector<double>{0.5, -1.25, 3.0}));
+  EXPECT_EQ((*entries)[1].reason, QuarantineReason::kRepeatedFailure);
+  EXPECT_EQ((*entries)[1].values, (std::vector<double>{9e300, 0.0, -2.5}));
+}
+
+TEST_F(QuarantineTest, NonFiniteValuesSurviveTheRoundTrip) {
+  auto writer = QuarantineWriter::Open(path_, 2);
+  ASSERT_TRUE(writer.ok());
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  ASSERT_TRUE(
+      writer->Write(Vector{nan, inf}, QuarantineReason::kNonFinite, "").ok());
+  auto entries = QuarantineWriter::ReadAll(path_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_TRUE(std::isnan((*entries)[0].values[0]));
+  EXPECT_TRUE(std::isinf((*entries)[0].values[1]));
+}
+
+TEST_F(QuarantineTest, DetailIsSanitizedOfTabsAndNewlines) {
+  auto writer = QuarantineWriter::Open(path_, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer
+                  ->Write(Vector{1.0}, QuarantineReason::kDimensionMismatch,
+                          "line1\nline2\tcolumn")
+                  .ok());
+  auto entries = QuarantineWriter::ReadAll(path_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].detail, "line1 line2 column");
+}
+
+TEST_F(QuarantineTest, ReopenAppendsToExistingFile) {
+  {
+    auto writer = QuarantineWriter::Open(path_, 2);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer
+                    ->Write(Vector{1.0, 2.0},
+                            QuarantineReason::kDimensionMismatch, "first run")
+                    .ok());
+  }
+  {
+    auto writer = QuarantineWriter::Open(path_, 2);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer
+                    ->Write(Vector{3.0, 4.0}, QuarantineReason::kNonFinite,
+                            "second run")
+                    .ok());
+    // Counts are per-writer, not per-file.
+    EXPECT_EQ(writer->count(), 1u);
+  }
+  auto entries = QuarantineWriter::ReadAll(path_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  EXPECT_EQ((*entries)[0].detail, "first run");
+  EXPECT_EQ((*entries)[1].detail, "second run");
+}
+
+TEST_F(QuarantineTest, ReadAllRejectsNonQuarantineFile) {
+  auto missing = QuarantineWriter::ReadAll(path_);
+  EXPECT_FALSE(missing.ok());
+
+  FILE* file = std::fopen(path_.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  std::fputs("not a quarantine file\n", file);
+  std::fclose(file);
+  auto wrong = QuarantineWriter::ReadAll(path_);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_TRUE(IsDataLoss(wrong.status()));
+}
+
+TEST_F(QuarantineTest, ReasonNamesAreStable) {
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kDimensionMismatch),
+               "dimension-mismatch");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kNonFinite),
+               "non-finite");
+  EXPECT_STREQ(QuarantineReasonName(QuarantineReason::kRepeatedFailure),
+               "repeated-failure");
+}
+
+}  // namespace
+}  // namespace condensa::runtime

@@ -1,0 +1,136 @@
+#include "runtime/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace condensa::runtime {
+namespace {
+
+TEST(RetryTest, OnlyTransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryable(DataLossError("torn write")));
+  EXPECT_TRUE(IsRetryable(UnavailableError("disk busy")));
+  EXPECT_TRUE(IsRetryable(ResourceExhaustedError("queue full")));
+  EXPECT_FALSE(IsRetryable(OkStatus()));
+  EXPECT_FALSE(IsRetryable(InvalidArgumentError("bad record")));
+  EXPECT_FALSE(IsRetryable(InternalError("eigensolver diverged")));
+  EXPECT_FALSE(IsRetryable(FailedPreconditionError("poisoned")));
+  EXPECT_FALSE(IsRetryable(NotFoundError("missing")));
+}
+
+TEST(RetryTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy{.max_attempts = 10,
+                     .initial_backoff_ms = 1.0,
+                     .backoff_multiplier = 2.0,
+                     .max_backoff_ms = 8.0,
+                     .jitter_fraction = 0.0};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, rng), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, rng), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, rng), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 4, rng), 8.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 9, rng), 8.0);  // capped
+}
+
+TEST(RetryTest, JitterStaysWithinFraction) {
+  RetryPolicy policy{.max_attempts = 10,
+                     .initial_backoff_ms = 10.0,
+                     .backoff_multiplier = 1.0,
+                     .max_backoff_ms = 10.0,
+                     .jitter_fraction = 0.2};
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const double delay = BackoffDelayMs(policy, 1, rng);
+    EXPECT_GE(delay, 8.0);
+    EXPECT_LE(delay, 12.0);
+  }
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy{.max_attempts = 5, .initial_backoff_ms = 1.0};
+  Rng rng(2);
+  int calls = 0;
+  std::vector<double> delays;
+  std::size_t retries = 0;
+  Status status = RetryWithBackoff(
+      policy, nullptr, rng,
+      [&]() -> Status {
+        ++calls;
+        return calls < 3 ? UnavailableError("flaky") : OkStatus();
+      },
+      [&](double ms) { delays.push_back(ms); }, &retries);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RetryTest, NonRetryableReturnsImmediately) {
+  RetryPolicy policy{.max_attempts = 5};
+  Rng rng(3);
+  int calls = 0;
+  Status status = RetryWithBackoff(
+      policy, nullptr, rng,
+      [&]() -> Status {
+        ++calls;
+        return InternalError("deterministic");
+      },
+      [](double) {});
+  EXPECT_TRUE(IsInternal(status));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  RetryPolicy policy{.max_attempts = 3};
+  Rng rng(4);
+  int calls = 0;
+  std::size_t retries = 0;
+  Status status = RetryWithBackoff(
+      policy, nullptr, rng,
+      [&]() -> Status {
+        ++calls;
+        return DataLossError("still broken " + std::to_string(calls));
+      },
+      [](double) {}, &retries);
+  EXPECT_TRUE(IsDataLoss(status));
+  EXPECT_NE(status.message().find("3"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+}
+
+TEST(RetryTest, BudgetLimitsRetriesAcrossOperations) {
+  RetryPolicy policy{.max_attempts = 4};
+  RetryBudget budget(3);
+  Rng rng(5);
+  int calls = 0;
+  auto always_fail = [&]() -> Status {
+    ++calls;
+    return UnavailableError("down");
+  };
+  // First op: 1 attempt + 3 retries drain the budget.
+  EXPECT_FALSE(
+      RetryWithBackoff(policy, &budget, rng, always_fail, [](double) {}).ok());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(budget.remaining(), 0u);
+  // Second op: first attempt only.
+  calls = 0;
+  EXPECT_FALSE(
+      RetryWithBackoff(policy, &budget, rng, always_fail, [](double) {}).ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(budget.spent(), 3u);
+}
+
+TEST(RetryTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy{.max_attempts = 1};
+  Rng rng(6);
+  int calls = 0;
+  Status status = RetryWithBackoff(policy, nullptr, rng, [&]() -> Status {
+    ++calls;
+    return UnavailableError("down");
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace condensa::runtime

@@ -4,6 +4,9 @@
 //   condense  CSV in -> condensation -> anonymized CSV out
 //   generate  regenerate a release from saved pool statistics
 //   ingest    stream a CSV into a crash-safe checkpointed condenser
+//   serve-stream  run the supervised streaming runtime (bounded queue,
+//             retry/backoff, quarantine, circuit breaker) over a CSV or a
+//             synthetic stream; see docs/resilience.md
 //   recover   restore a condenser from its checkpoint directory
 //   inspect   print the privacy summary of a saved group-statistics file
 //   evaluate  compare an original and an anonymized CSV (mu, linkage)
@@ -17,6 +20,7 @@
 //       --mode=dynamic --save-groups=groups.txt --output=release.csv
 //   condensa ingest --input=day1.csv --checkpoint-dir=state --k=20
 //   condensa ingest --input=day2.csv --checkpoint-dir=state --k=20
+//   condensa serve-stream --checkpoint-dir=state --records=20000 --chaos=0.05
 //   condensa recover --checkpoint-dir=state --save-groups=groups.txt
 //   condensa inspect --groups=groups.txt
 //   condensa evaluate --original=patients.csv --anonymized=release.csv ...
@@ -32,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/io.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -44,6 +49,7 @@
 #include "metrics/privacy.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/pipeline.h"
 
 namespace {
 
@@ -112,6 +118,12 @@ int Usage() {
       "  generate   --groups=FILE --output=FILE [--seed=N]\n"
       "  ingest     --input=FILE --checkpoint-dir=DIR [--k=N]\n"
       "             [--snapshot-every=N] [--no-sync] [--header] [--seed=N]\n"
+      "  serve-stream --checkpoint-dir=DIR [--input=FILE | --records=N\n"
+      "             --dim=N] [--k=N] [--snapshot-every=N] [--no-sync]\n"
+      "             [--queue-capacity=N] [--backpressure=block|drop-oldest|\n"
+      "             reject] [--batch-size=N] [--batch-deadline-ms=X]\n"
+      "             [--retry-attempts=N] [--retry-budget=N] [--chaos=P]\n"
+      "             [--header] [--seed=N] [--format=prometheus|json]\n"
       "  recover    --checkpoint-dir=DIR [--save-groups=FILE] [--k=N]\n"
       "  inspect    --groups=FILE\n"
       "  evaluate   --original=FILE --anonymized=FILE\n"
@@ -425,6 +437,177 @@ void PrintGroupSummary(const condensa::core::CondensedGroupSet& groups,
               summary.max_group_size);
 }
 
+// Runs the supervised streaming runtime (docs/resilience.md): records flow
+// through the bounded queue into the worker, which validates, retries with
+// backoff, quarantines poison, and degrades to the durable spool when the
+// circuit breaker opens — all on top of the same crash-safe checkpoint
+// directory `ingest` uses. Records come from a CSV (--input) or from a
+// synthetic two-blob Gaussian stream (--records/--dim). With --chaos=P the
+// probabilistic failpoints fire during ingestion (journal appends fail,
+// fsyncs stall, the condenser throws internal errors) and are healed before
+// Finish so the spool drains; the printed ledger shows what the runtime
+// absorbed. Exits nonzero if the ledger does not balance.
+int RunServeStream(Flags& flags) {
+  const std::string dir = flags.Get("checkpoint-dir", "");
+  const std::string input = flags.Get("input", "");
+  const std::string backpressure_name = flags.Get("backpressure", "block");
+  const std::string format = flags.Get("format", "");
+  const bool header = flags.Get("header", "false") == "true";
+  const bool no_sync = flags.Get("no-sync", "false") == "true";
+  int records = 5000, dim = 4, k = 10, seed = 42;
+  int snapshot_every = 256, queue_capacity = 1024, batch_size = 32;
+  int retry_attempts = 4, retry_budget = 10000;
+  double batch_deadline_ms = 1000.0, chaos = 0.0;
+  if (!ParseInt(flags.Get("records", "5000"), &records) || records < 1 ||
+      !ParseInt(flags.Get("dim", "4"), &dim) || dim < 1 ||
+      !ParseInt(flags.Get("k", "10"), &k) ||
+      !ParseInt(flags.Get("seed", "42"), &seed) ||
+      !ParseInt(flags.Get("snapshot-every", "256"), &snapshot_every) ||
+      !ParseInt(flags.Get("queue-capacity", "1024"), &queue_capacity) ||
+      !ParseInt(flags.Get("batch-size", "32"), &batch_size) ||
+      !ParseInt(flags.Get("retry-attempts", "4"), &retry_attempts) ||
+      retry_attempts < 1 ||
+      !ParseInt(flags.Get("retry-budget", "10000"), &retry_budget) ||
+      retry_budget < 0 ||
+      !ParseDouble(flags.Get("batch-deadline-ms", "1000"),
+                   &batch_deadline_ms) ||
+      !ParseDouble(flags.Get("chaos", "0"), &chaos) || chaos < 0.0 ||
+      chaos >= 1.0) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-dir is required\n");
+    return 2;
+  }
+  condensa::runtime::BackpressurePolicy backpressure;
+  if (backpressure_name == "block") {
+    backpressure = condensa::runtime::BackpressurePolicy::kBlock;
+  } else if (backpressure_name == "drop-oldest") {
+    backpressure = condensa::runtime::BackpressurePolicy::kDropOldest;
+  } else if (backpressure_name == "reject") {
+    backpressure = condensa::runtime::BackpressurePolicy::kReject;
+  } else {
+    std::fprintf(stderr, "error: unknown --backpressure=%s\n",
+                 backpressure_name.c_str());
+    return 2;
+  }
+  if (!format.empty() && format != "prometheus" && format != "json") {
+    std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
+    return 2;
+  }
+
+  std::vector<condensa::linalg::Vector> stream;
+  if (!input.empty()) {
+    auto dataset =
+        LoadCsv(input, condensa::data::TaskType::kUnlabeled, header, -1);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    stream = dataset->records();
+  } else {
+    condensa::Rng data_rng(static_cast<std::uint64_t>(seed) + 1);
+    stream.reserve(static_cast<std::size_t>(records));
+    for (int i = 0; i < records; ++i) {
+      condensa::linalg::Vector record(static_cast<std::size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        record[static_cast<std::size_t>(d)] =
+            data_rng.Gaussian(i % 2 == 0 ? -3.0 : 3.0, 1.0);
+      }
+      stream.push_back(record);
+    }
+  }
+
+  condensa::runtime::StreamPipelineConfig config;
+  config.dim = stream.empty() ? static_cast<std::size_t>(dim)
+                              : stream.front().dim();
+  config.group_size = static_cast<std::size_t>(k);
+  config.checkpoint_dir = dir;
+  config.snapshot_interval = static_cast<std::size_t>(snapshot_every);
+  config.sync_every_append = !no_sync;
+  config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  config.backpressure = backpressure;
+  config.batch_size = static_cast<std::size_t>(batch_size);
+  config.batch_deadline_ms = batch_deadline_ms;
+  config.retry.max_attempts = static_cast<std::size_t>(retry_attempts);
+  config.retry_budget = static_cast<std::size_t>(retry_budget);
+  config.seed = static_cast<std::uint64_t>(seed);
+
+  auto pipeline = condensa::runtime::StreamPipeline::Start(config);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error starting pipeline in %s: %s\n", dir.c_str(),
+                 pipeline.status().ToString().c_str());
+    return pipeline.status().code() ==
+                   condensa::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+
+  if (chaos > 0.0) {
+    // The disk starts lying only after startup (initial snapshot and the
+    // quarantine header are deterministic), and heals before Finish so
+    // the spool can drain — the same discipline as the chaos soak test.
+    const std::uint64_t chaos_seed = static_cast<std::uint64_t>(seed);
+    condensa::FailPoint::Arm(
+        "io.append", {.code = condensa::StatusCode::kUnavailable,
+                      .probability = chaos,
+                      .seed = chaos_seed + 1});
+    condensa::FailPoint::Arm(
+        "io.sync", {.mode = condensa::FailPointMode::kLatency,
+                    .probability = chaos,
+                    .seed = chaos_seed + 2,
+                    .latency_ms = 1.0});
+    condensa::FailPoint::Arm(
+        "dynamic.insert", {.code = condensa::StatusCode::kInternal,
+                           .probability = chaos / 5.0,
+                           .seed = chaos_seed + 3});
+    std::fprintf(stderr,
+                 "chaos armed: io.append/io.sync/dynamic.insert at p=%.3f\n",
+                 chaos);
+  }
+
+  for (const condensa::linalg::Vector& record : stream) {
+    condensa::Status status = (*pipeline)->Submit(record);
+    if (!status.ok()) {
+      // kReject backpressure surfaces as kResourceExhausted; the ledger
+      // counts the refusal and the producer moves on. Anything else
+      // (e.g. Submit after Finish) is a programming error.
+      if (status.code() != condensa::StatusCode::kResourceExhausted) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  if (chaos > 0.0) {
+    condensa::FailPoint::Reset();
+  }
+  auto stats = (*pipeline)->Finish();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("ledger: %s\n", stats->ToString().c_str());
+  PrintGroupSummary((*pipeline)->groups(), "");
+  if (!format.empty()) {
+    condensa::obs::MetricsRegistry& registry =
+        condensa::obs::DefaultRegistry();
+    std::fputs(format == "json" ? registry.DumpJson().c_str()
+                                : registry.DumpPrometheusText().c_str(),
+               stdout);
+  }
+  if (!stats->Balanced()) {
+    std::fprintf(stderr, "error: ledger does not balance — records lost\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunInspect(Flags& flags) {
   const std::string path = flags.Get("groups", "");
   if (path.empty()) {
@@ -661,6 +844,8 @@ int main(int argc, char** argv) {
     code = RunGenerate(flags);
   } else if (command == "ingest") {
     code = RunIngest(flags);
+  } else if (command == "serve-stream") {
+    code = RunServeStream(flags);
   } else if (command == "recover") {
     code = RunRecover(flags);
   } else if (command == "inspect") {
