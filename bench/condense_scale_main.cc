@@ -1,0 +1,167 @@
+// Hot-path scaling bench: static condensation throughput, brute-force
+// scan vs the deletion-aware k-d tree, plus parallel anonymized-record
+// generation at 1 and all hardware threads.
+//
+// Presets:
+//   --preset=smoke   small sizes; the CI perf-smoke job runs this one.
+//   --preset=full    n in {10k, 100k}, d = 10, k in {10, 25} — the
+//                    configuration the ISSUE acceptance criterion uses
+//                    (index >= 5x brute at n = 100k, k = 10).
+//
+// Emits BENCH_condense_scale.json with one row per (phase, n, k,
+// threads, indexed) cell and records/sec as the headline column, plus
+// speedup_* scalars for the brute-vs-index ratios. Every condensation is
+// checked for brute/index bit-identity before its timing is reported, so
+// the bench doubles as a large-n parity test.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/anonymizer.h"
+#include "core/static_condenser.h"
+#include "linalg/stats.h"
+#include "obs/timing.h"
+
+namespace {
+
+using condensa::Rng;
+using condensa::ThreadPool;
+using condensa::core::Anonymizer;
+using condensa::core::CondensedGroupSet;
+using condensa::core::NeighbourSearch;
+using condensa::core::StaticCondenser;
+using condensa::linalg::Vector;
+
+constexpr double kCondensePhase = 0.0;
+constexpr double kGeneratePhase = 1.0;
+
+std::vector<Vector> MakeCloud(std::size_t n, std::size_t dim,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+void ExpectIdentical(const CondensedGroupSet& a, const CondensedGroupSet& b) {
+  CONDENSA_CHECK_EQ(a.num_groups(), b.num_groups());
+  for (std::size_t i = 0; i < a.num_groups(); ++i) {
+    CONDENSA_CHECK_EQ(a.group(i).count(), b.group(i).count());
+    CONDENSA_CHECK(condensa::linalg::ApproxEqual(
+        a.group(i).first_order(), b.group(i).first_order(), 0.0));
+  }
+}
+
+double TimeCondense(const StaticCondenser& condenser,
+                    const std::vector<Vector>& points, std::uint64_t seed,
+                    CondensedGroupSet* out) {
+  Rng rng(seed);
+  condensa::obs::Timer timer;
+  auto groups = condenser.Condense(points, rng);
+  double seconds = timer.ElapsedSeconds();
+  CONDENSA_CHECK(groups.ok());
+  *out = *std::move(groups);
+  return seconds;
+}
+
+double TimeGenerate(const CondensedGroupSet& groups, std::size_t threads,
+                    std::uint64_t seed) {
+  Anonymizer anonymizer({.num_threads = threads});
+  Rng rng(seed);
+  condensa::obs::Timer timer;
+  auto points = anonymizer.Generate(groups, rng);
+  double seconds = timer.ElapsedSeconds();
+  CONDENSA_CHECK(points.ok());
+  CONDENSA_CHECK_EQ(points->size(), groups.TotalRecords());
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "smoke";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--preset=", 9) == 0) {
+      preset = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--preset=smoke|full]\n", argv[0]);
+      return 1;
+    }
+  }
+  const bool full = preset == "full";
+  if (!full && preset != "smoke") {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 1;
+  }
+
+  const std::size_t dim = 10;
+  const std::vector<std::size_t> sizes =
+      full ? std::vector<std::size_t>{10'000, 100'000}
+           : std::vector<std::size_t>{5'000};
+  const std::vector<std::size_t> group_sizes =
+      full ? std::vector<std::size_t>{10, 25} : std::vector<std::size_t>{10};
+  const std::size_t hw = ThreadPool::HardwareThreads();
+
+  condensa::bench::BenchReporter reporter("condense_scale");
+  reporter.AddScalar("full_preset", full ? 1.0 : 0.0);
+  reporter.AddScalar("dim", static_cast<double>(dim));
+  reporter.AddScalar("hardware_threads", static_cast<double>(hw));
+  reporter.SetRowSchema(
+      {"phase", "n", "k", "threads", "indexed", "seconds", "records_per_sec"});
+
+  for (std::size_t n : sizes) {
+    std::vector<Vector> points = MakeCloud(n, dim, 7'000 + n);
+    for (std::size_t k : group_sizes) {
+      StaticCondenser brute(
+          {.group_size = k, .neighbour_search = NeighbourSearch::kBruteForce});
+      StaticCondenser indexed(
+          {.group_size = k, .neighbour_search = NeighbourSearch::kKdTree});
+      CondensedGroupSet brute_groups(dim, k), index_groups(dim, k);
+      const std::uint64_t seed = 11 * n + k;
+      double brute_seconds = TimeCondense(brute, points, seed, &brute_groups);
+      double index_seconds =
+          TimeCondense(indexed, points, seed, &index_groups);
+      ExpectIdentical(brute_groups, index_groups);
+
+      const double dn = static_cast<double>(n);
+      const double dk = static_cast<double>(k);
+      reporter.AddRow({kCondensePhase, dn, dk, 1.0, 0.0, brute_seconds,
+                       dn / brute_seconds});
+      reporter.AddRow({kCondensePhase, dn, dk, 1.0, 1.0, index_seconds,
+                       dn / index_seconds});
+      double speedup = brute_seconds / index_seconds;
+      reporter.AddScalar(
+          "speedup_n" + std::to_string(n) + "_k" + std::to_string(k),
+          speedup);
+      std::printf(
+          "condense n=%zu k=%zu: brute %.3fs (%.0f rec/s)  "
+          "index %.3fs (%.0f rec/s)  speedup %.2fx\n",
+          n, k, brute_seconds, dn / brute_seconds, index_seconds,
+          dn / index_seconds, speedup);
+
+      for (std::size_t threads : {std::size_t{1}, hw}) {
+        double gen_seconds = TimeGenerate(index_groups, threads, seed + 1);
+        reporter.AddRow({kGeneratePhase, dn, dk,
+                         static_cast<double>(threads), 1.0, gen_seconds,
+                         dn / gen_seconds});
+        std::printf("generate n=%zu k=%zu threads=%zu: %.3fs (%.0f rec/s)\n",
+                    n, k, threads, gen_seconds, dn / gen_seconds);
+        if (hw == 1) break;
+      }
+    }
+  }
+  return reporter.Finish() ? 0 : 1;
+}

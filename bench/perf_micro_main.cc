@@ -7,6 +7,7 @@
 #include "bench/bench_report.h"
 #include "common/check.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/anonymizer.h"
 #include "core/dynamic_condenser.h"
 #include "core/split.h"
@@ -69,6 +70,71 @@ BENCHMARK(BM_StaticCondense)
     ->RangeMultiplier(2)
     ->Range(256, 4096)
     ->Complexity();
+
+// P2c: the same hot path on the deletion-aware k-d tree; compare against
+// BM_StaticCondenseBrute at matching sizes for the crossover point.
+void BM_StaticCondenseIndexed(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 2);
+  condensa::core::StaticCondenser condenser(
+      {.group_size = 20,
+       .neighbour_search = condensa::core::NeighbourSearch::kKdTree});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto groups = condenser.Condense(points, rng);
+    CONDENSA_CHECK(groups.ok());
+    benchmark::DoNotOptimize(groups->num_groups());
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StaticCondenseIndexed)
+    ->RangeMultiplier(2)
+    ->Range(256, 16384)
+    ->Complexity();
+
+// P2d: forced brute force at index-territory sizes (the P2 default stops
+// at 4096; this extends the scan so the two curves overlap).
+void BM_StaticCondenseBrute(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(n, 8, 2);
+  condensa::core::StaticCondenser condenser(
+      {.group_size = 20,
+       .neighbour_search = condensa::core::NeighbourSearch::kBruteForce});
+  Rng rng(3);
+  for (auto _ : state) {
+    auto groups = condenser.Condense(points, rng);
+    CONDENSA_CHECK(groups.ok());
+    benchmark::DoNotOptimize(groups->num_groups());
+  }
+  state.SetComplexityN(state.range(0));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StaticCondenseBrute)
+    ->RangeMultiplier(2)
+    ->Range(256, 16384)
+    ->Complexity();
+
+// P4c: whole-set generation at 1 thread vs all hardware threads.
+void BM_GenerateParallel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::vector<Vector> points = MakeCloud(8192, 8, 17);
+  condensa::core::StaticCondenser condenser({.group_size = 32});
+  Rng setup_rng(18);
+  auto groups = condenser.Condense(points, setup_rng);
+  CONDENSA_CHECK(groups.ok());
+  condensa::core::Anonymizer anonymizer({.num_threads = threads});
+  Rng rng(19);
+  for (auto _ : state) {
+    auto generated = anonymizer.Generate(*groups, rng);
+    CONDENSA_CHECK(generated.ok());
+    benchmark::DoNotOptimize(generated->size());
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_GenerateParallel)
+    ->Arg(1)
+    ->Arg(static_cast<int>(condensa::ThreadPool::HardwareThreads()));
 
 // P2b: static condensation vs group size (n = 2048, d = 8).
 void BM_StaticCondenseByK(benchmark::State& state) {

@@ -61,7 +61,7 @@ struct FailPointSpec {
   std::size_t torn_bytes = static_cast<std::size_t>(-1);
   StatusCode code = StatusCode::kDataLoss;
   // Optional message override; empty -> "failpoint <name> triggered".
-  std::string message;
+  std::string message = {};
   // When >= 0: each hit at or past `fail_at` triggers independently with
   // this chance instead of the deterministic fail_at/repeat window. Drawn
   // from a per-probe RNG seeded with `seed`, so runs are reproducible.

@@ -1,0 +1,72 @@
+// Fixed-size worker pool for CPU-bound fan-out.
+//
+// The condensation pipeline parallelizes at coarse grain: one task per
+// class pool (engine) or per condensed group (anonymizer). Determinism is
+// the caller's contract, not the pool's — callers pre-split an Rng
+// substream per task on the submitting thread and write results into
+// pre-allocated slots, so output is bit-identical for a fixed seed
+// regardless of worker count or scheduling order.
+//
+// The pool itself is a plain mutex/condvar task queue: Submit enqueues a
+// closure, Wait blocks until every submitted closure has finished. Tasks
+// must not throw (the library reports failure through Status values).
+
+#ifndef CONDENSA_COMMON_THREAD_POOL_H_
+#define CONDENSA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace condensa {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  // Waits for outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues one task. Must not be called after the destructor starts.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has completed.
+  void Wait();
+
+  // std::thread::hardware_concurrency(), never 0.
+  static std::size_t HardwareThreads();
+
+  // Maps a configured thread count to an actual one: 0 means "use all
+  // hardware threads", anything else is taken literally.
+  static std::size_t ResolveThreadCount(std::size_t requested);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + running
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs every task to completion on up to `num_threads` workers. With one
+// thread (or one task) the tasks run inline on the calling thread, in
+// order — the zero-overhead path the determinism tests compare against.
+void ParallelRun(std::size_t num_threads,
+                 std::vector<std::function<void()>>& tasks);
+
+}  // namespace condensa
+
+#endif  // CONDENSA_COMMON_THREAD_POOL_H_

@@ -36,6 +36,11 @@ struct AnonymizerOptions {
   std::size_t records_per_group = 0;
   // Per-eigenvector sampling distribution (paper: uniform).
   SamplingDistribution distribution = SamplingDistribution::kUniform;
+  // Worker threads for Generate's per-group fan-out; 0 means one per
+  // hardware thread. Output is bit-identical for a fixed seed at any
+  // thread count: the caller's Rng is split into one substream per group
+  // on the calling thread, in group order, before any worker runs.
+  std::size_t num_threads = 0;
 };
 
 class Anonymizer {
@@ -50,6 +55,9 @@ class Anonymizer {
 
   // Regenerates an anonymized point set for the whole group set; group i
   // contributes n(G_i) records (or records_per_group when configured).
+  // Groups are eigendecomposed and sampled in parallel (num_threads),
+  // each from its own Rng::Split() substream, so the output depends only
+  // on the seed — never on the thread count.
   StatusOr<std::vector<linalg::Vector>> Generate(
       const CondensedGroupSet& groups, Rng& rng) const;
 

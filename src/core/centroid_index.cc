@@ -1,0 +1,115 @@
+#include "core/centroid_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace condensa::core {
+namespace {
+
+struct CentroidIndexMetrics {
+  obs::Counter& rebuilds = obs::DefaultRegistry().GetCounter(
+      "condensa_centroid_index_rebuilds_total");
+  obs::Counter& queries = obs::DefaultRegistry().GetCounter(
+      "condensa_centroid_index_queries_total");
+  obs::Counter& scan_fallbacks = obs::DefaultRegistry().GetCounter(
+      "condensa_centroid_index_scan_fallbacks_total");
+
+  static CentroidIndexMetrics& Get() {
+    static CentroidIndexMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+void CentroidIndex::NoteGroupUpdated(std::size_t group_id) {
+  if (!tree_) return;
+  if (group_id >= dirty_.size()) {
+    // The set grew without an Invalidate call; drop the stale snapshot.
+    Invalidate();
+    return;
+  }
+  if (!dirty_[group_id]) {
+    dirty_[group_id] = true;
+    ++dirty_count_;
+  }
+}
+
+void CentroidIndex::Invalidate() {
+  tree_.reset();
+  centroids_.reset();
+  dirty_.clear();
+  dirty_count_ = 0;
+}
+
+bool CentroidIndex::TooDirty() const {
+  return dirty_count_ * 4 >= dirty_.size();
+}
+
+void CentroidIndex::Rebuild(const CondensedGroupSet& groups) {
+  auto centroids = std::make_unique<std::vector<linalg::Vector>>();
+  centroids->reserve(groups.num_groups());
+  for (const GroupStatistics& group : groups.groups()) {
+    centroids->push_back(group.Centroid());
+  }
+  StatusOr<index::KdTree> tree = index::KdTree::Build(*centroids);
+  CONDENSA_CHECK(tree.ok());  // non-empty, consistent dims by construction
+  centroids_ = std::move(centroids);
+  tree_ = std::make_unique<index::KdTree>(std::move(*tree));
+  dirty_.assign(centroids_->size(), false);
+  dirty_count_ = 0;
+  CentroidIndexMetrics::Get().rebuilds.Increment();
+}
+
+std::size_t CentroidIndex::NearestGroup(const CondensedGroupSet& groups,
+                                        const linalg::Vector& point) {
+  CentroidIndexMetrics& metrics = CentroidIndexMetrics::Get();
+  metrics.queries.Increment();
+  const std::size_t num_groups = groups.num_groups();
+  if (num_groups < kMinGroupsForIndex) {
+    metrics.scan_fallbacks.Increment();
+    return groups.NearestGroup(point);
+  }
+  if (!tree_ || TooDirty()) {
+    Rebuild(groups);
+  }
+
+  // One filtered traversal finds the best *clean* snapshot entry under
+  // the key (squared snapshot distance, group id); dirty groups are
+  // compared exactly below.
+  std::vector<std::pair<double, std::size_t>> clean =
+      tree_->KNearestKeyed(point, 1, [this](std::size_t i) {
+        return dirty_[i] ? index::KdTree::kSkipPoint : i;
+      });
+  if (clean.empty()) {
+    // Every group dirty (only possible for tiny snapshots given the
+    // TooDirty rebuild); the scan is the answer.
+    metrics.scan_fallbacks.Increment();
+    return groups.NearestGroup(point);
+  }
+
+  // Candidates: the clean winner plus every dirty group. Compare them
+  // all with the same arithmetic the linear scan uses, lowest group id
+  // winning ties, so the result is bit-identical to
+  // groups.NearestGroup(point).
+  std::size_t best = num_groups;
+  double best_distance = 0.0;
+  auto consider = [&](std::size_t id) {
+    double distance = groups.group(id).SquaredDistanceToCentroid(point);
+    if (best == num_groups || distance < best_distance ||
+        (distance == best_distance && id < best)) {
+      best = id;
+      best_distance = distance;
+    }
+  };
+  consider(clean.front().second);
+  for (std::size_t id = 0; id < dirty_.size(); ++id) {
+    if (dirty_[id]) consider(id);
+  }
+  CONDENSA_DCHECK_LT(best, num_groups);
+  return best;
+}
+
+}  // namespace condensa::core

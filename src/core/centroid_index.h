@@ -1,0 +1,69 @@
+// Nearest-centroid acceleration for CondensedGroupSet::NearestGroup hot
+// paths (static leftover absorption, dynamic insert/remove routing).
+//
+// The group set's own NearestGroup is a linear scan over every centroid,
+// which is the per-record cost of the dynamic condenser. This index keeps
+// a kd-tree over a snapshot of the centroids plus a dirty bitmap:
+// NearestGroup answers from the tree for clean groups and a short scan
+// over dirty ones, and the caller invalidates on churn — NoteGroupUpdated
+// when one group's aggregate changed (its centroid moved), Invalidate
+// when groups were added/removed/reordered. Once too many groups are
+// dirty the snapshot is rebuilt, so the amortized per-query cost stays
+// O(log G) instead of O(G).
+//
+// The answer is bit-for-bit the one the linear scan would give, including
+// tie-breaks (lowest group id wins): the tree only proposes a distance
+// bound, every group inside that bound plus every dirty group is then
+// compared with GroupStatistics::SquaredDistanceToCentroid — the same
+// arithmetic the scan uses. Small sets skip the tree entirely.
+
+#ifndef CONDENSA_CORE_CENTROID_INDEX_H_
+#define CONDENSA_CORE_CENTROID_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/condensed_group_set.h"
+#include "index/kdtree.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+
+class CentroidIndex {
+ public:
+  CentroidIndex() = default;
+
+  // Index of the group whose centroid is nearest to `point` — identical
+  // to groups.NearestGroup(point) in every case. `groups` must be the
+  // same set as on previous calls unless the index was invalidated; the
+  // caller reports mutations via NoteGroupUpdated / Invalidate.
+  std::size_t NearestGroup(const CondensedGroupSet& groups,
+                           const linalg::Vector& point);
+
+  // One group's aggregate changed in place (Add/Remove/Merge moved its
+  // centroid). Cheap: marks the snapshot entry dirty.
+  void NoteGroupUpdated(std::size_t group_id);
+
+  // Structural churn: groups added, removed, or reordered. Drops the
+  // snapshot; the next query rebuilds it.
+  void Invalidate();
+
+ private:
+  // Below this many groups a linear scan beats tree upkeep.
+  static constexpr std::size_t kMinGroupsForIndex = 32;
+
+  void Rebuild(const CondensedGroupSet& groups);
+  bool TooDirty() const;
+
+  // Centroid snapshot, heap-allocated so the tree's internal pointer
+  // survives moves of the owning condenser.
+  std::unique_ptr<std::vector<linalg::Vector>> centroids_;
+  std::unique_ptr<index::KdTree> tree_;
+  std::vector<bool> dirty_;
+  std::size_t dirty_count_ = 0;
+};
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_CENTROID_INDEX_H_

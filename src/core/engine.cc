@@ -5,6 +5,9 @@
 #include <limits>
 #include <utility>
 
+#include <functional>
+
+#include "common/thread_pool.h"
 #include "core/checkpointing.h"
 #include "core/dynamic_condenser.h"
 #include "core/static_condenser.h"
@@ -219,14 +222,51 @@ StatusOr<CondensedPools> CondensationEngine::Condense(
 
   switch (input.task()) {
     case data::TaskType::kClassification: {
-      for (const auto& [label, indices] : input.IndicesByLabel()) {
+      // One pool per class label, condensed in parallel. Jobs are built
+      // in deterministic (std::map) label order and each gets its own
+      // Rng::Split() substream before any worker runs, so the result is
+      // bit-identical for a fixed seed at any thread count.
+      struct PoolJob {
+        int label = -1;
         std::vector<linalg::Vector> points;
-        points.reserve(indices.size());
+        Rng rng;
+        StatusOr<CondensedPools::Pool> result{
+            CondensedPools::Pool{-1, 0, CondensedGroupSet(0, 0)}};
+      };
+      std::vector<PoolJob> jobs;
+      for (const auto& [label, indices] : input.IndicesByLabel()) {
+        PoolJob job;
+        job.label = label;
+        job.points.reserve(indices.size());
         for (std::size_t i : indices) {
-          points.push_back(input.record(i));
+          job.points.push_back(input.record(i));
         }
+        job.rng = rng.Split();
+        jobs.push_back(std::move(job));
+      }
+
+      obs::Histogram& pool_seconds =
+          registry.GetHistogram("condensa_pool_condense_seconds");
+      registry.GetCounter("condensa_pool_tasks_total")
+          .Increment(jobs.size());
+      const std::size_t threads =
+          ThreadPool::ResolveThreadCount(config_.num_threads);
+      registry.GetGauge("condensa_pool_threads")
+          .Set(static_cast<double>(threads));
+
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(jobs.size());
+      for (PoolJob& job : jobs) {
+        tasks.push_back([&job, &config = config_, &pool_seconds] {
+          obs::ScopedTimer pool_timer(pool_seconds);
+          job.result = MakePool(job.points, job.label, config, job.rng);
+        });
+      }
+      ParallelRun(threads, tasks);
+
+      for (PoolJob& job : jobs) {
         CONDENSA_ASSIGN_OR_RETURN(CondensedPools::Pool pool,
-                                  MakePool(points, label, config_, rng));
+                                  std::move(job.result));
         pools.pools.push_back(std::move(pool));
       }
       break;
@@ -330,8 +370,9 @@ StatusOr<AnonymizationResult> GenerateRelease(
 StatusOr<AnonymizationResult> CondensationEngine::Anonymize(
     const data::Dataset& input, Rng& rng) const {
   CONDENSA_ASSIGN_OR_RETURN(CondensedPools pools, Condense(input, rng));
-  CONDENSA_ASSIGN_OR_RETURN(AnonymizationResult result,
-                            GenerateRelease(pools, rng));
+  CONDENSA_ASSIGN_OR_RETURN(
+      AnonymizationResult result,
+      GenerateRelease(pools, rng, {.num_threads = config_.num_threads}));
   if (!input.feature_names().empty()) {
     CONDENSA_RETURN_IF_ERROR(
         result.anonymized.SetFeatureNames(input.feature_names()));

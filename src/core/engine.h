@@ -59,9 +59,15 @@ struct CondensationConfig {
   // DurableCondenser::Recover or `condensa recover` (see
   // core/checkpointing.h and docs/durability.md). The directory must not
   // already hold checkpoint state. Ignored in static mode.
-  std::string checkpoint_dir;
+  std::string checkpoint_dir = {};
   // Durable streaming: journal appends between snapshots (>= 1).
   std::size_t snapshot_interval = 1024;
+  // Worker threads for per-pool condensation fan-out (classification
+  // condenses one pool per class label); 0 means one per hardware
+  // thread. Results are bit-identical for a fixed seed at any thread
+  // count: the run Rng is split into one substream per pool, in label
+  // order, before any pool is condensed.
+  std::size_t num_threads = 0;
   // Registry receiving the engine's run metrics (timings, record/pool/
   // group/split totals, last-run gauges — see docs/observability.md).
   // nullptr records into obs::DefaultRegistry(). Note the subsystem

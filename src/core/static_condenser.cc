@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
+#include "core/centroid_index.h"
+#include "index/deletion_aware.h"
 #include "obs/metrics.h"
 #include "obs/timing.h"
 
@@ -23,6 +27,10 @@ struct StaticCondenserMetrics {
       obs::DefaultRegistry().GetCounter("condensa_static_groups_built_total");
   obs::Counter& leftover_absorbed = obs::DefaultRegistry().GetCounter(
       "condensa_static_leftover_absorbed_total");
+  obs::Counter& index_runs = obs::DefaultRegistry().GetCounter(
+      "condensa_static_index_runs_total");
+  obs::Counter& index_fallbacks = obs::DefaultRegistry().GetCounter(
+      "condensa_static_index_fallbacks_total");
   obs::Histogram& nn_search_seconds = obs::DefaultRegistry().GetHistogram(
       "condensa_static_nn_search_seconds");
   obs::Histogram& group_build_seconds = obs::DefaultRegistry().GetHistogram(
@@ -59,76 +67,113 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
   StaticCondenserMetrics& metrics = StaticCondenserMetrics::Get();
   metrics.runs.Increment();
 
+  // Neighbour-search strategy: the deletion-aware index pays for its
+  // build above the threshold, the scan wins below it. Both return the
+  // same neighbour sets, so this is purely a speed decision.
+  const bool want_index =
+      options_.neighbour_search == NeighbourSearch::kKdTree ||
+      (options_.neighbour_search == NeighbourSearch::kAuto &&
+       points.size() >= options_.index_threshold);
+  std::optional<index::DeletionAwareKdTree> nn_index;
+  if (want_index) {
+    StatusOr<index::DeletionAwareKdTree> built =
+        index::DeletionAwareKdTree::Build(points);
+    // Build only fails on inputs the validation above already rejected;
+    // degrade to the scan rather than failing the run.
+    if (built.ok()) {
+      nn_index.emplace(std::move(*built));
+      metrics.index_runs.Increment();
+    } else {
+      metrics.index_fallbacks.Increment();
+    }
+  }
+
   CondensedGroupSet result(dim, k);
 
   // `alive` holds indices of records still in the database D; removal is
   // O(1) swap-with-last so random sampling stays uniform over survivors.
+  // `alive_pos[orig]` tracks each survivor's slot so both search paths
+  // delete identically (the layout feeds the next seed draw).
   std::vector<std::size_t> alive(points.size());
   std::iota(alive.begin(), alive.end(), 0);
+  std::vector<std::size_t> alive_pos(points.size());
+  std::iota(alive_pos.begin(), alive_pos.end(), 0);
 
-  auto remove_alive_at = [&alive](std::size_t pos) {
+  auto remove_original = [&](std::size_t orig) {
+    std::size_t pos = alive_pos[orig];
     alive[pos] = alive.back();
+    alive_pos[alive[pos]] = pos;
     alive.pop_back();
   };
 
-  std::vector<std::pair<double, std::size_t>> distances;  // (d², alive pos)
+  // (d², original index): the selection key on both paths, so distance
+  // ties resolve by the stable original index, never by survivor-array
+  // position (which depends on removal history).
+  std::vector<std::pair<double, std::size_t>> selected;
   std::size_t group_ordinal = 0;
   while (alive.size() >= k) {
     // Timing every group would cost four clock reads per group, which
-    // shows up against the nearest-neighbour scan; sample 1-in-8.
+    // shows up against the nearest-neighbour search; sample 1-in-8.
     const bool timed = (group_ordinal++ % kGroupTimerSampleEvery) == 0;
     obs::ScopedTimer group_timer(timed ? &metrics.group_build_seconds
                                        : nullptr);
 
     // Step 1: sample a random record X from D.
-    std::size_t seed_pos = rng.UniformIndex(alive.size());
-    const linalg::Vector& seed = points[alive[seed_pos]];
+    const std::size_t seed_orig = alive[rng.UniformIndex(alive.size())];
+    const linalg::Vector& seed = points[seed_orig];
+    const std::size_t neighbours = k - 1;
 
     // Step 2: the (k-1) closest remaining records join X's group.
     {
       obs::ScopedTimer nn_timer(timed ? &metrics.nn_search_seconds : nullptr);
-      distances.clear();
-      distances.reserve(alive.size() - 1);
-      for (std::size_t pos = 0; pos < alive.size(); ++pos) {
-        if (pos == seed_pos) continue;
-        distances.emplace_back(
-            linalg::SquaredDistance(points[alive[pos]], seed), pos);
-      }
-      std::size_t neighbours = k - 1;
-      if (neighbours > 0) {
-        std::nth_element(distances.begin(),
-                         distances.begin() + (neighbours - 1),
-                         distances.end());
+      if (nn_index.has_value()) {
+        nn_index->Erase(seed_orig);  // the seed is not its own neighbour
+        selected = nn_index->KNearestAlive(seed, neighbours);
+      } else {
+        selected.clear();
+        selected.reserve(alive.size() - 1);
+        for (std::size_t orig : alive) {
+          if (orig == seed_orig) continue;
+          selected.emplace_back(linalg::SquaredDistance(points[orig], seed),
+                                orig);
+        }
+        if (neighbours > 0) {
+          std::nth_element(selected.begin(),
+                           selected.begin() + (neighbours - 1),
+                           selected.end());
+        }
+        selected.resize(neighbours);
+        // Full (d², index) order within the group: members are folded
+        // into the aggregate in this order, so the sums are bit-identical
+        // to the index path's.
+        std::sort(selected.begin(), selected.end());
       }
     }
-    const std::size_t neighbours = k - 1;
 
     GroupStatistics group(dim);
     group.Add(seed);
-    // Collect the alive positions to delete (seed + neighbours), largest
-    // first so swap-removal does not invalidate pending positions.
-    std::vector<std::size_t> to_remove;
-    to_remove.reserve(k);
-    to_remove.push_back(seed_pos);
-    for (std::size_t i = 0; i < neighbours; ++i) {
-      group.Add(points[alive[distances[i].second]]);
-      to_remove.push_back(distances[i].second);
+    remove_original(seed_orig);
+    for (const auto& [distance_sq, orig] : selected) {
+      group.Add(points[orig]);
+      if (nn_index.has_value()) {
+        nn_index->Erase(orig);
+      }
+      remove_original(orig);
     }
-    std::sort(to_remove.begin(), to_remove.end(), std::greater<>());
-    for (std::size_t pos : to_remove) {
-      remove_alive_at(pos);
-    }
-
     result.AddGroup(std::move(group));
   }
   metrics.groups_built.Increment(result.num_groups());
 
-  // Step 3: between 0 and k-1 leftovers join their nearest group.
+  // Step 3: between 0 and k-1 leftovers join their nearest group. The
+  // centroid index answers exactly like CondensedGroupSet::NearestGroup,
+  // absorbing one leftover only dirties that group's snapshot entry.
   metrics.leftover_absorbed.Increment(alive.size());
-  for (std::size_t pos = 0; pos < alive.size(); ++pos) {
-    const linalg::Vector& point = points[alive[pos]];
-    std::size_t nearest = result.NearestGroup(point);
+  CentroidIndex centroid_index;
+  for (std::size_t orig : alive) {
+    const linalg::Vector& point = points[orig];
+    std::size_t nearest = centroid_index.NearestGroup(result, point);
     result.mutable_group(nearest).Add(point);
+    centroid_index.NoteGroupUpdated(nearest);
   }
 
   return result;

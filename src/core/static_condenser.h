@@ -6,6 +6,15 @@
 //   3. store the group's (Fs, Sc, n) aggregate and delete its members.
 // When fewer than k records remain, each joins the group with the nearest
 // centroid, so a few groups may exceed k — never fall below it.
+//
+// The neighbour gathering in step 2 is the hot path and runs either as a
+// brute-force scan over the survivors or through a deletion-aware k-d
+// tree (index::DeletionAwareKdTree); kAuto picks the index for large
+// inputs and the scan below `index_threshold`, where tree upkeep costs
+// more than it saves. Both paths select neighbours by (squared distance,
+// original record index) — ties broken by the stable original index, not
+// by survivor-array position — so for a fixed seed they produce
+// bit-identical group sets.
 
 #ifndef CONDENSA_CORE_STATIC_CONDENSER_H_
 #define CONDENSA_CORE_STATIC_CONDENSER_H_
@@ -19,9 +28,23 @@
 
 namespace condensa::core {
 
+// How step 2 finds the (k-1) records nearest the sampled seed.
+enum class NeighbourSearch {
+  // Index for inputs of at least index_threshold points, scan below.
+  kAuto = 0,
+  // Always the O(n) scan (the reference implementation).
+  kBruteForce = 1,
+  // Always the deletion-aware k-d tree.
+  kKdTree = 2,
+};
+
 struct StaticCondenserOptions {
   // The indistinguishability level k (minimum group size). Must be >= 1.
   std::size_t group_size = 10;
+  // Neighbour-gathering strategy (results are identical either way).
+  NeighbourSearch neighbour_search = NeighbourSearch::kAuto;
+  // kAuto cutover: point counts below this use the brute-force scan.
+  std::size_t index_threshold = 2048;
 };
 
 class StaticCondenser {

@@ -1,0 +1,85 @@
+// Deletion-aware k-NN index for the static condenser's gather loop.
+//
+// Static condensation (paper Fig. 1) repeatedly removes a seed record and
+// its k-1 nearest survivors from the database. A plain KdTree cannot
+// delete, so this wrapper keeps a tombstone bitmap over the tree's index
+// array: Erase marks a point dead, queries filter tombstones out during
+// the traversal itself (KdTree::KNearestKeyed), and once more than a
+// quarter of the indexed points are dead the tree is rebuilt over the
+// survivors (amortized O(n log n) across a whole condensation run).
+//
+// Result parity with the brute-force scan is exact, not approximate:
+// the filtered traversal ranks candidates by (squared distance, original
+// index) and keeps equal-distance boundary candidates in play until the
+// key decides. The brute-force path selects by the same key, so both
+// pick identical neighbour sets even on duplicate-heavy data where
+// distances tie.
+
+#ifndef CONDENSA_INDEX_DELETION_AWARE_H_
+#define CONDENSA_INDEX_DELETION_AWARE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "index/kdtree.h"
+#include "linalg/vector.h"
+
+namespace condensa::index {
+
+class DeletionAwareKdTree {
+ public:
+  // Indexes `points`. The caller must keep the vector alive and
+  // unmodified while the wrapper exists (rebuilds copy the survivors
+  // into owned storage, so the original array is only read).
+  static StatusOr<DeletionAwareKdTree> Build(
+      const std::vector<linalg::Vector>& points);
+
+  std::size_t alive_count() const { return alive_count_; }
+  bool alive(std::size_t original_index) const {
+    return alive_[original_index] != 0;
+  }
+
+  // Tombstones one point (must currently be alive). Triggers a rebuild
+  // over the survivors once more than a quarter of the indexed points
+  // are dead.
+  void Erase(std::size_t original_index);
+
+  // The k nearest alive points to `query`, as (squared distance,
+  // original index) pairs in increasing (distance, index) order — ties
+  // broken by original index, matching the brute-force scan exactly.
+  // k is clamped to alive_count().
+  std::vector<std::pair<double, std::size_t>> KNearestAlive(
+      const linalg::Vector& query, std::size_t k) const;
+
+ private:
+  DeletionAwareKdTree() = default;
+
+  void Rebuild();
+
+  // Points the tree currently indexes. Heap-allocated so the KdTree's
+  // internal pointer survives moves of the wrapper; starts as a copy of
+  // the caller's array and shrinks to the survivors on rebuild.
+  std::unique_ptr<std::vector<linalg::Vector>> indexed_points_;
+  // indexed_points_[i] is original point to_original_[i].
+  std::vector<std::size_t> to_original_;
+  std::unique_ptr<KdTree> tree_;
+  // By original index. Bytes, not vector<bool>: read once per leaf
+  // point in the query filter, where the bit extraction shows up.
+  std::vector<std::uint8_t> alive_;
+  // keys_[i] is the query filter's answer for indexed point i — the
+  // original index while alive, KdTree::kSkipPoint once tombstoned — so
+  // the hot filter is a single load. tree_pos_[original] locates an
+  // alive original in the current index so Erase can update keys_.
+  std::vector<std::size_t> keys_;
+  std::vector<std::size_t> tree_pos_;
+  std::size_t alive_count_ = 0;
+  std::size_t dead_in_tree_ = 0;  // tombstones among indexed_points_
+};
+
+}  // namespace condensa::index
+
+#endif  // CONDENSA_INDEX_DELETION_AWARE_H_

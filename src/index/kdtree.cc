@@ -55,6 +55,15 @@ StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
   std::iota(tree.order_.begin(), tree.order_.end(), 0);
   tree.nodes_.reserve(2 * points.size() / kLeafSize + 4);
   tree.root_ = tree.BuildRecursive(0, points.size());
+  // Flatten the points in final order_ order so leaf scans are
+  // sequential reads over one contiguous buffer.
+  tree.coords_.resize(points.size() * dim);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const linalg::Vector& p = points[tree.order_[i]];
+    for (std::size_t d = 0; d < dim; ++d) {
+      tree.coords_[i * dim + d] = p[d];
+    }
+  }
   metrics.builds.Increment();
   metrics.indexed_points.Increment(points.size());
   return tree;
@@ -116,21 +125,25 @@ std::size_t KdTree::BuildRecursive(std::size_t begin, std::size_t end) {
 
 void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
                             std::size_t k, std::vector<HeapEntry>& heap,
+                            double bound_sq, std::vector<double>& excess,
                             std::size_t& visited) const {
   ++visited;
   const Node& node = nodes_[node_id];
-  const std::vector<linalg::Vector>& points = *points_;
 
   if (node.split_dim == Node::kLeaf) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      std::size_t index = order_[i];
-      double distance_sq = linalg::SquaredDistance(points[index], query);
+      const double* p = CoordsAt(i);
+      double distance_sq = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double diff = p[d] - query[d];
+        distance_sq += diff * diff;
+      }
       if (heap.size() < k) {
-        heap.push_back({distance_sq, index});
+        heap.push_back({distance_sq, order_[i]});
         std::push_heap(heap.begin(), heap.end());
       } else if (distance_sq < heap.front().distance_sq) {
         std::pop_heap(heap.begin(), heap.end());
-        heap.back() = {distance_sq, index};
+        heap.back() = {distance_sq, order_[i]};
         std::push_heap(heap.begin(), heap.end());
       }
     }
@@ -140,11 +153,15 @@ void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
   const double diff = query[node.split_dim] - node.split_value;
   const std::size_t near = diff < 0.0 ? node.left : node.right;
   const std::size_t far = diff < 0.0 ? node.right : node.left;
-  SearchKNearest(near, query, k, heap, visited);
-  // Visit the far side only if the splitting plane is closer than the
-  // current k-th best.
-  if (heap.size() < k || diff * diff < heap.front().distance_sq) {
-    SearchKNearest(far, query, k, heap, visited);
+  SearchKNearest(near, query, k, heap, bound_sq, excess, visited);
+  // Visit the far side only if its region bound stays under the current
+  // k-th best (see the declaration for the incremental-bound scheme).
+  const double old_excess = excess[node.split_dim];
+  const double far_bound = bound_sq - old_excess * old_excess + diff * diff;
+  if (heap.size() < k || far_bound < heap.front().distance_sq) {
+    excess[node.split_dim] = diff < 0.0 ? -diff : diff;
+    SearchKNearest(far, query, k, heap, far_bound, excess, visited);
+    excess[node.split_dim] = old_excess;
   }
 }
 
@@ -156,8 +173,9 @@ std::vector<std::size_t> KdTree::KNearest(const linalg::Vector& query,
 
   std::vector<HeapEntry> heap;
   heap.reserve(k + 1);
+  std::vector<double> excess(dim_, 0.0);
   std::size_t visited = 0;
-  SearchKNearest(root_, query, k, heap, visited);
+  SearchKNearest(root_, query, k, heap, 0.0, excess, visited);
   KdTreeMetrics& metrics = KdTreeMetrics::Get();
   metrics.queries.Increment();
   metrics.nodes_visited.Increment(visited);
@@ -177,16 +195,21 @@ std::size_t KdTree::Nearest(const linalg::Vector& query) const {
 
 void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
                           double radius_sq, std::vector<std::size_t>& out,
+                          double bound_sq, std::vector<double>& excess,
                           std::size_t& visited) const {
   ++visited;
   const Node& node = nodes_[node_id];
-  const std::vector<linalg::Vector>& points = *points_;
 
   if (node.split_dim == Node::kLeaf) {
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      std::size_t index = order_[i];
-      if (linalg::SquaredDistance(points[index], query) <= radius_sq) {
-        out.push_back(index);
+      const double* p = CoordsAt(i);
+      double distance_sq = 0.0;
+      for (std::size_t d = 0; d < dim_; ++d) {
+        const double diff = p[d] - query[d];
+        distance_sq += diff * diff;
+      }
+      if (distance_sq <= radius_sq) {
+        out.push_back(order_[i]);
       }
     }
     return;
@@ -195,23 +218,40 @@ void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
   const double diff = query[node.split_dim] - node.split_value;
   const std::size_t near = diff < 0.0 ? node.left : node.right;
   const std::size_t far = diff < 0.0 ? node.right : node.left;
-  SearchRadius(near, query, radius_sq, out, visited);
-  if (diff * diff <= radius_sq) {
-    SearchRadius(far, query, radius_sq, out, visited);
+  SearchRadius(near, query, radius_sq, out, bound_sq, excess, visited);
+  const double old_excess = excess[node.split_dim];
+  const double far_bound = bound_sq - old_excess * old_excess + diff * diff;
+  if (far_bound <= radius_sq) {
+    excess[node.split_dim] = diff < 0.0 ? -diff : diff;
+    SearchRadius(far, query, radius_sq, out, far_bound, excess, visited);
+    excess[node.split_dim] = old_excess;
   }
 }
 
 std::vector<std::size_t> KdTree::RadiusSearch(const linalg::Vector& query,
                                               double radius) const {
-  CONDENSA_CHECK_EQ(query.dim(), dim_);
   CONDENSA_CHECK_GE(radius, 0.0);
+  return RadiusSearchSquared(query, radius * radius);
+}
+
+std::vector<std::size_t> KdTree::RadiusSearchSquared(
+    const linalg::Vector& query, double radius_sq) const {
+  CONDENSA_CHECK_EQ(query.dim(), dim_);
+  CONDENSA_CHECK_GE(radius_sq, 0.0);
   std::vector<std::size_t> out;
+  std::vector<double> excess(dim_, 0.0);
   std::size_t visited = 0;
-  SearchRadius(root_, query, radius * radius, out, visited);
+  SearchRadius(root_, query, radius_sq, out, 0.0, excess, visited);
   KdTreeMetrics& metrics = KdTreeMetrics::Get();
   metrics.queries.Increment();
   metrics.nodes_visited.Increment(visited);
   return out;
+}
+
+void KdTree::RecordQueryMetrics(std::size_t visited) const {
+  KdTreeMetrics& metrics = KdTreeMetrics::Get();
+  metrics.queries.Increment();
+  metrics.nodes_visited.Increment(visited);
 }
 
 }  // namespace condensa::index

@@ -1,11 +1,15 @@
 // k-d tree for exact nearest-neighbour queries.
 //
-// The condensation pipeline is dominated by nearest-neighbour work: the
-// static condenser's neighbour gathering, the dynamic condenser's
-// nearest-centroid lookups, and the k-NN classifier itself. A k-d tree
-// brings the per-query cost from O(n) to roughly O(log n) in the low
-// dimensions typical of the paper's workloads, and degrades gracefully
-// (never worse than a full scan) in high dimensions.
+// The condensation pipeline is dominated by nearest-neighbour work, and
+// this tree backs all of it: the static condenser's neighbour gathering
+// goes through index::DeletionAwareKdTree (a tombstone wrapper over this
+// tree that rebuilds as tombstones accumulate and falls back to the
+// brute-force scan below a size threshold — see deletion_aware.h), the
+// leftover-absorption and dynamic-insert nearest-centroid lookups go
+// through core::CentroidIndex, and the k-NN classifier queries it
+// directly. A k-d tree brings the per-query cost from O(n) to roughly
+// O(log n) in the low dimensions typical of the paper's workloads, and
+// degrades gracefully (never worse than a full scan) in high dimensions.
 //
 // The tree stores point indices into a caller-owned point array; points
 // are not copied. Build is median-split on the widest-spread dimension.
@@ -13,9 +17,12 @@
 #ifndef CONDENSA_INDEX_KDTREE_H_
 #define CONDENSA_INDEX_KDTREE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "linalg/vector.h"
 
@@ -43,6 +50,27 @@ class KdTree {
   std::vector<std::size_t> RadiusSearch(const linalg::Vector& query,
                                         double radius) const;
 
+  // Same, but bounded by a squared distance directly — no sqrt round
+  // trip, so a bound taken from a k-NN result captures boundary ties
+  // exactly (points at squared distance == radius_sq are included).
+  std::vector<std::size_t> RadiusSearchSquared(const linalg::Vector& query,
+                                               double radius_sq) const;
+
+  // Sentinel `key_of` return value meaning "exclude this point".
+  static constexpr std::size_t kSkipPoint = static_cast<std::size_t>(-1);
+
+  // Exact filtered k-NN under a caller-chosen total order, in a single
+  // traversal. `key_of(i)` maps indexed point i to its tie-break key, or
+  // kSkipPoint to exclude it. Returns the k smallest accepted candidates
+  // as (squared distance, key) pairs, sorted ascending by (distance,
+  // key) — exactly what a brute-force scan over the accepted points
+  // would select with that key, including boundary ties. Returns fewer
+  // than k pairs when the filter leaves fewer accepted points. This is
+  // the static condenser's hot path (see index/deletion_aware.h).
+  template <typename KeyOf>
+  std::vector<std::pair<double, std::size_t>> KNearestKeyed(
+      const linalg::Vector& query, std::size_t k, KeyOf&& key_of) const;
+
  private:
   struct Node {
     // Leaf when split_dim is kLeaf; then [begin, end) indexes order_.
@@ -67,23 +95,131 @@ class KdTree {
   KdTree() = default;
 
   std::size_t BuildRecursive(std::size_t begin, std::size_t end);
+  // All searches prune with an incremental region bound (Arya & Mount):
+  // `bound_sq` is a lower bound on the squared distance from the query
+  // to the node's region, maintained as the sum over dimensions of the
+  // squared "excess" (how far the query sits outside the region along
+  // that axis, tracked in `excess`). Plane-distance-only pruning visits
+  // a large fraction of the tree in higher dimensions; the region bound
+  // accumulates excesses across every split dimension on the path and
+  // prunes the same nodes a true bounding-box test would.
+  //
   // `visited` accumulates the number of tree nodes touched by the query
   // (reported to the metrics registry once per query, not per node).
   void SearchKNearest(std::size_t node, const linalg::Vector& query,
                       std::size_t k, std::vector<HeapEntry>& heap,
+                      double bound_sq, std::vector<double>& excess,
                       std::size_t& visited) const;
   void SearchRadius(std::size_t node, const linalg::Vector& query,
                     double radius_sq, std::vector<std::size_t>& out,
+                    double bound_sq, std::vector<double>& excess,
                     std::size_t& visited) const;
+  template <typename KeyOf>
+  void SearchKNearestKeyed(std::size_t node,
+                           const linalg::Vector& query, std::size_t k,
+                           std::vector<std::pair<double, std::size_t>>& heap,
+                           double bound_sq, std::vector<double>& excess,
+                           KeyOf& key_of, std::size_t& visited) const;
+  // Out-of-line metrics hook for the templated search.
+  void RecordQueryMetrics(std::size_t visited) const;
 
   static constexpr std::size_t kLeafSize = 16;
+
+  // Coordinates of order_[i] at coords_[i * dim_], copied once at build
+  // time so leaf scans stream through contiguous memory instead of
+  // chasing one heap allocation per point. Same double values as the
+  // caller's array, so distances computed from either are identical.
+  const double* CoordsAt(std::size_t position) const {
+    return coords_.data() + position * dim_;
+  }
 
   const std::vector<linalg::Vector>* points_ = nullptr;
   std::size_t dim_ = 0;
   std::vector<std::size_t> order_;  // permutation of point indices
+  std::vector<double> coords_;      // order_-major flat copy of the points
   std::vector<Node> nodes_;
   std::size_t root_ = 0;
 };
+
+template <typename KeyOf>
+std::vector<std::pair<double, std::size_t>> KdTree::KNearestKeyed(
+    const linalg::Vector& query, std::size_t k, KeyOf&& key_of) const {
+  CONDENSA_CHECK_EQ(query.dim(), dim_);
+  k = std::min(k, size());
+  if (k == 0) return {};
+  std::vector<std::pair<double, std::size_t>> heap;
+  heap.reserve(k + 1);
+  std::vector<double> excess(dim_, 0.0);
+  std::size_t visited = 0;
+  SearchKNearestKeyed(root_, query, k, heap, 0.0, excess, key_of, visited);
+  RecordQueryMetrics(visited);
+  std::sort(heap.begin(), heap.end());
+  return heap;
+}
+
+template <typename KeyOf>
+void KdTree::SearchKNearestKeyed(
+    std::size_t node_id, const linalg::Vector& query, std::size_t k,
+    std::vector<std::pair<double, std::size_t>>& heap, double bound_sq,
+    std::vector<double>& excess, KeyOf& key_of, std::size_t& visited) const {
+  ++visited;
+  const Node& node = nodes_[node_id];
+
+  if (node.split_dim == Node::kLeaf) {
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      const std::size_t index = order_[i];
+      const std::size_t key = key_of(index);
+      if (key == kSkipPoint) continue;
+      const double* p = CoordsAt(i);
+      double distance_sq = 0.0;
+      if (heap.size() == k) {
+        // Partial-distance cutoff: squares only accumulate, so the
+        // moment the running sum exceeds the current k-th distance the
+        // point cannot qualify — and a sum that completes is computed in
+        // the same order as linalg::SquaredDistance, bit for bit.
+        const double worst = heap.front().first;
+        std::size_t d = 0;
+        for (; d < dim_; ++d) {
+          const double diff = p[d] - query[d];
+          distance_sq += diff * diff;
+          if (distance_sq > worst) break;
+        }
+        if (d < dim_) continue;
+      } else {
+        for (std::size_t d = 0; d < dim_; ++d) {
+          const double diff = p[d] - query[d];
+          distance_sq += diff * diff;
+        }
+      }
+      const std::pair<double, std::size_t> candidate{distance_sq, key};
+      if (heap.size() < k) {
+        heap.push_back(candidate);
+        std::push_heap(heap.begin(), heap.end());
+      } else if (candidate < heap.front()) {
+        std::pop_heap(heap.begin(), heap.end());
+        heap.back() = candidate;
+        std::push_heap(heap.begin(), heap.end());
+      }
+    }
+    return;
+  }
+
+  const double diff = query[node.split_dim] - node.split_value;
+  const std::size_t near = diff < 0.0 ? node.left : node.right;
+  const std::size_t far = diff < 0.0 ? node.right : node.left;
+  SearchKNearestKeyed(near, query, k, heap, bound_sq, excess, key_of,
+                      visited);
+  const double old_excess = excess[node.split_dim];
+  const double far_bound = bound_sq - old_excess * old_excess + diff * diff;
+  // Equality stays live: a far-side point at exactly the k-th distance
+  // can still win on its tie-break key.
+  if (heap.size() < k || far_bound <= heap.front().first) {
+    excess[node.split_dim] = diff < 0.0 ? -diff : diff;
+    SearchKNearestKeyed(far, query, k, heap, far_bound, excess, key_of,
+                        visited);
+    excess[node.split_dim] = old_excess;
+  }
+}
 
 }  // namespace condensa::index
 

@@ -1,0 +1,114 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace condensa {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 11);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountMapsZeroToHardware) {
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(0), ThreadPool::HardwareThreads());
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(7), 7u);
+}
+
+TEST(ParallelRunTest, SingleThreadRunsInlineInOrder) {
+  // The determinism contract's reference path: with one thread the tasks
+  // run on the calling thread in submission order.
+  std::vector<int> order;
+  std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&order, caller, i] {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+    });
+  }
+  ParallelRun(1, tasks);
+  std::vector<int> expected(8);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelRunTest, MultiThreadCompletesEveryTask) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  ParallelRun(4, tasks);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ParallelRunTest, MoreThreadsThanTasksIsSafe) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1); });
+  }
+  ParallelRun(16, tasks);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ParallelRunTest, EmptyTaskListIsANoOp) {
+  std::vector<std::function<void()>> tasks;
+  ParallelRun(4, tasks);  // must not hang or crash
+}
+
+}  // namespace
+}  // namespace condensa

@@ -255,5 +255,64 @@ TEST(AnonymizerTest, DegenerateDirectionStaysCollapsed) {
   }
 }
 
+TEST(AnonymizerTest, GenerateReservesExactlyTheOutputSize) {
+  // Regression test: Generate used to reserve TotalRecords() even when
+  // records_per_group overrides the per-group count, over- (or under-)
+  // allocating the output. The reserve must match what is produced in
+  // both modes.
+  Rng rng(23);
+  CondensedGroupSet set(2, 4);
+  for (int g = 0; g < 4; ++g) {
+    GroupStatistics group(2);
+    for (int i = 0; i < 50; ++i) {
+      group.Add(Vector{rng.Gaussian(), rng.Gaussian()});
+    }
+    set.AddGroup(std::move(group));
+  }
+
+  Anonymizer per_record;  // default: one output per condensed record
+  auto a = per_record.Generate(set, rng);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 200u);
+  EXPECT_EQ(a->capacity(), 200u);
+
+  Anonymizer overridden({.records_per_group = 3});
+  auto b = overridden.Generate(set, rng);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 12u);
+  // The fix: 12 slots reserved, not TotalRecords() = 200.
+  EXPECT_EQ(b->capacity(), 12u);
+}
+
+TEST(AnonymizerTest, GenerateIsThreadCountInvariant) {
+  // One Rng substream per group, split on the calling thread in group
+  // order: the sampled records must be bit-identical whether the groups
+  // are generated serially or on a worker pool.
+  Rng data_rng(24);
+  CondensedGroupSet set(3, 5);
+  for (int g = 0; g < 9; ++g) {
+    GroupStatistics group(3);
+    for (int i = 0; i < 5 + g; ++i) {
+      group.Add(Vector{data_rng.Gaussian(), data_rng.Gaussian(),
+                       data_rng.Gaussian()});
+    }
+    set.AddGroup(std::move(group));
+  }
+  Anonymizer serial({.num_threads = 1});
+  Anonymizer pooled({.num_threads = 4});
+  Rng rng_a(25), rng_b(25);
+  auto a = serial.Generate(set, rng_a);
+  auto b = pooled.Generate(set, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE(linalg::ApproxEqual((*a)[i], (*b)[i], 0.0)) << "record " << i;
+  }
+  // The caller's Rng must also land in the same state (same number of
+  // splits drawn), so downstream draws stay seed-deterministic.
+  EXPECT_EQ(rng_a.NextUint64(), rng_b.NextUint64());
+}
+
 }  // namespace
 }  // namespace condensa::core

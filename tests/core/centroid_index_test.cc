@@ -1,0 +1,142 @@
+#include "core/centroid_index.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/condensed_group_set.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Vector;
+
+// A set of `n` single-record groups at Gaussian positions.
+CondensedGroupSet RandomGroups(std::size_t n, std::size_t dim, Rng& rng) {
+  CondensedGroupSet set(dim, 1);
+  for (std::size_t g = 0; g < n; ++g) {
+    GroupStatistics group(dim);
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) p[j] = rng.Gaussian();
+    group.Add(p);
+    set.AddGroup(std::move(group));
+  }
+  return set;
+}
+
+Vector RandomPoint(std::size_t dim, Rng& rng) {
+  Vector p(dim);
+  for (std::size_t j = 0; j < dim; ++j) p[j] = rng.Gaussian();
+  return p;
+}
+
+TEST(CentroidIndexTest, MatchesScanOnSmallSets) {
+  // Below kMinGroupsForIndex the index is a pass-through scan; answers
+  // must still match exactly.
+  Rng rng(1);
+  CondensedGroupSet groups = RandomGroups(8, 3, rng);
+  CentroidIndex index;
+  for (int trial = 0; trial < 25; ++trial) {
+    Vector q = RandomPoint(3, rng);
+    EXPECT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+  }
+}
+
+TEST(CentroidIndexTest, MatchesScanOnLargeSets) {
+  Rng rng(2);
+  CondensedGroupSet groups = RandomGroups(200, 4, rng);
+  CentroidIndex index;
+  for (int trial = 0; trial < 50; ++trial) {
+    Vector q = RandomPoint(4, rng);
+    EXPECT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+  }
+}
+
+TEST(CentroidIndexTest, TracksUpdatedGroupCentroids) {
+  // Moving a group's centroid via Add must be visible right after
+  // NoteGroupUpdated, without an explicit rebuild.
+  Rng rng(3);
+  CondensedGroupSet groups = RandomGroups(64, 2, rng);
+  CentroidIndex index;
+  Vector q = RandomPoint(2, rng);
+  ASSERT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+
+  // Drag group 5 right on top of the query point.
+  for (int i = 0; i < 200; ++i) groups.mutable_group(5).Add(q);
+  index.NoteGroupUpdated(5);
+  EXPECT_EQ(groups.NearestGroup(q), 5u);
+  EXPECT_EQ(index.NearestGroup(groups, q), 5u);
+
+  // And drag it far away again: a stale snapshot entry must not keep
+  // proposing it.
+  Vector far(2);
+  far[0] = 1e4;
+  far[1] = 1e4;
+  for (int i = 0; i < 100000; ++i) groups.mutable_group(5).Add(far);
+  index.NoteGroupUpdated(5);
+  EXPECT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+}
+
+TEST(CentroidIndexTest, ManyDirtyGroupsStayExact) {
+  // Dirty more than the rebuild threshold's worth of groups between
+  // queries; every answer must still match the scan.
+  Rng rng(4);
+  CondensedGroupSet groups = RandomGroups(100, 3, rng);
+  CentroidIndex index;
+  Vector probe = RandomPoint(3, rng);
+  ASSERT_EQ(index.NearestGroup(groups, probe), groups.NearestGroup(probe));
+  for (std::size_t g = 0; g < 60; ++g) {
+    groups.mutable_group(g).Add(RandomPoint(3, rng));
+    index.NoteGroupUpdated(g);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    Vector q = RandomPoint(3, rng);
+    EXPECT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+  }
+}
+
+TEST(CentroidIndexTest, InvalidateHandlesStructuralChurn) {
+  // RemoveGroup swaps in the last group, renumbering ids; after
+  // Invalidate the index must agree with the scan again.
+  Rng rng(5);
+  CondensedGroupSet groups = RandomGroups(80, 2, rng);
+  CentroidIndex index;
+  Vector q = RandomPoint(2, rng);
+  ASSERT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q));
+
+  std::size_t nearest = groups.NearestGroup(q);
+  groups.RemoveGroup(nearest);
+  index.Invalidate();
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector probe = RandomPoint(2, rng);
+    EXPECT_EQ(index.NearestGroup(groups, probe), groups.NearestGroup(probe));
+  }
+}
+
+TEST(CentroidIndexTest, TieBreaksByLowestGroupId) {
+  // Several groups share one centroid: NearestGroup's contract is that
+  // the lowest id wins, and the index must reproduce that.
+  CondensedGroupSet groups(2, 1);
+  for (int g = 0; g < 40; ++g) {
+    GroupStatistics group(2);
+    group.Add(g < 3 ? Vector{1.0, 1.0}
+                    : Vector{10.0 + g, -5.0});
+    groups.AddGroup(std::move(group));
+  }
+  CentroidIndex index;
+  Vector q{1.0, 1.0};
+  EXPECT_EQ(groups.NearestGroup(q), 0u);
+  EXPECT_EQ(index.NearestGroup(groups, q), 0u);
+}
+
+TEST(CentroidIndexTest, SingleGroupSet) {
+  Rng rng(6);
+  CondensedGroupSet groups = RandomGroups(1, 2, rng);
+  CentroidIndex index;
+  EXPECT_EQ(index.NearestGroup(groups, RandomPoint(2, rng)), 0u);
+}
+
+}  // namespace
+}  // namespace condensa::core

@@ -161,6 +161,143 @@ TEST(StaticCondenserTest, DeterministicGivenSeed) {
   }
 }
 
+void ExpectBitIdentical(const CondensedGroupSet& a,
+                        const CondensedGroupSet& b) {
+  ASSERT_EQ(a.num_groups(), b.num_groups());
+  for (std::size_t i = 0; i < a.num_groups(); ++i) {
+    EXPECT_EQ(a.group(i).count(), b.group(i).count()) << "group " << i;
+    EXPECT_TRUE(linalg::ApproxEqual(a.group(i).first_order(),
+                                    b.group(i).first_order(), 0.0))
+        << "group " << i;
+    EXPECT_TRUE(linalg::ApproxEqual(a.group(i).second_order(),
+                                    b.group(i).second_order(), 0.0))
+        << "group " << i;
+  }
+}
+
+TEST(StaticCondenserTest, IndexAndScanPathsAreBitIdentical) {
+  // The tentpole contract: the deletion-aware k-d tree path must select
+  // the same neighbours, in the same order, from the same seed draws as
+  // the brute-force scan — groups identical down to the last bit.
+  Rng data_rng(20);
+  std::vector<Vector> points = RandomCloud(450, 3, data_rng);
+  for (std::size_t k : {2u, 7u, 25u}) {
+    StaticCondenser brute({.group_size = k,
+                           .neighbour_search = NeighbourSearch::kBruteForce});
+    StaticCondenser indexed({.group_size = k,
+                             .neighbour_search = NeighbourSearch::kKdTree});
+    Rng rng_a(21), rng_b(21);
+    auto a = brute.Condense(points, rng_a);
+    auto b = indexed.Condense(points, rng_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*a, *b);
+  }
+}
+
+TEST(StaticCondenserTest, AutoModeMatchesBruteForceAcrossTheThreshold) {
+  // kAuto flips to the index at index_threshold; results must not change
+  // at the cutover.
+  Rng data_rng(22);
+  std::vector<Vector> points = RandomCloud(300, 2, data_rng);
+  StaticCondenser brute({.group_size = 6,
+                         .neighbour_search = NeighbourSearch::kBruteForce});
+  StaticCondenser auto_low({.group_size = 6,
+                            .neighbour_search = NeighbourSearch::kAuto,
+                            .index_threshold = 100});  // index path
+  StaticCondenser auto_high({.group_size = 6,
+                             .neighbour_search = NeighbourSearch::kAuto,
+                             .index_threshold = 1000});  // scan path
+  Rng rng_a(23), rng_b(23), rng_c(23);
+  auto a = brute.Condense(points, rng_a);
+  auto b = auto_low.Condense(points, rng_b);
+  auto c = auto_high.Condense(points, rng_c);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ExpectBitIdentical(*a, *b);
+  ExpectBitIdentical(*a, *c);
+}
+
+TEST(StaticCondenserTest, EquidistantNeighboursPickLowestOriginalIndex) {
+  // Regression test for the distance tie-break: with massive distance
+  // degeneracy (every point on a small integer grid, many duplicates) the
+  // neighbour choice must be pinned by original record index, not by the
+  // survivor array's churn order — which also makes scan and index paths
+  // agree bit-for-bit.
+  std::vector<Vector> points;
+  for (int i = 0; i < 120; ++i) {
+    points.push_back(Vector{static_cast<double>(i % 4),
+                            static_cast<double>((i / 4) % 3)});
+  }
+  for (std::size_t k : {3u, 8u}) {
+    StaticCondenser brute({.group_size = k,
+                           .neighbour_search = NeighbourSearch::kBruteForce});
+    StaticCondenser indexed({.group_size = k,
+                             .neighbour_search = NeighbourSearch::kKdTree});
+    Rng rng_a(24), rng_b(24);
+    auto a = brute.Condense(points, rng_a);
+    auto b = indexed.Condense(points, rng_b);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectBitIdentical(*a, *b);
+  }
+}
+
+TEST(StaticCondenserTest, AllCoincidentPointsCondenseOnBothPaths) {
+  // Every point identical: the k-d tree degenerates to a zero-spread leaf
+  // and every distance ties at 0.
+  std::vector<Vector> points(64, Vector{2.5, -1.0, 3.0});
+  for (NeighbourSearch search :
+       {NeighbourSearch::kBruteForce, NeighbourSearch::kKdTree}) {
+    StaticCondenser condenser({.group_size = 8, .neighbour_search = search});
+    Rng rng(25);
+    auto groups = condenser.Condense(points, rng);
+    ASSERT_TRUE(groups.ok());
+    EXPECT_EQ(groups->num_groups(), 8u);
+    for (const GroupStatistics& g : groups->groups()) {
+      EXPECT_EQ(g.count(), 8u);
+      EXPECT_TRUE(
+          linalg::ApproxEqual(g.Centroid(), Vector{2.5, -1.0, 3.0}, 1e-12));
+    }
+  }
+}
+
+TEST(StaticCondenserTest, GroupSizeOneWorksOnTheIndexPath) {
+  // k = 1 means zero neighbours per seed: the index must tolerate
+  // KNearestAlive(., 0) and pure seed-deletion churn.
+  Rng data_rng(26);
+  std::vector<Vector> points = RandomCloud(40, 2, data_rng);
+  StaticCondenser indexed(
+      {.group_size = 1, .neighbour_search = NeighbourSearch::kKdTree});
+  Rng rng(27);
+  auto groups = indexed.Condense(points, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->num_groups(), 40u);
+  EXPECT_EQ(groups->TotalRecords(), 40u);
+  for (const GroupStatistics& g : groups->groups()) {
+    EXPECT_EQ(g.count(), 1u);
+  }
+}
+
+TEST(StaticCondenserTest, LeftoverAbsorptionAgreesAcrossPaths) {
+  // n % k != 0 exercises the centroid-index leftover routing on top of
+  // the neighbour search; totals and group contents must still match.
+  Rng data_rng(28);
+  std::vector<Vector> points = RandomCloud(509, 4, data_rng);
+  StaticCondenser brute({.group_size = 25,
+                         .neighbour_search = NeighbourSearch::kBruteForce});
+  StaticCondenser indexed({.group_size = 25,
+                           .neighbour_search = NeighbourSearch::kKdTree});
+  Rng rng_a(29), rng_b(29);
+  auto a = brute.Condense(points, rng_a);
+  auto b = indexed.Condense(points, rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->TotalRecords(), 509u);
+  ExpectBitIdentical(*a, *b);
+}
+
 // Property sweep: the k-indistinguishability invariant holds for any
 // (n, k) combination.
 class StaticCondenserPropertyTest

@@ -143,6 +143,44 @@ TEST(KdTreeTest, RadiusSearchMatchesBruteForce) {
   }
 }
 
+TEST(KdTreeTest, RadiusSearchSquaredIncludesBoundaryTies) {
+  // The squared-radius entry point exists so callers can pass an exact
+  // k-th-neighbour distance and get every boundary tie back — no
+  // radius*radius rounding in between.
+  std::vector<Vector> points = {Vector{1.0, 0.0}, Vector{0.0, 1.0},
+                                Vector{-1.0, 0.0}, Vector{0.0, -1.0},
+                                Vector{3.0, 0.0}};
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  Vector origin{0.0, 0.0};
+  double boundary_sq = linalg::SquaredDistance(points[0], origin);
+  std::vector<std::size_t> hits =
+      tree->RadiusSearchSquared(origin, boundary_sq);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(tree->RadiusSearchSquared(origin, 0.5).empty());
+}
+
+TEST(KdTreeTest, RadiusSearchSquaredMatchesBruteForce) {
+  Rng rng(5);
+  std::vector<Vector> points = RandomCloud(300, 3, rng);
+  auto tree = KdTree::Build(points);
+  ASSERT_TRUE(tree.ok());
+  Vector query{0.2, -0.1, 0.4};
+  for (double radius_sq : {0.01, 0.5, 2.0, 10.0}) {
+    std::vector<std::size_t> actual =
+        tree->RadiusSearchSquared(query, radius_sq);
+    std::sort(actual.begin(), actual.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (linalg::SquaredDistance(points[i], query) <= radius_sq) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(actual, expected) << "radius_sq " << radius_sq;
+  }
+}
+
 TEST(KnnIndexIntegrationTest, IndexedClassifierMatchesBruteForce) {
   Rng rng(3);
   data::Dataset train(3, data::TaskType::kClassification);
