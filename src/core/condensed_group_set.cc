@@ -11,6 +11,16 @@ void CondensedGroupSet::AddGroup(GroupStatistics group) {
   groups_.push_back(std::move(group));
 }
 
+void CondensedGroupSet::Absorb(CondensedGroupSet&& other) {
+  CONDENSA_CHECK_EQ(other.dim_, dim_);
+  groups_.reserve(groups_.size() + other.groups_.size());
+  for (GroupStatistics& group : other.groups_) {
+    CONDENSA_CHECK_GT(group.count(), 0u);
+    groups_.push_back(std::move(group));
+  }
+  other.groups_.clear();
+}
+
 void CondensedGroupSet::RemoveGroup(std::size_t i) {
   CONDENSA_CHECK_LT(i, groups_.size());
   groups_[i] = std::move(groups_.back());

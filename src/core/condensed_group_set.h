@@ -53,6 +53,15 @@ class CondensedGroupSet {
   // Appends a group aggregate. Dim must match; the group must be non-empty.
   void AddGroup(GroupStatistics group);
 
+  // Reserves capacity for `count` groups (bulk-gather fast path).
+  void ReserveGroups(std::size_t count) { groups_.reserve(count); }
+
+  // Appends every group of `other` in order, leaving `other` empty. Dim
+  // must match; `other`'s k is ignored (this set's k stands). This is the
+  // scatter/gather concatenation step: because the aggregates are
+  // additive, moving them between sets loses nothing.
+  void Absorb(CondensedGroupSet&& other);
+
   // Removes group i (order not preserved; O(1)).
   void RemoveGroup(std::size_t i);
 

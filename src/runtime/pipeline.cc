@@ -639,6 +639,16 @@ const core::CondensedGroupSet& StreamPipeline::groups() const {
   return durable_->groups();
 }
 
+StatusOr<core::CondensedGroupSet> StreamPipeline::TakeGroups() {
+  if (!finished_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError(
+        "TakeGroups requires Finish() first: the worker still owns the "
+        "condenser");
+  }
+  CONDENSA_CHECK(durable_.has_value());
+  return durable_->TakeGroups();
+}
+
 std::size_t StreamPipeline::records_seen() const {
   CONDENSA_CHECK(durable_.has_value());
   return durable_->records_seen();

@@ -189,9 +189,20 @@ class StreamPipeline {
 
   CircuitBreaker::State breaker_state() const { return breaker_.state(); }
 
-  // The condensed structure; stable only after Finish().
+  // The condensed structure; stable only after Finish(). A pure stream
+  // shorter than k records lives entirely in the condenser's forming
+  // buffer and is NOT visible here — use TakeGroups for an accounting-
+  // complete view.
   const core::CondensedGroupSet& groups() const;
   std::size_t records_seen() const;
+
+  // Finalizes and extracts the condensed structure, folding any forming
+  // remainder in (or emitting it as one sub-k group when nothing else
+  // exists) so every applied record is represented — what the scatter/
+  // gather coordinator consumes (see shard/coordinator.h). Only legal
+  // after Finish(); the in-memory condenser is left empty, while the
+  // on-disk checkpoint keeps the pre-take state for the next run.
+  StatusOr<core::CondensedGroupSet> TakeGroups();
 
   const StreamPipelineConfig& config() const { return config_; }
 

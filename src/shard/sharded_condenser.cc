@@ -1,0 +1,127 @@
+#include "shard/sharded_condenser.h"
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+
+namespace condensa::shard {
+
+Status ShardedCondenserConfig::Validate() const {
+  if (num_shards == 0) {
+    return InvalidArgumentError("num_shards must be >= 1");
+  }
+  if (group_size == 0) {
+    return InvalidArgumentError("group_size must be >= 1");
+  }
+  if (mode == WorkerMode::kDurableStream) {
+    if (group_size < 2) {
+      return InvalidArgumentError(
+          "kDurableStream requires group_size >= 2 (streaming runtime "
+          "floor)");
+    }
+    if (checkpoint_root.empty()) {
+      return InvalidArgumentError("kDurableStream requires a checkpoint_root");
+    }
+  }
+  return OkStatus();
+}
+
+ShardedCondenser::ShardedCondenser(ShardedCondenserConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<ShardedCondenseResult> ShardedCondenser::Condense(
+    const std::vector<linalg::Vector>& points, Rng& rng) const {
+  CONDENSA_RETURN_IF_ERROR(config_.Validate());
+  if (points.empty()) {
+    return InvalidArgumentError("cannot condense an empty point set");
+  }
+  const std::size_t dim = points.front().dim();
+  for (const linalg::Vector& point : points) {
+    if (point.dim() != dim) {
+      return InvalidArgumentError("points disagree on record dimension");
+    }
+  }
+
+  obs::TraceSpan span("shard.condense");
+  const std::size_t n = config_.num_shards;
+
+  Router router({.num_shards = n, .policy = config_.policy});
+  std::vector<std::vector<linalg::Vector>> partitions;
+  {
+    obs::TraceSpan scatter_span("shard.scatter");
+    partitions = router.Scatter(points);
+  }
+
+  WorkerOptions worker_options;
+  worker_options.mode = config_.mode;
+  worker_options.group_size = config_.group_size;
+  worker_options.split_rule = config_.split_rule;
+  worker_options.checkpoint_root = config_.checkpoint_root;
+  worker_options.snapshot_interval = config_.snapshot_interval;
+  worker_options.sync_every_append = config_.sync_every_append;
+
+  // Substreams and seeds are derived in shard order on this thread, so
+  // the per-shard randomness is fixed before any worker runs.
+  std::vector<Rng> streams = Router::SplitStreams(rng, n);
+
+  // One task per shard, each writing into its pre-allocated slot; the
+  // fan-out is bit-identical at any thread count.
+  std::vector<StatusOr<core::CondensedGroupSet>> shard_groups(
+      n, StatusOr<core::CondensedGroupSet>(core::CondensedGroupSet(0, 0)));
+  std::vector<ShardReport> reports(n);
+  {
+    obs::TraceSpan condense_span("shard.condense.workers");
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t shard = 0; shard < n; ++shard) {
+      tasks.push_back([&, shard]() {
+        WorkerOptions options = worker_options;
+        options.seed = streams[shard].NextUint64();
+        StatusOr<std::unique_ptr<Worker>> worker =
+            Worker::Start(shard, dim, options);
+        if (!worker.ok()) {
+          shard_groups[shard] = worker.status();
+          return;
+        }
+        for (const linalg::Vector& record : partitions[shard]) {
+          Status submitted = (*worker)->Submit(record);
+          if (!submitted.ok()) {
+            shard_groups[shard] = std::move(submitted);
+            return;
+          }
+        }
+        shard_groups[shard] = (*worker)->Finish(streams[shard]);
+        reports[shard] = ShardReport{
+            .shard_id = shard,
+            .records = (*worker)->records_submitted(),
+        };
+      });
+    }
+    ParallelRun(ThreadPool::ResolveThreadCount(config_.num_threads), tasks);
+  }
+
+  std::vector<core::CondensedGroupSet> shard_sets;
+  shard_sets.reserve(n);
+  for (std::size_t shard = 0; shard < n; ++shard) {
+    CONDENSA_ASSIGN_OR_RETURN(core::CondensedGroupSet set,
+                              std::move(shard_groups[shard]));
+    const core::PrivacySummary summary = set.Summary();
+    reports[shard].groups = summary.num_groups;
+    reports[shard].min_group_size = summary.min_group_size;
+    shard_sets.push_back(std::move(set));
+  }
+
+  ShardedCondenseResult result;
+  result.shards = std::move(reports);
+  Coordinator coordinator(
+      {.group_size = config_.group_size, .split_rule = config_.split_rule});
+  CONDENSA_ASSIGN_OR_RETURN(
+      result.groups,
+      coordinator.Gather(std::move(shard_sets), &result.gather));
+  return result;
+}
+
+}  // namespace condensa::shard

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "core/condensed_group_set.h"
+#include "core/split.h"
 #include "linalg/vector.h"
 
 namespace condensa::core {
@@ -129,6 +131,63 @@ TEST(CentroidIndexTest, TieBreaksByLowestGroupId) {
   Vector q{1.0, 1.0};
   EXPECT_EQ(groups.NearestGroup(q), 0u);
   EXPECT_EQ(index.NearestGroup(groups, q), 0u);
+}
+
+TEST(CentroidIndexTest, StaysExactAcrossMergeRemoveSplitChurn) {
+  // Regression for the structural-churn pattern shared by the dynamic
+  // condenser's removal path and the shard coordinator's fold loop
+  // (src/core/dynamic_condenser.cc:176-188, src/shard/coordinator.cc):
+  //   move out a group -> RemoveGroup (swap-with-back renumbers ids) ->
+  //   Invalidate -> NearestGroup -> Merge -> NoteGroupUpdated ->
+  //   possibly split (RemoveGroup + 2x AddGroup + Invalidate).
+  // After every single churn step the index must agree with the linear
+  // scan on fresh probes — a stale snapshot or missed dirty bit shows up
+  // as a divergence here long before it corrupts a condensation run.
+  Rng rng(7);
+  const std::size_t dim = 3;
+  CondensedGroupSet groups(dim, 4);
+  for (std::size_t g = 0; g < 120; ++g) {
+    GroupStatistics group(dim);
+    for (int i = 0; i < 4 + static_cast<int>(g % 5); ++i) {
+      group.Add(RandomPoint(dim, rng));
+    }
+    groups.AddGroup(std::move(group));
+  }
+
+  CentroidIndex index;
+  auto expect_consistent = [&](const char* stage) {
+    for (int trial = 0; trial < 8; ++trial) {
+      Vector q = RandomPoint(dim, rng);
+      ASSERT_EQ(index.NearestGroup(groups, q), groups.NearestGroup(q))
+          << "index diverged from scan after " << stage;
+    }
+  };
+  expect_consistent("build");
+
+  for (int round = 0; round < 60 && groups.num_groups() > 2; ++round) {
+    const std::size_t victim = rng.UniformIndex(groups.num_groups());
+    GroupStatistics moved = std::move(groups.mutable_group(victim));
+    groups.RemoveGroup(victim);
+    index.Invalidate();
+    expect_consistent("RemoveGroup+Invalidate");
+
+    const std::size_t target = index.NearestGroup(groups, moved.Centroid());
+    groups.mutable_group(target).Merge(moved);
+    index.NoteGroupUpdated(target);
+    expect_consistent("Merge+NoteGroupUpdated");
+
+    GroupStatistics& merged = groups.mutable_group(target);
+    if (merged.count() >= 8) {
+      StatusOr<SplitResult> split =
+          SplitGroupStatistics(merged, SplitRule::kMomentConsistent);
+      ASSERT_TRUE(split.ok()) << split.status();
+      groups.RemoveGroup(target);
+      groups.AddGroup(std::move(split->lower));
+      groups.AddGroup(std::move(split->upper));
+      index.Invalidate();
+      expect_consistent("Split+Invalidate");
+    }
+  }
 }
 
 TEST(CentroidIndexTest, SingleGroupSet) {

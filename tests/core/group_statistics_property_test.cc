@@ -1,0 +1,149 @@
+// Property tests for GroupStatistics::Merge — the algebraic foundation of
+// scatter/gather condensation (shard/coordinator.h). Sharding is exact
+// only if merging aggregates is commutative, associative, and equal to
+// pooling the raw records, so these properties are exercised over many
+// random partitions rather than one hand-picked example.
+
+#include "core/group_statistics.h"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "linalg/stats.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+Vector RandomPoint(Rng& rng, std::size_t dim) {
+  Vector point(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    point[j] = rng.Gaussian(static_cast<double>(j), 1.0 + 0.25 * j);
+  }
+  return point;
+}
+
+GroupStatistics FromPoints(const std::vector<Vector>& points,
+                           std::size_t dim) {
+  GroupStatistics stats(dim);
+  for (const Vector& point : points) stats.Add(point);
+  return stats;
+}
+
+void ExpectAggregatesClose(const GroupStatistics& a, const GroupStatistics& b,
+                           double tol) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_TRUE(linalg::ApproxEqual(a.first_order(), b.first_order(), tol));
+  EXPECT_TRUE(linalg::ApproxEqual(a.second_order(), b.second_order(), tol));
+}
+
+TEST(GroupStatisticsPropertyTest, MergeIsCommutative) {
+  Rng rng(101);
+  const std::size_t dim = 4;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Vector> left, right;
+    for (int i = 0; i < 7 + trial; ++i) left.push_back(RandomPoint(rng, dim));
+    for (int i = 0; i < 3 + trial; ++i) right.push_back(RandomPoint(rng, dim));
+
+    GroupStatistics ab = FromPoints(left, dim);
+    ab.Merge(FromPoints(right, dim));
+    GroupStatistics ba = FromPoints(right, dim);
+    ba.Merge(FromPoints(left, dim));
+
+    // Float addition commutes exactly for two operands, so a+b vs b+a is
+    // bit-identical, not just close.
+    ASSERT_EQ(ab.count(), ba.count());
+    for (std::size_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(ab.first_order()[j], ba.first_order()[j]);
+      for (std::size_t i = 0; i < dim; ++i) {
+        EXPECT_EQ(ab.second_order()(i, j), ba.second_order()(i, j));
+      }
+    }
+  }
+}
+
+TEST(GroupStatisticsPropertyTest, MergeIsAssociative) {
+  Rng rng(202);
+  const std::size_t dim = 3;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::vector<Vector>> parts(3);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+      for (int i = 0; i < 4 + trial % 5; ++i) {
+        parts[p].push_back(RandomPoint(rng, dim));
+      }
+    }
+
+    // (a ⊕ b) ⊕ c
+    GroupStatistics left = FromPoints(parts[0], dim);
+    left.Merge(FromPoints(parts[1], dim));
+    left.Merge(FromPoints(parts[2], dim));
+    // a ⊕ (b ⊕ c)
+    GroupStatistics bc = FromPoints(parts[1], dim);
+    bc.Merge(FromPoints(parts[2], dim));
+    GroupStatistics right = FromPoints(parts[0], dim);
+    right.Merge(bc);
+
+    // Association order reorders float additions, so equality is to
+    // tolerance — far tighter than any downstream consumer needs.
+    ExpectAggregatesClose(left, right, 1e-9);
+  }
+}
+
+TEST(GroupStatisticsPropertyTest, MergeTreeMatchesPooledRawRecords) {
+  // The scatter/gather claim itself: partition a pool of records into K
+  // random parts, aggregate each part, merge the aggregates in a tree —
+  // the result must match aggregating the whole pool directly, to 1e-9,
+  // for every partition shape tried.
+  Rng rng(303);
+  const std::size_t dim = 5;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t num_parts = 1 + rng.UniformIndex(8);
+    std::vector<Vector> pool;
+    GroupStatistics pooled(dim);
+    std::vector<GroupStatistics> parts(num_parts, GroupStatistics(dim));
+    for (int i = 0; i < 200; ++i) {
+      Vector point = RandomPoint(rng, dim);
+      pooled.Add(point);
+      parts[rng.UniformIndex(num_parts)].Add(point);
+    }
+
+    // Pairwise merge tree, as a multi-level coordinator would do.
+    while (parts.size() > 1) {
+      std::vector<GroupStatistics> next;
+      for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+        parts[i].Merge(parts[i + 1]);
+        next.push_back(parts[i]);
+      }
+      if (parts.size() % 2 == 1) next.push_back(parts.back());
+      parts = std::move(next);
+    }
+
+    ExpectAggregatesClose(parts.front(), pooled, 1e-9);
+    // Derived moments (Observations 1-2) agree too.
+    EXPECT_TRUE(
+        linalg::ApproxEqual(parts.front().Centroid(), pooled.Centroid(),
+                            1e-9));
+    EXPECT_TRUE(linalg::ApproxEqual(parts.front().Covariance(),
+                                    pooled.Covariance(), 1e-9));
+  }
+}
+
+TEST(GroupStatisticsPropertyTest, MergeWithEmptyIsIdentity) {
+  Rng rng(404);
+  const std::size_t dim = 3;
+  std::vector<Vector> points;
+  for (int i = 0; i < 12; ++i) points.push_back(RandomPoint(rng, dim));
+  GroupStatistics stats = FromPoints(points, dim);
+  GroupStatistics reference = FromPoints(points, dim);
+  stats.Merge(GroupStatistics(dim));
+  ExpectAggregatesClose(stats, reference, 0.0);
+}
+
+}  // namespace
+}  // namespace condensa::core

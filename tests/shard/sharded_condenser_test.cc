@@ -1,0 +1,195 @@
+#include "shard/sharded_condenser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/random.h"
+#include "core/serialization.h"
+#include "linalg/vector.h"
+
+namespace condensa::shard {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> GaussianRecords(std::size_t count, std::size_t dim,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vector> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector record(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      record[j] = rng.Gaussian(static_cast<double>(j % 3), 1.0);
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+TEST(ShardedCondenserTest, ConservesRecordsAndKFloorAcrossShardCounts) {
+  const std::size_t n = 600;
+  const std::size_t k = 10;
+  std::vector<Vector> records = GaussianRecords(n, 4, 11);
+  for (std::size_t shards : {1u, 2u, 4u, 7u}) {
+    ShardedCondenserConfig config;
+    config.num_shards = shards;
+    config.group_size = k;
+    config.num_threads = 1;
+    Rng rng(99);
+    auto result = ShardedCondenser(config).Condense(records, rng);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->groups.TotalRecords(), n) << "shards=" << shards;
+    EXPECT_GE(result->groups.Summary().min_group_size, k)
+        << "shards=" << shards;
+    EXPECT_EQ(result->gather.records_in, n);
+    EXPECT_EQ(result->shards.size(), shards);
+    std::size_t routed = 0;
+    for (const ShardReport& report : result->shards) {
+      routed += report.records;
+    }
+    EXPECT_EQ(routed, n);
+  }
+}
+
+TEST(ShardedCondenserTest, PreservesGlobalMeanExactly) {
+  // Scatter/gather must not move the global first moment: the sum of the
+  // released groups' first-order sums equals the raw data sum to float
+  // tolerance, whatever the shard count.
+  const std::size_t n = 400;
+  const std::size_t dim = 3;
+  std::vector<Vector> records = GaussianRecords(n, dim, 12);
+  Vector raw_sum(dim);
+  for (const Vector& record : records) raw_sum += record;
+
+  ShardedCondenserConfig config;
+  config.num_shards = 4;
+  config.group_size = 8;
+  config.num_threads = 1;
+  Rng rng(5);
+  auto result = ShardedCondenser(config).Condense(records, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  Vector condensed_sum(dim);
+  for (const core::GroupStatistics& group : result->groups.groups()) {
+    condensed_sum += group.first_order();
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    EXPECT_NEAR(condensed_sum[j], raw_sum[j], 1e-9);
+  }
+}
+
+TEST(ShardedCondenserTest, FixedSeedAndShardCountIsBitIdentical) {
+  std::vector<Vector> records = GaussianRecords(300, 3, 13);
+  ShardedCondenserConfig config;
+  config.num_shards = 4;
+  config.group_size = 8;
+  config.num_threads = 1;
+  ShardedCondenser condenser(config);
+
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto first = condenser.Condense(records, rng_a);
+  auto second = condenser.Condense(records, rng_b);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(core::SerializeGroupSet(first->groups),
+            core::SerializeGroupSet(second->groups));
+}
+
+TEST(ShardedCondenserTest, ThreadCountDoesNotChangeOutput) {
+  std::vector<Vector> records = GaussianRecords(300, 3, 14);
+  ShardedCondenserConfig config;
+  config.num_shards = 4;
+  config.group_size = 8;
+
+  config.num_threads = 1;
+  Rng rng_serial(21);
+  auto serial = ShardedCondenser(config).Condense(records, rng_serial);
+  config.num_threads = 4;
+  Rng rng_parallel(21);
+  auto parallel = ShardedCondenser(config).Condense(records, rng_parallel);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(core::SerializeGroupSet(serial->groups),
+            core::SerializeGroupSet(parallel->groups));
+}
+
+TEST(ShardedCondenserTest, ShardSmallerThanKIsFoldedNotDropped) {
+  // 4 shards, 25 records, k = 10: some partitions end below the k-floor;
+  // their remainders must be folded into the global structure.
+  std::vector<Vector> records = GaussianRecords(25, 2, 15);
+  ShardedCondenserConfig config;
+  config.num_shards = 4;
+  config.group_size = 10;
+  config.num_threads = 1;
+  Rng rng(3);
+  auto result = ShardedCondenser(config).Condense(records, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->groups.TotalRecords(), 25u);
+  EXPECT_GE(result->groups.Summary().min_group_size, 10u);
+}
+
+TEST(ShardedCondenserTest, DurableStreamModeCondensesAndCheckpoints) {
+  const std::string root =
+      ::testing::TempDir() + "/condensa_sharded_condenser_stream";
+  // Durable shards recover whatever a previous run checkpointed, so the
+  // root must start empty for the record count to be this run's.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const std::string dir = root + "/shard-" + std::to_string(shard);
+    if (auto entries = ListDirectory(dir); entries.ok()) {
+      for (const std::string& name : *entries) RemoveFile(dir + "/" + name);
+    }
+  }
+  CreateDirectories(root);
+  std::vector<Vector> records = GaussianRecords(200, 3, 16);
+  ShardedCondenserConfig config;
+  config.num_shards = 2;
+  config.mode = WorkerMode::kDurableStream;
+  config.group_size = 5;
+  config.checkpoint_root = root;
+  config.sync_every_append = false;
+  config.num_threads = 1;
+  Rng rng(9);
+  auto result = ShardedCondenser(config).Condense(records, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->groups.TotalRecords(), 200u);
+  EXPECT_GE(result->groups.Summary().min_group_size, 5u);
+  // Each shard checkpointed into its own directory.
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    auto entries = ListDirectory(root + "/shard-" + std::to_string(shard));
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    EXPECT_FALSE(entries->empty());
+  }
+}
+
+TEST(ShardedCondenserTest, RejectsBadConfigsAndInputs) {
+  std::vector<Vector> records = GaussianRecords(50, 2, 17);
+  Rng rng(1);
+
+  ShardedCondenserConfig zero_shards;
+  zero_shards.num_shards = 0;
+  EXPECT_TRUE(IsInvalidArgument(
+      ShardedCondenser(zero_shards).Condense(records, rng).status()));
+
+  ShardedCondenserConfig stream_without_root;
+  stream_without_root.mode = WorkerMode::kDurableStream;
+  EXPECT_TRUE(IsInvalidArgument(
+      ShardedCondenser(stream_without_root).Condense(records, rng).status()));
+
+  ShardedCondenserConfig ok;
+  EXPECT_TRUE(IsInvalidArgument(
+      ShardedCondenser(ok).Condense({}, rng).status()));
+
+  std::vector<Vector> ragged = records;
+  ragged.push_back(Vector{1.0, 2.0, 3.0});
+  EXPECT_TRUE(IsInvalidArgument(
+      ShardedCondenser(ok).Condense(ragged, rng).status()));
+}
+
+}  // namespace
+}  // namespace condensa::shard

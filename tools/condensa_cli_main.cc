@@ -6,7 +6,13 @@
 //   ingest    stream a CSV into a crash-safe checkpointed condenser
 //   serve-stream  run the supervised streaming runtime (bounded queue,
 //             retry/backoff, quarantine, circuit breaker) over a CSV or a
-//             synthetic stream; see docs/resilience.md
+//             synthetic stream; with --shards=N the stream is scattered
+//             across N independent durable pipelines and gathered into one
+//             release via exact moment merge; see docs/resilience.md and
+//             docs/scaling.md
+//   shard     batch scatter/gather condensation: route a CSV (or synthetic
+//             data) across N shard condensers, exact-merge the shard-local
+//             aggregates, optionally anonymize; see docs/scaling.md
 //   recover   restore a condenser from its checkpoint directory
 //   inspect   print the privacy summary of a saved group-statistics file
 //   evaluate  compare an original and an anonymized CSV (mu, linkage)
@@ -21,7 +27,12 @@
 //   condensa ingest --input=day1.csv --checkpoint-dir=state --k=20
 //   condensa ingest --input=day2.csv --checkpoint-dir=state --k=20
 //   condensa serve-stream --checkpoint-dir=state --records=20000 --chaos=0.05
+//   condensa serve-stream --checkpoint-dir=state --shards=4 --records=100000
+//   condensa shard --input=patients.csv --shards=8 --k=10 --output=release.csv
 //   condensa recover --checkpoint-dir=state --save-groups=groups.txt
+//
+// Every subcommand accepts --help and exits 0 after printing its flags;
+// unknown or malformed flags exit 2.
 //   condensa inspect --groups=groups.txt
 //   condensa evaluate --original=patients.csv --anonymized=release.csv ...
 //       --task=classification
@@ -47,9 +58,12 @@
 #include "index/kdtree.h"
 #include "metrics/compatibility.h"
 #include "metrics/privacy.h"
+#include "core/anonymizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/pipeline.h"
+#include "shard/sharded_condenser.h"
+#include "shard/stream_service.h"
 
 namespace {
 
@@ -106,10 +120,29 @@ class Flags {
   std::string bad_;
 };
 
-int Usage() {
+// Call after a command has Get() every flag it understands: any flag still
+// unconsumed is a typo, and failing before the work starts beats silently
+// running with a default. Returns the exit code (0 ok, 2 bad flag).
+int RejectUnknownFlags(Flags& flags, const char* command) {
+  bool unknown = false;
+  for (const std::string& name : flags.Unused()) {
+    std::fprintf(stderr, "error: unknown flag --%s for '%s'\n", name.c_str(),
+                 command);
+    unknown = true;
+  }
+  if (unknown) {
+    std::fprintf(stderr, "run `condensa %s --help` for the flag list\n",
+                 command);
+    return 2;
+  }
+  return 0;
+}
+
+void PrintUsage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: condensa <command> [--flag=value ...]\n"
+      "       condensa <command> --help\n"
       "\n"
       "commands:\n"
       "  condense   --input=FILE --output=FILE [--k=N] [--mode=static|dynamic]\n"
@@ -119,10 +152,16 @@ int Usage() {
       "  ingest     --input=FILE --checkpoint-dir=DIR [--k=N]\n"
       "             [--snapshot-every=N] [--no-sync] [--header] [--seed=N]\n"
       "  serve-stream --checkpoint-dir=DIR [--input=FILE | --records=N\n"
-      "             --dim=N] [--k=N] [--snapshot-every=N] [--no-sync]\n"
-      "             [--queue-capacity=N] [--backpressure=block|drop-oldest|\n"
-      "             reject] [--batch-size=N] [--batch-deadline-ms=X]\n"
-      "             [--retry-attempts=N] [--retry-budget=N] [--chaos=P]\n"
+      "             --dim=N] [--shards=N] [--policy=hash|round-robin] [--k=N]\n"
+      "             [--snapshot-every=N] [--no-sync] [--queue-capacity=N]\n"
+      "             [--backpressure=block|drop-oldest|reject] [--batch-size=N]\n"
+      "             [--batch-deadline-ms=X] [--retry-attempts=N]\n"
+      "             [--retry-budget=N] [--chaos=P] [--header] [--seed=N]\n"
+      "             [--format=prometheus|json]\n"
+      "  shard      [--input=FILE | --records=N --dim=N] --shards=N [--k=N]\n"
+      "             [--policy=hash|round-robin] [--mode=batch|stream]\n"
+      "             [--checkpoint-root=DIR] [--snapshot-every=N] [--no-sync]\n"
+      "             [--threads=N] [--save-groups=FILE] [--output=FILE]\n"
       "             [--header] [--seed=N] [--format=prometheus|json]\n"
       "  recover    --checkpoint-dir=DIR [--save-groups=FILE] [--k=N]\n"
       "  inspect    --groups=FILE\n"
@@ -130,8 +169,169 @@ int Usage() {
       "             [--task=classification|regression|none] [--header]\n"
       "             [--label-column=N]\n"
       "  stats      [--records=N] [--dim=N] [--k=N] [--seed=N]\n"
-      "             [--format=prometheus|json] [--trace-out=FILE]\n");
+      "             [--format=prometheus|json] [--trace-out=FILE]\n"
+      "\n"
+      "`condensa <command> --help` describes one command's flags in detail.\n");
+}
+
+int Usage() {
+  PrintUsage(stderr);
   return 2;
+}
+
+// Detailed per-command help, printed by `condensa <command> --help`.
+// Returns nullptr for unknown commands.
+const char* HelpText(const std::string& command) {
+  if (command == "condense") {
+    return "condensa condense — CSV in -> condensation -> anonymized CSV out\n"
+           "\n"
+           "  --input=FILE       raw records CSV (required)\n"
+           "  --output=FILE      anonymized release CSV (required)\n"
+           "  --k=N              indistinguishability level (default 10)\n"
+           "  --mode=static|dynamic\n"
+           "                     whole-batch split condensation, or one-at-a-\n"
+           "                     time streaming maintenance (default static)\n"
+           "  --task=classification|regression|none\n"
+           "                     label handling; labeled tasks condense each\n"
+           "                     class pool separately (default classification)\n"
+           "  --label-column=N   0-based label column (-1 = last; default -1)\n"
+           "  --header           first CSV row is a header\n"
+           "  --seed=N           RNG seed; fixed seed => identical release\n"
+           "  --save-groups=FILE also save pool statistics for `generate`\n";
+  }
+  if (command == "generate") {
+    return "condensa generate — regenerate a release from saved statistics\n"
+           "\n"
+           "  --groups=FILE      pool statistics from condense --save-groups\n"
+           "                     (required)\n"
+           "  --output=FILE      anonymized release CSV (required)\n"
+           "  --seed=N           RNG seed (default 42)\n";
+  }
+  if (command == "ingest") {
+    return "condensa ingest — stream a CSV into a crash-safe condenser\n"
+           "\n"
+           "  --input=FILE          records CSV (required)\n"
+           "  --checkpoint-dir=DIR  snapshot+journal directory (required);\n"
+           "                        re-running resumes from recovered state\n"
+           "  --k=N                 indistinguishability level (default 10)\n"
+           "  --snapshot-every=N    journal appends per snapshot (default 1024)\n"
+           "  --no-sync             skip fsync per append (faster, less safe)\n"
+           "  --header              first CSV row is a header\n"
+           "  --seed=N              RNG seed for the bootstrap pass\n";
+  }
+  if (command == "serve-stream") {
+    return "condensa serve-stream — supervised streaming runtime\n"
+           "\n"
+           "Runs records through bounded-queue ingest with retry/backoff,\n"
+           "poison quarantine, circuit breaker, and crash-safe checkpoints\n"
+           "(docs/resilience.md). With --shards=N the stream is scattered\n"
+           "across N independent pipelines — each with its own checkpoint\n"
+           "directory under --checkpoint-dir — and gathered into one global\n"
+           "release by exact moment merge (docs/scaling.md).\n"
+           "\n"
+           "  --checkpoint-dir=DIR  checkpoint root (required)\n"
+           "  --input=FILE          records CSV; otherwise a synthetic\n"
+           "  --records=N --dim=N   two-blob Gaussian stream is generated\n"
+           "                        (defaults 5000 x 4)\n"
+           "  --shards=N            pipelines to scatter across (default 1)\n"
+           "  --policy=hash|round-robin\n"
+           "                        record-to-shard routing (default hash)\n"
+           "  --k=N                 indistinguishability level (default 10)\n"
+           "  --snapshot-every=N    appends per snapshot (default 256)\n"
+           "  --no-sync             skip fsync per journal append\n"
+           "  --queue-capacity=N    bounded queue size (default 1024)\n"
+           "  --backpressure=block|drop-oldest|reject\n"
+           "                        full-queue policy (default block;\n"
+           "                        single-pipeline mode only)\n"
+           "  --batch-size=N        worker batch size (default 32)\n"
+           "  --batch-deadline-ms=X watchdog deadline per batch (single-\n"
+           "                        pipeline mode only)\n"
+           "  --retry-attempts=N    attempts per transient failure (single-\n"
+           "                        pipeline mode only)\n"
+           "  --retry-budget=N      run-wide retry cap (single-pipeline only)\n"
+           "  --chaos=P             arm failpoints at probability P during\n"
+           "                        ingest (healed before Finish)\n"
+           "  --header              first CSV row is a header\n"
+           "  --seed=N              RNG seed (per-shard seeds are derived)\n"
+           "  --format=prometheus|json  also dump the metrics registry\n";
+  }
+  if (command == "shard") {
+    return "condensa shard — batch scatter/gather condensation\n"
+           "\n"
+           "Routes records across N shard condensers (each condensing its\n"
+           "partition independently), then exact-merges the shard-local\n"
+           "aggregates into one global k-indistinguishable structure\n"
+           "(docs/scaling.md). Fixed --seed and --shards reproduce a\n"
+           "bit-identical release.\n"
+           "\n"
+           "  --input=FILE          records CSV; otherwise a synthetic\n"
+           "  --records=N --dim=N   two-blob Gaussian set is generated\n"
+           "                        (defaults 10000 x 4)\n"
+           "  --shards=N            shard count (default 2)\n"
+           "  --policy=hash|round-robin\n"
+           "                        record-to-shard routing (default hash)\n"
+           "  --k=N                 indistinguishability level (default 10)\n"
+           "  --mode=batch|stream   in-memory batch workers, or durable\n"
+           "                        streaming workers with per-shard\n"
+           "                        checkpoints (default batch)\n"
+           "  --checkpoint-root=DIR per-shard checkpoint parent directory\n"
+           "                        (required with --mode=stream)\n"
+           "  --snapshot-every=N    appends per snapshot (default 1024)\n"
+           "  --no-sync             skip fsync per journal append\n"
+           "  --threads=N           worker threads (0 = hardware; output is\n"
+           "                        identical at any thread count)\n"
+           "  --save-groups=FILE    save the gathered group statistics\n"
+           "  --output=FILE         also anonymize and write a release CSV\n"
+           "  --header              first CSV row is a header\n"
+           "  --seed=N              RNG seed (per-shard streams are derived)\n"
+           "  --format=prometheus|json  also dump the metrics registry\n";
+  }
+  if (command == "recover") {
+    return "condensa recover — restore a condenser from its checkpoints\n"
+           "\n"
+           "  --checkpoint-dir=DIR  directory to recover from (required)\n"
+           "  --k=N                 group size the state was built with\n"
+           "                        (default 10)\n"
+           "  --save-groups=FILE    save the recovered group statistics\n";
+  }
+  if (command == "inspect") {
+    return "condensa inspect — print the privacy summary of a saved file\n"
+           "\n"
+           "  --groups=FILE  pool statistics (engine output) or bare group\n"
+           "                 statistics file (required)\n";
+  }
+  if (command == "evaluate") {
+    return "condensa evaluate — compare an original and an anonymized CSV\n"
+           "\n"
+           "  --original=FILE    raw records CSV (required)\n"
+           "  --anonymized=FILE  release CSV (required)\n"
+           "  --task=classification|regression|none  label handling\n"
+           "  --label-column=N   0-based label column (-1 = last)\n"
+           "  --header           first CSV row is a header\n";
+  }
+  if (command == "stats") {
+    return "condensa stats — synthetic end-to-end run + metrics dump\n"
+           "\n"
+           "  --records=N        synthetic records (default 2000, min 10)\n"
+           "  --dim=N            record dimension (default 8)\n"
+           "  --k=N              indistinguishability level (default 10)\n"
+           "  --seed=N           RNG seed (default 42)\n"
+           "  --format=prometheus|json  registry dump format\n"
+           "  --trace-out=FILE   also record a Perfetto trace\n";
+  }
+  return nullptr;
+}
+
+bool ParsePolicy(const std::string& text,
+                 condensa::shard::ShardPolicy* policy) {
+  if (text == "hash") {
+    *policy = condensa::shard::ShardPolicy::kHash;
+  } else if (text == "round-robin") {
+    *policy = condensa::shard::ShardPolicy::kRoundRobin;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool ParseTask(const std::string& text, condensa::data::TaskType* task) {
@@ -174,6 +374,7 @@ int RunCondense(Flags& flags) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "condense")) return code;
   condensa::data::TaskType task;
   if (!ParseTask(task_name, &task)) {
     std::fprintf(stderr, "error: unknown --task=%s\n", task_name.c_str());
@@ -258,6 +459,7 @@ int RunGenerate(Flags& flags) {
     std::fprintf(stderr, "error: bad --seed\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "generate")) return code;
   if (groups_path.empty() || output.empty()) {
     std::fprintf(stderr, "error: --groups and --output are required\n");
     return 2;
@@ -311,6 +513,7 @@ int RunIngest(Flags& flags) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "ingest")) return code;
   if (input.empty() || dir.empty()) {
     std::fprintf(stderr, "error: --input and --checkpoint-dir are required\n");
     return 2;
@@ -387,6 +590,7 @@ int RunRecover(Flags& flags) {
     std::fprintf(stderr, "error: bad --k\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "recover")) return code;
   if (dir.empty()) {
     std::fprintf(stderr, "error: --checkpoint-dir is required\n");
     return 2;
@@ -451,10 +655,11 @@ int RunServeStream(Flags& flags) {
   const std::string dir = flags.Get("checkpoint-dir", "");
   const std::string input = flags.Get("input", "");
   const std::string backpressure_name = flags.Get("backpressure", "block");
+  const std::string policy_name = flags.Get("policy", "hash");
   const std::string format = flags.Get("format", "");
   const bool header = flags.Get("header", "false") == "true";
   const bool no_sync = flags.Get("no-sync", "false") == "true";
-  int records = 5000, dim = 4, k = 10, seed = 42;
+  int records = 5000, dim = 4, k = 10, seed = 42, shards = 1;
   int snapshot_every = 256, queue_capacity = 1024, batch_size = 32;
   int retry_attempts = 4, retry_budget = 10000;
   double batch_deadline_ms = 1000.0, chaos = 0.0;
@@ -462,6 +667,7 @@ int RunServeStream(Flags& flags) {
       !ParseInt(flags.Get("dim", "4"), &dim) || dim < 1 ||
       !ParseInt(flags.Get("k", "10"), &k) ||
       !ParseInt(flags.Get("seed", "42"), &seed) ||
+      !ParseInt(flags.Get("shards", "1"), &shards) || shards < 1 ||
       !ParseInt(flags.Get("snapshot-every", "256"), &snapshot_every) ||
       !ParseInt(flags.Get("queue-capacity", "1024"), &queue_capacity) ||
       !ParseInt(flags.Get("batch-size", "32"), &batch_size) ||
@@ -474,6 +680,12 @@ int RunServeStream(Flags& flags) {
       !ParseDouble(flags.Get("chaos", "0"), &chaos) || chaos < 0.0 ||
       chaos >= 1.0) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "serve-stream")) return code;
+  condensa::shard::ShardPolicy policy;
+  if (!ParsePolicy(policy_name, &policy)) {
+    std::fprintf(stderr, "error: unknown --policy=%s\n", policy_name.c_str());
     return 2;
   }
   if (dir.empty()) {
@@ -518,6 +730,95 @@ int RunServeStream(Flags& flags) {
       }
       stream.push_back(record);
     }
+  }
+
+  if (shards > 1) {
+    // Scatter/gather mode: N independent durable pipelines, each
+    // checkpointing under <dir>/shard-<i>, gathered into one release by
+    // exact moment merge (docs/scaling.md). Backpressure/retry/deadline
+    // tuning flags apply to single-pipeline mode; shards use defaults.
+    condensa::shard::ShardedStreamConfig config;
+    config.num_shards = static_cast<std::size_t>(shards);
+    config.policy = policy;
+    config.dim = stream.empty() ? static_cast<std::size_t>(dim)
+                                : stream.front().dim();
+    config.group_size = static_cast<std::size_t>(k);
+    config.checkpoint_root = dir;
+    config.snapshot_interval = static_cast<std::size_t>(snapshot_every);
+    config.sync_every_append = !no_sync;
+    config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+    config.batch_size = static_cast<std::size_t>(batch_size);
+    config.seed = static_cast<std::uint64_t>(seed);
+
+    auto service = condensa::shard::ShardedStreamService::Start(config);
+    if (!service.ok()) {
+      std::fprintf(stderr, "error starting sharded service in %s: %s\n",
+                   dir.c_str(), service.status().ToString().c_str());
+      return service.status().code() ==
+                     condensa::StatusCode::kInvalidArgument
+                 ? 2
+                 : 1;
+    }
+
+    if (chaos > 0.0) {
+      const std::uint64_t chaos_seed = static_cast<std::uint64_t>(seed);
+      condensa::FailPoint::Arm(
+          "io.append", {.code = condensa::StatusCode::kUnavailable,
+                        .probability = chaos,
+                        .seed = chaos_seed + 1});
+      condensa::FailPoint::Arm(
+          "io.sync", {.mode = condensa::FailPointMode::kLatency,
+                      .probability = chaos,
+                      .seed = chaos_seed + 2,
+                      .latency_ms = 1.0});
+      condensa::FailPoint::Arm(
+          "dynamic.insert", {.code = condensa::StatusCode::kInternal,
+                             .probability = chaos / 5.0,
+                             .seed = chaos_seed + 3});
+      std::fprintf(
+          stderr,
+          "chaos armed: io.append/io.sync/dynamic.insert at p=%.3f\n",
+          chaos);
+    }
+
+    for (const condensa::linalg::Vector& record : stream) {
+      condensa::Status status = (*service)->Submit(record);
+      if (!status.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    if (chaos > 0.0) {
+      condensa::FailPoint::Reset();
+    }
+
+    auto result = (*service)->Finish();
+    if (!result.ok()) {
+      std::fprintf(stderr, "finish failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    for (std::size_t shard = 0; shard < result->shard_stats.size();
+         ++shard) {
+      std::printf("shard %zu ledger: %s\n", shard,
+                  result->shard_stats[shard].ToString().c_str());
+    }
+    std::printf("gather: %s\n", result->gather.ToString().c_str());
+    PrintGroupSummary(result->groups, "");
+    if (!format.empty()) {
+      condensa::obs::MetricsRegistry& registry =
+          condensa::obs::DefaultRegistry();
+      std::fputs(format == "json" ? registry.DumpJson().c_str()
+                                  : registry.DumpPrometheusText().c_str(),
+                 stdout);
+    }
+    if (!result->Balanced()) {
+      std::fprintf(stderr,
+                   "error: a shard ledger does not balance — records lost\n");
+      return 1;
+    }
+    return 0;
   }
 
   condensa::runtime::StreamPipelineConfig config;
@@ -608,8 +909,156 @@ int RunServeStream(Flags& flags) {
   return 0;
 }
 
+// Batch scatter/gather condensation (docs/scaling.md): route the records
+// across N shard workers, condense each partition independently, then
+// exact-merge the shard-local aggregates into one global structure.
+int RunShard(Flags& flags) {
+  const std::string input = flags.Get("input", "");
+  const std::string policy_name = flags.Get("policy", "hash");
+  const std::string mode_name = flags.Get("mode", "batch");
+  const std::string checkpoint_root = flags.Get("checkpoint-root", "");
+  const std::string save_groups = flags.Get("save-groups", "");
+  const std::string output = flags.Get("output", "");
+  const std::string format = flags.Get("format", "");
+  const bool header = flags.Get("header", "false") == "true";
+  const bool no_sync = flags.Get("no-sync", "false") == "true";
+  int records = 10000, dim = 4, shards = 2, k = 10, seed = 42;
+  int snapshot_every = 1024, threads = 0;
+  if (!ParseInt(flags.Get("records", "10000"), &records) || records < 1 ||
+      !ParseInt(flags.Get("dim", "4"), &dim) || dim < 1 ||
+      !ParseInt(flags.Get("shards", "2"), &shards) || shards < 1 ||
+      !ParseInt(flags.Get("k", "10"), &k) || k < 1 ||
+      !ParseInt(flags.Get("seed", "42"), &seed) ||
+      !ParseInt(flags.Get("snapshot-every", "1024"), &snapshot_every) ||
+      snapshot_every < 1 ||
+      !ParseInt(flags.Get("threads", "0"), &threads) || threads < 0) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "shard")) return code;
+  condensa::shard::ShardPolicy policy;
+  if (!ParsePolicy(policy_name, &policy)) {
+    std::fprintf(stderr, "error: unknown --policy=%s\n", policy_name.c_str());
+    return 2;
+  }
+  condensa::shard::WorkerMode mode;
+  if (mode_name == "batch") {
+    mode = condensa::shard::WorkerMode::kStaticBatch;
+  } else if (mode_name == "stream") {
+    mode = condensa::shard::WorkerMode::kDurableStream;
+  } else {
+    std::fprintf(stderr, "error: unknown --mode=%s\n", mode_name.c_str());
+    return 2;
+  }
+  if (mode == condensa::shard::WorkerMode::kDurableStream &&
+      checkpoint_root.empty()) {
+    std::fprintf(stderr,
+                 "error: --checkpoint-root is required with --mode=stream\n");
+    return 2;
+  }
+  if (!format.empty() && format != "prometheus" && format != "json") {
+    std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
+    return 2;
+  }
+
+  std::vector<condensa::linalg::Vector> data;
+  if (!input.empty()) {
+    auto dataset =
+        LoadCsv(input, condensa::data::TaskType::kUnlabeled, header, -1);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    data = dataset->records();
+  } else {
+    condensa::Rng data_rng(static_cast<std::uint64_t>(seed) + 1);
+    data.reserve(static_cast<std::size_t>(records));
+    for (int i = 0; i < records; ++i) {
+      condensa::linalg::Vector record(static_cast<std::size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        record[static_cast<std::size_t>(d)] =
+            data_rng.Gaussian(i % 2 == 0 ? -3.0 : 3.0, 1.0);
+      }
+      data.push_back(record);
+    }
+  }
+
+  condensa::shard::ShardedCondenserConfig config;
+  config.num_shards = static_cast<std::size_t>(shards);
+  config.policy = policy;
+  config.mode = mode;
+  config.group_size = static_cast<std::size_t>(k);
+  config.checkpoint_root = checkpoint_root;
+  config.snapshot_interval = static_cast<std::size_t>(snapshot_every);
+  config.sync_every_append = !no_sync;
+  config.num_threads = static_cast<std::size_t>(threads);
+  config.seed = static_cast<std::uint64_t>(seed);
+
+  condensa::Rng rng(static_cast<std::uint64_t>(seed));
+  auto result =
+      condensa::shard::ShardedCondenser(config).Condense(data, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sharded condensation failed: %s\n",
+                 result.status().ToString().c_str());
+    return result.status().code() == condensa::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+
+  for (const condensa::shard::ShardReport& report : result->shards) {
+    std::printf("shard %zu: records=%zu groups=%zu min_group_size=%zu\n",
+                report.shard_id, report.records, report.groups,
+                report.min_group_size);
+  }
+  std::printf("gather: %s\n", result->gather.ToString().c_str());
+  PrintGroupSummary(result->groups, "");
+
+  if (!save_groups.empty()) {
+    condensa::Status save_status =
+        condensa::core::SaveGroupSet(result->groups, save_groups);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "error saving %s: %s\n", save_groups.c_str(),
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved group statistics to %s\n",
+                 save_groups.c_str());
+  }
+  if (!output.empty()) {
+    auto anonymized = condensa::core::Anonymizer().Generate(result->groups,
+                                                            rng);
+    if (!anonymized.ok()) {
+      std::fprintf(stderr, "release generation failed: %s\n",
+                   anonymized.status().ToString().c_str());
+      return 1;
+    }
+    condensa::data::Dataset release(result->groups.dim());
+    for (condensa::linalg::Vector& record : *anonymized) {
+      release.Add(std::move(record));
+    }
+    condensa::Status write_status = condensa::data::WriteCsv(release, output);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                   write_status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu anonymized records to %s\n",
+                 release.size(), output.c_str());
+  }
+  if (!format.empty()) {
+    condensa::obs::MetricsRegistry& registry =
+        condensa::obs::DefaultRegistry();
+    std::fputs(format == "json" ? registry.DumpJson().c_str()
+                                : registry.DumpPrometheusText().c_str(),
+               stdout);
+  }
+  return 0;
+}
+
 int RunInspect(Flags& flags) {
   const std::string path = flags.Get("groups", "");
+  if (int code = RejectUnknownFlags(flags, "inspect")) return code;
   if (path.empty()) {
     std::fprintf(stderr, "error: --groups is required\n");
     return 2;
@@ -657,6 +1106,7 @@ int RunEvaluate(Flags& flags) {
     std::fprintf(stderr, "error: bad --label-column\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "evaluate")) return code;
   condensa::data::TaskType task;
   if (!ParseTask(task_name, &task)) {
     std::fprintf(stderr, "error: unknown --task=%s\n", task_name.c_str());
@@ -710,6 +1160,7 @@ int RunStats(Flags& flags) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
     return 2;
   }
+  if (int code = RejectUnknownFlags(flags, "stats")) return code;
   if (format != "prometheus" && format != "json") {
     std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
     return 2;
@@ -830,11 +1281,24 @@ int main(int argc, char** argv) {
     return Usage();
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    PrintUsage(stdout);
+    return 0;
+  }
   Flags flags(argc, argv, 2);
   if (!flags.ok()) {
     std::fprintf(stderr, "error: unexpected argument '%s'\n",
                  flags.bad().c_str());
     return Usage();
+  }
+  if (flags.Get("help", "false") == "true" || flags.Get("h", "false") == "true") {
+    const char* help = HelpText(command);
+    if (help == nullptr) {
+      std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
+      return Usage();
+    }
+    std::fputs(help, stdout);
+    return 0;
   }
 
   int code;
@@ -846,6 +1310,8 @@ int main(int argc, char** argv) {
     code = RunIngest(flags);
   } else if (command == "serve-stream") {
     code = RunServeStream(flags);
+  } else if (command == "shard") {
+    code = RunShard(flags);
   } else if (command == "recover") {
     code = RunRecover(flags);
   } else if (command == "inspect") {
@@ -859,8 +1325,5 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  for (const std::string& name : flags.Unused()) {
-    std::fprintf(stderr, "warning: unused flag --%s\n", name.c_str());
-  }
   return code;
 }
