@@ -1,0 +1,160 @@
+#include "net/frame.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace condensa::net {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'N', 'W', 'F'};
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+void PutU16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+}
+
+void PutU32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t GetU16(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return static_cast<std::uint16_t>(bytes[0] |
+                                    (static_cast<std::uint16_t>(bytes[1])
+                                     << 8));
+}
+
+std::uint32_t GetU32(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | bytes[i];
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+bool IsKnownFrameType(std::uint16_t value) {
+  return value >= static_cast<std::uint16_t>(FrameType::kHello) &&
+         value <= static_cast<std::uint16_t>(FrameType::kError);
+}
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "Hello";
+    case FrameType::kHelloAck: return "HelloAck";
+    case FrameType::kSubmit: return "Submit";
+    case FrameType::kSubmitAck: return "SubmitAck";
+    case FrameType::kHeartbeat: return "Heartbeat";
+    case FrameType::kHeartbeatAck: return "HeartbeatAck";
+    case FrameType::kFinish: return "Finish";
+    case FrameType::kFinishResult: return "FinishResult";
+    case FrameType::kGoodbye: return "Goodbye";
+    case FrameType::kError: return "Error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  CONDENSA_CHECK_LE(payload.size(),
+                    static_cast<std::size_t>(kMaxFramePayload));
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  out.append(kMagic, sizeof(kMagic));
+  PutU16(out, kProtocolVersion);
+  PutU16(out, static_cast<std::uint16_t>(type));
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+StatusOr<FrameHeader> DecodeFrameHeader(std::string_view data,
+                                        std::uint32_t max_payload) {
+  if (data.size() < kFrameHeaderSize) {
+    return DataLossError("truncated frame header: " +
+                         std::to_string(data.size()) + " of " +
+                         std::to_string(kFrameHeaderSize) + " bytes");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return DataLossError("bad frame magic");
+  }
+  FrameHeader header;
+  header.version = GetU16(data.data() + 4);
+  if (header.version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "unsupported wire protocol version " +
+        std::to_string(header.version) + " (this build speaks " +
+        std::to_string(kProtocolVersion) + ")");
+  }
+  const std::uint16_t raw_type = GetU16(data.data() + 6);
+  if (!IsKnownFrameType(raw_type)) {
+    return DataLossError("unknown frame type " + std::to_string(raw_type));
+  }
+  header.type = static_cast<FrameType>(raw_type);
+  // The length is validated before any caller allocates payload space: a
+  // corrupt length (including a negative value reinterpreted as a huge
+  // unsigned) must never drive an allocation.
+  header.payload_length = GetU32(data.data() + 8);
+  if (header.payload_length > max_payload) {
+    return DataLossError("frame payload length " +
+                         std::to_string(header.payload_length) +
+                         " exceeds the " + std::to_string(max_payload) +
+                         "-byte cap");
+  }
+  header.payload_crc32 = GetU32(data.data() + 12);
+  return header;
+}
+
+StatusOr<Frame> DecodeFrame(std::string_view data,
+                            std::uint32_t max_payload) {
+  CONDENSA_ASSIGN_OR_RETURN(FrameHeader header,
+                            DecodeFrameHeader(data, max_payload));
+  const std::size_t total = kFrameHeaderSize + header.payload_length;
+  if (data.size() < total) {
+    return DataLossError("truncated frame payload: " +
+                         std::to_string(data.size() - kFrameHeaderSize) +
+                         " of " + std::to_string(header.payload_length) +
+                         " bytes");
+  }
+  if (data.size() > total) {
+    return DataLossError("trailing bytes after frame payload");
+  }
+  std::string_view payload = data.substr(kFrameHeaderSize,
+                                         header.payload_length);
+  if (Crc32(payload) != header.payload_crc32) {
+    return DataLossError("frame checksum mismatch");
+  }
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.assign(payload.data(), payload.size());
+  return frame;
+}
+
+}  // namespace condensa::net

@@ -1,0 +1,276 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+
+namespace condensa::net {
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+Status ParseAddr(const std::string& host, std::uint16_t port,
+                 sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, resolved.c_str(), &addr->sin_addr) != 1) {
+    return InvalidArgumentError("cannot parse IPv4 address '" + host + "'");
+  }
+  return OkStatus();
+}
+
+// Waits for `events` on `fd`. kUnavailable on timeout or poll error.
+Status PollFor(int fd, short events, double timeout_ms,
+               const char* what) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int timeout = timeout_ms < 0 ? -1
+                      : timeout_ms > 2e9
+                          ? 2000000000
+                          : static_cast<int>(timeout_ms + 0.999);
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return UnavailableError(Errno(std::string("poll for ") + what));
+  }
+  if (rc == 0) {
+    return UnavailableError(std::string(what) + " timed out after " +
+                            std::to_string(timeout) + " ms");
+  }
+  return OkStatus();
+}
+
+Status SendAll(int fd, const char* data, std::size_t size,
+               double timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    CONDENSA_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "send"));
+    const ssize_t rc =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return UnavailableError(Errno("send"));
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+  return OkStatus();
+}
+
+// Reads exactly `size` bytes. `any_read` reports whether at least one
+// byte arrived before a clean peer close, distinguishing "peer hung up
+// between frames" from "peer died mid-frame".
+Status RecvAll(int fd, char* data, std::size_t size, double timeout_ms,
+               bool* any_read) {
+  std::size_t got = 0;
+  while (got < size) {
+    CONDENSA_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms, "recv"));
+    const ssize_t rc = ::recv(fd, data + got, size - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return UnavailableError(Errno("recv"));
+    }
+    if (rc == 0) {
+      if (got == 0 && !*any_read) {
+        return UnavailableError("peer closed the connection");
+      }
+      return DataLossError("peer closed mid-frame: got " +
+                           std::to_string(got) + " of " +
+                           std::to_string(size) + " bytes");
+    }
+    got += static_cast<std::size_t>(rc);
+    *any_read = true;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                               std::uint16_t port,
+                                               double timeout_ms) {
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.connect"));
+  sockaddr_in addr;
+  CONDENSA_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(Errno("socket"));
+  }
+  TcpConnection conn(fd);
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    return UnavailableError(Errno("connect to " + host + ":" +
+                                  std::to_string(port)));
+  }
+  if (rc < 0) {
+    CONDENSA_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "connect"));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      errno = err != 0 ? err : errno;
+      return UnavailableError(Errno("connect to " + host + ":" +
+                                    std::to_string(port)));
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+Status TcpConnection::SendFrame(FrameType type, std::string_view payload,
+                                double timeout_ms) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("SendFrame on a closed connection");
+  }
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.send"));
+  const std::string wire = EncodeFrame(type, payload);
+  return SendAll(fd_, wire.data(), wire.size(), timeout_ms);
+}
+
+StatusOr<Frame> TcpConnection::RecvFrame(double timeout_ms,
+                                         std::uint32_t max_payload) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("RecvFrame on a closed connection");
+  }
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.recv"));
+  char header_bytes[kFrameHeaderSize];
+  bool any_read = false;
+  CONDENSA_RETURN_IF_ERROR(RecvAll(fd_, header_bytes, kFrameHeaderSize,
+                                   timeout_ms, &any_read));
+  // Header validation happens before the payload buffer is allocated, so
+  // a corrupt length field cannot drive a giant allocation.
+  CONDENSA_ASSIGN_OR_RETURN(
+      FrameHeader header,
+      DecodeFrameHeader(std::string_view(header_bytes, kFrameHeaderSize),
+                        max_payload));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_length);
+  if (header.payload_length > 0) {
+    CONDENSA_RETURN_IF_ERROR(RecvAll(fd_, frame.payload.data(),
+                                     frame.payload.size(), timeout_ms,
+                                     &any_read));
+  }
+  if (Crc32(frame.payload) != header.payload_crc32) {
+    return DataLossError("frame checksum mismatch on " +
+                         std::string(FrameTypeName(frame.type)));
+  }
+  return frame;
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<TcpListener> TcpListener::Listen(const std::string& host,
+                                          std::uint16_t port) {
+  sockaddr_in addr;
+  CONDENSA_RETURN_IF_ERROR(ParseAddr(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError(Errno("socket"));
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return UnavailableError(Errno("bind " + host + ":" +
+                                  std::to_string(port)));
+  }
+  if (::listen(fd, 64) < 0) {
+    return UnavailableError(Errno("listen"));
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return UnavailableError(Errno("getsockname"));
+  }
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+StatusOr<TcpConnection> TcpListener::Accept(double timeout_ms) {
+  if (fd_ < 0) {
+    return FailedPreconditionError("Accept on a closed listener");
+  }
+  CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.accept"));
+  CONDENSA_RETURN_IF_ERROR(PollFor(fd_, POLLIN, timeout_ms, "accept"));
+  int fd;
+  do {
+    fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return UnavailableError(Errno("accept"));
+  }
+  // Non-blocking + poll everywhere, so send/recv timeouts hold on both
+  // sides of the connection.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+}  // namespace condensa::net

@@ -1,0 +1,111 @@
+// Minimal TCP socket wrappers for the shard fabric.
+//
+// Two classes: TcpListener (bind/listen/accept) and TcpConnection
+// (connect/send/recv of whole frames). Everything is blocking with
+// poll()-based timeouts — the fabric runs strict synchronous
+// request/response per connection, so there is no need for a reactor.
+// All calls return Status; any I/O error on a connection leaves it
+// unusable (the caller closes and reconnects — no partial-frame state
+// survives an error).
+//
+// Failure injection: the probes "net.connect", "net.accept", "net.send",
+// and "net.recv" run before the corresponding syscall path, so chaos
+// tests can sever connections, delay heartbeats, or make dials flaky
+// without touching the kernel.
+
+#ifndef CONDENSA_NET_SOCKET_H_
+#define CONDENSA_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace condensa::net {
+
+// A connected TCP stream that speaks whole frames.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Dials host:port, waiting at most `timeout_ms` for the connection to
+  // establish. kUnavailable on refusal/timeout/unreachable.
+  static StatusOr<TcpConnection> Connect(const std::string& host,
+                                         std::uint16_t port,
+                                         double timeout_ms);
+
+  bool ok() const { return fd_ >= 0; }
+
+  // Sends one whole frame. Blocks until every byte is written or
+  // `timeout_ms` elapses (kUnavailable). After any failure the
+  // connection must be closed — a partial frame may be on the wire.
+  Status SendFrame(FrameType type, std::string_view payload,
+                   double timeout_ms);
+
+  // Receives one whole frame, validating header and checksum via
+  // net::DecodeFrameHeader before the payload is allocated. Blocks until
+  // a full frame arrives or `timeout_ms` elapses (kUnavailable). A peer
+  // that closed cleanly between frames yields kUnavailable("peer
+  // closed"); mid-frame close or corruption yields kDataLoss.
+  StatusOr<Frame> RecvFrame(double timeout_ms,
+                            std::uint32_t max_payload = kMaxFramePayload);
+
+  void Close();
+
+  // The raw descriptor (for tests and diagnostics); -1 when closed.
+  int fd() const { return fd_; }
+
+ private:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  friend class TcpListener;
+
+  int fd_ = -1;
+};
+
+// A listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds host:port (port 0 picks a free port; see port()) and starts
+  // listening. SO_REUSEADDR is set so a respawned worker can reclaim its
+  // old port immediately.
+  static StatusOr<TcpListener> Listen(const std::string& host,
+                                      std::uint16_t port);
+
+  bool ok() const { return fd_ >= 0; }
+
+  // The bound port (resolved when Listen was given port 0).
+  std::uint16_t port() const { return port_; }
+
+  // Waits up to `timeout_ms` for an inbound connection. kUnavailable on
+  // timeout — callers loop on this to interleave accepts with shutdown
+  // checks.
+  StatusOr<TcpConnection> Accept(double timeout_ms);
+
+  void Close();
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace condensa::net
+
+#endif  // CONDENSA_NET_SOCKET_H_

@@ -1,0 +1,172 @@
+// Wire message payloads for the shard fabric protocol.
+//
+// Each FrameType (net/frame.h) carries one of the payload structs below,
+// encoded with WireWriter and decoded with WireReader. The codecs are
+// little-endian, fixed-width, and bounds-checked: every read validates
+// the remaining byte count before touching memory, and every length
+// prefix is validated against the bytes actually present before any
+// allocation — the same hardening contract as the frame header. Decoding
+// failures are kDataLoss.
+//
+// Records travel as raw IEEE-754 bit patterns (u64 per coordinate), so a
+// record round-trips bit-exactly — the foundation of the fabric's
+// bit-identical-release guarantee.
+
+#ifndef CONDENSA_NET_WIRE_H_
+#define CONDENSA_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/vector.h"
+#include "runtime/pipeline.h"
+
+namespace condensa::net {
+
+// Appends fixed-width little-endian scalars and length-prefixed blobs to
+// a growing buffer.
+class WireWriter {
+ public:
+  void PutU8(std::uint8_t value);
+  void PutU16(std::uint16_t value);
+  void PutU32(std::uint32_t value);
+  void PutU64(std::uint64_t value);
+  // The double's IEEE-754 bit pattern as a u64 (bit-exact round-trip).
+  void PutDouble(double value);
+  // u32 length prefix + raw bytes.
+  void PutString(std::string_view value);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+// Consumes the same encoding with bounds checks on every read. All
+// methods return kDataLoss once the payload is exhausted or a length
+// prefix exceeds the remaining bytes; the reader stays at its position
+// after a failed read.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(std::uint8_t* value);
+  Status ReadU16(std::uint16_t* value);
+  Status ReadU32(std::uint32_t* value);
+  Status ReadU64(std::uint64_t* value);
+  Status ReadDouble(double* value);
+  // Validates the length prefix against remaining() BEFORE allocating.
+  Status ReadString(std::string* value);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  // Decoders call this last: trailing garbage means a framing bug or
+  // corruption, not a shorter message from an older peer.
+  Status ExpectDone() const;
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Message payloads, one per FrameType.
+
+// Coordinator -> worker. Opens a session: the worker builds (or recovers)
+// its shard::Worker from exactly these parameters, so a rejoining worker
+// is reconstructed identically to the original.
+struct HelloMessage {
+  std::uint64_t shard_id = 0;
+  std::uint64_t dim = 0;
+  std::uint64_t group_size = 0;
+  std::uint16_t split_rule = 0;
+  std::uint64_t snapshot_interval = 1024;
+  std::uint8_t sync_every_append = 0;
+  std::uint64_t queue_capacity = 1024;
+  std::uint64_t batch_size = 32;
+  // This shard's pipeline seed, derived by the coordinator from
+  // Router::SplitStreams so the fabric matches the in-process service.
+  std::uint64_t seed = 0;
+};
+
+// Worker -> coordinator. `durable_total` is the number of records already
+// durably in this worker's custody (recovered from its checkpoint dir) —
+// the coordinator uses it to trim the already-applied prefix of any
+// unacknowledged backlog on reconnect, restoring exactly-once delivery.
+struct HelloAckMessage {
+  std::string worker_id;
+  std::uint64_t durable_total = 0;
+};
+
+// Coordinator -> worker. A batch of records; `base_sequence` is the
+// stream position of records[0] within this shard's substream (used only
+// for diagnostics — ordering is carried by the connection).
+struct SubmitMessage {
+  std::uint64_t base_sequence = 0;
+  std::uint64_t dim = 0;
+  std::vector<linalg::Vector> records;
+};
+
+// Worker -> coordinator. Sent only after the batch is durably in custody
+// (journaled / spooled / quarantined — the pipeline flushed). A kill -9
+// after this ack loses nothing.
+struct SubmitAckMessage {
+  std::uint64_t durable_total = 0;
+};
+
+struct HeartbeatMessage {
+  std::uint64_t nonce = 0;
+};
+
+struct HeartbeatAckMessage {
+  std::uint64_t nonce = 0;
+  std::uint64_t durable_total = 0;
+};
+
+// Worker -> coordinator. The shard's final ledger plus its condensed
+// group set in the canonical text serialization (core/serialization.h).
+struct FinishResultMessage {
+  runtime::StreamPipelineStats stats;
+  std::string groups_text;
+};
+
+// Worker -> coordinator: a request failed cleanly on the worker side.
+struct ErrorMessage {
+  std::uint32_t code = 0;
+  std::string message;
+};
+
+std::string EncodeHello(const HelloMessage& msg);
+StatusOr<HelloMessage> DecodeHello(std::string_view payload);
+
+std::string EncodeHelloAck(const HelloAckMessage& msg);
+StatusOr<HelloAckMessage> DecodeHelloAck(std::string_view payload);
+
+std::string EncodeSubmit(const SubmitMessage& msg);
+StatusOr<SubmitMessage> DecodeSubmit(std::string_view payload);
+
+std::string EncodeSubmitAck(const SubmitAckMessage& msg);
+StatusOr<SubmitAckMessage> DecodeSubmitAck(std::string_view payload);
+
+std::string EncodeHeartbeat(const HeartbeatMessage& msg);
+StatusOr<HeartbeatMessage> DecodeHeartbeat(std::string_view payload);
+
+std::string EncodeHeartbeatAck(const HeartbeatAckMessage& msg);
+StatusOr<HeartbeatAckMessage> DecodeHeartbeatAck(std::string_view payload);
+
+std::string EncodeFinishResult(const FinishResultMessage& msg);
+StatusOr<FinishResultMessage> DecodeFinishResult(std::string_view payload);
+
+std::string EncodeError(const ErrorMessage& msg);
+StatusOr<ErrorMessage> DecodeError(std::string_view payload);
+// Reconstitutes a Status from a decoded ErrorMessage.
+Status ErrorToStatus(const ErrorMessage& msg);
+ErrorMessage StatusToError(const Status& status);
+
+}  // namespace condensa::net
+
+#endif  // CONDENSA_NET_WIRE_H_

@@ -150,6 +150,12 @@ const std::vector<double>& DefaultLatencyBucketsSeconds() {
   return buckets;
 }
 
+const std::vector<double>& RpcLatencyBucketsSeconds() {
+  static const std::vector<double> buckets =
+      ExponentialBuckets(1e-4, 2.0, 17);
+  return buckets;
+}
+
 MetricsRegistry::Series& MetricsRegistry::GetSeries(
     std::string_view name, const Labels& labels, Kind kind,
     const std::vector<double>& upper_bounds) {

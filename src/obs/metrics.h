@@ -106,6 +106,12 @@ std::vector<double> ExponentialBuckets(double start, double factor,
 // Default wall-time buckets: 1 µs .. ~67 s, factor 4.
 const std::vector<double>& DefaultLatencyBucketsSeconds();
 
+// Network round-trip buckets: 100 µs .. ~6.5 s, factor 2 — finer than
+// the default in the band where RPC latencies actually live, so a fabric
+// heartbeat SLO is readable from the histogram instead of one fat
+// bucket.
+const std::vector<double>& RpcLatencyBucketsSeconds();
+
 // A named collection of metrics. Thread-safe. Instances returned by the
 // getters live as long as the registry and are safe to update from any
 // thread without further synchronization.

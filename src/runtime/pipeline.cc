@@ -524,6 +524,7 @@ void StreamPipeline::WorkerLoop() {
       ProcessRecord(record);
     }
     in_batch_.store(false, std::memory_order_release);
+    drained_.fetch_add(popped, std::memory_order_release);
     metrics.batch_seconds.Observe((SteadyNowMs() - start_ms) / 1000.0);
     MaybeDrainSpool();
     PublishGauges();
@@ -551,6 +552,34 @@ void StreamPipeline::WatchdogLoop() {
       RuntimeMetrics::Get().watchdog_stalls.Increment();
       breaker_.ForceTrip();
     }
+  }
+}
+
+Status StreamPipeline::Flush(double timeout_ms) {
+  const double deadline = SteadyNowMs() + timeout_ms;
+  while (true) {
+    // A record accepted into the queue either gets popped and processed
+    // (drained_) or evicted by a producer under kDropOldest (dropped);
+    // both are terminal custody states, so the barrier is their sum
+    // catching up with accepted_. Comparing counters instead of probing
+    // queue-empty + !in_batch_ avoids the window between PopBatch
+    // emptying the queue and the worker raising in_batch_.
+    const std::size_t accepted = accepted_.load(std::memory_order_acquire);
+    const std::size_t settled = drained_.load(std::memory_order_acquire) +
+                                queue_.dropped();
+    if (settled >= accepted) {
+      return OkStatus();
+    }
+    if (finished_.load(std::memory_order_acquire)) {
+      return FailedPreconditionError("Flush after Finish");
+    }
+    if (SteadyNowMs() >= deadline) {
+      return UnavailableError(
+          "Flush timed out with " + std::to_string(accepted - settled) +
+          " records still in flight after " + std::to_string(timeout_ms) +
+          " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
 }
 

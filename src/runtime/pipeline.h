@@ -179,6 +179,17 @@ class StreamPipeline {
   // kResourceExhausted under the kReject policy.
   Status Submit(const linalg::Vector& record);
 
+  // Blocks until every record accepted so far has been processed by the
+  // worker thread — applied to the durable condenser, quarantined, or
+  // spooled — or `timeout_ms` elapses (kUnavailable). The pipeline keeps
+  // running; Submit stays legal afterwards. This is the custody barrier
+  // the networked shard fabric acks behind: once Flush returns OK, a
+  // kill -9 loses nothing, because each record's durable trail (journal,
+  // quarantine log, or spool) was already written. Call from a producer
+  // that has stopped submitting; records submitted concurrently extend
+  // the wait.
+  Status Flush(double timeout_ms);
+
   // Closes intake, drains the queue and (deadline-bounded) the spool,
   // writes a final checkpoint, joins the threads, and returns the final
   // ledger. Callable once.
@@ -247,6 +258,9 @@ class StreamPipeline {
 
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> accepted_{0};
+  // Records the worker thread has fully processed (batch completed);
+  // Flush waits for drained_ + dropped to catch up with accepted_.
+  std::atomic<std::size_t> drained_{0};
   std::atomic<std::size_t> applied_{0};
   std::atomic<std::size_t> spooled_{0};
   std::atomic<std::size_t> spool_replayed_{0};

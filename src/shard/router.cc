@@ -45,6 +45,21 @@ std::size_t Router::ShardOf(const linalg::Vector& record,
   return 0;  // unreachable
 }
 
+std::size_t Router::ShardAmong(
+    const linalg::Vector& record, std::size_t index,
+    const std::vector<std::size_t>& members) const {
+  CONDENSA_CHECK(!members.empty());
+  if (members.size() == 1) return members[0];
+  switch (options_.policy) {
+    case ShardPolicy::kRoundRobin:
+      return members[index % members.size()];
+    case ShardPolicy::kHash:
+      return members[static_cast<std::size_t>(HashRecord(record) %
+                                              members.size())];
+  }
+  return members[0];  // unreachable
+}
+
 std::size_t Router::Route(const linalg::Vector& record) {
   const std::size_t index =
       next_index_.fetch_add(1, std::memory_order_relaxed);

@@ -65,6 +65,16 @@ class Router {
   // is order-free and keeps the contract for any producer count).
   std::size_t Route(const linalg::Vector& record);
 
+  // Membership-aware form: routes among an explicit set of live shard
+  // ids instead of the full 0..N-1 range. Pure in (record, index,
+  // members) — removing a member and later re-adding it reproduces the
+  // original assignment for the surviving set exactly, which is what
+  // lets the fabric re-route in-flight records during an outage without
+  // perturbing the shards that stayed up. `members` must be non-empty;
+  // with the full membership {0..N-1} in order this is ShardOf.
+  std::size_t ShardAmong(const linalg::Vector& record, std::size_t index,
+                         const std::vector<std::size_t>& members) const;
+
   // Partitions a batch, preserving arrival order within each shard.
   // Every record lands in exactly one partition.
   std::vector<std::vector<linalg::Vector>> Scatter(

@@ -10,15 +10,21 @@
 namespace condensa::shard {
 namespace {
 
-obs::Counter& ShardRecordsCounter(std::size_t shard_id) {
+// Per-shard series carry the stable worker identity alongside the shard
+// index, so a restarted or rejoined worker resumes its series instead of
+// minting a duplicate per-incarnation one.
+obs::Counter& ShardRecordsCounter(std::size_t shard_id,
+                                  const std::string& worker_id) {
   return obs::DefaultRegistry().GetCounter(
       "condensa_shard_records_total",
-      {{"shard", std::to_string(shard_id)}});
+      {{"shard", std::to_string(shard_id)}, {"worker", worker_id}});
 }
 
-obs::Gauge& ShardGroupsGauge(std::size_t shard_id) {
+obs::Gauge& ShardGroupsGauge(std::size_t shard_id,
+                             const std::string& worker_id) {
   return obs::DefaultRegistry().GetGauge(
-      "condensa_shard_groups", {{"shard", std::to_string(shard_id)}});
+      "condensa_shard_groups",
+      {{"shard", std::to_string(shard_id)}, {"worker", worker_id}});
 }
 
 }  // namespace
@@ -35,6 +41,9 @@ StatusOr<std::unique_ptr<Worker>> Worker::Start(
     return InvalidArgumentError("group_size must be >= 1");
   }
   std::unique_ptr<Worker> worker(new Worker(shard_id, dim, options));
+  worker->worker_id_ = options.worker_id.empty()
+                           ? "w" + std::to_string(shard_id)
+                           : options.worker_id;
   if (options.mode == WorkerMode::kDurableStream) {
     if (options.checkpoint_root.empty()) {
       return InvalidArgumentError(
@@ -71,8 +80,26 @@ Status Worker::Submit(const linalg::Vector& record) {
     buffer_.push_back(record);
   }
   ++submitted_;
-  ShardRecordsCounter(shard_id_).Increment();
+  ShardRecordsCounter(shard_id_, worker_id_).Increment();
   return OkStatus();
+}
+
+Status Worker::Flush(double timeout_ms) {
+  if (finished_) {
+    return FailedPreconditionError("Flush after Finish");
+  }
+  if (pipeline_ == nullptr) {
+    return OkStatus();
+  }
+  return pipeline_->Flush(timeout_ms);
+}
+
+std::size_t Worker::durable_total() const {
+  if (pipeline_ == nullptr) {
+    return buffer_.size();
+  }
+  const runtime::StreamPipelineStats live = pipeline_->stats();
+  return pipeline_->records_seen() + live.quarantined + live.spool_remaining;
 }
 
 StatusOr<core::CondensedGroupSet> Worker::Finish(Rng& rng) {
@@ -101,7 +128,7 @@ StatusOr<core::CondensedGroupSet> Worker::Finish(Rng& rng) {
     groups.AddGroup(std::move(remainder));
     buffer_.clear();
   }
-  ShardGroupsGauge(shard_id_).Set(
+  ShardGroupsGauge(shard_id_, worker_id_).Set(
       static_cast<double>(groups.num_groups()));
   return groups;
 }

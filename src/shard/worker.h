@@ -66,6 +66,12 @@ struct WorkerOptions {
   // Rng::Split substreams (Router::SplitStreams) so shards never share a
   // stream.
   std::uint64_t seed = 42;
+
+  // Stable identity for metric labels: condensa_shard_*{shard=i,
+  // worker=<id>}. A restarted or rejoined worker that keeps its identity
+  // keeps its series — no duplicate per-incarnation series. Empty picks
+  // the default "w<shard_id>".
+  std::string worker_id;
 };
 
 class Worker {
@@ -86,12 +92,30 @@ class Worker {
   // The shard's checkpoint directory ("" in kStaticBatch mode).
   const std::string& checkpoint_dir() const { return checkpoint_dir_; }
 
+  // The resolved metric-label identity (options().worker_id or the
+  // "w<shard_id>" default).
+  const std::string& worker_id() const { return worker_id_; }
+
   // Accepts one record: buffered (batch) or enqueued (stream). Safe for
   // one producer; kDurableStream tolerates many (the queue is MPSC).
   Status Submit(const linalg::Vector& record);
 
   // Records accepted so far via Submit.
   std::size_t records_submitted() const { return submitted_; }
+
+  // Blocks until every submitted record is durably in the shard's
+  // custody (journaled, quarantined, or spooled) or `timeout_ms` elapses.
+  // kStaticBatch mode returns OK immediately — the buffer is the custody
+  // (no durability to wait for). The fabric worker acks a Submit batch
+  // only after Flush, which is what makes a post-ack kill -9 lossless.
+  Status Flush(double timeout_ms);
+
+  // Records durably in this shard's custody right now: condensed records
+  // recovered or applied (the checkpoint), plus live quarantine entries
+  // and spooled backlog. Monotonic across restarts for clean data; the
+  // fabric uses it to trim already-delivered prefixes on reconnect.
+  // kStaticBatch mode counts the in-memory buffer.
+  std::size_t durable_total() const;
 
   // Finishes ingest and surrenders the shard-local group set. Batch mode
   // condenses the buffer with `rng` (pass this shard's Router::SplitStreams
@@ -120,6 +144,7 @@ class Worker {
   const std::size_t dim_;
   const WorkerOptions options_;
   std::string checkpoint_dir_;
+  std::string worker_id_;
 
   // kStaticBatch buffer.
   std::vector<linalg::Vector> buffer_;

@@ -1,0 +1,84 @@
+#include "shard/worker_process.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <utility>
+
+namespace condensa::shard {
+
+WorkerProcess::~WorkerProcess() { Kill(); }
+
+WorkerProcess::WorkerProcess(WorkerProcess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+WorkerProcess& WorkerProcess::operator=(WorkerProcess&& other) noexcept {
+  if (this != &other) {
+    Kill();
+    pid_ = std::exchange(other.pid_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+StatusOr<WorkerProcess> WorkerProcess::Spawn(WorkerServerConfig config) {
+  CONDENSA_RETURN_IF_ERROR(config.Validate());
+  // Bind in the parent so the resolved port is known here and a respawn
+  // on an explicit port fails loudly (kUnavailable) instead of silently
+  // listening elsewhere.
+  CONDENSA_ASSIGN_OR_RETURN(
+      net::TcpListener listener,
+      net::TcpListener::Listen(config.host, config.port));
+  const std::uint16_t port = listener.port();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return UnavailableError("fork failed");
+  }
+  if (pid == 0) {
+    // Child: serve until Finish, then leave without running any parent
+    // state's destructors (tests hold pipelines, metrics, etc. that must
+    // not be torn down twice).
+    StatusOr<std::unique_ptr<WorkerServer>> server =
+        WorkerServer::CreateWithListener(std::move(config),
+                                         std::move(listener));
+    if (!server.ok()) {
+      ::_exit(3);
+    }
+    Status run = (*server)->Run();
+    ::_exit(run.ok() ? 0 : 4);
+  }
+  // Parent: the child owns the listening socket now.
+  listener.Close();
+  WorkerProcess process;
+  process.pid_ = pid;
+  process.port_ = port;
+  return process;
+}
+
+void WorkerProcess::Kill() {
+  if (pid_ <= 0) {
+    return;
+  }
+  ::kill(pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+StatusOr<int> WorkerProcess::Wait() {
+  if (pid_ <= 0) {
+    return FailedPreconditionError("no child to wait for");
+  }
+  int status = 0;
+  const pid_t reaped = ::waitpid(pid_, &status, 0);
+  if (reaped != pid_) {
+    return UnavailableError("waitpid failed");
+  }
+  pid_ = -1;
+  return status;
+}
+
+}  // namespace condensa::shard

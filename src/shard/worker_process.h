@@ -1,0 +1,62 @@
+// Fork-based process harness for fabric workers.
+//
+// Spawns a WorkerServer in a child process, with the listening socket
+// bound in the PARENT before fork — so the parent knows the port without
+// a rendezvous, and a respawn can reclaim the exact same port
+// (SO_REUSEADDR) to model a worker restarting in place. The chaos soak
+// uses Kill() (SIGKILL — no shutdown handler runs, the durability
+// guarantee has to carry the crash) followed by a respawn on the
+// original port to exercise recover-and-rejoin.
+//
+// The child serves until Finish and then _exit()s without running parent
+// destructors. Under TSan, fork from a threaded parent needs
+// TSAN_OPTIONS=die_after_fork=0 (set in the CI chaos job).
+
+#ifndef CONDENSA_SHARD_WORKER_PROCESS_H_
+#define CONDENSA_SHARD_WORKER_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "shard/worker_server.h"
+
+namespace condensa::shard {
+
+class WorkerProcess {
+ public:
+  WorkerProcess() = default;
+  // Kills (SIGKILL) and reaps a still-running child.
+  ~WorkerProcess();
+
+  WorkerProcess(WorkerProcess&& other) noexcept;
+  WorkerProcess& operator=(WorkerProcess&& other) noexcept;
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  // Binds `config.host:config.port` (0 = pick a free port), forks, and
+  // runs a WorkerServer over the bound listener in the child. On return
+  // the parent holds the pid and resolved port; the child never returns.
+  static StatusOr<WorkerProcess> Spawn(WorkerServerConfig config);
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+  std::uint16_t port() const { return port_; }
+
+  // SIGKILL + reap. No-op when not running.
+  void Kill();
+
+  // Blocks until the child exits, reaps it, and returns its wait status
+  // (as from waitpid). kFailedPrecondition when not running.
+  StatusOr<int> Wait();
+
+ private:
+  pid_t pid_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace condensa::shard
+
+#endif  // CONDENSA_SHARD_WORKER_PROCESS_H_

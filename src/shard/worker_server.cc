@@ -1,0 +1,277 @@
+#include "shard/worker_server.h"
+
+#include <utility>
+
+#include "common/failpoint.h"
+#include "core/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace condensa::shard {
+namespace {
+
+obs::Counter& SessionsCounter(const std::string& worker_id) {
+  return obs::DefaultRegistry().GetCounter(
+      "condensa_fabric_worker_sessions_total", {{"worker", worker_id}});
+}
+
+obs::Histogram& FlushSeconds(const std::string& worker_id) {
+  return obs::DefaultRegistry().GetHistogram(
+      "condensa_fabric_worker_flush_seconds", {{"worker", worker_id}},
+      obs::RpcLatencyBucketsSeconds());
+}
+
+Status ValidateSplitRule(std::uint16_t raw) {
+  if (raw > static_cast<std::uint16_t>(core::SplitRule::kPaperVerbatim)) {
+    return DataLossError("Hello carries unknown split rule " +
+                         std::to_string(raw));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status WorkerServerConfig::Validate() const {
+  if (checkpoint_root.empty()) {
+    return InvalidArgumentError("worker server requires a checkpoint_root");
+  }
+  if (io_timeout_ms <= 0 || flush_timeout_ms <= 0 || poll_ms <= 0 ||
+      idle_timeout_ms <= 0) {
+    return InvalidArgumentError("worker server timeouts must be positive");
+  }
+  return OkStatus();
+}
+
+WorkerServer::WorkerServer(WorkerServerConfig config)
+    : config_(std::move(config)) {}
+
+StatusOr<std::unique_ptr<WorkerServer>> WorkerServer::Create(
+    WorkerServerConfig config) {
+  CONDENSA_ASSIGN_OR_RETURN(
+      net::TcpListener listener,
+      net::TcpListener::Listen(config.host, config.port));
+  return CreateWithListener(std::move(config), std::move(listener));
+}
+
+StatusOr<std::unique_ptr<WorkerServer>> WorkerServer::CreateWithListener(
+    WorkerServerConfig config, net::TcpListener listener) {
+  CONDENSA_RETURN_IF_ERROR(config.Validate());
+  if (!listener.ok()) {
+    return FailedPreconditionError("worker server needs a live listener");
+  }
+  std::unique_ptr<WorkerServer> server(new WorkerServer(std::move(config)));
+  server->listener_ = std::move(listener);
+  return server;
+}
+
+Status WorkerServer::Run() {
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !finished_.load(std::memory_order_relaxed)) {
+    StatusOr<net::TcpConnection> conn = listener_.Accept(config_.poll_ms);
+    if (!conn.ok()) {
+      if (IsUnavailable(conn.status())) {
+        continue;  // poll tick
+      }
+      return conn.status();
+    }
+    ServeSession(*std::move(conn));
+  }
+  return OkStatus();
+}
+
+void WorkerServer::ServeSession(net::TcpConnection conn) {
+  obs::TraceSpan span("fabric.worker.session");
+  SessionsCounter(config_.worker_id.empty() ? "unassigned"
+                                            : config_.worker_id)
+      .Increment();
+  double idle_ms = 0.0;
+  while (!stop_.load(std::memory_order_relaxed) &&
+         !finished_.load(std::memory_order_relaxed)) {
+    StatusOr<net::Frame> frame = conn.RecvFrame(config_.poll_ms);
+    if (!frame.ok()) {
+      if (IsUnavailable(frame.status()) &&
+          frame.status().message().find("timed out") != std::string::npos) {
+        idle_ms += config_.poll_ms;
+        if (idle_ms >= config_.idle_timeout_ms) {
+          return;  // silent coordinator; free the accept slot
+        }
+        continue;
+      }
+      return;  // peer closed or the stream is corrupt: drop the session
+    }
+    idle_ms = 0.0;
+    Status handled = OkStatus();
+    switch (frame->type) {
+      case net::FrameType::kHello:
+        handled = HandleHello(conn, frame->payload);
+        break;
+      case net::FrameType::kSubmit:
+        handled = HandleSubmit(conn, frame->payload);
+        break;
+      case net::FrameType::kHeartbeat:
+        handled = HandleHeartbeat(conn, frame->payload);
+        break;
+      case net::FrameType::kFinish:
+        handled = HandleFinish(conn);
+        break;
+      case net::FrameType::kGoodbye:
+        return;
+      default:
+        SendError(conn, InvalidArgumentError(
+                            std::string("unexpected frame ") +
+                            net::FrameTypeName(frame->type)));
+        continue;
+    }
+    if (!handled.ok()) {
+      // Reply failures (broken pipe and friends) end the session; the
+      // coordinator redials.
+      return;
+    }
+  }
+}
+
+Status WorkerServer::HandleHello(net::TcpConnection& conn,
+                                 const std::string& payload) {
+  StatusOr<net::HelloMessage> hello = net::DecodeHello(payload);
+  if (!hello.ok()) {
+    SendError(conn, hello.status());
+    return OkStatus();
+  }
+  if (worker_ == nullptr) {
+    Status rule = ValidateSplitRule(hello->split_rule);
+    if (!rule.ok()) {
+      SendError(conn, rule);
+      return OkStatus();
+    }
+    WorkerOptions options;
+    options.mode = WorkerMode::kDurableStream;
+    options.group_size = static_cast<std::size_t>(hello->group_size);
+    options.split_rule = static_cast<core::SplitRule>(hello->split_rule);
+    options.checkpoint_root = config_.checkpoint_root;
+    options.snapshot_interval =
+        static_cast<std::size_t>(hello->snapshot_interval);
+    options.sync_every_append = hello->sync_every_append != 0;
+    options.queue_capacity = static_cast<std::size_t>(hello->queue_capacity);
+    options.batch_size = static_cast<std::size_t>(hello->batch_size);
+    options.seed = hello->seed;
+    options.worker_id = config_.worker_id;
+    StatusOr<std::unique_ptr<Worker>> worker = Worker::Start(
+        static_cast<std::size_t>(hello->shard_id),
+        static_cast<std::size_t>(hello->dim), options);
+    if (!worker.ok()) {
+      SendError(conn, worker.status());
+      return OkStatus();
+    }
+    worker_ = *std::move(worker);
+    hello_ = *hello;
+  } else if (hello->shard_id != hello_.shard_id ||
+             hello->dim != hello_.dim ||
+             hello->group_size != hello_.group_size ||
+             hello->seed != hello_.seed) {
+    // A re-handshake (reconnect) must describe the same shard; anything
+    // else is a mis-wired coordinator.
+    SendError(conn, FailedPreconditionError(
+                        "Hello does not match this worker's session "
+                        "(already serving shard " +
+                        std::to_string(hello_.shard_id) + ")"));
+    return OkStatus();
+  }
+  net::HelloAckMessage ack;
+  ack.worker_id = worker_->worker_id();
+  ack.durable_total = worker_->durable_total();
+  return conn.SendFrame(net::FrameType::kHelloAck,
+                        net::EncodeHelloAck(ack), config_.io_timeout_ms);
+}
+
+Status WorkerServer::HandleSubmit(net::TcpConnection& conn,
+                                  const std::string& payload) {
+  if (worker_ == nullptr) {
+    SendError(conn, FailedPreconditionError("Submit before Hello"));
+    return OkStatus();
+  }
+  StatusOr<net::SubmitMessage> submit = net::DecodeSubmit(payload);
+  if (!submit.ok()) {
+    SendError(conn, submit.status());
+    return OkStatus();
+  }
+  for (const linalg::Vector& record : submit->records) {
+    Status status = worker_->Submit(record);
+    if (!status.ok()) {
+      SendError(conn, status);
+      return OkStatus();
+    }
+  }
+  {
+    obs::Timer timer;
+    Status flushed = worker_->Flush(config_.flush_timeout_ms);
+    FlushSeconds(worker_->worker_id()).Observe(timer.ElapsedSeconds());
+    if (!flushed.ok()) {
+      SendError(conn, flushed);
+      return OkStatus();
+    }
+  }
+  net::SubmitAckMessage ack;
+  ack.durable_total = worker_->durable_total();
+  return conn.SendFrame(net::FrameType::kSubmitAck,
+                        net::EncodeSubmitAck(ack), config_.io_timeout_ms);
+}
+
+Status WorkerServer::HandleHeartbeat(net::TcpConnection& conn,
+                                     const std::string& payload) {
+  // Chaos hook: an armed "fabric.heartbeat" probe makes this worker miss
+  // (kError) or delay (kLatency) beats, driving the coordinator's
+  // liveness machinery without touching the network.
+  Status injected = FailPoint::Maybe("fabric.heartbeat");
+  if (!injected.ok()) {
+    return OkStatus();  // swallow the beat: the coordinator times out
+  }
+  StatusOr<net::HeartbeatMessage> beat = net::DecodeHeartbeat(payload);
+  if (!beat.ok()) {
+    SendError(conn, beat.status());
+    return OkStatus();
+  }
+  net::HeartbeatAckMessage ack;
+  ack.nonce = beat->nonce;
+  ack.durable_total = worker_ != nullptr ? worker_->durable_total() : 0;
+  return conn.SendFrame(net::FrameType::kHeartbeatAck,
+                        net::EncodeHeartbeatAck(ack),
+                        config_.io_timeout_ms);
+}
+
+Status WorkerServer::HandleFinish(net::TcpConnection& conn) {
+  if (worker_ == nullptr) {
+    SendError(conn, FailedPreconditionError("Finish before Hello"));
+    return OkStatus();
+  }
+  obs::TraceSpan span("fabric.worker.finish");
+  // Pure streaming consumes no randomness; the seed only feeds retry
+  // jitter inside the pipeline.
+  Rng rng(hello_.seed);
+  StatusOr<core::CondensedGroupSet> groups = worker_->Finish(rng);
+  if (!groups.ok()) {
+    SendError(conn, groups.status());
+    return OkStatus();
+  }
+  net::FinishResultMessage result;
+  CONDENSA_CHECK(worker_->stream_stats().has_value());
+  result.stats = *worker_->stream_stats();
+  result.groups_text = core::SerializeGroupSet(*groups);
+  Status sent =
+      conn.SendFrame(net::FrameType::kFinishResult,
+                     net::EncodeFinishResult(result), config_.io_timeout_ms);
+  if (sent.ok()) {
+    finished_.store(true, std::memory_order_relaxed);
+  }
+  return sent;
+}
+
+void WorkerServer::SendError(net::TcpConnection& conn,
+                             const Status& status) {
+  // Best effort: if the reply cannot be delivered the session dies on
+  // the next recv anyway.
+  (void)conn.SendFrame(net::FrameType::kError,
+                       net::EncodeError(net::StatusToError(status)),
+                       config_.io_timeout_ms);
+}
+
+}  // namespace condensa::shard

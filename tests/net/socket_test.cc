@@ -1,0 +1,207 @@
+// Socket layer: framed request/response over real loopback TCP, timeout
+// contracts, clean-close vs mid-frame-close discrimination, and failure
+// injection via the net.* probes.
+
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "net/frame.h"
+
+namespace condensa::net {
+namespace {
+
+class SocketTest : public ::testing::Test {
+ protected:
+  void TearDown() override { condensa::FailPoint::Reset(); }
+};
+
+TEST_F(SocketTest, ListenOnPortZeroResolvesAPort) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST_F(SocketTest, FrameRoundTripOverLoopback) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+
+  std::thread server([&listener] {
+    StatusOr<TcpConnection> conn = listener->Accept(5000);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    StatusOr<Frame> frame = conn->RecvFrame(5000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, FrameType::kHeartbeat);
+    EXPECT_EQ(frame->payload, "ping");
+    ASSERT_TRUE(conn->SendFrame(FrameType::kHeartbeatAck, "pong", 5000).ok());
+  });
+
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 5000);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->SendFrame(FrameType::kHeartbeat, "ping", 5000).ok());
+  StatusOr<Frame> reply = client->RecvFrame(5000);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kHeartbeatAck);
+  EXPECT_EQ(reply->payload, "pong");
+  server.join();
+}
+
+TEST_F(SocketTest, LargeFrameCrossesTheSocketBufferBoundary) {
+  // 4 MiB forces many partial send()/recv() iterations.
+  const std::string big(4 * 1024 * 1024, 'x');
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&listener, &big] {
+    StatusOr<TcpConnection> conn = listener->Accept(5000);
+    ASSERT_TRUE(conn.ok());
+    StatusOr<Frame> frame = conn->RecvFrame(20000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->payload.size(), big.size());
+    EXPECT_EQ(frame->payload, big);
+  });
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 5000);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame(FrameType::kSubmit, big, 20000).ok());
+  server.join();
+}
+
+TEST_F(SocketTest, ConnectToClosedPortIsUnavailable) {
+  // Bind a port, close the listener, and dial it: refused.
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener->port();
+  listener->Close();
+  Status status = TcpConnection::Connect("127.0.0.1", port, 1000).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+}
+
+TEST_F(SocketTest, RecvTimesOutOnASilentPeer) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+  Status status = client->RecvFrame(100).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("timed out"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SocketTest, AcceptTimesOutWithoutAConnection) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  Status status = listener->Accept(100).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(SocketTest, CleanCloseBetweenFramesIsUnavailable) {
+  // A peer that closes between frames ended the session deliberately —
+  // that is kUnavailable ("peer closed"), distinct from corruption.
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+  server->Close();
+  Status status = client->RecvFrame(2000).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable) << status.ToString();
+  EXPECT_NE(status.message().find("closed"), std::string::npos);
+}
+
+TEST_F(SocketTest, MidFrameCloseIsDataLoss) {
+  // A peer that dies mid-frame leaves a truncated stream: kDataLoss.
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+
+  // Push half a frame through the raw fd, then close.
+  const std::string wire = EncodeFrame(FrameType::kSubmit, "payload");
+  ASSERT_GT(wire.size(), 4u);
+  ASSERT_EQ(::send(server->fd(), wire.data(), wire.size() / 2, 0),
+            static_cast<ssize_t>(wire.size() / 2));
+  server->Close();
+  Status status = client->RecvFrame(2000).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+}
+
+TEST_F(SocketTest, CorruptFrameOnTheWireIsDataLoss) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+
+  std::string wire = EncodeFrame(FrameType::kSubmit, "payload");
+  wire.back() ^= 0x40;  // corrupt the payload -> CRC mismatch
+  ASSERT_EQ(::send(server->fd(), wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  Status status = client->RecvFrame(2000).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+}
+
+TEST_F(SocketTest, RecvEnforcesTightenedPayloadCap) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(
+      server->SendFrame(FrameType::kSubmit, std::string(2048, 'x'), 2000)
+          .ok());
+  // The receiver's cap is tighter than the sender's frame: rejected at
+  // the header, before the payload would be read.
+  Status status = client->RecvFrame(2000, /*max_payload=*/1024).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+}
+
+TEST_F(SocketTest, ConnectFailpointInjectsDialFailure) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  condensa::FailPoint::Arm("net.connect",
+                           {.code = StatusCode::kUnavailable});
+  Status status =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000).status();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  condensa::FailPoint::Reset();
+  EXPECT_TRUE(
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000).ok());
+}
+
+TEST_F(SocketTest, SendAndRecvFailpointsSeverTheStream) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+
+  condensa::FailPoint::Arm("net.send", {.code = StatusCode::kUnavailable});
+  EXPECT_FALSE(client->SendFrame(FrameType::kHeartbeat, "", 2000).ok());
+  condensa::FailPoint::Reset();
+
+  condensa::FailPoint::Arm("net.recv", {.code = StatusCode::kUnavailable});
+  EXPECT_FALSE(client->RecvFrame(100).ok());
+}
+
+}  // namespace
+}  // namespace condensa::net

@@ -1,0 +1,293 @@
+// Wire payload codecs: bit-exact round trips, bounds-checked reads, and
+// validate-before-allocate length handling.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "linalg/vector.h"
+
+namespace condensa::net {
+namespace {
+
+using linalg::Vector;
+
+TEST(WireReaderTest, ScalarRoundTrip) {
+  WireWriter writer;
+  writer.PutU8(7);
+  writer.PutU16(0xBEEF);
+  writer.PutU32(0xDEADBEEFu);
+  writer.PutU64(0x0123456789ABCDEFull);
+  writer.PutDouble(-0.0);
+  writer.PutString("blob");
+
+  WireReader reader(writer.buffer());
+  std::uint8_t u8 = 0;
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  double d = 1.0;
+  std::string s;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU16(&u16).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  ASSERT_TRUE(reader.ExpectDone().ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_TRUE(std::signbit(d));  // -0.0 survives bit-exactly
+  EXPECT_EQ(s, "blob");
+}
+
+TEST(WireReaderTest, ReadsPastTheEndAreDataLoss) {
+  WireWriter writer;
+  writer.PutU32(5);
+  WireReader reader(writer.buffer());
+  std::uint64_t u64 = 0;
+  EXPECT_EQ(reader.ReadU64(&u64).code(), StatusCode::kDataLoss);
+  // The failed read did not consume anything.
+  std::uint32_t u32 = 0;
+  EXPECT_TRUE(reader.ReadU32(&u32).ok());
+  EXPECT_EQ(u32, 5u);
+}
+
+TEST(WireReaderTest, StringLengthValidatedBeforeAllocation) {
+  // A length prefix claiming far more bytes than the buffer holds must
+  // fail from the bounds check, never allocate.
+  WireWriter writer;
+  writer.PutU32(0x7FFFFFFFu);  // huge claimed length, no bytes behind it
+  WireReader reader(writer.buffer());
+  std::string s;
+  EXPECT_EQ(reader.ReadString(&s).code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(WireReaderTest, TrailingBytesAreRejected) {
+  WireWriter writer;
+  writer.PutU8(1);
+  writer.PutU8(2);
+  WireReader reader(writer.buffer());
+  std::uint8_t u8 = 0;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  EXPECT_EQ(reader.ExpectDone().code(), StatusCode::kDataLoss);
+}
+
+TEST(WireMessageTest, HelloRoundTrip) {
+  HelloMessage msg;
+  msg.shard_id = 3;
+  msg.dim = 17;
+  msg.group_size = 25;
+  msg.split_rule = 1;
+  msg.snapshot_interval = 512;
+  msg.sync_every_append = 1;
+  msg.queue_capacity = 2048;
+  msg.batch_size = 16;
+  msg.seed = 0xFEEDFACEull;
+  StatusOr<HelloMessage> decoded = DecodeHello(EncodeHello(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard_id, msg.shard_id);
+  EXPECT_EQ(decoded->dim, msg.dim);
+  EXPECT_EQ(decoded->group_size, msg.group_size);
+  EXPECT_EQ(decoded->split_rule, msg.split_rule);
+  EXPECT_EQ(decoded->snapshot_interval, msg.snapshot_interval);
+  EXPECT_EQ(decoded->sync_every_append, msg.sync_every_append);
+  EXPECT_EQ(decoded->queue_capacity, msg.queue_capacity);
+  EXPECT_EQ(decoded->batch_size, msg.batch_size);
+  EXPECT_EQ(decoded->seed, msg.seed);
+}
+
+TEST(WireMessageTest, HelloRejectsZeroOrHugeDim) {
+  HelloMessage msg;
+  msg.dim = 0;
+  msg.group_size = 10;
+  EXPECT_FALSE(DecodeHello(EncodeHello(msg)).ok());
+  msg.dim = (1ull << 40);
+  EXPECT_FALSE(DecodeHello(EncodeHello(msg)).ok());
+}
+
+TEST(WireMessageTest, SubmitRoundTripsRecordsBitExactly) {
+  Rng rng(11);
+  SubmitMessage msg;
+  msg.base_sequence = 1234;
+  msg.dim = 5;
+  for (int i = 0; i < 9; ++i) {
+    Vector record(5);
+    for (std::size_t j = 0; j < 5; ++j) record[j] = rng.Gaussian();
+    msg.records.push_back(record);
+  }
+  // Throw in the awkward bit patterns.
+  Vector awkward(5);
+  awkward[0] = -0.0;
+  awkward[1] = std::numeric_limits<double>::denorm_min();
+  awkward[2] = -std::numeric_limits<double>::max();
+  awkward[3] = 1e-300;
+  awkward[4] = 0.1 + 0.2;
+  msg.records.push_back(awkward);
+
+  StatusOr<SubmitMessage> decoded = DecodeSubmit(EncodeSubmit(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->base_sequence, msg.base_sequence);
+  ASSERT_EQ(decoded->records.size(), msg.records.size());
+  for (std::size_t i = 0; i < msg.records.size(); ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      // Bitwise, not numeric, comparison.
+      std::uint64_t want, got;
+      static_assert(sizeof(double) == sizeof(std::uint64_t));
+      std::memcpy(&want, &msg.records[i][j], sizeof(want));
+      std::memcpy(&got, &decoded->records[i][j], sizeof(got));
+      EXPECT_EQ(want, got) << "record " << i << " coord " << j;
+    }
+  }
+}
+
+TEST(WireMessageTest, SubmitCountMustMatchPayloadExactly) {
+  SubmitMessage msg;
+  msg.dim = 3;
+  Vector record(3);
+  msg.records.push_back(record);
+  std::string payload = EncodeSubmit(msg);
+
+  // Truncating record bytes breaks the count/payload agreement.
+  EXPECT_FALSE(DecodeSubmit(payload.substr(0, payload.size() - 1)).ok());
+  // So does appending.
+  EXPECT_FALSE(DecodeSubmit(payload + "x").ok());
+}
+
+TEST(WireMessageTest, SubmitRejectsInsaneCounts) {
+  // A forged header claiming 2^20+1 records with no bytes behind it must
+  // fail before any allocation proportional to the claim.
+  WireWriter writer;
+  writer.PutU64(0);                 // base_sequence
+  writer.PutU64(3);                 // dim
+  writer.PutU64((1ull << 20) + 1);  // count over the cap
+  EXPECT_FALSE(DecodeSubmit(writer.buffer()).ok());
+}
+
+TEST(WireMessageTest, AcksAndHeartbeatsRoundTrip) {
+  HelloAckMessage hello_ack;
+  hello_ack.worker_id = "w3";
+  hello_ack.durable_total = 777;
+  StatusOr<HelloAckMessage> ha = DecodeHelloAck(EncodeHelloAck(hello_ack));
+  ASSERT_TRUE(ha.ok());
+  EXPECT_EQ(ha->worker_id, "w3");
+  EXPECT_EQ(ha->durable_total, 777u);
+
+  SubmitAckMessage submit_ack;
+  submit_ack.durable_total = 4242;
+  StatusOr<SubmitAckMessage> sa =
+      DecodeSubmitAck(EncodeSubmitAck(submit_ack));
+  ASSERT_TRUE(sa.ok());
+  EXPECT_EQ(sa->durable_total, 4242u);
+
+  HeartbeatMessage beat;
+  beat.nonce = 0xABCDull;
+  StatusOr<HeartbeatMessage> hb = DecodeHeartbeat(EncodeHeartbeat(beat));
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(hb->nonce, 0xABCDull);
+
+  HeartbeatAckMessage beat_ack;
+  beat_ack.nonce = 0xABCDull;
+  beat_ack.durable_total = 5;
+  StatusOr<HeartbeatAckMessage> hba =
+      DecodeHeartbeatAck(EncodeHeartbeatAck(beat_ack));
+  ASSERT_TRUE(hba.ok());
+  EXPECT_EQ(hba->nonce, 0xABCDull);
+  EXPECT_EQ(hba->durable_total, 5u);
+}
+
+TEST(WireMessageTest, FinishResultRoundTripsTheLedger) {
+  FinishResultMessage msg;
+  msg.stats.submitted = 100;
+  msg.stats.accepted = 99;
+  msg.stats.applied = 90;
+  msg.stats.quarantined_failure = 4;
+  msg.stats.spool_remaining = 5;
+  msg.stats.retries = 17;
+  msg.stats.breaker_trips = 2;
+  msg.groups_text = "condensa-groups v1\nnot actually parsed here";
+  StatusOr<FinishResultMessage> decoded =
+      DecodeFinishResult(EncodeFinishResult(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stats.submitted, 100u);
+  EXPECT_EQ(decoded->stats.accepted, 99u);
+  EXPECT_EQ(decoded->stats.applied, 90u);
+  EXPECT_EQ(decoded->stats.quarantined_failure, 4u);
+  EXPECT_EQ(decoded->stats.spool_remaining, 5u);
+  EXPECT_EQ(decoded->stats.retries, 17u);
+  EXPECT_EQ(decoded->stats.breaker_trips, 2u);
+  EXPECT_EQ(decoded->groups_text, msg.groups_text);
+}
+
+TEST(WireMessageTest, ErrorRoundTripsEveryStatusCode) {
+  for (StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kUnavailable, StatusCode::kDataLoss,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    Status original(code, "something broke");
+    StatusOr<ErrorMessage> decoded =
+        DecodeError(EncodeError(StatusToError(original)));
+    ASSERT_TRUE(decoded.ok());
+    Status round = ErrorToStatus(*decoded);
+    EXPECT_EQ(round.code(), code);
+    EXPECT_EQ(round.message(), "something broke");
+  }
+}
+
+TEST(WireMessageTest, ErrorClaimingOkIsDataLoss) {
+  // A worker must never send an Error frame carrying kOk; treat it as a
+  // protocol violation rather than inventing a success.
+  ErrorMessage msg;
+  msg.code = 0;
+  msg.message = "liar";
+  StatusOr<ErrorMessage> decoded = DecodeError(EncodeError(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(ErrorToStatus(*decoded).code(), StatusCode::kDataLoss);
+}
+
+TEST(WireMessageTest, MangledPayloadsFailCleanly) {
+  Rng rng(23);
+  SubmitMessage submit;
+  submit.dim = 4;
+  for (int i = 0; i < 3; ++i) {
+    Vector record(4);
+    for (std::size_t j = 0; j < 4; ++j) record[j] = rng.Gaussian();
+    submit.records.push_back(record);
+  }
+  const std::string payloads[] = {
+      EncodeHello(HelloMessage{.dim = 4, .group_size = 10}),
+      EncodeHelloAck(HelloAckMessage{.worker_id = "w0"}),
+      EncodeSubmit(submit),
+      EncodeFinishResult(FinishResultMessage{.groups_text = "body"}),
+  };
+  for (const std::string& payload : payloads) {
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      // Truncations: never crash; non-OK or benign.
+      (void)DecodeHello(payload.substr(0, cut));
+      (void)DecodeHelloAck(payload.substr(0, cut));
+      (void)DecodeSubmit(payload.substr(0, cut));
+      (void)DecodeFinishResult(payload.substr(0, cut));
+    }
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string mangled = payload;
+      mangled[rng.UniformIndex(mangled.size())] =
+          static_cast<char>(rng.UniformIndex(256));
+      (void)DecodeHello(mangled);
+      (void)DecodeSubmit(mangled);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace condensa::net

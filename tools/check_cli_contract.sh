@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Pins the CLI's help and exit-code contract so scripts and CI jobs can
+# rely on it:
+#   * exit 0  — success, and every `<cmd> --help`
+#   * exit 2  — usage errors (unknown command, bad flag value, missing
+#               required flag), detected BEFORE any work starts
+# Usage: check_cli_contract.sh /path/to/condensa
+set -u
+
+CLI="${1:?usage: check_cli_contract.sh /path/to/condensa}"
+failures=0
+
+expect_code() {
+  local want="$1"; shift
+  local label="$1"; shift
+  "$@" > /dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $label: expected exit $want, got $got ($*)" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $label (exit $got)"
+  fi
+}
+
+# Top-level help and unknown commands.
+expect_code 0 "bare --help"            "$CLI" --help
+expect_code 2 "no command"             "$CLI"
+expect_code 2 "unknown command"        "$CLI" frobnicate
+
+# Every subcommand answers --help with exit 0.
+for cmd in condense serve-stream worker fabric; do
+  expect_code 0 "$cmd --help"          "$CLI" "$cmd" --help
+done
+
+# serve-stream shard-count validation: rejected before any work.
+expect_code 2 "serve-stream --shards=0"        "$CLI" serve-stream --shards=0
+expect_code 2 "serve-stream --shards=-3"       "$CLI" serve-stream --shards=-3
+expect_code 2 "serve-stream --shards=abc"      "$CLI" serve-stream --shards=abc
+# Space-separated form is a bare positional, also a usage error.
+expect_code 2 "serve-stream --shards 0"        "$CLI" serve-stream --shards 0
+
+# Unknown flags are usage errors everywhere, including on the new
+# subcommands.
+expect_code 2 "serve-stream typo flag"   "$CLI" serve-stream --shard=2
+expect_code 2 "worker unknown flag"      "$CLI" worker --bogus=1
+expect_code 2 "fabric unknown flag"      "$CLI" fabric --bogus=1
+
+# worker/fabric required-flag validation fails fast.
+expect_code 2 "worker missing checkpoint root" "$CLI" worker
+expect_code 2 "worker bad port"      "$CLI" worker --checkpoint-root=/tmp/x --port=70000
+expect_code 2 "fabric missing workers"         "$CLI" fabric
+expect_code 2 "fabric bad worker list"  "$CLI" fabric --workers=localhost
+expect_code 2 "fabric k below 2"  "$CLI" fabric --workers=127.0.0.1:19999 --k=1
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures CLI contract check(s) failed" >&2
+  exit 1
+fi
+echo "CLI contract holds"

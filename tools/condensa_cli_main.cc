@@ -13,6 +13,14 @@
 //   shard     batch scatter/gather condensation: route a CSV (or synthetic
 //             data) across N shard condensers, exact-merge the shard-local
 //             aggregates, optionally anonymize; see docs/scaling.md
+//   worker    run one standalone fabric worker process: a durable
+//             streaming shard behind the framed TCP protocol, serving
+//             Hello/Submit/Heartbeat/Finish from a coordinator; see
+//             docs/fabric.md
+//   fabric    coordinate a fleet of worker processes: scatter a stream
+//             across them with liveness tracking, reconnect, and
+//             zero-loss handoff, then gather the release; see
+//             docs/fabric.md
 //   recover   restore a condenser from its checkpoint directory
 //   inspect   print the privacy summary of a saved group-statistics file
 //   evaluate  compare an original and an anonymized CSV (mu, linkage)
@@ -62,8 +70,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/pipeline.h"
+#include "shard/fabric.h"
 #include "shard/sharded_condenser.h"
 #include "shard/stream_service.h"
+#include "shard/worker_server.h"
 
 namespace {
 
@@ -163,6 +173,15 @@ void PrintUsage(std::FILE* out) {
       "             [--checkpoint-root=DIR] [--snapshot-every=N] [--no-sync]\n"
       "             [--threads=N] [--save-groups=FILE] [--output=FILE]\n"
       "             [--header] [--seed=N] [--format=prometheus|json]\n"
+      "  worker     --checkpoint-root=DIR [--host=ADDR] [--port=N]\n"
+      "             [--worker-id=ID] [--idle-timeout-ms=X]\n"
+      "             [--flush-timeout-ms=X]\n"
+      "  fabric     --workers=HOST:PORT[,HOST:PORT...] [--input=FILE |\n"
+      "             --records=N --dim=N] [--k=N] [--policy=hash|round-robin]\n"
+      "             [--wire-batch=N] [--local-fallback-root=DIR]\n"
+      "             [--heartbeat-interval-ms=X] [--heartbeat-timeout-ms=X]\n"
+      "             [--save-groups=FILE] [--output=FILE] [--header]\n"
+      "             [--seed=N] [--format=prometheus|json]\n"
       "  recover    --checkpoint-dir=DIR [--save-groups=FILE] [--k=N]\n"
       "  inspect    --groups=FILE\n"
       "  evaluate   --original=FILE --anonymized=FILE\n"
@@ -284,6 +303,68 @@ const char* HelpText(const std::string& command) {
            "  --output=FILE         also anonymize and write a release CSV\n"
            "  --header              first CSV row is a header\n"
            "  --seed=N              RNG seed (per-shard streams are derived)\n"
+           "  --format=prometheus|json  also dump the metrics registry\n";
+  }
+  if (command == "worker") {
+    return "condensa worker — standalone fabric worker process\n"
+           "\n"
+           "Listens for a coordinator (condensa fabric) and serves one\n"
+           "shard of the networked fabric: records arrive in framed Submit\n"
+           "batches, flow through the durable streaming runtime, and are\n"
+           "acknowledged only once durably in custody — a kill -9 after an\n"
+           "ack loses nothing (docs/fabric.md). The shard id, dimension,\n"
+           "k, and seed all arrive in the coordinator's Hello, so one\n"
+           "worker invocation serves any shard. Restarting the worker on\n"
+           "the same --checkpoint-root recovers its durable state and\n"
+           "rejoins the fabric.\n"
+           "\n"
+           "  --checkpoint-root=DIR shard checkpoint parent directory\n"
+           "                        (required); shard i lives under\n"
+           "                        DIR/shard-<i>\n"
+           "  --host=ADDR           bind address (default 127.0.0.1)\n"
+           "  --port=N              TCP port; 0 picks a free one, printed\n"
+           "                        to stdout as 'listening on PORT'\n"
+           "  --worker-id=ID        stable metric-label identity (default\n"
+           "                        w<shard>); keep it stable across\n"
+           "                        restarts so no duplicate series appear\n"
+           "  --idle-timeout-ms=X   drop a silent session after X ms\n"
+           "                        (default 30000)\n"
+           "  --flush-timeout-ms=X  durability barrier per Submit batch\n"
+           "                        (default 30000)\n";
+  }
+  if (command == "fabric") {
+    return "condensa fabric — coordinate networked fabric workers\n"
+           "\n"
+           "Scatters a stream across standalone worker processes\n"
+           "(condensa worker) over the framed TCP protocol, tracking\n"
+           "liveness with heartbeats, reconnecting with exponential\n"
+           "backoff, re-routing unacknowledged records off dead workers,\n"
+           "and gathering the shard releases by exact moment merge\n"
+           "(docs/fabric.md). A clean run is bit-identical to the\n"
+           "in-process `serve-stream --shards=N` run with the same seed\n"
+           "and shard count.\n"
+           "\n"
+           "  --workers=HOST:PORT[,HOST:PORT...]\n"
+           "                        one endpoint per shard (required)\n"
+           "  --input=FILE          records CSV; otherwise a synthetic\n"
+           "  --records=N --dim=N   two-blob Gaussian stream is generated\n"
+           "                        (defaults 5000 x 4)\n"
+           "  --k=N                 indistinguishability level (default 10)\n"
+           "  --policy=hash|round-robin\n"
+           "                        record-to-shard routing (default hash)\n"
+           "  --wire-batch=N        records per Submit frame (default 64)\n"
+           "  --local-fallback-root=DIR\n"
+           "                        take over unreachable shards with\n"
+           "                        in-process workers over this checkpoint\n"
+           "                        root (point it at the same tree the\n"
+           "                        workers use)\n"
+           "  --heartbeat-interval-ms=X  probe cadence (default 200)\n"
+           "  --heartbeat-timeout-ms=X   declare-dead threshold (default\n"
+           "                        1500)\n"
+           "  --save-groups=FILE    save the gathered group statistics\n"
+           "  --output=FILE         also anonymize and write a release CSV\n"
+           "  --header              first CSV row is a header\n"
+           "  --seed=N              RNG seed (per-shard seeds are derived)\n"
            "  --format=prometheus|json  also dump the metrics registry\n";
   }
   if (command == "recover") {
@@ -1056,6 +1137,239 @@ int RunShard(Flags& flags) {
   return 0;
 }
 
+// Runs one standalone fabric worker until a coordinator finishes it.
+int RunWorker(Flags& flags) {
+  const std::string checkpoint_root = flags.Get("checkpoint-root", "");
+  const std::string host = flags.Get("host", "127.0.0.1");
+  const std::string worker_id = flags.Get("worker-id", "");
+  int port = 0;
+  double idle_timeout_ms = 30000.0, flush_timeout_ms = 30000.0;
+  if (!ParseInt(flags.Get("port", "0"), &port) || port < 0 ||
+      port > 65535 ||
+      !ParseDouble(flags.Get("idle-timeout-ms", "30000"),
+                   &idle_timeout_ms) ||
+      idle_timeout_ms <= 0 ||
+      !ParseDouble(flags.Get("flush-timeout-ms", "30000"),
+                   &flush_timeout_ms) ||
+      flush_timeout_ms <= 0) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "worker")) return code;
+  if (checkpoint_root.empty()) {
+    std::fprintf(stderr, "error: --checkpoint-root is required\n");
+    return 2;
+  }
+
+  condensa::shard::WorkerServerConfig config;
+  config.host = host;
+  config.port = static_cast<std::uint16_t>(port);
+  config.checkpoint_root = checkpoint_root;
+  config.worker_id = worker_id;
+  config.idle_timeout_ms = idle_timeout_ms;
+  config.flush_timeout_ms = flush_timeout_ms;
+  auto server = condensa::shard::WorkerServer::Create(std::move(config));
+  if (!server.ok()) {
+    std::fprintf(stderr, "error starting worker: %s\n",
+                 server.status().ToString().c_str());
+    return server.status().code() ==
+                   condensa::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  std::printf("listening on %u\n", (*server)->port());
+  std::fflush(stdout);
+  condensa::Status run = (*server)->Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "worker failed: %s\n", run.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "worker finished cleanly\n");
+  return 0;
+}
+
+// Splits "host:port,host:port" into fabric endpoints.
+bool ParseWorkerList(const std::string& text,
+                     std::vector<condensa::shard::FabricEndpoint>* out) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0) {
+      return false;
+    }
+    int port = 0;
+    if (!ParseInt(entry.substr(colon + 1), &port) || port < 1 ||
+        port > 65535) {
+      return false;
+    }
+    out->push_back({entry.substr(0, colon),
+                    static_cast<std::uint16_t>(port)});
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+// Drives a fleet of fabric workers: scatter, supervise, gather.
+int RunFabric(Flags& flags) {
+  const std::string workers_text = flags.Get("workers", "");
+  const std::string input = flags.Get("input", "");
+  const std::string policy_name = flags.Get("policy", "hash");
+  const std::string fallback_root = flags.Get("local-fallback-root", "");
+  const std::string save_groups = flags.Get("save-groups", "");
+  const std::string output = flags.Get("output", "");
+  const std::string format = flags.Get("format", "");
+  const bool header = flags.Get("header", "false") == "true";
+  int records = 5000, dim = 4, k = 10, seed = 42, wire_batch = 64;
+  double heartbeat_interval_ms = 200.0, heartbeat_timeout_ms = 1500.0;
+  if (!ParseInt(flags.Get("records", "5000"), &records) || records < 1 ||
+      !ParseInt(flags.Get("dim", "4"), &dim) || dim < 1 ||
+      !ParseInt(flags.Get("k", "10"), &k) || k < 2 ||
+      !ParseInt(flags.Get("seed", "42"), &seed) ||
+      !ParseInt(flags.Get("wire-batch", "64"), &wire_batch) ||
+      wire_batch < 1 ||
+      !ParseDouble(flags.Get("heartbeat-interval-ms", "200"),
+                   &heartbeat_interval_ms) ||
+      heartbeat_interval_ms <= 0 ||
+      !ParseDouble(flags.Get("heartbeat-timeout-ms", "1500"),
+                   &heartbeat_timeout_ms) ||
+      heartbeat_timeout_ms < heartbeat_interval_ms) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "fabric")) return code;
+  condensa::shard::ShardPolicy policy;
+  if (!ParsePolicy(policy_name, &policy)) {
+    std::fprintf(stderr, "error: unknown --policy=%s\n", policy_name.c_str());
+    return 2;
+  }
+  if (!format.empty() && format != "prometheus" && format != "json") {
+    std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
+    return 2;
+  }
+  std::vector<condensa::shard::FabricEndpoint> endpoints;
+  if (workers_text.empty() || !ParseWorkerList(workers_text, &endpoints)) {
+    std::fprintf(stderr,
+                 "error: --workers=HOST:PORT[,HOST:PORT...] is required\n");
+    return 2;
+  }
+
+  std::vector<condensa::linalg::Vector> stream;
+  if (!input.empty()) {
+    auto dataset =
+        LoadCsv(input, condensa::data::TaskType::kUnlabeled, header, -1);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    stream = dataset->records();
+  } else {
+    condensa::Rng data_rng(static_cast<std::uint64_t>(seed) + 1);
+    stream.reserve(static_cast<std::size_t>(records));
+    for (int i = 0; i < records; ++i) {
+      condensa::linalg::Vector record(static_cast<std::size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        record[static_cast<std::size_t>(d)] =
+            data_rng.Gaussian(i % 2 == 0 ? -3.0 : 3.0, 1.0);
+      }
+      stream.push_back(record);
+    }
+  }
+
+  condensa::shard::FabricConfig config;
+  config.workers = std::move(endpoints);
+  config.dim = stream.empty() ? static_cast<std::size_t>(dim)
+                              : stream.front().dim();
+  config.group_size = static_cast<std::size_t>(k);
+  config.policy = policy;
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.wire_batch = static_cast<std::size_t>(wire_batch);
+  config.heartbeat_interval_ms = heartbeat_interval_ms;
+  config.heartbeat_timeout_ms = heartbeat_timeout_ms;
+  config.local_fallback_root = fallback_root;
+
+  auto service = condensa::shard::FabricService::Start(std::move(config));
+  if (!service.ok()) {
+    std::fprintf(stderr, "error starting fabric: %s\n",
+                 service.status().ToString().c_str());
+    return service.status().code() ==
+                   condensa::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  for (const condensa::linalg::Vector& record : stream) {
+    condensa::Status status = (*service)->Submit(record);
+    if (!status.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto result = (*service)->Finish();
+  if (!result.ok()) {
+    std::fprintf(stderr, "finish failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  for (std::size_t shard = 0; shard < result->shard_stats.size(); ++shard) {
+    std::printf("shard %zu ledger: %s\n", shard,
+                result->shard_stats[shard].ToString().c_str());
+  }
+  std::printf("fabric: %s\n", result->report.ToString().c_str());
+  std::printf("gather: %s\n", result->gather.ToString().c_str());
+  PrintGroupSummary(result->groups, "");
+
+  if (!save_groups.empty()) {
+    condensa::Status save_status =
+        condensa::core::SaveGroupSet(result->groups, save_groups);
+    if (!save_status.ok()) {
+      std::fprintf(stderr, "error saving %s: %s\n", save_groups.c_str(),
+                   save_status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved group statistics to %s\n",
+                 save_groups.c_str());
+  }
+  if (!output.empty()) {
+    condensa::Rng rng(static_cast<std::uint64_t>(seed));
+    auto anonymized =
+        condensa::core::Anonymizer().Generate(result->groups, rng);
+    if (!anonymized.ok()) {
+      std::fprintf(stderr, "release generation failed: %s\n",
+                   anonymized.status().ToString().c_str());
+      return 1;
+    }
+    condensa::data::Dataset release(result->groups.dim());
+    for (condensa::linalg::Vector& record : *anonymized) {
+      release.Add(std::move(record));
+    }
+    condensa::Status write_status = condensa::data::WriteCsv(release, output);
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                   write_status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu anonymized records to %s\n",
+                 release.size(), output.c_str());
+  }
+  if (!format.empty()) {
+    condensa::obs::MetricsRegistry& registry =
+        condensa::obs::DefaultRegistry();
+    std::fputs(format == "json" ? registry.DumpJson().c_str()
+                                : registry.DumpPrometheusText().c_str(),
+               stdout);
+  }
+  if (!result->Balanced()) {
+    std::fprintf(stderr,
+                 "error: a shard ledger does not balance — records lost\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunInspect(Flags& flags) {
   const std::string path = flags.Get("groups", "");
   if (int code = RejectUnknownFlags(flags, "inspect")) return code;
@@ -1312,6 +1626,10 @@ int main(int argc, char** argv) {
     code = RunServeStream(flags);
   } else if (command == "shard") {
     code = RunShard(flags);
+  } else if (command == "worker") {
+    code = RunWorker(flags);
+  } else if (command == "fabric") {
+    code = RunFabric(flags);
   } else if (command == "recover") {
     code = RunRecover(flags);
   } else if (command == "inspect") {
