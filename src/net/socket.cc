@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -19,6 +21,25 @@ namespace {
 
 std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Converts a relative timeout into an absolute deadline on the NowMs
+// clock. Negative timeouts mean "wait forever" and stay negative.
+double DeadlineFor(double timeout_ms) {
+  return timeout_ms < 0 ? -1.0 : NowMs() + timeout_ms;
+}
+
+double RemainingMs(double deadline_ms) {
+  if (deadline_ms < 0) {
+    return -1.0;
+  }
+  return std::max(0.0, deadline_ms - NowMs());
 }
 
 Status ParseAddr(const std::string& host, std::uint16_t port,
@@ -57,11 +78,15 @@ Status PollFor(int fd, short events, double timeout_ms,
   return OkStatus();
 }
 
+// Writes exactly `size` bytes. `deadline_ms` is an absolute NowMs
+// deadline covering the whole write, so a peer draining one byte per
+// poll interval cannot stretch a frame send past the caller's timeout.
 Status SendAll(int fd, const char* data, std::size_t size,
-               double timeout_ms) {
+               double deadline_ms) {
   std::size_t sent = 0;
   while (sent < size) {
-    CONDENSA_RETURN_IF_ERROR(PollFor(fd, POLLOUT, timeout_ms, "send"));
+    CONDENSA_RETURN_IF_ERROR(
+        PollFor(fd, POLLOUT, RemainingMs(deadline_ms), "send"));
     const ssize_t rc =
         ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (rc < 0) {
@@ -75,14 +100,25 @@ Status SendAll(int fd, const char* data, std::size_t size,
   return OkStatus();
 }
 
-// Reads exactly `size` bytes. `any_read` reports whether at least one
-// byte arrived before a clean peer close, distinguishing "peer hung up
-// between frames" from "peer died mid-frame".
-Status RecvAll(int fd, char* data, std::size_t size, double timeout_ms,
+// Reads exactly `size` bytes before the absolute deadline. `any_read`
+// reports whether at least one byte of the current frame arrived,
+// distinguishing "peer idle between frames" from "peer stalled or died
+// mid-frame": an idle timeout is kUnavailable (the caller may safely
+// poll again — no stream bytes were consumed), while a mid-frame
+// timeout is kDataLoss, because the partial bytes are discarded and a
+// retry would read from the middle of the frame.
+Status RecvAll(int fd, char* data, std::size_t size, double deadline_ms,
                bool* any_read) {
   std::size_t got = 0;
   while (got < size) {
-    CONDENSA_RETURN_IF_ERROR(PollFor(fd, POLLIN, timeout_ms, "recv"));
+    Status polled = PollFor(fd, POLLIN, RemainingMs(deadline_ms), "recv");
+    if (!polled.ok()) {
+      if (*any_read) {
+        return DataLossError("recv timed out mid-frame: " +
+                             std::string(polled.message()));
+      }
+      return polled;
+    }
     const ssize_t rc = ::recv(fd, data + got, size - got, 0);
     if (rc < 0) {
       if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -167,7 +203,7 @@ Status TcpConnection::SendFrame(FrameType type, std::string_view payload,
   }
   CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.send"));
   const std::string wire = EncodeFrame(type, payload);
-  return SendAll(fd_, wire.data(), wire.size(), timeout_ms);
+  return SendAll(fd_, wire.data(), wire.size(), DeadlineFor(timeout_ms));
 }
 
 StatusOr<Frame> TcpConnection::RecvFrame(double timeout_ms,
@@ -176,10 +212,13 @@ StatusOr<Frame> TcpConnection::RecvFrame(double timeout_ms,
     return FailedPreconditionError("RecvFrame on a closed connection");
   }
   CONDENSA_RETURN_IF_ERROR(FailPoint::Maybe("net.recv"));
+  // One deadline spans header + payload: a frame either arrives whole
+  // within timeout_ms or fails, regardless of how the peer paces it.
+  const double deadline_ms = DeadlineFor(timeout_ms);
   char header_bytes[kFrameHeaderSize];
   bool any_read = false;
   CONDENSA_RETURN_IF_ERROR(RecvAll(fd_, header_bytes, kFrameHeaderSize,
-                                   timeout_ms, &any_read));
+                                   deadline_ms, &any_read));
   // Header validation happens before the payload buffer is allocated, so
   // a corrupt length field cannot drive a giant allocation.
   CONDENSA_ASSIGN_OR_RETURN(
@@ -191,7 +230,7 @@ StatusOr<Frame> TcpConnection::RecvFrame(double timeout_ms,
   frame.payload.resize(header.payload_length);
   if (header.payload_length > 0) {
     CONDENSA_RETURN_IF_ERROR(RecvAll(fd_, frame.payload.data(),
-                                     frame.payload.size(), timeout_ms,
+                                     frame.payload.size(), deadline_ms,
                                      &any_read));
   }
   if (Crc32(frame.payload) != header.payload_crc32) {

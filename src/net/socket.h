@@ -52,9 +52,13 @@ class TcpConnection {
 
   // Receives one whole frame, validating header and checksum via
   // net::DecodeFrameHeader before the payload is allocated. Blocks until
-  // a full frame arrives or `timeout_ms` elapses (kUnavailable). A peer
-  // that closed cleanly between frames yields kUnavailable("peer
-  // closed"); mid-frame close or corruption yields kDataLoss.
+  // a full frame arrives or `timeout_ms` elapses. `timeout_ms` is one
+  // overall deadline for the whole frame (header + payload), not a
+  // per-read allowance — a peer trickling bytes cannot stretch it. A
+  // timeout or clean close with zero frame bytes consumed yields
+  // kUnavailable (safe to call again); a mid-frame timeout, close, or
+  // corruption yields kDataLoss (the stream is desynced — drop the
+  // connection).
   StatusOr<Frame> RecvFrame(double timeout_ms,
                             std::uint32_t max_payload = kMaxFramePayload);
 

@@ -5,12 +5,6 @@
 namespace condensa::net {
 namespace {
 
-// Caps on variable-length fields, enforced before allocation. These are
-// looser than kMaxFramePayload implies but keep a corrupt count from
-// driving per-element work.
-constexpr std::uint64_t kMaxRecordsPerSubmit = 1u << 20;
-constexpr std::uint64_t kMaxWireDim = 1u << 16;
-
 // StreamPipelineStats crosses the wire as a counted list of u64 fields in
 // this fixed order; the count pins the schema so a field added on one
 // side cannot be silently dropped by the other.

@@ -105,6 +105,16 @@ struct HelloAckMessage {
 // Coordinator -> worker. A batch of records; `base_sequence` is the
 // stream position of records[0] within this shard's substream (used only
 // for diagnostics — ordering is carried by the connection).
+// Caps on a Submit batch's variable-length fields, enforced by
+// DecodeSubmit before allocation (a corrupt count cannot drive
+// per-element work) and by FabricConfig::Validate (a legal config can
+// never build a batch that EncodeFrame's payload cap rejects).
+inline constexpr std::uint64_t kMaxRecordsPerSubmit = 1u << 20;
+inline constexpr std::uint64_t kMaxWireDim = 1u << 16;
+// Fixed bytes preceding the packed records in a Submit payload:
+// base_sequence u64 + dim u64 + count u32.
+inline constexpr std::uint64_t kSubmitOverheadBytes = 8 + 8 + 4;
+
 struct SubmitMessage {
   std::uint64_t base_sequence = 0;
   std::uint64_t dim = 0;

@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "core/serialization.h"
+#include "net/frame.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -80,6 +82,33 @@ Status FabricConfig::Validate() const {
   }
   if (wire_batch == 0) {
     return InvalidArgumentError("wire_batch must be >= 1");
+  }
+  if (dim > net::kMaxWireDim) {
+    return InvalidArgumentError(
+        "dim " + std::to_string(dim) + " exceeds the wire cap of " +
+        std::to_string(net::kMaxWireDim));
+  }
+  if (wire_batch > net::kMaxRecordsPerSubmit) {
+    return InvalidArgumentError(
+        "wire_batch " + std::to_string(wire_batch) +
+        " exceeds the per-frame record cap of " +
+        std::to_string(net::kMaxRecordsPerSubmit));
+  }
+  // EncodeFrame CHECK-fails on payloads at or above kMaxFramePayload, so
+  // the largest Submit batch a config can produce must fit under the cap
+  // — otherwise a legal-looking config would crash the coordinator at
+  // the first full outbox instead of failing here with a Status.
+  const std::uint64_t max_submit_payload =
+      net::kSubmitOverheadBytes +
+      static_cast<std::uint64_t>(wire_batch) * dim * sizeof(double);
+  if (max_submit_payload >= net::kMaxFramePayload) {
+    return InvalidArgumentError(
+        "wire_batch " + std::to_string(wire_batch) + " at dim " +
+        std::to_string(dim) + " makes a " +
+        std::to_string(max_submit_payload) +
+        "-byte Submit payload, above the frame cap of " +
+        std::to_string(net::kMaxFramePayload) +
+        " bytes; lower wire_batch");
   }
   if (connect_timeout_ms <= 0 || io_timeout_ms <= 0 ||
       ack_timeout_ms <= 0 || finish_timeout_ms <= 0 ||
@@ -429,6 +458,45 @@ Status FabricService::LocalTakeoverLocked(std::size_t shard, Peer& peer) {
   return OkStatus();
 }
 
+Status FabricService::SettleDeliveries() {
+  // Runs before any worker is allowed to Finish: repeatedly re-places
+  // orphans and flushes every surviving outbox until both are empty. A
+  // peer dying mid-pass re-orphans its outbox, which the next pass
+  // re-places, so each unsettled pass either converges or shrinks the
+  // member set — bounding the pass count by the shard count (doubled to
+  // allow one revive-then-die flap per peer).
+  const std::size_t max_passes = 2 * peers_.size() + 2;
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    CONDENSA_RETURN_IF_ERROR(DrainOrphans());
+    bool settled = true;
+    for (std::size_t shard = 0; shard < peers_.size(); ++shard) {
+      Peer& peer = *peers_[shard];
+      std::lock_guard<std::mutex> lock(peer.mu);
+      if (peer.state != PeerState::kConnected || peer.outbox.empty()) {
+        continue;
+      }
+      Status flushed = FlushOutboxLocked(shard, peer, 0);
+      if (!flushed.ok()) {
+        ReviveOrDeclareDeadLocked(shard, peer);
+        // Revived: the backlog flushes next pass. Declared dead: the
+        // backlog was orphaned and re-places next pass.
+        settled = false;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(orphans_mu_);
+      if (!orphans_.empty()) {
+        settled = false;
+      }
+    }
+    if (settled) {
+      return OkStatus();
+    }
+  }
+  return UnavailableError(
+      "fabric could not settle in-flight records before the gather");
+}
+
 Status FabricService::DrainOrphans() {
   // Each pass either places every orphan or shrinks the member set (a
   // peer dying re-orphans its outbox); the pass count is bounded by the
@@ -523,6 +591,17 @@ Status FabricService::DrainOrphans() {
 Status FabricService::Submit(const linalg::Vector& record) {
   if (finished_) {
     return FailedPreconditionError("Submit after Finish");
+  }
+  // EncodeSubmit packs exactly config_.dim doubles per record, so a
+  // wrong-dimension record would make every batch sharing a frame with
+  // it undecodable — a poison pill the worker rejects forever, which
+  // reads as a dead shard. Reject it here, before it takes an arrival
+  // index or touches any outbox.
+  if (record.dim() != config_.dim) {
+    return InvalidArgumentError(
+        "record dimension " + std::to_string(record.dim()) +
+        " does not match the fabric dimension " +
+        std::to_string(config_.dim));
   }
   const std::size_t index = submitted_;
   const std::size_t shard = router_.Route(record);
@@ -664,7 +743,14 @@ StatusOr<FabricResult> FabricService::Finish() {
     heartbeat_.join();
   }
 
-  CONDENSA_RETURN_IF_ERROR(DrainOrphans());
+  // Deliver every in-flight record BEFORE any worker runs Finish. Once
+  // the gather below starts, a record can no longer be re-placed: its
+  // home may already be gathered (its groups fixed) or finished (Submit
+  // would fail), so any orphan surviving into the gather is either data
+  // loss or an abort. Settling first empties every outbox and the
+  // orphan queue, which also means a worker death DURING the gather
+  // orphans nothing — its acked state recovers alone via takeover.
+  CONDENSA_RETURN_IF_ERROR(SettleDeliveries());
 
   FabricResult result;
   std::vector<core::CondensedGroupSet> shard_sets;
@@ -722,7 +808,9 @@ StatusOr<FabricResult> FabricService::Finish() {
       }();
       if (!finished_remote.ok()) {
         // The worker died (or the wire broke) inside the gather; its
-        // durable state is still on disk, so hand the shard over.
+        // durable state is still on disk, so hand the shard over. The
+        // outbox is empty (SettleDeliveries ran), so declaring the peer
+        // dead here orphans nothing.
         DeclareDeadLocked(shard, peer);
         CONDENSA_RETURN_IF_ERROR(LocalTakeoverLocked(shard, peer));
       }
@@ -737,9 +825,17 @@ StatusOr<FabricResult> FabricService::Finish() {
     }
   }
 
-  // DeclareDeadLocked during the loop may have orphaned a tail of some
-  // outbox; those records must land before the gather.
-  CONDENSA_RETURN_IF_ERROR(DrainOrphans());
+  // Invariant: SettleDeliveries emptied every outbox before the gather,
+  // so the loop above cannot have orphaned anything. A leftover here
+  // has no live shard to land on — surface it instead of dropping it.
+  {
+    std::lock_guard<std::mutex> lock(orphans_mu_);
+    if (!orphans_.empty()) {
+      return InternalError("gather left " +
+                           std::to_string(orphans_.size()) +
+                           " records unplaced; refusing to drop them");
+    }
+  }
 
   Coordinator coordinator(
       {.group_size = config_.group_size, .split_rule = config_.split_rule});

@@ -243,6 +243,10 @@ class FabricService {
   // --- re-routing (takes orphans_mu_, then peer mutexes) ---
   void OrphanOutboxLocked(Peer& peer);
   Status DrainOrphans();
+  // Finish's pre-gather barrier: loops DrainOrphans + full outbox
+  // flushes until no record is in flight anywhere, so that no worker
+  // Finish can strand an orphan.
+  Status SettleDeliveries();
   std::vector<std::size_t> LiveMembers();
 
   void HeartbeatLoop();

@@ -89,6 +89,9 @@ void WorkerServer::ServeSession(net::TcpConnection conn) {
          !finished_.load(std::memory_order_relaxed)) {
     StatusOr<net::Frame> frame = conn.RecvFrame(config_.poll_ms);
     if (!frame.ok()) {
+      // RecvFrame returns kUnavailable "timed out" only when ZERO bytes
+      // of the frame were consumed (a mid-frame stall is kDataLoss), so
+      // polling again here cannot desync the stream.
       if (IsUnavailable(frame.status()) &&
           frame.status().message().find("timed out") != std::string::npos) {
         idle_ms += config_.poll_ms;

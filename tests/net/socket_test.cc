@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -139,6 +140,61 @@ TEST_F(SocketTest, MidFrameCloseIsDataLoss) {
   server->Close();
   Status status = client->RecvFrame(2000).status();
   EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+}
+
+TEST_F(SocketTest, MidFrameTimeoutIsDataLoss) {
+  // A peer that stalls after sending PART of a frame has desynced the
+  // stream: the partial bytes were consumed, so retrying the recv would
+  // read from mid-frame. That must surface as kDataLoss — never as the
+  // retryable kUnavailable an idle (zero-byte) timeout yields.
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+
+  const std::string wire = EncodeFrame(FrameType::kSubmit, "payload");
+  ASSERT_EQ(::send(server->fd(), wire.data(), wire.size() / 2, 0),
+            static_cast<ssize_t>(wire.size() / 2));
+  // No close: the peer is alive but silent mid-frame.
+  Status status = client->RecvFrame(150).status();
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_NE(status.message().find("mid-frame"), std::string::npos)
+      << status.ToString();
+}
+
+TEST_F(SocketTest, TrickledFrameCannotOutliveTheOverallDeadline) {
+  // timeout_ms bounds the WHOLE frame, not each poll iteration: a peer
+  // dripping one byte per interval must not stretch a single receive
+  // (and everything stacked on it, like the ack wait) indefinitely.
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port(), 2000);
+  ASSERT_TRUE(client.ok());
+  StatusOr<TcpConnection> server = listener->Accept(2000);
+  ASSERT_TRUE(server.ok());
+
+  const std::string wire = EncodeFrame(FrameType::kHeartbeat, "hi");
+  std::thread trickler([&server, &wire] {
+    for (char byte : wire) {
+      if (::send(server->fd(), &byte, 1, 0) != 1) {
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  });
+  const auto start = std::chrono::steady_clock::now();
+  Status status = client->RecvFrame(250).status();
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  trickler.join();
+  // ~18 bytes at 40 ms each is ~700 ms of trickle; per-iteration
+  // timeouts would have waited it out and succeeded.
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss) << status.ToString();
+  EXPECT_LT(elapsed.count(), 600.0);
 }
 
 TEST_F(SocketTest, CorruptFrameOnTheWireIsDataLoss) {

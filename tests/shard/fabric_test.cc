@@ -129,6 +129,52 @@ TEST_F(FabricTest, ValidateRejectsBadConfigs) {
 
   config.heartbeat_timeout_ms = config.heartbeat_interval_ms * 4;
   EXPECT_TRUE(config.Validate().ok());
+
+  // The largest Submit frame a config can produce must stay under the
+  // 64 MiB frame payload cap — EncodeFrame CHECK-fails past it, so a
+  // config that crossed it would crash the coordinator at the first
+  // full outbox instead of failing here.
+  config.dim = 1024;
+  config.wire_batch = 8192;  // 8192 * 1024 * 8 B = exactly 64 MiB
+  EXPECT_FALSE(config.Validate().ok());
+  config.wire_batch = 8191;  // one record under the cap
+  EXPECT_TRUE(config.Validate().ok());
+
+  config.wire_batch = (1u << 20) + 1;  // above the per-frame record cap
+  EXPECT_FALSE(config.Validate().ok());
+
+  config.wire_batch = 8;
+  config.dim = (1u << 16) + 1;  // above the wire dim cap
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST_F(FabricTest, SubmitRejectsWrongDimensionRecord) {
+  // EncodeSubmit packs config.dim doubles per record: a wrong-dimension
+  // record in an outbox would make every batch it shares a frame with
+  // undecodable forever (a poison pill that reads as a dead shard). It
+  // must be rejected at Submit, before it takes an arrival index.
+  auto server = StartServer(Dir("w0"));
+  FabricConfig config = BaseConfig(4);
+  config.workers = {{"127.0.0.1", server->server->port()}};
+  config.wire_batch = 8;
+  auto fabric = FabricService::Start(config);
+  ASSERT_TRUE(fabric.ok()) << fabric.status().ToString();
+
+  Vector bad(3);
+  EXPECT_EQ((*fabric)->Submit(bad).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*fabric)->records_submitted(), 0u);
+
+  // The rejected record poisoned nothing: a full run still flows,
+  // finishes, and balances.
+  const std::vector<Vector> stream = MakeStream(60, 4, 9);
+  for (const Vector& record : stream) {
+    ASSERT_TRUE((*fabric)->Submit(record).ok());
+  }
+  auto result = (*fabric)->Finish();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  server->Join();
+  EXPECT_TRUE(result->Balanced());
+  EXPECT_EQ(result->TotalAccepted(), stream.size());
 }
 
 TEST_F(FabricTest, StartFailsWhenNothingIsReachableAndNoFallback) {
@@ -254,6 +300,98 @@ TEST_F(FabricTest, TotalOutageDegradesToLocalFallbackBitIdentically) {
 
   EXPECT_EQ(result->report.local_takeovers, kShards);
   EXPECT_TRUE(result->Balanced());
+  EXPECT_EQ(core::SerializeGroupSet(result->groups),
+            core::SerializeGroupSet(expected->groups));
+}
+
+TEST_F(FabricTest, WorkerDeathAtFinishReroutesPendingRecordsBeforeGather) {
+  // Regression: records still sitting in a peer's outbox when that peer
+  // dies at Finish time must be delivered BEFORE any shard's groups are
+  // collected. Draining orphans only after the gather loop either
+  // aborted the Finish (orphan lands on an already-finished worker) or
+  // silently dropped records (orphan lands on an already-gathered one).
+  const std::size_t kShards = 3;
+  std::vector<std::unique_ptr<ServerHandle>> servers;
+  FabricConfig config = BaseConfig(4);
+  // Nothing flushes during ingest: every record is still in an outbox
+  // when Finish starts.
+  config.wire_batch = 100000;
+  config.io_timeout_ms = 500.0;
+  config.ack_timeout_ms = 1000.0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    servers.push_back(StartServer(Dir("w" + std::to_string(i))));
+    config.workers.push_back(
+        {"127.0.0.1", servers.back()->server->port()});
+  }
+  auto fabric = FabricService::Start(config);
+  ASSERT_TRUE(fabric.ok()) << fabric.status().ToString();
+
+  const std::vector<Vector> stream = MakeStream(600, 4, 11);
+  for (const Vector& record : stream) {
+    ASSERT_TRUE((*fabric)->Submit(record).ok());
+  }
+  // Kill worker 1 outright (listener and all) with its backlog unflushed.
+  servers[1].reset();
+
+  auto result = (*fabric)->Finish();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (auto& server : servers) {
+    if (server != nullptr) server->Join();
+  }
+  EXPECT_TRUE(result->Balanced());
+  EXPECT_EQ(result->TotalAccepted(), stream.size());
+  EXPECT_EQ(result->groups.TotalRecords(), stream.size());
+  EXPECT_GT(result->report.rerouted_records, 0u);
+}
+
+TEST_F(FabricTest, WorkerDeathAtFinishIsTakenOverWithItsBacklog) {
+  // Same shape with a fallback root: the dead shard keeps its backlog
+  // via in-process takeover instead of displacing it, so the release
+  // stays bit-identical to the healthy in-process run.
+  const std::size_t kShards = 3;
+  const std::vector<Vector> stream = MakeStream(600, 4, 11);
+
+  ShardedStreamConfig reference;
+  reference.num_shards = kShards;
+  reference.dim = 4;
+  reference.group_size = 10;
+  reference.checkpoint_root = Dir("inproc");
+  reference.seed = 91;
+  auto in_process = ShardedStreamService::Start(reference);
+  ASSERT_TRUE(in_process.ok());
+  for (const Vector& record : stream) {
+    ASSERT_TRUE((*in_process)->Submit(record).ok());
+  }
+  auto expected = (*in_process)->Finish();
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<std::unique_ptr<ServerHandle>> servers;
+  FabricConfig config = BaseConfig(4);
+  config.wire_batch = 100000;
+  config.io_timeout_ms = 500.0;
+  config.ack_timeout_ms = 1000.0;
+  config.local_fallback_root = Dir("fallback");
+  for (std::size_t i = 0; i < kShards; ++i) {
+    servers.push_back(StartServer(Dir("w" + std::to_string(i))));
+    config.workers.push_back(
+        {"127.0.0.1", servers.back()->server->port()});
+  }
+  auto fabric = FabricService::Start(config);
+  ASSERT_TRUE(fabric.ok()) << fabric.status().ToString();
+  for (const Vector& record : stream) {
+    ASSERT_TRUE((*fabric)->Submit(record).ok());
+  }
+  servers[1].reset();
+
+  auto result = (*fabric)->Finish();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (auto& server : servers) {
+    if (server != nullptr) server->Join();
+  }
+  EXPECT_TRUE(result->Balanced());
+  EXPECT_EQ(result->TotalAccepted(), stream.size());
+  EXPECT_GE(result->report.local_takeovers, 1u);
+  EXPECT_EQ(result->report.rerouted_records, 0u);
   EXPECT_EQ(core::SerializeGroupSet(result->groups),
             core::SerializeGroupSet(expected->groups));
 }
