@@ -1,0 +1,226 @@
+// Query-plane scaling bench: kNN-classify and aggregate
+// latency/throughput against the QueryEngine as the number of condensed
+// groups grows, plus the eigendecomposition cache's steady-state hit
+// rate under repeated regenerate queries.
+//
+// Presets:
+//   --preset=smoke   small group counts; the CI perf-smoke job runs this.
+//   --preset=full    group counts up to 16384 (d = 10, k = 10).
+//
+// Emits BENCH_query_scale.json with one row per (workload, groups) cell
+// and ops/sec as the headline column. The bench FAILS (exit 1) if the
+// cache hit ratio in steady state is not above 0.9 — the regenerate
+// working set fits the cache, so anything lower means version stamps are
+// churning when the groups are not mutating.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+#include "obs/timing.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+
+namespace {
+
+using condensa::Rng;
+using condensa::core::CondensedGroupSet;
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+using condensa::query::Query;
+using condensa::query::QueryEngine;
+using condensa::query::QueryEngineOptions;
+using condensa::query::QueryKind;
+using condensa::query::QueryResult;
+using condensa::query::QuerySnapshot;
+
+constexpr double kClassifyWorkload = 0.0;
+constexpr double kAggregateWorkload = 1.0;
+constexpr double kRegenerateWorkload = 2.0;
+
+// One pool of `num_groups` groups of `k` records each, clustered around
+// random centroids so classification has structure to find.
+CondensedGroupSet MakePool(std::size_t num_groups, std::size_t dim,
+                           std::size_t k, double center_offset, Rng& rng) {
+  CondensedGroupSet pool(dim, k);
+  pool.ReserveGroups(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    Vector centroid(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      centroid[d] = center_offset + rng.Gaussian(0.0, 3.0);
+    }
+    GroupStatistics stats(dim);
+    for (std::size_t r = 0; r < k; ++r) {
+      Vector record(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        record[d] = centroid[d] + rng.Gaussian(0.0, 0.25);
+      }
+      stats.Add(record);
+    }
+    pool.AddGroup(std::move(stats));
+  }
+  return pool;
+}
+
+std::vector<Vector> MakeQueryPoints(std::size_t count, std::size_t dim,
+                                    Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector p(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      p[d] = rng.Gaussian(0.0, 3.0);
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+QueryResult MustExecute(QueryEngine& engine, const QuerySnapshot& snapshot,
+                        const Query& query) {
+  auto result = engine.Execute(snapshot, query);
+  CONDENSA_CHECK(result.ok());
+  return *std::move(result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset = "smoke";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--preset=", 9) == 0) {
+      preset = argv[i] + 9;
+    } else {
+      std::fprintf(stderr, "usage: %s [--preset=smoke|full]\n", argv[0]);
+      return 1;
+    }
+  }
+  const bool full = preset == "full";
+  if (!full && preset != "smoke") {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 1;
+  }
+
+  const std::size_t dim = 10;
+  const std::size_t k = 10;
+  const std::size_t query_points = full ? 512 : 256;
+  const std::size_t aggregate_repeats = full ? 200 : 100;
+  const std::size_t regenerate_rounds = 25;
+  const std::vector<std::size_t> group_counts =
+      full ? std::vector<std::size_t>{512, 4096, 16384}
+           : std::vector<std::size_t>{64, 512};
+
+  condensa::bench::BenchReporter reporter("query_scale");
+  reporter.AddScalar("full_preset", full ? 1.0 : 0.0);
+  reporter.AddScalar("dim", static_cast<double>(dim));
+  reporter.AddScalar("k", static_cast<double>(k));
+  reporter.SetRowSchema(
+      {"workload", "groups", "ops", "seconds", "ops_per_sec"});
+
+  double worst_hit_ratio = 1.0;
+  for (std::size_t groups : group_counts) {
+    Rng rng(9'000 + groups);
+    QuerySnapshot snapshot;
+    snapshot.dim = dim;
+    // Two labeled pools so classify has classes to separate.
+    snapshot.pools.push_back(
+        {0, MakePool(groups / 2, dim, k, -4.0, rng)});
+    snapshot.pools.push_back(
+        {1, MakePool(groups - groups / 2, dim, k, 4.0, rng)});
+
+    // The cache must hold the full working set for the steady-state
+    // measurement; sizing it to the group count is the intended
+    // deployment shape (docs/query.md).
+    QueryEngineOptions options;
+    options.eigen_cache_capacity = groups;
+    QueryEngine engine(options);
+    const double dgroups = static_cast<double>(groups);
+
+    // --- kNN classification against group centroids ---
+    Query classify;
+    classify.kind = QueryKind::kClassify;
+    classify.classify.points = MakeQueryPoints(query_points, dim, rng);
+    classify.classify.neighbors = 3;
+    condensa::obs::Timer classify_timer;
+    QueryResult classified = MustExecute(engine, snapshot, classify);
+    const double classify_seconds = classify_timer.ElapsedSeconds();
+    CONDENSA_CHECK_EQ(classified.classify.labels.size(), query_points);
+    const double dpoints = static_cast<double>(query_points);
+    reporter.AddRow({kClassifyWorkload, dgroups, dpoints, classify_seconds,
+                     dpoints / classify_seconds});
+    std::printf("classify groups=%zu: %zu points in %.4fs (%.0f pts/s)\n",
+                groups, query_points, classify_seconds,
+                dpoints / classify_seconds);
+
+    // --- aggregates from the additive moments ---
+    Query aggregate;
+    aggregate.kind = QueryKind::kAggregate;
+    // A half-space box: selects roughly the label-0 pool.
+    aggregate.aggregate.range.bounds.push_back({0, -100.0, 0.0});
+    condensa::obs::Timer aggregate_timer;
+    std::uint64_t matched = 0;
+    for (std::size_t r = 0; r < aggregate_repeats; ++r) {
+      QueryResult result = MustExecute(engine, snapshot, aggregate);
+      matched += result.aggregate.groups_matched;
+    }
+    const double aggregate_seconds = aggregate_timer.ElapsedSeconds();
+    CONDENSA_CHECK_GT(matched, 0u);
+    const double dreps = static_cast<double>(aggregate_repeats);
+    reporter.AddRow({kAggregateWorkload, dgroups, dreps, aggregate_seconds,
+                     dreps / aggregate_seconds});
+    std::printf(
+        "aggregate groups=%zu: %zu queries in %.4fs (%.0f queries/s)\n",
+        groups, aggregate_repeats, aggregate_seconds,
+        dreps / aggregate_seconds);
+
+    // --- regenerate: eigendecomposition cache steady state ---
+    // Round 1 faults every group's factorization in; the remaining
+    // rounds must hit. Nothing mutates the snapshot, so misses after
+    // round 1 would mean spurious version churn.
+    Query regenerate;
+    regenerate.kind = QueryKind::kRegenerate;
+    regenerate.regenerate.seed = 4242;
+    regenerate.regenerate.records_per_group = 1;
+    condensa::obs::Timer regen_timer;
+    for (std::size_t round = 0; round < regenerate_rounds; ++round) {
+      QueryResult result = MustExecute(engine, snapshot, regenerate);
+      CONDENSA_CHECK_EQ(result.regenerate.groups_matched, groups);
+    }
+    const double regen_seconds = regen_timer.ElapsedSeconds();
+    const double drounds = static_cast<double>(regenerate_rounds);
+    reporter.AddRow({kRegenerateWorkload, dgroups, drounds, regen_seconds,
+                     drounds / regen_seconds});
+
+    const condensa::query::EigenCacheStats stats =
+        engine.eigen_cache().stats();
+    const double hit_ratio = stats.HitRatio();
+    if (hit_ratio < worst_hit_ratio) worst_hit_ratio = hit_ratio;
+    reporter.AddScalar("cache_hit_ratio_g" + std::to_string(groups),
+                       hit_ratio);
+    std::printf(
+        "regenerate groups=%zu: %zu rounds in %.4fs — cache %llu hits / "
+        "%llu misses (ratio %.4f)\n",
+        groups, regenerate_rounds, regen_seconds,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses), hit_ratio);
+  }
+
+  reporter.AddScalar("cache_hit_ratio_worst", worst_hit_ratio);
+  const bool wrote = reporter.Finish();
+  if (worst_hit_ratio <= 0.9) {
+    std::fprintf(stderr,
+                 "FAIL: steady-state cache hit ratio %.4f <= 0.9\n",
+                 worst_hit_ratio);
+    return 1;
+  }
+  return wrote ? 0 : 1;
+}

@@ -12,33 +12,13 @@
 
 namespace condensa::core {
 
-StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
-    const GroupStatistics& group, std::size_t count, Rng& rng) const {
-  if (group.empty()) {
-    return InvalidArgumentError("cannot anonymize an empty group");
-  }
-  const std::size_t d = group.dim();
-  linalg::Vector centroid = group.Centroid();
-
-  std::vector<linalg::Vector> out;
-  out.reserve(count);
-
-  if (group.count() == 1) {
-    // Degenerate group: zero covariance, the centroid is the exact record.
-    for (std::size_t i = 0; i < count; ++i) {
-      out.push_back(centroid);
-    }
-    return out;
-  }
-
-  CONDENSA_ASSIGN_OR_RETURN(
-      linalg::EigenDecomposition eigen,
-      linalg::CovarianceEigenDecomposition(group.Covariance()));
-
+std::vector<linalg::Vector> SampleFromEigen(
+    const linalg::Vector& centroid, const linalg::EigenDecomposition& eigen,
+    std::size_t count, SamplingDistribution distribution, Rng& rng) {
+  const std::size_t d = centroid.dim();
   // Per-eigenvector scale: uniform draws span ±sqrt(3 λ_j) (variance λ_j),
   // Gaussian draws use stddev sqrt(λ_j).
-  const bool gaussian =
-      options_.distribution == SamplingDistribution::kGaussian;
+  const bool gaussian = distribution == SamplingDistribution::kGaussian;
   linalg::Vector scale(d);
   for (std::size_t j = 0; j < d; ++j) {
     // Singular group covariances (constant attributes, duplicate points)
@@ -49,6 +29,8 @@ StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
     scale[j] = gaussian ? std::sqrt(lambda) : std::sqrt(3.0 * lambda);
   }
 
+  std::vector<linalg::Vector> out;
+  out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     linalg::Vector point = centroid;
     for (std::size_t j = 0; j < d; ++j) {
@@ -63,6 +45,29 @@ StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
     out.push_back(std::move(point));
   }
   return out;
+}
+
+StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
+    const GroupStatistics& group, std::size_t count, Rng& rng) const {
+  if (group.empty()) {
+    return InvalidArgumentError("cannot anonymize an empty group");
+  }
+  linalg::Vector centroid = group.Centroid();
+
+  if (group.count() == 1) {
+    // Degenerate group: zero covariance, the centroid is the exact record.
+    std::vector<linalg::Vector> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(centroid);
+    }
+    return out;
+  }
+
+  CONDENSA_ASSIGN_OR_RETURN(
+      linalg::EigenDecomposition eigen,
+      linalg::CovarianceEigenDecomposition(group.Covariance()));
+  return SampleFromEigen(centroid, eigen, count, options_.distribution, rng);
 }
 
 StatusOr<std::vector<linalg::Vector>> Anonymizer::Generate(

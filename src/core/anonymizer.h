@@ -17,6 +17,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "core/condensed_group_set.h"
+#include "linalg/eigen.h"
 #include "linalg/vector.h"
 
 namespace condensa::core {
@@ -42,6 +43,16 @@ struct AnonymizerOptions {
   // on the calling thread, in group order, before any worker runs.
   std::size_t num_threads = 0;
 };
+
+// Draws `count` anonymized points from an already-computed factorization
+// C = P Λ Pᵀ: x = centroid + Σ_j u_j e_j with u_j ~ Uniform(±sqrt(3 λ_j))
+// (or N(0, λ_j) for the Gaussian ablation). This is the sampling kernel
+// shared by Anonymizer::GenerateFromGroup and the query plane's cached
+// regeneration (src/query/engine.h) — given the same Rng state the two
+// paths are bit-identical, because they run exactly this code.
+std::vector<linalg::Vector> SampleFromEigen(
+    const linalg::Vector& centroid, const linalg::EigenDecomposition& eigen,
+    std::size_t count, SamplingDistribution distribution, Rng& rng);
 
 class Anonymizer {
  public:

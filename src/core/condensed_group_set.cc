@@ -17,6 +17,10 @@ void CondensedGroupSet::Absorb(CondensedGroupSet&& other) {
   for (GroupStatistics& group : other.groups_) {
     CONDENSA_CHECK_GT(group.count(), 0u);
     groups_.push_back(std::move(group));
+    // Moving a group between sets changes which set's caches may hold
+    // its factorization; restamping is conservative (costs at most one
+    // cache miss) and keeps "absorb invalidates" unconditionally true.
+    groups_.back().BumpVersion();
   }
   other.groups_.clear();
 }

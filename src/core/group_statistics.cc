@@ -1,13 +1,22 @@
 #include "core/group_statistics.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
 namespace condensa::core {
 
+std::uint64_t GroupStatistics::NextVersion() {
+  // Starts at 1 so 0 can mean "never stamped" in diagnostics.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void GroupStatistics::BumpVersion() { version_ = NextVersion(); }
+
 GroupStatistics::GroupStatistics(std::size_t dim)
-    : first_order_(dim), second_order_(dim, dim) {}
+    : first_order_(dim), second_order_(dim, dim), version_(NextVersion()) {}
 
 GroupStatistics GroupStatistics::FromMoments(std::size_t count,
                                              const linalg::Vector& centroid,
@@ -49,6 +58,7 @@ GroupStatistics GroupStatistics::FromRawSums(std::size_t count,
 
 void GroupStatistics::Add(const linalg::Vector& record) {
   CONDENSA_CHECK_EQ(record.dim(), dim());
+  version_ = NextVersion();
   ++count_;
   for (std::size_t i = 0; i < record.dim(); ++i) {
     first_order_[i] += record[i];
@@ -63,6 +73,7 @@ void GroupStatistics::Add(const linalg::Vector& record) {
 void GroupStatistics::Remove(const linalg::Vector& record) {
   CONDENSA_CHECK_EQ(record.dim(), dim());
   CONDENSA_CHECK_GT(count_, 0u);
+  version_ = NextVersion();
   --count_;
   for (std::size_t i = 0; i < record.dim(); ++i) {
     first_order_[i] -= record[i];
@@ -76,6 +87,7 @@ void GroupStatistics::Remove(const linalg::Vector& record) {
 
 void GroupStatistics::Merge(const GroupStatistics& other) {
   CONDENSA_CHECK_EQ(dim(), other.dim());
+  version_ = NextVersion();
   count_ += other.count_;
   first_order_ += other.first_order_;
   second_order_ += other.second_order_;

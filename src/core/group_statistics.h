@@ -15,6 +15,7 @@
 #define CONDENSA_CORE_GROUP_STATISTICS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -76,10 +77,28 @@ class GroupStatistics {
   // Squared Euclidean distance from `point` to the centroid.
   double SquaredDistanceToCentroid(const linalg::Vector& point) const;
 
+  // A process-globally-unique stamp for the current moment values.
+  // Every construction and every mutation (Add/Remove/Merge) draws a
+  // fresh stamp from a global counter, so two observations of the same
+  // version() are guaranteed to have seen identical (n, Fs, Sc) — the
+  // key contract behind the query plane's version-keyed
+  // eigendecomposition cache (src/query/eigen_cache.h). Copies share
+  // the source's stamp, which is safe: the copy holds the same values.
+  std::uint64_t version() const { return version_; }
+
+  // Draws a fresh stamp without changing the moments. Containers use
+  // this for conservative invalidation when a group's identity changes
+  // (e.g. CondensedGroupSet::Absorb moving groups between sets); a
+  // spurious restamp merely costs the cache one miss.
+  void BumpVersion();
+
  private:
+  static std::uint64_t NextVersion();
+
   std::size_t count_ = 0;
   linalg::Vector first_order_;
   linalg::Matrix second_order_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace condensa::core

@@ -11,21 +11,11 @@
 namespace condensa::linalg {
 namespace {
 
-struct EigenMetrics {
-  obs::Counter& decompositions = obs::DefaultRegistry().GetCounter(
-      "condensa_eigen_decompositions_total");
-  obs::Counter& sweeps =
-      obs::DefaultRegistry().GetCounter("condensa_eigen_sweeps_total");
-  obs::Counter& failures =
-      obs::DefaultRegistry().GetCounter("condensa_eigen_failures_total");
-  obs::Counter& clamped = obs::DefaultRegistry().GetCounter(
-      "condensa_eigen_clamped_eigenvalues_total");
-
-  static EigenMetrics& Get() {
-    static EigenMetrics metrics;
-    return metrics;
-  }
-};
+// Counters are looked up per flush (not cached as references): a test
+// calling MetricsRegistry::Reset() destroys every registered series, so
+// a cached reference would dangle across the reset. Lookups happen at
+// flush granularity (every kFlushEvery decompositions), where the map
+// walk is noise.
 
 // A 2x2 decomposition runs in ~200ns, so even two relaxed fetch_adds
 // per call are measurable. Successful runs therefore tally into
@@ -46,9 +36,10 @@ struct EigenTally {
 
   void Flush() {
     if (runs == 0) return;
-    EigenMetrics& metrics = EigenMetrics::Get();
-    metrics.decompositions.Increment(runs);
-    metrics.sweeps.Increment(sweeps);
+    obs::MetricsRegistry& registry = obs::DefaultRegistry();
+    registry.GetCounter("condensa_eigen_decompositions_total")
+        .Increment(runs);
+    registry.GetCounter("condensa_eigen_sweeps_total").Increment(sweeps);
     runs = 0;
     sweeps = 0;
   }
@@ -111,7 +102,9 @@ StatusOr<EigenDecomposition> JacobiEigenDecomposition(
   int sweep = 0;
   while (OffDiagonalNorm(work) > tolerance) {
     if (++sweep > options.max_sweeps) {
-      EigenMetrics::Get().failures.Increment();
+      obs::DefaultRegistry()
+          .GetCounter("condensa_eigen_failures_total")
+          .Increment();
       return InternalError("Jacobi eigendecomposition failed to converge");
     }
     for (std::size_t p = 0; p + 1 < n; ++p) {
@@ -187,7 +180,9 @@ StatusOr<EigenDecomposition> CovarianceEigenDecomposition(
   for (std::size_t i = 0; i < decomposition.eigenvalues.dim(); ++i) {
     if (decomposition.eigenvalues[i] < 0.0) {
       decomposition.eigenvalues[i] = 0.0;
-      EigenMetrics::Get().clamped.Increment();
+      obs::DefaultRegistry()
+          .GetCounter("condensa_eigen_clamped_eigenvalues_total")
+          .Increment();
     }
   }
   return decomposition;

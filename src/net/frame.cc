@@ -62,7 +62,7 @@ std::uint32_t Crc32(std::string_view data) {
 
 bool IsKnownFrameType(std::uint16_t value) {
   return value >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         value <= static_cast<std::uint16_t>(FrameType::kError);
+         value <= static_cast<std::uint16_t>(FrameType::kQueryResult);
 }
 
 const char* FrameTypeName(FrameType type) {
@@ -77,6 +77,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kFinishResult: return "FinishResult";
     case FrameType::kGoodbye: return "Goodbye";
     case FrameType::kError: return "Error";
+    case FrameType::kQuery: return "Query";
+    case FrameType::kQueryResult: return "QueryResult";
   }
   return "unknown";
 }

@@ -67,6 +67,11 @@ enum class FrameType : std::uint16_t {
   kGoodbye = 9,
   // Worker -> coordinator: request-level failure (code + message).
   kError = 10,
+  // Client -> query server: one mining query against the condensed
+  // groups (classify / aggregate / regenerate; see src/query/wire.h).
+  kQuery = 11,
+  // Query server -> client: the query's answer.
+  kQueryResult = 12,
 };
 
 // True when `value` names a FrameType this protocol version understands.

@@ -1,0 +1,84 @@
+#include "net/framed_server.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "net/wire.h"
+
+namespace condensa::net {
+
+Status FramedServerConfig::Validate() const {
+  if (poll_ms <= 0 || idle_timeout_ms <= 0) {
+    return InvalidArgumentError("framed server timeouts must be positive");
+  }
+  return OkStatus();
+}
+
+FramedServer::FramedServer(TcpListener listener, FramedServerConfig config)
+    : config_(config), listener_(std::move(listener)) {
+  CONDENSA_CHECK(config_.Validate().ok());
+}
+
+Status FramedServer::Run(const FrameHandler& handler) {
+  CONDENSA_CHECK(handler != nullptr);
+  CONDENSA_CHECK(listener_.ok());
+  while (!stop_.load(std::memory_order_relaxed)) {
+    StatusOr<TcpConnection> conn = listener_.Accept(config_.poll_ms);
+    if (!conn.ok()) {
+      if (IsUnavailable(conn.status())) {
+        continue;  // poll tick
+      }
+      return conn.status();
+    }
+    ServeSession(*std::move(conn), handler);
+  }
+  return OkStatus();
+}
+
+void FramedServer::ServeSession(TcpConnection conn,
+                                const FrameHandler& handler) {
+  std::shared_ptr<void> session_context;
+  if (on_session_) {
+    session_context = on_session_(conn);
+  }
+  double idle_ms = 0.0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    StatusOr<Frame> frame = conn.RecvFrame(config_.poll_ms);
+    if (!frame.ok()) {
+      // RecvFrame returns kUnavailable "timed out" only when ZERO bytes
+      // of the frame were consumed (a mid-frame stall is kDataLoss), so
+      // polling again here cannot desync the stream.
+      if (IsUnavailable(frame.status()) &&
+          frame.status().message().find("timed out") != std::string::npos) {
+        idle_ms += config_.poll_ms;
+        if (idle_ms >= config_.idle_timeout_ms) {
+          return;  // silent peer; free the accept slot
+        }
+        continue;
+      }
+      return;  // peer closed or the stream is corrupt: drop the session
+    }
+    idle_ms = 0.0;
+    if (frame->type == FrameType::kGoodbye) {
+      return;  // clean session end
+    }
+    switch (handler(conn, *frame)) {
+      case SessionAction::kContinue:
+        break;
+      case SessionAction::kEndSession:
+        return;
+      case SessionAction::kStopServer:
+        stop_.store(true, std::memory_order_relaxed);
+        return;
+    }
+  }
+}
+
+void SendErrorFrame(TcpConnection& conn, const Status& status,
+                    double timeout_ms) {
+  (void)conn.SendFrame(FrameType::kError, EncodeError(StatusToError(status)),
+                       timeout_ms);
+}
+
+}  // namespace condensa::net

@@ -1,0 +1,98 @@
+// Shared accept/recv/dispatch loop for framed-protocol servers.
+//
+// The fabric's WorkerServer and the query plane's QueryServer both serve
+// strict request/response sessions over the same wire framing. This
+// class owns everything they would otherwise duplicate:
+//
+//   - the accept poll (kUnavailable ticks interleave with Stop checks),
+//   - the per-session recv poll with idle-timeout accounting, leaning on
+//     RecvFrame's guarantee that a zero-byte timeout is kUnavailable and
+//     safe to re-poll while a mid-frame stall is kDataLoss,
+//   - built-in Goodbye handling (a clean session end), and
+//   - the "any transport error drops the session back to accept" policy
+//     that keeps stale framing state from leaking across failures.
+//
+// Servers supply one dispatch callback mapping a decoded frame to a
+// SessionAction; request-level failures are reported in-band with
+// SendErrorFrame and the session continues.
+
+#ifndef CONDENSA_NET_FRAMED_SERVER_H_
+#define CONDENSA_NET_FRAMED_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace condensa::net {
+
+struct FramedServerConfig {
+  // Accept/recv poll granularity; bounds Stop() latency.
+  double poll_ms = 100.0;
+  // A session silent for this long is dropped back to accept, so a
+  // client that vanished without closing cannot wedge the server.
+  double idle_timeout_ms = 30000.0;
+
+  Status Validate() const;
+};
+
+// What the dispatch callback tells the loop to do after a frame.
+enum class SessionAction {
+  // Keep serving this session.
+  kContinue,
+  // Drop the session (back to accept); the client redials.
+  kEndSession,
+  // Session is done AND the server should leave its Run loop (e.g. the
+  // fabric's Finish completed).
+  kStopServer,
+};
+
+class FramedServer {
+ public:
+  using FrameHandler =
+      std::function<SessionAction(TcpConnection& conn, const Frame& frame)>;
+  // Runs at session start; the returned context is held alive for the
+  // session's duration (servers park metrics scopes / trace spans in it).
+  using SessionHook = std::function<std::shared_ptr<void>(TcpConnection&)>;
+
+  // `listener` must already be listening; `config` must validate.
+  FramedServer(TcpListener listener, FramedServerConfig config);
+
+  FramedServer(const FramedServer&) = delete;
+  FramedServer& operator=(const FramedServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  bool ok() const { return listener_.ok(); }
+
+  void set_on_session(SessionHook hook) { on_session_ = std::move(hook); }
+
+  // Serves sessions (one at a time) until Stop() or a kStopServer
+  // dispatch. Returns the first listener failure; session and request
+  // errors are handled internally.
+  Status Run(const FrameHandler& handler);
+
+  // Asks Run() to return at its next poll tick (thread-safe).
+  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  void ServeSession(TcpConnection conn, const FrameHandler& handler);
+
+  FramedServerConfig config_;
+  TcpListener listener_;
+  SessionHook on_session_;
+  std::atomic<bool> stop_{false};
+};
+
+// Reports a request-level failure in-band as an Error frame. Best
+// effort: if the reply cannot be delivered the session dies on the next
+// recv anyway.
+void SendErrorFrame(TcpConnection& conn, const Status& status,
+                    double timeout_ms);
+
+}  // namespace condensa::net
+
+#endif  // CONDENSA_NET_FRAMED_SERVER_H_

@@ -323,9 +323,30 @@ std::string MetricsRegistry::DumpJson() const {
          "},\"histograms\":{" + histograms + "}}";
 }
 
+void Histogram::ResetValue() {
+  const std::size_t buckets = upper_bounds_.size() + 1;
+  for (std::size_t i = 0; i < buckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  series_.clear();
+  for (auto& [key, series] : series_) {
+    switch (series.kind) {
+      case Kind::kCounter:
+        series.counter->ResetValue();
+        break;
+      case Kind::kGauge:
+        series.gauge->ResetValue();
+        break;
+      case Kind::kHistogram:
+        series.histogram->ResetValue();
+        break;
+    }
+  }
 }
 
 MetricsRegistry& DefaultRegistry() {

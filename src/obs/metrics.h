@@ -54,6 +54,9 @@ class Counter {
   }
 
  private:
+  friend class MetricsRegistry;  // MetricsRegistry::Reset zeroing only
+  void ResetValue() { value_.store(0, std::memory_order_relaxed); }
+
   std::atomic<std::uint64_t> value_{0};
 };
 
@@ -70,6 +73,9 @@ class Gauge {
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
+  friend class MetricsRegistry;  // MetricsRegistry::Reset zeroing only
+  void ResetValue() { value_.store(0.0, std::memory_order_relaxed); }
+
   std::atomic<double> value_{0.0};
 };
 
@@ -92,6 +98,9 @@ class Histogram {
   std::vector<std::uint64_t> bucket_counts() const;
 
  private:
+  friend class MetricsRegistry;  // MetricsRegistry::Reset zeroing only
+  void ResetValue();
+
   std::vector<double> upper_bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
@@ -137,8 +146,11 @@ class MetricsRegistry {
   // keyed by "name{label=\"v\",...}" series strings.
   std::string DumpJson() const;
 
-  // Zeroes nothing — drops every registered series. References obtained
-  // earlier dangle afterwards, so Reset is for test isolation only.
+  // Zeroes every registered series IN PLACE — counters and gauges back
+  // to 0, histograms emptied. The series objects stay alive, so
+  // references cached by instruments (thread-local tallies, per-module
+  // singletons) remain valid across a Reset. Series identities are kept
+  // (they still appear in the exposition, at zero). Test isolation only.
   void Reset();
 
  private:

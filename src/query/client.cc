@@ -1,0 +1,49 @@
+#include "query/client.h"
+
+#include <utility>
+
+#include "net/frame.h"
+#include "net/wire.h"
+#include "query/wire.h"
+
+namespace condensa::query {
+
+StatusOr<QueryClient> QueryClient::Connect(const std::string& host,
+                                           std::uint16_t port,
+                                           double timeout_ms) {
+  CONDENSA_ASSIGN_OR_RETURN(net::TcpConnection conn,
+                            net::TcpConnection::Connect(host, port,
+                                                        timeout_ms));
+  return QueryClient(std::move(conn));
+}
+
+QueryClient::~QueryClient() { Close(); }
+
+void QueryClient::Close() {
+  if (conn_.ok()) {
+    (void)conn_.SendFrame(net::FrameType::kGoodbye, "", 1000.0);
+    conn_.Close();
+  }
+}
+
+StatusOr<QueryResult> QueryClient::Execute(const Query& query,
+                                           double timeout_ms) {
+  if (!conn_.ok()) {
+    return FailedPreconditionError("query client is closed");
+  }
+  CONDENSA_RETURN_IF_ERROR(conn_.SendFrame(net::FrameType::kQuery,
+                                           EncodeQuery(query), timeout_ms));
+  CONDENSA_ASSIGN_OR_RETURN(net::Frame frame, conn_.RecvFrame(timeout_ms));
+  if (frame.type == net::FrameType::kError) {
+    CONDENSA_ASSIGN_OR_RETURN(net::ErrorMessage error,
+                              net::DecodeError(frame.payload));
+    return net::ErrorToStatus(error);
+  }
+  if (frame.type != net::FrameType::kQueryResult) {
+    return DataLossError(std::string("expected QueryResult, got ") +
+                         net::FrameTypeName(frame.type));
+  }
+  return DecodeQueryResult(frame.payload);
+}
+
+}  // namespace condensa::query

@@ -1,0 +1,48 @@
+// Synchronous client for the query server.
+//
+// One framed request/response per Execute call. Request-level failures
+// arrive as in-band Error frames and surface as the reconstituted
+// Status; transport failures leave the connection unusable (callers
+// reconnect — no partial-frame state survives an error).
+
+#ifndef CONDENSA_QUERY_CLIENT_H_
+#define CONDENSA_QUERY_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "query/query.h"
+
+namespace condensa::query {
+
+class QueryClient {
+ public:
+  // Dials the server. kUnavailable on refusal/timeout.
+  static StatusOr<QueryClient> Connect(const std::string& host,
+                                       std::uint16_t port,
+                                       double timeout_ms);
+
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  // Closes politely (best-effort Goodbye).
+  ~QueryClient();
+
+  // Sends `query` and blocks for the answer; `timeout_ms` bounds each
+  // frame transfer. An in-band Error frame becomes its Status.
+  StatusOr<QueryResult> Execute(const Query& query, double timeout_ms);
+
+  bool ok() const { return conn_.ok(); }
+  void Close();
+
+ private:
+  explicit QueryClient(net::TcpConnection conn) : conn_(std::move(conn)) {}
+
+  net::TcpConnection conn_;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_CLIENT_H_

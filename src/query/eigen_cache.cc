@@ -1,0 +1,79 @@
+#include "query/eigen_cache.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace condensa::query {
+namespace {
+
+// Looked up per operation instead of cached as references so tests that
+// Reset() the default registry cannot leave the cache holding dangling
+// metric pointers; at query granularity the map lookup is noise.
+void RecordLookup(bool hit) {
+  obs::DefaultRegistry()
+      .GetCounter(hit ? "condensa_query_eigen_cache_hits_total"
+                      : "condensa_query_eigen_cache_misses_total")
+      .Increment();
+}
+
+void PublishGauges(const EigenCacheStats& stats) {
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  registry.GetGauge("condensa_query_eigen_cache_size")
+      .Set(static_cast<double>(stats.size));
+  registry.GetGauge("condensa_query_eigen_cache_hit_ratio")
+      .Set(stats.HitRatio());
+}
+
+}  // namespace
+
+EigenCache::EigenCache(std::size_t capacity) : capacity_(capacity) {
+  CONDENSA_CHECK_GT(capacity, 0u);
+}
+
+StatusOr<std::shared_ptr<const linalg::EigenDecomposition>> EigenCache::Get(
+    const core::GroupStatistics& group) {
+  const std::uint64_t key = group.version();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto found = entries_.find(key);
+  if (found != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, found->second.lru_position);
+    RecordLookup(/*hit=*/true);
+    PublishGauges(EigenCacheStats{hits_, misses_, evictions_,
+                                  entries_.size()});
+    return found->second.eigen;
+  }
+
+  ++misses_;
+  RecordLookup(/*hit=*/false);
+  CONDENSA_ASSIGN_OR_RETURN(
+      linalg::EigenDecomposition eigen,
+      linalg::CovarianceEigenDecomposition(group.Covariance()));
+  auto shared =
+      std::make_shared<const linalg::EigenDecomposition>(std::move(eigen));
+
+  while (entries_.size() >= capacity_) {
+    const std::uint64_t oldest = lru_.back();
+    lru_.pop_back();
+    entries_.erase(oldest);
+    ++evictions_;
+    obs::DefaultRegistry()
+        .GetCounter("condensa_query_eigen_cache_evictions_total")
+        .Increment();
+  }
+
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{shared, lru_.begin()});
+  PublishGauges(EigenCacheStats{hits_, misses_, evictions_, entries_.size()});
+  return shared;
+}
+
+EigenCacheStats EigenCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EigenCacheStats{hits_, misses_, evictions_, entries_.size()};
+}
+
+}  // namespace condensa::query

@@ -1,0 +1,84 @@
+// Version-keyed LRU cache of per-group eigendecompositions.
+//
+// Regenerating records from a group needs its factorization C = P Λ Pᵀ
+// (linalg/eigen) — by far the most expensive step of a regenerate query.
+// The factorization depends only on the group's moment values, and
+// GroupStatistics stamps every distinct moment value with a process-
+// globally-unique version (GroupStatistics::version()), so that stamp is
+// a complete cache key: a hit is guaranteed to be the factorization of
+// exactly these moments, and any mutation (Add/Remove/Merge, a split's
+// FromMoments, journal replay's FromRawSums, a set Absorb) produces a
+// fresh stamp and therefore a miss. Stale-cache regeneration is
+// structurally impossible — there is no invalidation protocol to get
+// wrong.
+//
+// The cache is bounded (LRU eviction) and thread-safe; hit/miss/evict
+// counts are exported via obs::DefaultRegistry() under
+// condensa_query_eigen_cache_*.
+
+#ifndef CONDENSA_QUERY_EIGEN_CACHE_H_
+#define CONDENSA_QUERY_EIGEN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "core/group_statistics.h"
+#include "linalg/eigen.h"
+
+namespace condensa::query {
+
+struct EigenCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+
+  double HitRatio() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class EigenCache {
+ public:
+  // `capacity` is the maximum number of cached factorizations (>= 1).
+  explicit EigenCache(std::size_t capacity);
+
+  EigenCache(const EigenCache&) = delete;
+  EigenCache& operator=(const EigenCache&) = delete;
+
+  // Returns the factorization of `group`'s covariance, computing and
+  // caching it on miss. The returned pointer stays valid after eviction
+  // (shared ownership), so callers can hold it across further lookups.
+  StatusOr<std::shared_ptr<const linalg::EigenDecomposition>> Get(
+      const core::GroupStatistics& group);
+
+  std::size_t capacity() const { return capacity_; }
+  EigenCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const linalg::EigenDecomposition> eigen;
+    // Position in lru_ (front = most recently used).
+    std::list<std::uint64_t>::iterator lru_position;
+  };
+
+  const std::size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_EIGEN_CACHE_H_

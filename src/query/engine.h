@@ -1,0 +1,61 @@
+// The query engine: mining answers straight from condensed statistics.
+//
+// Executes one Query against one immutable QuerySnapshot (see
+// snapshot.h for the consistency model). Nothing here touches raw
+// records — classification uses centroids + group masses, aggregates
+// come exactly from the additive (n, Fs, Sc) moments, and regeneration
+// samples from the version-keyed eigendecomposition cache shared across
+// queries (eigen_cache.h).
+//
+// Thread safety: Execute is safe from multiple threads against the same
+// engine (the cache synchronizes internally; everything else is local or
+// read-only).
+
+#ifndef CONDENSA_QUERY_ENGINE_H_
+#define CONDENSA_QUERY_ENGINE_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "query/eigen_cache.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+
+namespace condensa::query {
+
+struct QueryEngineOptions {
+  // Bound on cached eigendecompositions (LRU beyond it). Must be >= 1.
+  std::size_t eigen_cache_capacity = 1024;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Answers `query` against `snapshot`. kInvalidArgument for malformed
+  // queries (dim mismatches, bad ranges, neighbors == 0);
+  // kFailedPrecondition for queries the snapshot cannot answer (empty,
+  // or classify without labeled pools).
+  StatusOr<QueryResult> Execute(const QuerySnapshot& snapshot,
+                                const Query& query);
+
+  const EigenCache& eigen_cache() const { return cache_; }
+
+ private:
+  StatusOr<ClassifyResult> ExecuteClassify(const QuerySnapshot& snapshot,
+                                           const ClassifyQuery& query) const;
+  StatusOr<AggregateResult> ExecuteAggregate(
+      const QuerySnapshot& snapshot, const AggregateQuery& query) const;
+  StatusOr<RegenerateResult> ExecuteRegenerate(const QuerySnapshot& snapshot,
+                                               const RegenerateQuery& query);
+
+  QueryEngineOptions options_;
+  EigenCache cache_;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_ENGINE_H_

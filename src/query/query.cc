@@ -1,0 +1,98 @@
+#include "query/query.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace condensa::query {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kClassify: return "classify";
+    case QueryKind::kAggregate: return "aggregate";
+    case QueryKind::kRegenerate: return "regenerate";
+  }
+  return "unknown";
+}
+
+bool RangePredicate::Matches(const linalg::Vector& centroid) const {
+  for (const Bound& bound : bounds) {
+    const double value = centroid[bound.dim];
+    if (value < bound.lo || value > bound.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status RangePredicate::Validate(std::size_t dim) const {
+  for (const Bound& bound : bounds) {
+    if (bound.dim >= dim) {
+      return InvalidArgumentError(
+          "range bound names dimension " + std::to_string(bound.dim) +
+          " but the data has " + std::to_string(dim) + " dimensions");
+    }
+    if (!(bound.lo <= bound.hi)) {
+      return InvalidArgumentError(
+          "range bound on dimension " + std::to_string(bound.dim) +
+          " has lo > hi (or a NaN endpoint)");
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+Status ParseBound(const std::string& part, RangePredicate::Bound* bound) {
+  std::istringstream in(part);
+  std::string dim_text, lo_text, hi_text;
+  if (!std::getline(in, dim_text, ':') || !std::getline(in, lo_text, ':') ||
+      !std::getline(in, hi_text) || dim_text.empty() || lo_text.empty() ||
+      hi_text.empty()) {
+    return InvalidArgumentError("bad range bound '" + part +
+                                "' (want dim:lo:hi)");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long dim = std::strtoull(dim_text.c_str(), &end, 10);
+  if (errno != 0 || end == dim_text.c_str() || *end != '\0') {
+    return InvalidArgumentError("bad range dimension '" + dim_text + "'");
+  }
+  const double lo = std::strtod(lo_text.c_str(), &end);
+  if (end == lo_text.c_str() || *end != '\0') {
+    return InvalidArgumentError("bad range lower bound '" + lo_text + "'");
+  }
+  const double hi = std::strtod(hi_text.c_str(), &end);
+  if (end == hi_text.c_str() || *end != '\0') {
+    return InvalidArgumentError("bad range upper bound '" + hi_text + "'");
+  }
+  bound->dim = static_cast<std::size_t>(dim);
+  bound->lo = lo;
+  bound->hi = hi;
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<RangePredicate> ParseRangeSpec(const std::string& spec) {
+  RangePredicate range;
+  if (spec.empty()) {
+    return range;
+  }
+  // getline never yields the empty segment after a trailing comma, so
+  // catch it here instead of silently accepting "0:1:2,".
+  if (spec.back() == ',') {
+    return InvalidArgumentError("trailing ',' in range spec '" + spec +
+                                "'");
+  }
+  std::istringstream in(spec);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    RangePredicate::Bound bound;
+    CONDENSA_RETURN_IF_ERROR(ParseBound(part, &bound));
+    range.bounds.push_back(bound);
+  }
+  return range;
+}
+
+}  // namespace condensa::query

@@ -1,0 +1,124 @@
+// The query model: what a mining query against condensed statistics is.
+//
+// Three kinds (docs/query.md has the full language):
+//
+//   classify    k-NN against group centroids, votes weighted by group
+//               mass n(G) — the paper's point that centroids + counts
+//               are sufficient for nearest-neighbour classification.
+//   aggregate   count / mean / variance / covariance over the groups
+//               selected by a range predicate, computed EXACTLY from the
+//               additive (n, Fs, Sc) moments — bit-identical to folding
+//               GroupStatistics::Merge over the selection, because that
+//               is literally how it is computed.
+//   regenerate  anonymized records for the selected groups, sampled from
+//               the cached eigendecomposition (core::SampleFromEigen) —
+//               deterministic in the request seed.
+//
+// Selection is group-granular: a range predicate matches a group when
+// the group's CENTROID falls inside the axis-aligned box. Groups are the
+// privacy atom of the condensation model — record-granular selection
+// would require the raw records the server deliberately does not have.
+
+#ifndef CONDENSA_QUERY_QUERY_H_
+#define CONDENSA_QUERY_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace condensa::query {
+
+enum class QueryKind : std::uint8_t {
+  kClassify = 0,
+  kAggregate = 1,
+  kRegenerate = 2,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+// Axis-aligned box over group centroids. No bounds = every group.
+struct RangePredicate {
+  struct Bound {
+    std::size_t dim = 0;
+    double lo = 0.0;
+    double hi = 0.0;  // inclusive on both ends
+  };
+  std::vector<Bound> bounds;
+
+  bool Matches(const linalg::Vector& centroid) const;
+  // Bounds must name dims < `dim` and satisfy lo <= hi.
+  Status Validate(std::size_t dim) const;
+};
+
+// Parses the CLI range syntax "dim:lo:hi[,dim:lo:hi...]" ("" = match
+// all). kInvalidArgument on malformed specs.
+StatusOr<RangePredicate> ParseRangeSpec(const std::string& spec);
+
+struct ClassifyQuery {
+  // Points to classify; every point must have the snapshot's dim.
+  std::vector<linalg::Vector> points;
+  // Number of nearest group centroids consulted per point (>= 1).
+  std::size_t neighbors = 1;
+};
+
+struct AggregateQuery {
+  RangePredicate range;
+};
+
+struct RegenerateQuery {
+  RangePredicate range;
+  // Seeds the sampling; the same (snapshot, query) pair always yields
+  // the same records.
+  std::uint64_t seed = 0;
+  // Records per selected group; 0 means each group's own n(G).
+  std::size_t records_per_group = 0;
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kAggregate;
+  ClassifyQuery classify;
+  AggregateQuery aggregate;
+  RegenerateQuery regenerate;
+};
+
+struct ClassifyResult {
+  // One predicted label per query point, in order.
+  std::vector<int> labels;
+};
+
+struct AggregateResult {
+  std::uint64_t groups_matched = 0;
+  // Exact record count over the selection (Σ n(G)).
+  std::uint64_t records = 0;
+  // False when the selection is empty (mean/covariance undefined).
+  bool has_moments = false;
+  // Mean and covariance of the selected records, exactly as
+  // GroupStatistics::Merge over the selection would report them.
+  // Variance is the covariance diagonal; any covariance projection
+  // vᵀCv is computable from the matrix.
+  linalg::Vector mean;
+  linalg::Matrix covariance;
+};
+
+struct RegenerateResult {
+  std::uint64_t groups_matched = 0;
+  std::vector<linalg::Vector> records;
+};
+
+struct QueryResult {
+  // The snapshot the answer was computed against.
+  std::uint64_t snapshot_version = 0;
+  QueryKind kind = QueryKind::kAggregate;
+  ClassifyResult classify;
+  AggregateResult aggregate;
+  RegenerateResult regenerate;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_QUERY_H_

@@ -1,0 +1,109 @@
+#include "query/server.h"
+
+#include <utility>
+
+#include "net/frame.h"
+#include "obs/metrics.h"
+#include "query/wire.h"
+
+namespace condensa::query {
+
+Status QueryServerConfig::Validate() const {
+  if (io_timeout_ms <= 0 || poll_ms <= 0 || idle_timeout_ms <= 0) {
+    return InvalidArgumentError("query server timeouts must be positive");
+  }
+  if (engine.eigen_cache_capacity < 1) {
+    return InvalidArgumentError("eigen_cache_capacity must be >= 1");
+  }
+  return OkStatus();
+}
+
+QueryServer::QueryServer(QueryServerConfig config,
+                         std::shared_ptr<SnapshotStore> store)
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      engine_(config_.engine) {}
+
+StatusOr<std::unique_ptr<QueryServer>> QueryServer::Create(
+    QueryServerConfig config, std::shared_ptr<SnapshotStore> store) {
+  CONDENSA_RETURN_IF_ERROR(config.Validate());
+  if (store == nullptr) {
+    return InvalidArgumentError("query server requires a snapshot store");
+  }
+  CONDENSA_ASSIGN_OR_RETURN(
+      net::TcpListener listener,
+      net::TcpListener::Listen(config.host, config.port));
+  net::FramedServerConfig loop;
+  loop.poll_ms = config.poll_ms;
+  loop.idle_timeout_ms = config.idle_timeout_ms;
+  std::unique_ptr<QueryServer> server(
+      new QueryServer(std::move(config), std::move(store)));
+  server->server_ =
+      std::make_unique<net::FramedServer>(std::move(listener), loop);
+  server->server_->set_on_session(
+      [](net::TcpConnection&) -> std::shared_ptr<void> {
+        obs::DefaultRegistry()
+            .GetCounter("condensa_query_sessions_total")
+            .Increment();
+        return nullptr;
+      });
+  return server;
+}
+
+Status QueryServer::Run() {
+  return server_->Run(
+      [this](net::TcpConnection& conn, const net::Frame& frame) {
+        return Dispatch(conn, frame);
+      });
+}
+
+net::SessionAction QueryServer::Dispatch(net::TcpConnection& conn,
+                                         const net::Frame& frame) {
+  Status handled = OkStatus();
+  switch (frame.type) {
+    case net::FrameType::kQuery:
+      handled = HandleQuery(conn, frame.payload);
+      break;
+    default:
+      net::SendErrorFrame(conn,
+                          InvalidArgumentError(
+                              std::string("unexpected frame ") +
+                              net::FrameTypeName(frame.type)),
+                          config_.io_timeout_ms);
+      return net::SessionAction::kContinue;
+  }
+  if (!handled.ok()) {
+    // Reply failures (broken pipe and friends) end the session; the
+    // client redials.
+    return net::SessionAction::kEndSession;
+  }
+  return net::SessionAction::kContinue;
+}
+
+Status QueryServer::HandleQuery(net::TcpConnection& conn,
+                                const std::string& payload) {
+  StatusOr<Query> query = DecodeQuery(payload);
+  if (!query.ok()) {
+    net::SendErrorFrame(conn, query.status(), config_.io_timeout_ms);
+    return OkStatus();
+  }
+  // Pin one snapshot for the whole request: ingest may Publish newer
+  // ones concurrently, but this answer is consistent with exactly this
+  // version.
+  std::shared_ptr<const QuerySnapshot> snapshot = store_->Current();
+  if (snapshot == nullptr) {
+    net::SendErrorFrame(
+        conn, FailedPreconditionError("no snapshot published yet"),
+        config_.io_timeout_ms);
+    return OkStatus();
+  }
+  StatusOr<QueryResult> result = engine_.Execute(*snapshot, *query);
+  if (!result.ok()) {
+    net::SendErrorFrame(conn, result.status(), config_.io_timeout_ms);
+    return OkStatus();
+  }
+  return conn.SendFrame(net::FrameType::kQueryResult,
+                        EncodeQueryResult(*result), config_.io_timeout_ms);
+}
+
+}  // namespace condensa::query

@@ -1,0 +1,85 @@
+// The long-lived query server: the read-side peer of the shard fabric.
+//
+// Speaks the same framed protocol (net/frame.h) over the shared
+// net::FramedServer loop. One request/response exchange per frame:
+//
+//   Query       -> decoded, executed against the CURRENT snapshot from
+//                  the SnapshotStore, answered with QueryResult. The
+//                  snapshot is pinned for the whole request, so every
+//                  part of the answer reflects one group-set version
+//                  even while ingest publishes newer snapshots
+//                  concurrently; the answer carries that version.
+//   Goodbye     -> clean session end (handled by FramedServer).
+//   anything else, or a malformed/unanswerable Query -> in-band Error
+//                  frame; the session continues.
+//
+// The server never mutates condensed state; it shares one QueryEngine
+// (and thus one eigendecomposition cache) across all sessions.
+
+#ifndef CONDENSA_QUERY_SERVER_H_
+#define CONDENSA_QUERY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/framed_server.h"
+#include "query/engine.h"
+#include "query/snapshot.h"
+
+namespace condensa::query {
+
+struct QueryServerConfig {
+  std::string host = "127.0.0.1";
+  // 0 picks a free port (see QueryServer::port()).
+  std::uint16_t port = 0;
+  // Per-frame send timeout within a session.
+  double io_timeout_ms = 5000.0;
+  // Accept/recv poll granularity; bounds Stop() latency.
+  double poll_ms = 100.0;
+  // A session silent for this long is dropped back to accept.
+  double idle_timeout_ms = 30000.0;
+  QueryEngineOptions engine;
+
+  Status Validate() const;
+};
+
+class QueryServer {
+ public:
+  // Binds and listens; `store` supplies the snapshots to answer from
+  // (publishing into it while the server runs is the intended use).
+  static StatusOr<std::unique_ptr<QueryServer>> Create(
+      QueryServerConfig config, std::shared_ptr<SnapshotStore> store);
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  std::uint16_t port() const { return server_->port(); }
+
+  // Serves sessions until Stop(). Returns the first listener failure;
+  // session and request errors are handled internally.
+  Status Run();
+
+  // Asks Run() to return at its next poll tick (thread-safe).
+  void Stop() { server_->Stop(); }
+
+  const QueryEngine& engine() const { return engine_; }
+
+ private:
+  QueryServer(QueryServerConfig config,
+              std::shared_ptr<SnapshotStore> store);
+
+  net::SessionAction Dispatch(net::TcpConnection& conn,
+                              const net::Frame& frame);
+  Status HandleQuery(net::TcpConnection& conn, const std::string& payload);
+
+  QueryServerConfig config_;
+  std::shared_ptr<SnapshotStore> store_;
+  QueryEngine engine_;
+  std::unique_ptr<net::FramedServer> server_;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_SERVER_H_

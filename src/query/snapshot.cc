@@ -1,0 +1,65 @@
+#include "query/snapshot.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace condensa::query {
+
+std::size_t QuerySnapshot::TotalGroups() const {
+  std::size_t total = 0;
+  for (const LabeledGroups& pool : pools) {
+    total += pool.groups.num_groups();
+  }
+  return total;
+}
+
+std::size_t QuerySnapshot::TotalRecords() const {
+  std::size_t total = 0;
+  for (const LabeledGroups& pool : pools) {
+    total += pool.groups.TotalRecords();
+  }
+  return total;
+}
+
+QuerySnapshot SnapshotFromGroupSet(const core::CondensedGroupSet& groups) {
+  QuerySnapshot snapshot;
+  snapshot.dim = groups.dim();
+  snapshot.records_seen = groups.TotalRecords();
+  snapshot.pools.push_back(LabeledGroups{-1, groups});
+  return snapshot;
+}
+
+QuerySnapshot SnapshotFromPools(const core::CondensedPools& pools) {
+  QuerySnapshot snapshot;
+  snapshot.dim = pools.CondensedDim();
+  snapshot.pools.reserve(pools.pools.size());
+  for (const core::CondensedPools::Pool& pool : pools.pools) {
+    snapshot.records_seen += pool.groups.TotalRecords();
+    snapshot.pools.push_back(LabeledGroups{pool.label, pool.groups});
+  }
+  return snapshot;
+}
+
+std::uint64_t SnapshotStore::Publish(QuerySnapshot snapshot) {
+  std::shared_ptr<const QuerySnapshot> published;
+  std::uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = next_version_++;
+    snapshot.version = version;
+    published = std::make_shared<const QuerySnapshot>(std::move(snapshot));
+    current_ = std::move(published);
+  }
+  obs::DefaultRegistry()
+      .GetGauge("condensa_query_snapshot_version")
+      .Set(static_cast<double>(version));
+  return version;
+}
+
+std::shared_ptr<const QuerySnapshot> SnapshotStore::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+}  // namespace condensa::query

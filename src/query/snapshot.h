@@ -1,0 +1,79 @@
+// Snapshot-consistent published views of condensed state.
+//
+// The write path (DynamicCondenser inside a StreamPipeline, or a shard
+// gather) mutates its group set continuously; the query plane must never
+// observe a half-applied mutation. The contract here is
+// publish-by-value: the writer copies its current groups into an
+// immutable QuerySnapshot and swaps it into the SnapshotStore; readers
+// take a shared_ptr and answer every query of a request against that one
+// object. A snapshot is never mutated after Publish, so a query sees one
+// stable group-set version end to end while ingest keeps moving
+// underneath — and the version stamps inside the copied groups keep the
+// eigendecomposition cache exact across snapshots (copying preserves
+// stamps; only real mutations mint new ones).
+
+#ifndef CONDENSA_QUERY_SNAPSHOT_H_
+#define CONDENSA_QUERY_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/condensed_group_set.h"
+#include "core/engine.h"
+
+namespace condensa::query {
+
+// One labeled pool of condensed groups. label -1 means unlabeled (a bare
+// group set, or a regression pool) — classify queries require at least
+// one pool with a real label.
+struct LabeledGroups {
+  int label = -1;
+  core::CondensedGroupSet groups;
+};
+
+struct QuerySnapshot {
+  // Assigned by SnapshotStore::Publish; strictly increasing per store.
+  std::uint64_t version = 0;
+  std::size_t dim = 0;
+  std::vector<LabeledGroups> pools;
+  // Records the write path had seen when this snapshot was taken (0 for
+  // snapshots built from files).
+  std::size_t records_seen = 0;
+
+  std::size_t TotalGroups() const;
+  std::size_t TotalRecords() const;
+};
+
+// Builds an unversioned snapshot (version assigned at Publish) from
+// retained state. Groups are copied; the source remains untouched.
+QuerySnapshot SnapshotFromGroupSet(const core::CondensedGroupSet& groups);
+QuerySnapshot SnapshotFromPools(const core::CondensedPools& pools);
+
+// Thread-safe holder of the latest published snapshot.
+class SnapshotStore {
+ public:
+  SnapshotStore() = default;
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Stamps `snapshot` with the next version and makes it current.
+  // Returns the assigned version. Also exports the version as the
+  // condensa_query_snapshot_version gauge.
+  std::uint64_t Publish(QuerySnapshot snapshot);
+
+  // The latest snapshot, or nullptr before the first Publish. The
+  // returned object is immutable and outlives any later Publish.
+  std::shared_ptr<const QuerySnapshot> Current() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const QuerySnapshot> current_;
+  std::uint64_t next_version_ = 1;
+};
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_SNAPSHOT_H_

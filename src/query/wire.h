@@ -1,0 +1,29 @@
+// Wire payloads for the query protocol (FrameTypes kQuery/kQueryResult).
+//
+// Lives in src/query (not src/net) so the net layer stays ignorant of
+// the query model; the codecs reuse net::WireWriter/WireReader and
+// inherit their hardening contract — every length prefix is validated
+// against the bytes present (and the per-frame caps from net/wire.h)
+// BEFORE any allocation, decode failures are kDataLoss, and doubles
+// travel as IEEE-754 bit patterns so results round-trip bit-exactly.
+
+#ifndef CONDENSA_QUERY_WIRE_H_
+#define CONDENSA_QUERY_WIRE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace condensa::query {
+
+std::string EncodeQuery(const Query& query);
+StatusOr<Query> DecodeQuery(std::string_view payload);
+
+std::string EncodeQueryResult(const QueryResult& result);
+StatusOr<QueryResult> DecodeQueryResult(std::string_view payload);
+
+}  // namespace condensa::query
+
+#endif  // CONDENSA_QUERY_WIRE_H_

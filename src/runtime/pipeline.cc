@@ -528,6 +528,11 @@ void StreamPipeline::WorkerLoop() {
     metrics.batch_seconds.Observe((SteadyNowMs() - start_ms) / 1000.0);
     MaybeDrainSpool();
     PublishGauges();
+    // durable_ can be transiently absent after a failed ReopenDurable;
+    // the observer simply misses that beat.
+    if (config_.group_observer && durable_.has_value()) {
+      config_.group_observer(durable_->groups(), durable_->records_seen());
+    }
   }
   PublishGauges();
 }

@@ -46,6 +46,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,18 @@ struct StreamPipelineConfig {
 
   // Seeds retry jitter.
   std::uint64_t seed = 42;
+
+  // Read-side hook: when set, the worker thread calls this after every
+  // completed batch with the condenser's current group set and total
+  // records seen. The reference is only valid during the call — the
+  // observer copies what it wants to keep (typically into a
+  // query::SnapshotStore so a QueryServer can answer against a stable
+  // snapshot while ingest keeps mutating the live structure underneath).
+  // Runs on the worker thread: keep it cheap, never block on the
+  // pipeline's own API from inside it.
+  std::function<void(const core::CondensedGroupSet& groups,
+                     std::size_t records_seen)>
+      group_observer;
 
   // Full construction-time validation; Start() refuses invalid configs
   // with the returned Status instead of misbehaving later.

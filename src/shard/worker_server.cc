@@ -59,78 +59,64 @@ StatusOr<std::unique_ptr<WorkerServer>> WorkerServer::CreateWithListener(
   if (!listener.ok()) {
     return FailedPreconditionError("worker server needs a live listener");
   }
+  net::FramedServerConfig loop;
+  loop.poll_ms = config.poll_ms;
+  loop.idle_timeout_ms = config.idle_timeout_ms;
   std::unique_ptr<WorkerServer> server(new WorkerServer(std::move(config)));
-  server->listener_ = std::move(listener);
+  server->server_ = std::make_unique<net::FramedServer>(std::move(listener),
+                                                        loop);
+  WorkerServer* raw = server.get();
+  server->server_->set_on_session(
+      [raw](net::TcpConnection&) -> std::shared_ptr<void> {
+        SessionsCounter(raw->config_.worker_id.empty()
+                            ? "unassigned"
+                            : raw->config_.worker_id)
+            .Increment();
+        // The span lives as the session context, so it measures the
+        // whole session exactly as the pre-FramedServer loop did.
+        return std::make_shared<obs::TraceSpan>("fabric.worker.session");
+      });
   return server;
 }
 
 Status WorkerServer::Run() {
-  while (!stop_.load(std::memory_order_relaxed) &&
-         !finished_.load(std::memory_order_relaxed)) {
-    StatusOr<net::TcpConnection> conn = listener_.Accept(config_.poll_ms);
-    if (!conn.ok()) {
-      if (IsUnavailable(conn.status())) {
-        continue;  // poll tick
-      }
-      return conn.status();
-    }
-    ServeSession(*std::move(conn));
-  }
-  return OkStatus();
+  return server_->Run(
+      [this](net::TcpConnection& conn, const net::Frame& frame) {
+        return Dispatch(conn, frame);
+      });
 }
 
-void WorkerServer::ServeSession(net::TcpConnection conn) {
-  obs::TraceSpan span("fabric.worker.session");
-  SessionsCounter(config_.worker_id.empty() ? "unassigned"
-                                            : config_.worker_id)
-      .Increment();
-  double idle_ms = 0.0;
-  while (!stop_.load(std::memory_order_relaxed) &&
-         !finished_.load(std::memory_order_relaxed)) {
-    StatusOr<net::Frame> frame = conn.RecvFrame(config_.poll_ms);
-    if (!frame.ok()) {
-      // RecvFrame returns kUnavailable "timed out" only when ZERO bytes
-      // of the frame were consumed (a mid-frame stall is kDataLoss), so
-      // polling again here cannot desync the stream.
-      if (IsUnavailable(frame.status()) &&
-          frame.status().message().find("timed out") != std::string::npos) {
-        idle_ms += config_.poll_ms;
-        if (idle_ms >= config_.idle_timeout_ms) {
-          return;  // silent coordinator; free the accept slot
-        }
-        continue;
-      }
-      return;  // peer closed or the stream is corrupt: drop the session
-    }
-    idle_ms = 0.0;
-    Status handled = OkStatus();
-    switch (frame->type) {
-      case net::FrameType::kHello:
-        handled = HandleHello(conn, frame->payload);
-        break;
-      case net::FrameType::kSubmit:
-        handled = HandleSubmit(conn, frame->payload);
-        break;
-      case net::FrameType::kHeartbeat:
-        handled = HandleHeartbeat(conn, frame->payload);
-        break;
-      case net::FrameType::kFinish:
-        handled = HandleFinish(conn);
-        break;
-      case net::FrameType::kGoodbye:
-        return;
-      default:
-        SendError(conn, InvalidArgumentError(
-                            std::string("unexpected frame ") +
-                            net::FrameTypeName(frame->type)));
-        continue;
-    }
-    if (!handled.ok()) {
-      // Reply failures (broken pipe and friends) end the session; the
-      // coordinator redials.
-      return;
-    }
+net::SessionAction WorkerServer::Dispatch(net::TcpConnection& conn,
+                                          const net::Frame& frame) {
+  Status handled = OkStatus();
+  switch (frame.type) {
+    case net::FrameType::kHello:
+      handled = HandleHello(conn, frame.payload);
+      break;
+    case net::FrameType::kSubmit:
+      handled = HandleSubmit(conn, frame.payload);
+      break;
+    case net::FrameType::kHeartbeat:
+      handled = HandleHeartbeat(conn, frame.payload);
+      break;
+    case net::FrameType::kFinish:
+      handled = HandleFinish(conn);
+      break;
+    default:
+      SendError(conn, InvalidArgumentError(
+                          std::string("unexpected frame ") +
+                          net::FrameTypeName(frame.type)));
+      return net::SessionAction::kContinue;
   }
+  if (!handled.ok()) {
+    // Reply failures (broken pipe and friends) end the session; the
+    // coordinator redials.
+    return net::SessionAction::kEndSession;
+  }
+  if (finished_.load(std::memory_order_relaxed)) {
+    return net::SessionAction::kStopServer;
+  }
+  return net::SessionAction::kContinue;
 }
 
 Status WorkerServer::HandleHello(net::TcpConnection& conn,
@@ -270,11 +256,7 @@ Status WorkerServer::HandleFinish(net::TcpConnection& conn) {
 
 void WorkerServer::SendError(net::TcpConnection& conn,
                              const Status& status) {
-  // Best effort: if the reply cannot be delivered the session dies on
-  // the next recv anyway.
-  (void)conn.SendFrame(net::FrameType::kError,
-                       net::EncodeError(net::StatusToError(status)),
-                       config_.io_timeout_ms);
+  net::SendErrorFrame(conn, status, config_.io_timeout_ms);
 }
 
 }  // namespace condensa::shard

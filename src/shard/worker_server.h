@@ -37,6 +37,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "net/framed_server.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "shard/worker.h"
@@ -79,15 +80,16 @@ class WorkerServer {
   WorkerServer(const WorkerServer&) = delete;
   WorkerServer& operator=(const WorkerServer&) = delete;
 
-  std::uint16_t port() const { return listener_.port(); }
+  std::uint16_t port() const { return server_->port(); }
 
   // Serves sessions until a Finish completes or Stop() is called.
   // Returns the first non-recoverable error (listener failure); session
-  // and request errors are handled internally.
+  // and request errors are handled internally. The accept/recv/dispatch
+  // loop itself lives in net::FramedServer (shared with QueryServer).
   Status Run();
 
   // Asks Run() to return at its next poll tick (thread-safe).
-  void Stop() { stop_.store(true, std::memory_order_relaxed); }
+  void Stop() { server_->Stop(); }
 
   // True once a Finish request has been served.
   bool finished() const { return finished_.load(std::memory_order_relaxed); }
@@ -95,9 +97,11 @@ class WorkerServer {
  private:
   explicit WorkerServer(WorkerServerConfig config);
 
-  // Serves one coordinator session; returns when the connection drops,
-  // idles out, or Finish/Stop ends the server.
-  void ServeSession(net::TcpConnection conn);
+  // Maps one decoded frame to a handler; request-level failures are
+  // reported in-band and the session continues, transport failures end
+  // the session, a served Finish stops the server.
+  net::SessionAction Dispatch(net::TcpConnection& conn,
+                              const net::Frame& frame);
   Status HandleHello(net::TcpConnection& conn, const std::string& payload);
   Status HandleSubmit(net::TcpConnection& conn, const std::string& payload);
   Status HandleHeartbeat(net::TcpConnection& conn,
@@ -107,11 +111,10 @@ class WorkerServer {
   void SendError(net::TcpConnection& conn, const Status& status);
 
   WorkerServerConfig config_;
-  net::TcpListener listener_;
+  std::unique_ptr<net::FramedServer> server_;
   std::unique_ptr<Worker> worker_;
   // The Hello that built worker_ (re-handshakes must match it).
   net::HelloMessage hello_;
-  std::atomic<bool> stop_{false};
   std::atomic<bool> finished_{false};
 };
 

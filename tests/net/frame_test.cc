@@ -17,7 +17,7 @@ namespace {
 
 TEST(FrameTest, RoundTripsEveryType) {
   const std::string payload = "hello fabric";
-  for (std::uint16_t raw = 1; raw <= 10; ++raw) {
+  for (std::uint16_t raw = 1; raw <= 12; ++raw) {
     const FrameType type = static_cast<FrameType>(raw);
     const std::string wire = EncodeFrame(type, payload);
     ASSERT_EQ(wire.size(), kFrameHeaderSize + payload.size());

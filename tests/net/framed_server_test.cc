@@ -1,0 +1,219 @@
+// FramedServer: the shared accept/recv/dispatch loop. Covers the
+// dispatch actions (continue / end-session / stop-server), built-in
+// Goodbye handling, the session-context hook, in-band error replies,
+// and Stop() from another thread.
+
+#include "net/framed_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace condensa::net {
+namespace {
+
+FramedServerConfig FastConfig() {
+  FramedServerConfig config;
+  config.poll_ms = 10.0;
+  config.idle_timeout_ms = 2000.0;
+  return config;
+}
+
+TEST(FramedServerConfigTest, RejectsNonPositiveTimeouts) {
+  FramedServerConfig config;
+  config.poll_ms = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FramedServerConfig();
+  config.idle_timeout_ms = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  EXPECT_TRUE(FramedServerConfig().Validate().ok());
+}
+
+TEST(FramedServerTest, EchoesFramesAndHandlesGoodbye) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  FramedServer server(*std::move(listener), FastConfig());
+  const std::uint16_t port = server.port();
+
+  std::thread serving([&server] {
+    Status run = server.Run([](TcpConnection& conn, const Frame& frame) {
+      EXPECT_TRUE(
+          conn.SendFrame(frame.type, frame.payload + "-echo", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        client->SendFrame(FrameType::kHeartbeat, "ping", 1000.0).ok());
+    StatusOr<Frame> reply = client->RecvFrame(2000.0);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, FrameType::kHeartbeat);
+    EXPECT_EQ(reply->payload, "ping-echo");
+  }
+  // Goodbye ends the session without reaching the handler; the server
+  // goes back to accept and a new client can connect.
+  ASSERT_TRUE(client->SendFrame(FrameType::kGoodbye, "", 1000.0).ok());
+  client->Close();
+
+  StatusOr<TcpConnection> second =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_TRUE(second->SendFrame(FrameType::kHeartbeat, "again", 1000.0).ok());
+  StatusOr<Frame> reply = second->RecvFrame(2000.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->payload, "again-echo");
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(FramedServerTest, StopServerActionLeavesRunLoop) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServer server(*std::move(listener), FastConfig());
+  const std::uint16_t port = server.port();
+
+  std::thread serving([&server] {
+    Status run = server.Run([](TcpConnection& conn, const Frame& frame) {
+      EXPECT_TRUE(conn.SendFrame(frame.type, "done", 1000.0).ok());
+      return SessionAction::kStopServer;
+    });
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame(FrameType::kFinish, "", 1000.0).ok());
+  StatusOr<Frame> reply = client->RecvFrame(2000.0);
+  ASSERT_TRUE(reply.ok());
+  // Run() must return on its own — no Stop() call here.
+  serving.join();
+}
+
+TEST(FramedServerTest, EndSessionDropsBackToAccept) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServer server(*std::move(listener), FastConfig());
+  const std::uint16_t port = server.port();
+  std::atomic<int> frames{0};
+
+  std::thread serving([&server, &frames] {
+    (void)server.Run([&frames](TcpConnection&, const Frame&) {
+      frames.fetch_add(1);
+      return SessionAction::kEndSession;
+    });
+  });
+
+  // The first frame ends the session; a second frame on the same
+  // connection is never dispatched, but a fresh connection is served.
+  StatusOr<TcpConnection> first =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+  StatusOr<TcpConnection> second =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+  // The second session's frame arrives only after the first was dropped.
+  while (frames.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(frames.load(), 2);
+}
+
+TEST(FramedServerTest, SessionHookContextLivesForTheSession) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServer server(*std::move(listener), FastConfig());
+  const std::uint16_t port = server.port();
+
+  // The hook parks a token whose destructor flips a flag; the flag must
+  // stay false while the session is open.
+  std::atomic<int> sessions{0};
+  std::atomic<int> destroyed{0};
+  struct Token {
+    std::atomic<int>* counter;
+    ~Token() { counter->fetch_add(1); }
+  };
+  server.set_on_session(
+      [&sessions, &destroyed](TcpConnection&) -> std::shared_ptr<void> {
+        sessions.fetch_add(1);
+        auto token = std::make_shared<Token>();
+        token->counter = &destroyed;
+        return token;
+      });
+
+  std::thread serving([&server] {
+    (void)server.Run([](TcpConnection& conn, const Frame&) {
+      EXPECT_TRUE(conn.SendFrame(FrameType::kHeartbeatAck, "", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+  });
+
+  {
+    StatusOr<TcpConnection> client =
+        TcpConnection::Connect("127.0.0.1", port, 2000.0);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+    StatusOr<Frame> reply = client->RecvFrame(2000.0);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(sessions.load(), 1);
+    EXPECT_EQ(destroyed.load(), 0);
+    ASSERT_TRUE(client->SendFrame(FrameType::kGoodbye, "", 1000.0).ok());
+  }
+  while (destroyed.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(sessions.load(), 1);
+  EXPECT_EQ(destroyed.load(), 1);
+}
+
+TEST(FramedServerTest, SendErrorFrameRoundTripsStatus) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServer server(*std::move(listener), FastConfig());
+  const std::uint16_t port = server.port();
+
+  std::thread serving([&server] {
+    (void)server.Run([](TcpConnection& conn, const Frame&) {
+      SendErrorFrame(conn, InvalidArgumentError("bad request"), 1000.0);
+      return SessionAction::kContinue;
+    });
+  });
+
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame(FrameType::kSubmit, "x", 1000.0).ok());
+  StatusOr<Frame> reply = client->RecvFrame(2000.0);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, FrameType::kError);
+  StatusOr<ErrorMessage> error = DecodeError(reply->payload);
+  ASSERT_TRUE(error.ok());
+  Status status = ErrorToStatus(*error);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad request"), std::string::npos);
+
+  server.Stop();
+  serving.join();
+}
+
+}  // namespace
+}  // namespace condensa::net

@@ -106,11 +106,27 @@ TEST(MetricsRegistryTest, JsonDumpIsGroupedByKind) {
   EXPECT_NE(json.find("\"count\":1"), std::string::npos);
 }
 
-TEST(MetricsRegistryTest, ResetDropsAllSeries) {
+TEST(MetricsRegistryTest, ResetZeroesSeriesInPlace) {
   MetricsRegistry registry;
-  registry.GetCounter("a_total").Increment();
+  Counter& counter = registry.GetCounter("a_total");
+  counter.Increment(5);
+  Gauge& gauge = registry.GetGauge("b");
+  gauge.Set(2.5);
+  Histogram& histogram = registry.GetHistogram("c_seconds", {}, {1.0});
+  histogram.Observe(0.5);
   registry.Reset();
-  EXPECT_EQ(registry.GetCounter("a_total").value(), 0u);
+  // References obtained before the Reset stay valid (instruments cache
+  // them in thread-locals and module singletons) and read zero.
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0.0);
+  EXPECT_EQ(histogram.bucket_counts(),
+            (std::vector<std::uint64_t>{0u, 0u}));
+  // And they are the same objects a fresh lookup returns.
+  EXPECT_EQ(&counter, &registry.GetCounter("a_total"));
+  counter.Increment();
+  EXPECT_EQ(registry.GetCounter("a_total").value(), 1u);
 }
 
 TEST(MetricsRegistryTest, DefaultRegistryIsAProcessSingleton) {

@@ -1,0 +1,117 @@
+// EigenCache: version-keyed lookups, LRU bounds, and stat accounting.
+
+#include "query/eigen_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+
+GroupStatistics MakeGroup(std::size_t dim, std::uint64_t seed,
+                          std::size_t count = 6) {
+  Rng rng(seed);
+  GroupStatistics group(dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector record(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      record[d] = rng.Gaussian();
+    }
+    group.Add(record);
+  }
+  return group;
+}
+
+TEST(EigenCacheTest, SecondLookupOfSameVersionHits) {
+  EigenCache cache(4);
+  GroupStatistics group = MakeGroup(3, 1);
+
+  auto first = cache.Get(group);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.Get(group);
+  ASSERT_TRUE(second.ok());
+  // Same version -> the very same factorization object.
+  EXPECT_EQ(first->get(), second->get());
+
+  EigenCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.5);
+}
+
+TEST(EigenCacheTest, CopiedGroupSharesTheStampAndHits) {
+  EigenCache cache(4);
+  GroupStatistics group = MakeGroup(3, 2);
+  ASSERT_TRUE(cache.Get(group).ok());
+
+  // Copying is not a mutation: the copy carries the same stamp and the
+  // same moments, so it must hit.
+  GroupStatistics copy = group;
+  EXPECT_EQ(copy.version(), group.version());
+  ASSERT_TRUE(cache.Get(copy).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(EigenCacheTest, CapacityBoundsSizeWithLruEviction) {
+  EigenCache cache(2);
+  GroupStatistics a = MakeGroup(3, 10);
+  GroupStatistics b = MakeGroup(3, 11);
+  GroupStatistics c = MakeGroup(3, 12);
+
+  ASSERT_TRUE(cache.Get(a).ok());  // {a}
+  ASSERT_TRUE(cache.Get(b).ok());  // {b, a}
+  ASSERT_TRUE(cache.Get(a).ok());  // {a, b} — refresh a
+  ASSERT_TRUE(cache.Get(c).ok());  // {c, a} — evicts b (LRU)
+
+  EigenCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.size, 2u);
+  EXPECT_EQ(stats.evictions, 1u);
+
+  // a and c still hit; b was evicted and misses again.
+  ASSERT_TRUE(cache.Get(a).ok());
+  ASSERT_TRUE(cache.Get(c).ok());
+  EXPECT_EQ(cache.stats().hits, 3u);
+  ASSERT_TRUE(cache.Get(b).ok());
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(EigenCacheTest, ReturnedPointerSurvivesEviction) {
+  EigenCache cache(1);
+  GroupStatistics a = MakeGroup(3, 20);
+  GroupStatistics b = MakeGroup(3, 21);
+
+  auto eigen_a = cache.Get(a);
+  ASSERT_TRUE(eigen_a.ok());
+  ASSERT_TRUE(cache.Get(b).ok());  // evicts a
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // Shared ownership: the caller's pointer is still valid.
+  EXPECT_EQ((*eigen_a)->eigenvalues.dim(), 3u);
+}
+
+TEST(EigenCacheTest, SingleRecordGroupFactorizes) {
+  // Zero covariance is still a valid (all-zero-eigenvalue)
+  // factorization; the engine bypasses the cache for count == 1 groups
+  // but the cache itself must not choke on them.
+  EigenCache cache(2);
+  GroupStatistics group = MakeGroup(3, 30, 1);
+  auto eigen = cache.Get(group);
+  ASSERT_TRUE(eigen.ok()) << eigen.status().ToString();
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NEAR((*eigen)->eigenvalues[d], 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace condensa::query

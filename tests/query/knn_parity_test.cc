@@ -1,0 +1,121 @@
+// Acceptance criterion for the query plane's classifier: answering kNN
+// straight from condensed statistics (mass-weighted nearest centroids)
+// must track the mining/ kNN classifier trained on a regenerated
+// release of the very same pools. The two see the same information —
+// group moments — through different routes, so their test accuracies
+// must agree within a pinned tolerance on the paper-style datasets.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "datagen/profiles.h"
+#include "mining/evaluation.h"
+#include "mining/knn.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::CondensationConfig;
+using condensa::core::CondensationEngine;
+using condensa::data::Dataset;
+
+// Accuracy gap allowed between the statistics-direct classifier and the
+// regenerate-then-kNN baseline. Both routes rest on the same condensed
+// moments; they may disagree near class boundaries but not in bulk.
+constexpr double kAccuracyTolerance = 0.08;
+
+// Classify `test` through the query engine against `snapshot` and
+// return the fraction of correct labels.
+double EngineAccuracy(const QuerySnapshot& snapshot, const Dataset& test,
+                      std::size_t neighbors) {
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.neighbors = neighbors;
+  for (const auto& record : test.records()) {
+    query.classify.points.push_back(record);
+  }
+  auto result = engine.Execute(snapshot, query);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) return 0.0;
+  EXPECT_EQ(result->classify.labels.size(), test.size());
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (result->classify.labels[i] == test.label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+// Train mining/ kNN on a release regenerated from `pools` and evaluate
+// it on `test`.
+double RegeneratedKnnAccuracy(const core::CondensedPools& pools,
+                              const Dataset& test, std::size_t neighbors,
+                              Rng& rng) {
+  auto release = core::GenerateRelease(pools, rng);
+  EXPECT_TRUE(release.ok()) << release.status().ToString();
+  if (!release.ok()) return 0.0;
+  mining::KnnClassifier knn({.k = neighbors});
+  EXPECT_TRUE(knn.Fit(release->anonymized).ok());
+  auto accuracy = mining::EvaluateAccuracy(knn, test);
+  EXPECT_TRUE(accuracy.ok()) << accuracy.status().ToString();
+  return accuracy.ok() ? *accuracy : 0.0;
+}
+
+void ExpectParity(const Dataset& dataset, std::size_t group_size,
+                  std::uint64_t seed, double min_accuracy) {
+  Rng rng(seed);
+  auto split = data::SplitTrainTest(dataset, 0.7, rng);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  CondensationConfig config;
+  config.group_size = group_size;
+  config.num_threads = 1;
+  auto pools = CondensationEngine(config).Condense(split->train, rng);
+  ASSERT_TRUE(pools.ok()) << pools.status().ToString();
+
+  const QuerySnapshot snapshot = SnapshotFromPools(*pools);
+  const std::size_t neighbors = 3;
+  const double direct = EngineAccuracy(snapshot, split->test, neighbors);
+  const double baseline =
+      RegeneratedKnnAccuracy(*pools, split->test, neighbors, rng);
+
+  EXPECT_GE(direct, min_accuracy)
+      << "statistics-direct accuracy collapsed";
+  EXPECT_GE(baseline, min_accuracy) << "baseline accuracy collapsed";
+  EXPECT_NEAR(direct, baseline, kAccuracyTolerance)
+      << "direct=" << direct << " regenerated-kNN=" << baseline;
+}
+
+TEST(KnnParityTest, GaussianBlobsAccuracyMatchesRegeneratedKnn) {
+  Rng rng(11);
+  Dataset blobs = datagen::MakeGaussianBlobs(3, 150, 4, 8.0, rng);
+  ExpectParity(blobs, 10, 101, 0.9);
+}
+
+TEST(KnnParityTest, IonosphereProfileAccuracyMatchesRegeneratedKnn) {
+  Rng rng(12);
+  Dataset ionosphere = datagen::MakeIonosphere(rng);
+  ExpectParity(ionosphere, 10, 102, 0.7);
+}
+
+TEST(KnnParityTest, ParityHoldsAtLargerGroupSize) {
+  // Condensing harder (k = 25) coarsens both routes identically; the
+  // two must degrade together, not apart.
+  Rng rng(13);
+  Dataset blobs = datagen::MakeGaussianBlobs(2, 200, 3, 6.0, rng);
+  ExpectParity(blobs, 25, 103, 0.85);
+}
+
+}  // namespace
+}  // namespace condensa::query

@@ -1,0 +1,341 @@
+// QueryEngine: exactness of aggregates, centroid kNN classification,
+// and deterministic cached regeneration (bit-identical to Anonymizer).
+
+#include "query/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/anonymizer.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::Anonymizer;
+using condensa::core::CondensedGroupSet;
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+
+Vector MakePoint(std::initializer_list<double> values) {
+  Vector v(values.size());
+  std::size_t i = 0;
+  for (double value : values) v[i++] = value;
+  return v;
+}
+
+GroupStatistics MakeGroupAround(const Vector& center, std::size_t count,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  GroupStatistics group(center.dim());
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector record(center.dim());
+    for (std::size_t d = 0; d < center.dim(); ++d) {
+      record[d] = center[d] + rng.Gaussian(0.0, 0.3);
+    }
+    group.Add(record);
+  }
+  return group;
+}
+
+// Two labeled pools, well separated along dimension 0.
+QuerySnapshot TwoClassSnapshot(std::size_t groups_per_pool = 3,
+                               std::size_t records_per_group = 5) {
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  CondensedGroupSet negative(2, records_per_group);
+  CondensedGroupSet positive(2, records_per_group);
+  for (std::size_t g = 0; g < groups_per_pool; ++g) {
+    negative.AddGroup(MakeGroupAround(MakePoint({-5.0, double(g)}),
+                                      records_per_group, 10 + g));
+    positive.AddGroup(MakeGroupAround(MakePoint({5.0, double(g)}),
+                                      records_per_group, 20 + g));
+  }
+  snapshot.pools.push_back({0, std::move(negative)});
+  snapshot.pools.push_back({1, std::move(positive)});
+  return snapshot;
+}
+
+TEST(QueryEngineTest, AggregateIsBitIdenticalToMomentFold) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kAggregate;
+
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Reference: the same fold over the same groups in the same order.
+  GroupStatistics folded(snapshot.dim);
+  for (const LabeledGroups& pool : snapshot.pools) {
+    for (const GroupStatistics& group : pool.groups.groups()) {
+      folded.Merge(group);
+    }
+  }
+  EXPECT_EQ(result->aggregate.groups_matched, 6u);
+  EXPECT_EQ(result->aggregate.records, folded.count());
+  ASSERT_TRUE(result->aggregate.has_moments);
+  Vector mean = folded.Centroid();
+  auto covariance = folded.Covariance();
+  for (std::size_t d = 0; d < snapshot.dim; ++d) {
+    // Exact double equality: both sides ARE the same computation.
+    EXPECT_EQ(result->aggregate.mean[d], mean[d]);
+    for (std::size_t e = 0; e < snapshot.dim; ++e) {
+      EXPECT_EQ(result->aggregate.covariance(d, e), covariance(d, e));
+    }
+  }
+}
+
+TEST(QueryEngineTest, RangeSelectsByCentroidBox) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.aggregate.range.bounds.push_back({0, 0.0, 10.0});
+
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok());
+  // Only the positive pool's centroids sit in [0, 10] on dim 0.
+  EXPECT_EQ(result->aggregate.groups_matched, 3u);
+
+  GroupStatistics folded(snapshot.dim);
+  for (const GroupStatistics& group : snapshot.pools[1].groups.groups()) {
+    folded.Merge(group);
+  }
+  EXPECT_EQ(result->aggregate.records, folded.count());
+  EXPECT_EQ(result->aggregate.mean[0], folded.Centroid()[0]);
+}
+
+TEST(QueryEngineTest, EmptySelectionHasNoMoments) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.aggregate.range.bounds.push_back({0, 50.0, 60.0});
+
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->aggregate.groups_matched, 0u);
+  EXPECT_EQ(result->aggregate.records, 0u);
+  EXPECT_FALSE(result->aggregate.has_moments);
+}
+
+TEST(QueryEngineTest, RangeValidationRejectsBadBounds) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.aggregate.range.bounds.push_back({7, 0.0, 1.0});  // dim out of range
+  auto result = engine.Execute(snapshot, query);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  query.aggregate.range.bounds.clear();
+  query.aggregate.range.bounds.push_back({0, 2.0, 1.0});  // lo > hi
+  result = engine.Execute(snapshot, query);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryEngineTest, ClassifiesPointsToNearestCentroidLabel) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.points.push_back(MakePoint({-5.0, 1.0}));
+  query.classify.points.push_back(MakePoint({5.0, 2.0}));
+  query.classify.points.push_back(MakePoint({-4.0, 0.0}));
+  query.classify.neighbors = 3;
+
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->classify.labels.size(), 3u);
+  EXPECT_EQ(result->classify.labels[0], 0);
+  EXPECT_EQ(result->classify.labels[1], 1);
+  EXPECT_EQ(result->classify.labels[2], 0);
+}
+
+TEST(QueryEngineTest, VotesAreWeightedByGroupMass) {
+  // One tiny group of label 1 sits nearest; a huge label-0 group is a
+  // bit farther. With neighbors = 2 the mass-weighted vote must go to
+  // the heavy group — each group speaks for all its records.
+  QuerySnapshot snapshot;
+  snapshot.dim = 1;
+  CondensedGroupSet light(1, 1), heavy(1, 1);
+  GroupStatistics tiny(1);
+  tiny.Add(MakePoint({1.0}));
+  light.AddGroup(std::move(tiny));
+  GroupStatistics big(1);
+  for (int i = 0; i < 50; ++i) {
+    big.Add(MakePoint({2.0 + 0.001 * i}));
+  }
+  heavy.AddGroup(std::move(big));
+  snapshot.pools.push_back({1, std::move(light)});
+  snapshot.pools.push_back({0, std::move(heavy)});
+
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.points.push_back(MakePoint({0.5}));
+  query.classify.neighbors = 2;
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->classify.labels[0], 0);
+
+  // With a single neighbour the nearest (tiny) group wins.
+  query.classify.neighbors = 1;
+  result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->classify.labels[0], 1);
+}
+
+TEST(QueryEngineTest, ClassifyRejectsBadInputs) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.points.push_back(MakePoint({1.0}));  // wrong dim
+  auto result = engine.Execute(snapshot, query);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  query.classify.points.clear();
+  query.classify.points.push_back(MakePoint({1.0, 2.0}));
+  query.classify.neighbors = 0;
+  result = engine.Execute(snapshot, query);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // A snapshot with only unlabeled pools cannot classify.
+  QuerySnapshot unlabeled;
+  unlabeled.dim = 2;
+  CondensedGroupSet groups(2, 5);
+  groups.AddGroup(MakeGroupAround(MakePoint({0.0, 0.0}), 5, 1));
+  unlabeled.pools.push_back({-1, std::move(groups)});
+  query.classify.neighbors = 1;
+  result = engine.Execute(unlabeled, query);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryEngineTest, RegenerateIsDeterministicInTheSeed) {
+  QuerySnapshot snapshot = TwoClassSnapshot();
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kRegenerate;
+  query.regenerate.seed = 1234;
+
+  auto first = engine.Execute(snapshot, query);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Execute(snapshot, query);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->regenerate.records.size(),
+            second->regenerate.records.size());
+  EXPECT_EQ(first->regenerate.records.size(), 30u);  // 6 groups x 5
+  for (std::size_t i = 0; i < first->regenerate.records.size(); ++i) {
+    for (std::size_t d = 0; d < snapshot.dim; ++d) {
+      EXPECT_EQ(first->regenerate.records[i][d],
+                second->regenerate.records[i][d]);
+    }
+  }
+
+  query.regenerate.seed = 1235;
+  auto other = engine.Execute(snapshot, query);
+  ASSERT_TRUE(other.ok());
+  bool differs = false;
+  for (std::size_t i = 0; i < other->regenerate.records.size() && !differs;
+       ++i) {
+    for (std::size_t d = 0; d < snapshot.dim; ++d) {
+      if (other->regenerate.records[i][d] !=
+          first->regenerate.records[i][d]) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(QueryEngineTest, RegenerateMatchesAnonymizerBitForBit) {
+  // A single unlabeled pool regenerated with the engine's cached
+  // factorizations must equal Anonymizer::Generate on the same group
+  // set with the same seed: both split one substream per group in group
+  // order and run core::SampleFromEigen.
+  CondensedGroupSet groups(2, 5);
+  for (std::size_t g = 0; g < 4; ++g) {
+    groups.AddGroup(
+        MakeGroupAround(MakePoint({double(g), -double(g)}), 5, 40 + g));
+  }
+  QuerySnapshot snapshot = SnapshotFromGroupSet(groups);
+
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kRegenerate;
+  query.regenerate.seed = 77;
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Run twice so the second pass answers fully from the cache.
+  auto cached = engine.Execute(snapshot, query);
+  ASSERT_TRUE(cached.ok());
+
+  Anonymizer anonymizer({.num_threads = 1});
+  Rng rng(77);
+  auto reference = anonymizer.Generate(groups, rng);
+  ASSERT_TRUE(reference.ok());
+
+  ASSERT_EQ(result->regenerate.records.size(), reference->size());
+  for (std::size_t i = 0; i < reference->size(); ++i) {
+    for (std::size_t d = 0; d < 2; ++d) {
+      EXPECT_EQ(result->regenerate.records[i][d], (*reference)[i][d]);
+      EXPECT_EQ(cached->regenerate.records[i][d], (*reference)[i][d]);
+    }
+  }
+  EXPECT_GT(engine.eigen_cache().stats().hits, 0u);
+}
+
+TEST(QueryEngineTest, RegenerateSingleRecordGroupYieldsItsCentroid) {
+  CondensedGroupSet groups(2, 1);
+  GroupStatistics lone(2);
+  lone.Add(MakePoint({3.0, 4.0}));
+  groups.AddGroup(std::move(lone));
+  QuerySnapshot snapshot = SnapshotFromGroupSet(groups);
+
+  QueryEngine engine;
+  Query query;
+  query.kind = QueryKind::kRegenerate;
+  query.regenerate.records_per_group = 3;
+  auto result = engine.Execute(snapshot, query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->regenerate.records.size(), 3u);
+  for (const Vector& record : result->regenerate.records) {
+    EXPECT_EQ(record[0], 3.0);
+    EXPECT_EQ(record[1], 4.0);
+  }
+  // No factorization exists for a zero-covariance group: the cache must
+  // not have been touched.
+  EXPECT_EQ(engine.eigen_cache().stats().misses, 0u);
+}
+
+TEST(QueryEngineTest, ParseRangeSpecRoundTrips) {
+  auto empty = ParseRangeSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->bounds.empty());
+
+  auto spec = ParseRangeSpec("0:-1.5:2.5,3:0:0");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->bounds.size(), 2u);
+  EXPECT_EQ(spec->bounds[0].dim, 0u);
+  EXPECT_EQ(spec->bounds[0].lo, -1.5);
+  EXPECT_EQ(spec->bounds[0].hi, 2.5);
+  EXPECT_EQ(spec->bounds[1].dim, 3u);
+
+  EXPECT_FALSE(ParseRangeSpec("0:a:b").ok());
+  EXPECT_FALSE(ParseRangeSpec("0:1").ok());
+  EXPECT_FALSE(ParseRangeSpec(":1:2").ok());
+  EXPECT_FALSE(ParseRangeSpec("0:1:2,").ok());
+}
+
+}  // namespace
+}  // namespace condensa::query

@@ -1,0 +1,102 @@
+// Satellite guarantee: the query plane's metrics land in the default
+// obs registry and show up in the Prometheus exposition — request
+// counters and latency histograms per query kind, the eigen-cache
+// hit/miss/size/ratio series, and the published snapshot version.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/random.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+#include "obs/metrics.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::CondensedGroupSet;
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+
+QuerySnapshot MakeSnapshot() {
+  Rng rng(31);
+  CondensedGroupSet groups(2, 4);
+  for (std::size_t g = 0; g < 3; ++g) {
+    GroupStatistics stats(2);
+    for (std::size_t r = 0; r < 4; ++r) {
+      Vector record(2);
+      record[0] = rng.Gaussian();
+      record[1] = rng.Gaussian();
+      stats.Add(record);
+    }
+    groups.AddGroup(std::move(stats));
+  }
+  return SnapshotFromGroupSet(groups);
+}
+
+TEST(QueryMetricsTest, ExpositionCarriesQuerySeries) {
+  obs::DefaultRegistry().Reset();
+
+  QuerySnapshot snapshot = MakeSnapshot();
+  QueryEngine engine;
+  Query aggregate;
+  aggregate.kind = QueryKind::kAggregate;
+  ASSERT_TRUE(engine.Execute(snapshot, aggregate).ok());
+  Query regenerate;
+  regenerate.kind = QueryKind::kRegenerate;
+  ASSERT_TRUE(engine.Execute(snapshot, regenerate).ok());
+  ASSERT_TRUE(engine.Execute(snapshot, regenerate).ok());
+
+  // A failing request must increment the failure counter.
+  Query classify;
+  classify.kind = QueryKind::kClassify;
+  Vector point(2);
+  classify.classify.points.push_back(point);
+  ASSERT_FALSE(engine.Execute(snapshot, classify).ok());
+
+  SnapshotStore store;
+  store.Publish(MakeSnapshot());
+
+  const std::string text = obs::DefaultRegistry().DumpPrometheusText();
+  // Request counters, labeled by kind.
+  EXPECT_NE(
+      text.find("condensa_query_requests_total{kind=\"aggregate\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("condensa_query_requests_total{kind=\"regenerate\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("condensa_query_requests_total{kind=\"classify\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "condensa_query_request_failures_total{kind=\"classify\"} 1"),
+      std::string::npos);
+  // Latency histograms.
+  EXPECT_NE(text.find("condensa_query_request_seconds"),
+            std::string::npos);
+  // Eigen cache series: 3 groups faulted in once, then 3 hits.
+  EXPECT_NE(text.find("condensa_query_eigen_cache_misses_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("condensa_query_eigen_cache_hits_total 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("condensa_query_eigen_cache_size 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("condensa_query_eigen_cache_hit_ratio 0.5"),
+            std::string::npos);
+  // Published snapshot version gauge.
+  EXPECT_NE(text.find("condensa_query_snapshot_version 1"),
+            std::string::npos);
+
+  obs::DefaultRegistry().Reset();
+}
+
+}  // namespace
+}  // namespace condensa::query

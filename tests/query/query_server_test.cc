@@ -1,0 +1,220 @@
+// QueryServer + QueryClient over real loopback TCP: request/response
+// round trips, in-band errors for unanswerable queries, the
+// no-snapshot-yet precondition, and snapshot pinning across Publish.
+
+#include "query/server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+#include "net/frame.h"
+#include "net/wire.h"
+#include "query/client.h"
+#include "query/query.h"
+#include "query/snapshot.h"
+#include "query/wire.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::CondensedGroupSet;
+using condensa::core::GroupStatistics;
+using condensa::linalg::Vector;
+
+Vector MakePoint(std::initializer_list<double> values) {
+  Vector v(values.size());
+  std::size_t i = 0;
+  for (double value : values) v[i++] = value;
+  return v;
+}
+
+CondensedGroupSet MakeGroups(double center, std::uint64_t seed) {
+  Rng rng(seed);
+  CondensedGroupSet groups(2, 4);
+  for (std::size_t g = 0; g < 3; ++g) {
+    GroupStatistics stats(2);
+    for (std::size_t r = 0; r < 4; ++r) {
+      Vector record(2);
+      record[0] = center + rng.Gaussian(0.0, 0.2);
+      record[1] = double(g) + rng.Gaussian(0.0, 0.2);
+      stats.Add(record);
+    }
+    groups.AddGroup(std::move(stats));
+  }
+  return groups;
+}
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  void StartServer(std::shared_ptr<SnapshotStore> store) {
+    QueryServerConfig config;
+    config.poll_ms = 10.0;
+    auto server = QueryServer::Create(std::move(config), std::move(store));
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = *std::move(server);
+    serving_ = std::thread([this] {
+      Status run = server_->Run();
+      EXPECT_TRUE(run.ok()) << run.ToString();
+    });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      serving_.join();
+    }
+  }
+
+  std::unique_ptr<QueryServer> server_;
+  std::thread serving_;
+};
+
+TEST_F(QueryServerTest, AnswersAggregateAndClassify) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({0, MakeGroups(-3.0, 1)});
+  snapshot.pools.push_back({1, MakeGroups(3.0, 2)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto client =
+      QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  Query aggregate;
+  aggregate.kind = QueryKind::kAggregate;
+  auto result = client->Execute(aggregate, 2000.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->snapshot_version, 1u);
+  EXPECT_EQ(result->aggregate.groups_matched, 6u);
+  EXPECT_EQ(result->aggregate.records, 24u);
+  EXPECT_TRUE(result->aggregate.has_moments);
+
+  Query classify;
+  classify.kind = QueryKind::kClassify;
+  classify.classify.points.push_back(MakePoint({-3.0, 1.0}));
+  classify.classify.points.push_back(MakePoint({3.0, 1.0}));
+  auto labels = client->Execute(classify, 2000.0);
+  ASSERT_TRUE(labels.ok()) << labels.status().ToString();
+  ASSERT_EQ(labels->classify.labels.size(), 2u);
+  EXPECT_EQ(labels->classify.labels[0], 0);
+  EXPECT_EQ(labels->classify.labels[1], 1);
+
+  // Multiple requests ride one session; regeneration works remotely too.
+  Query regenerate;
+  regenerate.kind = QueryKind::kRegenerate;
+  regenerate.regenerate.seed = 5;
+  auto records = client->Execute(regenerate, 2000.0);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->regenerate.records.size(), 24u);  // both pools
+}
+
+TEST_F(QueryServerTest, UnanswerableQueriesComeBackInBand) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 3)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto client =
+      QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+
+  // Classify against an unlabeled snapshot: FailedPrecondition, and the
+  // session survives to answer the next request.
+  Query classify;
+  classify.kind = QueryKind::kClassify;
+  classify.classify.points.push_back(MakePoint({0.0, 0.0}));
+  auto bad = client->Execute(classify, 2000.0);
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+
+  Query aggregate;
+  aggregate.kind = QueryKind::kAggregate;
+  aggregate.aggregate.range.bounds.push_back({9, 0.0, 1.0});
+  auto invalid = client->Execute(aggregate, 2000.0);
+  EXPECT_EQ(invalid.status().code(), StatusCode::kInvalidArgument);
+
+  aggregate.aggregate.range.bounds.clear();
+  auto good = client->Execute(aggregate, 2000.0);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->aggregate.records, 12u);
+}
+
+TEST_F(QueryServerTest, NoSnapshotYetIsFailedPrecondition) {
+  StartServer(std::make_shared<SnapshotStore>());
+  auto client =
+      QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  auto result = client->Execute(query, 2000.0);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryServerTest, UnexpectedFrameTypeGetsInBandError) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 4)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto conn = net::TcpConnection::Connect("127.0.0.1", server_->port(),
+                                          2000.0);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SendFrame(net::FrameType::kSubmit, "", 1000.0).ok());
+  auto reply = conn->RecvFrame(2000.0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, net::FrameType::kError);
+
+  // Malformed Query payloads are also in-band errors, not dropped
+  // sessions.
+  ASSERT_TRUE(
+      conn->SendFrame(net::FrameType::kQuery, "\xff\xff", 1000.0).ok());
+  auto decode_error = conn->RecvFrame(2000.0);
+  ASSERT_TRUE(decode_error.ok());
+  EXPECT_EQ(decode_error->type, net::FrameType::kError);
+}
+
+TEST_F(QueryServerTest, LaterPublishChangesAnswersAndVersion) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot first;
+  first.dim = 2;
+  first.pools.push_back({-1, MakeGroups(0.0, 5)});
+  store->Publish(std::move(first));
+  StartServer(store);
+
+  auto client =
+      QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  auto before = client->Execute(query, 2000.0);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->snapshot_version, 1u);
+  EXPECT_EQ(before->aggregate.records, 12u);
+
+  QuerySnapshot second;
+  second.dim = 2;
+  second.pools.push_back({-1, MakeGroups(0.0, 5)});
+  second.pools.push_back({-1, MakeGroups(1.0, 6)});
+  store->Publish(std::move(second));
+
+  auto after = client->Execute(query, 2000.0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot_version, 2u);
+  EXPECT_EQ(after->aggregate.records, 24u);
+}
+
+}  // namespace
+}  // namespace condensa::query

@@ -1,0 +1,157 @@
+// Query wire codecs: bit-exact round trips and hostile-input hardening.
+
+#include "query/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "query/query.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::linalg::Matrix;
+using condensa::linalg::Vector;
+
+Vector MakePoint(std::initializer_list<double> values) {
+  Vector v(values.size());
+  std::size_t i = 0;
+  for (double value : values) v[i++] = value;
+  return v;
+}
+
+TEST(QueryWireTest, ClassifyQueryRoundTrips) {
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.neighbors = 5;
+  query.classify.points.push_back(MakePoint({1.5, -2.25, 1e-300}));
+  query.classify.points.push_back(MakePoint({0.0, 3.0, -0.0}));
+
+  auto decoded = DecodeQuery(EncodeQuery(query));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->kind, QueryKind::kClassify);
+  EXPECT_EQ(decoded->classify.neighbors, 5u);
+  ASSERT_EQ(decoded->classify.points.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(decoded->classify.points[i][d],
+                query.classify.points[i][d]);
+    }
+  }
+}
+
+TEST(QueryWireTest, AggregateQueryRoundTrips) {
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.aggregate.range.bounds.push_back({2, -1.0, 4.5});
+  query.aggregate.range.bounds.push_back({0, 0.25, 0.75});
+
+  auto decoded = DecodeQuery(EncodeQuery(query));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->aggregate.range.bounds.size(), 2u);
+  EXPECT_EQ(decoded->aggregate.range.bounds[0].dim, 2u);
+  EXPECT_EQ(decoded->aggregate.range.bounds[0].lo, -1.0);
+  EXPECT_EQ(decoded->aggregate.range.bounds[1].hi, 0.75);
+}
+
+TEST(QueryWireTest, RegenerateQueryRoundTrips) {
+  Query query;
+  query.kind = QueryKind::kRegenerate;
+  query.regenerate.range.bounds.push_back({1, 0.0, 1.0});
+  query.regenerate.seed = 0xdeadbeefcafe;
+  query.regenerate.records_per_group = 17;
+
+  auto decoded = DecodeQuery(EncodeQuery(query));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->kind, QueryKind::kRegenerate);
+  EXPECT_EQ(decoded->regenerate.seed, 0xdeadbeefcafeu);
+  EXPECT_EQ(decoded->regenerate.records_per_group, 17u);
+  ASSERT_EQ(decoded->regenerate.range.bounds.size(), 1u);
+}
+
+TEST(QueryWireTest, AggregateResultRoundTripsBitExactly) {
+  QueryResult result;
+  result.snapshot_version = 42;
+  result.kind = QueryKind::kAggregate;
+  result.aggregate.groups_matched = 3;
+  result.aggregate.records = 99;
+  result.aggregate.has_moments = true;
+  result.aggregate.mean = MakePoint({1.0 / 3.0, -7.25});
+  Matrix covariance(2, 2);
+  covariance(0, 0) = 0.1;
+  covariance(0, 1) = -0.055;
+  covariance(1, 0) = -0.055;
+  covariance(1, 1) = 2.5e-17;
+  result.aggregate.covariance = covariance;
+
+  auto decoded = DecodeQueryResult(EncodeQueryResult(result));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->snapshot_version, 42u);
+  EXPECT_EQ(decoded->aggregate.groups_matched, 3u);
+  EXPECT_EQ(decoded->aggregate.records, 99u);
+  ASSERT_TRUE(decoded->aggregate.has_moments);
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(decoded->aggregate.mean[d], result.aggregate.mean[d]);
+    for (std::size_t e = 0; e < 2; ++e) {
+      EXPECT_EQ(decoded->aggregate.covariance(d, e), covariance(d, e));
+    }
+  }
+}
+
+TEST(QueryWireTest, ClassifyAndRegenerateResultsRoundTrip) {
+  QueryResult classify;
+  classify.snapshot_version = 7;
+  classify.kind = QueryKind::kClassify;
+  classify.classify.labels = {0, -1, 3};
+  auto decoded = DecodeQueryResult(EncodeQueryResult(classify));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->classify.labels, (std::vector<int>{0, -1, 3}));
+
+  QueryResult regen;
+  regen.kind = QueryKind::kRegenerate;
+  regen.regenerate.groups_matched = 2;
+  regen.regenerate.records.push_back(MakePoint({1.0, 2.0}));
+  regen.regenerate.records.push_back(MakePoint({-3.5, 0.125}));
+  auto decoded_regen = DecodeQueryResult(EncodeQueryResult(regen));
+  ASSERT_TRUE(decoded_regen.ok());
+  ASSERT_EQ(decoded_regen->regenerate.records.size(), 2u);
+  EXPECT_EQ(decoded_regen->regenerate.records[1][0], -3.5);
+}
+
+TEST(QueryWireTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeQuery("").ok());
+  EXPECT_FALSE(DecodeQuery("\xff").ok());
+  EXPECT_FALSE(DecodeQueryResult("short").ok());
+
+  // Truncating a valid payload anywhere must fail cleanly, never crash
+  // or over-read.
+  Query query;
+  query.kind = QueryKind::kClassify;
+  query.classify.points.push_back(MakePoint({1.0, 2.0}));
+  const std::string payload = EncodeQuery(query);
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = DecodeQuery(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+
+  // Trailing bytes after a complete message are also a framing error.
+  EXPECT_FALSE(DecodeQuery(payload + "x").ok());
+}
+
+TEST(QueryWireTest, DecodeRejectsOversizedCounts) {
+  // A payload claiming 2^32 points with only a few bytes behind it must
+  // be rejected by the count-vs-remaining validation, not allocated.
+  std::string hostile;
+  hostile.push_back(0);  // kind = classify
+  for (int i = 0; i < 8; ++i) hostile.push_back(1);  // neighbors
+  for (int i = 0; i < 8; ++i) hostile.push_back('\x7f');  // dim: huge
+  auto decoded = DecodeQuery(hostile);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace condensa::query

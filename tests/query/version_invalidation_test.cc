@@ -1,0 +1,188 @@
+// Satellite guarantee of the query plane: EVERY mutation path of the
+// condensed structure invalidates the eigendecomposition cache. The
+// mechanism is the version stamp (GroupStatistics::version()) — each
+// test drives one mutation path (record absorb, record delete, merge,
+// split, set-level Absorb, journal replay) and proves the next cache
+// lookup is a miss, never a stale hit.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io.h"
+#include "common/random.h"
+#include "core/checkpointing.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "core/split.h"
+#include "linalg/vector.h"
+#include "query/eigen_cache.h"
+
+namespace condensa::query {
+namespace {
+
+using condensa::core::CondensedGroupSet;
+using condensa::core::DurabilityOptions;
+using condensa::core::DurableCondenser;
+using condensa::core::DynamicCondenserOptions;
+using condensa::core::GroupStatistics;
+using condensa::core::SplitGroupStatistics;
+using condensa::linalg::Vector;
+
+Vector MakeRecord(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector record(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    record[d] = rng.Gaussian();
+  }
+  return record;
+}
+
+GroupStatistics MakeGroup(std::size_t dim, std::uint64_t seed,
+                          std::size_t count = 8) {
+  GroupStatistics group(dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    group.Add(MakeRecord(dim, seed * 1000 + i));
+  }
+  return group;
+}
+
+// Warm the cache with `group`, assert the warm state, and return the
+// miss count so callers can assert the post-mutation lookup missed.
+void WarmCache(EigenCache& cache, const GroupStatistics& group) {
+  ASSERT_TRUE(cache.Get(group).ok());
+  ASSERT_TRUE(cache.Get(group).ok());
+  ASSERT_EQ(cache.stats().hits, 1u);
+  ASSERT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(VersionInvalidationTest, AbsorbingARecordForcesAMiss) {
+  EigenCache cache(8);
+  GroupStatistics group = MakeGroup(3, 1);
+  WarmCache(cache, group);
+
+  const std::uint64_t before = group.version();
+  group.Add(MakeRecord(3, 99));
+  EXPECT_NE(group.version(), before);
+
+  ASSERT_TRUE(cache.Get(group).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(VersionInvalidationTest, DeletingARecordForcesAMiss) {
+  EigenCache cache(8);
+  GroupStatistics group(3);
+  Vector doomed = MakeRecord(3, 7);
+  group.Add(doomed);
+  for (int i = 0; i < 5; ++i) group.Add(MakeRecord(3, 100 + i));
+  WarmCache(cache, group);
+
+  const std::uint64_t before = group.version();
+  group.Remove(doomed);
+  EXPECT_NE(group.version(), before);
+
+  ASSERT_TRUE(cache.Get(group).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(VersionInvalidationTest, MergingForcesAMiss) {
+  EigenCache cache(8);
+  GroupStatistics group = MakeGroup(3, 2);
+  WarmCache(cache, group);
+
+  const std::uint64_t before = group.version();
+  group.Merge(MakeGroup(3, 3));
+  EXPECT_NE(group.version(), before);
+
+  ASSERT_TRUE(cache.Get(group).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(VersionInvalidationTest, SplitHalvesCarryFreshStamps) {
+  EigenCache cache(8);
+  GroupStatistics group = MakeGroup(3, 4);
+  WarmCache(cache, group);
+
+  auto split = SplitGroupStatistics(group);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_NE(split->lower.version(), group.version());
+  EXPECT_NE(split->upper.version(), group.version());
+  EXPECT_NE(split->lower.version(), split->upper.version());
+
+  // Both halves miss (their moments were never cached) while the
+  // untouched parent still hits.
+  ASSERT_TRUE(cache.Get(split->lower).ok());
+  ASSERT_TRUE(cache.Get(split->upper).ok());
+  ASSERT_TRUE(cache.Get(group).ok());
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(VersionInvalidationTest, SetAbsorbRestampsMovedGroups) {
+  EigenCache cache(8);
+  CondensedGroupSet target(3, 4);
+  target.AddGroup(MakeGroup(3, 5));
+  CondensedGroupSet donor(3, 4);
+  donor.AddGroup(MakeGroup(3, 6));
+  const std::uint64_t donor_stamp = donor.group(0).version();
+  WarmCache(cache, donor.group(0));
+
+  target.Absorb(std::move(donor));
+  ASSERT_EQ(target.num_groups(), 2u);
+  // The moved group was restamped by Absorb, so its cache entry is
+  // unreachable — the lookup misses even though the moments are equal.
+  EXPECT_NE(target.group(1).version(), donor_stamp);
+  ASSERT_TRUE(cache.Get(target.group(1)).ok());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(VersionInvalidationTest, JournalReplayMintsFreshStamps) {
+  const std::string dir = ::testing::TempDir() + "/condensa_query_replay";
+  if (auto entries = ListDirectory(dir); entries.ok()) {
+    for (const std::string& name : *entries) RemoveFile(dir + "/" + name);
+  }
+
+  const DynamicCondenserOptions options{.group_size = 3};
+  DurabilityOptions durability;
+  durability.snapshot_interval = 1000;  // keep everything in the journal
+  auto created = DurableCondenser::Create(3, options, durability, dir);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  std::optional<DurableCondenser> durable(*std::move(created));
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(durable->Insert(MakeRecord(3, 200 + i)).ok());
+  }
+  ASSERT_GT(durable->groups().num_groups(), 0u);
+
+  EigenCache cache(32);
+  std::vector<std::uint64_t> live_stamps;
+  for (const GroupStatistics& group : durable->groups().groups()) {
+    live_stamps.push_back(group.version());
+    ASSERT_TRUE(cache.Get(group).ok());
+  }
+  const std::size_t live_groups = durable->groups().num_groups();
+  const std::uint64_t misses_before = cache.stats().misses;
+  durable.reset();  // close the writer before replay
+
+  // Replay rebuilds every group from journaled raw sums — identical
+  // moments, but brand-new stamps: none of the cached entries may be
+  // reused for recovered state.
+  auto recovered = DurableCondenser::Recover(dir, options, durability);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  ASSERT_EQ(recovered->groups().num_groups(), live_groups);
+  for (std::size_t g = 0; g < recovered->groups().num_groups(); ++g) {
+    const GroupStatistics& group = recovered->groups().group(g);
+    for (std::uint64_t stamp : live_stamps) {
+      EXPECT_NE(group.version(), stamp);
+    }
+    ASSERT_TRUE(cache.Get(group).ok());
+  }
+  EXPECT_EQ(cache.stats().misses,
+            misses_before + recovered->groups().num_groups());
+}
+
+}  // namespace
+}  // namespace condensa::query

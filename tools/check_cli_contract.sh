@@ -29,7 +29,7 @@ expect_code 2 "no command"             "$CLI"
 expect_code 2 "unknown command"        "$CLI" frobnicate
 
 # Every subcommand answers --help with exit 0.
-for cmd in condense serve-stream worker fabric; do
+for cmd in condense serve-stream worker fabric query query-server; do
   expect_code 0 "$cmd --help"          "$CLI" "$cmd" --help
 done
 
@@ -52,6 +52,27 @@ expect_code 2 "worker bad port"      "$CLI" worker --checkpoint-root=/tmp/x --po
 expect_code 2 "fabric missing workers"         "$CLI" fabric
 expect_code 2 "fabric bad worker list"  "$CLI" fabric --workers=localhost
 expect_code 2 "fabric k below 2"  "$CLI" fabric --workers=127.0.0.1:19999 --k=1
+
+# query/query-server flag validation fails fast.
+expect_code 2 "query unknown flag"        "$CLI" query --bogus=1
+expect_code 2 "query-server unknown flag" "$CLI" query-server --bogus=1
+expect_code 2 "query no snapshot source"  "$CLI" query
+expect_code 2 "query two sources" \
+  "$CLI" query --groups=/tmp/x --checkpoint-dir=/tmp/y
+expect_code 2 "query bad op" "$CLI" query --groups=/tmp/x --op=frobnicate
+expect_code 2 "query classify without points" \
+  "$CLI" query --groups=/tmp/x --op=classify
+expect_code 2 "query bad range" "$CLI" query --groups=/tmp/x --range=0:hi:lo
+expect_code 2 "query bad connect" "$CLI" query --connect=nocolon
+expect_code 2 "query-server no snapshot source" "$CLI" query-server
+expect_code 2 "query-server bad port" \
+  "$CLI" query-server --groups=/tmp/x --port=70000
+# A missing checkpoint directory is a runtime failure (exit 1), reported
+# before the server would start listening or any query would run.
+expect_code 1 "query missing checkpoint dir" \
+  "$CLI" query --checkpoint-dir=/nonexistent-condensa-dir
+expect_code 1 "query-server missing checkpoint dir" \
+  "$CLI" query-server --checkpoint-dir=/nonexistent-condensa-dir
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI contract check(s) failed" >&2

@@ -22,6 +22,12 @@
 //             zero-loss handoff, then gather the release; see
 //             docs/fabric.md
 //   recover   restore a condenser from its checkpoint directory
+//   query     one-shot mining queries (classify / aggregate / regenerate)
+//             answered directly from condensed statistics — a saved
+//             groups file, a checkpoint directory, or a running
+//             query-server; see docs/query.md
+//   query-server  long-lived read-side server answering framed Query
+//             requests from a loaded snapshot; see docs/query.md
 //   inspect   print the privacy summary of a saved group-statistics file
 //   evaluate  compare an original and an anonymized CSV (mu, linkage)
 //   stats     run a synthetic end-to-end pipeline and dump the metrics
@@ -38,6 +44,8 @@
 //   condensa serve-stream --checkpoint-dir=state --shards=4 --records=100000
 //   condensa shard --input=patients.csv --shards=8 --k=10 --output=release.csv
 //   condensa recover --checkpoint-dir=state --save-groups=groups.txt
+//   condensa query --groups=groups.txt --op=aggregate --range=0:0.2:0.8
+//   condensa query-server --checkpoint-dir=state --port=7070
 //
 // Every subcommand accepts --help and exits 0 after printing its flags;
 // unknown or malformed flags exit 2.
@@ -69,6 +77,11 @@
 #include "core/anonymizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "query/client.h"
+#include "query/engine.h"
+#include "query/query.h"
+#include "query/server.h"
+#include "query/snapshot.h"
 #include "runtime/pipeline.h"
 #include "shard/fabric.h"
 #include "shard/sharded_condenser.h"
@@ -183,6 +196,14 @@ void PrintUsage(std::FILE* out) {
       "             [--save-groups=FILE] [--output=FILE] [--header]\n"
       "             [--seed=N] [--format=prometheus|json]\n"
       "  recover    --checkpoint-dir=DIR [--save-groups=FILE] [--k=N]\n"
+      "  query      [--groups=FILE | --checkpoint-dir=DIR [--k=N] |\n"
+      "             --connect=HOST:PORT] [--op=classify|aggregate|regenerate]\n"
+      "             [--points=FILE] [--neighbors=N] [--range=DIM:LO:HI,...]\n"
+      "             [--seed=N] [--records-per-group=N] [--output=FILE]\n"
+      "             [--header] [--timeout-ms=X]\n"
+      "  query-server [--groups=FILE | --checkpoint-dir=DIR [--k=N]]\n"
+      "             [--host=ADDR] [--port=N] [--idle-timeout-ms=X]\n"
+      "             [--cache-capacity=N]\n"
       "  inspect    --groups=FILE\n"
       "  evaluate   --original=FILE --anonymized=FILE\n"
       "             [--task=classification|regression|none] [--header]\n"
@@ -374,6 +395,60 @@ const char* HelpText(const std::string& command) {
            "  --k=N                 group size the state was built with\n"
            "                        (default 10)\n"
            "  --save-groups=FILE    save the recovered group statistics\n";
+  }
+  if (command == "query") {
+    return "condensa query — mining queries answered from condensed "
+           "statistics\n"
+           "\n"
+           "Snapshot source (exactly one required):\n"
+           "  --groups=FILE      saved pool statistics or bare group file\n"
+           "  --checkpoint-dir=DIR\n"
+           "                     recover a durable condenser's state\n"
+           "  --connect=HOST:PORT\n"
+           "                     send the query to a running query-server\n"
+           "  --k=N              group size for --checkpoint-dir recovery\n"
+           "                     (default 10)\n"
+           "\n"
+           "Query (see docs/query.md for the full language):\n"
+           "  --op=classify|aggregate|regenerate\n"
+           "                     query kind (default aggregate)\n"
+           "  --points=FILE      CSV of points to classify (classify only,\n"
+           "                     required for it)\n"
+           "  --neighbors=N      nearest group centroids consulted per point\n"
+           "                     (default 1)\n"
+           "  --range=DIM:LO:HI[,DIM:LO:HI...]\n"
+           "                     centroid box selecting groups (aggregate\n"
+           "                     and regenerate; empty = every group)\n"
+           "  --seed=N           regeneration RNG seed (default 42)\n"
+           "  --records-per-group=N\n"
+           "                     regenerated records per selected group\n"
+           "                     (default 0 = each group's own count)\n"
+           "  --output=FILE      write regenerated records as CSV (default\n"
+           "                     stdout)\n"
+           "  --header           first row of --points is a header\n"
+           "  --timeout-ms=X     per-frame timeout for --connect\n"
+           "                     (default 5000)\n";
+  }
+  if (command == "query-server") {
+    return "condensa query-server — serve framed mining queries from a "
+           "snapshot\n"
+           "\n"
+           "Loads condensed state once, then answers Query frames until\n"
+           "killed. Prints `listening on PORT` when ready.\n"
+           "\n"
+           "  --groups=FILE      saved pool statistics or bare group file\n"
+           "  --checkpoint-dir=DIR\n"
+           "                     recover a durable condenser's state\n"
+           "                     (exactly one source required)\n"
+           "  --k=N              group size for --checkpoint-dir recovery\n"
+           "                     (default 10)\n"
+           "  --host=ADDR        bind address (default 127.0.0.1)\n"
+           "  --port=N           listen port (default 0 = pick a free one)\n"
+           "  --idle-timeout-ms=X\n"
+           "                     drop sessions silent this long\n"
+           "                     (default 30000)\n"
+           "  --cache-capacity=N bound on cached eigendecompositions\n"
+           "                     (default 1024)\n";
   }
   if (command == "inspect") {
     return "condensa inspect — print the privacy summary of a saved file\n"
@@ -1370,6 +1445,286 @@ int RunFabric(Flags& flags) {
   return 0;
 }
 
+// Shared snapshot-source flags for `query` and `query-server`: condensed
+// state comes from a saved file or a checkpoint directory. Reading the
+// flags is split from loading so validation (exit 2) happens before any
+// work starts.
+struct SnapshotSource {
+  std::string groups;
+  std::string checkpoint_dir;
+  int k = 10;
+};
+
+bool ReadSnapshotSourceFlags(Flags& flags, SnapshotSource* out) {
+  out->groups = flags.Get("groups", "");
+  out->checkpoint_dir = flags.Get("checkpoint-dir", "");
+  return ParseInt(flags.Get("k", "10"), &out->k) && out->k >= 1;
+}
+
+int LoadSnapshot(const SnapshotSource& source,
+                 condensa::query::QuerySnapshot* snapshot) {
+  if (!source.groups.empty()) {
+    // Accept either a condensa-pools file or a bare group-set file,
+    // mirroring `inspect`.
+    auto pools = condensa::core::LoadPools(source.groups);
+    if (pools.ok()) {
+      *snapshot = condensa::query::SnapshotFromPools(*pools);
+      return 0;
+    }
+    auto groups = condensa::core::LoadGroupSet(source.groups);
+    if (!groups.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", source.groups.c_str(),
+                   groups.status().ToString().c_str());
+      return 1;
+    }
+    *snapshot = condensa::query::SnapshotFromGroupSet(*groups);
+    return 0;
+  }
+  const condensa::core::DynamicCondenserOptions options{
+      .group_size = static_cast<std::size_t>(source.k)};
+  auto durable = condensa::core::DurableCondenser::Recover(
+      source.checkpoint_dir, options, condensa::core::DurabilityOptions{});
+  if (!durable.ok()) {
+    std::fprintf(stderr, "recovery from %s failed: %s\n",
+                 source.checkpoint_dir.c_str(),
+                 durable.status().ToString().c_str());
+    return 1;
+  }
+  *snapshot = condensa::query::SnapshotFromGroupSet(durable->groups());
+  snapshot->records_seen = durable->records_seen();
+  return 0;
+}
+
+void PrintQueryResult(const condensa::query::Query& query,
+                      const condensa::query::QueryResult& result,
+                      const std::string& output) {
+  switch (result.kind) {
+    case condensa::query::QueryKind::kClassify: {
+      for (std::size_t i = 0; i < result.classify.labels.size(); ++i) {
+        std::printf("point %zu: label %d\n", i, result.classify.labels[i]);
+      }
+      break;
+    }
+    case condensa::query::QueryKind::kAggregate: {
+      const auto& agg = result.aggregate;
+      std::printf("groups matched        : %llu\n",
+                  static_cast<unsigned long long>(agg.groups_matched));
+      std::printf("records               : %llu\n",
+                  static_cast<unsigned long long>(agg.records));
+      if (agg.has_moments) {
+        std::printf("mean                  :");
+        for (std::size_t d = 0; d < agg.mean.dim(); ++d) {
+          std::printf(" %.6g", agg.mean[d]);
+        }
+        std::printf("\nvariance              :");
+        for (std::size_t d = 0; d < agg.mean.dim(); ++d) {
+          std::printf(" %.6g", agg.covariance(d, d));
+        }
+        std::printf("\n");
+      }
+      break;
+    }
+    case condensa::query::QueryKind::kRegenerate: {
+      const auto& regen = result.regenerate;
+      std::fprintf(stderr,
+                   "regenerated %zu records from %llu groups "
+                   "(seed %llu)\n",
+                   regen.records.size(),
+                   static_cast<unsigned long long>(regen.groups_matched),
+                   static_cast<unsigned long long>(
+                       query.regenerate.seed));
+      if (!output.empty()) {
+        condensa::data::Dataset dataset(
+            regen.records.empty() ? 0 : regen.records.front().dim());
+        for (const auto& record : regen.records) dataset.Add(record);
+        condensa::Status status = condensa::data::WriteCsv(dataset, output);
+        if (!status.ok()) {
+          std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                       status.ToString().c_str());
+        }
+      } else {
+        for (const auto& record : regen.records) {
+          for (std::size_t d = 0; d < record.dim(); ++d) {
+            std::printf(d == 0 ? "%.17g" : ",%.17g", record[d]);
+          }
+          std::printf("\n");
+        }
+      }
+      break;
+    }
+  }
+  std::fprintf(stderr, "answered from snapshot version %llu\n",
+               static_cast<unsigned long long>(result.snapshot_version));
+}
+
+// One-shot mining queries against condensed statistics: a saved groups
+// file, a checkpoint directory, or a running query-server (--connect).
+int RunQuery(Flags& flags) {
+  const std::string op = flags.Get("op", "aggregate");
+  const std::string range_spec = flags.Get("range", "");
+  const std::string points_path = flags.Get("points", "");
+  const std::string connect = flags.Get("connect", "");
+  const std::string output = flags.Get("output", "");
+  const bool header = flags.Get("header", "false") == "true";
+  SnapshotSource source;
+  int neighbors = 1, seed = 42, records_per_group = 0;
+  double timeout_ms = 5000.0;
+  if (!ReadSnapshotSourceFlags(flags, &source) ||
+      !ParseInt(flags.Get("neighbors", "1"), &neighbors) || neighbors < 1 ||
+      !ParseInt(flags.Get("seed", "42"), &seed) ||
+      !ParseInt(flags.Get("records-per-group", "0"), &records_per_group) ||
+      records_per_group < 0 ||
+      !ParseDouble(flags.Get("timeout-ms", "5000"), &timeout_ms) ||
+      timeout_ms <= 0) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "query")) return code;
+
+  const int sources = (source.groups.empty() ? 0 : 1) +
+                      (source.checkpoint_dir.empty() ? 0 : 1) +
+                      (connect.empty() ? 0 : 1);
+  if (sources != 1) {
+    std::fprintf(stderr,
+                 "error: exactly one of --groups, --checkpoint-dir, or "
+                 "--connect is required\n");
+    return 2;
+  }
+
+  condensa::query::Query query;
+  if (op == "classify") {
+    query.kind = condensa::query::QueryKind::kClassify;
+  } else if (op == "aggregate") {
+    query.kind = condensa::query::QueryKind::kAggregate;
+  } else if (op == "regenerate") {
+    query.kind = condensa::query::QueryKind::kRegenerate;
+  } else {
+    std::fprintf(stderr, "error: bad --op '%s'\n", op.c_str());
+    return 2;
+  }
+  if (query.kind == condensa::query::QueryKind::kClassify &&
+      points_path.empty()) {
+    std::fprintf(stderr, "error: --points is required for --op=classify\n");
+    return 2;
+  }
+  auto range = condensa::query::ParseRangeSpec(range_spec);
+  if (!range.ok()) {
+    std::fprintf(stderr, "error: bad --range: %s\n",
+                 range.status().ToString().c_str());
+    return 2;
+  }
+  query.classify.neighbors = static_cast<std::size_t>(neighbors);
+  query.aggregate.range = *range;
+  query.regenerate.range = *range;
+  query.regenerate.seed = static_cast<std::uint64_t>(seed);
+  query.regenerate.records_per_group =
+      static_cast<std::size_t>(records_per_group);
+
+  if (!points_path.empty()) {
+    auto dataset = LoadCsv(points_path, condensa::data::TaskType::kUnlabeled,
+                           header, -1);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", points_path.c_str(),
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    query.classify.points = dataset->records();
+  }
+
+  condensa::StatusOr<condensa::query::QueryResult> result =
+      condensa::InternalError("unreachable");
+  if (!connect.empty()) {
+    const std::size_t colon = connect.rfind(':');
+    int port = 0;
+    if (colon == std::string::npos || colon == 0 ||
+        !ParseInt(connect.substr(colon + 1), &port) || port < 1 ||
+        port > 65535) {
+      std::fprintf(stderr, "error: bad --connect '%s' (want HOST:PORT)\n",
+                   connect.c_str());
+      return 2;
+    }
+    auto client = condensa::query::QueryClient::Connect(
+        connect.substr(0, colon), static_cast<std::uint16_t>(port),
+        timeout_ms);
+    if (!client.ok()) {
+      std::fprintf(stderr, "error connecting to %s: %s\n", connect.c_str(),
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    result = client->Execute(query, timeout_ms);
+  } else {
+    condensa::query::QuerySnapshot snapshot;
+    if (int code = LoadSnapshot(source, &snapshot)) return code;
+    condensa::query::QueryEngine engine;
+    result = engine.Execute(snapshot, query);
+  }
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintQueryResult(query, *result, output);
+  return 0;
+}
+
+// Long-lived read-side server: loads condensed state once, then answers
+// framed Query requests until killed.
+int RunQueryServer(Flags& flags) {
+  const std::string host = flags.Get("host", "127.0.0.1");
+  SnapshotSource source;
+  int port = 0, cache_capacity = 1024;
+  double idle_timeout_ms = 30000.0;
+  if (!ReadSnapshotSourceFlags(flags, &source) ||
+      !ParseInt(flags.Get("port", "0"), &port) || port < 0 || port > 65535 ||
+      !ParseInt(flags.Get("cache-capacity", "1024"), &cache_capacity) ||
+      cache_capacity < 1 ||
+      !ParseDouble(flags.Get("idle-timeout-ms", "30000"),
+                   &idle_timeout_ms) ||
+      idle_timeout_ms <= 0) {
+    std::fprintf(stderr, "error: bad numeric flag value\n");
+    return 2;
+  }
+  if (int code = RejectUnknownFlags(flags, "query-server")) return code;
+  if (source.groups.empty() == source.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: exactly one of --groups or --checkpoint-dir is "
+                 "required\n");
+    return 2;
+  }
+
+  condensa::query::QuerySnapshot snapshot;
+  if (int code = LoadSnapshot(source, &snapshot)) return code;
+  auto store = std::make_shared<condensa::query::SnapshotStore>();
+  store->Publish(std::move(snapshot));
+
+  condensa::query::QueryServerConfig config;
+  config.host = host;
+  config.port = static_cast<std::uint16_t>(port);
+  config.idle_timeout_ms = idle_timeout_ms;
+  config.engine.eigen_cache_capacity =
+      static_cast<std::size_t>(cache_capacity);
+  auto server =
+      condensa::query::QueryServer::Create(std::move(config), store);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error starting query server: %s\n",
+                 server.status().ToString().c_str());
+    return server.status().code() ==
+                   condensa::StatusCode::kInvalidArgument
+               ? 2
+               : 1;
+  }
+  std::printf("listening on %u\n", (*server)->port());
+  std::fflush(stdout);
+  condensa::Status run = (*server)->Run();
+  if (!run.ok()) {
+    std::fprintf(stderr, "query server failed: %s\n",
+                 run.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "query server finished cleanly\n");
+  return 0;
+}
+
 int RunInspect(Flags& flags) {
   const std::string path = flags.Get("groups", "");
   if (int code = RejectUnknownFlags(flags, "inspect")) return code;
@@ -1632,6 +1987,10 @@ int main(int argc, char** argv) {
     code = RunFabric(flags);
   } else if (command == "recover") {
     code = RunRecover(flags);
+  } else if (command == "query") {
+    code = RunQuery(flags);
+  } else if (command == "query-server") {
+    code = RunQueryServer(flags);
   } else if (command == "inspect") {
     code = RunInspect(flags);
   } else if (command == "evaluate") {
