@@ -37,7 +37,10 @@ namespace condensa::net {
 // Wire protocol version; bumped on any incompatible frame or payload
 // layout change. A peer speaking a different version is rejected at
 // handshake with kFailedPrecondition.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+//
+// v2: Query carries a relative deadline budget; QueryResult carries a
+//     snapshot staleness field.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 // Hard ceiling on a single frame's payload. A Submit batch of 4096
 // records at d = 512 is ~16 MiB; 64 MiB leaves generous headroom while

@@ -12,6 +12,12 @@ Status FramedServerConfig::Validate() const {
   if (poll_ms <= 0 || idle_timeout_ms <= 0) {
     return InvalidArgumentError("framed server timeouts must be positive");
   }
+  if (max_sessions < 1) {
+    return InvalidArgumentError("framed server needs at least one session");
+  }
+  if (reject_retry_after_ms < 0) {
+    return InvalidArgumentError("retry-after hint must be non-negative");
+  }
   return OkStatus();
 }
 
@@ -23,6 +29,13 @@ FramedServer::FramedServer(TcpListener listener, FramedServerConfig config)
 Status FramedServer::Run(const FrameHandler& handler) {
   CONDENSA_CHECK(handler != nullptr);
   CONDENSA_CHECK(listener_.ok());
+  if (config_.max_sessions == 1) {
+    return RunSerial(handler);
+  }
+  return RunPooled(handler);
+}
+
+Status FramedServer::RunSerial(const FrameHandler& handler) {
   while (!stop_.load(std::memory_order_relaxed)) {
     StatusOr<TcpConnection> conn = listener_.Accept(config_.poll_ms);
     if (!conn.ok()) {
@@ -31,9 +44,96 @@ Status FramedServer::Run(const FrameHandler& handler) {
       }
       return conn.status();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     ServeSession(*std::move(conn), handler);
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
   return OkStatus();
+}
+
+Status FramedServer::RunPooled(const FrameHandler& handler) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = false;
+    pending_.clear();
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(config_.max_sessions);
+  for (std::size_t i = 0; i < config_.max_sessions; ++i) {
+    pool.emplace_back([this, &handler] {
+      for (;;) {
+        TcpConnection conn;
+        {
+          std::unique_lock<std::mutex> lock(queue_mu_);
+          queue_cv_.wait(lock,
+                         [this] { return queue_closed_ || !pending_.empty(); });
+          if (pending_.empty()) {
+            return;  // closed and drained
+          }
+          conn = std::move(pending_.front());
+          pending_.pop_front();
+        }
+        ServeSession(std::move(conn), handler);
+        active_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  Status result = OkStatus();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    StatusOr<TcpConnection> conn = listener_.Accept(config_.poll_ms);
+    if (!conn.ok()) {
+      if (IsUnavailable(conn.status())) {
+        continue;  // poll tick
+      }
+      result = conn.status();
+      break;
+    }
+    // Admission check: active_ counts both serving sessions and queued
+    // handoffs (incremented here, decremented when the session ends), so
+    // pending_ can never hold more than max_sessions entries.
+    std::size_t current = active_.load(std::memory_order_relaxed);
+    if (current >= config_.max_sessions) {
+      RejectSession(*std::move(conn));
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      pending_.push_back(*std::move(conn));
+    }
+    queue_cv_.notify_one();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_closed_ = true;
+    // Connections still queued are abandoned; their clients see a close
+    // and redial. In-flight sessions notice stop_ at their next poll.
+    for (const TcpConnection& queued : pending_) {
+      (void)queued;
+      active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    pending_.clear();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  return result;
+}
+
+void FramedServer::RejectSession(TcpConnection conn) {
+  // Count and notify BEFORE the refusal hits the wire: an observer that
+  // reacts to the client's error frame must already see the rejection.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  if (on_rejected_) {
+    on_rejected_();
+  }
+  Status busy = UnavailableError(
+      "server at session capacity; retry-after-ms=" +
+      std::to_string(static_cast<long long>(config_.reject_retry_after_ms)));
+  SendErrorFrame(conn, busy, config_.poll_ms);
 }
 
 void FramedServer::ServeSession(TcpConnection conn,

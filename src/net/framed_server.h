@@ -12,6 +12,16 @@
 //   - the "any transport error drops the session back to accept" policy
 //     that keeps stale framing state from leaking across failures.
 //
+// Sessions are served by a pool of `max_sessions` threads. The default
+// (1) is the strictly serial loop the fabric's WorkerServer depends on —
+// its dispatch state is confined to one thread and a second session can
+// never observe a half-applied Submit. Servers whose dispatch is
+// thread-safe (QueryServer: immutable snapshots + an internally
+// synchronized cache) raise the cap; a connection accepted while all
+// slots are busy is REJECTED IN-BAND with a kUnavailable Error frame
+// carrying a retry-after hint, then closed — overload degrades to fast,
+// explicit rejection instead of an unbounded accept backlog.
+//
 // Servers supply one dispatch callback mapping a decoded frame to a
 // SessionAction; request-level failures are reported in-band with
 // SendErrorFrame and the session continues.
@@ -20,9 +30,15 @@
 #define CONDENSA_NET_FRAMED_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "net/frame.h"
@@ -36,6 +52,14 @@ struct FramedServerConfig {
   // A session silent for this long is dropped back to accept, so a
   // client that vanished without closing cannot wedge the server.
   double idle_timeout_ms = 30000.0;
+  // Concurrent session cap. 1 (the default) serves sessions strictly
+  // serially on the Run() thread — dispatch state needs no locking.
+  // Above 1, sessions run on a pool of this many threads and the
+  // dispatch callback must be thread-safe.
+  std::size_t max_sessions = 1;
+  // The retry-after hint carried by the in-band rejection when a
+  // connection arrives beyond max_sessions.
+  double reject_retry_after_ms = 200.0;
 
   Status Validate() const;
 };
@@ -58,6 +82,8 @@ class FramedServer {
   // Runs at session start; the returned context is held alive for the
   // session's duration (servers park metrics scopes / trace spans in it).
   using SessionHook = std::function<std::shared_ptr<void>(TcpConnection&)>;
+  // Runs after a connection is rejected at the session cap (metrics).
+  using RejectHook = std::function<void()>;
 
   // `listener` must already be listening; `config` must validate.
   FramedServer(TcpListener listener, FramedServerConfig config);
@@ -69,22 +95,54 @@ class FramedServer {
   bool ok() const { return listener_.ok(); }
 
   void set_on_session(SessionHook hook) { on_session_ = std::move(hook); }
+  void set_on_session_rejected(RejectHook hook) {
+    on_rejected_ = std::move(hook);
+  }
 
-  // Serves sessions (one at a time) until Stop() or a kStopServer
-  // dispatch. Returns the first listener failure; session and request
+  // Serves sessions (up to max_sessions concurrently) until Stop() or a
+  // kStopServer dispatch; all session threads have exited by the time it
+  // returns. Returns the first listener failure; session and request
   // errors are handled internally.
   Status Run(const FrameHandler& handler);
 
-  // Asks Run() to return at its next poll tick (thread-safe).
+  // Asks Run() to return at its next poll tick (thread-safe). In-flight
+  // sessions notice at their next recv poll.
   void Stop() { stop_.store(true, std::memory_order_relaxed); }
 
+  // True once Stop() was called or a kStopServer dispatch fired — lets
+  // dispatch callbacks shed late requests as "shutting down".
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Sessions admitted and not yet finished (tests and diagnostics).
+  std::size_t active_sessions() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  // Connections rejected in-band at the session cap.
+  std::uint64_t rejected_sessions() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
  private:
+  Status RunSerial(const FrameHandler& handler);
+  Status RunPooled(const FrameHandler& handler);
   void ServeSession(TcpConnection conn, const FrameHandler& handler);
+  void RejectSession(TcpConnection conn);
 
   FramedServerConfig config_;
   TcpListener listener_;
   SessionHook on_session_;
+  RejectHook on_rejected_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  // Pool-mode handoff: the accept loop pushes admitted connections, the
+  // session threads pop them. Admission control (the active_ cap) keeps
+  // the queue depth at most max_sessions, so pushes never block.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<TcpConnection> pending_;
+  bool queue_closed_ = false;
 };
 
 // Reports a request-level failure in-band as an Error frame. Best

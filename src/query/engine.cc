@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "core/anonymizer.h"
 #include "obs/metrics.h"
@@ -32,13 +33,30 @@ struct Neighbor {
   }
 };
 
+Status DeadlineExpired(const char* where) {
+  return UnavailableError(std::string("deadline expired during ") + where);
+}
+
 }  // namespace
+
+ExecutionContext ExecutionContext::WithBudgetMs(double budget_ms) {
+  ExecutionContext context;
+  if (budget_ms > 0.0) {
+    context.deadline = std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               budget_ms));
+  }
+  return context;
+}
 
 QueryEngine::QueryEngine(QueryEngineOptions options)
     : options_(options), cache_(options.eigen_cache_capacity) {}
 
 StatusOr<QueryResult> QueryEngine::Execute(const QuerySnapshot& snapshot,
-                                           const Query& query) {
+                                           const Query& query,
+                                           const ExecutionContext& context) {
   obs::MetricsRegistry& registry = obs::DefaultRegistry();
   registry
       .GetCounter("condensa_query_requests_total",
@@ -49,37 +67,45 @@ StatusOr<QueryResult> QueryEngine::Execute(const QuerySnapshot& snapshot,
   QueryResult result;
   result.snapshot_version = snapshot.version;
   result.kind = query.kind;
-  Status status = OkStatus();
-  switch (query.kind) {
-    case QueryKind::kClassify: {
-      StatusOr<ClassifyResult> classify =
-          ExecuteClassify(snapshot, query.classify);
-      if (classify.ok()) {
-        result.classify = *std::move(classify);
-      } else {
-        status = classify.status();
+  // Chaos probe: injects errors or latency into the execution path as if
+  // the engine itself were slow or failing (kLatency mode stalls here,
+  // which is how the soak simulates expensive factorizations).
+  Status status = FailPoint::Maybe("query.execute");
+  if (status.ok() && context.Expired()) {
+    status = DeadlineExpired("admission to execute");
+  }
+  if (status.ok()) {
+    switch (query.kind) {
+      case QueryKind::kClassify: {
+        StatusOr<ClassifyResult> classify =
+            ExecuteClassify(snapshot, query.classify, context);
+        if (classify.ok()) {
+          result.classify = *std::move(classify);
+        } else {
+          status = classify.status();
+        }
+        break;
       }
-      break;
-    }
-    case QueryKind::kAggregate: {
-      StatusOr<AggregateResult> aggregate =
-          ExecuteAggregate(snapshot, query.aggregate);
-      if (aggregate.ok()) {
-        result.aggregate = *std::move(aggregate);
-      } else {
-        status = aggregate.status();
+      case QueryKind::kAggregate: {
+        StatusOr<AggregateResult> aggregate =
+            ExecuteAggregate(snapshot, query.aggregate, context);
+        if (aggregate.ok()) {
+          result.aggregate = *std::move(aggregate);
+        } else {
+          status = aggregate.status();
+        }
+        break;
       }
-      break;
-    }
-    case QueryKind::kRegenerate: {
-      StatusOr<RegenerateResult> regenerate =
-          ExecuteRegenerate(snapshot, query.regenerate);
-      if (regenerate.ok()) {
-        result.regenerate = *std::move(regenerate);
-      } else {
-        status = regenerate.status();
+      case QueryKind::kRegenerate: {
+        StatusOr<RegenerateResult> regenerate =
+            ExecuteRegenerate(snapshot, query.regenerate, context);
+        if (regenerate.ok()) {
+          result.regenerate = *std::move(regenerate);
+        } else {
+          status = regenerate.status();
+        }
+        break;
       }
-      break;
     }
   }
 
@@ -98,7 +124,8 @@ StatusOr<QueryResult> QueryEngine::Execute(const QuerySnapshot& snapshot,
 }
 
 StatusOr<ClassifyResult> QueryEngine::ExecuteClassify(
-    const QuerySnapshot& snapshot, const ClassifyQuery& query) const {
+    const QuerySnapshot& snapshot, const ClassifyQuery& query,
+    const ExecutionContext& context) const {
   if (query.neighbors < 1) {
     return InvalidArgumentError("classify needs neighbors >= 1");
   }
@@ -121,6 +148,9 @@ StatusOr<ClassifyResult> QueryEngine::ExecuteClassify(
   result.labels.reserve(query.points.size());
   std::vector<Neighbor> nearest;  // max-heap of size <= neighbors
   for (const linalg::Vector& point : query.points) {
+    if (context.Expired()) {
+      return DeadlineExpired("classify");
+    }
     if (point.dim() != snapshot.dim) {
       return InvalidArgumentError(
           "classify point has dimension " + std::to_string(point.dim()) +
@@ -165,7 +195,8 @@ StatusOr<ClassifyResult> QueryEngine::ExecuteClassify(
 }
 
 StatusOr<AggregateResult> QueryEngine::ExecuteAggregate(
-    const QuerySnapshot& snapshot, const AggregateQuery& query) const {
+    const QuerySnapshot& snapshot, const AggregateQuery& query,
+    const ExecutionContext& context) const {
   CONDENSA_RETURN_IF_ERROR(query.range.Validate(snapshot.dim));
 
   // The whole answer is one fold of the additive moments — the result is
@@ -175,6 +206,9 @@ StatusOr<AggregateResult> QueryEngine::ExecuteAggregate(
   core::GroupStatistics folded(snapshot.dim);
   AggregateResult result;
   for (const LabeledGroups& pool : snapshot.pools) {
+    if (context.Expired()) {
+      return DeadlineExpired("aggregate");
+    }
     for (std::size_t g = 0; g < pool.groups.num_groups(); ++g) {
       const core::GroupStatistics& group = pool.groups.group(g);
       if (!query.range.Matches(group.Centroid())) continue;
@@ -192,7 +226,8 @@ StatusOr<AggregateResult> QueryEngine::ExecuteAggregate(
 }
 
 StatusOr<RegenerateResult> QueryEngine::ExecuteRegenerate(
-    const QuerySnapshot& snapshot, const RegenerateQuery& query) {
+    const QuerySnapshot& snapshot, const RegenerateQuery& query,
+    const ExecutionContext& context) {
   CONDENSA_RETURN_IF_ERROR(query.range.Validate(snapshot.dim));
 
   RegenerateResult result;
@@ -205,6 +240,11 @@ StatusOr<RegenerateResult> QueryEngine::ExecuteRegenerate(
       const core::GroupStatistics& group = pool.groups.group(g);
       linalg::Vector centroid = group.Centroid();
       if (!query.range.Matches(centroid)) continue;
+      // Checked per selected group, BEFORE paying for a factorization:
+      // the eigendecomposition is the expensive unit of regenerate work.
+      if (context.Expired()) {
+        return DeadlineExpired("regenerate");
+      }
       ++result.groups_matched;
       Rng stream = rng.Split();
       const std::size_t count = query.records_per_group > 0

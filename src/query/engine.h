@@ -10,11 +10,20 @@
 // Thread safety: Execute is safe from multiple threads against the same
 // engine (the cache synchronizes internally; everything else is local or
 // read-only).
+//
+// Deadlines: Execute takes an optional ExecutionContext carrying an
+// absolute local deadline. The engine checks it between units of work —
+// per classify point, per aggregate pool, per regenerate group (before
+// paying for an eigendecomposition) — and abandons the request with
+// kUnavailable the moment it expires, so a pile of slow regenerations
+// cannot hold a session slot past the time the client stopped waiting.
 
 #ifndef CONDENSA_QUERY_ENGINE_H_
 #define CONDENSA_QUERY_ENGINE_H_
 
+#include <chrono>
 #include <cstddef>
+#include <optional>
 
 #include "common/status.h"
 #include "query/eigen_cache.h"
@@ -28,6 +37,19 @@ struct QueryEngineOptions {
   std::size_t eigen_cache_capacity = 1024;
 };
 
+// Per-request execution limits. Default-constructed = unbounded.
+struct ExecutionContext {
+  // Absolute deadline on the engine's own steady clock; nullopt = none.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+
+  bool Expired() const {
+    return deadline.has_value() && std::chrono::steady_clock::now() >= *deadline;
+  }
+  // Builds a context whose deadline is `budget_ms` from now; a budget of
+  // 0 means no deadline (the wire encoding of "none").
+  static ExecutionContext WithBudgetMs(double budget_ms);
+};
+
 class QueryEngine {
  public:
   explicit QueryEngine(QueryEngineOptions options = {});
@@ -38,19 +60,25 @@ class QueryEngine {
   // Answers `query` against `snapshot`. kInvalidArgument for malformed
   // queries (dim mismatches, bad ranges, neighbors == 0);
   // kFailedPrecondition for queries the snapshot cannot answer (empty,
-  // or classify without labeled pools).
+  // or classify without labeled pools); kUnavailable when the context
+  // deadline expires mid-execution (the partial answer is discarded).
   StatusOr<QueryResult> Execute(const QuerySnapshot& snapshot,
-                                const Query& query);
+                                const Query& query,
+                                const ExecutionContext& context = {});
 
   const EigenCache& eigen_cache() const { return cache_; }
 
  private:
   StatusOr<ClassifyResult> ExecuteClassify(const QuerySnapshot& snapshot,
-                                           const ClassifyQuery& query) const;
+                                           const ClassifyQuery& query,
+                                           const ExecutionContext& context)
+      const;
   StatusOr<AggregateResult> ExecuteAggregate(
-      const QuerySnapshot& snapshot, const AggregateQuery& query) const;
-  StatusOr<RegenerateResult> ExecuteRegenerate(const QuerySnapshot& snapshot,
-                                               const RegenerateQuery& query);
+      const QuerySnapshot& snapshot, const AggregateQuery& query,
+      const ExecutionContext& context) const;
+  StatusOr<RegenerateResult> ExecuteRegenerate(
+      const QuerySnapshot& snapshot, const RegenerateQuery& query,
+      const ExecutionContext& context);
 
   QueryEngineOptions options_;
   EigenCache cache_;

@@ -81,6 +81,13 @@ struct RegenerateQuery {
 
 struct Query {
   QueryKind kind = QueryKind::kAggregate;
+  // Client's remaining time budget in milliseconds; 0 = no deadline.
+  // Carried as a RELATIVE budget (not a wall-clock instant) so client
+  // and server clocks never need to agree; the server anchors it to its
+  // own clock the moment the frame arrives. A request whose budget is
+  // already spent is shed with kUnavailable instead of doing work the
+  // client will no longer read.
+  double deadline_ms = 0.0;
   ClassifyQuery classify;
   AggregateQuery aggregate;
   RegenerateQuery regenerate;
@@ -113,6 +120,11 @@ struct RegenerateResult {
 struct QueryResult {
   // The snapshot the answer was computed against.
   std::uint64_t snapshot_version = 0;
+  // Age of that snapshot (ms since it was published) as observed by the
+  // server when it answered. Degraded serving makes staleness explicit:
+  // when ingest stalls, the server keeps answering from the last
+  // snapshot and the client decides whether the age is acceptable.
+  double staleness_ms = 0.0;
   QueryKind kind = QueryKind::kAggregate;
   ClassifyResult classify;
   AggregateResult aggregate;

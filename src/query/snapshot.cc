@@ -14,6 +14,15 @@ std::size_t QuerySnapshot::TotalGroups() const {
   return total;
 }
 
+double QuerySnapshot::AgeMs(std::chrono::steady_clock::time_point now) const {
+  if (published_at == std::chrono::steady_clock::time_point{}) {
+    return 0.0;
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(now - published_at).count();
+  return ms < 0.0 ? 0.0 : ms;
+}
+
 std::size_t QuerySnapshot::TotalRecords() const {
   std::size_t total = 0;
   for (const LabeledGroups& pool : pools) {
@@ -48,6 +57,7 @@ std::uint64_t SnapshotStore::Publish(QuerySnapshot snapshot) {
     std::lock_guard<std::mutex> lock(mu_);
     version = next_version_++;
     snapshot.version = version;
+    snapshot.published_at = std::chrono::steady_clock::now();
     published = std::make_shared<const QuerySnapshot>(std::move(snapshot));
     current_ = std::move(published);
   }

@@ -15,6 +15,7 @@
 #ifndef CONDENSA_QUERY_SNAPSHOT_H_
 #define CONDENSA_QUERY_SNAPSHOT_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -42,9 +43,15 @@ struct QuerySnapshot {
   // Records the write path had seen when this snapshot was taken (0 for
   // snapshots built from files).
   std::size_t records_seen = 0;
+  // When this snapshot became current (stamped by Publish). Snapshots
+  // that were never published (file-built, used directly) keep the
+  // default epoch and report age 0 — they are as fresh as their source.
+  std::chrono::steady_clock::time_point published_at{};
 
   std::size_t TotalGroups() const;
   std::size_t TotalRecords() const;
+  // Milliseconds since publication as of `now`; 0 for never-published.
+  double AgeMs(std::chrono::steady_clock::time_point now) const;
 };
 
 // Builds an unversioned snapshot (version assigned at Publish) from

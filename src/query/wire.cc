@@ -99,6 +99,7 @@ Status DecodePoints(WireReader& reader, std::vector<linalg::Vector>* points,
 std::string EncodeQuery(const Query& query) {
   WireWriter writer;
   writer.PutU8(static_cast<std::uint8_t>(query.kind));
+  writer.PutDouble(query.deadline_ms);
   switch (query.kind) {
     case QueryKind::kClassify: {
       writer.PutU64(static_cast<std::uint64_t>(query.classify.neighbors));
@@ -129,6 +130,10 @@ StatusOr<Query> DecodeQuery(std::string_view payload) {
   }
   Query query;
   query.kind = static_cast<QueryKind>(raw_kind);
+  CONDENSA_RETURN_IF_ERROR(reader.ReadDouble(&query.deadline_ms));
+  if (!(query.deadline_ms >= 0.0)) {  // rejects negatives and NaN
+    return DataLossError("negative or non-finite deadline");
+  }
   switch (query.kind) {
     case QueryKind::kClassify: {
       std::uint64_t neighbors = 0;
@@ -161,6 +166,7 @@ StatusOr<Query> DecodeQuery(std::string_view payload) {
 std::string EncodeQueryResult(const QueryResult& result) {
   WireWriter writer;
   writer.PutU64(result.snapshot_version);
+  writer.PutDouble(result.staleness_ms);
   writer.PutU8(static_cast<std::uint8_t>(result.kind));
   switch (result.kind) {
     case QueryKind::kClassify:
@@ -205,6 +211,10 @@ StatusOr<QueryResult> DecodeQueryResult(std::string_view payload) {
   WireReader reader(payload);
   QueryResult result;
   CONDENSA_RETURN_IF_ERROR(reader.ReadU64(&result.snapshot_version));
+  CONDENSA_RETURN_IF_ERROR(reader.ReadDouble(&result.staleness_ms));
+  if (!(result.staleness_ms >= 0.0)) {  // rejects negatives and NaN
+    return DataLossError("negative or non-finite staleness");
+  }
   std::uint8_t raw_kind = 0;
   CONDENSA_RETURN_IF_ERROR(reader.ReadU8(&raw_kind));
   if (raw_kind > static_cast<std::uint8_t>(QueryKind::kRegenerate)) {

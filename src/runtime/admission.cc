@@ -1,0 +1,39 @@
+#include "runtime/admission.h"
+
+namespace condensa::runtime {
+
+std::optional<AdmissionGate::Ticket> AdmissionGate::TryEnter() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ >= capacity_) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  ++inflight_;
+  if (inflight_ > high_water_) {
+    high_water_ = inflight_;
+  }
+  return Ticket(this);
+}
+
+void AdmissionGate::Exit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CONDENSA_CHECK_GE(inflight_, 1u);
+  --inflight_;
+}
+
+std::size_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionGate::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+std::uint64_t AdmissionGate::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+}  // namespace condensa::runtime

@@ -1,0 +1,88 @@
+// Bounded admission gate for request-serving paths.
+//
+// The write path bounds in-flight work with BoundedQueue; read-side
+// servers need the same discipline without a consumer thread: a request
+// either takes one of `capacity` in-flight slots for its whole lifetime
+// or is rejected immediately so the caller can shed it in-band
+// (kUnavailable + retry hint) instead of queueing unbounded work behind
+// a slow eigendecomposition. Slots are RAII tickets — early returns and
+// exceptions release them — and the gate keeps the same accounting the
+// queue does (high water, rejected count) so overload is observable.
+//
+// Thread-safe; TryEnter/exit are O(1) under one mutex.
+
+#ifndef CONDENSA_RUNTIME_ADMISSION_H_
+#define CONDENSA_RUNTIME_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace condensa::runtime {
+
+class AdmissionGate {
+ public:
+  // Releases its slot on destruction. Move-only.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit Ticket(AdmissionGate* gate) : gate_(gate) {}
+    Ticket(Ticket&& other) noexcept
+        : gate_(std::exchange(other.gate_, nullptr)) {}
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gate_ = std::exchange(other.gate_, nullptr);
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+   private:
+    void Release() {
+      if (gate_ != nullptr) {
+        gate_->Exit();
+        gate_ = nullptr;
+      }
+    }
+    AdmissionGate* gate_ = nullptr;
+  };
+
+  explicit AdmissionGate(std::size_t capacity) : capacity_(capacity) {
+    CONDENSA_CHECK_GE(capacity_, 1u);
+  }
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  // Claims an in-flight slot, or nullopt (counted in rejected()) when
+  // all `capacity` slots are taken.
+  std::optional<Ticket> TryEnter();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t inflight() const;
+  // Deepest concurrent admission seen (never exceeds capacity()).
+  std::size_t high_water() const;
+  // Admissions refused because the gate was full.
+  std::uint64_t rejected() const;
+
+ private:
+  friend class Ticket;
+  void Exit();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::size_t inflight_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace condensa::runtime
+
+#endif  // CONDENSA_RUNTIME_ADMISSION_H_

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/frame.h"
 #include "net/wire.h"
@@ -34,6 +35,15 @@ TEST(FramedServerConfigTest, RejectsNonPositiveTimeouts) {
   config.idle_timeout_ms = -1.0;
   EXPECT_FALSE(config.Validate().ok());
   EXPECT_TRUE(FramedServerConfig().Validate().ok());
+}
+
+TEST(FramedServerConfigTest, RejectsZeroSessionsAndNegativeRetryHint) {
+  FramedServerConfig config;
+  config.max_sessions = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = FramedServerConfig();
+  config.reject_retry_after_ms = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
 }
 
 TEST(FramedServerTest, EchoesFramesAndHandlesGoodbye) {
@@ -213,6 +223,195 @@ TEST(FramedServerTest, SendErrorFrameRoundTripsStatus) {
 
   server.Stop();
   serving.join();
+}
+
+TEST(FramedServerPoolTest, ServesSessionsConcurrently) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServerConfig config = FastConfig();
+  config.max_sessions = 4;
+  FramedServer server(*std::move(listener), config);
+  const std::uint16_t port = server.port();
+
+  // Each handler call blocks until all four sessions have a frame in
+  // flight — impossible under serial dispatch, so reaching the barrier
+  // proves concurrency.
+  std::atomic<int> arrived{0};
+  std::thread serving([&server, &arrived] {
+    (void)server.Run([&arrived](TcpConnection& conn, const Frame&) {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      EXPECT_TRUE(conn.SendFrame(FrameType::kHeartbeatAck, "", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([port, &answered] {
+      StatusOr<TcpConnection> client =
+          TcpConnection::Connect("127.0.0.1", port, 2000.0);
+      ASSERT_TRUE(client.ok());
+      ASSERT_TRUE(client->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+      StatusOr<Frame> reply = client->RecvFrame(5000.0);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(reply->type, FrameType::kHeartbeatAck);
+      answered.fetch_add(1);
+      ASSERT_TRUE(client->SendFrame(FrameType::kGoodbye, "", 1000.0).ok());
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(answered.load(), 4);
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.rejected_sessions(), 0u);
+}
+
+TEST(FramedServerPoolTest, RejectsBeyondCapInBand) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServerConfig config = FastConfig();
+  config.max_sessions = 2;
+  config.reject_retry_after_ms = 123.0;
+  FramedServer server(*std::move(listener), config);
+  const std::uint16_t port = server.port();
+  std::atomic<int> rejected_hook{0};
+  server.set_on_session_rejected([&rejected_hook] { rejected_hook++; });
+
+  std::thread serving([&server] {
+    (void)server.Run([](TcpConnection& conn, const Frame&) {
+      EXPECT_TRUE(conn.SendFrame(FrameType::kHeartbeatAck, "", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+  });
+
+  // Fill both slots and confirm they are actively serving.
+  std::vector<TcpConnection> held;
+  for (int i = 0; i < 2; ++i) {
+    StatusOr<TcpConnection> c =
+        TcpConnection::Connect("127.0.0.1", port, 2000.0);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+    StatusOr<Frame> reply = c->RecvFrame(2000.0);
+    ASSERT_TRUE(reply.ok());
+    held.push_back(*std::move(c));
+  }
+
+  // The third connection is rejected in-band with a retry-after hint.
+  StatusOr<TcpConnection> extra =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(extra.ok());
+  StatusOr<Frame> refusal = extra->RecvFrame(2000.0);
+  ASSERT_TRUE(refusal.ok()) << refusal.status().ToString();
+  ASSERT_EQ(refusal->type, FrameType::kError);
+  StatusOr<ErrorMessage> error = DecodeError(refusal->payload);
+  ASSERT_TRUE(error.ok());
+  Status status = ErrorToStatus(*error);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("retry-after-ms=123"), std::string::npos);
+  EXPECT_GE(server.rejected_sessions(), 1u);
+  EXPECT_GE(rejected_hook.load(), 1);
+
+  // Freeing a slot lets a new client in.
+  ASSERT_TRUE(held[0].SendFrame(FrameType::kGoodbye, "", 1000.0).ok());
+  held[0].Close();
+  bool served = false;
+  for (int attempt = 0; attempt < 50 && !served; ++attempt) {
+    StatusOr<TcpConnection> again =
+        TcpConnection::Connect("127.0.0.1", port, 2000.0);
+    ASSERT_TRUE(again.ok());
+    ASSERT_TRUE(again->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+    StatusOr<Frame> retry_reply = again->RecvFrame(2000.0);
+    served = retry_reply.ok() && retry_reply->type == FrameType::kHeartbeatAck;
+    if (!served) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(served);
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(FramedServerPoolTest, SlowLorisSessionIsDroppedByIdleTimeout) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServerConfig config = FastConfig();
+  config.max_sessions = 2;
+  config.idle_timeout_ms = 150.0;
+  FramedServer server(*std::move(listener), config);
+  const std::uint16_t port = server.port();
+
+  std::thread serving([&server] {
+    (void)server.Run([](TcpConnection& conn, const Frame&) {
+      EXPECT_TRUE(conn.SendFrame(FrameType::kHeartbeatAck, "", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+  });
+
+  // A client that connects and sends nothing occupies a slot only until
+  // the idle timeout reclaims it.
+  StatusOr<TcpConnection> loris =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(loris.ok());
+  for (int attempt = 0; attempt < 100 && server.active_sessions() < 1;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (int attempt = 0; attempt < 200 && server.active_sessions() > 0;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.active_sessions(), 0u);
+
+  // The reclaimed slot serves a well-behaved client.
+  StatusOr<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", port, 2000.0);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+  StatusOr<Frame> reply = client->RecvFrame(2000.0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kHeartbeatAck);
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(FramedServerPoolTest, StopJoinsAllSessionThreads) {
+  StatusOr<TcpListener> listener = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  FramedServerConfig config = FastConfig();
+  config.max_sessions = 3;
+  FramedServer server(*std::move(listener), config);
+  const std::uint16_t port = server.port();
+
+  std::thread serving([&server] {
+    Status run = server.Run([](TcpConnection& conn, const Frame&) {
+      EXPECT_TRUE(conn.SendFrame(FrameType::kHeartbeatAck, "", 1000.0).ok());
+      return SessionAction::kContinue;
+    });
+    EXPECT_TRUE(run.ok()) << run.ToString();
+  });
+
+  // Leave two sessions open (no Goodbye) and Stop() under them.
+  std::vector<TcpConnection> held;
+  for (int i = 0; i < 2; ++i) {
+    StatusOr<TcpConnection> c =
+        TcpConnection::Connect("127.0.0.1", port, 2000.0);
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->SendFrame(FrameType::kHeartbeat, "", 1000.0).ok());
+    StatusOr<Frame> reply = c->RecvFrame(2000.0);
+    ASSERT_TRUE(reply.ok());
+    held.push_back(*std::move(c));
+  }
+  server.Stop();
+  serving.join();  // must not hang: all pool threads observed stop_
+  EXPECT_EQ(server.active_sessions(), 0u);
 }
 
 }  // namespace

@@ -98,5 +98,44 @@ TEST(QueryMetricsTest, ExpositionCarriesQuerySeries) {
   obs::DefaultRegistry().Reset();
 }
 
+// The read-plane hardening series: rejected-by-reason counters, the
+// in-flight gauge, and the stale-answer counter, pinned by exposition
+// name so dashboards can rely on them.
+TEST(QueryMetricsTest, ExpositionCarriesHardeningSeries) {
+  obs::DefaultRegistry().Reset();
+
+  obs::DefaultRegistry()
+      .GetCounter("condensa_query_rejected_total", {{"reason", "overload"}})
+      .Increment();
+  obs::DefaultRegistry()
+      .GetCounter("condensa_query_rejected_total", {{"reason", "deadline"}})
+      .Increment(2);
+  obs::DefaultRegistry()
+      .GetCounter("condensa_query_rejected_total",
+                  {{"reason", "shutting-down"}})
+      .Increment();
+  obs::DefaultRegistry().GetGauge("condensa_query_inflight").Set(5);
+  obs::DefaultRegistry()
+      .GetCounter("condensa_query_stale_served_total")
+      .Increment();
+
+  const std::string text = obs::DefaultRegistry().DumpPrometheusText();
+  EXPECT_NE(
+      text.find("condensa_query_rejected_total{reason=\"overload\"} 1"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("condensa_query_rejected_total{reason=\"deadline\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("condensa_query_rejected_total{reason=\"shutting-down\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("condensa_query_inflight 5"), std::string::npos);
+  EXPECT_NE(text.find("condensa_query_stale_served_total 1"),
+            std::string::npos);
+
+  obs::DefaultRegistry().Reset();
+}
+
 }  // namespace
 }  // namespace condensa::query

@@ -6,12 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 #include "core/condensed_group_set.h"
 #include "core/group_statistics.h"
 #include "linalg/vector.h"
@@ -57,6 +62,11 @@ class QueryServerTest : public ::testing::Test {
   void StartServer(std::shared_ptr<SnapshotStore> store) {
     QueryServerConfig config;
     config.poll_ms = 10.0;
+    StartServerWithConfig(std::move(config), std::move(store));
+  }
+
+  void StartServerWithConfig(QueryServerConfig config,
+                             std::shared_ptr<SnapshotStore> store) {
     auto server = QueryServer::Create(std::move(config), std::move(store));
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = *std::move(server);
@@ -214,6 +224,280 @@ TEST_F(QueryServerTest, LaterPublishChangesAnswersAndVersion) {
   ASSERT_TRUE(after.ok());
   EXPECT_EQ(after->snapshot_version, 2u);
   EXPECT_EQ(after->aggregate.records, 24u);
+}
+
+TEST_F(QueryServerTest, ExpiredDeadlineIsShedBeforeExecution) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 7)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto client = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+
+  // An engine stalled longer than the request's budget: the engine
+  // notices the expired deadline mid-execution and sheds.
+  FailPoint::Arm("query.execute",
+                 {.repeat = 1, .mode = FailPointMode::kLatency,
+                  .latency_ms = 120.0});
+  Query slow;
+  slow.kind = QueryKind::kAggregate;
+  slow.deadline_ms = 40.0;
+  auto shed = client->Execute(slow, 2000.0);
+  FailPoint::Reset();
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable)
+      << shed.status().ToString();
+
+  // The session survives the shed, and the same query without a deadline
+  // succeeds.
+  Query fine;
+  fine.kind = QueryKind::kAggregate;
+  auto answered = client->Execute(fine, 2000.0);
+  ASSERT_TRUE(answered.ok()) << answered.status().ToString();
+  EXPECT_EQ(answered->aggregate.records, 12u);
+}
+
+TEST_F(QueryServerTest, ServerDefaultDeadlineAppliesToBudgetlessRequests) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 8)});
+  store->Publish(std::move(snapshot));
+  QueryServerConfig config;
+  config.poll_ms = 10.0;
+  config.default_deadline_ms = 40.0;
+  StartServerWithConfig(std::move(config), store);
+
+  auto client = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+
+  FailPoint::Arm("query.execute",
+                 {.repeat = 1, .mode = FailPointMode::kLatency,
+                  .latency_ms = 120.0});
+  Query query;  // carries no deadline of its own
+  query.kind = QueryKind::kAggregate;
+  auto shed = client->Execute(query, 2000.0);
+  FailPoint::Reset();
+  EXPECT_EQ(shed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(QueryServerTest, ResultsCarryStalenessAndStaleAnswersAreCounted) {
+  obs::DefaultRegistry().Reset();
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 9)});
+  store->Publish(std::move(snapshot));
+  QueryServerConfig config;
+  config.poll_ms = 10.0;
+  config.stale_after_ms = 30.0;  // anything older than 30ms counts stale
+  StartServerWithConfig(std::move(config), store);
+
+  auto client = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Ingest has "stalled" for 60ms: the answer still comes back (degraded
+  // serving), its staleness says how old the snapshot is, and the stale
+  // counter ticks.
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  auto result = client->Execute(query, 2000.0);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->staleness_ms, 30.0);
+  const std::string text = obs::DefaultRegistry().DumpPrometheusText();
+  EXPECT_NE(text.find("condensa_query_stale_served_total 1"),
+            std::string::npos)
+      << text;
+
+  // A fresh Publish resets the age; the next answer is not stale.
+  QuerySnapshot fresh;
+  fresh.dim = 2;
+  fresh.pools.push_back({-1, MakeGroups(0.0, 9)});
+  store->Publish(std::move(fresh));
+  auto after = client->Execute(query, 2000.0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(after->staleness_ms, 30.0);
+  obs::DefaultRegistry().Reset();
+}
+
+TEST_F(QueryServerTest, ServesConcurrentSessions) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 10)});
+  store->Publish(std::move(snapshot));
+  QueryServerConfig config;
+  config.poll_ms = 10.0;
+  config.max_sessions = 4;
+  StartServerWithConfig(std::move(config), store);
+
+  std::vector<std::thread> workers;
+  std::atomic<int> answered{0};
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([this, &answered] {
+      auto client =
+          QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+      ASSERT_TRUE(client.ok());
+      for (int i = 0; i < 20; ++i) {
+        Query query;
+        query.kind = QueryKind::kAggregate;
+        auto result = client->Execute(query, 2000.0);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ASSERT_EQ(result->aggregate.records, 12u);
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  EXPECT_EQ(answered.load(), 80);
+}
+
+TEST_F(QueryServerTest, InflightCapShedsWithOverloadReason) {
+  obs::DefaultRegistry().Reset();
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 11)});
+  store->Publish(std::move(snapshot));
+  QueryServerConfig config;
+  config.poll_ms = 10.0;
+  config.max_sessions = 4;
+  config.max_inflight = 1;  // one request at a time, no queueing
+  StartServerWithConfig(std::move(config), store);
+
+  // Stall every execution long enough that concurrent requests collide
+  // on the single in-flight slot.
+  FailPoint::Arm("query.execute",
+                 {.repeat = static_cast<std::size_t>(-1),
+                  .mode = FailPointMode::kLatency, .latency_ms = 100.0});
+  std::vector<std::thread> workers;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> shed_count{0};
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([this, &ok_count, &shed_count] {
+      auto client =
+          QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+      ASSERT_TRUE(client.ok());
+      Query query;
+      query.kind = QueryKind::kAggregate;
+      auto result = client->Execute(query, 3000.0);
+      if (result.ok()) {
+        ok_count.fetch_add(1);
+      } else {
+        EXPECT_EQ(result.status().code(), StatusCode::kUnavailable)
+            << result.status().ToString();
+        shed_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  FailPoint::Reset();
+  // At least one request got through and at least one hit the cap.
+  EXPECT_GE(ok_count.load(), 1);
+  EXPECT_GE(shed_count.load(), 1);
+  const std::string text = obs::DefaultRegistry().DumpPrometheusText();
+  EXPECT_NE(text.find("condensa_query_rejected_total{reason=\"overload\"}"),
+            std::string::npos)
+      << text;
+  obs::DefaultRegistry().Reset();
+}
+
+TEST_F(QueryServerTest, RetryingClientSurvivesSessionCapRejection) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 12)});
+  store->Publish(std::move(snapshot));
+  QueryServerConfig config;
+  config.poll_ms = 10.0;
+  config.max_sessions = 2;
+  StartServerWithConfig(std::move(config), store);
+
+  // Saturate both session slots with idle-but-open clients.
+  auto holder1 = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  auto holder2 = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(holder1.ok());
+  ASSERT_TRUE(holder2.ok());
+  Query warm;
+  warm.kind = QueryKind::kAggregate;
+  ASSERT_TRUE(holder1->Execute(warm, 2000.0).ok());
+  ASSERT_TRUE(holder2->Execute(warm, 2000.0).ok());
+
+  // A third client is rejected in-band (kUnavailable); with retry it
+  // succeeds once a slot frees up mid-call.
+  auto third = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(third.ok());
+  std::thread releaser([&holder1] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    holder1->Close();
+  });
+  QueryRetryOptions retry;
+  retry.max_attempts = 20;
+  retry.deadline_ms = 5000.0;
+  retry.backoff.initial_backoff_ms = 50.0;
+  retry.backoff.max_backoff_ms = 100.0;
+  QueryRetryStats stats;
+  auto result = third->ExecuteWithRetry(warm, retry, &stats);
+  releaser.join();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->aggregate.records, 12u);
+  EXPECT_GE(stats.attempts, 1u);
+}
+
+TEST_F(QueryServerTest, RetryingClientRedialsAfterTransportLoss) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 13)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto client = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  ASSERT_TRUE(client->Execute(query, 2000.0).ok());
+
+  // Sabotage the transport: the next send fails, the client's retry
+  // path redials and the call still succeeds.
+  FailPoint::Arm("net.send", {.code = StatusCode::kUnavailable});
+  QueryRetryOptions retry;
+  retry.max_attempts = 4;
+  retry.backoff.initial_backoff_ms = 5.0;
+  QueryRetryStats stats;
+  auto result = client->ExecuteWithRetry(query, retry, &stats);
+  FailPoint::Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(stats.redials, 1u);
+  EXPECT_GE(stats.attempts, 2u);
+}
+
+TEST_F(QueryServerTest, NonRetryableInBandErrorsAreNotRetried) {
+  auto store = std::make_shared<SnapshotStore>();
+  QuerySnapshot snapshot;
+  snapshot.dim = 2;
+  snapshot.pools.push_back({-1, MakeGroups(0.0, 14)});
+  store->Publish(std::move(snapshot));
+  StartServer(store);
+
+  auto client = QueryClient::Connect("127.0.0.1", server_->port(), 2000.0);
+  ASSERT_TRUE(client.ok());
+  Query bad;
+  bad.kind = QueryKind::kAggregate;
+  bad.aggregate.range.bounds.push_back({9, 0.0, 1.0});  // dim out of range
+  QueryRetryOptions retry;
+  retry.max_attempts = 5;
+  QueryRetryStats stats;
+  auto result = client->ExecuteWithRetry(bad, retry, &stats);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stats.attempts, 1u);  // deterministic error: one attempt only
 }
 
 }  // namespace

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "linalg/matrix.h"
 #include "linalg/vector.h"
@@ -146,11 +149,140 @@ TEST(QueryWireTest, DecodeRejectsOversizedCounts) {
   // be rejected by the count-vs-remaining validation, not allocated.
   std::string hostile;
   hostile.push_back(0);  // kind = classify
+  for (int i = 0; i < 8; ++i) hostile.push_back(0);  // deadline = 0.0
   for (int i = 0; i < 8; ++i) hostile.push_back(1);  // neighbors
   for (int i = 0; i < 8; ++i) hostile.push_back('\x7f');  // dim: huge
   auto decoded = DecodeQuery(hostile);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(QueryWireTest, DeadlineAndStalenessRoundTrip) {
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.deadline_ms = 1234.5;
+  auto decoded = DecodeQuery(EncodeQuery(query));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->deadline_ms, 1234.5);
+
+  QueryResult result;
+  result.snapshot_version = 9;
+  result.staleness_ms = 0.125;
+  result.kind = QueryKind::kAggregate;
+  auto decoded_result = DecodeQueryResult(EncodeQueryResult(result));
+  ASSERT_TRUE(decoded_result.ok());
+  EXPECT_EQ(decoded_result->staleness_ms, 0.125);
+}
+
+TEST(QueryWireTest, DecodeRejectsHostileDeadlineAndStaleness) {
+  Query query;
+  query.kind = QueryKind::kAggregate;
+  query.deadline_ms = -1.0;  // negatives never come off a sane encoder
+  EXPECT_FALSE(DecodeQuery(EncodeQuery(query)).ok());
+  query.deadline_ms = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(DecodeQuery(EncodeQuery(query)).ok());
+
+  QueryResult result;
+  result.kind = QueryKind::kAggregate;
+  result.staleness_ms = -0.5;
+  EXPECT_FALSE(DecodeQueryResult(EncodeQueryResult(result)).ok());
+}
+
+// Corruption fuzz for both payload decoders: for a representative payload
+// of every query/result kind, (a) truncate at every byte boundary, (b)
+// flip every single bit, (c) saturate every byte (mutated counts, kinds,
+// flags, dims). The decoder must return a Status or a (possibly wrong)
+// value — never crash, over-read, or over-allocate. ASan is the judge.
+class QueryWireFuzzTest : public ::testing::Test {
+ protected:
+  static std::vector<std::string> QueryPayloads() {
+    std::vector<std::string> payloads;
+    Query classify;
+    classify.kind = QueryKind::kClassify;
+    classify.deadline_ms = 250.0;
+    classify.classify.neighbors = 3;
+    classify.classify.points.push_back(MakePoint({1.0, -2.0}));
+    classify.classify.points.push_back(MakePoint({0.5, 4.25}));
+    payloads.push_back(EncodeQuery(classify));
+
+    Query aggregate;
+    aggregate.kind = QueryKind::kAggregate;
+    aggregate.aggregate.range.bounds.push_back({0, -1.0, 1.0});
+    payloads.push_back(EncodeQuery(aggregate));
+
+    Query regenerate;
+    regenerate.kind = QueryKind::kRegenerate;
+    regenerate.regenerate.range.bounds.push_back({1, 0.0, 2.0});
+    regenerate.regenerate.seed = 99;
+    regenerate.regenerate.records_per_group = 4;
+    payloads.push_back(EncodeQuery(regenerate));
+    return payloads;
+  }
+
+  static std::vector<std::string> ResultPayloads() {
+    std::vector<std::string> payloads;
+    QueryResult classify;
+    classify.kind = QueryKind::kClassify;
+    classify.snapshot_version = 3;
+    classify.staleness_ms = 10.0;
+    classify.classify.labels = {1, -1, 2};
+    payloads.push_back(EncodeQueryResult(classify));
+
+    QueryResult aggregate;
+    aggregate.kind = QueryKind::kAggregate;
+    aggregate.aggregate.groups_matched = 2;
+    aggregate.aggregate.records = 8;
+    aggregate.aggregate.has_moments = true;
+    aggregate.aggregate.mean = MakePoint({0.5, -0.5});
+    Matrix cov(2, 2);
+    cov(0, 0) = 1.0;
+    cov(1, 1) = 2.0;
+    aggregate.aggregate.covariance = cov;
+    payloads.push_back(EncodeQueryResult(aggregate));
+
+    QueryResult regen;
+    regen.kind = QueryKind::kRegenerate;
+    regen.regenerate.groups_matched = 1;
+    regen.regenerate.records.push_back(MakePoint({3.0, 4.0}));
+    payloads.push_back(EncodeQueryResult(regen));
+    return payloads;
+  }
+};
+
+TEST_F(QueryWireFuzzTest, QueryDecoderSurvivesCorruption) {
+  for (const std::string& payload : QueryPayloads()) {
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      EXPECT_FALSE(DecodeQuery(payload.substr(0, cut)).ok());
+    }
+    for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = payload;
+        mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+        (void)DecodeQuery(mutated);  // must not crash; ok() may go either way
+      }
+      std::string saturated = payload;
+      saturated[byte] = '\xff';  // worst-case counts/kinds/dims
+      (void)DecodeQuery(saturated);
+    }
+  }
+}
+
+TEST_F(QueryWireFuzzTest, ResultDecoderSurvivesCorruption) {
+  for (const std::string& payload : ResultPayloads()) {
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+      EXPECT_FALSE(DecodeQueryResult(payload.substr(0, cut)).ok());
+    }
+    for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = payload;
+        mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+        (void)DecodeQueryResult(mutated);
+      }
+      std::string saturated = payload;
+      saturated[byte] = '\xff';
+      (void)DecodeQueryResult(saturated);
+    }
+  }
 }
 
 }  // namespace

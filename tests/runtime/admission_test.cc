@@ -1,0 +1,90 @@
+#include "runtime/admission.h"
+
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace condensa::runtime {
+namespace {
+
+TEST(AdmissionGateTest, AdmitsUpToCapacityThenRejects) {
+  AdmissionGate gate(2);
+  auto a = gate.TryEnter();
+  auto b = gate.TryEnter();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(gate.inflight(), 2u);
+
+  auto c = gate.TryEnter();
+  EXPECT_FALSE(c.has_value());
+  EXPECT_EQ(gate.rejected(), 1u);
+  EXPECT_EQ(gate.inflight(), 2u);
+}
+
+TEST(AdmissionGateTest, TicketReleasesSlotOnDestruction) {
+  AdmissionGate gate(1);
+  {
+    auto t = gate.TryEnter();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_FALSE(gate.TryEnter().has_value());
+  }
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_TRUE(gate.TryEnter().has_value());
+}
+
+TEST(AdmissionGateTest, MoveTransfersOwnership) {
+  AdmissionGate gate(1);
+  auto t = gate.TryEnter();
+  ASSERT_TRUE(t.has_value());
+
+  AdmissionGate::Ticket moved(std::move(*t));
+  EXPECT_EQ(gate.inflight(), 1u);
+  t.reset();  // moved-from ticket must not double-release
+  EXPECT_EQ(gate.inflight(), 1u);
+
+  AdmissionGate::Ticket assigned;
+  assigned = std::move(moved);
+  EXPECT_EQ(gate.inflight(), 1u);
+}
+
+TEST(AdmissionGateTest, HighWaterTracksDeepestAdmission) {
+  AdmissionGate gate(4);
+  EXPECT_EQ(gate.high_water(), 0u);
+  {
+    auto a = gate.TryEnter();
+    auto b = gate.TryEnter();
+    auto c = gate.TryEnter();
+    EXPECT_EQ(gate.high_water(), 3u);
+  }
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_EQ(gate.high_water(), 3u);
+  auto d = gate.TryEnter();
+  EXPECT_EQ(gate.high_water(), 3u);
+}
+
+TEST(AdmissionGateTest, ConcurrentChurnNeverExceedsCapacity) {
+  constexpr std::size_t kCapacity = 3;
+  AdmissionGate gate(kCapacity);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        auto ticket = gate.TryEnter();
+        if (ticket.has_value()) {
+          EXPECT_LE(gate.inflight(), kCapacity);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_LE(gate.high_water(), kCapacity);
+}
+
+}  // namespace
+}  // namespace condensa::runtime

@@ -67,12 +67,62 @@ expect_code 2 "query bad connect" "$CLI" query --connect=nocolon
 expect_code 2 "query-server no snapshot source" "$CLI" query-server
 expect_code 2 "query-server bad port" \
   "$CLI" query-server --groups=/tmp/x --port=70000
+# Read-plane hardening flags: zero/negative values are usage errors
+# caught before any state loads or a socket binds.
+expect_code 2 "query-server --max-sessions=0" \
+  "$CLI" query-server --groups=/tmp/x --max-sessions=0
+expect_code 2 "query-server --max-sessions=-2" \
+  "$CLI" query-server --groups=/tmp/x --max-sessions=-2
+expect_code 2 "query-server --deadline-ms=0" \
+  "$CLI" query-server --groups=/tmp/x --deadline-ms=0
+expect_code 2 "query-server --deadline-ms=-5" \
+  "$CLI" query-server --groups=/tmp/x --deadline-ms=-5
+expect_code 2 "query --retries=0" \
+  "$CLI" query --groups=/tmp/x --retries=0
+expect_code 2 "query --deadline-ms=-1" \
+  "$CLI" query --groups=/tmp/x --deadline-ms=-1
 # A missing checkpoint directory is a runtime failure (exit 1), reported
 # before the server would start listening or any query would run.
 expect_code 1 "query missing checkpoint dir" \
   "$CLI" query --checkpoint-dir=/nonexistent-condensa-dir
 expect_code 1 "query-server missing checkpoint dir" \
   "$CLI" query-server --checkpoint-dir=/nonexistent-condensa-dir
+
+# Live round-trip: a real query-server with hardening flags on, queried
+# through the retrying client path. Exercises --max-sessions and
+# --deadline-ms end to end, not just flag parsing.
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null' EXIT
+{
+  echo "0.1,0.2"; echo "0.2,0.1"; echo "0.15,0.25"; echo "0.9,0.8"
+  echo "0.8,0.9"; echo "0.85,0.95"; echo "0.12,0.18"; echo "0.88,0.92"
+} > "$workdir/data.csv"
+if "$CLI" condense --input="$workdir/data.csv" --k=2 --task=none \
+    --save-groups="$workdir/groups.bin" --output=/dev/null > /dev/null 2>&1; then
+  "$CLI" query-server --groups="$workdir/groups.bin" --port=0 \
+      --max-sessions=4 --deadline-ms=5000 > "$workdir/server.out" 2>&1 &
+  server_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$workdir/server.out")"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -n "$port" ]; then
+    expect_code 0 "query round-trip with retries+deadline" \
+      "$CLI" query --connect=127.0.0.1:"$port" --op=aggregate \
+      --retries=3 --deadline-ms=5000
+  else
+    echo "FAIL: query-server never reported its port" >&2
+    failures=$((failures + 1))
+  fi
+  kill "$server_pid" 2>/dev/null
+  wait "$server_pid" 2>/dev/null
+  server_pid=""
+else
+  echo "FAIL: condense for the round-trip fixture failed" >&2
+  failures=$((failures + 1))
+fi
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures CLI contract check(s) failed" >&2

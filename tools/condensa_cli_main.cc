@@ -55,10 +55,12 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <thread>
 #include <set>
 #include <string>
 #include <vector>
@@ -83,6 +85,7 @@
 #include "query/server.h"
 #include "query/snapshot.h"
 #include "runtime/pipeline.h"
+#include "runtime/retry.h"
 #include "shard/fabric.h"
 #include "shard/sharded_condenser.h"
 #include "shard/stream_service.h"
@@ -200,10 +203,12 @@ void PrintUsage(std::FILE* out) {
       "             --connect=HOST:PORT] [--op=classify|aggregate|regenerate]\n"
       "             [--points=FILE] [--neighbors=N] [--range=DIM:LO:HI,...]\n"
       "             [--seed=N] [--records-per-group=N] [--output=FILE]\n"
-      "             [--header] [--timeout-ms=X]\n"
+      "             [--header] [--timeout-ms=X] [--retries=N]\n"
+      "             [--deadline-ms=X]\n"
       "  query-server [--groups=FILE | --checkpoint-dir=DIR [--k=N]]\n"
       "             [--host=ADDR] [--port=N] [--idle-timeout-ms=X]\n"
-      "             [--cache-capacity=N]\n"
+      "             [--cache-capacity=N] [--max-sessions=N]\n"
+      "             [--deadline-ms=X]\n"
       "  inspect    --groups=FILE\n"
       "  evaluate   --original=FILE --anonymized=FILE\n"
       "             [--task=classification|regression|none] [--header]\n"
@@ -427,7 +432,13 @@ const char* HelpText(const std::string& command) {
            "                     stdout)\n"
            "  --header           first row of --points is a header\n"
            "  --timeout-ms=X     per-frame timeout for --connect\n"
-           "                     (default 5000)\n";
+           "                     (default 5000)\n"
+           "  --retries=N        attempts against --connect, redialing and\n"
+           "                     backing off on transport errors and\n"
+           "                     kUnavailable (default 1 = no retry)\n"
+           "  --deadline-ms=X    overall budget for the --connect call,\n"
+           "                     forwarded to the server so it sheds work\n"
+           "                     past the deadline (default 0 = none)\n";
   }
   if (command == "query-server") {
     return "condensa query-server — serve framed mining queries from a "
@@ -448,7 +459,12 @@ const char* HelpText(const std::string& command) {
            "                     drop sessions silent this long\n"
            "                     (default 30000)\n"
            "  --cache-capacity=N bound on cached eigendecompositions\n"
-           "                     (default 1024)\n";
+           "                     (default 1024)\n"
+           "  --max-sessions=N   concurrent sessions served; further\n"
+           "                     connections are refused in-band with a\n"
+           "                     retry-after hint (default 8)\n"
+           "  --deadline-ms=X    deadline applied to requests that carry\n"
+           "                     none (default 0 = unbounded)\n";
   }
   if (command == "inspect") {
     return "condensa inspect — print the privacy summary of a saved file\n"
@@ -1567,15 +1583,18 @@ int RunQuery(Flags& flags) {
   const std::string output = flags.Get("output", "");
   const bool header = flags.Get("header", "false") == "true";
   SnapshotSource source;
-  int neighbors = 1, seed = 42, records_per_group = 0;
-  double timeout_ms = 5000.0;
+  int neighbors = 1, seed = 42, records_per_group = 0, retries = 1;
+  double timeout_ms = 5000.0, deadline_ms = 0.0;
   if (!ReadSnapshotSourceFlags(flags, &source) ||
       !ParseInt(flags.Get("neighbors", "1"), &neighbors) || neighbors < 1 ||
       !ParseInt(flags.Get("seed", "42"), &seed) ||
       !ParseInt(flags.Get("records-per-group", "0"), &records_per_group) ||
       records_per_group < 0 ||
       !ParseDouble(flags.Get("timeout-ms", "5000"), &timeout_ms) ||
-      timeout_ms <= 0) {
+      timeout_ms <= 0 ||
+      !ParseInt(flags.Get("retries", "1"), &retries) || retries < 1 ||
+      !ParseDouble(flags.Get("deadline-ms", "0"), &deadline_ms) ||
+      deadline_ms < 0) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
     return 2;
   }
@@ -1643,20 +1662,53 @@ int RunQuery(Flags& flags) {
                    connect.c_str());
       return 2;
     }
+    // The initial dial shares the retry budget: a server mid-restart is
+    // exactly the case --retries exists for.
+    const auto dial_started = std::chrono::steady_clock::now();
+    condensa::Rng dial_rng(1);
+    condensa::runtime::RetryPolicy dial_backoff;
+    dial_backoff.initial_backoff_ms = 50.0;
+    dial_backoff.max_backoff_ms = 1000.0;
     auto client = condensa::query::QueryClient::Connect(
         connect.substr(0, colon), static_cast<std::uint16_t>(port),
         timeout_ms);
+    for (std::size_t attempt = 1;
+         !client.ok() && attempt < static_cast<std::size_t>(retries);
+         ++attempt) {
+      double wait_ms =
+          condensa::runtime::BackoffDelayMs(dial_backoff, attempt, dial_rng);
+      if (deadline_ms > 0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - dial_started)
+                .count();
+        const double remaining_ms = deadline_ms - elapsed_ms;
+        if (remaining_ms <= 0) break;
+        if (wait_ms > remaining_ms) wait_ms = remaining_ms;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait_ms));
+      client = condensa::query::QueryClient::Connect(
+          connect.substr(0, colon), static_cast<std::uint16_t>(port),
+          timeout_ms);
+    }
     if (!client.ok()) {
       std::fprintf(stderr, "error connecting to %s: %s\n", connect.c_str(),
                    client.status().ToString().c_str());
       return 1;
     }
-    result = client->Execute(query, timeout_ms);
+    query.deadline_ms = deadline_ms;
+    condensa::query::QueryRetryOptions retry;
+    retry.max_attempts = static_cast<std::size_t>(retries);
+    retry.deadline_ms = deadline_ms;
+    result = client->ExecuteWithRetry(query, retry);
   } else {
     condensa::query::QuerySnapshot snapshot;
     if (int code = LoadSnapshot(source, &snapshot)) return code;
     condensa::query::QueryEngine engine;
-    result = engine.Execute(snapshot, query);
+    result = engine.Execute(
+        snapshot, query,
+        condensa::query::ExecutionContext::WithBudgetMs(deadline_ms));
   }
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
@@ -1672,15 +1724,24 @@ int RunQuery(Flags& flags) {
 int RunQueryServer(Flags& flags) {
   const std::string host = flags.Get("host", "127.0.0.1");
   SnapshotSource source;
-  int port = 0, cache_capacity = 1024;
-  double idle_timeout_ms = 30000.0;
+  int port = 0, cache_capacity = 1024, max_sessions = 8;
+  double idle_timeout_ms = 30000.0, deadline_ms = 0.0;
+  // An explicit --deadline-ms must be positive ("serve with no deadline"
+  // is spelled by omitting the flag, not by zero).
+  const std::string deadline_str = flags.Get("deadline-ms", "");
+  // All flag validation happens here, BEFORE any state is loaded or a
+  // socket is bound — bad values must exit 2 without side effects.
   if (!ReadSnapshotSourceFlags(flags, &source) ||
       !ParseInt(flags.Get("port", "0"), &port) || port < 0 || port > 65535 ||
       !ParseInt(flags.Get("cache-capacity", "1024"), &cache_capacity) ||
       cache_capacity < 1 ||
       !ParseDouble(flags.Get("idle-timeout-ms", "30000"),
                    &idle_timeout_ms) ||
-      idle_timeout_ms <= 0) {
+      idle_timeout_ms <= 0 ||
+      !ParseInt(flags.Get("max-sessions", "8"), &max_sessions) ||
+      max_sessions < 1 ||
+      (!deadline_str.empty() &&
+       (!ParseDouble(deadline_str, &deadline_ms) || deadline_ms <= 0))) {
     std::fprintf(stderr, "error: bad numeric flag value\n");
     return 2;
   }
@@ -1701,6 +1762,8 @@ int RunQueryServer(Flags& flags) {
   config.host = host;
   config.port = static_cast<std::uint16_t>(port);
   config.idle_timeout_ms = idle_timeout_ms;
+  config.max_sessions = static_cast<std::size_t>(max_sessions);
+  config.default_deadline_ms = deadline_ms;
   config.engine.eigen_cache_capacity =
       static_cast<std::size_t>(cache_capacity);
   auto server =
