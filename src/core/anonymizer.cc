@@ -9,6 +9,7 @@
 #include "linalg/eigen.h"
 #include "obs/metrics.h"
 #include "obs/timing.h"
+#include "simd/distance.h"
 
 namespace condensa::core {
 
@@ -29,19 +30,36 @@ std::vector<linalg::Vector> SampleFromEigen(
     scale[j] = gaussian ? std::sqrt(lambda) : std::sqrt(3.0 * lambda);
   }
 
+  // Batched per-group generation: pack the active eigenvectors (zero-
+  // scale axes draw nothing, exactly as before) once per group,
+  // transposed to contiguous rows, then emit each record as one draw
+  // pass plus one vectorized accumulation. Draw order (ascending j) and
+  // per-element addition order are unchanged, and simd::AddScaledRows is
+  // contraction-free, so the output is bit-identical to the original
+  // per-axis loop.
+  std::vector<std::size_t> active;
+  active.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    if (scale[j] != 0.0) active.push_back(j);
+  }
+  std::vector<double> rows(active.size() * d);
+  for (std::size_t a = 0; a < active.size(); ++a) {
+    for (std::size_t r = 0; r < d; ++r) {
+      rows[a * d + r] = eigen.eigenvectors(r, active[a]);
+    }
+  }
+  std::vector<double> coeffs(active.size());
+
   std::vector<linalg::Vector> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     linalg::Vector point = centroid;
-    for (std::size_t j = 0; j < d; ++j) {
-      if (scale[j] == 0.0) continue;
-      double u = gaussian ? rng.Gaussian(0.0, scale[j])
-                          : rng.Uniform(-scale[j], scale[j]);
-      // point += u * e_j without materializing the eigenvector copy.
-      for (std::size_t r = 0; r < d; ++r) {
-        point[r] += u * eigen.eigenvectors(r, j);
-      }
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const double s = scale[active[a]];
+      coeffs[a] = gaussian ? rng.Gaussian(0.0, s) : rng.Uniform(-s, s);
     }
+    simd::AddScaledRows(d, coeffs.data(), rows.data(), active.size(),
+                        point.data());
     out.push_back(std::move(point));
   }
   return out;

@@ -10,6 +10,9 @@
 #include "index/deletion_aware.h"
 #include "obs/metrics.h"
 #include "obs/timing.h"
+#include "simd/arena.h"
+#include "simd/distance.h"
+#include "simd/record_block.h"
 
 namespace condensa::core {
 namespace {
@@ -99,8 +102,25 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
   std::vector<std::size_t> alive_pos(points.size());
   std::iota(alive_pos.begin(), alive_pos.end(), 0);
 
+  // The scan path keeps a blocked-SoA copy of the survivors, compacted
+  // with the same swap-with-last moves as `alive` (slot s holds record
+  // alive[s]), so each group's neighbour scan is one vectorized
+  // batch-distance call instead of a per-record pointer chase. Group
+  // scratch comes from a bump arena recycled per group — no per-
+  // candidate heap churn.
+  simd::RecordBlock survivors(0);
+  const bool use_soa = !nn_index.has_value();
+  if (use_soa) {
+    survivors = simd::RecordBlock::FromVectors(points);
+  }
+  simd::Arena arena;
+
   auto remove_original = [&](std::size_t orig) {
     std::size_t pos = alive_pos[orig];
+    if (use_soa) {
+      survivors.CopyRecord(alive.size() - 1, pos);
+      survivors.Truncate(alive.size() - 1);
+    }
     alive[pos] = alive.back();
     alive_pos[alive[pos]] = pos;
     alive.pop_back();
@@ -132,10 +152,17 @@ StatusOr<CondensedGroupSet> StaticCondenser::Condense(
       } else {
         selected.clear();
         selected.reserve(alive.size() - 1);
-        for (std::size_t orig : alive) {
+        // One batch-distance call over the compacted survivor store.
+        // Slot s of `survivors` is record alive[s] and the kernel sums
+        // each record in dimension order, so (distance, index) pairs are
+        // bit-identical to the per-record linalg::SquaredDistance loop.
+        arena.Reset();
+        double* dist = arena.AllocDoubles(alive.size());
+        simd::SquaredDistanceBatch(survivors, seed.data(), dist);
+        for (std::size_t slot = 0; slot < alive.size(); ++slot) {
+          const std::size_t orig = alive[slot];
           if (orig == seed_orig) continue;
-          selected.emplace_back(linalg::SquaredDistance(points[orig], seed),
-                                orig);
+          selected.emplace_back(dist[slot], orig);
         }
         if (neighbours > 0) {
           std::nth_element(selected.begin(),

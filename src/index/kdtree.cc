@@ -32,6 +32,15 @@ struct KdTreeMetrics {
 
 }  // namespace
 
+namespace internal {
+
+std::vector<double>& KdLeafScratch() {
+  thread_local std::vector<double> scratch;
+  return scratch;
+}
+
+}  // namespace internal
+
 StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
   if (points.empty()) {
     return InvalidArgumentError("cannot index an empty point set");
@@ -55,14 +64,12 @@ StatusOr<KdTree> KdTree::Build(const std::vector<linalg::Vector>& points) {
   std::iota(tree.order_.begin(), tree.order_.end(), 0);
   tree.nodes_.reserve(2 * points.size() / kLeafSize + 4);
   tree.root_ = tree.BuildRecursive(0, points.size());
-  // Flatten the points in final order_ order so leaf scans are
-  // sequential reads over one contiguous buffer.
-  tree.coords_.resize(points.size() * dim);
+  // Flatten the points into blocked SoA storage in final order_ order so
+  // leaf scans are one vectorized batch-kernel call per leaf.
+  tree.coords_ = simd::RecordBlock(dim);
+  tree.coords_.Reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const linalg::Vector& p = points[tree.order_[i]];
-    for (std::size_t d = 0; d < dim; ++d) {
-      tree.coords_[i * dim + d] = p[d];
-    }
+    tree.coords_.Append(points[tree.order_[i]].data());
   }
   metrics.builds.Increment();
   metrics.indexed_points.Increment(points.size());
@@ -81,19 +88,26 @@ std::size_t KdTree::BuildRecursive(std::size_t begin, std::size_t end) {
   }
 
   // Split on the dimension with the widest value spread in this cell.
+  // One pass over the points, tracking per-dimension min/max as we go:
+  // each point's coordinates are contiguous, so this touches every
+  // record once instead of chasing the same pointers once per dimension.
   const std::vector<linalg::Vector>& points = *points_;
+  std::vector<double>& lo = build_lo_;
+  std::vector<double>& hi = build_hi_;
+  lo.assign(dim_, std::numeric_limits<double>::infinity());
+  hi.assign(dim_, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = begin; i < end; ++i) {
+    const double* p = points[order_[i]].data();
+    for (std::size_t d = 0; d < dim_; ++d) {
+      lo[d] = std::min(lo[d], p[d]);
+      hi[d] = std::max(hi[d], p[d]);
+    }
+  }
   std::size_t best_dim = 0;
   double best_spread = -1.0;
   for (std::size_t d = 0; d < dim_; ++d) {
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -lo;
-    for (std::size_t i = begin; i < end; ++i) {
-      double v = points[order_[i]][d];
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-    if (hi - lo > best_spread) {
-      best_spread = hi - lo;
+    if (hi[d] - lo[d] > best_spread) {
+      best_spread = hi[d] - lo[d];
       best_dim = d;
     }
   }
@@ -104,7 +118,16 @@ std::size_t KdTree::BuildRecursive(std::size_t begin, std::size_t end) {
     return node_id;
   }
 
-  const std::size_t mid = begin + (end - begin) / 2;
+  // Near-median split, rounded down so the partition point stays a
+  // multiple of the SoA lane width. Every node's begin is then
+  // lane-aligned (inductively: the root starts at 0 and both children
+  // inherit alignment from an aligned mid), and every node's end is
+  // aligned except on the rightmost spine — so almost every leaf scan is
+  // whole blocks for the batch kernel, no edge-lane handling. Any
+  // partition point strictly inside the range builds a correct tree;
+  // end - begin > kLeafSize >= 2 * kLane keeps the rounded mid interior.
+  std::size_t mid = begin + (end - begin) / 2;
+  mid -= (mid - begin) % simd::RecordBlock::kLane;
   std::nth_element(order_.begin() + begin, order_.begin() + mid,
                    order_.begin() + end,
                    [&points, best_dim](std::size_t a, std::size_t b) {
@@ -131,17 +154,25 @@ void KdTree::SearchKNearest(std::size_t node_id, const linalg::Vector& query,
   const Node& node = nodes_[node_id];
 
   if (node.split_dim == Node::kLeaf) {
+    // One bounded batch-kernel call per leaf: abandoned records come
+    // back +inf (they were already beyond the k-th best at leaf entry),
+    // finite values are bit-identical to the scalar loop.
+    const double bound = heap.size() == k
+                             ? heap.front().distance_sq
+                             : std::numeric_limits<double>::infinity();
+    std::vector<double>& dist = internal::KdLeafScratch();
+    const std::size_t count = node.end - node.begin;
+    if (dist.size() < count) dist.resize(count);
+    simd::SquaredDistanceBatchRange(coords_, query.data(), node.begin,
+                                    node.end, bound, dist.data());
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      const double* p = CoordsAt(i);
-      double distance_sq = 0.0;
-      for (std::size_t d = 0; d < dim_; ++d) {
-        const double diff = p[d] - query[d];
-        distance_sq += diff * diff;
-      }
+      const double distance_sq = dist[i - node.begin];
       if (heap.size() < k) {
         heap.push_back({distance_sq, order_[i]});
         std::push_heap(heap.begin(), heap.end());
       } else if (distance_sq < heap.front().distance_sq) {
+        // (equal distances lose here, so the +inf abandoned lanes and
+        // everything past the k-th best drop without touching order_)
         std::pop_heap(heap.begin(), heap.end());
         heap.back() = {distance_sq, order_[i]};
         std::push_heap(heap.begin(), heap.end());
@@ -201,14 +232,16 @@ void KdTree::SearchRadius(std::size_t node_id, const linalg::Vector& query,
   const Node& node = nodes_[node_id];
 
   if (node.split_dim == Node::kLeaf) {
+    // Bounded batch kernel with the radius as the bound: abandoned
+    // records are strictly outside the radius, finite values exact, so
+    // the <= comparison matches the scalar loop on boundary ties.
+    std::vector<double>& dist = internal::KdLeafScratch();
+    const std::size_t count = node.end - node.begin;
+    if (dist.size() < count) dist.resize(count);
+    simd::SquaredDistanceBatchRange(coords_, query.data(), node.begin,
+                                    node.end, radius_sq, dist.data());
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      const double* p = CoordsAt(i);
-      double distance_sq = 0.0;
-      for (std::size_t d = 0; d < dim_; ++d) {
-        const double diff = p[d] - query[d];
-        distance_sq += diff * diff;
-      }
-      if (distance_sq <= radius_sq) {
+      if (dist[i - node.begin] <= radius_sq) {
         out.push_back(order_[i]);
       }
     }

@@ -19,14 +19,24 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/status.h"
 #include "linalg/vector.h"
+#include "simd/distance.h"
+#include "simd/record_block.h"
 
 namespace condensa::index {
+
+namespace internal {
+// Reusable per-thread distance buffer for leaf scans, so queries never
+// heap-allocate per leaf (or per query). Safe because a search never
+// re-enters another search on the same thread while a leaf is mid-scan.
+std::vector<double>& KdLeafScratch();
+}  // namespace internal
 
 class KdTree {
  public:
@@ -123,22 +133,28 @@ class KdTree {
   // Out-of-line metrics hook for the templated search.
   void RecordQueryMetrics(std::size_t visited) const;
 
-  static constexpr std::size_t kLeafSize = 16;
-
-  // Coordinates of order_[i] at coords_[i * dim_], copied once at build
-  // time so leaf scans stream through contiguous memory instead of
-  // chasing one heap allocation per point. Same double values as the
-  // caller's array, so distances computed from either are identical.
-  const double* CoordsAt(std::size_t position) const {
-    return coords_.data() + position * dim_;
-  }
+  // Sized for the vectorized leaf scan: 32 records = four full kLane
+  // blocks per leaf, so the batch kernel amortizes its call overhead and
+  // the tree has half the nodes a 16-leaf build would. Search results are
+  // exact either way (leaf size only moves work between traversal and
+  // scan), so this is purely a speed knob.
+  static constexpr std::size_t kLeafSize = 32;
 
   const std::vector<linalg::Vector>* points_ = nullptr;
   std::size_t dim_ = 0;
   std::vector<std::size_t> order_;  // permutation of point indices
-  std::vector<double> coords_;      // order_-major flat copy of the points
+  // Blocked SoA copy of the points in order_ order, built once at build
+  // time: leaf scans run the vectorized batch kernel over position
+  // ranges. Same double values as the caller's array and the kernels
+  // accumulate per record in dimension order, so distances computed from
+  // either representation are bit-identical (src/simd/distance.h).
+  simd::RecordBlock coords_{0};
   std::vector<Node> nodes_;
   std::size_t root_ = 0;
+  // Build-time per-dimension min/max scratch (BuildRecursive), reused
+  // across nodes so the spread scan never allocates per node.
+  std::vector<double> build_lo_;
+  std::vector<double> build_hi_;
 };
 
 template <typename KeyOf>
@@ -166,32 +182,30 @@ void KdTree::SearchKNearestKeyed(
   const Node& node = nodes_[node_id];
 
   if (node.split_dim == Node::kLeaf) {
+    // Batch partial-distance kernel over the leaf's position range: every
+    // record past the entry bound is abandoned to +inf, every finite
+    // value is the exact sum in linalg::SquaredDistance order, bit for
+    // bit (src/simd/distance.h). The bound is the k-th best at leaf
+    // entry; candidates the heap tightens past mid-leaf still compare
+    // exactly, so the selection matches the scalar per-point cutoff.
+    const double bound = heap.size() == k
+                             ? heap.front().first
+                             : std::numeric_limits<double>::infinity();
+    std::vector<double>& dist = internal::KdLeafScratch();
+    const std::size_t count = node.end - node.begin;
+    if (dist.size() < count) dist.resize(count);
+    simd::SquaredDistanceBatchRange(coords_, query.data(), node.begin,
+                                    node.end, bound, dist.data());
     for (std::size_t i = node.begin; i < node.end; ++i) {
-      const std::size_t index = order_[i];
-      const std::size_t key = key_of(index);
+      const double d2 = dist[i - node.begin];
+      // Distance-only pre-reject (covers the +inf abandoned lanes too):
+      // once the heap is full, a strictly-greater distance can never win
+      // — only an equal one can, via the key tie-break — so most records
+      // drop here without paying for the order_/key loads.
+      if (heap.size() == k && d2 > heap.front().first) continue;
+      const std::size_t key = key_of(order_[i]);
       if (key == kSkipPoint) continue;
-      const double* p = CoordsAt(i);
-      double distance_sq = 0.0;
-      if (heap.size() == k) {
-        // Partial-distance cutoff: squares only accumulate, so the
-        // moment the running sum exceeds the current k-th distance the
-        // point cannot qualify — and a sum that completes is computed in
-        // the same order as linalg::SquaredDistance, bit for bit.
-        const double worst = heap.front().first;
-        std::size_t d = 0;
-        for (; d < dim_; ++d) {
-          const double diff = p[d] - query[d];
-          distance_sq += diff * diff;
-          if (distance_sq > worst) break;
-        }
-        if (d < dim_) continue;
-      } else {
-        for (std::size_t d = 0; d < dim_; ++d) {
-          const double diff = p[d] - query[d];
-          distance_sq += diff * diff;
-        }
-      }
-      const std::pair<double, std::size_t> candidate{distance_sq, key};
+      const std::pair<double, std::size_t> candidate{d2, key};
       if (heap.size() < k) {
         heap.push_back(candidate);
         std::push_heap(heap.begin(), heap.end());

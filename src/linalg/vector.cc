@@ -102,8 +102,13 @@ double Dot(const Vector& a, const Vector& b) {
 
 double SquaredDistance(const Vector& a, const Vector& b) {
   CONDENSA_CHECK_EQ(a.dim(), b.dim());
+  return SquaredDistanceSpan(a.data(), b.data(), a.dim());
+}
+
+double SquaredDistanceSpan(const double* a, const double* b,
+                           std::size_t dim) {
   double total = 0.0;
-  for (std::size_t i = 0; i < a.dim(); ++i) {
+  for (std::size_t i = 0; i < dim; ++i) {
     double diff = a[i] - b[i];
     total += diff * diff;
   }

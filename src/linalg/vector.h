@@ -90,6 +90,13 @@ double Dot(const Vector& a, const Vector& b);
 double Distance(const Vector& a, const Vector& b);
 double SquaredDistance(const Vector& a, const Vector& b);
 
+// The shared inner loop of SquaredDistance: sums (a[i] - b[i])^2 over
+// `dim` doubles in index order, with no dimension check. For per-record
+// hot loops that have already validated dimensions once per batch at the
+// API boundary — everything else should call SquaredDistance.
+double SquaredDistanceSpan(const double* a, const double* b,
+                           std::size_t dim);
+
 // True when |a[i] - b[i]| <= tolerance for all i (and dims match).
 bool ApproxEqual(const Vector& a, const Vector& b, double tolerance);
 

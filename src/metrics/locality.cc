@@ -18,14 +18,17 @@ StatusOr<std::vector<double>> KthNeighborDistances(
   }
   CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree,
                             index::KdTree::Build(dataset.records()));
+  // Build validated every record against dataset.dim(), so the per-pair
+  // distances below use the unchecked span primitive directly.
   std::vector<double> distances;
   distances.reserve(dataset.size());
   for (std::size_t i = 0; i < dataset.size(); ++i) {
     // k + 1 because the record itself is its own nearest neighbour.
     std::vector<std::size_t> neighbours =
         tree.KNearest(dataset.record(i), k + 1);
-    distances.push_back(linalg::Distance(dataset.record(i),
-                                         dataset.record(neighbours.back())));
+    distances.push_back(std::sqrt(linalg::SquaredDistanceSpan(
+        dataset.record(i).data(), dataset.record(neighbours.back()).data(),
+        dataset.dim())));
   }
   return distances;
 }
@@ -40,12 +43,15 @@ StatusOr<std::vector<double>> NearestReleaseDistances(
   }
   CONDENSA_ASSIGN_OR_RETURN(index::KdTree tree,
                             index::KdTree::Build(anonymized.records()));
+  // The dimension match was checked once above; per-pair distances skip
+  // the per-call check.
   std::vector<double> distances;
   distances.reserve(original.size());
   for (std::size_t i = 0; i < original.size(); ++i) {
     std::size_t nearest = tree.Nearest(original.record(i));
-    distances.push_back(
-        linalg::Distance(original.record(i), anonymized.record(nearest)));
+    distances.push_back(std::sqrt(linalg::SquaredDistanceSpan(
+        original.record(i).data(), anonymized.record(nearest).data(),
+        original.dim())));
   }
   return distances;
 }

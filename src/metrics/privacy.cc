@@ -1,21 +1,31 @@
 #include "metrics/privacy.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "linalg/vector.h"
+#include "simd/distance.h"
+#include "simd/record_block.h"
 
 namespace condensa::metrics {
 namespace {
 
-// Distance from `query` to the nearest record of `dataset`, optionally
-// skipping index `skip` (for self-exclusion).
-double NearestDistance(const data::Dataset& dataset,
+// Distance from `query` to the nearest record in `block`, optionally
+// skipping index `skip` (for self-exclusion). One batch-kernel call into
+// `dist` (pre-sized to block.size()); the kernel's distances are
+// bit-identical to the per-record linalg::SquaredDistance loop this
+// replaces, and dimensions were validated once when the caller built the
+// block — no per-record checks.
+double NearestDistance(const simd::RecordBlock& block,
+                       std::vector<double>& dist,
                        const linalg::Vector& query, std::size_t skip) {
+  simd::SquaredDistanceBatch(block, query.data(), dist.data());
   double best = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
+  for (std::size_t i = 0; i < block.size(); ++i) {
     if (i == skip) continue;
-    best = std::min(best, linalg::SquaredDistance(dataset.record(i), query));
+    best = std::min(best, dist[i]);
   }
   return std::sqrt(best);
 }
@@ -34,12 +44,19 @@ StatusOr<LinkageReport> EvaluateLinkage(const data::Dataset& original,
     return InvalidArgumentError("dataset dimension mismatch");
   }
 
+  const simd::RecordBlock original_block =
+      simd::RecordBlock::FromVectors(original.records());
+  const simd::RecordBlock anonymized_block =
+      simd::RecordBlock::FromVectors(anonymized.records());
+  std::vector<double> dist(
+      std::max(original.size(), anonymized.size()));
+
   LinkageReport report;
   std::size_t pinpointed = 0;
   for (std::size_t i = 0; i < original.size(); ++i) {
     const linalg::Vector& record = original.record(i);
-    double d_anon = NearestDistance(anonymized, record, kNoSkip);
-    double d_orig = NearestDistance(original, record, i);
+    double d_anon = NearestDistance(anonymized_block, dist, record, kNoSkip);
+    double d_orig = NearestDistance(original_block, dist, record, i);
     report.mean_nearest_anonymized_distance += d_anon;
     report.mean_nearest_original_distance += d_orig;
     if (d_anon < d_orig) ++pinpointed;

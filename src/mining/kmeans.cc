@@ -1,27 +1,34 @@
 #include "mining/kmeans.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/check.h"
+#include "simd/distance.h"
+#include "simd/record_block.h"
 
 namespace condensa::mining {
 namespace {
 
 // k-means++ seeding: first centroid uniform, then proportional to squared
-// distance from the nearest chosen centroid.
+// distance from the nearest chosen centroid. `block` holds the same
+// points in blocked-SoA form; the kernel's distances are bit-identical
+// to linalg::SquaredDistance, so the seeding draws are unchanged.
 std::vector<linalg::Vector> SeedCentroids(
-    const std::vector<linalg::Vector>& points, std::size_t k, Rng& rng) {
+    const std::vector<linalg::Vector>& points,
+    const simd::RecordBlock& block, std::size_t k, Rng& rng) {
   std::vector<linalg::Vector> centroids;
   centroids.reserve(k);
   centroids.push_back(points[rng.UniformIndex(points.size())]);
 
+  std::vector<double> dist(points.size());
   std::vector<double> nearest_sq(points.size(),
                                  std::numeric_limits<double>::infinity());
   while (centroids.size() < k) {
     const linalg::Vector& latest = centroids.back();
+    simd::SquaredDistanceBatch(block, latest.data(), dist.data());
     for (std::size_t i = 0; i < points.size(); ++i) {
-      nearest_sq[i] = std::min(nearest_sq[i],
-                               linalg::SquaredDistance(points[i], latest));
+      nearest_sq[i] = std::min(nearest_sq[i], dist[i]);
     }
     double total = 0.0;
     for (double d : nearest_sq) total += d;
@@ -62,27 +69,39 @@ StatusOr<KMeansResult> KMeans(const std::vector<linalg::Vector>& points,
     }
   }
 
+  const simd::RecordBlock block = simd::RecordBlock::FromVectors(points);
+
   KMeansResult result;
-  result.centroids = SeedCentroids(points, options.num_clusters, rng);
+  result.centroids = SeedCentroids(points, block, options.num_clusters, rng);
   result.assignments.assign(points.size(), 0);
 
+  std::vector<double> dist(points.size());
+  std::vector<double> best_distance(points.size());
+  std::vector<std::size_t> best(points.size());
   for (result.iterations = 0; result.iterations < options.max_iterations;
        ++result.iterations) {
     bool changed = false;
-    // Assignment step.
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      std::size_t best = 0;
-      double best_distance = std::numeric_limits<double>::infinity();
-      for (std::size_t c = 0; c < result.centroids.size(); ++c) {
-        double distance =
-            linalg::SquaredDistance(points[i], result.centroids[c]);
-        if (distance < best_distance) {
-          best_distance = distance;
-          best = c;
+    // Assignment step: one batch-distance scan per centroid, folded into
+    // a running argmin. The fold compares centroids in ascending order
+    // with strict <, exactly like the old per-point inner loop, so the
+    // first of several equidistant centroids still wins and assignments
+    // are bit-identical.
+    std::fill(best_distance.begin(), best_distance.end(),
+              std::numeric_limits<double>::infinity());
+    std::fill(best.begin(), best.end(), std::size_t{0});
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      simd::SquaredDistanceBatch(block, result.centroids[c].data(),
+                                 dist.data());
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        if (dist[i] < best_distance[i]) {
+          best_distance[i] = dist[i];
+          best[i] = c;
         }
       }
-      if (result.assignments[i] != best) {
-        result.assignments[i] = best;
+    }
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (result.assignments[i] != best[i]) {
+        result.assignments[i] = best[i];
         changed = true;
       }
     }

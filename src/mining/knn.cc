@@ -1,31 +1,47 @@
 #include "mining/knn.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/check.h"
+#include "simd/distance.h"
 
 namespace condensa::mining {
+
+std::vector<std::pair<double, std::size_t>> NearestNeighborsWithDistances(
+    const simd::RecordBlock& records, const linalg::Vector& query,
+    std::size_t k) {
+  CONDENSA_CHECK(!records.empty());
+  CONDENSA_CHECK_EQ(query.dim(), records.dim());
+  k = std::min(k, records.size());
+
+  std::vector<double> dist(records.size());
+  simd::SquaredDistanceBatch(records, query.data(), dist.data());
+  std::vector<std::pair<double, std::size_t>> distances;
+  distances.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    distances.emplace_back(dist[i], i);
+  }
+  std::partial_sort(distances.begin(), distances.begin() + k,
+                    distances.end());
+  distances.resize(k);
+  return distances;
+}
 
 std::vector<std::size_t> NearestNeighbors(const data::Dataset& dataset,
                                           const linalg::Vector& query,
                                           std::size_t k) {
   CONDENSA_CHECK(!dataset.empty());
-  k = std::min(k, dataset.size());
-
-  std::vector<std::pair<double, std::size_t>> distances;
-  distances.reserve(dataset.size());
-  for (std::size_t i = 0; i < dataset.size(); ++i) {
-    distances.emplace_back(linalg::SquaredDistance(dataset.record(i), query),
-                           i);
-  }
-  std::partial_sort(distances.begin(), distances.begin() + k,
-                    distances.end());
+  const simd::RecordBlock block =
+      simd::RecordBlock::FromVectors(dataset.records());
+  std::vector<std::pair<double, std::size_t>> nearest =
+      NearestNeighborsWithDistances(block, query, k);
 
   std::vector<std::size_t> indices;
-  indices.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    indices.push_back(distances[i].second);
+  indices.reserve(nearest.size());
+  for (const auto& [distance_sq, index] : nearest) {
+    indices.push_back(index);
   }
   return indices;
 }
@@ -58,6 +74,22 @@ StatusOr<std::optional<index::KdTree>> MaybeBuildIndex(
   return std::optional<index::KdTree>(std::move(tree));
 }
 
+// Both prediction paths return the neighbour set as ascending (squared
+// distance, training index) pairs: the brute path from one batch-kernel
+// scan over the pre-blocked training set, the index path from a keyed
+// k-d traversal with the identity key. The tie-break key is the training
+// index on both, so the two strategies select identical neighbour sets
+// even on duplicate-heavy data.
+std::vector<std::pair<double, std::size_t>> Neighbours(
+    const std::optional<index::KdTree>& index, const simd::RecordBlock& block,
+    const linalg::Vector& record, std::size_t k) {
+  if (index.has_value()) {
+    return index->KNearestKeyed(record, k,
+                                [](std::size_t i) { return i; });
+  }
+  return NearestNeighborsWithDistances(block, record, k);
+}
+
 }  // namespace
 
 Status KnnClassifier::Fit(const data::Dataset& train) {
@@ -74,27 +106,32 @@ Status KnnClassifier::Fit(const data::Dataset& train) {
   train_ = train;
   CONDENSA_ASSIGN_OR_RETURN(index_,
                             MaybeBuildIndex(train_, options_.strategy));
+  // The brute path scans the blocked copy; when the index answers
+  // queries the copy would sit unused, so skip it.
+  block_ = index_.has_value()
+               ? simd::RecordBlock(0)
+               : simd::RecordBlock::FromVectors(train_.records());
   return OkStatus();
 }
 
 int KnnClassifier::Predict(const linalg::Vector& record) const {
   CONDENSA_CHECK(!train_.empty());
-  std::vector<std::size_t> neighbours =
-      index_.has_value() ? index_->KNearest(record, options_.k)
-                         : NearestNeighbors(train_, record, options_.k);
+  const std::vector<std::pair<double, std::size_t>> neighbours =
+      Neighbours(index_, block_, record, options_.k);
 
   // Majority vote; break ties by smaller cumulative distance, then by
-  // smaller label so prediction is deterministic.
+  // smaller label so prediction is deterministic. The scan already
+  // produced each neighbour's squared distance; sqrt of it is exactly
+  // linalg::Distance, with no second pass over the records.
   struct VoteInfo {
     std::size_t votes = 0;
     double total_distance = 0.0;
   };
   std::map<int, VoteInfo> votes;
-  for (std::size_t index : neighbours) {
+  for (const auto& [distance_sq, index] : neighbours) {
     VoteInfo& info = votes[train_.label(index)];
     ++info.votes;
-    info.total_distance +=
-        linalg::Distance(train_.record(index), record);
+    info.total_distance += std::sqrt(distance_sq);
   }
   int best_label = votes.begin()->first;
   VoteInfo best = votes.begin()->second;
@@ -124,16 +161,18 @@ Status KnnRegressor::Fit(const data::Dataset& train) {
   train_ = train;
   CONDENSA_ASSIGN_OR_RETURN(index_,
                             MaybeBuildIndex(train_, options_.strategy));
+  block_ = index_.has_value()
+               ? simd::RecordBlock(0)
+               : simd::RecordBlock::FromVectors(train_.records());
   return OkStatus();
 }
 
 double KnnRegressor::Predict(const linalg::Vector& record) const {
   CONDENSA_CHECK(!train_.empty());
-  std::vector<std::size_t> neighbours =
-      index_.has_value() ? index_->KNearest(record, options_.k)
-                         : NearestNeighbors(train_, record, options_.k);
+  const std::vector<std::pair<double, std::size_t>> neighbours =
+      Neighbours(index_, block_, record, options_.k);
   double total = 0.0;
-  for (std::size_t index : neighbours) {
+  for (const auto& [distance_sq, index] : neighbours) {
     total += train_.target(index);
   }
   return total / static_cast<double>(neighbours.size());

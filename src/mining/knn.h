@@ -9,11 +9,13 @@
 
 #include <cstddef>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "data/dataset.h"
 #include "index/kdtree.h"
 #include "mining/model.h"
+#include "simd/record_block.h"
 
 namespace condensa::mining {
 
@@ -54,6 +56,9 @@ class KnnClassifier : public Classifier {
  private:
   KnnOptions options_;
   data::Dataset train_ = data::Dataset(0);
+  // Blocked-SoA copy of the training records, built once in Fit: the
+  // brute-force path answers each Predict with one batch-distance call.
+  simd::RecordBlock block_{0};
   std::optional<index::KdTree> index_;
 };
 
@@ -76,6 +81,7 @@ class KnnRegressor : public Regressor {
  private:
   KnnOptions options_;
   data::Dataset train_ = data::Dataset(0);
+  simd::RecordBlock block_{0};  // see KnnClassifier::block_
   std::optional<index::KdTree> index_;
 };
 
@@ -84,6 +90,16 @@ class KnnRegressor : public Regressor {
 std::vector<std::size_t> NearestNeighbors(const data::Dataset& dataset,
                                           const linalg::Vector& query,
                                           std::size_t k);
+
+// Same selection with the squared distances kept: one batch-kernel call
+// over pre-blocked records, returning the k nearest as (squared distance,
+// record index) sorted ascending — ties on distance break toward the
+// smaller index, exactly the order NearestNeighbors' (d², i) sort
+// produces. Callers that need both the neighbour set and its distances
+// (the k-NN vote) use this instead of recomputing per neighbour.
+std::vector<std::pair<double, std::size_t>> NearestNeighborsWithDistances(
+    const simd::RecordBlock& records, const linalg::Vector& query,
+    std::size_t k);
 
 }  // namespace condensa::mining
 

@@ -28,10 +28,15 @@ Status NearestCentroidClassifier::Fit(const data::Dataset& train) {
 
 int NearestCentroidClassifier::Predict(const linalg::Vector& record) const {
   CONDENSA_CHECK(!centroids_.empty());
+  // One boundary check: every centroid shares the training dimension, so
+  // checking the query against the first covers the whole loop.
+  CONDENSA_CHECK_EQ(record.dim(), centroids_.begin()->second.dim());
   int best_label = centroids_.begin()->first;
   double best_distance = std::numeric_limits<double>::infinity();
   for (const auto& [label, centroid] : centroids_) {
-    double distance = linalg::SquaredDistance(centroid, record);
+    double distance = linalg::SquaredDistanceSpan(centroid.data(),
+                                                  record.data(),
+                                                  record.dim());
     if (distance < best_distance) {
       best_distance = distance;
       best_label = label;

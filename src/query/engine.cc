@@ -10,6 +10,8 @@
 #include "core/anonymizer.h"
 #include "obs/metrics.h"
 #include "obs/timing.h"
+#include "simd/distance.h"
+#include "simd/record_block.h"
 
 namespace condensa::query {
 namespace {
@@ -144,8 +146,43 @@ StatusOr<ClassifyResult> QueryEngine::ExecuteClassify(
         "snapshot holds no labeled pools to classify against");
   }
 
+  // Pack each labeled pool's centroids into blocked-SoA storage once per
+  // call: every query point then scans a pool with one batch-distance
+  // kernel call instead of a per-group virtual stride. The kernel's
+  // per-record sum runs in dimension order over (centroid - point)
+  // differences; GroupStatistics::SquaredDistanceToCentroid sums
+  // (point - centroid) in the same order, and IEEE negation is exact, so
+  // the distances — and hence the votes — are bit-identical to the
+  // scalar path.
+  struct PoolBlock {
+    std::size_t pool = 0;
+    int label = -1;
+    simd::RecordBlock centroids{0};
+    std::vector<std::uint64_t> mass;
+  };
+  std::vector<PoolBlock> pool_blocks;
+  std::size_t max_groups = 0;
+  for (std::size_t p = 0; p < snapshot.pools.size(); ++p) {
+    const LabeledGroups& pool = snapshot.pools[p];
+    if (pool.label < 0 || pool.groups.num_groups() == 0) continue;
+    PoolBlock block;
+    block.pool = p;
+    block.label = pool.label;
+    block.centroids = simd::RecordBlock(snapshot.dim);
+    block.centroids.Reserve(pool.groups.num_groups());
+    block.mass.reserve(pool.groups.num_groups());
+    for (std::size_t g = 0; g < pool.groups.num_groups(); ++g) {
+      const core::GroupStatistics& group = pool.groups.group(g);
+      block.centroids.Append(group.Centroid());
+      block.mass.push_back(group.count());
+    }
+    max_groups = std::max(max_groups, pool.groups.num_groups());
+    pool_blocks.push_back(std::move(block));
+  }
+
   ClassifyResult result;
   result.labels.reserve(query.points.size());
+  std::vector<double> dist(max_groups);
   std::vector<Neighbor> nearest;  // max-heap of size <= neighbors
   for (const linalg::Vector& point : query.points) {
     if (context.Expired()) {
@@ -157,13 +194,18 @@ StatusOr<ClassifyResult> QueryEngine::ExecuteClassify(
           " but the snapshot has " + std::to_string(snapshot.dim));
     }
     nearest.clear();
-    for (std::size_t p = 0; p < snapshot.pools.size(); ++p) {
-      const LabeledGroups& pool = snapshot.pools[p];
-      if (pool.label < 0) continue;  // unlabeled pools cannot vote
-      for (std::size_t g = 0; g < pool.groups.num_groups(); ++g) {
-        const core::GroupStatistics& group = pool.groups.group(g);
-        Neighbor candidate{group.SquaredDistanceToCentroid(point), p, g,
-                           pool.label, group.count()};
+    for (const PoolBlock& block : pool_blocks) {
+      simd::SquaredDistanceBatch(block.centroids, point.data(), dist.data());
+      for (std::size_t g = 0; g < block.centroids.size(); ++g) {
+        const double d2 = dist[g];
+        // Once the heap is full a strictly-greater distance can never
+        // win — only an equal one can, via the (pool, group) tie-break —
+        // so most groups drop here before the Neighbor is even built.
+        if (nearest.size() == query.neighbors &&
+            d2 > nearest.front().distance_squared) {
+          continue;
+        }
+        Neighbor candidate{d2, block.pool, g, block.label, block.mass[g]};
         if (nearest.size() < query.neighbors) {
           nearest.push_back(candidate);
           std::push_heap(nearest.begin(), nearest.end());

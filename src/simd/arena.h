@@ -1,0 +1,90 @@
+// Bump-allocated scratch arena for batch kernels.
+//
+// The distance hot paths need short-lived buffers (per-group distance
+// arrays, packed coefficient rows) sized by data that changes every
+// iteration. Allocating them from the heap per candidate is measurable
+// churn; the arena hands out aligned slices of one growing buffer and
+// recycles the whole thing with Reset() at batch boundaries.
+//
+// Alloc never invalidates previously returned pointers (new demand grows
+// into an additional chunk); Reset() invalidates everything at once and
+// coalesces the chunks so steady state is a single allocation.
+// Not thread-safe: one arena per worker.
+
+#ifndef CONDENSA_SIMD_ARENA_H_
+#define CONDENSA_SIMD_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace condensa::simd {
+
+class Arena {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  // An uninitialized, kAlignment-aligned array of n doubles, valid until
+  // the next Reset().
+  double* AllocDoubles(std::size_t n) {
+    return static_cast<double*>(Alloc(n * sizeof(double)));
+  }
+
+  // Recycles all outstanding allocations. If demand overflowed into
+  // extra chunks, they are merged into one buffer sized for the whole
+  // previous batch.
+  void Reset() {
+    if (chunks_.size() > 1) {
+      std::size_t total = 0;
+      for (const Chunk& chunk : chunks_) total += chunk.size;
+      chunks_.clear();
+      AddChunk(total);
+    }
+    offset_ = 0;
+  }
+
+ private:
+  struct Deleter {
+    void operator()(char* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  struct Chunk {
+    std::unique_ptr<char[], Deleter> data;
+    std::size_t size = 0;
+  };
+
+  void* Alloc(std::size_t bytes) {
+    bytes = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    if (chunks_.empty() || offset_ + bytes > chunks_.back().size) {
+      const std::size_t prev = chunks_.empty() ? 1024 : chunks_.back().size;
+      AddChunk(bytes > 2 * prev ? bytes : 2 * prev);
+      offset_ = 0;
+    }
+    char* out = chunks_.back().data.get() + offset_;
+    offset_ += bytes;
+    return out;
+  }
+
+  void AddChunk(std::size_t size) {
+    Chunk chunk;
+    chunk.data.reset(static_cast<char*>(
+        ::operator new[](size, std::align_val_t{kAlignment})));
+    chunk.size = size;
+    chunks_.push_back(std::move(chunk));
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace condensa::simd
+
+#endif  // CONDENSA_SIMD_ARENA_H_

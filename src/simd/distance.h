@@ -1,0 +1,98 @@
+// Vectorized batch distance kernels over RecordBlock storage.
+//
+// Every kernel computes squared Euclidean distances from one query to
+// many stored records. Lanes map to records and each record's sum
+// accumulates in dimension order — the same order as
+// linalg::SquaredDistance — so the default kernels are bit-identical to
+// the scalar reference on every input, including NaN/Inf propagation.
+// This is the repo's bit-identity contract: releases must not depend on
+// which kernel the dispatcher picked (docs/performance.md, "Kernel
+// dispatch and the bit-identity contract").
+//
+// Three implementations sit behind one dispatcher:
+//   kScalar    plain per-record loops; the reference oracle.
+//   kPortable  auto-vectorization-friendly blocked loops
+//              (#pragma omp simd), compiled with -ffp-contract=off.
+//   kAvx2      explicit AVX2 intrinsics (mul + add, no FMA), selected at
+//              runtime when the CPU supports AVX2.
+// An opt-in *fused* AVX2+FMA variant exists behind SetFusedEnabled; it
+// contracts diff*diff + acc into fmadd and is therefore NOT bit-identical
+// (error within a few ulps — tolerance-pinned in tests). It never runs
+// unless explicitly enabled (or CONDENSA_SIMD_FUSED=1 in the
+// environment).
+//
+// The bounded variants abandon a whole block once every lane's partial
+// sum exceeds `bound`, writing +infinity for the abandoned records.
+// Because partial sums only grow, an abandoned record's true distance is
+// strictly greater than `bound`; every finite output is the exact full
+// sum. Callers prune with `out[i] > bound` (or compare exact values) and
+// get answers identical to a full scalar scan.
+
+#ifndef CONDENSA_SIMD_DISTANCE_H_
+#define CONDENSA_SIMD_DISTANCE_H_
+
+#include <cstddef>
+
+#include "simd/record_block.h"
+
+namespace condensa::simd {
+
+enum class KernelKind { kScalar = 0, kPortable = 1, kAvx2 = 2 };
+
+const char* KernelName(KernelKind kind);
+
+// The kernel batch calls currently dispatch to. Resolved once from CPU
+// detection (and the CONDENSA_SIMD environment override: "scalar",
+// "portable", or "avx2") on first use.
+KernelKind ActiveKernel();
+
+// Test/bench hook: route all batch calls to `kind`. Returns false (and
+// changes nothing) if the CPU cannot run it. Not thread-safe; call
+// before spawning workers.
+bool ForceKernel(KernelKind kind);
+// Back to runtime detection.
+void ResetKernel();
+
+// Opt-in fused-multiply-add kernels (AVX2+FMA only). Off by default;
+// enabling breaks bit-identity of batch distances (tolerance-pinned, see
+// header comment). Ignored when the CPU lacks FMA.
+void SetFusedEnabled(bool enabled);
+bool FusedEnabled();
+
+// out[i] = squared distance from query (records.dim() doubles) to record
+// i, for all i in [0, records.size()).
+void SquaredDistanceBatch(const RecordBlock& records, const double* query,
+                          double* out);
+
+// Same, with block-level early exit: records whose distance is
+// abandoned past `bound` get +infinity (see header comment).
+void SquaredDistanceBatchBounded(const RecordBlock& records,
+                                 const double* query, double bound,
+                                 double* out);
+
+// Bounded batch over the position range [begin, end); out must hold
+// end - begin doubles (out[p - begin] is record p's distance). This is
+// the kd-tree leaf-scan entry point.
+void SquaredDistanceBatchRange(const RecordBlock& records,
+                               const double* query, std::size_t begin,
+                               std::size_t end, double bound, double* out);
+
+// The scalar reference oracle, always available regardless of dispatch.
+// Parity tests compare the dispatched kernels against this.
+void SquaredDistanceBatchScalar(const RecordBlock& records,
+                                const double* query, double* out);
+
+// y[i] += a * x[i] for i in [0, n): the anonymizer's eigenvector
+// accumulation, compiled contraction-free so results match the scalar
+// loop bit for bit.
+void Axpy(std::size_t n, double a, const double* x, double* y);
+
+// out[r] += sum over j of coeffs[j] * rows[j*dim + r], accumulated in
+// ascending j per element — the batched per-group generation path
+// (bit-identical to looping Axpy over rows).
+void AddScaledRows(std::size_t dim, const double* coeffs, const double* rows,
+                   std::size_t num_rows, double* out);
+
+}  // namespace condensa::simd
+
+#endif  // CONDENSA_SIMD_DISTANCE_H_

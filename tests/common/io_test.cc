@@ -11,7 +11,11 @@ class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FailPoint::Reset();
-    dir_ = ::testing::TempDir() + "/condensa_io_test";
+    // One directory per test case: ctest runs each case as its own
+    // process, and a shared path makes concurrent cases sweep each
+    // other's files mid-test (flaky under `ctest -j`).
+    dir_ = ::testing::TempDir() + "/condensa_io_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     ASSERT_TRUE(CreateDirectories(dir_).ok());
     // Start each test from an empty directory.
     auto entries = ListDirectory(dir_);

@@ -1,0 +1,357 @@
+// Differential and edge-case coverage for the batch distance kernels.
+//
+// The default kernels carry a bit-identity contract: every finite output
+// equals the scalar reference bit for bit, and a +inf output may appear
+// only from a bounded call whose true distance strictly exceeds the
+// bound (see src/simd/distance.h). These tests pin that contract across
+// dimensions (including the partial-block padding tails), record counts,
+// sub-block ranges, NaN/Inf inputs, and a randomized 1000-trial sweep —
+// for every kernel the host can run. The opt-in fused kernel is pinned
+// with a tolerance instead, documenting that it sits outside the
+// contract.
+
+#include "simd/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/vector.h"
+#include "simd/record_block.h"
+
+namespace condensa::simd {
+namespace {
+
+using linalg::Vector;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::uint64_t Bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Restores process-global kernel state no matter how a test exits.
+struct KernelGuard {
+  ~KernelGuard() {
+    SetFusedEnabled(false);
+    ResetKernel();
+  }
+};
+
+std::vector<KernelKind> AvailableKernels() {
+  KernelGuard guard;
+  std::vector<KernelKind> kinds = {KernelKind::kScalar, KernelKind::kPortable};
+  if (ForceKernel(KernelKind::kAvx2)) {
+    kinds.push_back(KernelKind::kAvx2);
+  }
+  return kinds;
+}
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+Vector RandomQuery(std::size_t dim, Rng& rng) {
+  Vector q(dim);
+  for (std::size_t j = 0; j < dim; ++j) {
+    q[j] = rng.Gaussian();
+  }
+  return q;
+}
+
+// Checks one kernel output against the scalar exact distance under the
+// bounded-kernel contract: finite values are bit-identical, +inf is
+// legal only when the true distance strictly exceeds the bound. NaN
+// exacts must stay NaN (bounded abandonment never fires on NaN).
+void ExpectContract(double got, double exact, double bound) {
+  if (std::isnan(exact)) {
+    EXPECT_TRUE(std::isnan(got));
+    return;
+  }
+  if (got == kInf && exact != kInf) {
+    EXPECT_TRUE(exact > bound) << "abandoned a record at exact distance "
+                               << exact << " under bound " << bound;
+    return;
+  }
+  EXPECT_EQ(Bits(got), Bits(exact));
+}
+
+TEST(DistanceKernelTest, KernelNamesAndForce) {
+  KernelGuard guard;
+  EXPECT_STREQ(KernelName(KernelKind::kScalar), "scalar");
+  EXPECT_STREQ(KernelName(KernelKind::kPortable), "portable");
+  EXPECT_STREQ(KernelName(KernelKind::kAvx2), "avx2");
+  ASSERT_TRUE(ForceKernel(KernelKind::kScalar));
+  EXPECT_EQ(ActiveKernel(), KernelKind::kScalar);
+  ASSERT_TRUE(ForceKernel(KernelKind::kPortable));
+  EXPECT_EQ(ActiveKernel(), KernelKind::kPortable);
+  ResetKernel();
+  // Detection never lands on the reference oracle.
+  EXPECT_NE(ActiveKernel(), KernelKind::kScalar);
+}
+
+TEST(DistanceKernelTest, ScalarOracleMatchesLinalg) {
+  Rng rng(101);
+  for (std::size_t dim : {0u, 1u, 2u, 7u, 8u, 9u, 10u}) {
+    std::vector<Vector> points = RandomCloud(11, dim, rng);
+    RecordBlock block = RecordBlock::FromVectors(points);
+    Vector query = RandomQuery(dim, rng);
+    std::vector<double> out(points.size());
+    SquaredDistanceBatchScalar(block, query.data(), out.data());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(Bits(out[i]),
+                Bits(linalg::SquaredDistance(points[i], query)));
+    }
+  }
+}
+
+TEST(DistanceKernelTest, AllKernelsBitIdenticalAcrossDims) {
+  KernelGuard guard;
+  Rng rng(202);
+  // Every dimension through 64 exercises all padding tails of the
+  // 8-wide dimension loop; the counts cover single-record, partial,
+  // exact, and multi-block stores.
+  for (std::size_t dim = 1; dim <= 64; ++dim) {
+    for (std::size_t n : {1u, 5u, 8u, 9u, 24u}) {
+      std::vector<Vector> points = RandomCloud(n, dim, rng);
+      RecordBlock block = RecordBlock::FromVectors(points);
+      Vector query = RandomQuery(dim, rng);
+      std::vector<double> expected(n);
+      SquaredDistanceBatchScalar(block, query.data(), expected.data());
+      for (KernelKind kind : AvailableKernels()) {
+        ASSERT_TRUE(ForceKernel(kind));
+        std::vector<double> out(n, -1.0);
+        SquaredDistanceBatch(block, query.data(), out.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(Bits(out[i]), Bits(expected[i]))
+              << KernelName(kind) << " dim=" << dim << " n=" << n
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelTest, SubRangesCoverEdgeLanes) {
+  KernelGuard guard;
+  Rng rng(303);
+  const std::size_t n = 40;
+  const std::size_t dim = 6;
+  std::vector<Vector> points = RandomCloud(n, dim, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  Vector query = RandomQuery(dim, rng);
+  std::vector<double> full(n);
+  SquaredDistanceBatchScalar(block, query.data(), full.data());
+  // Ranges chosen to hit every begin/end alignment case: block-aligned,
+  // mid-block, single record, and within one block.
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {0, n}, {0, 8}, {3, 29}, {8, 16}, {5, 6}, {9, 15}, {17, 40}, {12, 12}};
+  for (KernelKind kind : AvailableKernels()) {
+    ASSERT_TRUE(ForceKernel(kind));
+    for (const auto& [begin, end] : ranges) {
+      std::vector<double> out(end - begin, -1.0);
+      SquaredDistanceBatchRange(block, query.data(), begin, end, kInf,
+                                out.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        ASSERT_EQ(Bits(out[i - begin]), Bits(full[i]))
+            << KernelName(kind) << " range [" << begin << ", " << end << ")";
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelTest, BoundedOutputsExactOrProvablyBeyondBound) {
+  KernelGuard guard;
+  Rng rng(404);
+  const std::size_t n = 30;
+  const std::size_t dim = 24;  // several bound-check strides deep
+  std::vector<Vector> points = RandomCloud(n, dim, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  Vector query = RandomQuery(dim, rng);
+  std::vector<double> exact(n);
+  SquaredDistanceBatchScalar(block, query.data(), exact.data());
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+  for (double bound : {sorted[n / 4], sorted[n / 2], sorted[n - 1], 0.0}) {
+    for (KernelKind kind : AvailableKernels()) {
+      ASSERT_TRUE(ForceKernel(kind));
+      std::vector<double> out(n, -1.0);
+      SquaredDistanceBatchBounded(block, query.data(), bound, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ExpectContract(out[i], exact[i], bound);
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelTest, NaNPropagatesLikeScalar) {
+  KernelGuard guard;
+  std::vector<Vector> points = {Vector{1.0, 2.0, 3.0}, Vector{kNaN, 0.0, 1.0},
+                                Vector{4.0, kNaN, 5.0}, Vector{0.5, 0.5, 0.5},
+                                Vector{6.0, 7.0, 8.0}};
+  RecordBlock block = RecordBlock::FromVectors(points);
+  Vector query{0.0, 0.0, 0.0};
+  const std::size_t n = points.size();
+  std::vector<double> exact(n);
+  SquaredDistanceBatchScalar(block, query.data(), exact.data());
+  EXPECT_TRUE(std::isnan(exact[1]));
+  EXPECT_TRUE(std::isnan(exact[2]));
+  for (KernelKind kind : AvailableKernels()) {
+    ASSERT_TRUE(ForceKernel(kind));
+    std::vector<double> out(n, -1.0);
+    SquaredDistanceBatch(block, query.data(), out.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::isnan(exact[i])) {
+        EXPECT_TRUE(std::isnan(out[i])) << KernelName(kind) << " i=" << i;
+      } else {
+        EXPECT_EQ(Bits(out[i]), Bits(exact[i]));
+      }
+    }
+    // A tiny bound still may not abandon a NaN record: the comparison is
+    // false, the block stays live, and the NaN completes like scalar.
+    SquaredDistanceBatchBounded(block, query.data(), 1e-12, out.data());
+    EXPECT_TRUE(std::isnan(out[1])) << KernelName(kind);
+    EXPECT_TRUE(std::isnan(out[2])) << KernelName(kind);
+  }
+}
+
+TEST(DistanceKernelTest, InfinitePointsProduceInfiniteOrNaNLikeScalar) {
+  KernelGuard guard;
+  std::vector<Vector> points = {Vector{kInf, 0.0}, Vector{-kInf, 1.0},
+                                Vector{1.0, 1.0}};
+  RecordBlock block = RecordBlock::FromVectors(points);
+  // query[0] = +inf makes record 0's diff inf - inf = NaN and record 1's
+  // diff -inf; the scalar loop says NaN and +inf respectively.
+  Vector query{kInf, 0.0};
+  std::vector<double> exact(3);
+  SquaredDistanceBatchScalar(block, query.data(), exact.data());
+  EXPECT_TRUE(std::isnan(exact[0]));
+  EXPECT_EQ(exact[1], kInf);
+  EXPECT_EQ(exact[2], kInf);
+  for (KernelKind kind : AvailableKernels()) {
+    ASSERT_TRUE(ForceKernel(kind));
+    std::vector<double> out(3, -1.0);
+    SquaredDistanceBatch(block, query.data(), out.data());
+    EXPECT_TRUE(std::isnan(out[0])) << KernelName(kind);
+    EXPECT_EQ(out[1], kInf) << KernelName(kind);
+    EXPECT_EQ(out[2], kInf) << KernelName(kind);
+  }
+}
+
+TEST(DistanceKernelTest, ZeroDimensionalDistancesAreZero) {
+  KernelGuard guard;
+  RecordBlock block(0);
+  block.Reserve(3);
+  Vector empty(0);
+  for (int i = 0; i < 3; ++i) block.Append(empty);
+  for (KernelKind kind : AvailableKernels()) {
+    ASSERT_TRUE(ForceKernel(kind));
+    std::vector<double> out(3, -1.0);
+    SquaredDistanceBatch(block, nullptr, out.data());
+    for (double v : out) {
+      EXPECT_EQ(v, 0.0) << KernelName(kind);
+    }
+  }
+}
+
+TEST(DistanceKernelTest, RandomizedDifferentialSweep) {
+  KernelGuard guard;
+  Rng rng(505);
+  const std::vector<KernelKind> kernels = AvailableKernels();
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t dim = 1 + rng.UniformIndex(40);
+    const std::size_t n = 1 + rng.UniformIndex(70);
+    std::vector<Vector> points = RandomCloud(n, dim, rng);
+    RecordBlock block = RecordBlock::FromVectors(points);
+    Vector query = RandomQuery(dim, rng);
+    const std::size_t begin = rng.UniformIndex(n);
+    const std::size_t end = begin + 1 + rng.UniformIndex(n - begin);
+    // Mix unbounded scans with bounds tight enough to abandon blocks.
+    const double bound =
+        trial % 3 == 0 ? kInf : rng.Uniform(0.0, 2.0 * dim);
+    std::vector<double> exact(n);
+    SquaredDistanceBatchScalar(block, query.data(), exact.data());
+    for (KernelKind kind : kernels) {
+      ASSERT_TRUE(ForceKernel(kind));
+      std::vector<double> out(end - begin, -1.0);
+      SquaredDistanceBatchRange(block, query.data(), begin, end, bound,
+                                out.data());
+      for (std::size_t i = begin; i < end; ++i) {
+        ExpectContract(out[i - begin], exact[i], bound);
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelTest, FusedKernelPinnedByTolerance) {
+  KernelGuard guard;
+  if (!ForceKernel(KernelKind::kAvx2)) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  SetFusedEnabled(true);
+  if (!FusedEnabled()) {
+    GTEST_SKIP() << "host has no FMA";
+  }
+  Rng rng(606);
+  const std::size_t n = 24;
+  const std::size_t dim = 17;
+  std::vector<Vector> points = RandomCloud(n, dim, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  Vector query = RandomQuery(dim, rng);
+  std::vector<double> exact(n);
+  SquaredDistanceBatchScalar(block, query.data(), exact.data());
+  std::vector<double> fused(n);
+  SquaredDistanceBatch(block, query.data(), fused.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Outside the bit-identity contract, but each fused term skips one
+    // rounding of at most half an ulp: the relative error stays tiny.
+    EXPECT_NEAR(fused[i], exact[i], 1e-9 * (1.0 + exact[i])) << i;
+  }
+}
+
+TEST(DistanceKernelTest, AxpyAndAddScaledRowsMatchScalarLoop) {
+  Rng rng(707);
+  const std::size_t dim = 13;
+  const std::size_t rows = 4;
+  std::vector<double> matrix(rows * dim);
+  std::vector<double> coeffs(rows);
+  for (double& v : matrix) v = rng.Gaussian();
+  for (double& c : coeffs) c = rng.Gaussian();
+  std::vector<double> expected(dim), got(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    expected[d] = got[d] = rng.Gaussian();
+  }
+  // Reference: row-by-row, element-by-element accumulation — the order
+  // AddScaledRows promises (and SampleFromEigen's bit-identity needs).
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      expected[d] += coeffs[r] * matrix[r * dim + d];
+    }
+  }
+  AddScaledRows(dim, coeffs.data(), matrix.data(), rows, got.data());
+  for (std::size_t d = 0; d < dim; ++d) {
+    EXPECT_EQ(Bits(got[d]), Bits(expected[d]));
+  }
+}
+
+}  // namespace
+}  // namespace condensa::simd

@@ -1,0 +1,157 @@
+#include "simd/record_block.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "linalg/vector.h"
+
+namespace condensa::simd {
+namespace {
+
+using linalg::Vector;
+
+std::vector<Vector> RandomCloud(std::size_t n, std::size_t dim, Rng& rng) {
+  std::vector<Vector> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector p(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+      p[j] = rng.Gaussian();
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+TEST(RecordBlockTest, EmptyStore) {
+  RecordBlock block(3);
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.size(), 0u);
+  EXPECT_EQ(block.dim(), 3u);
+  EXPECT_EQ(block.num_blocks(), 0u);
+}
+
+TEST(RecordBlockTest, FromVectorsRoundTrips) {
+  Rng rng(7);
+  // Sizes straddling the block width: partial, exact, and multi-block.
+  for (std::size_t n : {1u, 7u, 8u, 9u, 16u, 21u}) {
+    std::vector<Vector> points = RandomCloud(n, 5, rng);
+    RecordBlock block = RecordBlock::FromVectors(points);
+    ASSERT_EQ(block.size(), n);
+    ASSERT_EQ(block.dim(), 5u);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < 5; ++d) {
+        EXPECT_EQ(block.At(i, d), points[i][d]) << "i=" << i << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(RecordBlockTest, FromVectorsEmptyInput) {
+  RecordBlock block = RecordBlock::FromVectors({});
+  EXPECT_TRUE(block.empty());
+  EXPECT_EQ(block.dim(), 0u);
+}
+
+TEST(RecordBlockTest, BlockedLayoutIsDimensionMajor) {
+  Rng rng(11);
+  std::vector<Vector> points = RandomCloud(10, 3, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  // data[b * dim * kLane + d * kLane + lane] == record (b*kLane+lane)[d].
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t b = i / RecordBlock::kLane;
+    const std::size_t lane = i % RecordBlock::kLane;
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(block.BlockData(b)[d * RecordBlock::kLane + lane],
+                points[i][d]);
+    }
+  }
+}
+
+TEST(RecordBlockTest, PaddingLanesAreZero) {
+  Rng rng(13);
+  std::vector<Vector> points = RandomCloud(5, 4, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  ASSERT_EQ(block.num_blocks(), 1u);
+  for (std::size_t lane = 5; lane < RecordBlock::kLane; ++lane) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_EQ(block.BlockData(0)[d * RecordBlock::kLane + lane], 0.0);
+    }
+  }
+}
+
+TEST(RecordBlockTest, AppendGrowsAcrossBlockBoundaries) {
+  Rng rng(17);
+  std::vector<Vector> points = RandomCloud(25, 2, rng);
+  RecordBlock block(2);
+  for (const Vector& p : points) {
+    block.Append(p);
+  }
+  ASSERT_EQ(block.size(), 25u);
+  EXPECT_EQ(block.num_blocks(), 4u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(block.At(i, 0), points[i][0]);
+    EXPECT_EQ(block.At(i, 1), points[i][1]);
+  }
+}
+
+TEST(RecordBlockTest, CopyRecordAndTruncateMirrorSwapWithLast) {
+  Rng rng(19);
+  std::vector<Vector> points = RandomCloud(12, 3, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  std::vector<Vector> mirror = points;
+
+  // Remove records 4, 0, and 7 (of the shrinking array) by
+  // swap-with-last, keeping the mirror in lockstep.
+  for (std::size_t pos : {4u, 0u, 7u}) {
+    block.CopyRecord(mirror.size() - 1, pos);
+    block.Truncate(mirror.size() - 1);
+    mirror[pos] = mirror.back();
+    mirror.pop_back();
+  }
+
+  ASSERT_EQ(block.size(), mirror.size());
+  for (std::size_t i = 0; i < mirror.size(); ++i) {
+    for (std::size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(block.At(i, d), mirror[i][d]);
+    }
+  }
+}
+
+TEST(RecordBlockTest, CopyRecordOntoItselfIsNoOp) {
+  Rng rng(23);
+  std::vector<Vector> points = RandomCloud(3, 2, rng);
+  RecordBlock block = RecordBlock::FromVectors(points);
+  block.CopyRecord(1, 1);
+  EXPECT_EQ(block.At(1, 0), points[1][0]);
+  EXPECT_EQ(block.At(1, 1), points[1][1]);
+}
+
+TEST(RecordBlockTest, ZeroDimensionalRecords) {
+  RecordBlock block(0);
+  block.Reserve(4);
+  Vector empty(0);
+  block.Append(empty);
+  block.Append(empty);
+  EXPECT_EQ(block.size(), 2u);
+  EXPECT_EQ(block.dim(), 0u);
+}
+
+TEST(RecordBlockTest, MoveTransfersStorage) {
+  Rng rng(29);
+  std::vector<Vector> points = RandomCloud(9, 4, rng);
+  RecordBlock source = RecordBlock::FromVectors(points);
+  RecordBlock moved = std::move(source);
+  ASSERT_EQ(moved.size(), 9u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t d = 0; d < 4; ++d) {
+      EXPECT_EQ(moved.At(i, d), points[i][d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace condensa::simd

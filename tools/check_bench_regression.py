@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate a bench run against a committed baseline.
+
+Compares the machine-comparable scalars of a fresh BENCH_*.json report
+(see bench/bench_report.h for the schema) against a baseline committed
+under bench/baselines/. Raw seconds and records_per_sec depend on the
+host and are never gated; `speedup_*` scalars are ratios of two timings
+taken on the same machine in the same run, so they transfer across
+hosts well enough for a coarse gate.
+
+A scalar regresses when
+
+    candidate < baseline * (1 - threshold)
+
+with the default threshold at 10%. Improvements never fail, and a
+scalar present only in the candidate (a new bench cell) is reported but
+not gated. A scalar present only in the baseline fails: a silently
+vanished cell is exactly the kind of regression this gate exists for.
+
+Usage:
+    tools/check_bench_regression.py \
+        --baseline bench/baselines/condense_scale_smoke.json \
+        --candidate /tmp/bench-reports/BENCH_condense_scale.json \
+        [--threshold 0.10]
+
+Exit status: 0 when every gated scalar holds, 1 on any regression or
+missing scalar, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_scalars(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read bench report {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    scalars = report.get("scalars")
+    if not isinstance(scalars, dict):
+        print(f"error: {path} has no 'scalars' object", file=sys.stderr)
+        sys.exit(2)
+    return scalars
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (bench/baselines/...)")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly generated BENCH_*.json to check")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional drop per scalar "
+                             "(default: 0.10)")
+    parser.add_argument("--prefix", default="speedup_",
+                        help="gate scalars whose name starts with this "
+                             "(default: speedup_)")
+    args = parser.parse_args()
+
+    baseline = load_scalars(args.baseline)
+    candidate = load_scalars(args.candidate)
+
+    gated = sorted(k for k in baseline if k.startswith(args.prefix))
+    if not gated:
+        print(f"error: baseline {args.baseline} has no '{args.prefix}*' "
+              "scalars to gate on", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    print(f"{'scalar':<28} {'baseline':>10} {'candidate':>10} {'ratio':>7}")
+    for name in gated:
+        base = baseline[name]
+        if name not in candidate:
+            print(f"{name:<28} {base:>10.3f} {'MISSING':>10} {'':>7}  FAIL")
+            failures.append(f"{name}: missing from candidate report")
+            continue
+        cand = candidate[name]
+        ratio = cand / base if base else float("inf")
+        ok = cand >= base * (1.0 - args.threshold)
+        mark = "ok" if ok else "FAIL"
+        print(f"{name:<28} {base:>10.3f} {cand:>10.3f} {ratio:>6.2f}x  {mark}")
+        if not ok:
+            failures.append(
+                f"{name}: {cand:.3f} < {base:.3f} * (1 - {args.threshold})")
+
+    new = sorted(k for k in candidate
+                 if k.startswith(args.prefix) and k not in baseline)
+    for name in new:
+        print(f"{name:<28} {'(new)':>10} {candidate[name]:>10.3f}")
+
+    if failures:
+        print(f"\n{len(failures)} scalar(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        print("If the drop is intended (bench reshaped, cell removed), "
+              "regenerate the baseline and commit it with the change.",
+              file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {len(gated)} gated scalar(s) within {args.threshold:.0%} "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()
