@@ -1,0 +1,23 @@
+#include "backend/backend.h"
+
+namespace condensa::backend {
+
+core::GroupConstructionFn AnonymizationBackend::ConstructionHook() const {
+  return [this](const std::vector<linalg::Vector>& points, std::size_t k,
+                Rng& rng) -> StatusOr<core::CondensedGroupSet> {
+    CONDENSA_ASSIGN_OR_RETURN(core::CondensedGroupSet groups,
+                              construction_->BuildGroups(points, k, rng));
+    groups.SetBackend(info_.id, info_.version);
+    return groups;
+  };
+}
+
+core::GroupSamplerFn AnonymizationBackend::SamplerHook() const {
+  if (regeneration_ == nullptr) {
+    return nullptr;
+  }
+  return [this](const core::GroupStatistics& group, std::size_t count,
+                Rng& rng) { return regeneration_->Sample(group, count, rng); };
+}
+
+}  // namespace condensa::backend

@@ -1,0 +1,114 @@
+// Pluggable anonymization backends (docs/backends.md).
+//
+// Every backend in the group-then-summarize family — the paper's
+// condensation, MDAV-style microaggregation, hybrid schemes — factors
+// into the same two strategies:
+//
+//   GroupConstruction  partition raw records into groups of >= k and
+//                      return their (Fs, Sc, n) aggregates;
+//   Regeneration       synthesize release records from one group's
+//                      aggregate.
+//
+// An AnonymizationBackend is a named pair of the two. The core pipeline
+// (engine, dynamic condenser, anonymizer) never links this library; it
+// exposes std::function seams (core/backend_hooks.h) that the hooks
+// below bind to. A backend whose Regeneration is absent uses the
+// built-in eigendecomposition sampler of core/anonymizer.h.
+//
+// Backends are resolved by string id through backend::Registry
+// (src/backend/registry.h), which is what `--backend=` maps onto.
+
+#ifndef CONDENSA_BACKEND_BACKEND_H_
+#define CONDENSA_BACKEND_BACKEND_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/backend_hooks.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+
+namespace condensa::backend {
+
+struct BackendInfo {
+  // Registry key, recorded in serialized group sets and checkpoints.
+  std::string id;
+  // Bumped when the backend's output for a fixed seed changes; a
+  // checkpoint stamped with another version refuses to load.
+  int version = 1;
+  // One-line description for --help listings.
+  std::string summary;
+};
+
+// Strategy 1: how raw records are partitioned into >= k-sized groups.
+class GroupConstruction {
+ public:
+  virtual ~GroupConstruction() = default;
+
+  // Partitions `points` into groups of >= k records and returns their
+  // aggregates. Must be deterministic for a fixed Rng state and draw
+  // randomness only through `rng` (deterministic backends simply leave
+  // it untouched). Fails on empty input, k == 0, fewer than k records,
+  // or inconsistent dimensions.
+  virtual StatusOr<core::CondensedGroupSet> BuildGroups(
+      const std::vector<linalg::Vector>& points, std::size_t k,
+      Rng& rng) const = 0;
+};
+
+// Strategy 2: how release records are synthesized from one group's
+// aggregate. Backends without a bespoke strategy omit this and inherit
+// the built-in eigendecomposition sampler (core/anonymizer.h).
+class Regeneration {
+ public:
+  virtual ~Regeneration() = default;
+
+  // Synthesizes `count` records from `group`, drawing randomness only
+  // from `rng`.
+  virtual StatusOr<std::vector<linalg::Vector>> Sample(
+      const core::GroupStatistics& group, std::size_t count,
+      Rng& rng) const = 0;
+};
+
+// A named (construction, regeneration) pair. Instances live in the
+// Registry for the process lifetime, so the hooks below may capture
+// `this`.
+class AnonymizationBackend {
+ public:
+  // `regeneration` may be null: the backend then regenerates through the
+  // built-in eigendecomposition sampler.
+  AnonymizationBackend(BackendInfo info,
+                       std::unique_ptr<GroupConstruction> construction,
+                       std::unique_ptr<Regeneration> regeneration)
+      : info_(std::move(info)),
+        construction_(std::move(construction)),
+        regeneration_(std::move(regeneration)) {}
+
+  const BackendInfo& info() const { return info_; }
+  const GroupConstruction& construction() const { return *construction_; }
+  // Null = built-in eigendecomposition regeneration.
+  const Regeneration* regeneration() const { return regeneration_.get(); }
+
+  // The construction strategy bound for core config seams
+  // (CondensationConfig::group_construction and friends): BuildGroups
+  // plus the backend's id/version stamped on the result.
+  core::GroupConstructionFn ConstructionHook() const;
+
+  // The regeneration strategy bound for AnonymizerOptions::group_sampler;
+  // a null function when this backend uses the built-in sampler.
+  core::GroupSamplerFn SamplerHook() const;
+
+ private:
+  BackendInfo info_;
+  std::unique_ptr<GroupConstruction> construction_;
+  std::unique_ptr<Regeneration> regeneration_;
+};
+
+}  // namespace condensa::backend
+
+#endif  // CONDENSA_BACKEND_BACKEND_H_

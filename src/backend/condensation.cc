@@ -1,0 +1,35 @@
+#include "backend/condensation.h"
+
+#include "core/static_condenser.h"
+
+namespace condensa::backend {
+namespace {
+
+class CondensationConstruction final : public GroupConstruction {
+ public:
+  StatusOr<core::CondensedGroupSet> BuildGroups(
+      const std::vector<linalg::Vector>& points, std::size_t k,
+      Rng& rng) const override {
+    // Default options: the exact configuration the engine uses when no
+    // backend is selected, so the rng draw sequence and output match
+    // bit-for-bit.
+    core::StaticCondenser condenser(
+        core::StaticCondenserOptions{.group_size = k});
+    return condenser.Condense(points, rng);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AnonymizationBackend> MakeCondensationBackend() {
+  return std::make_unique<AnonymizationBackend>(
+      BackendInfo{
+          .id = core::CondensedGroupSet::kDefaultBackendId,
+          .version = 1,
+          .summary = "paper condensation: random-seed nearest-neighbour "
+                     "groups, eigendecomposition regeneration (default)"},
+      std::make_unique<CondensationConstruction>(),
+      /*regeneration=*/nullptr);
+}
+
+}  // namespace condensa::backend

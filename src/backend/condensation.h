@@ -1,0 +1,24 @@
+// The paper's condensation algorithm, packaged as the default backend.
+//
+// Construction is exactly core/static_condenser.h with default options —
+// the same code path, rng consumption, and tie-breaks as an engine that
+// never mentions backends — and regeneration is the built-in
+// eigendecomposition sampler. Releases, serialized pools, and
+// checkpoints produced through this backend are byte-identical to the
+// pre-backend pipeline (pinned by tests/backend/backend_parity_test.cc).
+
+#ifndef CONDENSA_BACKEND_CONDENSATION_H_
+#define CONDENSA_BACKEND_CONDENSATION_H_
+
+#include <memory>
+
+#include "backend/backend.h"
+
+namespace condensa::backend {
+
+// Backend id "condensation", version 1.
+std::unique_ptr<AnonymizationBackend> MakeCondensationBackend();
+
+}  // namespace condensa::backend
+
+#endif  // CONDENSA_BACKEND_CONDENSATION_H_

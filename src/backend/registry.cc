@@ -1,0 +1,71 @@
+#include "backend/registry.h"
+
+#include <utility>
+
+#include "backend/condensation.h"
+#include "backend/mdav.h"
+#include "common/check.h"
+
+namespace condensa::backend {
+
+Registry::Registry() {
+  Register(MakeCondensationBackend());
+  Register(MakeMdavBackend());
+  Register(MakeMdavEigenBackend());
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::Register(std::unique_ptr<AnonymizationBackend> backend) {
+  CONDENSA_CHECK(backend != nullptr);
+  const std::string& id = backend->info().id;
+  CONDENSA_CHECK(!id.empty());
+  auto [it, inserted] = backends_.emplace(id, std::move(backend));
+  CONDENSA_CHECK(inserted);
+  (void)it;
+}
+
+StatusOr<const AnonymizationBackend*> Registry::Get(
+    const std::string& id) const {
+  auto it = backends_.find(id);
+  if (it == backends_.end()) {
+    return NotFoundError("unknown backend '" + id + "'; available: " +
+                         IdList());
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Registry::Ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(backends_.size());
+  for (const auto& [id, backend] : backends_) {
+    ids.push_back(id);
+  }
+  return ids;  // std::map iteration is already sorted
+}
+
+std::string Registry::IdList() const {
+  std::string joined;
+  for (const std::string& id : Ids()) {
+    if (!joined.empty()) joined += ", ";
+    joined += id;
+  }
+  return joined;
+}
+
+Status ApplyBackend(const std::string& id,
+                    core::CondensationConfig* config) {
+  CONDENSA_CHECK(config != nullptr);
+  CONDENSA_ASSIGN_OR_RETURN(const AnonymizationBackend* backend,
+                            Registry::Global().Get(id));
+  config->backend = backend->info().id;
+  config->backend_version = backend->info().version;
+  config->group_construction = backend->ConstructionHook();
+  config->group_sampler = backend->SamplerHook();
+  return OkStatus();
+}
+
+}  // namespace condensa::backend

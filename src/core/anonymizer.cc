@@ -70,6 +70,9 @@ StatusOr<std::vector<linalg::Vector>> Anonymizer::GenerateFromGroup(
   if (group.empty()) {
     return InvalidArgumentError("cannot anonymize an empty group");
   }
+  if (options_.group_sampler) {
+    return options_.group_sampler(group, count, rng);
+  }
   linalg::Vector centroid = group.Centroid();
 
   if (group.count() == 1) {

@@ -1,0 +1,44 @@
+// Hook seams for pluggable anonymization backends.
+//
+// The pipeline factors into two strategies (docs/backends.md): group
+// construction (partition raw records into groups of >= k) and
+// regeneration (synthesize release records from one group's aggregate).
+// The implementations other than the paper's condensation live in
+// condensa_backend, which depends on this library — so the core config
+// structs carry std::function seams instead of linking back. A null hook
+// always means the built-in condensation path, byte-for-byte:
+// StaticCondenser for construction, the eigendecomposition sampler of
+// core/anonymizer.h for regeneration. backend::Registry resolves a
+// --backend id into a bound pair of hooks.
+
+#ifndef CONDENSA_CORE_BACKEND_HOOKS_H_
+#define CONDENSA_CORE_BACKEND_HOOKS_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/condensed_group_set.h"
+#include "core/group_statistics.h"
+#include "linalg/vector.h"
+
+namespace condensa::core {
+
+// Partitions `points` into groups of >= k records and returns their
+// aggregates, stamped with the backend's identity. Must be deterministic
+// for a fixed Rng state, consuming randomness only through `rng`.
+using GroupConstructionFn = std::function<StatusOr<CondensedGroupSet>(
+    const std::vector<linalg::Vector>& points, std::size_t k, Rng& rng)>;
+
+// Synthesizes `count` release records from one group's aggregate. Must
+// draw randomness only from `rng` (the caller splits one substream per
+// group, in group order, so releases are reproducible from the seed at
+// any thread count).
+using GroupSamplerFn = std::function<StatusOr<std::vector<linalg::Vector>>(
+    const GroupStatistics& group, std::size_t count, Rng& rng)>;
+
+}  // namespace condensa::core
+
+#endif  // CONDENSA_CORE_BACKEND_HOOKS_H_

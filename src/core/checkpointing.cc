@@ -144,6 +144,8 @@ std::string SerializeCondenserState(const DynamicCondenser::State& state,
     // The forming buffer rides along as a one-group set of the same k.
     CondensedGroupSet wrapper(state.groups.dim(),
                               state.groups.indistinguishability_level());
+    wrapper.SetBackend(state.groups.backend_id(),
+                       state.groups.backend_version());
     wrapper.AddGroup(*state.forming);
     out += SerializeGroupSet(wrapper);
   }
@@ -209,6 +211,10 @@ StatusOr<DynamicCondenser::State> DeserializeCondenserState(
         DeserializeGroupSet(std::string(remainder.substr(forming_begin))));
     if (wrapper.num_groups() != 1) {
       return DataLossError("snapshot forming section must hold one group");
+    }
+    if (wrapper.backend_id() != state.groups.backend_id()) {
+      return DataLossError(
+          "snapshot forming section's backend disagrees with the body");
     }
     state.forming = wrapper.group(0);
   } else {

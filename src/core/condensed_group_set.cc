@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace condensa::core {
+
+void CondensedGroupSet::SetBackend(std::string id, int version) {
+  CONDENSA_CHECK(!id.empty());
+  CONDENSA_CHECK_GE(version, 1);
+  backend_id_ = std::move(id);
+  backend_version_ = version;
+}
 
 void CondensedGroupSet::AddGroup(GroupStatistics group) {
   CONDENSA_CHECK_EQ(group.dim(), dim_);

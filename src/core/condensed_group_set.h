@@ -10,6 +10,7 @@
 #define CONDENSA_CORE_CONDENSED_GROUP_SET_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -30,12 +31,27 @@ struct PrivacySummary {
 
 class CondensedGroupSet {
  public:
+  // Backend id of the paper's condensation algorithm — the default stamp
+  // of every group set, and the one the serialized formats omit (so
+  // default-backend releases and checkpoints stay byte-identical to
+  // documents written before the backend framework existed).
+  static constexpr char kDefaultBackendId[] = "condensation";
+
   CondensedGroupSet(std::size_t dim, std::size_t indistinguishability_level)
       : dim_(dim), k_(indistinguishability_level) {}
 
   std::size_t dim() const { return dim_; }
   // The k this set was built for.
   std::size_t indistinguishability_level() const { return k_; }
+
+  // Identity of the anonymization backend that built this set (see
+  // docs/backends.md). The stamp travels through serialization and
+  // checkpoints, so a structure built by one backend refuses to be
+  // maintained under another.
+  const std::string& backend_id() const { return backend_id_; }
+  int backend_version() const { return backend_version_; }
+  // `id` must be non-empty and `version` >= 1.
+  void SetBackend(std::string id, int version);
 
   std::size_t num_groups() const { return groups_.size(); }
   bool empty() const { return groups_.empty(); }
@@ -57,7 +73,8 @@ class CondensedGroupSet {
   void ReserveGroups(std::size_t count) { groups_.reserve(count); }
 
   // Appends every group of `other` in order, leaving `other` empty. Dim
-  // must match; `other`'s k is ignored (this set's k stands). This is the
+  // must match; `other`'s k and backend stamp are ignored (this set's
+  // stand — scatter/gather merges only sets built by one backend). This is the
   // scatter/gather concatenation step: because the aggregates are
   // additive, moving them between sets loses nothing.
   void Absorb(CondensedGroupSet&& other);
@@ -77,6 +94,8 @@ class CondensedGroupSet {
  private:
   std::size_t dim_;
   std::size_t k_;
+  std::string backend_id_ = kDefaultBackendId;
+  int backend_version_ = 1;
   std::vector<GroupStatistics> groups_;
 };
 

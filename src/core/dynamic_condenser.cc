@@ -40,8 +40,9 @@ struct DynamicCondenserMetrics {
 
 DynamicCondenser::DynamicCondenser(std::size_t dim,
                                    DynamicCondenserOptions options)
-    : options_(options), groups_(dim, options.group_size) {
+    : options_(std::move(options)), groups_(dim, options_.group_size) {
   CONDENSA_CHECK_GE(options_.group_size, 1u);
+  groups_.SetBackend(options_.backend, options_.backend_version);
 }
 
 DynamicCondenser::State DynamicCondenser::ExportState() const {
@@ -62,6 +63,22 @@ StatusOr<DynamicCondenser> DynamicCondenser::FromState(
     return InvalidArgumentError(
         "forming-buffer dimension disagrees with the group set");
   }
+  // A structure built by one backend cannot be maintained under another:
+  // the group shapes (and the regeneration they feed) would silently
+  // disagree with what the operator asked for.
+  if (state.groups.backend_id() != options.backend) {
+    return FailedPreconditionError(
+        "state was written by backend '" + state.groups.backend_id() +
+        "' but this condenser is configured for '" + options.backend +
+        "'; rerun with the matching --backend");
+  }
+  if (state.groups.backend_version() != options.backend_version) {
+    return FailedPreconditionError(
+        "state was written by backend '" + state.groups.backend_id() +
+        "' version " + std::to_string(state.groups.backend_version()) +
+        " but this build provides version " +
+        std::to_string(options.backend_version));
+  }
   DynamicCondenser condenser(state.groups.dim(), options);
   condenser.groups_ = std::move(state.groups);
   condenser.forming_ = std::move(state.forming);
@@ -78,11 +95,18 @@ Status DynamicCondenser::Bootstrap(
     return FailedPreconditionError(
         "Bootstrap must be called once, before any Insert");
   }
-  StaticCondenser condenser(
-      StaticCondenserOptions{.group_size = options_.group_size});
-  CONDENSA_ASSIGN_OR_RETURN(CondensedGroupSet initial_groups,
-                            condenser.Condense(initial, rng));
+  CondensedGroupSet initial_groups(dim(), options_.group_size);
+  if (options_.bootstrap_construction) {
+    CONDENSA_ASSIGN_OR_RETURN(
+        initial_groups,
+        options_.bootstrap_construction(initial, options_.group_size, rng));
+  } else {
+    StaticCondenser condenser(
+        StaticCondenserOptions{.group_size = options_.group_size});
+    CONDENSA_ASSIGN_OR_RETURN(initial_groups, condenser.Condense(initial, rng));
+  }
   groups_ = std::move(initial_groups);
+  groups_.SetBackend(options_.backend, options_.backend_version);
   centroid_index_.Invalidate();
   records_seen_ = initial.size();
   bootstrapped_ = true;

@@ -16,10 +16,12 @@
 #define CONDENSA_CORE_DYNAMIC_CONDENSER_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/backend_hooks.h"
 #include "core/centroid_index.h"
 #include "core/condensed_group_set.h"
 #include "core/group_statistics.h"
@@ -35,6 +37,17 @@ struct DynamicCondenserOptions {
   // Split formula (see core/split.h). kPaperVerbatim exists only for
   // ablation A10.
   SplitRule split_rule = SplitRule::kMomentConsistent;
+  // Anonymization backend this structure is built and maintained under
+  // (docs/backends.md). Stamped into the group set — and therefore into
+  // every checkpoint snapshot — so FromState (and
+  // DurableCondenser::Recover) refuses state written by a different
+  // backend instead of silently maintaining it.
+  std::string backend = CondensedGroupSet::kDefaultBackendId;
+  int backend_version = 1;
+  // Bootstrap construction hook (core/backend_hooks.h): when set,
+  // Bootstrap builds the initial group structure with it instead of the
+  // built-in StaticCondenser. Null = paper-verbatim static condensation.
+  GroupConstructionFn bootstrap_construction;
 };
 
 class DynamicCondenser {

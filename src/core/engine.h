@@ -17,11 +17,13 @@
 #ifndef CONDENSA_CORE_ENGINE_H_
 #define CONDENSA_CORE_ENGINE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
 #include "core/anonymizer.h"
+#include "core/backend_hooks.h"
 #include "core/condensed_group_set.h"
 #include "core/split.h"
 #include "data/dataset.h"
@@ -75,6 +77,18 @@ struct CondensationConfig {
   // record into the default registry; pointing this at a private registry
   // isolates only the engine-level series.
   obs::MetricsRegistry* metrics = nullptr;
+  // Anonymization backend identity and hooks (docs/backends.md). The id
+  // is stamped into every produced group set (and so into serialized
+  // pools and checkpoints); the hooks redirect the two pluggable halves
+  // of the pipeline. Null hooks = the built-in condensation path,
+  // byte-identical to a config that never mentions backends. Resolve a
+  // non-default id through backend::Registry (src/backend/registry.h)
+  // rather than filling these by hand; Validate() rejects a non-default
+  // `backend` whose construction hook is missing.
+  std::string backend = CondensedGroupSet::kDefaultBackendId;
+  int backend_version = 1;
+  GroupConstructionFn group_construction;
+  GroupSamplerFn group_sampler;
 
   // Checks every field (group_size >= 1, bootstrap_fraction in [0, 1],
   // snapshot_interval >= 1). The engine refuses to condense with an

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "common/failpoint.h"
@@ -46,6 +47,17 @@ std::string SerializeGroupSet(const CondensedGroupSet& groups) {
   out += " groups ";
   out += std::to_string(groups.num_groups());
   out += '\n';
+  // Backend annotation, written only for non-default backends so a
+  // default-backend document is byte-identical to the pre-backend v1
+  // format (absent = condensation; see docs/backends.md).
+  if (groups.backend_id() != CondensedGroupSet::kDefaultBackendId ||
+      groups.backend_version() != 1) {
+    out += "backend ";
+    out += groups.backend_id();
+    out += ' ';
+    out += std::to_string(groups.backend_version());
+    out += '\n';
+  }
 
   const std::size_t d = groups.dim();
   for (const GroupStatistics& group : groups.groups()) {
@@ -95,6 +107,27 @@ StatusOr<CondensedGroupSet> DeserializeGroupSet(const std::string& text) {
   }
 
   CondensedGroupSet groups(dim, k);
+
+  // Optional backend annotation between the header and the first group.
+  // Default-backend writers omit it, so absence means "condensation".
+  {
+    const std::istringstream::pos_type mark = stream.tellg();
+    std::string maybe;
+    if ((stream >> maybe) && maybe == "backend") {
+      std::string id;
+      std::size_t version = 0;
+      if (!(stream >> id) || !NextSize(stream, &version) || version == 0 ||
+          version > static_cast<std::size_t>(
+                        std::numeric_limits<int>::max())) {
+        return DataLossError("malformed backend annotation line");
+      }
+      groups.SetBackend(id, static_cast<int>(version));
+    } else {
+      stream.clear();
+      stream.seekg(mark);
+    }
+  }
+
   for (std::size_t g = 0; g < num_groups; ++g) {
     std::size_t count = 0;
     if (!(stream >> keyword) || keyword != "group" || !(stream >> keyword) ||
@@ -239,6 +272,18 @@ StatusOr<CondensedPools> DeserializePools(const std::string& text) {
     if (groups.dim() != pools.CondensedDim()) {
       return InvalidArgumentError("pool dimension mismatch in pool " +
                                   std::to_string(p));
+    }
+    // Every pool of one release is built by one backend; a mixed file is
+    // hand-edited or corrupt.
+    if (!pools.pools.empty() &&
+        (groups.backend_id() != pools.pools.front().groups.backend_id() ||
+         groups.backend_version() !=
+             pools.pools.front().groups.backend_version())) {
+      return InvalidArgumentError(
+          "pool " + std::to_string(p) + " was built by backend '" +
+          groups.backend_id() + "' but pool 0 by '" +
+          pools.pools.front().groups.backend_id() +
+          "'; pools of one release must share a backend");
     }
     pools.pools.push_back(
         CondensedPools::Pool{label, splits, std::move(groups)});

@@ -200,6 +200,7 @@ std::string EncodeHello(const HelloMessage& msg) {
   writer.PutU64(msg.queue_capacity);
   writer.PutU64(msg.batch_size);
   writer.PutU64(msg.seed);
+  writer.PutString(msg.backend);
   return writer.Take();
 }
 
@@ -215,10 +216,14 @@ StatusOr<HelloMessage> DecodeHello(std::string_view payload) {
   CONDENSA_RETURN_IF_ERROR(reader.ReadU64(&msg.queue_capacity));
   CONDENSA_RETURN_IF_ERROR(reader.ReadU64(&msg.batch_size));
   CONDENSA_RETURN_IF_ERROR(reader.ReadU64(&msg.seed));
+  CONDENSA_RETURN_IF_ERROR(reader.ReadString(&msg.backend));
   CONDENSA_RETURN_IF_ERROR(reader.ExpectDone());
   if (msg.dim == 0 || msg.dim > kMaxWireDim) {
     return DataLossError("Hello carries implausible dim " +
                          std::to_string(msg.dim));
+  }
+  if (msg.backend.empty()) {
+    return DataLossError("Hello carries an empty backend id");
   }
   return msg;
 }

@@ -91,6 +91,11 @@ struct HelloMessage {
   // This shard's pipeline seed, derived by the coordinator from
   // Router::SplitStreams so the fabric matches the in-process service.
   std::uint64_t seed = 0;
+  // Anonymization backend id (docs/backends.md). Travels in the hello so
+  // every fabric worker maintains (and stamps its checkpoints with) the
+  // same backend the coordinator runs; a worker that cannot resolve the
+  // id rejects the session instead of producing a mixed release.
+  std::string backend = "condensation";
 };
 
 // Worker -> coordinator. `durable_total` is the number of records already

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "backend/registry.h"
 #include "common/check.h"
 #include "core/serialization.h"
 #include "net/frame.h"
@@ -83,6 +84,8 @@ Status FabricConfig::Validate() const {
   if (wire_batch == 0) {
     return InvalidArgumentError("wire_batch must be >= 1");
   }
+  // NotFound here lists the registered ids, which the CLI surfaces.
+  CONDENSA_RETURN_IF_ERROR(backend::Registry::Global().Get(backend).status());
   if (dim > net::kMaxWireDim) {
     return InvalidArgumentError(
         "dim " + std::to_string(dim) + " exceeds the wire cap of " +
@@ -243,6 +246,7 @@ Status FabricService::HandshakeLocked(std::size_t shard, Peer& peer) {
   hello.queue_capacity = config_.queue_capacity;
   hello.batch_size = config_.batch_size;
   hello.seed = shard_seeds_[shard];
+  hello.backend = config_.backend;
   CONDENSA_RETURN_IF_ERROR(conn.SendFrame(net::FrameType::kHello,
                                           net::EncodeHello(hello),
                                           config_.io_timeout_ms));
@@ -428,6 +432,15 @@ Status FabricService::LocalTakeoverLocked(std::size_t shard, Peer& peer) {
   options.mode = WorkerMode::kDurableStream;
   options.group_size = config_.group_size;
   options.split_rule = config_.split_rule;
+  // Validate() pinned the id to a registered backend, so the lookup
+  // cannot fail here.
+  if (StatusOr<const backend::AnonymizationBackend*> resolved =
+          backend::Registry::Global().Get(config_.backend);
+      resolved.ok()) {
+    options.backend = (*resolved)->info().id;
+    options.backend_version = (*resolved)->info().version;
+    options.construction = (*resolved)->ConstructionHook();
+  }
   options.checkpoint_root = config_.local_fallback_root;
   options.snapshot_interval = config_.snapshot_interval;
   options.sync_every_append = config_.sync_every_append;

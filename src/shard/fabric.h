@@ -97,6 +97,11 @@ struct FabricConfig {
   ShardPolicy policy = ShardPolicy::kHash;
   std::uint64_t seed = 42;
 
+  // Anonymization backend id, resolved through backend::Registry at
+  // Start and carried to every worker in the Hello; a worker that
+  // cannot resolve it rejects the session.
+  std::string backend = core::CondensedGroupSet::kDefaultBackendId;
+
   // Worker tuning forwarded in the Hello (same fields as
   // ShardedStreamConfig so the two services stay interchangeable).
   std::size_t snapshot_interval = 1024;

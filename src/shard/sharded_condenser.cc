@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "backend/registry.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,9 @@ Status ShardedCondenserConfig::Validate() const {
     if (checkpoint_root.empty()) {
       return InvalidArgumentError("kDurableStream requires a checkpoint_root");
     }
+  }
+  if (backend.empty()) {
+    return InvalidArgumentError("backend id must be non-empty");
   }
   return OkStatus();
 }
@@ -55,6 +59,10 @@ StatusOr<ShardedCondenseResult> ShardedCondenser::Condense(
     partitions = router.Scatter(points);
   }
 
+  CONDENSA_ASSIGN_OR_RETURN(
+      const backend::AnonymizationBackend* anonymization_backend,
+      backend::Registry::Global().Get(config_.backend));
+
   WorkerOptions worker_options;
   worker_options.mode = config_.mode;
   worker_options.group_size = config_.group_size;
@@ -62,6 +70,9 @@ StatusOr<ShardedCondenseResult> ShardedCondenser::Condense(
   worker_options.checkpoint_root = config_.checkpoint_root;
   worker_options.snapshot_interval = config_.snapshot_interval;
   worker_options.sync_every_append = config_.sync_every_append;
+  worker_options.backend = anonymization_backend->info().id;
+  worker_options.backend_version = anonymization_backend->info().version;
+  worker_options.construction = anonymization_backend->ConstructionHook();
 
   // Substreams and seeds are derived in shard order on this thread, so
   // the per-shard randomness is fixed before any worker runs.

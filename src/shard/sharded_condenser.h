@@ -52,6 +52,12 @@ struct ShardedCondenserConfig {
   // Base seed for per-shard pipeline jitter (kDurableStream).
   std::uint64_t seed = 42;
 
+  // Anonymization backend id, resolved through backend::Registry at
+  // Condense time; every shard condenses under it and the gathered
+  // release carries its stamp. Unknown ids fail with NotFound listing
+  // the available backends.
+  std::string backend = core::CondensedGroupSet::kDefaultBackendId;
+
   Status Validate() const;
 };
 

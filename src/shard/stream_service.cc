@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "backend/registry.h"
 #include "common/check.h"
 #include "obs/trace.h"
 
@@ -21,6 +22,9 @@ Status ShardedStreamConfig::Validate() const {
   }
   if (checkpoint_root.empty()) {
     return InvalidArgumentError("checkpoint_root is required");
+  }
+  if (backend.empty()) {
+    return InvalidArgumentError("backend id must be non-empty");
   }
   return OkStatus();
 }
@@ -59,12 +63,19 @@ StatusOr<std::unique_ptr<ShardedStreamService>> ShardedStreamService::Start(
       new ShardedStreamService(std::move(config)));
   const ShardedStreamConfig& cfg = service->config_;
 
+  CONDENSA_ASSIGN_OR_RETURN(
+      const backend::AnonymizationBackend* anonymization_backend,
+      backend::Registry::Global().Get(cfg.backend));
+
   Rng root(cfg.seed);
   service->streams_ = Router::SplitStreams(root, cfg.num_shards);
 
   service->workers_.reserve(cfg.num_shards);
   for (std::size_t shard = 0; shard < cfg.num_shards; ++shard) {
     WorkerOptions options;
+    options.backend = anonymization_backend->info().id;
+    options.backend_version = anonymization_backend->info().version;
+    options.construction = anonymization_backend->ConstructionHook();
     options.mode = WorkerMode::kDurableStream;
     options.group_size = cfg.group_size;
     options.split_rule = cfg.split_rule;

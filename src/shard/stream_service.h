@@ -60,6 +60,10 @@ struct ShardedStreamConfig {
   // shard order, so a fixed (seed, num_shards) replays exactly.
   std::uint64_t seed = 42;
 
+  // Anonymization backend id, resolved through backend::Registry at
+  // Start; stamped into every shard's checkpoints and the gathered set.
+  std::string backend = core::CondensedGroupSet::kDefaultBackendId;
+
   Status Validate() const;
 };
 

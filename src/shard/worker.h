@@ -35,6 +35,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/backend_hooks.h"
 #include "core/condensed_group_set.h"
 #include "core/split.h"
 #include "linalg/vector.h"
@@ -72,6 +73,16 @@ struct WorkerOptions {
   // keeps its series — no duplicate per-incarnation series. Empty picks
   // the default "w<shard_id>".
   std::string worker_id;
+
+  // Anonymization backend (docs/backends.md) stamped into this shard's
+  // group set and checkpoints. Callers resolve the id through
+  // backend::Registry; a non-default backend needs `construction` set
+  // for kStaticBatch mode (Start rejects the combination otherwise).
+  std::string backend = core::CondensedGroupSet::kDefaultBackendId;
+  int backend_version = 1;
+  // kStaticBatch group construction strategy; null runs the built-in
+  // condensation pass.
+  core::GroupConstructionFn construction;
 };
 
 class Worker {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "backend/registry.h"
 #include "common/failpoint.h"
 #include "core/serialization.h"
 #include "obs/metrics.h"
@@ -132,7 +133,19 @@ Status WorkerServer::HandleHello(net::TcpConnection& conn,
       SendError(conn, rule);
       return OkStatus();
     }
+    // The coordinator names the anonymization backend in the hello; an
+    // id this build cannot resolve rejects the session up front instead
+    // of condensing under the wrong strategy.
+    StatusOr<const backend::AnonymizationBackend*> resolved =
+        backend::Registry::Global().Get(hello->backend);
+    if (!resolved.ok()) {
+      SendError(conn, resolved.status());
+      return OkStatus();
+    }
     WorkerOptions options;
+    options.backend = (*resolved)->info().id;
+    options.backend_version = (*resolved)->info().version;
+    options.construction = (*resolved)->ConstructionHook();
     options.mode = WorkerMode::kDurableStream;
     options.group_size = static_cast<std::size_t>(hello->group_size);
     options.split_rule = static_cast<core::SplitRule>(hello->split_rule);
@@ -156,7 +169,8 @@ Status WorkerServer::HandleHello(net::TcpConnection& conn,
   } else if (hello->shard_id != hello_.shard_id ||
              hello->dim != hello_.dim ||
              hello->group_size != hello_.group_size ||
-             hello->seed != hello_.seed) {
+             hello->seed != hello_.seed ||
+             hello->backend != hello_.backend) {
     // A re-handshake (reconnect) must describe the same shard; anything
     // else is a mis-wired coordinator.
     SendError(conn, FailedPreconditionError(

@@ -1,0 +1,131 @@
+// Pins the --backend=condensation contract: resolving the default
+// backend through the registry must be byte-identical — same rng
+// stream, same serialized pools, same release — to a config that never
+// mentions backends. If this breaks, every pre-backend artifact
+// (checkpoints, serialized pools, published figures) silently changes
+// meaning.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "backend/registry.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "core/serialization.h"
+#include "data/dataset.h"
+#include "linalg/vector.h"
+
+namespace condensa::backend {
+namespace {
+
+using linalg::Vector;
+
+data::Dataset MakeClassificationDataset(std::size_t n) {
+  data::Dataset dataset(3, data::TaskType::kClassification);
+  Rng rng(2024);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    dataset.Add(Vector{rng.Gaussian(label * 2.0, 1.0),
+                       rng.Gaussian(0.0, 1.0), rng.Gaussian(-1.0, 0.5)},
+                label);
+  }
+  return dataset;
+}
+
+core::CondensationConfig BareConfig(core::CondensationMode mode) {
+  core::CondensationConfig config;
+  config.group_size = 5;
+  config.mode = mode;
+  return config;
+}
+
+TEST(BackendParityTest, StaticCondenseIsByteIdenticalToHooklessConfig) {
+  const data::Dataset dataset = MakeClassificationDataset(60);
+  for (auto mode : {core::CondensationMode::kStatic,
+                    core::CondensationMode::kDynamic}) {
+    core::CondensationConfig plain = BareConfig(mode);
+    core::CondensationConfig resolved = BareConfig(mode);
+    ASSERT_TRUE(ApplyBackend("condensation", &resolved).ok());
+
+    Rng plain_rng(77);
+    Rng resolved_rng(77);
+    auto plain_pools = core::CondensationEngine(plain).Condense(dataset,
+                                                               plain_rng);
+    auto resolved_pools =
+        core::CondensationEngine(resolved).Condense(dataset, resolved_rng);
+    ASSERT_TRUE(plain_pools.ok());
+    ASSERT_TRUE(resolved_pools.ok());
+    EXPECT_EQ(core::SerializePools(*plain_pools),
+              core::SerializePools(*resolved_pools));
+    // The construction hook must consume the rng stream exactly as the
+    // hookless path does.
+    EXPECT_EQ(plain_rng.NextUint64(), resolved_rng.NextUint64());
+  }
+}
+
+TEST(BackendParityTest, ReleaseIsByteIdenticalToHooklessConfig) {
+  const data::Dataset dataset = MakeClassificationDataset(60);
+  core::CondensationConfig plain = BareConfig(core::CondensationMode::kStatic);
+  core::CondensationConfig resolved =
+      BareConfig(core::CondensationMode::kStatic);
+  ASSERT_TRUE(ApplyBackend("condensation", &resolved).ok());
+
+  Rng plain_rng(31);
+  Rng resolved_rng(31);
+  auto plain_result =
+      core::CondensationEngine(plain).Anonymize(dataset, plain_rng);
+  auto resolved_result =
+      core::CondensationEngine(resolved).Anonymize(dataset, resolved_rng);
+  ASSERT_TRUE(plain_result.ok());
+  ASSERT_TRUE(resolved_result.ok());
+
+  const data::Dataset& a = plain_result->anonymized;
+  const data::Dataset& b = resolved_result->anonymized;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    for (std::size_t j = 0; j < a.dim(); ++j) {
+      EXPECT_EQ(a.record(i)[j], b.record(i)[j]) << "record " << i;
+    }
+  }
+}
+
+TEST(BackendParityTest, DefaultStampWritesNoBackendLine) {
+  const data::Dataset dataset = MakeClassificationDataset(40);
+  Rng rng(5);
+  auto pools = core::CondensationEngine(
+                   BareConfig(core::CondensationMode::kStatic))
+                   .Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  // The default backend serializes exactly as the pre-backend format:
+  // no "backend" header line anywhere in the text.
+  EXPECT_EQ(core::SerializePools(*pools).find("backend"), std::string::npos);
+}
+
+TEST(BackendParityTest, MdavEndToEndStampsAndBoundsGroups) {
+  const data::Dataset dataset = MakeClassificationDataset(60);
+  core::CondensationConfig config =
+      BareConfig(core::CondensationMode::kStatic);
+  ASSERT_TRUE(ApplyBackend("mdav", &config).ok());
+  Rng rng(9);
+  auto pools = core::CondensationEngine(config).Condense(dataset, rng);
+  ASSERT_TRUE(pools.ok());
+  ASSERT_FALSE(pools->pools.empty());
+  for (const auto& pool : pools->pools) {
+    EXPECT_EQ(pool.groups.backend_id(), "mdav");
+    EXPECT_EQ(pool.groups.backend_version(), 1);
+    for (const auto& group : pool.groups.groups()) {
+      EXPECT_GE(group.count(), 5u);
+      EXPECT_LE(group.count(), 9u);
+    }
+  }
+  // The stamp survives a serialization round trip.
+  auto reloaded = core::DeserializePools(core::SerializePools(*pools));
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->pools.front().groups.backend_id(), "mdav");
+}
+
+}  // namespace
+}  // namespace condensa::backend

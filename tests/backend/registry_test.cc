@@ -1,0 +1,102 @@
+#include "backend/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "core/condensed_group_set.h"
+#include "core/engine.h"
+
+namespace condensa::backend {
+namespace {
+
+TEST(RegistryTest, GlobalIsASingleton) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+TEST(RegistryTest, BuiltInsAreRegistered) {
+  for (const char* id : {"condensation", "mdav", "mdav-eigen"}) {
+    auto backend = Registry::Global().Get(id);
+    ASSERT_TRUE(backend.ok()) << id;
+    EXPECT_EQ((*backend)->info().id, id);
+    EXPECT_EQ((*backend)->info().version, 1);
+    EXPECT_FALSE((*backend)->info().summary.empty());
+  }
+}
+
+TEST(RegistryTest, UnknownIdIsNotFoundAndListsAvailable) {
+  auto backend = Registry::Global().Get("bogus");
+  ASSERT_FALSE(backend.ok());
+  EXPECT_TRUE(IsNotFound(backend.status()));
+  const std::string message(backend.status().message());
+  EXPECT_NE(message.find("bogus"), std::string::npos);
+  EXPECT_NE(message.find("condensation"), std::string::npos);
+  EXPECT_NE(message.find("mdav"), std::string::npos);
+}
+
+TEST(RegistryTest, IdsAreSortedAndContainBuiltIns) {
+  const std::vector<std::string> ids = Registry::Global().Ids();
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  for (const char* id : {"condensation", "mdav", "mdav-eigen"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+TEST(RegistryTest, IdListJoinsEveryId) {
+  const std::string list = Registry::Global().IdList();
+  for (const std::string& id : Registry::Global().Ids()) {
+    EXPECT_NE(list.find(id), std::string::npos) << id;
+  }
+}
+
+TEST(ApplyBackendTest, BindsIdVersionAndHooks) {
+  core::CondensationConfig config;
+  ASSERT_TRUE(ApplyBackend("mdav", &config).ok());
+  EXPECT_EQ(config.backend, "mdav");
+  EXPECT_EQ(config.backend_version, 1);
+  EXPECT_TRUE(static_cast<bool>(config.group_construction));
+  // mdav regenerates by centroid replacement, so a sampler is bound.
+  EXPECT_TRUE(static_cast<bool>(config.group_sampler));
+}
+
+TEST(ApplyBackendTest, CondensationUsesBuiltInSampler) {
+  core::CondensationConfig config;
+  ASSERT_TRUE(ApplyBackend("condensation", &config).ok());
+  EXPECT_EQ(config.backend, core::CondensedGroupSet::kDefaultBackendId);
+  EXPECT_TRUE(static_cast<bool>(config.group_construction));
+  // Null sampler = the paper's eigendecomposition regeneration.
+  EXPECT_FALSE(static_cast<bool>(config.group_sampler));
+}
+
+TEST(ApplyBackendTest, UnknownIdLeavesConfigUntouched) {
+  core::CondensationConfig config;
+  Status status = ApplyBackend("nope", &config);
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(IsNotFound(status));
+  EXPECT_EQ(config.backend, core::CondensedGroupSet::kDefaultBackendId);
+  EXPECT_FALSE(static_cast<bool>(config.group_construction));
+  EXPECT_FALSE(static_cast<bool>(config.group_sampler));
+}
+
+TEST(ApplyBackendTest, ConstructionHookStampsTheResult) {
+  core::CondensationConfig config;
+  ASSERT_TRUE(ApplyBackend("mdav", &config).ok());
+  std::vector<linalg::Vector> points;
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    points.push_back(linalg::Vector{rng.Gaussian(0.0, 1.0),
+                                    rng.Gaussian(0.0, 1.0)});
+  }
+  auto groups = config.group_construction(points, 5, rng);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->backend_id(), "mdav");
+  EXPECT_EQ(groups->backend_version(), 1);
+}
+
+}  // namespace
+}  // namespace condensa::backend

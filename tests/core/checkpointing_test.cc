@@ -162,6 +162,39 @@ TEST_F(CheckpointingTest, RecoveryIsBitIdenticalToInMemoryState) {
   EXPECT_EQ(Fingerprint(recovered->condenser()), Fingerprint(reference));
 }
 
+TEST_F(CheckpointingTest, RecoverRefusesMismatchedBackend) {
+  const std::string dir = FreshDir();
+  {
+    auto durable = DurableCondenser::Create(
+        3, {.group_size = 4, .backend = "mdav"}, {}, dir);
+    ASSERT_TRUE(durable.ok());
+    for (const Vector& record : MakeStream(19, 3, 33)) {
+      ASSERT_TRUE(durable->Insert(record).ok());
+    }
+  }
+
+  // Recovering under the default backend must refuse: the structure was
+  // built and journaled by another grouping strategy.
+  auto mismatched = DurableCondenser::Recover(dir, {.group_size = 4}, {});
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(std::string(mismatched.status().message()).find("mdav"),
+            std::string::npos);
+
+  // Same backend, wrong version: also refused.
+  auto wrong_version = DurableCondenser::Recover(
+      dir, {.group_size = 4, .backend = "mdav", .backend_version = 2}, {});
+  ASSERT_FALSE(wrong_version.ok());
+  EXPECT_EQ(wrong_version.status().code(), StatusCode::kFailedPrecondition);
+
+  // The matching backend recovers cleanly and keeps the stamp.
+  auto matched = DurableCondenser::Recover(
+      dir, {.group_size = 4, .backend = "mdav"}, {});
+  ASSERT_TRUE(matched.ok());
+  EXPECT_EQ(matched->condenser().groups().backend_id(), "mdav");
+  EXPECT_EQ(matched->records_seen(), 19u);
+}
+
 TEST_F(CheckpointingTest, SnapshotIntervalRollsAndPrunesGenerations) {
   const std::string dir = FreshDir();
   auto durable = DurableCondenser::Create(

@@ -95,6 +95,12 @@ std::vector<Target> Targets() {
   std::vector<Target> targets;
   targets.push_back(MakeTarget("groups", &ParseGroups,
                                SerializeGroupSet(MakeGroups(7)), "\nsc"));
+  // A non-default backend adds the optional "backend <id> <version>"
+  // annotation line; fuzz that layout too.
+  CondensedGroupSet stamped = MakeGroups(8);
+  stamped.SetBackend("mdav", 1);
+  targets.push_back(MakeTarget("stamped-groups", &ParseGroups,
+                               SerializeGroupSet(stamped), "\nsc"));
   targets.push_back(MakeTarget("pools", &ParsePools, MakePoolsText(),
                                "\nsc"));
   targets.push_back(MakeTarget("state", &ParseState, MakeStateText(),
@@ -184,6 +190,31 @@ TEST(SerializationCorruptionTest, HeaderManglingIsRejected) {
     EXPECT_FALSE(target.parse("").ok()) << target.name;
     EXPECT_FALSE(target.parse("complete nonsense\n1 2 3\n").ok())
         << target.name;
+  }
+}
+
+TEST(SerializationCorruptionTest, BackendAnnotationManglingIsRejected) {
+  CondensedGroupSet stamped = MakeGroups(11);
+  stamped.SetBackend("mdav", 3);
+  const std::string valid = SerializeGroupSet(stamped);
+  const std::string line = "backend mdav 3";
+  ASSERT_NE(valid.find(line), std::string::npos);
+  ASSERT_TRUE(ParseGroups(valid).ok());
+
+  auto with = [&](const std::string& replacement) {
+    std::string mangled = valid;
+    mangled.replace(mangled.find(line), line.size(), replacement);
+    return ParseGroups(mangled);
+  };
+  // Versions must be positive and fit an int; the id must be followed by
+  // a numeric version (dropping it makes the next "group" line the
+  // version token).
+  for (const char* bad : {"backend mdav 0", "backend mdav -1",
+                          "backend mdav 99999999999999999999",
+                          "backend mdav x", "backend mdav"}) {
+    Status status = with(bad);
+    EXPECT_FALSE(status.ok()) << bad;
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss) << bad;
   }
 }
 

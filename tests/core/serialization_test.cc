@@ -105,6 +105,30 @@ TEST(SerializationTest, RejectsCorruptHeader) {
   EXPECT_FALSE(DeserializeGroupSet(bad_counts).ok());
 }
 
+TEST(SerializationTest, BackendStampRoundTrips) {
+  Rng rng(8);
+  CondensedGroupSet original = MakeSampleSet(rng, 3, 2, 5);
+  original.SetBackend("mdav", 2);
+  const std::string text = SerializeGroupSet(original);
+  EXPECT_NE(text.find("backend mdav 2\n"), std::string::npos);
+  auto loaded = DeserializeGroupSet(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->backend_id(), "mdav");
+  EXPECT_EQ(loaded->backend_version(), 2);
+  EXPECT_EQ(loaded->num_groups(), 2u);
+}
+
+TEST(SerializationTest, DefaultBackendWritesNoAnnotation) {
+  Rng rng(9);
+  const std::string text = SerializeGroupSet(MakeSampleSet(rng, 3, 2, 5));
+  // Byte-identity with the pre-backend format: no annotation line.
+  EXPECT_EQ(text.find("backend"), std::string::npos);
+  auto loaded = DeserializeGroupSet(text);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->backend_id(), CondensedGroupSet::kDefaultBackendId);
+  EXPECT_EQ(loaded->backend_version(), 1);
+}
+
 TEST(SerializationTest, FileRoundTrip) {
   Rng rng(5);
   CondensedGroupSet original = MakeSampleSet(rng, 3, 4, 6);
@@ -249,6 +273,40 @@ TEST(PoolsSerializationTest, FileRoundTrip) {
   EXPECT_EQ(reloaded->pools.size(), 1u);
   EXPECT_EQ(reloaded->pools[0].groups.TotalRecords(), 30u);
   std::remove(path.c_str());
+}
+
+TEST(PoolsSerializationTest, BackendStampRoundTripsThroughPools) {
+  Rng rng(12);
+  CondensedPools pools;
+  pools.task = data::TaskType::kClassification;
+  pools.feature_dim = 3;
+  CondensedGroupSet a = MakeSampleSet(rng, 3, 2, 5);
+  a.SetBackend("mdav", 1);
+  CondensedGroupSet b = MakeSampleSet(rng, 3, 2, 5);
+  b.SetBackend("mdav", 1);
+  pools.pools.push_back({0, 0, std::move(a)});
+  pools.pools.push_back({1, 0, std::move(b)});
+  auto reloaded = DeserializePools(SerializePools(pools));
+  ASSERT_TRUE(reloaded.ok());
+  for (const auto& pool : reloaded->pools) {
+    EXPECT_EQ(pool.groups.backend_id(), "mdav");
+    EXPECT_EQ(pool.groups.backend_version(), 1);
+  }
+}
+
+TEST(PoolsSerializationTest, RejectsPoolsFromMixedBackends) {
+  Rng rng(13);
+  CondensedPools pools;
+  pools.task = data::TaskType::kClassification;
+  pools.feature_dim = 3;
+  CondensedGroupSet a = MakeSampleSet(rng, 3, 2, 5);
+  a.SetBackend("mdav", 1);
+  pools.pools.push_back({0, 0, std::move(a)});
+  pools.pools.push_back({1, 0, MakeSampleSet(rng, 3, 2, 5)});
+  auto reloaded = DeserializePools(SerializePools(pools));
+  ASSERT_FALSE(reloaded.ok());
+  EXPECT_NE(std::string(reloaded.status().message()).find("backend"),
+            std::string::npos);
 }
 
 TEST(SerializationTest, FormatIsHumanInspectable) {

@@ -94,6 +94,7 @@ TEST(WireMessageTest, HelloRoundTrip) {
   msg.queue_capacity = 2048;
   msg.batch_size = 16;
   msg.seed = 0xFEEDFACEull;
+  msg.backend = "mdav";
   StatusOr<HelloMessage> decoded = DecodeHello(EncodeHello(msg));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->shard_id, msg.shard_id);
@@ -105,6 +106,26 @@ TEST(WireMessageTest, HelloRoundTrip) {
   EXPECT_EQ(decoded->queue_capacity, msg.queue_capacity);
   EXPECT_EQ(decoded->batch_size, msg.batch_size);
   EXPECT_EQ(decoded->seed, msg.seed);
+  EXPECT_EQ(decoded->backend, msg.backend);
+}
+
+TEST(WireMessageTest, HelloDefaultsToCondensationBackend) {
+  HelloMessage msg;
+  msg.dim = 4;
+  msg.group_size = 10;
+  StatusOr<HelloMessage> decoded = DecodeHello(EncodeHello(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->backend, "condensation");
+}
+
+TEST(WireMessageTest, HelloRejectsEmptyBackend) {
+  HelloMessage msg;
+  msg.dim = 4;
+  msg.group_size = 10;
+  msg.backend = "";
+  StatusOr<HelloMessage> decoded = DecodeHello(EncodeHello(msg));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(WireMessageTest, HelloRejectsZeroOrHugeDim) {

@@ -237,6 +237,52 @@ TEST_F(FabricTest, ReleaseIsBitIdenticalToInProcessService) {
   }
 }
 
+TEST_F(FabricTest, MdavBackendRunsAcrossTheFabric) {
+  const std::size_t kShards = 2;
+  const std::size_t kGroupSize = 6;
+  const std::vector<Vector> stream = MakeStream(400, 3, 19);
+
+  std::vector<std::unique_ptr<ServerHandle>> servers;
+  FabricConfig config = BaseConfig(3);
+  config.group_size = kGroupSize;
+  config.backend = "mdav";
+  for (std::size_t i = 0; i < kShards; ++i) {
+    servers.push_back(StartServer(Dir("mdav-worker-" + std::to_string(i))));
+    config.workers.push_back(
+        {"127.0.0.1", servers.back()->server->port()});
+  }
+  auto fabric = FabricService::Start(config);
+  ASSERT_TRUE(fabric.ok()) << fabric.status().ToString();
+  for (const Vector& record : stream) {
+    ASSERT_TRUE((*fabric)->Submit(record).ok());
+  }
+  auto result = (*fabric)->Finish();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (auto& server : servers) server->Join();
+
+  // The workers condensed under MDAV: the gathered set carries the stamp
+  // and every group meets the k floor.
+  EXPECT_EQ(result->groups.backend_id(), "mdav");
+  EXPECT_EQ(result->groups.backend_version(), 1);
+  EXPECT_EQ(result->groups.TotalRecords(), stream.size());
+  EXPECT_EQ(result->TotalAccepted(), stream.size());
+  for (const auto& group : result->groups.groups()) {
+    EXPECT_GE(group.count(), kGroupSize);
+  }
+  // The stamp survives serialization of the gathered set.
+  EXPECT_NE(core::SerializeGroupSet(result->groups).find("backend mdav 1"),
+            std::string::npos);
+}
+
+TEST_F(FabricTest, ValidateRejectsUnknownBackend) {
+  FabricConfig config = BaseConfig(4);
+  config.workers.push_back({"127.0.0.1", 1});
+  config.backend = "bogus";
+  auto fabric = FabricService::Start(config);
+  ASSERT_FALSE(fabric.ok());
+  EXPECT_TRUE(IsNotFound(fabric.status()));
+}
+
 TEST_F(FabricTest, DeadEndpointIsRoutedAroundWithZeroLoss) {
   // Shard 1's endpoint never exists; its records must land on survivors
   // and the run must finish balanced.

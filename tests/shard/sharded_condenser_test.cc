@@ -167,6 +167,40 @@ TEST(ShardedCondenserTest, DurableStreamModeCondensesAndCheckpoints) {
   }
 }
 
+TEST(ShardedCondenserTest, MdavBackendStampsAndBoundsGroups) {
+  const std::size_t n = 300;
+  const std::size_t k = 8;
+  std::vector<Vector> records = GaussianRecords(n, 3, 23);
+  ShardedCondenserConfig config;
+  config.num_shards = 4;
+  config.group_size = k;
+  config.num_threads = 2;
+  config.backend = "mdav";
+  Rng rng(7);
+  auto result = ShardedCondenser(config).Condense(records, rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->groups.backend_id(), "mdav");
+  EXPECT_EQ(result->groups.backend_version(), 1);
+  EXPECT_EQ(result->groups.TotalRecords(), n);
+  // MDAV pins every group into [k, 2k-1] per shard; the sub-k remainder
+  // fold can only grow a group, never shrink one below k.
+  for (const auto& group : result->groups.groups()) {
+    EXPECT_GE(group.count(), k);
+  }
+}
+
+TEST(ShardedCondenserTest, UnknownBackendIsRejectedBeforeWork) {
+  std::vector<Vector> records = GaussianRecords(40, 2, 29);
+  ShardedCondenserConfig config;
+  config.backend = "bogus";
+  Rng rng(1);
+  auto result = ShardedCondenser(config).Condense(records, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsNotFound(result.status()));
+  EXPECT_NE(std::string(result.status().message()).find("available"),
+            std::string::npos);
+}
+
 TEST(ShardedCondenserTest, RejectsBadConfigsAndInputs) {
   std::vector<Vector> records = GaussianRecords(50, 2, 17);
   Rng rng(1);

@@ -53,6 +53,36 @@ expect_code 2 "fabric missing workers"         "$CLI" fabric
 expect_code 2 "fabric bad worker list"  "$CLI" fabric --workers=localhost
 expect_code 2 "fabric k below 2"  "$CLI" fabric --workers=127.0.0.1:19999 --k=1
 
+# Anonymization backends: --help advertises the flag and enumerates the
+# registered ids; an unknown id is a usage error caught before any file
+# I/O and names the available backends.
+if "$CLI" --help 2>&1 | grep -q -- "--backend"; then
+  echo "ok: --help documents --backend"
+else
+  echo "FAIL: --help does not document --backend" >&2
+  failures=$((failures + 1))
+fi
+if "$CLI" --help 2>&1 | grep -q "condensation" \
+    && "$CLI" --help 2>&1 | grep -q "mdav"; then
+  echo "ok: --help enumerates registered backends"
+else
+  echo "FAIL: --help does not enumerate registered backends" >&2
+  failures=$((failures + 1))
+fi
+expect_code 2 "condense unknown backend" \
+  "$CLI" condense --backend=bogus --input=/nonexistent.csv --output=/dev/null
+expect_code 2 "serve-stream unknown backend" \
+  "$CLI" serve-stream --backend=bogus
+expect_code 2 "fabric unknown backend" \
+  "$CLI" fabric --workers=127.0.0.1:19999 --backend=bogus
+if "$CLI" condense --backend=bogus --input=/nonexistent.csv \
+    --output=/dev/null 2>&1 | grep -q "available"; then
+  echo "ok: unknown backend error lists available ids"
+else
+  echo "FAIL: unknown backend error does not list available ids" >&2
+  failures=$((failures + 1))
+fi
+
 # query/query-server flag validation fails fast.
 expect_code 2 "query unknown flag"        "$CLI" query --bogus=1
 expect_code 2 "query-server unknown flag" "$CLI" query-server --bogus=1
@@ -99,6 +129,16 @@ trap 'rm -rf "$workdir"; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/n
 } > "$workdir/data.csv"
 if "$CLI" condense --input="$workdir/data.csv" --k=2 --task=none \
     --save-groups="$workdir/groups.bin" --output=/dev/null > /dev/null 2>&1; then
+  # The MDAV backend condenses the same fixture and stamps its snapshot.
+  expect_code 0 "condense --backend=mdav" \
+    "$CLI" condense --input="$workdir/data.csv" --k=2 --task=none \
+    --backend=mdav --save-groups="$workdir/groups-mdav.bin" --output=/dev/null
+  if grep -q "backend mdav 1" "$workdir/groups-mdav.bin" 2>/dev/null; then
+    echo "ok: mdav snapshot carries its backend stamp"
+  else
+    echo "FAIL: mdav snapshot missing 'backend mdav 1' stamp" >&2
+    failures=$((failures + 1))
+  fi
   "$CLI" query-server --groups="$workdir/groups.bin" --port=0 \
       --max-sessions=4 --deadline-ms=5000 > "$workdir/server.out" 2>&1 &
   server_pid=$!

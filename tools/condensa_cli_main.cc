@@ -65,6 +65,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/registry.h"
 #include "common/failpoint.h"
 #include "common/io.h"
 #include "common/random.h"
@@ -173,19 +174,21 @@ void PrintUsage(std::FILE* out) {
       "commands:\n"
       "  condense   --input=FILE --output=FILE [--k=N] [--mode=static|dynamic]\n"
       "             [--task=classification|regression|none] [--label-column=N]\n"
-      "             [--header] [--seed=N] [--save-groups=FILE]\n"
+      "             [--backend=ID] [--header] [--seed=N] [--save-groups=FILE]\n"
       "  generate   --groups=FILE --output=FILE [--seed=N]\n"
-      "  ingest     --input=FILE --checkpoint-dir=DIR [--k=N]\n"
+      "  ingest     --input=FILE --checkpoint-dir=DIR [--k=N] [--backend=ID]\n"
       "             [--snapshot-every=N] [--no-sync] [--header] [--seed=N]\n"
       "  serve-stream --checkpoint-dir=DIR [--input=FILE | --records=N\n"
       "             --dim=N] [--shards=N] [--policy=hash|round-robin] [--k=N]\n"
-      "             [--snapshot-every=N] [--no-sync] [--queue-capacity=N]\n"
+      "             [--backend=ID] [--snapshot-every=N] [--no-sync]\n"
+      "             [--queue-capacity=N]\n"
       "             [--backpressure=block|drop-oldest|reject] [--batch-size=N]\n"
       "             [--batch-deadline-ms=X] [--retry-attempts=N]\n"
       "             [--retry-budget=N] [--chaos=P] [--header] [--seed=N]\n"
       "             [--format=prometheus|json]\n"
       "  shard      [--input=FILE | --records=N --dim=N] --shards=N [--k=N]\n"
-      "             [--policy=hash|round-robin] [--mode=batch|stream]\n"
+      "             [--backend=ID] [--policy=hash|round-robin]\n"
+      "             [--mode=batch|stream]\n"
       "             [--checkpoint-root=DIR] [--snapshot-every=N] [--no-sync]\n"
       "             [--threads=N] [--save-groups=FILE] [--output=FILE]\n"
       "             [--header] [--seed=N] [--format=prometheus|json]\n"
@@ -193,12 +196,14 @@ void PrintUsage(std::FILE* out) {
       "             [--worker-id=ID] [--idle-timeout-ms=X]\n"
       "             [--flush-timeout-ms=X]\n"
       "  fabric     --workers=HOST:PORT[,HOST:PORT...] [--input=FILE |\n"
-      "             --records=N --dim=N] [--k=N] [--policy=hash|round-robin]\n"
+      "             --records=N --dim=N] [--k=N] [--backend=ID]\n"
+      "             [--policy=hash|round-robin]\n"
       "             [--wire-batch=N] [--local-fallback-root=DIR]\n"
       "             [--heartbeat-interval-ms=X] [--heartbeat-timeout-ms=X]\n"
       "             [--save-groups=FILE] [--output=FILE] [--header]\n"
       "             [--seed=N] [--format=prometheus|json]\n"
       "  recover    --checkpoint-dir=DIR [--save-groups=FILE] [--k=N]\n"
+      "             [--backend=ID]\n"
       "  query      [--groups=FILE | --checkpoint-dir=DIR [--k=N] |\n"
       "             --connect=HOST:PORT] [--op=classify|aggregate|regenerate]\n"
       "             [--points=FILE] [--neighbors=N] [--range=DIM:LO:HI,...]\n"
@@ -216,7 +221,20 @@ void PrintUsage(std::FILE* out) {
       "  stats      [--records=N] [--dim=N] [--k=N] [--seed=N]\n"
       "             [--format=prometheus|json] [--trace-out=FILE]\n"
       "\n"
-      "`condensa <command> --help` describes one command's flags in detail.\n");
+      "anonymization backends (--backend=ID on condense, ingest,\n"
+      "serve-stream, shard, fabric, and recover; default condensation):\n");
+  condensa::backend::Registry& registry =
+      condensa::backend::Registry::Global();
+  for (const std::string& id : registry.Ids()) {
+    condensa::StatusOr<const condensa::backend::AnonymizationBackend*>
+        resolved = registry.Get(id);
+    std::fprintf(out, "  %-12s %s\n", id.c_str(),
+                 resolved.ok() ? (*resolved)->info().summary.c_str() : "");
+  }
+  std::fprintf(
+      out,
+      "\n`condensa <command> --help` describes one command's flags in "
+      "detail.\n");
 }
 
 int Usage() {
@@ -239,6 +257,9 @@ const char* HelpText(const std::string& command) {
            "  --task=classification|regression|none\n"
            "                     label handling; labeled tasks condense each\n"
            "                     class pool separately (default classification)\n"
+           "  --backend=ID       anonymization backend (docs/backends.md);\n"
+           "                     `condensa --help` lists the registered ids\n"
+           "                     (default condensation)\n"
            "  --label-column=N   0-based label column (-1 = last; default -1)\n"
            "  --header           first CSV row is a header\n"
            "  --seed=N           RNG seed; fixed seed => identical release\n"
@@ -248,7 +269,8 @@ const char* HelpText(const std::string& command) {
     return "condensa generate — regenerate a release from saved statistics\n"
            "\n"
            "  --groups=FILE      pool statistics from condense --save-groups\n"
-           "                     (required)\n"
+           "                     (required); the backend recorded in the file\n"
+           "                     drives regeneration automatically\n"
            "  --output=FILE      anonymized release CSV (required)\n"
            "  --seed=N           RNG seed (default 42)\n";
   }
@@ -259,6 +281,8 @@ const char* HelpText(const std::string& command) {
            "  --checkpoint-dir=DIR  snapshot+journal directory (required);\n"
            "                        re-running resumes from recovered state\n"
            "  --k=N                 indistinguishability level (default 10)\n"
+           "  --backend=ID          anonymization backend stamped into the\n"
+           "                        checkpoints (default condensation)\n"
            "  --snapshot-every=N    journal appends per snapshot (default 1024)\n"
            "  --no-sync             skip fsync per append (faster, less safe)\n"
            "  --header              first CSV row is a header\n"
@@ -282,6 +306,8 @@ const char* HelpText(const std::string& command) {
            "  --policy=hash|round-robin\n"
            "                        record-to-shard routing (default hash)\n"
            "  --k=N                 indistinguishability level (default 10)\n"
+           "  --backend=ID          anonymization backend (default\n"
+           "                        condensation)\n"
            "  --snapshot-every=N    appends per snapshot (default 256)\n"
            "  --no-sync             skip fsync per journal append\n"
            "  --queue-capacity=N    bounded queue size (default 1024)\n"
@@ -316,6 +342,9 @@ const char* HelpText(const std::string& command) {
            "  --policy=hash|round-robin\n"
            "                        record-to-shard routing (default hash)\n"
            "  --k=N                 indistinguishability level (default 10)\n"
+           "  --backend=ID          anonymization backend; group construction\n"
+           "                        and release regeneration both follow it\n"
+           "                        (default condensation)\n"
            "  --mode=batch|stream   in-memory batch workers, or durable\n"
            "                        streaming workers with per-shard\n"
            "                        checkpoints (default batch)\n"
@@ -376,6 +405,8 @@ const char* HelpText(const std::string& command) {
            "  --records=N --dim=N   two-blob Gaussian stream is generated\n"
            "                        (defaults 5000 x 4)\n"
            "  --k=N                 indistinguishability level (default 10)\n"
+           "  --backend=ID          anonymization backend, carried to every\n"
+           "                        worker in the Hello (default condensation)\n"
            "  --policy=hash|round-robin\n"
            "                        record-to-shard routing (default hash)\n"
            "  --wire-batch=N        records per Submit frame (default 64)\n"
@@ -399,6 +430,9 @@ const char* HelpText(const std::string& command) {
            "  --checkpoint-dir=DIR  directory to recover from (required)\n"
            "  --k=N                 group size the state was built with\n"
            "                        (default 10)\n"
+           "  --backend=ID          backend the state was built with; a\n"
+           "                        mismatched checkpoint refuses to load\n"
+           "                        (default condensation)\n"
            "  --save-groups=FILE    save the recovered group statistics\n";
   }
   if (command == "query") {
@@ -506,6 +540,21 @@ bool ParsePolicy(const std::string& text,
   return true;
 }
 
+// Resolves a --backend flag value against the global registry. On an
+// unknown id, prints the NotFound message (which lists every registered
+// backend) and returns nullptr — callers exit 2, the usage-error code.
+const condensa::backend::AnonymizationBackend* ResolveBackendFlag(
+    const std::string& id) {
+  condensa::StatusOr<const condensa::backend::AnonymizationBackend*>
+      resolved = condensa::backend::Registry::Global().Get(id);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 resolved.status().message().c_str());
+    return nullptr;
+  }
+  return *resolved;
+}
+
 bool ParseTask(const std::string& text, condensa::data::TaskType* task) {
   if (text == "classification") {
     *task = condensa::data::TaskType::kClassification;
@@ -536,6 +585,8 @@ int RunCondense(Flags& flags) {
   const std::string output = flags.Get("output", "");
   const std::string mode_name = flags.Get("mode", "static");
   const std::string task_name = flags.Get("task", "classification");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   const std::string save_groups = flags.Get("save-groups", "");
   const bool header = flags.Get("header", "false") == "true";
 
@@ -565,6 +616,8 @@ int RunCondense(Flags& flags) {
     std::fprintf(stderr, "error: unknown --mode=%s\n", mode_name.c_str());
     return 2;
   }
+  // Fail an unknown backend before any file I/O: a usage error, exit 2.
+  if (ResolveBackendFlag(backend_id) == nullptr) return 2;
 
   auto dataset = LoadCsv(input, task, header, label_column);
   if (!dataset.ok()) {
@@ -576,8 +629,17 @@ int RunCondense(Flags& flags) {
                dataset->size(), dataset->dim(), input.c_str());
 
   condensa::Rng rng(static_cast<std::uint64_t>(seed));
-  condensa::core::CondensationEngine engine(
-      {.group_size = static_cast<std::size_t>(k), .mode = mode});
+  condensa::core::CondensationConfig engine_config;
+  engine_config.group_size = static_cast<std::size_t>(k);
+  engine_config.mode = mode;
+  condensa::Status backend_status =
+      condensa::backend::ApplyBackend(backend_id, &engine_config);
+  if (!backend_status.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 backend_status.message().c_str());
+    return 2;
+  }
+  condensa::core::CondensationEngine engine(engine_config);
   auto pools = engine.Condense(*dataset, rng);
   if (!pools.ok()) {
     std::fprintf(stderr, "condensation failed: %s\n",
@@ -596,7 +658,10 @@ int RunCondense(Flags& flags) {
                  save_groups.c_str());
   }
 
-  auto result = condensa::core::GenerateRelease(*pools, rng);
+  condensa::core::AnonymizerOptions anonymizer_options;
+  anonymizer_options.group_sampler = engine_config.group_sampler;
+  auto result =
+      condensa::core::GenerateRelease(*pools, rng, anonymizer_options);
   if (!result.ok()) {
     std::fprintf(stderr, "release generation failed: %s\n",
                  result.status().ToString().c_str());
@@ -643,8 +708,28 @@ int RunGenerate(Flags& flags) {
                  pools.status().ToString().c_str());
     return 1;
   }
+  // The groups file records which backend built it; regenerate with
+  // that backend's sampler. The default condensation stamp keeps the
+  // built-in eigendecomposition sampler, byte-for-byte.
+  std::string recorded_backend =
+      condensa::core::CondensedGroupSet::kDefaultBackendId;
+  if (!pools->pools.empty()) {
+    recorded_backend = pools->pools.front().groups.backend_id();
+  }
+  condensa::StatusOr<const condensa::backend::AnonymizationBackend*>
+      resolved = condensa::backend::Registry::Global().Get(recorded_backend);
+  if (!resolved.ok()) {
+    std::fprintf(stderr, "error: %s was written by a backend this build "
+                 "cannot regenerate: %s\n",
+                 groups_path.c_str(),
+                 resolved.status().message().c_str());
+    return 1;
+  }
+  condensa::core::AnonymizerOptions anonymizer_options;
+  anonymizer_options.group_sampler = (*resolved)->SamplerHook();
   condensa::Rng rng(static_cast<std::uint64_t>(seed));
-  auto result = condensa::core::GenerateRelease(*pools, rng);
+  auto result =
+      condensa::core::GenerateRelease(*pools, rng, anonymizer_options);
   if (!result.ok()) {
     std::fprintf(stderr, "release generation failed: %s\n",
                  result.status().ToString().c_str());
@@ -675,6 +760,8 @@ void PrintGroupSummary(const condensa::core::CondensedGroupSet& groups,
 int RunIngest(Flags& flags) {
   const std::string input = flags.Get("input", "");
   const std::string dir = flags.Get("checkpoint-dir", "");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   const bool header = flags.Get("header", "false") == "true";
   const bool no_sync = flags.Get("no-sync", "false") == "true";
   int k = 10, seed = 42, snapshot_every = 1024;
@@ -690,6 +777,9 @@ int RunIngest(Flags& flags) {
     std::fprintf(stderr, "error: --input and --checkpoint-dir are required\n");
     return 2;
   }
+  const condensa::backend::AnonymizationBackend* anonymization_backend =
+      ResolveBackendFlag(backend_id);
+  if (anonymization_backend == nullptr) return 2;
 
   auto dataset =
       LoadCsv(input, condensa::data::TaskType::kUnlabeled, header, -1);
@@ -699,8 +789,12 @@ int RunIngest(Flags& flags) {
     return 1;
   }
 
-  const condensa::core::DynamicCondenserOptions options{
-      .group_size = static_cast<std::size_t>(k)};
+  condensa::core::DynamicCondenserOptions options;
+  options.group_size = static_cast<std::size_t>(k);
+  options.backend = anonymization_backend->info().id;
+  options.backend_version = anonymization_backend->info().version;
+  options.bootstrap_construction =
+      anonymization_backend->ConstructionHook();
   const condensa::core::DurabilityOptions durability{
       .snapshot_interval = static_cast<std::size_t>(snapshot_every),
       .sync_every_append = !no_sync};
@@ -757,6 +851,8 @@ int RunIngest(Flags& flags) {
 int RunRecover(Flags& flags) {
   const std::string dir = flags.Get("checkpoint-dir", "");
   const std::string save_groups = flags.Get("save-groups", "");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   int k = 10;
   if (!ParseInt(flags.Get("k", "10"), &k) || k < 1) {
     std::fprintf(stderr, "error: bad --k\n");
@@ -767,9 +863,16 @@ int RunRecover(Flags& flags) {
     std::fprintf(stderr, "error: --checkpoint-dir is required\n");
     return 2;
   }
+  const condensa::backend::AnonymizationBackend* anonymization_backend =
+      ResolveBackendFlag(backend_id);
+  if (anonymization_backend == nullptr) return 2;
 
-  const condensa::core::DynamicCondenserOptions options{
-      .group_size = static_cast<std::size_t>(k)};
+  condensa::core::DynamicCondenserOptions options;
+  options.group_size = static_cast<std::size_t>(k);
+  options.backend = anonymization_backend->info().id;
+  options.backend_version = anonymization_backend->info().version;
+  options.bootstrap_construction =
+      anonymization_backend->ConstructionHook();
   auto durable = condensa::core::DurableCondenser::Recover(
       dir, options, condensa::core::DurabilityOptions{});
   if (!durable.ok()) {
@@ -827,6 +930,8 @@ int RunServeStream(Flags& flags) {
   const std::string dir = flags.Get("checkpoint-dir", "");
   const std::string input = flags.Get("input", "");
   const std::string backpressure_name = flags.Get("backpressure", "block");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   const std::string policy_name = flags.Get("policy", "hash");
   const std::string format = flags.Get("format", "");
   const bool header = flags.Get("header", "false") == "true";
@@ -864,6 +969,9 @@ int RunServeStream(Flags& flags) {
     std::fprintf(stderr, "error: --checkpoint-dir is required\n");
     return 2;
   }
+  const condensa::backend::AnonymizationBackend* anonymization_backend =
+      ResolveBackendFlag(backend_id);
+  if (anonymization_backend == nullptr) return 2;
   condensa::runtime::BackpressurePolicy backpressure;
   if (backpressure_name == "block") {
     backpressure = condensa::runtime::BackpressurePolicy::kBlock;
@@ -921,6 +1029,7 @@ int RunServeStream(Flags& flags) {
     config.queue_capacity = static_cast<std::size_t>(queue_capacity);
     config.batch_size = static_cast<std::size_t>(batch_size);
     config.seed = static_cast<std::uint64_t>(seed);
+    config.backend = anonymization_backend->info().id;
 
     auto service = condensa::shard::ShardedStreamService::Start(config);
     if (!service.ok()) {
@@ -1007,6 +1116,8 @@ int RunServeStream(Flags& flags) {
   config.retry.max_attempts = static_cast<std::size_t>(retry_attempts);
   config.retry_budget = static_cast<std::size_t>(retry_budget);
   config.seed = static_cast<std::uint64_t>(seed);
+  config.backend = anonymization_backend->info().id;
+  config.backend_version = anonymization_backend->info().version;
 
   auto pipeline = condensa::runtime::StreamPipeline::Start(config);
   if (!pipeline.ok()) {
@@ -1088,6 +1199,8 @@ int RunShard(Flags& flags) {
   const std::string input = flags.Get("input", "");
   const std::string policy_name = flags.Get("policy", "hash");
   const std::string mode_name = flags.Get("mode", "batch");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   const std::string checkpoint_root = flags.Get("checkpoint-root", "");
   const std::string save_groups = flags.Get("save-groups", "");
   const std::string output = flags.Get("output", "");
@@ -1128,6 +1241,9 @@ int RunShard(Flags& flags) {
                  "error: --checkpoint-root is required with --mode=stream\n");
     return 2;
   }
+  const condensa::backend::AnonymizationBackend* anonymization_backend =
+      ResolveBackendFlag(backend_id);
+  if (anonymization_backend == nullptr) return 2;
   if (!format.empty() && format != "prometheus" && format != "json") {
     std::fprintf(stderr, "error: unknown --format=%s\n", format.c_str());
     return 2;
@@ -1166,6 +1282,7 @@ int RunShard(Flags& flags) {
   config.sync_every_append = !no_sync;
   config.num_threads = static_cast<std::size_t>(threads);
   config.seed = static_cast<std::uint64_t>(seed);
+  config.backend = anonymization_backend->info().id;
 
   condensa::Rng rng(static_cast<std::uint64_t>(seed));
   auto result =
@@ -1198,8 +1315,10 @@ int RunShard(Flags& flags) {
                  save_groups.c_str());
   }
   if (!output.empty()) {
-    auto anonymized = condensa::core::Anonymizer().Generate(result->groups,
-                                                            rng);
+    condensa::core::AnonymizerOptions anonymizer_options;
+    anonymizer_options.group_sampler = anonymization_backend->SamplerHook();
+    auto anonymized = condensa::core::Anonymizer(anonymizer_options)
+                          .Generate(result->groups, rng);
     if (!anonymized.ok()) {
       std::fprintf(stderr, "release generation failed: %s\n",
                    anonymized.status().ToString().c_str());
@@ -1307,6 +1426,8 @@ bool ParseWorkerList(const std::string& text,
 int RunFabric(Flags& flags) {
   const std::string workers_text = flags.Get("workers", "");
   const std::string input = flags.Get("input", "");
+  const std::string backend_id = flags.Get(
+      "backend", condensa::core::CondensedGroupSet::kDefaultBackendId);
   const std::string policy_name = flags.Get("policy", "hash");
   const std::string fallback_root = flags.Get("local-fallback-root", "");
   const std::string save_groups = flags.Get("save-groups", "");
@@ -1346,6 +1467,9 @@ int RunFabric(Flags& flags) {
                  "error: --workers=HOST:PORT[,HOST:PORT...] is required\n");
     return 2;
   }
+  const condensa::backend::AnonymizationBackend* anonymization_backend =
+      ResolveBackendFlag(backend_id);
+  if (anonymization_backend == nullptr) return 2;
 
   std::vector<condensa::linalg::Vector> stream;
   if (!input.empty()) {
@@ -1381,6 +1505,7 @@ int RunFabric(Flags& flags) {
   config.heartbeat_interval_ms = heartbeat_interval_ms;
   config.heartbeat_timeout_ms = heartbeat_timeout_ms;
   config.local_fallback_root = fallback_root;
+  config.backend = anonymization_backend->info().id;
 
   auto service = condensa::shard::FabricService::Start(std::move(config));
   if (!service.ok()) {
@@ -1426,8 +1551,10 @@ int RunFabric(Flags& flags) {
   }
   if (!output.empty()) {
     condensa::Rng rng(static_cast<std::uint64_t>(seed));
-    auto anonymized =
-        condensa::core::Anonymizer().Generate(result->groups, rng);
+    condensa::core::AnonymizerOptions anonymizer_options;
+    anonymizer_options.group_sampler = anonymization_backend->SamplerHook();
+    auto anonymized = condensa::core::Anonymizer(anonymizer_options)
+                          .Generate(result->groups, rng);
     if (!anonymized.ok()) {
       std::fprintf(stderr, "release generation failed: %s\n",
                    anonymized.status().ToString().c_str());
